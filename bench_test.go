@@ -1,0 +1,453 @@
+package m3
+
+// This file is the benchmark index of the reproduction: one bench per
+// paper artifact (Figure 1a, Figure 1b, the §3.1 utilization finding,
+// the §4 studies) plus ablations and real-hardware microbenchmarks.
+//
+// Simulated experiments report their modelled runtime via the custom
+// metric "sim_s" (simulated seconds of the full job at paper scale);
+// wall-clock ns/op for those measures harness overhead only.
+// Microbenchmarks (mmap vs heap scans, kernel throughput) are real
+// wall-clock measurements on this machine.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"m3/internal/bench"
+	"m3/internal/blas"
+	"m3/internal/infimnist"
+	"m3/internal/mat"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/knn"
+	"m3/internal/ml/logreg"
+	"m3/internal/optimize"
+	"m3/internal/store"
+	"m3/internal/vm"
+)
+
+func benchWorkload(nominal int64) bench.Workload {
+	return bench.Workload{NominalBytes: nominal, ActualRows: 256, Seed: 3}
+}
+
+// BenchmarkFig1aScaling regenerates Figure 1a: M3 logistic regression
+// runtime across dataset sizes (simulated platform: 32 GB RAM PC).
+func BenchmarkFig1aScaling(b *testing.B) {
+	for _, sizeGB := range []int64{8, 16, 24, 40, 70, 100, 130, 160, 190} {
+		b.Run(fmt.Sprintf("size=%dGB", sizeGB), func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				rep, err := bench.RunLogRegM3(bench.PaperPC(), benchWorkload(sizeGB*1e9))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = rep.Seconds
+			}
+			b.ReportMetric(sim, "sim_s")
+		})
+	}
+}
+
+// BenchmarkFig1bLogreg regenerates the logistic-regression bars of
+// Figure 1b (paper: M3 1950 s, 4x Spark 8256 s, 8x Spark 2864 s).
+func BenchmarkFig1bLogreg(b *testing.B) {
+	w := benchWorkload(190e9)
+	systems := map[string]func() (bench.Report, error){
+		"M3":      func() (bench.Report, error) { return bench.RunLogRegM3(bench.PaperPC(), w) },
+		"Sparkx4": func() (bench.Report, error) { return bench.RunLogRegSpark(4, w) },
+		"Sparkx8": func() (bench.Report, error) { return bench.RunLogRegSpark(8, w) },
+	}
+	for name, run := range systems {
+		b.Run(name, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				rep, err := run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = rep.Seconds
+			}
+			b.ReportMetric(sim, "sim_s")
+		})
+	}
+}
+
+// BenchmarkFig1bKMeans regenerates the k-means bars of Figure 1b
+// (paper: M3 1164 s, 4x Spark 3491 s, 8x Spark 1604 s).
+func BenchmarkFig1bKMeans(b *testing.B) {
+	w := benchWorkload(190e9)
+	systems := map[string]func() (bench.Report, error){
+		"M3":      func() (bench.Report, error) { return bench.RunKMeansM3(bench.PaperPC(), w) },
+		"Sparkx4": func() (bench.Report, error) { return bench.RunKMeansSpark(4, w) },
+		"Sparkx8": func() (bench.Report, error) { return bench.RunKMeansSpark(8, w) },
+	}
+	for name, run := range systems {
+		b.Run(name, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				rep, err := run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = rep.Seconds
+			}
+			b.ReportMetric(sim, "sim_s")
+		})
+	}
+}
+
+// BenchmarkIOBoundUtilization regenerates the §3.1 finding; the
+// custom metrics are utilization percentages (paper: disk 100%,
+// CPU ≈13%).
+func BenchmarkIOBoundUtilization(b *testing.B) {
+	var cpu, disk float64
+	for i := 0; i < b.N; i++ {
+		util, err := bench.IOBound(bench.PaperPC(), benchWorkload(190e9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu, disk = util.CPUPercent(), util.DiskPercent()
+	}
+	b.ReportMetric(cpu, "cpu_%")
+	b.ReportMetric(disk, "disk_%")
+}
+
+// BenchmarkAccessPatterns regenerates the §4 locality study:
+// sequential scans versus random row access at equal volume.
+func BenchmarkAccessPatterns(b *testing.B) {
+	for _, pattern := range []string{"sequential", "random"} {
+		b.Run(pattern, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				seq, rnd, err := bench.RunAccessPattern(bench.PaperPC(), benchWorkload(190e9), 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pattern == "sequential" {
+					sim = seq.Seconds
+				} else {
+					sim = rnd.Seconds
+				}
+			}
+			b.ReportMetric(sim, "sim_s")
+		})
+	}
+}
+
+// BenchmarkAblationDisk quantifies the paper's "faster disks or
+// RAID 0" speculation across storage models.
+func BenchmarkAblationDisk(b *testing.B) {
+	for _, disk := range []string{"hdd", "ssd", "raid0x2", "raid0x4"} {
+		b.Run(disk, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				reports, err := bench.DiskAblation(benchWorkload(190e9))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = reports[disk].Seconds
+			}
+			b.ReportMetric(sim, "sim_s")
+		})
+	}
+}
+
+// BenchmarkAblationRAM sweeps the RAM budget at a fixed 64 GB
+// dataset — the Figure 1a knee seen from the memory axis.
+func BenchmarkAblationRAM(b *testing.B) {
+	sizes := []int64{16e9, 48e9, 80e9}
+	for _, ram := range sizes {
+		b.Run(fmt.Sprintf("ram=%dGB", ram/1e9), func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				reports, err := bench.RAMAblation(benchWorkload(64e9), []int64{ram})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = reports[0].Seconds
+			}
+			b.ReportMetric(sim, "sim_s")
+		})
+	}
+}
+
+// BenchmarkAblationReadAhead quantifies kernel-style sequential
+// read-ahead: the same out-of-core scans with the adaptive window on
+// vs pinned to a single page.
+func BenchmarkAblationReadAhead(b *testing.B) {
+	for _, mode := range []string{"on", "off"} {
+		b.Run(mode, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				with, without, err := bench.ReadAheadAblation(bench.PaperPC(), 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "on" {
+					sim = with.Seconds
+				} else {
+					sim = without.Seconds
+				}
+			}
+			b.ReportMetric(sim, "sim_s")
+		})
+	}
+}
+
+// BenchmarkAblationOptimizer compares L-BFGS against plain gradient
+// descent on the digit problem: data passes to reach equal loss —
+// the design choice behind the paper's use of mlpack's L-BFGS.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	g := infimnist.Generator{Seed: 3}
+	xs, labels := g.Matrix(0, 256)
+	x := mat.NewDenseFrom(xs, 256, infimnist.Features)
+	y := make([]float64, 256)
+	for i, v := range labels {
+		if v == 0 {
+			y[i] = 1
+		}
+	}
+	b.Run("lbfgs", func(b *testing.B) {
+		var passes int
+		for i := 0; i < b.N; i++ {
+			obj, err := logreg.NewObjective(x, y, 1e-4, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := optimize.LBFGS(obj, make([]float64, obj.Dim()), optimize.LBFGSParams{MaxIterations: 10, GradTol: 1e-12})
+			if err != nil {
+				b.Fatal(err)
+			}
+			passes = res.Evaluations
+		}
+		b.ReportMetric(float64(passes), "passes")
+	})
+	b.Run("gd", func(b *testing.B) {
+		var passes int
+		for i := 0; i < b.N; i++ {
+			obj, err := logreg.NewObjective(x, y, 1e-4, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := optimize.GradientDescent(obj, make([]float64, obj.Dim()), optimize.GDParams{MaxIterations: 10, GradTol: 1e-12})
+			if err != nil {
+				b.Fatal(err)
+			}
+			passes = res.Evaluations
+		}
+		b.ReportMetric(float64(passes), "passes")
+	})
+}
+
+// BenchmarkGraphScaleFeasibility reproduces the introduction's claim
+// that virtual-memory approaches "can handle graphs with as many as
+// 6 billion edges" on one PC: it models one PageRank edge-scan
+// iteration at that scale (6e9 edges × 16 B = 96 GB per pass) on the
+// paper's machine. The metric is simulated seconds per iteration.
+func BenchmarkGraphScaleFeasibility(b *testing.B) {
+	machine := bench.PaperPC()
+	const edgeBytes = int64(6e9) * 16
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		mem, err := vm.NewMemory(edgeBytes, vm.Config{
+			PageSize:   edgeBytes / (64 << 10),
+			CacheBytes: machine.RAMBytes,
+			Disk:       machine.Disk,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tl vm.Timeline
+		tl.AddDisk(mem.Touch(0, edgeBytes))
+		tl.AddCPU(float64(edgeBytes) / machine.CPUScanBytesPerSec)
+		sim = tl.Elapsed()
+	}
+	b.ReportMetric(sim, "sim_s")
+}
+
+// --- Real-hardware microbenchmarks -----------------------------------
+
+// BenchmarkScanHeapVsMmap measures real wall-clock throughput of a
+// full-matrix scan over heap versus mmap backing — the transparency
+// claim in hardware: once resident, mapped data scans at heap speed.
+func BenchmarkScanHeapVsMmap(b *testing.B) {
+	const rows, cols = 2048, 784
+	g := infimnist.Generator{Seed: 1}
+	data, _ := g.Matrix(0, rows)
+
+	b.Run("heap", func(b *testing.B) {
+		x := mat.NewDenseFrom(data, rows, cols)
+		v := make([]float64, cols)
+		y := make([]float64, rows)
+		b.SetBytes(rows * cols * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x.MulVec(y, v)
+		}
+	})
+	b.Run("mmap", func(b *testing.B) {
+		dir := b.TempDir()
+		path := filepath.Join(dir, "scan.bin")
+		ms, err := store.CreateMapped(path, rows*cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ms.Close()
+		copy(ms.Data(), data)
+		x, err := mat.NewDenseStore(ms, rows, cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := make([]float64, cols)
+		y := make([]float64, rows)
+		b.SetBytes(rows * cols * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x.MulVec(y, v)
+		}
+	})
+}
+
+// BenchmarkLogRegPass measures one real objective evaluation (full
+// data pass) for binary logistic regression.
+func BenchmarkLogRegPass(b *testing.B) {
+	const rows = 1024
+	g := infimnist.Generator{Seed: 2}
+	xs, labels := g.Matrix(0, rows)
+	x := mat.NewDenseFrom(xs, rows, infimnist.Features)
+	y := make([]float64, rows)
+	for i, v := range labels {
+		if v == 0 {
+			y[i] = 1
+		}
+	}
+	obj, err := logreg.NewObjective(x, y, 1e-4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := make([]float64, obj.Dim())
+	grad := make([]float64, obj.Dim())
+	b.SetBytes(int64(rows) * infimnist.Features * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.Eval(params, grad)
+	}
+}
+
+// BenchmarkKMeansPass measures one real Lloyd iteration (assignment
+// scan) at k=5, the paper's configuration.
+func BenchmarkKMeansPass(b *testing.B) {
+	const rows = 1024
+	g := infimnist.Generator{Seed: 2}
+	xs, _ := g.Matrix(0, rows)
+	x := mat.NewDenseFrom(xs, rows, infimnist.Features)
+	init := mat.NewDense(5, infimnist.Features)
+	for k := 0; k < 5; k++ {
+		img, _ := g.Image(int64(k))
+		init.SetRow(k, img)
+	}
+	b.SetBytes(int64(rows) * infimnist.Features * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kmeans.Run(x, kmeans.Options{K: 5, MaxIterations: 1, InitCentroids: init, RunAllIterations: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNNBatch measures real k-NN throughput: 32 queries
+// answered by one scan of 1024 reference digits.
+func BenchmarkKNNBatch(b *testing.B) {
+	g := infimnist.Generator{Seed: 4}
+	xs, _ := g.Matrix(0, 1024)
+	refs := mat.NewDenseFrom(xs, 1024, infimnist.Features)
+	qs, _ := g.Matrix(5000, 32)
+	queries := mat.NewDenseFrom(qs, 32, infimnist.Features)
+	b.SetBytes(1024 * infimnist.Features * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knn.Search(refs, queries, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInfimnistGenerate measures image-generation throughput
+// (matters for materializing multi-GB datasets).
+func BenchmarkInfimnistGenerate(b *testing.B) {
+	g := infimnist.Generator{Seed: 1}
+	dst := make([]float64, infimnist.Features)
+	b.SetBytes(infimnist.BytesPerImage)
+	for i := 0; i < b.N; i++ {
+		g.Fill(dst, int64(i))
+	}
+}
+
+// BenchmarkBlasKernels measures the level-1/2 kernels that dominate
+// training inner loops.
+func BenchmarkBlasKernels(b *testing.B) {
+	x := make([]float64, infimnist.Features)
+	y := make([]float64, infimnist.Features)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+		y[i] = float64(i%5) - 2
+	}
+	b.Run("Dot784", func(b *testing.B) {
+		b.SetBytes(infimnist.Features * 16)
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += blas.Dot(x, y)
+		}
+		_ = sink
+	})
+	b.Run("Axpy784", func(b *testing.B) {
+		b.SetBytes(infimnist.Features * 16)
+		for i := 0; i < b.N; i++ {
+			blas.Axpy(0.001, x, y)
+		}
+	})
+	b.Run("SqDist784", func(b *testing.B) {
+		b.SetBytes(infimnist.Features * 16)
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += blas.SqDist(x, y)
+		}
+		_ = sink
+	})
+	b.Run("Gemm128", func(b *testing.B) {
+		const n = 128
+		a := make([]float64, n*n)
+		bb := make([]float64, n*n)
+		c := make([]float64, n*n)
+		for i := range a {
+			a[i] = float64(i % 13)
+			bb[i] = float64(i % 11)
+		}
+		b.SetBytes(3 * n * n * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blas.Gemm(n, n, n, 1, a, n, bb, n, 0, c, n)
+		}
+	})
+}
+
+// BenchmarkDatasetWrite measures streaming dataset materialization.
+func BenchmarkDatasetWrite(b *testing.B) {
+	dir := b.TempDir()
+	g := infimnist.Generator{Seed: 1}
+	const n = 256
+	b.SetBytes(n * infimnist.BytesPerImage)
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("w%d.m3", i%4))
+		if err := g.WriteDataset(path, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	os.RemoveAll(dir)
+}

@@ -1,0 +1,118 @@
+package m3
+
+// End-to-end tests of the command-line tools: build each binary once
+// and drive it the way a user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildCLIs compiles the cmd binaries into a shared temp dir.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "m3-bin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			t.Logf("go build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Skipf("cannot build CLIs: %v", buildErr)
+	}
+	return binDir
+}
+
+func runCLI(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(buildCLIs(t), name)
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenerateInspectTrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "digits.m3")
+
+	out := runCLI(t, "infimnist-gen", "-out", ds, "-images", "120", "-seed", "2")
+	if !strings.Contains(out, "done in") {
+		t.Errorf("gen output: %s", out)
+	}
+
+	out = runCLI(t, "m3inspect", "info", "-data", ds)
+	for _, want := range []string{"rows:      120", "cols:      784", "labels:    true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runCLI(t, "m3inspect", "verify", "-data", ds)
+	if !strings.Contains(out, "checksum OK") {
+		t.Errorf("verify output: %s", out)
+	}
+
+	model := filepath.Join(dir, "lr.model")
+	out = runCLI(t, "m3train", "-data", ds, "-algo", "logreg", "-iters", "10", "-save", model)
+	if !strings.Contains(out, "mapped=true") || !strings.Contains(out, "model saved") {
+		t.Errorf("train output: %s", out)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Errorf("model file missing: %v", err)
+	}
+
+	// Both backends work from the CLI.
+	out = runCLI(t, "m3train", "-data", ds, "-algo", "kmeans", "-k", "4", "-backend", "heap")
+	if !strings.Contains(out, "mapped=false") || !strings.Contains(out, "kmeans:") {
+		t.Errorf("heap kmeans output: %s", out)
+	}
+}
+
+func TestCLIExportImportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "d.m3")
+	runCLI(t, "infimnist-gen", "-out", ds, "-images", "10")
+
+	csv := filepath.Join(dir, "d.csv")
+	runCLI(t, "m3inspect", "export", "-data", ds, "-format", "csv", "-out", csv)
+	back := filepath.Join(dir, "back.m3")
+	runCLI(t, "m3inspect", "import", "-in", csv, "-data", back, "-format", "csv")
+	out := runCLI(t, "m3inspect", "info", "-data", back)
+	if !strings.Contains(out, "rows:      10") {
+		t.Errorf("roundtrip info: %s", out)
+	}
+}
+
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runCLI(t, "m3bench", "-exp", "iobound", "-rows", "64")
+	if !strings.Contains(out, "I/O bound: true") {
+		t.Errorf("m3bench iobound output: %s", out)
+	}
+}

@@ -1,0 +1,156 @@
+// Command m3bench regenerates the paper's evaluation artifacts on the
+// simulated substrates (see DESIGN.md §2 for the substitutions):
+//
+//	m3bench -exp fig1a     # Figure 1a: runtime vs dataset size
+//	m3bench -exp fig1b     # Figure 1b: M3 vs 4x/8x Spark, logreg+kmeans
+//	m3bench -exp iobound   # §3.1 utilization finding (disk 100%, CPU ~13%)
+//	m3bench -exp access    # §4 sequential vs random access study
+//	m3bench -exp predict   # §4 runtime prediction at unseen sizes
+//	m3bench -exp disks     # ablation: HDD vs SSD vs RAID 0
+//	m3bench -exp energy    # §4 energy usage: desktop vs clusters
+//	m3bench -exp locality  # §4 recorded traces + miss-ratio curves
+//	m3bench -exp all       # everything
+//
+// Simulated seconds model the paper's hardware (32 GB RAM desktop
+// with a PCIe SSD; EMR m3.2xlarge workers); the shapes — who wins,
+// by what factor, where the RAM knee falls — are the reproduction
+// target, not the absolute values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"m3/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, all")
+	rows := flag.Int("rows", 512, "actual (scaled-down) row count the math runs on")
+	seed := flag.Uint64("seed", 3, "workload seed")
+	size := flag.Float64("size", 190e9, "nominal dataset bytes for single-size experiments")
+	flag.Parse()
+
+	w := bench.Workload{NominalBytes: int64(*size), ActualRows: *rows, Seed: *seed}
+	machine := bench.PaperPC()
+
+	runners := map[string]func() error{
+		"fig1a":    func() error { return runFig1a(machine, w) },
+		"fig1b":    func() error { return runFig1b(machine, w) },
+		"iobound":  func() error { return runIOBound(machine, w) },
+		"access":   func() error { return runAccess(machine, w) },
+		"predict":  func() error { return runPredict(machine, w) },
+		"disks":    func() error { return runDisks(w) },
+		"energy":   func() error { return runEnergy(machine, w) },
+		"locality": func() error { return runLocality(w) },
+	}
+	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runners[name](); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "m3bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "m3bench: %v\n", err)
+	os.Exit(1)
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+func runFig1a(machine bench.Machine, w bench.Workload) error {
+	header("Figure 1a — M3 runtime vs dataset size (logreg, 10 iters L-BFGS, RAM 32 GB)")
+	res, err := bench.Fig1a(bench.Fig1aConfig{Machine: machine, Workload: w})
+	if err != nil {
+		return err
+	}
+	return bench.RenderFig1a(os.Stdout, res, machine.RAMBytes)
+}
+
+func runFig1b(machine bench.Machine, w bench.Workload) error {
+	header(fmt.Sprintf("Figure 1b — M3 (1 PC) vs Spark clusters at %.0f GB", float64(w.NominalBytes)/1e9))
+	rows, err := bench.Fig1b(machine, w)
+	if err != nil {
+		return err
+	}
+	return bench.RenderFig1b(os.Stdout, rows)
+}
+
+func runIOBound(machine bench.Machine, w bench.Workload) error {
+	header("§3.1 — resource utilization of out-of-core M3")
+	util, err := bench.IOBound(machine, w)
+	if err != nil {
+		return err
+	}
+	fmt.Println(util)
+	fmt.Printf("I/O bound: %v (paper: disk 100%% utilized, CPU ≈13%%)\n", util.IOBound())
+	return nil
+}
+
+func runAccess(machine bench.Machine, w bench.Workload) error {
+	header("§4 — access-pattern study (same volume, different order)")
+	seq, rnd, err := bench.RunAccessPattern(machine, w, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sequential scan: %8.0f s  (%s)\n", seq.Seconds, seq.Util)
+	fmt.Printf("random access:   %8.0f s  (%s)\n", rnd.Seconds, rnd.Util)
+	fmt.Printf("penalty: %.1fx — locality determines out-of-core performance\n", rnd.Seconds/seq.Seconds)
+	return nil
+}
+
+func runPredict(machine bench.Machine, w bench.Workload) error {
+	header("§4 — runtime prediction from small-scale measurements")
+	train := []int64{8e9, 16e9, 24e9, 40e9, 60e9, 80e9}
+	test := []int64{120e9, 160e9, 190e9, 250e9}
+	points, model, err := bench.Predict(machine, w, train, test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s\n\n", model)
+	return bench.RenderPredict(os.Stdout, points)
+}
+
+func runEnergy(machine bench.Machine, w bench.Workload) error {
+	header("§4 — energy usage: M3 desktop vs Spark clusters (logreg job)")
+	rows, err := bench.Energy(machine, w)
+	if err != nil {
+		return err
+	}
+	return bench.RenderEnergy(os.Stdout, rows)
+}
+
+func runLocality(w bench.Workload) error {
+	header("§4 — recorded access traces and miss-ratio curves (Mattson analysis)")
+	reports, err := bench.Locality(w)
+	if err != nil {
+		return err
+	}
+	return bench.RenderLocality(os.Stdout, reports)
+}
+
+func runDisks(w bench.Workload) error {
+	header("Ablation — storage device (paper: \"faster disks, or RAID 0\")")
+	reports, err := bench.DiskAblation(w)
+	if err != nil {
+		return err
+	}
+	return bench.RenderReports(os.Stdout, reports)
+}

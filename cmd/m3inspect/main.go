@@ -1,0 +1,175 @@
+// Command m3inspect examines and converts M3 dataset files.
+//
+// Usage:
+//
+//	m3inspect info   -data digits.m3              # header, stats, residency
+//	m3inspect verify -data digits.m3              # payload checksum
+//	m3inspect head   -data digits.m3 [-n 5]       # first rows as CSV
+//	m3inspect export -data digits.m3 -format csv|libsvm [-out file]
+//	m3inspect import -in data.csv|data.svm -data out.m3 [-format csv|libsvm] [-labels]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"m3/internal/dataset"
+	"m3/internal/mmap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	data := fs.String("data", "", "dataset path (.m3)")
+	n := fs.Int("n", 5, "rows for head")
+	format := fs.String("format", "csv", "export/import format: csv or libsvm")
+	out := fs.String("out", "", "output path (default stdout for export)")
+	in := fs.String("in", "", "input path for import")
+	labels := fs.Bool("labels", true, "csv import: last column is the label")
+	fs.Parse(os.Args[2:])
+
+	var err error
+	switch cmd {
+	case "info":
+		err = runInfo(*data)
+	case "verify":
+		err = runVerify(*data)
+	case "head":
+		err = runHead(*data, *n)
+	case "export":
+		err = runExport(*data, *format, *out)
+	case "import":
+		err = runImport(*in, *data, *format, *labels)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m3inspect %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: m3inspect <info|verify|head|export|import> [flags]")
+}
+
+func open(path string) (*dataset.Dataset, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-data is required")
+	}
+	return dataset.Open(path)
+}
+
+func runInfo(path string) error {
+	d, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("path:      %s\n", d.Path())
+	fmt.Printf("rows:      %d\n", d.Rows)
+	fmt.Printf("cols:      %d\n", d.Cols)
+	fmt.Printf("labels:    %v\n", d.HasLabels)
+	fmt.Printf("payload:   %.2f MB\n", float64(d.DataBytes()+d.LabelBytes())/1e6)
+	fmt.Printf("checksum:  %#x\n", d.Checksum)
+	if resident, total, err := d.Region().Residency(); err == nil {
+		fmt.Printf("resident:  %d/%d pages (%.1f%%)\n", resident, total, 100*float64(resident)/float64(total))
+	}
+	if d.HasLabels {
+		hist := map[float64]int{}
+		for _, v := range d.Labels() {
+			hist[v]++
+		}
+		fmt.Printf("label histogram (%d distinct):\n", len(hist))
+		for v, c := range hist {
+			fmt.Printf("  %g: %d\n", v, c)
+		}
+	}
+	return nil
+}
+
+func runVerify(path string) error {
+	d, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Advise(mmap.Sequential); err != nil {
+		return err
+	}
+	if err := d.Verify(); err != nil {
+		return err
+	}
+	fmt.Println("checksum OK")
+	return nil
+}
+
+func runHead(path string, n int) error {
+	d, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if int64(n) > d.Rows {
+		n = int(d.Rows)
+	}
+	x := d.X()
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for j := 0; j < int(d.Cols); j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%g", x.At(i, j))
+		}
+		if d.HasLabels {
+			fmt.Fprintf(&sb, " -> %g", d.Labels()[i])
+		}
+		fmt.Println(sb.String())
+	}
+	return nil
+}
+
+func runExport(path, format, out string) error {
+	d, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "csv":
+		return d.ExportCSV(w)
+	case "libsvm":
+		return d.ExportLibSVM(w)
+	}
+	return fmt.Errorf("unknown format %q", format)
+}
+
+func runImport(in, data, format string, labelLast bool) error {
+	if in == "" || data == "" {
+		return fmt.Errorf("-in and -data are required")
+	}
+	switch format {
+	case "csv":
+		return dataset.ImportCSV(in, data, labelLast)
+	case "libsvm":
+		return dataset.ImportLibSVM(in, data)
+	}
+	return fmt.Errorf("unknown format %q", format)
+}

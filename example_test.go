@@ -1,0 +1,121 @@
+package m3_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"m3"
+)
+
+// ExampleEngine_Open demonstrates Table 1 of the paper: the only
+// difference between in-memory and out-of-core training is the
+// engine's mode.
+func ExampleEngine_Open() {
+	dir, _ := os.MkdirTemp("", "m3-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "digits.m3")
+	if err := m3.GenerateInfimnist(path, 100, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	eng := m3.New(m3.Config{Mode: m3.MemoryMapped}) // ← the one-line change
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("mapped=%v rows=%d cols=%d\n", tbl.Mapped, tbl.X.Rows(), tbl.X.Cols())
+	// Output: mapped=true rows=100 cols=784
+}
+
+// ExampleTrainLogistic trains a binary classifier on a mapped
+// dataset.
+func ExampleTrainLogistic() {
+	dir, _ := os.MkdirTemp("", "m3-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "digits.m3")
+	if err := m3.GenerateInfimnist(path, 200, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng := m3.New(m3.Config{Mode: m3.MemoryMapped})
+	defer eng.Close()
+	tbl, _ := eng.Open(path)
+
+	y := make([]float64, len(tbl.Labels))
+	for i, v := range tbl.Labels {
+		if v == 0 {
+			y[i] = 1 // digit zero vs rest
+		}
+	}
+	model, err := m3.TrainLogistic(tbl.X, y, m3.LogisticOptions{MaxIterations: 20})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("train accuracy >= 0.99: %v\n", model.Accuracy(tbl.X, y) >= 0.99)
+	// Output: train accuracy >= 0.99: true
+}
+
+// ExampleKMeans clusters points through the public API.
+func ExampleKMeans() {
+	data := []float64{
+		0, 0, 0.1, 0, 0, 0.1, // cluster around origin
+		9, 9, 9.1, 9, 9, 9.1, // cluster around (9,9)
+	}
+	x := m3.WrapMatrix(data, 6, 2)
+	res, err := m3.KMeans(x, m3.KMeansOptions{K: 2, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("same cluster within groups: %v\n",
+		res.Assignments[0] == res.Assignments[2] && res.Assignments[3] == res.Assignments[5])
+	fmt.Printf("groups separated: %v\n", res.Assignments[0] != res.Assignments[3])
+	// Output:
+	// same cluster within groups: true
+	// groups separated: true
+}
+
+// ExampleAllocFloat64 shows the lowest-level M3 primitive — the
+// paper's mmapAlloc helper.
+func ExampleAllocFloat64() {
+	dir, _ := os.MkdirTemp("", "m3-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "buf.bin")
+
+	buf, closeFn, err := m3.AllocFloat64(path, 1000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	buf[999] = 42 // writes go to the file-backed mapping
+	closeFn()
+
+	again, closeFn2, _ := m3.MapFloat64(path)
+	defer closeFn2()
+	fmt.Println(again[999])
+	// Output: 42
+}
+
+// ExampleNewOnlineLearner learns from a stream without a dataset.
+func ExampleNewOnlineLearner() {
+	l, err := m3.NewOnlineLearner(2, 0.5, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Stream a few linearly separable examples.
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			l.Update([]float64{1, 1}, 1)
+		} else {
+			l.Update([]float64{-1, -1}, 0)
+		}
+	}
+	fmt.Println(l.Predict([]float64{2, 2}), l.Predict([]float64{-2, -2}))
+	// Output: 1 0
+}

@@ -1,0 +1,90 @@
+// This example clusters memory-mapped digit images with k-means
+// (k-means++ init) and reports cluster purity against the true digit
+// labels — the paper's second workload, run for real at laptop scale.
+//
+// Run:
+//
+//	go run ./examples/kmeans [-images 3000] [-k 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"m3"
+)
+
+func main() {
+	log.SetFlags(0)
+	images := flag.Int64("images", 3000, "images to cluster")
+	k := flag.Int("k", 10, "cluster count (paper's Fig 1b uses 5)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "m3-kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "digits.m3")
+
+	fmt.Printf("generating %d digit images...\n", *images)
+	if err := m3.GenerateInfimnist(path, *images, 4); err != nil {
+		log.Fatal(err)
+	}
+
+	eng := m3.New(m3.Config{Mode: m3.MemoryMapped})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := m3.KMeans(tbl.X, m3.KMeansOptions{
+		K:             *k,
+		MaxIterations: 10, // the paper's protocol
+		Seed:          7,
+		Callback: func(iter int, inertia float64) bool {
+			fmt.Printf("  iter %2d: inertia %.1f\n", iter, inertia)
+			return true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclustered in %v (%d scans, converged=%v)\n",
+		time.Since(start).Round(time.Millisecond), res.Scans, res.Converged)
+
+	// Purity: fraction of points whose cluster's majority digit
+	// matches their own label.
+	counts := make([]map[int]int, *k)
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	for i, c := range res.Assignments {
+		counts[c][int(tbl.Labels[i])]++
+	}
+	pure := 0
+	fmt.Println("\ncluster composition (majority digit, share):")
+	for c, byDigit := range counts {
+		total, best, bestDigit := 0, 0, -1
+		for digit, n := range byDigit {
+			total += n
+			if n > best {
+				best, bestDigit = n, digit
+			}
+		}
+		pure += best
+		if total > 0 {
+			fmt.Printf("  cluster %2d: digit %d (%3.0f%% of %d points)\n",
+				c, bestDigit, 100*float64(best)/float64(total), total)
+		} else {
+			fmt.Printf("  cluster %2d: empty\n", c)
+		}
+	}
+	fmt.Printf("\noverall purity: %.3f\n", float64(pure)/float64(len(res.Assignments)))
+}

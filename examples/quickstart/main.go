@@ -1,0 +1,75 @@
+// Quickstart reproduces Table 1 of the paper: converting in-memory
+// training code to out-of-core M3 code is a one-line change, and the
+// two paths produce identical models.
+//
+//	Original                          M3
+//	--------------------------------  --------------------------------
+//	eng := m3.New(m3.Config{          eng := m3.New(m3.Config{
+//	    Mode: m3.InMemory})               Mode: m3.MemoryMapped})   // ← the change
+//	tbl, _ := eng.Open("digits.m3")   tbl, _ := eng.Open("digits.m3")
+//	m3.TrainLogistic(tbl.X, y, ...)   m3.TrainLogistic(tbl.X, y, ...)
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"m3"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "m3-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "digits.m3")
+
+	// Generate a small Infimnist-style dataset (500 digit images).
+	const images = 500
+	if err := m3.GenerateInfimnist(path, images, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d images x %d features at %s\n\n", images, m3.InfimnistFeatures, path)
+
+	// Binary task: is the digit a zero?
+	train := func(mode m3.Mode, name string) *m3.LogisticModel {
+		eng := m3.New(m3.Config{Mode: mode})
+		defer eng.Close()
+		tbl, err := eng.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		y := make([]float64, len(tbl.Labels))
+		for i, v := range tbl.Labels {
+			if v == 0 {
+				y[i] = 1
+			}
+		}
+		model, err := m3.TrainLogistic(tbl.X, y, m3.LogisticOptions{MaxIterations: 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s mapped=%-5v  loss=%.6f  accuracy=%.3f\n",
+			name, tbl.Mapped, model.Result.Value, model.Accuracy(tbl.X, y))
+		return model
+	}
+
+	original := train(m3.InMemory, "Original:")
+	viaM3 := train(m3.MemoryMapped, "M3:")
+
+	// Identical data + identical algorithm ⇒ identical model.
+	same := original.Intercept == viaM3.Intercept
+	for i := range original.Weights {
+		same = same && original.Weights[i] == viaM3.Weights[i]
+	}
+	fmt.Printf("\nmodels bit-identical across backends: %v\n", same)
+	fmt.Println("→ Table 1: out-of-core support with no algorithm changes.")
+}

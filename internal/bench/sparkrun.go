@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+
+	"m3/internal/cluster"
+	"m3/internal/mat"
+	"m3/internal/optimize"
+	"m3/internal/sparkml"
+)
+
+// newCluster builds the paper's EMR cluster of n m3.2xlarge workers.
+func newCluster(n int) (*cluster.Cluster, error) {
+	return cluster.New(n, cluster.M32XLarge(), cluster.DefaultCostModel())
+}
+
+// RunLogRegSpark trains the same logistic regression workload on a
+// simulated Spark cluster of n instances and reports the simulated
+// job time (cold start: the first pass reads HDFS).
+func RunLogRegSpark(instances int, w Workload) (Report, error) {
+	w, err := w.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	c, err := newCluster(instances)
+	if err != nil {
+		return Report{}, err
+	}
+	data, y := w.materialize()
+	x := mat.NewDenseFrom(data, w.ActualRows, w.Features)
+	pd, err := sparkml.Partition(c, x, y, w.NominalBytes)
+	if err != nil {
+		return Report{}, err
+	}
+	job, err := sparkml.NewLogRegJob(c, pd, 1e-4, true)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := optimize.LBFGS(job, make([]float64, job.Dim()), optimize.LBFGSParams{
+		MaxIterations: w.Iterations,
+		GradTol:       1e-12,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Name:       fmt.Sprintf("Spark x%d", instances),
+		Seconds:    c.Clock(),
+		Passes:     job.Passes,
+		FinalValue: res.Value,
+	}, nil
+}
+
+// RunKMeansSpark runs the same k-means workload on a simulated Spark
+// cluster of n instances.
+func RunKMeansSpark(instances int, w Workload) (Report, error) {
+	w, err := w.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	c, err := newCluster(instances)
+	if err != nil {
+		return Report{}, err
+	}
+	data, _ := w.materialize()
+	x := mat.NewDenseFrom(data, w.ActualRows, w.Features)
+	pd, err := sparkml.Partition(c, x, nil, w.NominalBytes)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := sparkml.KMeans(c, pd, sparkml.KMeansOptions{
+		K:             w.K,
+		Iterations:    w.Iterations,
+		InitCentroids: w.InitialCentroids(),
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Name:       fmt.Sprintf("Spark x%d", instances),
+		Seconds:    c.Clock(),
+		Passes:     res.Iterations,
+		FinalValue: res.Inertia,
+	}, nil
+}

@@ -1,0 +1,286 @@
+// Package blas provides the dense float64 linear-algebra kernels that
+// every layer of the M3 reproduction is built on: level-1 vector
+// operations, level-2 matrix-vector products over row-major storage,
+// and a blocked level-3 matrix-matrix multiply.
+//
+// All kernels operate on plain []float64 so they work identically on
+// heap-allocated slices and on slices that view a memory-mapped region
+// (the core idea of M3: mapped data is indistinguishable from
+// in-memory data).
+package blas
+
+import "math"
+
+// Dot returns the inner product of x and y.
+// It panics if the slices have different lengths.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("blas: dot length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Axpy computes y += alpha*x in place.
+// It panics if the slices have different lengths.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: axpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Scal scales x by alpha in place.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst. It panics if lengths differ.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("blas: copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Nrm2 returns the Euclidean norm of x, guarding against overflow for
+// very large components in the style of the reference BLAS.
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Asum returns the sum of absolute values of x.
+func Asum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Iamax returns the index of the element with the largest absolute
+// value, or -1 for an empty slice. Ties resolve to the lowest index.
+func Iamax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := math.Abs(x[0]), 0
+	for i := 1; i < len(x); i++ {
+		if a := math.Abs(x[i]); a > best {
+			best, bi = a, i
+		}
+	}
+	return bi
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s0, s1 float64
+	n := len(x)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		s0 += x[i]
+		s1 += x[i+1]
+	}
+	if i < n {
+		s0 += x[i]
+	}
+	return s0 + s1
+}
+
+// AddScaled computes dst[i] = x[i] + alpha*y[i]. The destination may
+// alias x. It panics on length mismatch.
+func AddScaled(dst []float64, x []float64, alpha float64, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("blas: addscaled length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] + alpha*y[i]
+	}
+}
+
+// SqDist returns the squared Euclidean distance between x and y.
+// It panics on length mismatch.
+func SqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("blas: sqdist length mismatch")
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Gemv computes y = alpha*A*x + beta*y for a row-major m×n matrix A
+// stored in a with leading dimension lda. It panics if the operand
+// shapes are inconsistent.
+func Gemv(m, n int, alpha float64, a []float64, lda int, x []float64, beta float64, y []float64) {
+	checkMatrix(m, n, a, lda)
+	if len(x) < n || len(y) < m {
+		panic("blas: gemv vector too short")
+	}
+	if beta != 1 {
+		if beta == 0 {
+			Fill(y[:m], 0)
+		} else {
+			Scal(beta, y[:m])
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		row := a[i*lda : i*lda+n]
+		y[i] += alpha * Dot(row, x[:n])
+	}
+}
+
+// GemvTrans computes y = alpha*Aᵀ*x + beta*y for a row-major m×n
+// matrix A; the result y has length n. Implemented as a sequence of
+// axpy updates so the matrix is still scanned row-by-row in storage
+// order (critical for M3: sequential scans page well).
+func GemvTrans(m, n int, alpha float64, a []float64, lda int, x []float64, beta float64, y []float64) {
+	checkMatrix(m, n, a, lda)
+	if len(x) < m || len(y) < n {
+		panic("blas: gemvtrans vector too short")
+	}
+	if beta != 1 {
+		if beta == 0 {
+			Fill(y[:n], 0)
+		} else {
+			Scal(beta, y[:n])
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		row := a[i*lda : i*lda+n]
+		Axpy(alpha*x[i], row, y[:n])
+	}
+}
+
+// Ger performs the rank-1 update A += alpha * x * yᵀ on a row-major
+// m×n matrix.
+func Ger(m, n int, alpha float64, x, y []float64, a []float64, lda int) {
+	checkMatrix(m, n, a, lda)
+	if len(x) < m || len(y) < n {
+		panic("blas: ger vector too short")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		Axpy(alpha*x[i], y[:n], a[i*lda:i*lda+n])
+	}
+}
+
+// gemmBlock is the cache-blocking tile edge for Gemm.
+const gemmBlock = 64
+
+// Gemm computes C = alpha*A*B + beta*C for row-major matrices:
+// A is m×k (lda), B is k×n (ldb), C is m×n (ldc). The inner loops are
+// tiled so large multiplies stay cache-resident.
+func Gemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	checkMatrix(m, k, a, lda)
+	checkMatrix(k, n, b, ldb)
+	checkMatrix(m, n, c, ldc)
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			row := c[i*ldc : i*ldc+n]
+			if beta == 0 {
+				Fill(row, 0)
+			} else {
+				Scal(beta, row)
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	for i0 := 0; i0 < m; i0 += gemmBlock {
+		iMax := min(i0+gemmBlock, m)
+		for p0 := 0; p0 < k; p0 += gemmBlock {
+			pMax := min(p0+gemmBlock, k)
+			for j0 := 0; j0 < n; j0 += gemmBlock {
+				jMax := min(j0+gemmBlock, n)
+				for i := i0; i < iMax; i++ {
+					crow := c[i*ldc : i*ldc+n]
+					arow := a[i*lda : i*lda+k]
+					for p := p0; p < pMax; p++ {
+						av := alpha * arow[p]
+						if av == 0 {
+							continue
+						}
+						brow := b[p*ldb : p*ldb+n]
+						for j := j0; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkMatrix(m, n int, a []float64, lda int) {
+	if m < 0 || n < 0 {
+		panic("blas: negative dimension")
+	}
+	if lda < n {
+		panic("blas: leading dimension smaller than row width")
+	}
+	if m > 0 && len(a) < (m-1)*lda+n {
+		panic("blas: matrix storage too short")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,273 @@
+// Package cluster simulates the Spark-on-EMR clusters the paper
+// compares against (Figure 1b: 4 and 8 m3.2xlarge instances reading
+// from HDFS). It is a deterministic cost-model simulator: distributed
+// algorithms execute their real math on partitioned data while the
+// cluster accounts simulated seconds for HDFS scans, RDD cache hits,
+// task/stage scheduling overhead, and treeAggregate network traffic.
+//
+// The model captures the structure that produces the paper's ratios:
+//
+//   - An 8-instance cluster has 240 GB of aggregate memory, so a
+//     190 GB dataset is (mostly) cached after the first pass and
+//     later iterations are compute-bound.
+//   - A 4-instance cluster (120 GB) cannot cache it all, so every
+//     iteration re-reads the uncached remainder from HDFS.
+//   - Every iteration pays fixed per-stage scheduling plus
+//     aggregation costs, which is why small clusters don't scale
+//     down gracefully and why one well-fed PC can win.
+package cluster
+
+import "fmt"
+
+// InstanceSpec describes one worker instance.
+type InstanceSpec struct {
+	// Name labels the instance type in reports.
+	Name string
+	// VCPUs is the number of task slots (hyperthreads).
+	VCPUs int
+	// MemoryBytes is the instance RAM.
+	MemoryBytes int64
+	// HDFSScanBytesPerSec is the effective per-instance throughput
+	// when reading RDD partitions from HDFS (disk + deserialization).
+	HDFSScanBytesPerSec float64
+	// ComputeBytesPerSec is the per-instance throughput of the ML
+	// inner loop over cached, deserialized data (all vCPUs busy).
+	ComputeBytesPerSec float64
+	// NetworkBytesPerSec is the NIC bandwidth used by shuffles,
+	// broadcasts and aggregation.
+	NetworkBytesPerSec float64
+}
+
+// Validate reports whether the spec is usable.
+func (s InstanceSpec) Validate() error {
+	if s.VCPUs <= 0 {
+		return fmt.Errorf("cluster: instance needs >= 1 vCPU")
+	}
+	if s.MemoryBytes <= 0 {
+		return fmt.Errorf("cluster: instance needs positive memory")
+	}
+	if s.HDFSScanBytesPerSec <= 0 || s.ComputeBytesPerSec <= 0 || s.NetworkBytesPerSec <= 0 {
+		return fmt.Errorf("cluster: instance throughputs must be positive")
+	}
+	return nil
+}
+
+// M32XLarge returns the paper's worker profile: an EC2 m3.2xlarge
+// (8 vCPUs, 30 GB RAM, 2×80 GB SSD) running Spark on EMR with data
+// in HDFS. Throughput constants are calibration values (documented
+// in EXPERIMENTS.md) chosen to land in the regime the paper reports;
+// the comparison's *shape* is insensitive to moderate changes.
+func M32XLarge() InstanceSpec {
+	return InstanceSpec{
+		Name:                "m3.2xlarge",
+		VCPUs:               8,
+		MemoryBytes:         30e9,
+		HDFSScanBytesPerSec: 75e6,  // HDFS read + deserialize
+		ComputeBytesPerSec:  230e6, // JVM ML inner loop, all cores
+		NetworkBytesPerSec:  125e6, // 1 Gb/s
+	}
+}
+
+// CostModel holds the fixed overheads of the Spark execution model.
+type CostModel struct {
+	// TaskOverheadSeconds is the per-task launch/teardown cost.
+	TaskOverheadSeconds float64
+	// StageOverheadSeconds is the per-stage scheduling cost paid by
+	// the driver for every job stage.
+	StageOverheadSeconds float64
+	// AggLatencySeconds is the per-level latency of treeAggregate.
+	AggLatencySeconds float64
+	// CacheFraction is the fraction of instance memory usable for
+	// RDD caching (spark.memory.fraction × storage share).
+	CacheFraction float64
+}
+
+// DefaultCostModel returns Spark-like defaults.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TaskOverheadSeconds:  0.02,
+		StageOverheadSeconds: 0.8,
+		AggLatencySeconds:    0.15,
+		CacheFraction:        0.55,
+	}
+}
+
+// Validate reports whether the cost model is usable.
+func (c CostModel) Validate() error {
+	if c.TaskOverheadSeconds < 0 || c.StageOverheadSeconds < 0 || c.AggLatencySeconds < 0 {
+		return fmt.Errorf("cluster: negative overhead")
+	}
+	if c.CacheFraction <= 0 || c.CacheFraction > 1 {
+		return fmt.Errorf("cluster: cache fraction %v outside (0,1]", c.CacheFraction)
+	}
+	return nil
+}
+
+// Cluster is a simulated Spark cluster with a monotonically advancing
+// simulated clock.
+type Cluster struct {
+	instances int
+	spec      InstanceSpec
+	cost      CostModel
+	clock     float64
+	stages    int
+}
+
+// New creates a cluster of n identical instances.
+func New(n int, spec InstanceSpec, cost CostModel) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need >= 1 instance, got %d", n)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{instances: n, spec: spec, cost: cost}, nil
+}
+
+// Instances returns the worker count.
+func (c *Cluster) Instances() int { return c.instances }
+
+// Spec returns the instance profile.
+func (c *Cluster) Spec() InstanceSpec { return c.spec }
+
+// Clock returns the simulated elapsed seconds.
+func (c *Cluster) Clock() float64 { return c.clock }
+
+// Stages returns the number of stages executed.
+func (c *Cluster) Stages() int { return c.stages }
+
+// ResetClock zeroes the simulated clock and stage counter (cache
+// state of datasets is unaffected).
+func (c *Cluster) ResetClock() { c.clock, c.stages = 0, 0 }
+
+// CacheCapacityBytes is the aggregate RDD cache across the cluster.
+func (c *Cluster) CacheCapacityBytes() int64 {
+	return int64(float64(c.instances) * float64(c.spec.MemoryBytes) * c.cost.CacheFraction)
+}
+
+// advance adds simulated seconds to the clock.
+func (c *Cluster) advance(t float64) {
+	if t > 0 {
+		c.clock += t
+	}
+}
+
+// RDD is a partitioned dataset resident in the cluster, with nominal
+// size accounting and cache state. Partition contents (for the real
+// math) live with the algorithm; the RDD tracks only sizes.
+type RDD struct {
+	// NominalBytes is the modelled dataset size.
+	NominalBytes int64
+	// Partitions is the partition count (Spark default: 2–3 tasks
+	// per core).
+	Partitions int
+	// cachedBytes of the dataset currently in the RDD cache.
+	cachedBytes int64
+}
+
+// NewRDD registers a dataset of nominalBytes split into partitions.
+// A non-positive partition count defaults to 2 tasks per core.
+func (c *Cluster) NewRDD(nominalBytes int64, partitions int) (*RDD, error) {
+	if nominalBytes <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive dataset size %d", nominalBytes)
+	}
+	if partitions <= 0 {
+		partitions = 2 * c.instances * c.spec.VCPUs
+	}
+	return &RDD{NominalBytes: nominalBytes, Partitions: partitions}, nil
+}
+
+// CachedFraction reports how much of the RDD is cache-resident.
+func (r *RDD) CachedFraction() float64 {
+	return float64(r.cachedBytes) / float64(r.NominalBytes)
+}
+
+// ScanStage simulates one full pass over the RDD (e.g. a gradient or
+// assignment stage): uncached bytes stream from HDFS, cached bytes
+// are processed at compute speed, and the slower of I/O and compute
+// paces each task (Spark pipelines the read into the task). After
+// the pass, as much of the dataset as fits is cached (MEMORY_ONLY
+// semantics with LRU keeping a stable prefix).
+//
+// It returns the stage's simulated seconds (also added to the clock).
+func (c *Cluster) ScanStage(r *RDD) float64 {
+	perPartition := float64(r.NominalBytes) / float64(r.Partitions)
+	cachedParts := int(float64(r.cachedBytes) / perPartition)
+	if cachedParts > r.Partitions {
+		cachedParts = r.Partitions
+	}
+
+	// Per-task seconds: cached tasks are compute-paced; uncached
+	// tasks are paced by max(HDFS scan, compute) because Spark
+	// overlaps read and compute within a task. Throughputs are
+	// per-instance, shared by the VCPUs slots of one wave.
+	slotScan := c.spec.HDFSScanBytesPerSec / float64(c.spec.VCPUs)
+	slotCompute := c.spec.ComputeBytesPerSec / float64(c.spec.VCPUs)
+	coldTask := perPartition/minf(slotScan, slotCompute) + c.cost.TaskOverheadSeconds
+	warmTask := perPartition/slotCompute + c.cost.TaskOverheadSeconds
+
+	// Greedy wave scheduling over identical slots: total work time
+	// divided by slot count, plus one tail wave approximation.
+	slots := float64(c.instances * c.spec.VCPUs)
+	coldWork := float64(r.Partitions-cachedParts) * coldTask
+	warmWork := float64(cachedParts) * warmTask
+	stage := (coldWork+warmWork)/slots + c.cost.StageOverheadSeconds
+
+	// Cache fill after the pass.
+	capacity := c.CacheCapacityBytes()
+	if r.NominalBytes <= capacity {
+		r.cachedBytes = r.NominalBytes
+	} else {
+		r.cachedBytes = capacity
+	}
+
+	c.advance(stage)
+	c.stages++
+	return stage
+}
+
+// AggregateStage simulates a treeAggregate of a vectorBytes-sized
+// value (gradients, centroid sums): ceil(log2(instances)) levels,
+// each paying network transfer plus fixed latency, then the final
+// hop to the driver.
+func (c *Cluster) AggregateStage(vectorBytes int64) float64 {
+	levels := 1
+	for n := c.instances; n > 2; n = (n + 1) / 2 {
+		levels++
+	}
+	per := c.cost.AggLatencySeconds + float64(vectorBytes)/c.spec.NetworkBytesPerSec
+	t := float64(levels) * per
+	c.advance(t)
+	return t
+}
+
+// BroadcastStage simulates broadcasting vectorBytes to every
+// instance (BitTorrent-style: log2 rounds).
+func (c *Cluster) BroadcastStage(vectorBytes int64) float64 {
+	rounds := 1
+	for n := 1; n < c.instances; n *= 2 {
+		rounds++
+	}
+	t := float64(rounds) * (c.cost.AggLatencySeconds/2 + float64(vectorBytes)/c.spec.NetworkBytesPerSec)
+	c.advance(t)
+	return t
+}
+
+// DriverCompute accounts driver-local work (e.g. the L-BFGS update),
+// which is serial and uses one instance's single-core speed.
+func (c *Cluster) DriverCompute(bytes int64) float64 {
+	perCore := c.spec.ComputeBytesPerSec / float64(c.spec.VCPUs)
+	t := float64(bytes) / perCore
+	c.advance(t)
+	return t
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,256 @@
+// Package core ties M3 together: it manages dataset lifecycles and
+// picks storage backends so that algorithm code never changes when a
+// dataset outgrows RAM. This is the paper's contribution in API form —
+// the "M3" column of Table 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"m3/internal/dataset"
+	"m3/internal/mat"
+	"m3/internal/mmap"
+	"m3/internal/store"
+)
+
+// Mode selects a storage backend explicitly.
+type Mode int
+
+const (
+	// Auto maps files larger than the memory budget and loads
+	// smaller ones onto the heap.
+	Auto Mode = iota
+	// InMemory always loads onto the Go heap (Table 1 "Original").
+	InMemory
+	// MemoryMapped always maps (Table 1 "M3").
+	MemoryMapped
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case InMemory:
+		return "in-memory"
+	case MemoryMapped:
+		return "memory-mapped"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// MemoryBudget is the heap budget used by Auto mode to decide
+	// between loading and mapping (default: 1 GiB).
+	MemoryBudget int64
+	// Mode overrides backend selection.
+	Mode Mode
+	// Advise is applied to new mappings (default Sequential — ML
+	// training scans).
+	Advise mmap.Advice
+	// TempDir hosts scratch allocations (default os.TempDir()).
+	TempDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 1 << 30
+	}
+	if c.TempDir == "" {
+		c.TempDir = os.TempDir()
+	}
+	return c
+}
+
+// Engine is an M3 session: it opens datasets with transparent backend
+// selection and tracks every resource for a single Close.
+type Engine struct {
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	open   []closer
+	nalloc int
+}
+
+type closer interface{ Close() error }
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("core: engine is closed")
+
+// track registers a resource for Close.
+func (e *Engine) track(c closer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return ErrClosed
+	}
+	e.open = append(e.open, c)
+	return nil
+}
+
+// Table is an opened dataset: a feature matrix plus optional labels,
+// backed by heap or mapping according to the engine's policy.
+type Table struct {
+	// X is the feature matrix.
+	X *mat.Dense
+	// Labels is the label vector (nil if the file has none).
+	Labels []float64
+	// Mapped reports whether the backing is a memory mapping.
+	Mapped bool
+	// Path is the source file.
+	Path string
+
+	res closer
+}
+
+// Close releases the table's backing store (idempotent).
+func (t *Table) Close() error {
+	if t.res == nil {
+		return nil
+	}
+	err := t.res.Close()
+	t.res = nil
+	return err
+}
+
+type heapTable struct{}
+
+func (heapTable) Close() error { return nil }
+
+// Open opens an M3 dataset file, choosing the backend per the
+// engine's mode, and returns its matrix view.
+func (e *Engine) Open(path string) (*Table, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.mu.Unlock()
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	mode := e.cfg.Mode
+	if mode == Auto {
+		if fi.Size() > e.cfg.MemoryBudget {
+			mode = MemoryMapped
+		} else {
+			mode = InMemory
+		}
+	}
+
+	switch mode {
+	case InMemory:
+		x, labels, hdr, err := dataset.ReadAll(path)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			X:      mat.NewDenseFrom(x, int(hdr.Rows), int(hdr.Cols)),
+			Labels: labels,
+			Path:   path,
+			res:    heapTable{},
+		}
+		if err := e.track(t); err != nil {
+			return nil, err
+		}
+		return t, nil
+
+	case MemoryMapped:
+		ds, err := dataset.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.Advise(e.cfg.Advise); err != nil {
+			ds.Close()
+			return nil, err
+		}
+		t := &Table{
+			X:      ds.X(),
+			Labels: ds.Labels(),
+			Mapped: true,
+			Path:   path,
+			res:    ds,
+		}
+		if err := e.track(t); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("core: unknown mode %v", mode)
+}
+
+// Alloc creates a rows×cols scratch matrix backed by a file-backed
+// mapping in the engine's temp dir — the paper's mmapAlloc: a buffer
+// that can exceed RAM. The matrix is writable; the backing file is
+// removed on Close.
+func (e *Engine) Alloc(rows, cols int) (*mat.Dense, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("core: non-positive dimensions %dx%d", rows, cols)
+	}
+	e.mu.Lock()
+	e.nalloc++
+	path := filepath.Join(e.cfg.TempDir, fmt.Sprintf("m3-alloc-%d-%d.bin", os.Getpid(), e.nalloc))
+	e.mu.Unlock()
+
+	ms, err := store.CreateMapped(path, int64(rows)*int64(cols))
+	if err != nil {
+		return nil, err
+	}
+	d, err := mat.NewDenseStore(ms, rows, cols)
+	if err != nil {
+		ms.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := e.track(&scratch{Mapped: ms, path: path}); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return d, nil
+}
+
+// scratch couples a mapped store with its backing file for cleanup.
+type scratch struct {
+	*store.Mapped
+	path string
+}
+
+func (s *scratch) Close() error {
+	err := s.Mapped.Close()
+	if rmErr := os.Remove(s.path); rmErr != nil && err == nil && !os.IsNotExist(rmErr) {
+		err = rmErr
+	}
+	return err
+}
+
+// Close releases every resource the engine opened, returning the
+// first error. It is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var first error
+	for i := len(e.open) - 1; i >= 0; i-- {
+		if err := e.open[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.open = nil
+	return first
+}

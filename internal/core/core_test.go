@@ -1,0 +1,162 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"m3/internal/infimnist"
+)
+
+func writeTestDataset(t *testing.T, n int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.m3")
+	if err := (infimnist.Generator{Seed: 5}).WriteDataset(path, n); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenAutoSmallLoadsHeap(t *testing.T) {
+	path := writeTestDataset(t, 10)
+	e := New(Config{MemoryBudget: 1 << 30})
+	defer e.Close()
+	tbl, err := e.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Mapped {
+		t.Error("small dataset was mapped in Auto mode")
+	}
+	if tbl.X.Rows() != 10 || tbl.X.Cols() != infimnist.Features {
+		t.Errorf("dims %dx%d", tbl.X.Rows(), tbl.X.Cols())
+	}
+	if len(tbl.Labels) != 10 {
+		t.Errorf("labels %d", len(tbl.Labels))
+	}
+}
+
+func TestOpenAutoLargeMaps(t *testing.T) {
+	path := writeTestDataset(t, 10)
+	e := New(Config{MemoryBudget: 1024}) // tiny budget forces mapping
+	defer e.Close()
+	tbl, err := e.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Mapped {
+		t.Error("large dataset not mapped in Auto mode")
+	}
+}
+
+func TestOpenExplicitModes(t *testing.T) {
+	path := writeTestDataset(t, 5)
+	for _, mode := range []Mode{InMemory, MemoryMapped} {
+		e := New(Config{Mode: mode})
+		tbl, err := e.Open(path)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if got := tbl.Mapped; got != (mode == MemoryMapped) {
+			t.Errorf("%v: Mapped = %v", mode, got)
+		}
+		// Both backends expose identical data.
+		img, _ := (infimnist.Generator{Seed: 5}).Image(3)
+		for j := 0; j < 20; j++ {
+			if tbl.X.At(3, j) != img[j] {
+				t.Fatalf("%v: X(3,%d) = %v want %v", mode, j, tbl.X.At(3, j), img[j])
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	if _, err := e.Open(filepath.Join(t.TempDir(), "nope.m3")); err == nil {
+		t.Error("opened missing file")
+	}
+}
+
+func TestAllocScratch(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{TempDir: dir})
+	m, err := e.Alloc(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(99, 49, 7)
+	if m.At(99, 49) != 7 {
+		t.Error("scratch write failed")
+	}
+	// Backing file exists while open…
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp entries = %d", len(entries))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// …and is removed on Close.
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("temp files left after Close: %v", entries)
+	}
+}
+
+func TestAllocValidation(t *testing.T) {
+	e := New(Config{TempDir: t.TempDir()})
+	defer e.Close()
+	if _, err := e.Alloc(0, 5); err == nil {
+		t.Error("accepted zero rows")
+	}
+}
+
+func TestClosedEngineRefuses(t *testing.T) {
+	path := writeTestDataset(t, 3)
+	e := New(Config{})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Open(path); err != ErrClosed {
+		t.Errorf("Open after Close = %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("double Close = %v", err)
+	}
+}
+
+func TestTableCloseIdempotent(t *testing.T) {
+	path := writeTestDataset(t, 3)
+	e := New(Config{Mode: MemoryMapped})
+	defer e.Close()
+	tbl, err := e.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Close(); err != nil {
+		t.Errorf("second table Close: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		Auto: "auto", InMemory: "in-memory", MemoryMapped: "memory-mapped", Mode(9): "mode(9)",
+	} {
+		if m.String() != want {
+			t.Errorf("Mode(%d) = %q want %q", int(m), m.String(), want)
+		}
+	}
+}

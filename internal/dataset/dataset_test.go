@@ -1,0 +1,339 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Rows: 123, Cols: 456, HasLabels: true, Checksum: 0xdeadbeef}
+	got, err := parseHeader(h.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: %+v != %+v", got, h)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	good := Header{Rows: 1, Cols: 1}.marshal()
+
+	short := good[:100]
+	if _, err := parseHeader(short); err == nil {
+		t.Error("accepted short header")
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+	if _, err := parseHeader(badMagic); err == nil {
+		t.Error("accepted bad magic")
+	}
+
+	badVer := append([]byte(nil), good...)
+	badVer[8] = 99
+	if _, err := parseHeader(badVer); err == nil {
+		t.Error("accepted bad version")
+	}
+
+	zeroRows := Header{Rows: 0, Cols: 5}
+	if _, err := parseHeader(zeroRows.marshal()); err == nil {
+		t.Error("accepted zero rows")
+	}
+}
+
+func TestHeaderSizes(t *testing.T) {
+	h := Header{Rows: 10, Cols: 4, HasLabels: true}
+	if h.DataBytes() != 320 {
+		t.Errorf("DataBytes = %d", h.DataBytes())
+	}
+	if h.LabelBytes() != 80 {
+		t.Errorf("LabelBytes = %d", h.LabelBytes())
+	}
+	if h.FileSize() != HeaderSize+400 {
+		t.Errorf("FileSize = %d", h.FileSize())
+	}
+	h.HasLabels = false
+	if h.LabelBytes() != 0 {
+		t.Errorf("LabelBytes without labels = %d", h.LabelBytes())
+	}
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	path := tmpPath(t, "rt.m3")
+	data := make([]float64, 20)
+	labels := make([]float64, 5)
+	for i := range data {
+		data[i] = float64(i) * 0.5
+	}
+	for i := range labels {
+		labels[i] = float64(i % 2)
+	}
+	if err := WriteMatrix(path, data, 5, 4, labels); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Rows != 5 || d.Cols != 4 || !d.HasLabels {
+		t.Fatalf("header = %+v", d.Header)
+	}
+	for i, v := range d.RawX() {
+		if v != float64(i)*0.5 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+	for i, v := range d.Labels() {
+		if v != float64(i%2) {
+			t.Fatalf("label[%d] = %v", i, v)
+		}
+	}
+	if err := d.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	m := d.X()
+	if m.Rows() != 5 || m.Cols() != 4 {
+		t.Errorf("X dims %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 3) != data[11] {
+		t.Errorf("X(2,3) = %v want %v", m.At(2, 3), data[11])
+	}
+}
+
+func TestWriteMatrixNoLabels(t *testing.T) {
+	path := tmpPath(t, "nl.m3")
+	if err := WriteMatrix(path, []float64{1, 2, 3, 4}, 2, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.HasLabels || d.Labels() != nil {
+		t.Error("labels unexpectedly present")
+	}
+}
+
+func TestWriterRowValidation(t *testing.T) {
+	path := tmpPath(t, "v.m3")
+	w, err := Create(path, 2, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow([]float64{1, 2}, 0); err == nil {
+		t.Error("accepted short row")
+	}
+	if err := w.WriteRow([]float64{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Close with missing rows must fail.
+	if err := w.Close(); err == nil {
+		t.Error("Close accepted missing rows")
+	}
+}
+
+func TestWriterTooManyRows(t *testing.T) {
+	w, err := Create(tmpPath(t, "o.m3"), 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow([]float64{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow([]float64{2}, 0); err == nil {
+		t.Error("accepted extra row")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Writing after close fails; double close is fine.
+	if err := w.WriteRow([]float64{3}, 0); err == nil {
+		t.Error("write after close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	path := tmpPath(t, "tr.m3")
+	if err := WriteMatrix(path, []float64{1, 2, 3, 4}, 2, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, HeaderSize+8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("opened truncated file")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := tmpPath(t, "g.m3")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0xff}, HeaderSize*2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("opened garbage file")
+	}
+	if _, err := Open(tmpPath(t, "missing.m3")); err == nil {
+		t.Error("opened missing file")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	path := tmpPath(t, "c.m3")
+	if err := WriteMatrix(path, []float64{1, 2, 3, 4}, 2, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0x42}, HeaderSize+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Verify(); err == nil {
+		t.Error("Verify missed corruption")
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	path := tmpPath(t, "ra.m3")
+	data := []float64{1, 2, 3, 4, 5, 6}
+	labels := []float64{0, 1}
+	if err := WriteMatrix(path, data, 2, 3, labels); err != nil {
+		t.Fatal(err)
+	}
+	x, got, hdr, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Rows != 2 || hdr.Cols != 3 {
+		t.Fatalf("hdr %+v", hdr)
+	}
+	for i := range data {
+		if x[i] != data[i] {
+			t.Fatalf("x[%d] = %v", i, x[i])
+		}
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("labels[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	csvPath := tmpPath(t, "in.csv")
+	csvData := "1,2,0\n3,4,1\n5.5,6.5,0\n"
+	if err := os.WriteFile(csvPath, []byte(csvData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := tmpPath(t, "out.m3")
+	if err := ImportCSV(csvPath, outPath, true); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Rows != 3 || d.Cols != 2 || !d.HasLabels {
+		t.Fatalf("imported header %+v", d.Header)
+	}
+	if d.RawX()[4] != 5.5 || d.Labels()[1] != 1 {
+		t.Errorf("imported values wrong: %v %v", d.RawX(), d.Labels())
+	}
+
+	var buf bytes.Buffer
+	if err := d.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != csvData {
+		t.Errorf("ExportCSV = %q want %q", got, csvData)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	empty := tmpPath(t, "e.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImportCSV(empty, tmpPath(t, "e.m3"), false); err == nil {
+		t.Error("imported empty csv")
+	}
+
+	bad := tmpPath(t, "b.csv")
+	if err := os.WriteFile(bad, []byte("1,hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImportCSV(bad, tmpPath(t, "b.m3"), false); err == nil {
+		t.Error("imported non-numeric csv")
+	}
+	if err := ImportCSV(bad, tmpPath(t, "b2.m3"), true); err == nil ||
+		!strings.Contains(err.Error(), "bad number") {
+		t.Errorf("label import error = %v", err)
+	}
+
+	one := tmpPath(t, "one.csv")
+	if err := os.WriteFile(one, []byte("1\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImportCSV(one, tmpPath(t, "one.m3"), true); err == nil {
+		t.Error("accepted 1-column csv with labelLast")
+	}
+}
+
+func TestLargeSparseDatasetOpens(t *testing.T) {
+	// A dataset much larger than this test's heap usage must open
+	// instantly because Open maps rather than reads.
+	path := tmpPath(t, "big.m3")
+	const rows, cols = 1 << 17, 128 // 128 MiB payload
+	w, err := Create(path, rows, cols, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		row[0] = float64(i)
+		if err := w.WriteRow(row, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Spot-check a few rows without scanning everything.
+	m := d.X()
+	for _, i := range []int{0, 1, rows / 2, rows - 1} {
+		if got := m.At(i, 0); got != float64(i) {
+			t.Errorf("row %d marker = %v", i, got)
+		}
+	}
+}

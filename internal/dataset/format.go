@@ -1,0 +1,117 @@
+// Package dataset defines the on-disk format M3 datasets use and
+// streaming reader/writer implementations.
+//
+// Layout of a .m3 file:
+//
+//	offset 0      header page (4096 bytes, little-endian):
+//	               [0:8)   magic "M3DSET1\n"
+//	               [8:12)  format version (uint32, currently 1)
+//	               [12:16) flags (uint32; bit 0 = labels present)
+//	               [16:24) rows (int64)
+//	               [24:32) cols (int64)
+//	               [32:40) CRC64/ECMA of the payload (uint64; 0 = unset)
+//	               rest    zero padding
+//	offset 4096   X payload: rows*cols float64, row-major
+//	then          labels: rows float64 (only if flag bit 0)
+//
+// The header occupies exactly one page so the payload begins
+// page-aligned: a Dataset can therefore be memory-mapped and handed
+// to algorithms without any copying or parsing — the property M3
+// depends on.
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+)
+
+// Magic identifies an M3 dataset file.
+const Magic = "M3DSET1\n"
+
+// HeaderSize is the page-aligned header length in bytes.
+const HeaderSize = 4096
+
+// Version is the current format version.
+const Version = 1
+
+// flag bits
+const flagLabels = 1 << 0
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Header describes a dataset file.
+type Header struct {
+	Rows      int64
+	Cols      int64
+	HasLabels bool
+	// Checksum is the CRC64/ECMA of the payload (X then labels);
+	// zero means the writer did not record one.
+	Checksum uint64
+}
+
+// DataBytes returns the X payload size in bytes.
+func (h Header) DataBytes() int64 { return h.Rows * h.Cols * 8 }
+
+// LabelBytes returns the label payload size in bytes.
+func (h Header) LabelBytes() int64 {
+	if !h.HasLabels {
+		return 0
+	}
+	return h.Rows * 8
+}
+
+// FileSize returns the total file size implied by the header.
+func (h Header) FileSize() int64 { return HeaderSize + h.DataBytes() + h.LabelBytes() }
+
+// Validate checks internal consistency.
+func (h Header) Validate() error {
+	if h.Rows <= 0 || h.Cols <= 0 {
+		return fmt.Errorf("dataset: non-positive dimensions %dx%d", h.Rows, h.Cols)
+	}
+	if h.Rows > math.MaxInt64/8/h.Cols {
+		return fmt.Errorf("dataset: %dx%d overflows", h.Rows, h.Cols)
+	}
+	return nil
+}
+
+// marshal encodes the header into a HeaderSize-byte page.
+func (h Header) marshal() []byte {
+	b := make([]byte, HeaderSize)
+	copy(b, Magic)
+	binary.LittleEndian.PutUint32(b[8:], Version)
+	var flags uint32
+	if h.HasLabels {
+		flags |= flagLabels
+	}
+	binary.LittleEndian.PutUint32(b[12:], flags)
+	binary.LittleEndian.PutUint64(b[16:], uint64(h.Rows))
+	binary.LittleEndian.PutUint64(b[24:], uint64(h.Cols))
+	binary.LittleEndian.PutUint64(b[32:], h.Checksum)
+	return b
+}
+
+// parseHeader decodes and validates a header page.
+func parseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("dataset: truncated header (%d bytes)", len(b))
+	}
+	if string(b[:8]) != Magic {
+		return Header{}, fmt.Errorf("dataset: bad magic %q", b[:8])
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != Version {
+		return Header{}, fmt.Errorf("dataset: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint32(b[12:])
+	h := Header{
+		Rows:      int64(binary.LittleEndian.Uint64(b[16:])),
+		Cols:      int64(binary.LittleEndian.Uint64(b[24:])),
+		HasLabels: flags&flagLabels != 0,
+		Checksum:  binary.LittleEndian.Uint64(b[32:]),
+	}
+	if err := h.Validate(); err != nil {
+		return Header{}, err
+	}
+	return h, nil
+}

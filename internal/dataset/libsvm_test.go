@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestImportLibSVM(t *testing.T) {
+	svm := filepath.Join(t.TempDir(), "in.svm")
+	content := "1 1:0.5 3:2\n0 2:1.5\n# comment line\n\n1 1:-1 2:0.25 3:7\n"
+	if err := os.WriteFile(svm, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.m3")
+	if err := ImportLibSVM(svm, out); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Rows != 3 || d.Cols != 3 || !d.HasLabels {
+		t.Fatalf("header %+v", d.Header)
+	}
+	wantX := []float64{0.5, 0, 2, 0, 1.5, 0, -1, 0.25, 7}
+	for i, v := range wantX {
+		if d.RawX()[i] != v {
+			t.Errorf("x[%d] = %v want %v", i, d.RawX()[i], v)
+		}
+	}
+	wantY := []float64{1, 0, 1}
+	for i, v := range wantY {
+		if d.Labels()[i] != v {
+			t.Errorf("y[%d] = %v want %v", i, d.Labels()[i], v)
+		}
+	}
+}
+
+func TestImportLibSVMErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"empty":     "",
+		"nofeat":    "1\n0\n",
+		"badlabel":  "abc 1:2\n",
+		"badidx":    "1 0:2\n",
+		"badval":    "1 1:xyz\n",
+		"colonless": "1 12\n",
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name+".svm")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := ImportLibSVM(p, filepath.Join(dir, name+".m3")); err == nil {
+			t.Errorf("%s: import succeeded on invalid input", name)
+		}
+	}
+}
+
+func TestExportLibSVMRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rt.m3")
+	data := []float64{1, 0, 2, 0, 0, 3}
+	labels := []float64{1, 0}
+	if err := WriteMatrix(path, data, 2, 3, labels); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var buf bytes.Buffer
+	if err := d.ExportLibSVM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "1 1:1 3:2\n0 3:3\n"
+	if got := buf.String(); got != want {
+		t.Errorf("export = %q want %q", got, want)
+	}
+
+	// Re-import lands on the same dense content.
+	svm := filepath.Join(t.TempDir(), "rt.svm")
+	if err := os.WriteFile(svm, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(t.TempDir(), "back.m3")
+	if err := ImportLibSVM(svm, back); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for i, v := range data {
+		if d2.RawX()[i] != v {
+			t.Errorf("roundtrip x[%d] = %v want %v", i, d2.RawX()[i], v)
+		}
+	}
+}
+
+func TestExportLibSVMNoLabels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nl.m3")
+	if err := WriteMatrix(path, []float64{5}, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var buf bytes.Buffer
+	if err := d.ExportLibSVM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "0 1:5") {
+		t.Errorf("export = %q", buf.String())
+	}
+}

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+
+	"m3/internal/mat"
+	"m3/internal/mmap"
+)
+
+// Dataset is an opened dataset file whose payload is memory-mapped —
+// opening a 190 GB file costs one header read and one mmap call, and
+// pages materialize only as algorithms touch them.
+type Dataset struct {
+	Header
+	region *mmap.Region
+	x      []float64
+	labels []float64
+	path   string
+}
+
+// Open memory-maps a dataset file read-only.
+func Open(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hdrPage := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(f, hdrPage); err != nil {
+		return nil, fmt.Errorf("dataset: reading header of %q: %w", path, err)
+	}
+	hdr, err := parseHeader(hdrPage)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %q: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() < hdr.FileSize() {
+		return nil, fmt.Errorf("dataset: %q truncated: %d bytes, header implies %d", path, fi.Size(), hdr.FileSize())
+	}
+	region, err := mmap.Map(f, 0, int(hdr.FileSize()), false)
+	if err != nil {
+		return nil, err
+	}
+	all, err := region.Float64()
+	if err != nil {
+		region.Unmap()
+		return nil, err
+	}
+	headerElems := HeaderSize / 8
+	n := hdr.Rows * hdr.Cols
+	d := &Dataset{
+		Header: hdr,
+		region: region,
+		x:      all[headerElems : headerElems+int(n)],
+		path:   path,
+	}
+	if hdr.HasLabels {
+		d.labels = all[headerElems+int(n) : headerElems+int(n)+int(hdr.Rows)]
+	}
+	return d, nil
+}
+
+// X returns the feature matrix as a view over the mapping.
+func (d *Dataset) X() *mat.Dense {
+	return mat.NewDenseFrom(d.x, int(d.Rows), int(d.Cols))
+}
+
+// RawX returns the mapped feature payload.
+func (d *Dataset) RawX() []float64 { return d.x }
+
+// Labels returns the mapped label vector, or nil if absent.
+func (d *Dataset) Labels() []float64 { return d.labels }
+
+// Path returns the file path.
+func (d *Dataset) Path() string { return d.path }
+
+// Advise forwards an access-pattern hint for the whole mapping.
+func (d *Dataset) Advise(a mmap.Advice) error { return d.region.Advise(a) }
+
+// Region exposes the underlying mapping.
+func (d *Dataset) Region() *mmap.Region { return d.region }
+
+// Close unmaps the file.
+func (d *Dataset) Close() error {
+	d.x, d.labels = nil, nil
+	return d.region.Unmap()
+}
+
+// ReadAll loads an entire dataset into heap memory — the "Original"
+// path of Table 1, feasible only when the data fits in RAM.
+func ReadAll(path string) (x []float64, labels []float64, hdr Header, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, Header{}, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	hdrPage := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(br, hdrPage); err != nil {
+		return nil, nil, Header{}, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	hdr, err = parseHeader(hdrPage)
+	if err != nil {
+		return nil, nil, Header{}, err
+	}
+	x = make([]float64, hdr.Rows*hdr.Cols)
+	if err := readFloats(br, x); err != nil {
+		return nil, nil, Header{}, fmt.Errorf("dataset: reading payload: %w", err)
+	}
+	if hdr.HasLabels {
+		labels = make([]float64, hdr.Rows)
+		if err := readFloats(br, labels); err != nil {
+			return nil, nil, Header{}, fmt.Errorf("dataset: reading labels: %w", err)
+		}
+	}
+	return x, labels, hdr, nil
+}
+
+func readFloats(r io.Reader, dst []float64) error {
+	buf := make([]byte, 1<<16)
+	for len(dst) > 0 {
+		n := len(buf) / 8
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// Verify recomputes the payload checksum of an open dataset and
+// compares it to the recorded one. A zero recorded checksum verifies
+// trivially.
+func (d *Dataset) Verify() error {
+	if d.Checksum == 0 {
+		return nil
+	}
+	crc := crcFloats(0, d.x)
+	if d.HasLabels {
+		crc = crcFloats(crc, d.labels)
+	}
+	if crc != d.Checksum {
+		return fmt.Errorf("dataset: checksum mismatch: file records %#x, payload hashes to %#x", d.Checksum, crc)
+	}
+	return nil
+}
+
+func crcFloats(seed uint64, fs []float64) uint64 {
+	buf := make([]byte, 8)
+	crc := seed
+	for _, v := range fs {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		crc = crc64.Update(crc, crcTable, buf)
+	}
+	return crc
+}

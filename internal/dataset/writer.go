@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+)
+
+// Writer streams a dataset to disk row by row, so arbitrarily large
+// files can be produced with constant memory — the tool that builds
+// the paper's 190 GB Infimnist file works this way.
+type Writer struct {
+	f       *os.File
+	buf     *bufio.Writer
+	hdr     Header
+	crc     uint64
+	written int64 // rows written
+	labels  []float64
+	scratch []byte
+	closed  bool
+}
+
+// Create starts a new dataset file with the given shape. If hasLabels
+// is true, each WriteRow must supply a label and the label block is
+// appended after the matrix payload at Close.
+func Create(path string, rows, cols int64, hasLabels bool) (*Writer, error) {
+	hdr := Header{Rows: rows, Cols: cols, HasLabels: hasLabels}
+	if err := hdr.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		f:       f,
+		buf:     bufio.NewWriterSize(f, 1<<20),
+		hdr:     hdr,
+		scratch: make([]byte, cols*8),
+	}
+	if hasLabels {
+		w.labels = make([]float64, 0, rows)
+	}
+	// Reserve the header page; the final header (with checksum) is
+	// rewritten at Close.
+	if _, err := w.buf.Write(hdr.marshal()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteRow appends one feature row (and its label when the dataset
+// has labels; pass 0 otherwise — it is ignored).
+func (w *Writer) WriteRow(row []float64, label float64) error {
+	if w.closed {
+		return fmt.Errorf("dataset: writer closed")
+	}
+	if int64(len(row)) != w.hdr.Cols {
+		return fmt.Errorf("dataset: row of %d values, want %d", len(row), w.hdr.Cols)
+	}
+	if w.written >= w.hdr.Rows {
+		return fmt.Errorf("dataset: too many rows (declared %d)", w.hdr.Rows)
+	}
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(w.scratch[i*8:], math.Float64bits(v))
+	}
+	if _, err := w.buf.Write(w.scratch); err != nil {
+		return err
+	}
+	w.crc = crc64.Update(w.crc, crcTable, w.scratch)
+	if w.hdr.HasLabels {
+		w.labels = append(w.labels, label)
+	}
+	w.written++
+	return nil
+}
+
+// Close flushes the payload, appends labels, rewrites the header with
+// the payload checksum, and closes the file. It fails if fewer rows
+// than declared were written.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.written != w.hdr.Rows {
+		w.f.Close()
+		return fmt.Errorf("dataset: wrote %d of %d declared rows", w.written, w.hdr.Rows)
+	}
+	if w.hdr.HasLabels {
+		lb := make([]byte, 8)
+		for _, v := range w.labels {
+			binary.LittleEndian.PutUint64(lb, math.Float64bits(v))
+			if _, err := w.buf.Write(lb); err != nil {
+				w.f.Close()
+				return err
+			}
+			w.crc = crc64.Update(w.crc, crcTable, lb)
+		}
+	}
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.hdr.Checksum = w.crc
+	if _, err := w.f.WriteAt(w.hdr.marshal(), 0); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// WriteMatrix writes an in-memory row-major matrix (and optional
+// labels, which may be nil) in one call.
+func WriteMatrix(path string, data []float64, rows, cols int64, labels []float64) error {
+	if int64(len(data)) != rows*cols {
+		return fmt.Errorf("dataset: data length %d != %d*%d", len(data), rows, cols)
+	}
+	hasLabels := labels != nil
+	if hasLabels && int64(len(labels)) != rows {
+		return fmt.Errorf("dataset: %d labels for %d rows", len(labels), rows)
+	}
+	w, err := Create(path, rows, cols, hasLabels)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < rows; i++ {
+		var label float64
+		if hasLabels {
+			label = labels[i]
+		}
+		if err := w.WriteRow(data[i*cols:(i+1)*cols], label); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,15 @@
+package graph
+
+import "unsafe"
+
+// int64View reinterprets a byte slice (length a multiple of 8) as
+// int64 values without copying — the same zero-copy trick that turns
+// mapped bytes into matrices in internal/mmap. On-disk byte order is
+// little-endian, which matches every platform this package builds on
+// (amd64/arm64).
+func int64View(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

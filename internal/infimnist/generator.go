@@ -1,0 +1,170 @@
+package infimnist
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/dataset"
+)
+
+// splitmix64 advances a 64-bit state and returns a well-mixed value;
+// it is the standard seeding generator of the xoshiro family and
+// gives image i an independent random stream from (seed, i) alone.
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// rng is a tiny deterministic PRNG seeded per image.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	var v uint64
+	r.s, v = splitmix64(r.s)
+	return v
+}
+
+// uniform returns a float64 in [0, 1).
+func (r *rng) uniform() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// symmetric returns a float64 in [-scale, scale).
+func (r *rng) symmetric(scale float64) float64 {
+	return (2*r.uniform() - 1) * scale
+}
+
+// Generator produces deformed digit images. The zero value is valid
+// (seed 0, default deformation strengths).
+type Generator struct {
+	// Seed namespaces the whole stream; two generators with equal
+	// seeds produce identical images.
+	Seed uint64
+	// MaxShift is the translation amplitude in pixels (default 2.5).
+	MaxShift float64
+	// MaxRotate is the rotation amplitude in radians (default 0.18).
+	MaxRotate float64
+	// MaxScale is the log-scale amplitude (default 0.12).
+	MaxScale float64
+	// Noise is the additive pixel noise amplitude (default 0.08).
+	Noise float64
+}
+
+func (g Generator) withDefaults() Generator {
+	if g.MaxShift == 0 {
+		g.MaxShift = 2.5
+	}
+	if g.MaxRotate == 0 {
+		g.MaxRotate = 0.18
+	}
+	if g.MaxScale == 0 {
+		g.MaxScale = 0.12
+	}
+	if g.Noise == 0 {
+		g.Noise = 0.08
+	}
+	return g
+}
+
+// Label returns the digit class of image index: classes are balanced
+// round-robin, like cycling through the MNIST base set.
+func (g Generator) Label(index int64) int {
+	return int(index % Classes)
+}
+
+// Fill renders image index into dst (length Features) and returns its
+// label. Rendering is a pure function of (Seed, index).
+func (g Generator) Fill(dst []float64, index int64) int {
+	if len(dst) != Features {
+		panic(fmt.Sprintf("infimnist: dst length %d, want %d", len(dst), Features))
+	}
+	gg := g.withDefaults()
+	label := gg.Label(index)
+
+	r := rng{s: gg.Seed ^ (uint64(index)+1)*0xd1342543de82ef95}
+	dx := r.symmetric(gg.MaxShift) / Side
+	dy := r.symmetric(gg.MaxShift) / Side
+	angle := r.symmetric(gg.MaxRotate)
+	scale := math.Exp(r.symmetric(gg.MaxScale))
+	sin, cos := math.Sincos(angle)
+
+	// Inverse affine map: for each output pixel, sample the prototype
+	// at the pre-image of the deformation (rotate+scale about the
+	// image center, then translate).
+	for py := 0; py < Side; py++ {
+		for px := 0; px < Side; px++ {
+			x := (float64(px)+0.5)/Side - 0.5 - dx
+			y := (float64(py)+0.5)/Side - 0.5 - dy
+			sx := (cos*x+sin*y)/scale + 0.5
+			sy := (-sin*x+cos*y)/scale + 0.5
+			v := 0.0
+			if sx >= 0 && sx < 1 && sy >= 0 && sy < 1 {
+				v = intensityAt(label, sx, sy)
+			}
+			if gg.Noise > 0 {
+				v += r.symmetric(gg.Noise)
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+			}
+			dst[py*Side+px] = v
+		}
+	}
+	return label
+}
+
+// Image allocates and renders image index.
+func (g Generator) Image(index int64) ([]float64, int) {
+	dst := make([]float64, Features)
+	label := g.Fill(dst, index)
+	return dst, label
+}
+
+// Matrix renders images [first, first+n) into a fresh row-major
+// matrix with one image per row, returning the labels alongside.
+func (g Generator) Matrix(first, n int64) (x []float64, labels []float64) {
+	x = make([]float64, n*Features)
+	labels = make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		label := g.Fill(x[i*Features:(i+1)*Features], first+i)
+		labels[i] = float64(label)
+	}
+	return x, labels
+}
+
+// WriteDataset streams n images (starting at index 0) into an M3
+// dataset file with labels, using constant memory. This is how the
+// paper's 10–190 GB files are materialized for the real-mmap runs.
+func (g Generator) WriteDataset(path string, n int64) error {
+	w, err := dataset.Create(path, n, Features, true)
+	if err != nil {
+		return err
+	}
+	row := make([]float64, Features)
+	for i := int64(0); i < n; i++ {
+		label := g.Fill(row, i)
+		if err := w.WriteRow(row, float64(label)); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// BytesPerImage is the on-disk footprint of one image's features
+// (784 float64 = 6272 bytes, the figure quoted in the paper).
+const BytesPerImage = Features * 8
+
+// ImagesForBytes returns how many images produce approximately the
+// given payload size — e.g. 190 GB → ~32M images, matching the paper.
+func ImagesForBytes(bytes int64) int64 {
+	n := bytes / BytesPerImage
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

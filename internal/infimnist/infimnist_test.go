@@ -1,0 +1,219 @@
+package infimnist
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"m3/internal/blas"
+	"m3/internal/dataset"
+)
+
+func TestPrototypesHaveInk(t *testing.T) {
+	for d := 0; d < Classes; d++ {
+		img := Prototype(d)
+		if len(img) != Features {
+			t.Fatalf("digit %d: %d features", d, len(img))
+		}
+		ink := blas.Sum(img)
+		if ink < 20 {
+			t.Errorf("digit %d has almost no ink (%v)", d, ink)
+		}
+		if ink > Features/2 {
+			t.Errorf("digit %d is mostly ink (%v) — strokes too thick", d, ink)
+		}
+		for i, v := range img {
+			if v < 0 || v > 1 {
+				t.Fatalf("digit %d pixel %d = %v outside [0,1]", d, i, v)
+			}
+		}
+	}
+}
+
+func TestPrototypesAreDistinct(t *testing.T) {
+	// Pairwise distances between prototypes must be substantial;
+	// otherwise classification is meaningless.
+	protos := make([][]float64, Classes)
+	for d := range protos {
+		protos[d] = Prototype(d)
+	}
+	for a := 0; a < Classes; a++ {
+		for b := a + 1; b < Classes; b++ {
+			if d2 := blas.SqDist(protos[a], protos[b]); d2 < 5 {
+				t.Errorf("digits %d and %d nearly identical (sqdist %v)", a, b, d2)
+			}
+		}
+	}
+}
+
+func TestPrototypePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Prototype(10)
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g := Generator{Seed: 7}
+	a, la := g.Image(12345)
+	b, lb := g.Image(12345)
+	if la != lb {
+		t.Fatalf("labels differ: %d vs %d", la, lb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+	// Different index ⇒ different image (same class 12345 vs 12355).
+	c, _ := g.Image(12355)
+	if blas.SqDist(a, c) == 0 {
+		t.Error("distinct indices produced identical images")
+	}
+	// Different seed ⇒ different image.
+	g2 := Generator{Seed: 8}
+	d, _ := g2.Image(12345)
+	if blas.SqDist(a, d) == 0 {
+		t.Error("distinct seeds produced identical images")
+	}
+}
+
+func TestGeneratorLabelsBalanced(t *testing.T) {
+	g := Generator{}
+	counts := make([]int, Classes)
+	for i := int64(0); i < 1000; i++ {
+		counts[g.Label(i)]++
+	}
+	for d, c := range counts {
+		if c != 100 {
+			t.Errorf("class %d count = %d want 100", d, c)
+		}
+	}
+}
+
+func TestGeneratedStaysNearClass(t *testing.T) {
+	// A deformed digit must stay closer to its own prototype than to
+	// the average other prototype most of the time; this is the
+	// separability k-means and logreg rely on.
+	g := Generator{Seed: 3}
+	protos := make([][]float64, Classes)
+	for d := range protos {
+		protos[d] = Prototype(d)
+	}
+	good := 0
+	const trials = 200
+	for i := int64(0); i < trials; i++ {
+		img, label := g.Image(i)
+		own := blas.SqDist(img, protos[label])
+		var others float64
+		for d := 0; d < Classes; d++ {
+			if d != label {
+				others += blas.SqDist(img, protos[d])
+			}
+		}
+		others /= Classes - 1
+		if own < others {
+			good++
+		}
+	}
+	if good < trials*3/4 {
+		t.Errorf("only %d/%d deformed digits closer to own prototype", good, trials)
+	}
+}
+
+func TestFillPanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generator{}.Fill(make([]float64, 10), 0)
+}
+
+func TestMatrix(t *testing.T) {
+	g := Generator{Seed: 1}
+	x, labels := g.Matrix(5, 20)
+	if len(x) != 20*Features || len(labels) != 20 {
+		t.Fatalf("matrix shape %d,%d", len(x), len(labels))
+	}
+	// Row i of the matrix equals Image(5+i).
+	img, label := g.Image(5)
+	if labels[0] != float64(label) {
+		t.Errorf("label[0] = %v want %d", labels[0], label)
+	}
+	for j := range img {
+		if x[j] != img[j] {
+			t.Fatalf("matrix row 0 diverges at %d", j)
+		}
+	}
+}
+
+func TestWriteDatasetRoundTrip(t *testing.T) {
+	g := Generator{Seed: 9}
+	path := filepath.Join(t.TempDir(), "digits.m3")
+	const n = 30
+	if err := g.WriteDataset(path, n); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Rows != n || d.Cols != Features || !d.HasLabels {
+		t.Fatalf("header %+v", d.Header)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// File contents must match direct generation.
+	img, label := g.Image(17)
+	row := d.RawX()[17*Features : 18*Features]
+	for j := range img {
+		if row[j] != img[j] {
+			t.Fatalf("stored row 17 diverges at pixel %d", j)
+		}
+	}
+	if d.Labels()[17] != float64(label) {
+		t.Errorf("stored label = %v want %d", d.Labels()[17], label)
+	}
+}
+
+func TestImagesForBytes(t *testing.T) {
+	if got := ImagesForBytes(190e9); got != int64(190e9)/6272 {
+		t.Errorf("ImagesForBytes(190GB) = %d", got)
+	}
+	if got := ImagesForBytes(1); got != 1 {
+		t.Errorf("ImagesForBytes(1) = %d want 1 (clamped)", got)
+	}
+	if BytesPerImage != 6272 {
+		t.Errorf("BytesPerImage = %d want 6272 (paper)", BytesPerImage)
+	}
+}
+
+// Property: every generated pixel lies in [0,1] and every image has
+// some ink, for arbitrary indices and seeds.
+func TestPropertyPixelRangeAndInk(t *testing.T) {
+	f := func(seed uint64, idx int64) bool {
+		if idx < 0 {
+			idx = -idx
+		}
+		g := Generator{Seed: seed}
+		img, label := g.Image(idx)
+		if label != int(idx%Classes) {
+			return false
+		}
+		for _, v := range img {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return blas.Sum(img) > 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package infimnist generates an unbounded, deterministic stream of
+// MNIST-like digit images, standing in for the Infimnist dataset the
+// paper trains on (28×28 grayscale, 784 features per image, digits
+// 0–9 produced by pseudo-random deformations of base images).
+//
+// The paper uses Infimnist purely as a large dense numeric workload
+// ("we are primarily interested in runtimes"), so what this package
+// preserves is exactly what the experiments need: shape (N×784
+// float64), class structure (10 separable digit classes so logistic
+// regression and k-means do meaningful work), determinism (image i is
+// a pure function of seed and i), and unbounded supply.
+package infimnist
+
+import "math"
+
+// Side is the image edge length in pixels.
+const Side = 28
+
+// Features is the number of pixels per image (28×28 = 784, matching
+// the paper's 6272 bytes per image at 8 bytes per value).
+const Features = Side * Side
+
+// Classes is the number of digit classes.
+const Classes = 10
+
+type point struct{ x, y float64 }
+
+// stroke is a polyline in the unit square.
+type stroke []point
+
+// arc approximates an elliptical arc with a polyline. Angles are in
+// radians; n segments.
+func arc(cx, cy, rx, ry, a0, a1 float64, n int) stroke {
+	s := make(stroke, n+1)
+	for i := 0; i <= n; i++ {
+		a := a0 + (a1-a0)*float64(i)/float64(n)
+		s[i] = point{cx + rx*math.Cos(a), cy + ry*math.Sin(a)}
+	}
+	return s
+}
+
+func line(x0, y0, x1, y1 float64) stroke {
+	return stroke{{x0, y0}, {x1, y1}}
+}
+
+// digitStrokes defines each digit as a set of strokes in the unit
+// square, y growing downward (like raster order).
+var digitStrokes = [Classes][]stroke{
+	// 0: full ellipse
+	{arc(0.5, 0.5, 0.26, 0.36, 0, 2*math.Pi, 24)},
+	// 1: vertical bar with a small flag and base
+	{
+		line(0.52, 0.14, 0.52, 0.86),
+		line(0.38, 0.28, 0.52, 0.14),
+		line(0.38, 0.86, 0.66, 0.86),
+	},
+	// 2: open top arc, diagonal, bottom bar
+	{
+		arc(0.5, 0.32, 0.24, 0.18, math.Pi, 2.25*math.Pi, 12),
+		line(0.70, 0.42, 0.28, 0.84),
+		line(0.28, 0.84, 0.74, 0.84),
+	},
+	// 3: two right-facing half-ellipses
+	{
+		arc(0.46, 0.32, 0.24, 0.18, 1.25*math.Pi, 2.6*math.Pi, 12),
+		arc(0.46, 0.68, 0.26, 0.19, 1.45*math.Pi, 2.8*math.Pi, 12),
+	},
+	// 4: diagonal, horizontal, vertical
+	{
+		line(0.62, 0.12, 0.24, 0.62),
+		line(0.24, 0.62, 0.80, 0.62),
+		line(0.62, 0.12, 0.62, 0.88),
+	},
+	// 5: top bar, upper-left vertical, lower bowl
+	{
+		line(0.72, 0.14, 0.32, 0.14),
+		line(0.32, 0.14, 0.30, 0.46),
+		arc(0.48, 0.64, 0.24, 0.22, 1.35*math.Pi, 2.75*math.Pi, 14),
+	},
+	// 6: sweeping left curve into a lower loop
+	{
+		arc(0.56, 0.40, 0.26, 0.30, 0.75*math.Pi, 1.5*math.Pi, 10),
+		arc(0.50, 0.66, 0.20, 0.20, 0, 2*math.Pi, 18),
+	},
+	// 7: top bar and steep diagonal
+	{
+		line(0.26, 0.16, 0.76, 0.16),
+		line(0.76, 0.16, 0.42, 0.86),
+	},
+	// 8: stacked loops
+	{
+		arc(0.5, 0.32, 0.20, 0.17, 0, 2*math.Pi, 18),
+		arc(0.5, 0.68, 0.23, 0.20, 0, 2*math.Pi, 18),
+	},
+	// 9: upper loop with a tail
+	{
+		arc(0.5, 0.36, 0.21, 0.20, 0, 2*math.Pi, 18),
+		line(0.70, 0.40, 0.60, 0.86),
+	},
+}
+
+// strokeWidth is the half-thickness of a stroke in unit coordinates.
+const strokeWidth = 0.055
+
+// distToSegment returns the distance from p to segment ab.
+func distToSegment(p, a, b point) float64 {
+	abx, aby := b.x-a.x, b.y-a.y
+	apx, apy := p.x-a.x, p.y-a.y
+	den := abx*abx + aby*aby
+	t := 0.0
+	if den > 0 {
+		t = (apx*abx + apy*aby) / den
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	dx := p.x - (a.x + t*abx)
+	dy := p.y - (a.y + t*aby)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// intensityAt returns the ink intensity in [0,1] of digit d at unit
+// coordinates (x, y): 1 on a stroke centerline, falling smoothly to 0
+// past the stroke width (a cheap anti-aliasing).
+func intensityAt(d int, x, y float64) float64 {
+	p := point{x, y}
+	best := math.Inf(1)
+	for _, s := range digitStrokes[d] {
+		for i := 0; i+1 < len(s); i++ {
+			if dist := distToSegment(p, s[i], s[i+1]); dist < best {
+				best = dist
+			}
+		}
+	}
+	const feather = 0.035
+	switch {
+	case best <= strokeWidth:
+		return 1
+	case best >= strokeWidth+feather:
+		return 0
+	default:
+		t := (best - strokeWidth) / feather
+		return 1 - t*t*(3-2*t) // smoothstep fade
+	}
+}
+
+// Prototype renders the undeformed digit d into a Features-length
+// buffer (row-major, values in [0,1]). It panics for d outside 0–9.
+func Prototype(d int) []float64 {
+	if d < 0 || d >= Classes {
+		panic("infimnist: digit out of range")
+	}
+	img := make([]float64, Features)
+	for py := 0; py < Side; py++ {
+		for px := 0; px < Side; px++ {
+			x := (float64(px) + 0.5) / Side
+			y := (float64(py) + 0.5) / Side
+			img[py*Side+px] = intensityAt(d, x, y)
+		}
+	}
+	return img
+}

@@ -1,0 +1,67 @@
+package iostats
+
+import (
+	"strings"
+	"testing"
+
+	"m3/internal/vm"
+)
+
+func TestUtilizationPercents(t *testing.T) {
+	u := Utilization{ElapsedSeconds: 100, CPUSeconds: 13, DiskSeconds: 100}
+	if got := u.CPUPercent(); got != 13 {
+		t.Errorf("CPU%% = %v", got)
+	}
+	if got := u.DiskPercent(); got != 100 {
+		t.Errorf("Disk%% = %v", got)
+	}
+	if !u.IOBound() {
+		t.Error("paper's observed profile not classified as I/O bound")
+	}
+	var zero Utilization
+	if zero.CPUPercent() != 0 || zero.DiskPercent() != 0 || zero.IOBound() {
+		t.Error("zero utilization misbehaves")
+	}
+}
+
+func TestUtilizationNotIOBound(t *testing.T) {
+	u := Utilization{ElapsedSeconds: 100, CPUSeconds: 100, DiskSeconds: 20}
+	if u.IOBound() {
+		t.Error("CPU-bound phase classified as I/O bound")
+	}
+}
+
+func TestFromTimeline(t *testing.T) {
+	var tl vm.Timeline
+	tl.AddCPU(13)
+	tl.AddDisk(100)
+	u := FromTimeline(&tl)
+	if u.ElapsedSeconds != 100 || u.CPUSeconds != 13 || u.DiskSeconds != 100 {
+		t.Errorf("FromTimeline = %+v", u)
+	}
+	if !strings.Contains(u.String(), "disk 100%") {
+		t.Errorf("String = %q", u.String())
+	}
+}
+
+func TestReadProcReal(t *testing.T) {
+	snap, err := ReadProc()
+	if err != nil {
+		t.Skipf("proc unavailable: %v", err)
+	}
+	// CPU time must be non-negative and finite; burn some cycles and
+	// observe monotonicity.
+	var sink float64
+	for i := 0; i < 1e7; i++ {
+		sink += float64(i)
+	}
+	_ = sink
+	later, err := ReadProc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := later.Sub(snap)
+	if d.UserSeconds < 0 || d.SystemSeconds < 0 || d.MajorFaults < 0 {
+		t.Errorf("negative deltas: %+v", d)
+	}
+}

@@ -1,0 +1,266 @@
+// Package mat provides a dense row-major matrix view over a
+// store.Store. It is the data structure the paper's Table 1 sketches:
+// construct it over a heap slice and you have "Mat data;", construct
+// it over a memory-mapped region and the same algorithm code runs
+// out-of-core.
+//
+// Row-granular accessors (Row, ForEachRow, MulVec, ...) route their
+// accesses through the store's Touch hooks so the paged backend can
+// account faults; element accessors (At, Set) are unaccounted fast
+// paths for small matrices such as model parameters.
+package mat
+
+import (
+	"fmt"
+
+	"m3/internal/blas"
+	"m3/internal/store"
+)
+
+// Dense is a row-major matrix view over a store.
+type Dense struct {
+	s          store.Store
+	data       []float64
+	rows, cols int
+	stride     int
+	off        int // element offset of row 0 within the store
+}
+
+// NewDense allocates a rows×cols heap-backed matrix.
+func NewDense(rows, cols int) *Dense {
+	checkDims(rows, cols)
+	s := store.NewHeap(rows * cols)
+	return &Dense{s: s, data: s.Data(), rows: rows, cols: cols, stride: cols}
+}
+
+// NewDenseFrom wraps an existing slice (length >= rows*cols) as a
+// matrix without copying — the "M3" column of Table 1, where the
+// slice came from mmapAlloc.
+func NewDenseFrom(data []float64, rows, cols int) *Dense {
+	checkDims(rows, cols)
+	if len(data) < rows*cols {
+		panic(fmt.Sprintf("mat: slice of %d elements cannot hold %dx%d", len(data), rows, cols))
+	}
+	s := store.FromSlice(data)
+	return &Dense{s: s, data: s.Data(), rows: rows, cols: cols, stride: cols}
+}
+
+// NewDenseStore builds a matrix view over an arbitrary store backend.
+func NewDenseStore(s store.Store, rows, cols int) (*Dense, error) {
+	checkDims(rows, cols)
+	if s.Len() < rows*cols {
+		return nil, fmt.Errorf("mat: store of %d elements cannot hold %dx%d", s.Len(), rows, cols)
+	}
+	return &Dense{s: s, data: s.Data(), rows: rows, cols: cols, stride: cols}, nil
+}
+
+func checkDims(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: non-positive dimensions %dx%d", rows, cols))
+	}
+}
+
+// Dims returns (rows, cols).
+func (d *Dense) Dims() (rows, cols int) { return d.rows, d.cols }
+
+// Rows returns the row count.
+func (d *Dense) Rows() int { return d.rows }
+
+// Cols returns the column count.
+func (d *Dense) Cols() int { return d.cols }
+
+// Store returns the backing store.
+func (d *Dense) Store() store.Store { return d.s }
+
+// SizeBytes returns the matrix payload size in bytes.
+func (d *Dense) SizeBytes() int64 { return int64(d.rows) * int64(d.cols) * 8 }
+
+// At returns element (i, j). No paging accounting (fast path).
+func (d *Dense) At(i, j int) float64 {
+	d.check(i, j)
+	return d.data[d.off+i*d.stride+j]
+}
+
+// Set stores v at element (i, j). No paging accounting (fast path).
+func (d *Dense) Set(i, j int, v float64) {
+	d.check(i, j)
+	d.data[d.off+i*d.stride+j] = v
+}
+
+func (d *Dense) check(i, j int) {
+	if i < 0 || i >= d.rows || j < 0 || j >= d.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of %dx%d", i, j, d.rows, d.cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the backing store, accounting
+// the access as a read. The returned stall is the simulated seconds
+// spent paging (zero for real backends).
+func (d *Dense) Row(i int) (row []float64, stall float64) {
+	if i < 0 || i >= d.rows {
+		panic(fmt.Sprintf("mat: row %d out of %d", i, d.rows))
+	}
+	start := d.off + i*d.stride
+	stall = d.s.Touch(start, d.cols)
+	return d.data[start : start+d.cols], stall
+}
+
+// RawRow returns row i without touching the paging accounting. Use it
+// only for matrices known to be resident (e.g. model parameters).
+func (d *Dense) RawRow(i int) []float64 {
+	if i < 0 || i >= d.rows {
+		panic(fmt.Sprintf("mat: row %d out of %d", i, d.rows))
+	}
+	start := d.off + i*d.stride
+	return d.data[start : start+d.cols]
+}
+
+// SetRow copies src into row i, accounting a write.
+func (d *Dense) SetRow(i int, src []float64) (stall float64) {
+	if len(src) != d.cols {
+		panic(fmt.Sprintf("mat: SetRow of %d values into %d columns", len(src), d.cols))
+	}
+	start := d.off + i*d.stride
+	stall = d.s.TouchWrite(start, d.cols)
+	copy(d.data[start:start+d.cols], src)
+	return stall
+}
+
+// RowWindow returns a view of rows [i0, i1) sharing the same backing
+// store; no data is copied.
+func (d *Dense) RowWindow(i0, i1 int) *Dense {
+	if i0 < 0 || i1 > d.rows || i0 >= i1 {
+		panic(fmt.Sprintf("mat: window [%d,%d) out of %d rows", i0, i1, d.rows))
+	}
+	return &Dense{
+		s: d.s, data: d.data,
+		rows: i1 - i0, cols: d.cols,
+		stride: d.stride,
+		off:    d.off + i0*d.stride,
+	}
+}
+
+// ForEachRow invokes fn for every row in storage order — the
+// sequential scan at the heart of each training iteration. It returns
+// the total simulated stall.
+func (d *Dense) ForEachRow(fn func(i int, row []float64)) (stall float64) {
+	for i := 0; i < d.rows; i++ {
+		start := d.off + i*d.stride
+		stall += d.s.Touch(start, d.cols)
+		fn(i, d.data[start:start+d.cols])
+	}
+	return stall
+}
+
+// MulVec computes y = A·x, scanning A once sequentially.
+// It returns the simulated stall.
+func (d *Dense) MulVec(y, x []float64) (stall float64) {
+	if len(x) != d.cols || len(y) != d.rows {
+		panic(fmt.Sprintf("mat: MulVec shapes y[%d] = A(%dx%d)·x[%d]", len(y), d.rows, d.cols, len(x)))
+	}
+	return d.ForEachRow(func(i int, row []float64) {
+		y[i] = blas.Dot(row, x)
+	})
+}
+
+// MulTransVec computes y = Aᵀ·x, still scanning A in row order so the
+// access pattern remains sequential. It returns the simulated stall.
+func (d *Dense) MulTransVec(y, x []float64) (stall float64) {
+	if len(x) != d.rows || len(y) != d.cols {
+		panic(fmt.Sprintf("mat: MulTransVec shapes y[%d] = A(%dx%d)ᵀ·x[%d]", len(y), d.rows, d.cols, len(x)))
+	}
+	blas.Fill(y, 0)
+	return d.ForEachRow(func(i int, row []float64) {
+		blas.Axpy(x[i], row, y)
+	})
+}
+
+// ColTo copies column j into dst (length rows), accounting one
+// element read per row. On a row-major mapped matrix this is the
+// pathological access pattern: every element lives on a different
+// page region, so out-of-core column traversals thrash where row
+// scans stream — the layout lesson behind M3's "store in scan order".
+func (d *Dense) ColTo(j int, dst []float64) (stall float64) {
+	if j < 0 || j >= d.cols {
+		panic(fmt.Sprintf("mat: column %d out of %d", j, d.cols))
+	}
+	if len(dst) != d.rows {
+		panic(fmt.Sprintf("mat: ColTo dst length %d, want %d", len(dst), d.rows))
+	}
+	for i := 0; i < d.rows; i++ {
+		idx := d.off + i*d.stride + j
+		stall += d.s.Touch(idx, 1)
+		dst[i] = d.data[idx]
+	}
+	return stall
+}
+
+// Fill sets every element to v, accounting writes row by row.
+func (d *Dense) Fill(v float64) (stall float64) {
+	for i := 0; i < d.rows; i++ {
+		start := d.off + i*d.stride
+		stall += d.s.TouchWrite(start, d.cols)
+		blas.Fill(d.data[start:start+d.cols], v)
+	}
+	return stall
+}
+
+// CopyFrom copies src (same shape) into d, accounting reads on src
+// and writes on d.
+func (d *Dense) CopyFrom(src *Dense) (stall float64) {
+	if src.rows != d.rows || src.cols != d.cols {
+		panic(fmt.Sprintf("mat: CopyFrom %dx%d into %dx%d", src.rows, src.cols, d.rows, d.cols))
+	}
+	for i := 0; i < d.rows; i++ {
+		srow, s1 := src.Row(i)
+		s2 := d.SetRow(i, srow)
+		stall += s1 + s2
+	}
+	return stall
+}
+
+// Clone returns a heap-backed deep copy.
+func (d *Dense) Clone() *Dense {
+	out := NewDense(d.rows, d.cols)
+	out.CopyFrom(d)
+	return out
+}
+
+// Equal reports whether two matrices have identical shape and
+// elements (exact comparison).
+func (d *Dense) Equal(other *Dense) bool {
+	if d.rows != other.rows || d.cols != other.cols {
+		return false
+	}
+	for i := 0; i < d.rows; i++ {
+		a := d.RawRow(i)
+		b := other.RawRow(i)
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large ones are
+// summarized.
+func (d *Dense) String() string {
+	if d.rows*d.cols > 64 {
+		return fmt.Sprintf("Dense(%dx%d, %d bytes)", d.rows, d.cols, d.SizeBytes())
+	}
+	s := fmt.Sprintf("Dense(%dx%d)[", d.rows, d.cols)
+	for i := 0; i < d.rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < d.cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%g", d.At(i, j))
+		}
+	}
+	return s + "]"
+}

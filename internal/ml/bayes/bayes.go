@@ -1,0 +1,160 @@
+// Package bayes implements Gaussian naive Bayes classification.
+// Training is a single streaming pass computing per-class feature
+// means and variances — the cheapest possible M3 workload (one scan
+// total, against one scan *per iteration* for the optimizers), which
+// makes it a useful lower-bound baseline in scan-count ablations.
+package bayes
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/mat"
+)
+
+// Options configures training.
+type Options struct {
+	// VarSmoothing is added to every variance for numerical safety,
+	// scaled by the largest feature variance (default 1e-9, the
+	// scikit-learn convention).
+	VarSmoothing float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.VarSmoothing <= 0 {
+		o.VarSmoothing = 1e-9
+	}
+	return o
+}
+
+// Model is a fitted Gaussian naive Bayes classifier.
+type Model struct {
+	// Classes is the class count.
+	Classes int
+	// Features is the feature count.
+	Features int
+	// Mean is row-major Classes×Features.
+	Mean []float64
+	// Var is row-major Classes×Features (smoothed).
+	Var []float64
+	// LogPrior has one entry per class.
+	LogPrior []float64
+}
+
+// Train fits the model in one pass over x. Labels must be integers in
+// [0, classes).
+func Train(x *mat.Dense, y []int, classes int, opts Options) (*Model, error) {
+	o := opts.withDefaults()
+	n, d := x.Dims()
+	if n != len(y) {
+		return nil, fmt.Errorf("bayes: %d rows but %d labels", n, len(y))
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("bayes: need >= 2 classes, got %d", classes)
+	}
+	for i, v := range y {
+		if v < 0 || v >= classes {
+			return nil, fmt.Errorf("bayes: label[%d] = %d outside [0,%d)", i, v, classes)
+		}
+	}
+
+	m := &Model{
+		Classes:  classes,
+		Features: d,
+		Mean:     make([]float64, classes*d),
+		Var:      make([]float64, classes*d),
+		LogPrior: make([]float64, classes),
+	}
+	counts := make([]float64, classes)
+
+	// Single scan: accumulate sum and sum of squares per class.
+	sum := m.Mean // reuse storage, finalized below
+	sumSq := m.Var
+	x.ForEachRow(func(i int, row []float64) {
+		c := y[i]
+		counts[c]++
+		base := c * d
+		for j, v := range row {
+			sum[base+j] += v
+			sumSq[base+j] += v * v
+		}
+	})
+
+	var maxVar float64
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			return nil, fmt.Errorf("bayes: class %d has no examples", c)
+		}
+		m.LogPrior[c] = math.Log(counts[c] / float64(n))
+		base := c * d
+		for j := 0; j < d; j++ {
+			mean := sum[base+j] / counts[c]
+			variance := sumSq[base+j]/counts[c] - mean*mean
+			if variance < 0 {
+				variance = 0 // numerical floor
+			}
+			m.Mean[base+j] = mean
+			m.Var[base+j] = variance
+			if variance > maxVar {
+				maxVar = variance
+			}
+		}
+	}
+	eps := o.VarSmoothing * math.Max(maxVar, 1e-12)
+	for i := range m.Var {
+		m.Var[i] += eps
+	}
+	return m, nil
+}
+
+// LogScores writes per-class joint log-likelihoods into dst
+// (length Classes).
+func (m *Model) LogScores(row []float64, dst []float64) {
+	if len(row) != m.Features || len(dst) != m.Classes {
+		panic(fmt.Sprintf("bayes: shapes row=%d dst=%d model=(%d,%d)", len(row), len(dst), m.Features, m.Classes))
+	}
+	for c := 0; c < m.Classes; c++ {
+		base := c * m.Features
+		s := m.LogPrior[c]
+		for j, v := range row {
+			diff := v - m.Mean[base+j]
+			s += -0.5 * (math.Log(2*math.Pi*m.Var[base+j]) + diff*diff/m.Var[base+j])
+		}
+		dst[c] = s
+	}
+}
+
+// Predict returns the maximum-a-posteriori class.
+func (m *Model) Predict(row []float64) int {
+	scores := make([]float64, m.Classes)
+	m.LogScores(row, scores)
+	best, bestC := math.Inf(-1), 0
+	for c, s := range scores {
+		if s > best {
+			best, bestC = s, c
+		}
+	}
+	return bestC
+}
+
+// Accuracy scores the model over a labelled matrix (one scan).
+func (m *Model) Accuracy(x *mat.Dense, y []int) float64 {
+	if x.Rows() == 0 {
+		return 0
+	}
+	scores := make([]float64, m.Classes)
+	correct := 0
+	x.ForEachRow(func(i int, row []float64) {
+		m.LogScores(row, scores)
+		best, bestC := math.Inf(-1), 0
+		for c, s := range scores {
+			if s > best {
+				best, bestC = s, c
+			}
+		}
+		if bestC == y[i] {
+			correct++
+		}
+	})
+	return float64(correct) / float64(x.Rows())
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/mat"
+)
+
+// Split holds train/test row indices for one fold.
+type Split struct {
+	Train []int
+	Test  []int
+}
+
+// KFold partitions n rows into k contiguous folds, optionally
+// shuffled by seed. Contiguous folds matter under M3: each fold's
+// training set is two sequential ranges, so cross-validation over a
+// mapped dataset still scans mostly sequentially.
+func KFold(n, k int, shuffle bool, seed uint64) ([]Split, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: need >= 2 folds, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("eval: %d rows for %d folds", n, k)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if shuffle {
+		s := seed ^ 0x9e3779b97f4a7c15
+		if s == 0 {
+			s = 1
+		}
+		for i := n - 1; i > 0; i-- {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			j := int(s % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	splits := make([]Split, k)
+	for f := 0; f < k; f++ {
+		lo := n * f / k
+		hi := n * (f + 1) / k
+		splits[f].Test = append([]int(nil), order[lo:hi]...)
+		splits[f].Train = append(append([]int(nil), order[:lo]...), order[hi:]...)
+	}
+	return splits, nil
+}
+
+// GatherRows copies the selected rows of x (and labels) into fresh
+// heap matrices — used to materialize folds.
+func GatherRows(x *mat.Dense, y []float64, rows []int) (*mat.Dense, []float64) {
+	_, d := x.Dims()
+	out := mat.NewDense(len(rows), d)
+	var labels []float64
+	if y != nil {
+		labels = make([]float64, len(rows))
+	}
+	for i, r := range rows {
+		src, _ := x.Row(r)
+		out.SetRow(i, src)
+		if y != nil {
+			labels[i] = y[r]
+		}
+	}
+	return out, labels
+}
+
+// CrossValidate runs k-fold cross-validation: train receives each
+// fold's training data and returns a predictor; the predictor is
+// scored on the held-out fold. Returns per-fold accuracies.
+func CrossValidate(x *mat.Dense, y []float64, k int, seed uint64,
+	train func(x *mat.Dense, y []float64) (func(row []float64) float64, error)) ([]float64, error) {
+
+	n, _ := x.Dims()
+	if n != len(y) {
+		return nil, fmt.Errorf("eval: %d rows but %d labels", n, len(y))
+	}
+	splits, err := KFold(n, k, true, seed)
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]float64, 0, k)
+	for _, sp := range splits {
+		xTrain, yTrain := GatherRows(x, y, sp.Train)
+		predict, err := train(xTrain, yTrain)
+		if err != nil {
+			return nil, err
+		}
+		correct := 0
+		for _, r := range sp.Test {
+			row, _ := x.Row(r)
+			if predict(row) == y[r] {
+				correct++
+			}
+		}
+		accs = append(accs, float64(correct)/float64(len(sp.Test)))
+	}
+	return accs, nil
+}
+
+// MeanStd returns the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		d := v - mean
+		std += d * d
+	}
+	std /= float64(len(xs))
+	return mean, math.Sqrt(std)
+}

@@ -1,0 +1,179 @@
+// Package eval provides model-evaluation utilities — confusion
+// matrices, classification metrics, and k-fold cross-validation —
+// written against the same storage-transparent matrix API as the
+// trainers, so evaluation scans page exactly like training scans.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ConfusionMatrix counts predictions by (actual, predicted) class.
+type ConfusionMatrix struct {
+	// Classes is the class count.
+	Classes int
+	// Counts is row-major: Counts[actual*Classes+predicted].
+	Counts []int64
+}
+
+// NewConfusionMatrix creates an empty k-class matrix.
+func NewConfusionMatrix(k int) (*ConfusionMatrix, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: need >= 2 classes, got %d", k)
+	}
+	return &ConfusionMatrix{Classes: k, Counts: make([]int64, k*k)}, nil
+}
+
+// Add records one observation.
+func (c *ConfusionMatrix) Add(actual, predicted int) error {
+	if actual < 0 || actual >= c.Classes || predicted < 0 || predicted >= c.Classes {
+		return fmt.Errorf("eval: labels (%d,%d) outside %d classes", actual, predicted, c.Classes)
+	}
+	c.Counts[actual*c.Classes+predicted]++
+	return nil
+}
+
+// Total returns the number of recorded observations.
+func (c *ConfusionMatrix) Total() int64 {
+	var t int64
+	for _, v := range c.Counts {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns the trace ratio.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	var hit int64
+	for k := 0; k < c.Classes; k++ {
+		hit += c.Counts[k*c.Classes+k]
+	}
+	return float64(hit) / float64(total)
+}
+
+// Precision returns TP/(TP+FP) for one class (0 when undefined).
+func (c *ConfusionMatrix) Precision(class int) float64 {
+	var predicted int64
+	for a := 0; a < c.Classes; a++ {
+		predicted += c.Counts[a*c.Classes+class]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(c.Counts[class*c.Classes+class]) / float64(predicted)
+}
+
+// Recall returns TP/(TP+FN) for one class (0 when undefined).
+func (c *ConfusionMatrix) Recall(class int) float64 {
+	var actual int64
+	for p := 0; p < c.Classes; p++ {
+		actual += c.Counts[class*c.Classes+p]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(c.Counts[class*c.Classes+class]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for one class.
+func (c *ConfusionMatrix) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 over classes.
+func (c *ConfusionMatrix) MacroF1() float64 {
+	var s float64
+	for k := 0; k < c.Classes; k++ {
+		s += c.F1(k)
+	}
+	return s / float64(c.Classes)
+}
+
+// LogLoss computes mean negative log-likelihood from predicted
+// probabilities of the positive class for binary labels (0/1).
+// Probabilities are clipped to [eps, 1-eps].
+func LogLoss(probs, labels []float64) (float64, error) {
+	if len(probs) != len(labels) {
+		return 0, fmt.Errorf("eval: %d probs for %d labels", len(probs), len(labels))
+	}
+	if len(probs) == 0 {
+		return 0, fmt.Errorf("eval: empty input")
+	}
+	const eps = 1e-15
+	var s float64
+	for i, p := range probs {
+		if labels[i] != 0 && labels[i] != 1 {
+			return 0, fmt.Errorf("eval: label[%d] = %v, want 0 or 1", i, labels[i])
+		}
+		if p < eps {
+			p = eps
+		} else if p > 1-eps {
+			p = 1 - eps
+		}
+		if labels[i] == 1 {
+			s -= math.Log(p)
+		} else {
+			s -= math.Log(1 - p)
+		}
+	}
+	return s / float64(len(probs)), nil
+}
+
+// AUC computes the area under the ROC curve for binary labels via the
+// rank statistic (ties get the average rank).
+func AUC(scores, labels []float64) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("eval: %d scores for %d labels", len(scores), len(labels))
+	}
+	var pos, neg int64
+	for _, v := range labels {
+		switch v {
+		case 1:
+			pos++
+		case 0:
+			neg++
+		default:
+			return 0, fmt.Errorf("eval: label %v, want 0 or 1", v)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("eval: need both classes (pos=%d neg=%d)", pos, neg)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Average ranks with tie handling.
+	ranks := make([]float64, len(scores))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	var rankSum float64
+	for i, v := range labels {
+		if v == 1 {
+			rankSum += ranks[i]
+		}
+	}
+	p, n := float64(pos), float64(neg)
+	return (rankSum - p*(p+1)/2) / (p * n), nil
+}

@@ -1,0 +1,278 @@
+// Package kmeans implements Lloyd's algorithm with k-means++
+// initialization — the second of the paper's two evaluation workloads
+// (10 iterations, 5 clusters in Figure 1b). Each iteration streams
+// the (possibly memory-mapped) data matrix once: the assignment pass
+// is a pure sequential scan, which is why k-means pages as well as
+// logistic regression under M3.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/blas"
+	"m3/internal/mat"
+)
+
+// Options configures a k-means run.
+type Options struct {
+	// K is the number of clusters (required, >= 1).
+	K int
+	// MaxIterations bounds Lloyd iterations (default 100; the paper
+	// runs exactly 10).
+	MaxIterations int
+	// Tol stops early when no assignment changes and centroid
+	// movement falls below it (default 1e-9).
+	Tol float64
+	// Seed drives k-means++ sampling; runs are deterministic in it.
+	Seed uint64
+	// RandomInit selects uniform random initial centroids instead of
+	// k-means++ (ablation baseline).
+	RandomInit bool
+	// InitCentroids, when non-nil, supplies explicit initial
+	// centroids (K×D) and skips seeding entirely. Used to give M3
+	// and the Spark baseline identical starting points.
+	InitCentroids *mat.Dense
+	// RunAllIterations disables early convergence so exactly
+	// MaxIterations passes execute — the paper's fixed "10
+	// iterations" protocol.
+	RunAllIterations bool
+	// Callback, when non-nil, runs after each iteration with the
+	// current inertia; returning false stops the run.
+	Callback func(iter int, inertia float64) bool
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.K < 1 {
+		return o, fmt.Errorf("kmeans: K = %d, want >= 1", o.K)
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o, nil
+}
+
+// Result is a completed clustering.
+type Result struct {
+	// Centroids is a K×D heap matrix.
+	Centroids *mat.Dense
+	// Assignments maps each row to its cluster.
+	Assignments []int
+	// Inertia is the sum of squared distances to assigned centroids.
+	Inertia float64
+	// Iterations actually performed.
+	Iterations int
+	// Converged reports whether assignments stabilized before the
+	// iteration budget ran out.
+	Converged bool
+	// Stall is the cumulative simulated paging stall in seconds
+	// (zero on real backends).
+	Stall float64
+	// Scans counts full passes over the data matrix.
+	Scans int
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) uniform() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Run clusters the rows of x into K groups.
+func Run(x *mat.Dense, opts Options) (*Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n, d := x.Dims()
+	if o.K > n {
+		return nil, fmt.Errorf("kmeans: K = %d exceeds %d rows", o.K, n)
+	}
+	r := &rng{s: o.Seed ^ 0x9e3779b97f4a7c15}
+	if r.s == 0 {
+		r.s = 1
+	}
+
+	res := &Result{
+		Centroids:   mat.NewDense(o.K, d),
+		Assignments: make([]int, n),
+	}
+	switch {
+	case o.InitCentroids != nil:
+		ik, id := o.InitCentroids.Dims()
+		if ik != o.K || id != d {
+			return nil, fmt.Errorf("kmeans: InitCentroids is %dx%d, want %dx%d", ik, id, o.K, d)
+		}
+		res.Centroids.CopyFrom(o.InitCentroids)
+	case o.RandomInit:
+		res.Stall += initRandom(x, res.Centroids, r)
+		res.Scans++ // counted as one pass worth of row touches
+	default:
+		stall, scans := initPlusPlus(x, res.Centroids, r)
+		res.Stall += stall
+		res.Scans += scans
+	}
+
+	sums := make([]float64, o.K*d)
+	counts := make([]int, o.K)
+	newCentroid := make([]float64, d)
+
+	for iter := 1; iter <= o.MaxIterations; iter++ {
+		// Assignment pass: one sequential scan.
+		blas.Fill(sums, 0)
+		for i := range counts {
+			counts[i] = 0
+		}
+		changed := 0
+		inertia := 0.0
+		stall := x.ForEachRow(func(i int, row []float64) {
+			best, bestC := math.Inf(1), 0
+			for c := 0; c < o.K; c++ {
+				if d2 := blas.SqDist(row, res.Centroids.RawRow(c)); d2 < best {
+					best, bestC = d2, c
+				}
+			}
+			if res.Assignments[i] != bestC {
+				changed++
+				res.Assignments[i] = bestC
+			}
+			inertia += best
+			blas.Axpy(1, row, sums[bestC*d:(bestC+1)*d])
+			counts[bestC]++
+		})
+		res.Stall += stall
+		res.Scans++
+		res.Inertia = inertia
+		res.Iterations = iter
+
+		// Update pass: centroids are tiny, no data scan needed.
+		move := 0.0
+		for c := 0; c < o.K; c++ {
+			if counts[c] == 0 {
+				// Empty-cluster repair: respawn at a random row.
+				row, s := x.Row(r.intn(n))
+				res.Stall += s
+				copy(newCentroid, row)
+			} else {
+				copy(newCentroid, sums[c*d:(c+1)*d])
+				blas.Scal(1/float64(counts[c]), newCentroid)
+			}
+			move += blas.SqDist(newCentroid, res.Centroids.RawRow(c))
+			res.Centroids.SetRow(c, newCentroid)
+		}
+
+		if o.Callback != nil && !o.Callback(iter, inertia) {
+			return res, nil
+		}
+		if changed == 0 && move < o.Tol {
+			res.Converged = true
+			if !o.RunAllIterations {
+				return res, nil
+			}
+		}
+		// First iteration always counts as changed (assignments
+		// start at zero); don't let that block convergence later.
+	}
+	return res, nil
+}
+
+// initRandom picks K distinct random rows as centroids.
+func initRandom(x *mat.Dense, centroids *mat.Dense, r *rng) (stall float64) {
+	n, _ := x.Dims()
+	k, _ := centroids.Dims()
+	seen := make(map[int]bool, k)
+	for c := 0; c < k; c++ {
+		i := r.intn(n)
+		for seen[i] {
+			i = r.intn(n)
+		}
+		seen[i] = true
+		row, s := x.Row(i)
+		stall += s
+		stall += centroids.SetRow(c, row)
+	}
+	return stall
+}
+
+// initPlusPlus implements k-means++ (Arthur & Vassilvitskii 2007):
+// each next centroid is sampled with probability proportional to the
+// squared distance from the nearest chosen centroid. Costs one data
+// scan per centroid.
+func initPlusPlus(x *mat.Dense, centroids *mat.Dense, r *rng) (stall float64, scans int) {
+	n, _ := x.Dims()
+	k, _ := centroids.Dims()
+
+	row, s := x.Row(r.intn(n))
+	stall += s
+	stall += centroids.SetRow(0, row)
+
+	dist := make([]float64, n) // squared distance to nearest centroid
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	for c := 1; c < k; c++ {
+		prev := centroids.RawRow(c - 1)
+		var total float64
+		stall += x.ForEachRow(func(i int, row []float64) {
+			if d2 := blas.SqDist(row, prev); d2 < dist[i] {
+				dist[i] = d2
+			}
+			total += dist[i]
+		})
+		scans++
+		// Sample proportional to dist.
+		target := r.uniform() * total
+		chosen := n - 1
+		var acc float64
+		for i, d2 := range dist {
+			acc += d2
+			if acc >= target {
+				chosen = i
+				break
+			}
+		}
+		row, s := x.Row(chosen)
+		stall += s
+		stall += centroids.SetRow(c, row)
+	}
+	return stall, scans
+}
+
+// Predict returns the nearest-centroid assignment for a single row.
+func (r *Result) Predict(row []float64) int {
+	best, bestC := math.Inf(1), 0
+	k, _ := r.Centroids.Dims()
+	for c := 0; c < k; c++ {
+		if d2 := blas.SqDist(row, r.Centroids.RawRow(c)); d2 < best {
+			best, bestC = d2, c
+		}
+	}
+	return bestC
+}
+
+// Inertia computes the clustering cost of arbitrary data under this
+// result's centroids (one scan).
+func Inertia(x *mat.Dense, centroids *mat.Dense) float64 {
+	k, _ := centroids.Dims()
+	var total float64
+	x.ForEachRow(func(i int, row []float64) {
+		best := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if d2 := blas.SqDist(row, centroids.RawRow(c)); d2 < best {
+				best = d2
+			}
+		}
+		total += best
+	})
+	return total
+}

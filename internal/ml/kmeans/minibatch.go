@@ -1,0 +1,124 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/blas"
+	"m3/internal/mat"
+)
+
+// MiniBatchOptions configures mini-batch k-means (Sculley, WWW 2010),
+// the variant that matters most out-of-core: each step touches only
+// BatchSize rows instead of the whole matrix, trading a little
+// clustering quality for an order-of-magnitude less paging.
+type MiniBatchOptions struct {
+	// K is the cluster count (required).
+	K int
+	// BatchSize rows per step (default 256).
+	BatchSize int
+	// Steps is the number of mini-batch updates (default 100).
+	Steps int
+	// Seed drives batch sampling and initialization.
+	Seed uint64
+	// InitCentroids optionally fixes the starting centroids (K×D);
+	// otherwise K distinct random rows are used.
+	InitCentroids *mat.Dense
+}
+
+func (o MiniBatchOptions) withDefaults() (MiniBatchOptions, error) {
+	if o.K < 1 {
+		return o, fmt.Errorf("kmeans: K = %d, want >= 1", o.K)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.Steps <= 0 {
+		o.Steps = 100
+	}
+	return o, nil
+}
+
+// MiniBatch runs mini-batch k-means. Batches are sampled as
+// contiguous row windows at random offsets, so each step is a short
+// sequential scan — random enough to be unbiased across steps,
+// sequential enough to page well under M3.
+func MiniBatch(x *mat.Dense, opts MiniBatchOptions) (*Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n, d := x.Dims()
+	if o.K > n {
+		return nil, fmt.Errorf("kmeans: K = %d exceeds %d rows", o.K, n)
+	}
+	if o.BatchSize > n {
+		o.BatchSize = n
+	}
+	r := &rng{s: o.Seed ^ 0xa0761d6478bd642f}
+	if r.s == 0 {
+		r.s = 1
+	}
+
+	res := &Result{
+		Centroids:   mat.NewDense(o.K, d),
+		Assignments: make([]int, n),
+	}
+	switch {
+	case o.InitCentroids != nil:
+		ik, id := o.InitCentroids.Dims()
+		if ik != o.K || id != d {
+			return nil, fmt.Errorf("kmeans: InitCentroids is %dx%d, want %dx%d", ik, id, o.K, d)
+		}
+		res.Centroids.CopyFrom(o.InitCentroids)
+	default:
+		res.Stall += initRandom(x, res.Centroids, r)
+	}
+
+	// Per-centroid counts drive the decaying per-center learning
+	// rate η = 1/count (Sculley's update).
+	counts := make([]float64, o.K)
+
+	for step := 0; step < o.Steps; step++ {
+		start := 0
+		if n > o.BatchSize {
+			start = r.intn(n - o.BatchSize + 1)
+		}
+		batch := x.RowWindow(start, start+o.BatchSize)
+		stall := batch.ForEachRow(func(bi int, row []float64) {
+			best, bestC := math.Inf(1), 0
+			for c := 0; c < o.K; c++ {
+				if d2 := blas.SqDist(row, res.Centroids.RawRow(c)); d2 < best {
+					best, bestC = d2, c
+				}
+			}
+			counts[bestC]++
+			eta := 1 / counts[bestC]
+			// centroid ← (1-η)centroid + η·row
+			center := res.Centroids.RawRow(bestC)
+			for j := range center {
+				center[j] += eta * (row[j] - center[j])
+			}
+		})
+		res.Stall += stall
+		res.Iterations = step + 1
+	}
+	// Scans: mini-batch touches Steps×BatchSize rows ≈ this many
+	// full passes (rounded up for reporting).
+	res.Scans = (o.Steps*o.BatchSize + n - 1) / n
+
+	// Final assignment pass for labels and inertia.
+	stall := x.ForEachRow(func(i int, row []float64) {
+		best, bestC := math.Inf(1), 0
+		for c := 0; c < o.K; c++ {
+			if d2 := blas.SqDist(row, res.Centroids.RawRow(c)); d2 < best {
+				best, bestC = d2, c
+			}
+		}
+		res.Assignments[i] = bestC
+		res.Inertia += best
+	})
+	res.Stall += stall
+	res.Scans++
+	return res, nil
+}

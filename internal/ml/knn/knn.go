@@ -1,0 +1,137 @@
+// Package knn implements brute-force k-nearest-neighbor search and
+// classification. Neighbor search is mlpack's flagship workload
+// (allkNN in the mlpack paper the authors built M3 on), and the
+// brute-force variant is the perfect M3 citizen: answering a batch of
+// queries costs exactly one sequential scan of the (possibly mapped)
+// reference matrix, regardless of batch size.
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"m3/internal/blas"
+	"m3/internal/mat"
+)
+
+// Neighbor is one search result.
+type Neighbor struct {
+	// Index is the reference row.
+	Index int
+	// SqDist is the squared Euclidean distance to the query.
+	SqDist float64
+}
+
+// Search finds the k nearest reference rows for each query row using
+// one sequential scan of refs. Results per query are sorted by
+// ascending distance (ties by index). It returns one neighbor slice
+// per query.
+func Search(refs *mat.Dense, queries *mat.Dense, k int) ([][]Neighbor, error) {
+	n, d := refs.Dims()
+	qn, qd := queries.Dims()
+	if d != qd {
+		return nil, fmt.Errorf("knn: reference dim %d != query dim %d", d, qd)
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("knn: k = %d outside [1,%d]", k, n)
+	}
+
+	// Per-query bounded max-heaps, updated as the single scan
+	// streams reference rows past every query.
+	heaps := make([]nheap, qn)
+	for i := range heaps {
+		heaps[i] = make(nheap, 0, k)
+	}
+	qRows := make([][]float64, qn)
+	for i := 0; i < qn; i++ {
+		qRows[i] = queries.RawRow(i)
+	}
+	refs.ForEachRow(func(ri int, row []float64) {
+		for qi := range heaps {
+			d2 := blas.SqDist(row, qRows[qi])
+			h := &heaps[qi]
+			if len(*h) < k {
+				h.push(Neighbor{Index: ri, SqDist: d2})
+			} else if d2 < (*h)[0].SqDist {
+				h.replaceTop(Neighbor{Index: ri, SqDist: d2})
+			}
+		}
+	})
+
+	out := make([][]Neighbor, qn)
+	for qi := range heaps {
+		res := []Neighbor(heaps[qi])
+		sort.Slice(res, func(a, b int) bool {
+			if res[a].SqDist != res[b].SqDist {
+				return res[a].SqDist < res[b].SqDist
+			}
+			return res[a].Index < res[b].Index
+		})
+		out[qi] = res
+	}
+	return out, nil
+}
+
+// Classify predicts labels by majority vote among the k nearest
+// labelled reference rows (ties resolve to the nearest class).
+func Classify(refs *mat.Dense, labels []int, queries *mat.Dense, k int) ([]int, error) {
+	if refs.Rows() != len(labels) {
+		return nil, fmt.Errorf("knn: %d reference rows but %d labels", refs.Rows(), len(labels))
+	}
+	results, err := Search(refs, queries, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(results))
+	for qi, res := range results {
+		votes := make(map[int]int)
+		best, bestClass := 0, labels[res[0].Index]
+		for _, nb := range res {
+			c := labels[nb.Index]
+			votes[c]++
+			// Strictly-greater keeps the earliest (nearest-backed)
+			// class on ties.
+			if votes[c] > best {
+				best, bestClass = votes[c], c
+			}
+		}
+		out[qi] = bestClass
+	}
+	return out, nil
+}
+
+// nheap is a max-heap of neighbors by SqDist (top = worst kept).
+type nheap []Neighbor
+
+func (h *nheap) push(n Neighbor) {
+	*h = append(*h, n)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].SqDist >= (*h)[i].SqDist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *nheap) replaceTop(n Neighbor) {
+	(*h)[0] = n
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(*h) && (*h)[l].SqDist > (*h)[largest].SqDist {
+			largest = l
+		}
+		if r < len(*h) && (*h)[r].SqDist > (*h)[largest].SqDist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+}

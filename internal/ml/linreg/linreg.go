@@ -1,0 +1,261 @@
+// Package linreg implements ridge linear regression over
+// (possibly memory-mapped) matrices, trained either by streaming
+// L-BFGS — the same iteration structure as the paper's logistic
+// regression, so it inherits M3's paging behaviour unchanged — or by
+// the closed-form normal equations for low-dimensional problems.
+package linreg
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/blas"
+	"m3/internal/mat"
+	"m3/internal/optimize"
+)
+
+// Options configures training.
+type Options struct {
+	// Lambda is the ridge penalty (default 1e-6).
+	Lambda float64
+	// NoIntercept disables the bias term.
+	NoIntercept bool
+	// MaxIterations bounds L-BFGS (default 100).
+	MaxIterations int
+	// GradTol is the L-BFGS gradient tolerance (default 1e-8).
+	GradTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lambda == 0 {
+		o.Lambda = 1e-6
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.GradTol <= 0 {
+		o.GradTol = 1e-8
+	}
+	return o
+}
+
+// Model is a fitted linear regressor.
+type Model struct {
+	// Weights holds one coefficient per feature.
+	Weights []float64
+	// Intercept is the bias (0 without intercept).
+	Intercept float64
+}
+
+// Predict returns w·row + b.
+func (m *Model) Predict(row []float64) float64 {
+	return blas.Dot(row, m.Weights) + m.Intercept
+}
+
+// MSE computes the mean squared error over a matrix.
+func (m *Model) MSE(x *mat.Dense, y []float64) float64 {
+	if x.Rows() == 0 {
+		return 0
+	}
+	var sse float64
+	x.ForEachRow(func(i int, row []float64) {
+		d := m.Predict(row) - y[i]
+		sse += d * d
+	})
+	return sse / float64(x.Rows())
+}
+
+// R2 computes the coefficient of determination over a matrix.
+func (m *Model) R2(x *mat.Dense, y []float64) float64 {
+	n := x.Rows()
+	if n == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssTot float64
+	for _, v := range y {
+		d := v - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - m.MSE(x, y)*float64(n)/ssTot
+}
+
+// Objective is the ridge least-squares loss, streamed one row at a
+// time; it implements optimize.Objective.
+type Objective struct {
+	x         *mat.Dense
+	y         []float64
+	lambda    float64
+	intercept bool
+	// Scans counts full passes.
+	Scans int
+}
+
+// NewObjective validates shapes.
+func NewObjective(x *mat.Dense, y []float64, lambda float64, intercept bool) (*Objective, error) {
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("linreg: %d rows but %d targets", x.Rows(), len(y))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linreg: negative lambda %v", lambda)
+	}
+	return &Objective{x: x, y: y, lambda: lambda, intercept: intercept}, nil
+}
+
+// Dim returns the parameter count.
+func (o *Objective) Dim() int {
+	d := o.x.Cols()
+	if o.intercept {
+		d++
+	}
+	return d
+}
+
+// Eval computes ½·mean((w·x+b−y)²) + ½λ‖w‖² and its gradient in one
+// sequential scan.
+func (o *Objective) Eval(params, grad []float64) float64 {
+	d := o.x.Cols()
+	w := params[:d]
+	var b float64
+	if o.intercept {
+		b = params[d]
+	}
+	blas.Fill(grad, 0)
+	gw := grad[:d]
+	var gb, sse float64
+	o.x.ForEachRow(func(i int, row []float64) {
+		r := blas.Dot(row, w) + b - o.y[i]
+		sse += r * r
+		blas.Axpy(r, row, gw)
+		gb += r
+	})
+	o.Scans++
+	n := float64(o.x.Rows())
+	blas.Scal(1/n, gw)
+	if o.intercept {
+		grad[d] = gb / n
+	}
+	loss := 0.5 * sse / n
+	loss += 0.5 * o.lambda * blas.Dot(w, w)
+	blas.Axpy(o.lambda, w, gw)
+	return loss
+}
+
+// Train fits the model with streaming L-BFGS.
+func Train(x *mat.Dense, y []float64, opts Options) (*Model, error) {
+	o := opts.withDefaults()
+	obj, err := NewObjective(x, y, o.Lambda, !o.NoIntercept)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimize.LBFGS(obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
+		MaxIterations: o.MaxIterations,
+		GradTol:       o.GradTol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Weights: res.X[:x.Cols()]}
+	if !o.NoIntercept {
+		m.Intercept = res.X[x.Cols()]
+	}
+	return m, nil
+}
+
+// TrainExact solves the ridge normal equations (XᵀX + λI)w = Xᵀy by
+// Cholesky factorization. One data scan builds the Gram matrix; the
+// solve is O(d³), so this path suits d up to a few thousand. The
+// intercept is handled by augmenting with a constant column
+// (unregularized).
+func TrainExact(x *mat.Dense, y []float64, opts Options) (*Model, error) {
+	o := opts.withDefaults()
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("linreg: %d rows but %d targets", x.Rows(), len(y))
+	}
+	d := x.Cols()
+	p := d
+	if !o.NoIntercept {
+		p++
+	}
+	gram := make([]float64, p*p)
+	rhs := make([]float64, p)
+	x.ForEachRow(func(i int, row []float64) {
+		for a := 0; a < d; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			blas.Axpy(va, row, gram[a*p:a*p+d])
+			if !o.NoIntercept {
+				gram[a*p+d] += va
+			}
+			rhs[a] += va * y[i]
+		}
+		if !o.NoIntercept {
+			blas.Axpy(1, row, gram[d*p:d*p+d])
+			gram[d*p+d]++
+			rhs[d] += y[i]
+		}
+	})
+	// Ridge on weights only.
+	for a := 0; a < d; a++ {
+		gram[a*p+a] += o.Lambda * float64(x.Rows())
+	}
+	w, err := choleskySolve(gram, rhs, p)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Weights: w[:d]}
+	if !o.NoIntercept {
+		m.Intercept = w[d]
+	}
+	return m, nil
+}
+
+// choleskySolve solves Ax=b for symmetric positive-definite A (n×n,
+// row-major), overwriting nothing.
+func choleskySolve(a, b []float64, n int) ([]float64, error) {
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("linreg: gram matrix not positive definite (pivot %d = %g)", i, sum)
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	// Forward substitution: L z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * z[k]
+		}
+		z[i] = sum / l[i*n+i]
+	}
+	// Back substitution: Lᵀ x = z.
+	xs := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * xs[k]
+		}
+		xs[i] = sum / l[i*n+i]
+	}
+	return xs, nil
+}

@@ -1,0 +1,208 @@
+package logreg
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/blas"
+	"m3/internal/mat"
+	"m3/internal/optimize"
+)
+
+// SoftmaxObjective is the multinomial (softmax) generalization used
+// for the 10-class digit problem. Parameters are a row-major K×D
+// weight block followed by K biases when intercept is enabled.
+type SoftmaxObjective struct {
+	x         *mat.Dense
+	y         []int
+	classes   int
+	lambda    float64
+	intercept bool
+	// Stall accumulates simulated paging stall seconds.
+	Stall float64
+	// Scans counts full data passes.
+	Scans int
+	// scratch
+	scores []float64
+}
+
+// NewSoftmaxObjective validates inputs; labels must be in [0, classes).
+func NewSoftmaxObjective(x *mat.Dense, y []int, classes int, lambda float64, intercept bool) (*SoftmaxObjective, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("logreg: need >= 2 classes, got %d", classes)
+	}
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("logreg: %d rows but %d labels", x.Rows(), len(y))
+	}
+	for i, v := range y {
+		if v < 0 || v >= classes {
+			return nil, fmt.Errorf("logreg: label[%d] = %d outside [0,%d)", i, v, classes)
+		}
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("logreg: negative lambda %v", lambda)
+	}
+	return &SoftmaxObjective{
+		x: x, y: y, classes: classes, lambda: lambda, intercept: intercept,
+		scores: make([]float64, classes),
+	}, nil
+}
+
+// Dim returns K*D (+K with intercept).
+func (o *SoftmaxObjective) Dim() int {
+	d := o.classes * o.x.Cols()
+	if o.intercept {
+		d += o.classes
+	}
+	return d
+}
+
+// Eval computes mean cross-entropy plus L2 penalty, streaming the
+// data once.
+func (o *SoftmaxObjective) Eval(params, grad []float64) float64 {
+	d := o.x.Cols()
+	k := o.classes
+	wAll := params[:k*d]
+	var bias []float64
+	if o.intercept {
+		bias = params[k*d : k*d+k]
+	}
+	blas.Fill(grad, 0)
+	gw := grad[:k*d]
+	var gb []float64
+	if o.intercept {
+		gb = grad[k*d : k*d+k]
+	}
+	var loss float64
+
+	stall := o.x.ForEachRow(func(i int, row []float64) {
+		// scores_c = w_c · row + b_c
+		maxScore := math.Inf(-1)
+		for c := 0; c < k; c++ {
+			s := blas.Dot(wAll[c*d:(c+1)*d], row)
+			if o.intercept {
+				s += bias[c]
+			}
+			o.scores[c] = s
+			if s > maxScore {
+				maxScore = s
+			}
+		}
+		// log-sum-exp with max shift
+		var sum float64
+		for c := 0; c < k; c++ {
+			o.scores[c] = math.Exp(o.scores[c] - maxScore)
+			sum += o.scores[c]
+		}
+		logSum := math.Log(sum) + maxScore
+		yi := o.y[i]
+		// loss_i = logSum - score_{yi}; recover shifted score.
+		loss += logSum - (math.Log(o.scores[yi]) + maxScore)
+		inv := 1 / sum
+		for c := 0; c < k; c++ {
+			p := o.scores[c] * inv
+			diff := p
+			if c == yi {
+				diff -= 1
+			}
+			if diff != 0 {
+				blas.Axpy(diff, row, gw[c*d:(c+1)*d])
+				if o.intercept {
+					gb[c] += diff
+				}
+			}
+		}
+	})
+	o.Stall += stall
+	o.Scans++
+
+	n := float64(o.x.Rows())
+	loss /= n
+	blas.Scal(1/n, gw)
+	if o.intercept {
+		blas.Scal(1/n, gb)
+	}
+	loss += 0.5 * o.lambda * blas.Dot(wAll, wAll)
+	blas.Axpy(o.lambda, wAll, gw)
+	return loss
+}
+
+// SoftmaxModel is a trained multiclass classifier.
+type SoftmaxModel struct {
+	// Weights is row-major K×D.
+	Weights []float64
+	// Bias has one entry per class (nil without intercept).
+	Bias []float64
+	// Classes is K.
+	Classes int
+	// Features is D.
+	Features int
+	// Result is the optimizer outcome.
+	Result optimize.Result
+}
+
+// TrainSoftmax fits a K-class softmax regression model with L-BFGS.
+func TrainSoftmax(x *mat.Dense, y []int, classes int, opts Options) (*SoftmaxModel, error) {
+	o := opts.withDefaults()
+	obj, err := NewSoftmaxObjective(x, y, classes, o.Lambda, !o.NoIntercept)
+	if err != nil {
+		return nil, err
+	}
+	x0 := make([]float64, obj.Dim())
+	res, err := optimize.LBFGS(obj, x0, optimize.LBFGSParams{
+		MaxIterations: o.MaxIterations,
+		GradTol:       o.GradTol,
+		Callback:      o.Callback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := x.Cols()
+	m := &SoftmaxModel{
+		Weights: res.X[:classes*d], Classes: classes, Features: d, Result: res,
+	}
+	if !o.NoIntercept {
+		m.Bias = res.X[classes*d : classes*d+classes]
+	}
+	return m, nil
+}
+
+// Scores writes per-class raw scores for row into dst (length K).
+func (m *SoftmaxModel) Scores(row []float64, dst []float64) {
+	for c := 0; c < m.Classes; c++ {
+		s := blas.Dot(m.Weights[c*m.Features:(c+1)*m.Features], row)
+		if m.Bias != nil {
+			s += m.Bias[c]
+		}
+		dst[c] = s
+	}
+}
+
+// Predict returns the argmax class for row.
+func (m *SoftmaxModel) Predict(row []float64) int {
+	best, bestC := math.Inf(-1), 0
+	for c := 0; c < m.Classes; c++ {
+		s := blas.Dot(m.Weights[c*m.Features:(c+1)*m.Features], row)
+		if m.Bias != nil {
+			s += m.Bias[c]
+		}
+		if s > best {
+			best, bestC = s, c
+		}
+	}
+	return bestC
+}
+
+// Accuracy scores the model on a labelled matrix.
+func (m *SoftmaxModel) Accuracy(x *mat.Dense, y []int) float64 {
+	if x.Rows() == 0 {
+		return 0
+	}
+	correct := 0
+	x.ForEachRow(func(i int, row []float64) {
+		if m.Predict(row) == y[i] {
+			correct++
+		}
+	})
+	return float64(correct) / float64(x.Rows())
+}

@@ -1,0 +1,173 @@
+// Package modelio persists trained models. The format is a small
+// gob-encoded envelope with a kind tag and format version, so files
+// are self-describing and future kinds can be added without breaking
+// old readers.
+package modelio
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"m3/internal/mat"
+	"m3/internal/ml/bayes"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/linreg"
+	"m3/internal/ml/logreg"
+)
+
+// Kind tags a persisted model type.
+type Kind string
+
+// Supported model kinds.
+const (
+	KindLogistic Kind = "logistic"
+	KindSoftmax  Kind = "softmax"
+	KindLinear   Kind = "linear"
+	KindKMeans   Kind = "kmeans"
+	KindBayes    Kind = "bayes"
+)
+
+// version of the envelope format.
+const version = 1
+
+// envelope is the on-disk frame.
+type envelope struct {
+	Version int
+	Kind    Kind
+	Payload any
+}
+
+// payload structs keep persistence decoupled from in-memory types.
+
+type logisticPayload struct {
+	Weights   []float64
+	Intercept float64
+}
+
+type softmaxPayload struct {
+	Weights  []float64
+	Bias     []float64
+	Classes  int
+	Features int
+}
+
+type linearPayload struct {
+	Weights   []float64
+	Intercept float64
+}
+
+type kmeansPayload struct {
+	Centroids []float64
+	K, D      int
+}
+
+type bayesPayload struct {
+	Classes  int
+	Features int
+	Mean     []float64
+	Var      []float64
+	LogPrior []float64
+}
+
+func init() {
+	gob.Register(logisticPayload{})
+	gob.Register(softmaxPayload{})
+	gob.Register(linearPayload{})
+	gob.Register(kmeansPayload{})
+	gob.Register(bayesPayload{})
+}
+
+// Save writes a model to w. Supported types: *logreg.Model,
+// *logreg.SoftmaxModel, *linreg.Model, *kmeans.Result, *bayes.Model.
+func Save(w io.Writer, model any) error {
+	env := envelope{Version: version}
+	switch m := model.(type) {
+	case *logreg.Model:
+		env.Kind = KindLogistic
+		env.Payload = logisticPayload{Weights: m.Weights, Intercept: m.Intercept}
+	case *logreg.SoftmaxModel:
+		env.Kind = KindSoftmax
+		env.Payload = softmaxPayload{
+			Weights: m.Weights, Bias: m.Bias, Classes: m.Classes, Features: m.Features,
+		}
+	case *linreg.Model:
+		env.Kind = KindLinear
+		env.Payload = linearPayload{Weights: m.Weights, Intercept: m.Intercept}
+	case *kmeans.Result:
+		k, d := m.Centroids.Dims()
+		flat := make([]float64, 0, k*d)
+		for c := 0; c < k; c++ {
+			flat = append(flat, m.Centroids.RawRow(c)...)
+		}
+		env.Kind = KindKMeans
+		env.Payload = kmeansPayload{Centroids: flat, K: k, D: d}
+	case *bayes.Model:
+		env.Kind = KindBayes
+		env.Payload = bayesPayload{
+			Classes: m.Classes, Features: m.Features,
+			Mean: m.Mean, Var: m.Var, LogPrior: m.LogPrior,
+		}
+	default:
+		return fmt.Errorf("modelio: unsupported model type %T", model)
+	}
+	return gob.NewEncoder(w).Encode(env)
+}
+
+// Load reads a model envelope. The returned value is one of the
+// pointer types accepted by Save; use LoadedKind or a type switch.
+func Load(r io.Reader) (any, Kind, error) {
+	var env envelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, "", fmt.Errorf("modelio: decoding: %w", err)
+	}
+	if env.Version != version {
+		return nil, "", fmt.Errorf("modelio: unsupported version %d", env.Version)
+	}
+	switch p := env.Payload.(type) {
+	case logisticPayload:
+		return &logreg.Model{Weights: p.Weights, Intercept: p.Intercept}, env.Kind, nil
+	case softmaxPayload:
+		return &logreg.SoftmaxModel{
+			Weights: p.Weights, Bias: p.Bias, Classes: p.Classes, Features: p.Features,
+		}, env.Kind, nil
+	case linearPayload:
+		return &linreg.Model{Weights: p.Weights, Intercept: p.Intercept}, env.Kind, nil
+	case kmeansPayload:
+		if p.K <= 0 || p.D <= 0 || len(p.Centroids) != p.K*p.D {
+			return nil, "", fmt.Errorf("modelio: corrupt k-means payload (%d values for %dx%d)", len(p.Centroids), p.K, p.D)
+		}
+		c := mat.NewDenseFrom(p.Centroids, p.K, p.D)
+		return &kmeans.Result{Centroids: c}, env.Kind, nil
+	case bayesPayload:
+		return &bayes.Model{
+			Classes: p.Classes, Features: p.Features,
+			Mean: p.Mean, Var: p.Var, LogPrior: p.LogPrior,
+		}, env.Kind, nil
+	}
+	return nil, "", fmt.Errorf("modelio: unknown payload %T", env.Payload)
+}
+
+// SaveFile writes a model to path.
+func SaveFile(path string, model any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, model); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (any, Kind, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,172 @@
+package modelio
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"m3/internal/infimnist"
+	"m3/internal/mat"
+	"m3/internal/ml/bayes"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/linreg"
+	"m3/internal/ml/logreg"
+)
+
+func digitData(t *testing.T, n int) (*mat.Dense, []float64, []int) {
+	t.Helper()
+	g := infimnist.Generator{Seed: 17}
+	xs, labels := g.Matrix(0, int64(n))
+	x := mat.NewDenseFrom(xs, n, infimnist.Features)
+	yb := make([]float64, n)
+	yi := make([]int, n)
+	for i, v := range labels {
+		yi[i] = int(v)
+		if v == 0 {
+			yb[i] = 1
+		}
+	}
+	return x, yb, yi
+}
+
+func TestLogisticRoundTrip(t *testing.T) {
+	x, y, _ := digitData(t, 80)
+	m, err := logreg.Train(x, y, logreg.Options{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, kind, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindLogistic {
+		t.Errorf("kind = %v", kind)
+	}
+	lm := got.(*logreg.Model)
+	if lm.Intercept != m.Intercept {
+		t.Errorf("intercept %v != %v", lm.Intercept, m.Intercept)
+	}
+	if acc1, acc2 := m.Accuracy(x, y), lm.Accuracy(x, y); acc1 != acc2 {
+		t.Errorf("accuracy changed: %v -> %v", acc1, acc2)
+	}
+}
+
+func TestSoftmaxRoundTrip(t *testing.T) {
+	x, _, yi := digitData(t, 80)
+	m, err := logreg.TrainSoftmax(x, yi, 10, logreg.Options{MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, kind, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindSoftmax {
+		t.Errorf("kind = %v", kind)
+	}
+	sm := got.(*logreg.SoftmaxModel)
+	row := x.RawRow(5)
+	if sm.Predict(row) != m.Predict(row) {
+		t.Error("prediction changed after round trip")
+	}
+}
+
+func TestLinearRoundTrip(t *testing.T) {
+	x := mat.NewDense(50, 2)
+	y := make([]float64, 50)
+	for i := 0; i < 50; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 1, float64(i%7))
+		y[i] = 2*float64(i) - float64(i%7) + 1
+	}
+	m, err := linreg.Train(x, y, linreg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, kind, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindLinear {
+		t.Errorf("kind = %v", kind)
+	}
+	lm := got.(*linreg.Model)
+	if lm.Predict(x.RawRow(3)) != m.Predict(x.RawRow(3)) {
+		t.Error("prediction changed")
+	}
+}
+
+func TestKMeansRoundTripFile(t *testing.T) {
+	x, _, _ := digitData(t, 60)
+	res, err := kmeans.Run(x, kmeans.Options{K: 4, Seed: 2, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "km.model")
+	if err := SaveFile(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, kind, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindKMeans {
+		t.Errorf("kind = %v", kind)
+	}
+	km := got.(*kmeans.Result)
+	row := x.RawRow(9)
+	if km.Predict(row) != res.Predict(row) {
+		t.Error("assignment changed after round trip")
+	}
+}
+
+func TestBayesRoundTrip(t *testing.T) {
+	x, _, yi := digitData(t, 100)
+	m, err := bayes.Train(x, yi, 10, bayes.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, kind, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindBayes {
+		t.Errorf("kind = %v", kind)
+	}
+	bm := got.(*bayes.Model)
+	if bm.Predict(x.RawRow(0)) != m.Predict(x.RawRow(0)) {
+		t.Error("prediction changed")
+	}
+}
+
+func TestSaveRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, 42); err == nil {
+		t.Error("accepted int")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("loaded garbage")
+	}
+	if _, _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("loaded missing file")
+	}
+}

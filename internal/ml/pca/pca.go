@@ -1,0 +1,205 @@
+// Package pca implements principal component analysis over
+// (possibly memory-mapped) matrices: one streaming pass accumulates
+// the covariance, then orthogonal power iteration with deflation
+// extracts the leading components. Data is scanned exactly once
+// regardless of the component count, so PCA joins naive Bayes at the
+// cheap end of the scan-count spectrum M3 cares about.
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/blas"
+	"m3/internal/mat"
+)
+
+// Options configures the decomposition.
+type Options struct {
+	// Components is the number of principal components (required).
+	Components int
+	// MaxIterations bounds power iterations per component
+	// (default 1000).
+	MaxIterations int
+	// Tol is the eigenvector convergence tolerance (default 1e-10).
+	Tol float64
+	// Seed drives the deterministic start vectors.
+	Seed uint64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Components < 1 {
+		return o, fmt.Errorf("pca: components = %d, want >= 1", o.Components)
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 1000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	return o, nil
+}
+
+// Result is a fitted decomposition.
+type Result struct {
+	// Components is row-major K×D: each row a unit-norm principal
+	// direction.
+	Components *mat.Dense
+	// Eigenvalues are the corresponding covariance eigenvalues
+	// (variance along each component), descending.
+	Eigenvalues []float64
+	// Mean is the feature mean subtracted before projection.
+	Mean []float64
+	// TotalVariance is the trace of the covariance.
+	TotalVariance float64
+}
+
+// ExplainedRatio returns the fraction of total variance captured by
+// each component.
+func (r *Result) ExplainedRatio() []float64 {
+	out := make([]float64, len(r.Eigenvalues))
+	if r.TotalVariance == 0 {
+		return out
+	}
+	for i, v := range r.Eigenvalues {
+		out[i] = v / r.TotalVariance
+	}
+	return out
+}
+
+// Transform projects row onto the components, writing K coordinates
+// into dst.
+func (r *Result) Transform(row []float64, dst []float64) {
+	k, d := r.Components.Dims()
+	if len(row) != d || len(dst) != k {
+		panic(fmt.Sprintf("pca: shapes row=%d dst=%d model=(%d,%d)", len(row), len(dst), k, d))
+	}
+	centered := make([]float64, d)
+	blas.AddScaled(centered, row, -1, r.Mean)
+	for c := 0; c < k; c++ {
+		dst[c] = blas.Dot(centered, r.Components.RawRow(c))
+	}
+}
+
+// Reconstruct maps K projected coordinates back to feature space.
+func (r *Result) Reconstruct(coords []float64, dst []float64) {
+	k, d := r.Components.Dims()
+	if len(coords) != k || len(dst) != d {
+		panic(fmt.Sprintf("pca: shapes coords=%d dst=%d model=(%d,%d)", len(coords), len(dst), k, d))
+	}
+	copy(dst, r.Mean)
+	for c := 0; c < k; c++ {
+		blas.Axpy(coords[c], r.Components.RawRow(c), dst)
+	}
+}
+
+// Fit computes the decomposition. The data matrix is scanned exactly
+// twice (mean pass + covariance pass); all further work is on the
+// D×D covariance.
+func Fit(x *mat.Dense, opts Options) (*Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n, d := x.Dims()
+	if o.Components > d {
+		return nil, fmt.Errorf("pca: %d components exceed %d features", o.Components, d)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need >= 2 rows, got %d", n)
+	}
+
+	// Pass 1: mean.
+	mean := make([]float64, d)
+	x.ForEachRow(func(i int, row []float64) {
+		blas.Axpy(1, row, mean)
+	})
+	blas.Scal(1/float64(n), mean)
+
+	// Pass 2: covariance (upper triangle, then mirrored).
+	cov := make([]float64, d*d)
+	centered := make([]float64, d)
+	x.ForEachRow(func(i int, row []float64) {
+		blas.AddScaled(centered, row, -1, mean)
+		for a := 0; a < d; a++ {
+			va := centered[a]
+			if va == 0 {
+				continue
+			}
+			blas.Axpy(va, centered[a:], cov[a*d+a:a*d+d])
+		}
+	})
+	inv := 1 / float64(n-1)
+	var total float64
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov[a*d+b] * inv
+			cov[a*d+b] = v
+			cov[b*d+a] = v
+		}
+		total += cov[a*d+a]
+	}
+
+	res := &Result{
+		Components:    mat.NewDense(o.Components, d),
+		Eigenvalues:   make([]float64, o.Components),
+		Mean:          mean,
+		TotalVariance: total,
+	}
+
+	// Orthogonal power iteration with deflation.
+	rng := o.Seed ^ 0x9e3779b97f4a7c15
+	if rng == 0 {
+		rng = 1
+	}
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%2000)/1000 - 1
+	}
+	v := make([]float64, d)
+	av := make([]float64, d)
+	for c := 0; c < o.Components; c++ {
+		for i := range v {
+			v[i] = next()
+		}
+		orthogonalize(v, res.Components, c)
+		if nrm := blas.Nrm2(v); nrm > 0 {
+			blas.Scal(1/nrm, v)
+		}
+		var lambda float64
+		for iter := 0; iter < o.MaxIterations; iter++ {
+			blas.Gemv(d, d, 1, cov, d, v, 0, av)
+			orthogonalize(av, res.Components, c)
+			nrm := blas.Nrm2(av)
+			if nrm == 0 {
+				break // remaining spectrum is zero
+			}
+			blas.Scal(1/nrm, av)
+			lambda = nrm
+			// Convergence: direction change.
+			diff := 0.0
+			for i := range v {
+				dd := math.Abs(av[i]) - math.Abs(v[i])
+				diff += dd * dd
+			}
+			copy(v, av)
+			if diff < o.Tol*o.Tol {
+				break
+			}
+		}
+		res.Components.SetRow(c, v)
+		res.Eigenvalues[c] = lambda
+	}
+	return res, nil
+}
+
+// orthogonalize removes the projections of v onto the first k rows of
+// basis (Gram–Schmidt step).
+func orthogonalize(v []float64, basis *mat.Dense, k int) {
+	for c := 0; c < k; c++ {
+		row := basis.RawRow(c)
+		blas.Axpy(-blas.Dot(v, row), row, v)
+	}
+}

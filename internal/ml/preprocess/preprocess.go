@@ -1,0 +1,150 @@
+// Package preprocess provides feature scaling and label utilities
+// fitted in single streaming passes, so preprocessing a memory-mapped
+// dataset costs exactly one scan — the same currency every other M3
+// stage is priced in.
+package preprocess
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/mat"
+)
+
+// StandardScaler centers features to zero mean and unit variance.
+type StandardScaler struct {
+	// Mean and Std are per-feature statistics; Std entries are
+	// floored at a small epsilon so constant features map to zero.
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandard computes per-feature mean and standard deviation in one
+// scan (Welford's algorithm, numerically stable for long streams).
+func FitStandard(x *mat.Dense) (*StandardScaler, error) {
+	n, d := x.Dims()
+	if n < 2 {
+		return nil, fmt.Errorf("preprocess: need >= 2 rows, got %d", n)
+	}
+	mean := make([]float64, d)
+	m2 := make([]float64, d)
+	count := 0.0
+	x.ForEachRow(func(i int, row []float64) {
+		count++
+		for j, v := range row {
+			delta := v - mean[j]
+			mean[j] += delta / count
+			m2[j] += delta * (v - mean[j])
+		}
+	})
+	std := make([]float64, d)
+	for j := range std {
+		std[j] = math.Sqrt(m2[j] / count)
+		if std[j] < 1e-12 {
+			std[j] = 1 // constant feature: leave centered at zero
+		}
+	}
+	return &StandardScaler{Mean: mean, Std: std}, nil
+}
+
+// TransformRow standardizes one row in place.
+func (s *StandardScaler) TransformRow(row []float64) {
+	if len(row) != len(s.Mean) {
+		panic(fmt.Sprintf("preprocess: row has %d features, scaler has %d", len(row), len(s.Mean)))
+	}
+	for j := range row {
+		row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+	}
+}
+
+// Transform standardizes every row of a writable matrix in place
+// (one scan).
+func (s *StandardScaler) Transform(x *mat.Dense) error {
+	_, d := x.Dims()
+	if d != len(s.Mean) {
+		return fmt.Errorf("preprocess: matrix has %d features, scaler has %d", d, len(s.Mean))
+	}
+	if !x.Store().Writable() {
+		return fmt.Errorf("preprocess: matrix store is read-only")
+	}
+	x.ForEachRow(func(i int, row []float64) {
+		s.TransformRow(row)
+	})
+	return nil
+}
+
+// MinMaxScaler maps features into [0, 1] by observed range.
+type MinMaxScaler struct {
+	// Min and Range are per-feature; Range entries are floored so
+	// constant features map to zero.
+	Min   []float64
+	Range []float64
+}
+
+// FitMinMax computes per-feature minima and ranges in one scan.
+func FitMinMax(x *mat.Dense) (*MinMaxScaler, error) {
+	n, d := x.Dims()
+	if n < 1 {
+		return nil, fmt.Errorf("preprocess: empty matrix")
+	}
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := range lo {
+		lo[j] = math.Inf(1)
+		hi[j] = math.Inf(-1)
+	}
+	x.ForEachRow(func(i int, row []float64) {
+		for j, v := range row {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	})
+	rng := make([]float64, d)
+	for j := range rng {
+		rng[j] = hi[j] - lo[j]
+		if rng[j] < 1e-12 {
+			rng[j] = 1
+		}
+	}
+	return &MinMaxScaler{Min: lo, Range: rng}, nil
+}
+
+// TransformRow rescales one row in place.
+func (s *MinMaxScaler) TransformRow(row []float64) {
+	if len(row) != len(s.Min) {
+		panic(fmt.Sprintf("preprocess: row has %d features, scaler has %d", len(row), len(s.Min)))
+	}
+	for j := range row {
+		row[j] = (row[j] - s.Min[j]) / s.Range[j]
+	}
+}
+
+// BinaryLabels converts multiclass labels to a 0/1 vector marking the
+// positive class — the "digit d vs rest" tasks of the experiments.
+func BinaryLabels(labels []float64, positive float64) []float64 {
+	out := make([]float64, len(labels))
+	for i, v := range labels {
+		if v == positive {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// IntLabels converts float labels to ints, validating they are whole
+// numbers within [0, classes).
+func IntLabels(labels []float64, classes int) ([]int, error) {
+	out := make([]int, len(labels))
+	for i, v := range labels {
+		n := int(v)
+		if float64(n) != v || n < 0 || n >= classes {
+			return nil, fmt.Errorf("preprocess: label[%d] = %v not an integer in [0,%d)", i, v, classes)
+		}
+		out[i] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+// Package sgd implements stochastic gradient descent for logistic
+// regression — the paper's §4 plan to "extend our M3 approach to a
+// wide range of machine learning (including online learning)".
+//
+// Two entry points:
+//
+//   - Train performs epoch-based (mini-batch) SGD over a matrix,
+//     which may be memory-mapped; with Shuffle off it visits rows in
+//     storage order, preserving the sequential access pattern that
+//     pages well (the access-pattern experiment quantifies why
+//     Shuffle is expensive out-of-core).
+//   - Learner is a true online learner: one Update per arriving
+//     example, no dataset required at all — the natural fit for
+//     Infimnist's unbounded stream.
+package sgd
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/blas"
+	"m3/internal/mat"
+	"m3/internal/ml/logreg"
+)
+
+// Options configures SGD training.
+type Options struct {
+	// LearningRate is the initial step size η₀ (default 0.5).
+	LearningRate float64
+	// Lambda is the L2 regularization strength (default 1e-4). It
+	// also drives the Bottou step decay η_t = η₀/(1+η₀λt).
+	Lambda float64
+	// Epochs over the data (default 1).
+	Epochs int
+	// BatchSize for mini-batching (default 1 = pure online).
+	BatchSize int
+	// Shuffle visits rows in a pseudo-random order each epoch.
+	// Sequential order (default) is what pages well under M3.
+	Shuffle bool
+	// Seed drives shuffling.
+	Seed uint64
+	// Callback runs after each epoch with the running mean loss;
+	// returning false stops training.
+	Callback func(epoch int, meanLoss float64) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.5
+	}
+	if o.Lambda < 0 {
+		o.Lambda = 0
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	return o
+}
+
+// Learner is an online binary logistic-regression learner. The zero
+// value is not ready; use NewLearner.
+type Learner struct {
+	// W are the feature weights.
+	W []float64
+	// B is the bias.
+	B float64
+	// Steps counts updates performed.
+	Steps int
+
+	eta0   float64
+	lambda float64
+}
+
+// NewLearner creates an online learner for dim features.
+func NewLearner(dim int, learningRate, lambda float64) (*Learner, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("sgd: non-positive dimension %d", dim)
+	}
+	if learningRate <= 0 {
+		return nil, fmt.Errorf("sgd: non-positive learning rate %v", learningRate)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("sgd: negative lambda %v", lambda)
+	}
+	return &Learner{W: make([]float64, dim), eta0: learningRate, lambda: lambda}, nil
+}
+
+// eta returns the step size for the current step (Bottou decay).
+func (l *Learner) eta() float64 {
+	return l.eta0 / (1 + l.eta0*l.lambda*float64(l.Steps))
+}
+
+// Update performs one SGD step on a single labelled example and
+// returns its pre-update log-loss. The label must be 0 or 1.
+func (l *Learner) Update(row []float64, y float64) (loss float64, err error) {
+	if len(row) != len(l.W) {
+		return 0, fmt.Errorf("sgd: row has %d features, learner has %d", len(row), len(l.W))
+	}
+	if y != 0 && y != 1 {
+		return 0, fmt.Errorf("sgd: label %v, want 0 or 1", y)
+	}
+	z := blas.Dot(row, l.W) + l.B
+	prob, loss := sigmoidLoss(z, y)
+	step := l.eta()
+	diff := prob - y
+	// w ← (1-ηλ)w - η·diff·x  (regularized SGD step)
+	if l.lambda > 0 {
+		blas.Scal(1-step*l.lambda, l.W)
+	}
+	blas.Axpy(-step*diff, row, l.W)
+	l.B -= step * diff
+	l.Steps++
+	return loss, nil
+}
+
+// Prob returns P(y=1 | row) under the current parameters.
+func (l *Learner) Prob(row []float64) float64 {
+	z := blas.Dot(row, l.W) + l.B
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	ez := math.Exp(z)
+	return ez / (1 + ez)
+}
+
+// Predict returns the hard 0/1 label.
+func (l *Learner) Predict(row []float64) float64 {
+	if blas.Dot(row, l.W)+l.B >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Model converts the learner into a logreg.Model for shared
+// evaluation helpers.
+func (l *Learner) Model() *logreg.Model {
+	w := append([]float64(nil), l.W...)
+	return &logreg.Model{Weights: w, Intercept: l.B}
+}
+
+// sigmoidLoss mirrors the numerically stable form used by logreg.
+func sigmoidLoss(z, y float64) (prob, loss float64) {
+	if z >= 0 {
+		ez := math.Exp(-z)
+		prob = 1 / (1 + ez)
+		if y == 1 {
+			loss = math.Log1p(ez)
+		} else {
+			loss = z + math.Log1p(ez)
+		}
+		return prob, loss
+	}
+	ez := math.Exp(z)
+	prob = ez / (1 + ez)
+	if y == 1 {
+		loss = -z + math.Log1p(ez)
+	} else {
+		loss = math.Log1p(ez)
+	}
+	return prob, loss
+}
+
+// Train runs epoch-based mini-batch SGD over a (possibly mapped)
+// matrix and returns the fitted model.
+func Train(x *mat.Dense, y []float64, opts Options) (*logreg.Model, error) {
+	o := opts.withDefaults()
+	n, d := x.Dims()
+	if n != len(y) {
+		return nil, fmt.Errorf("sgd: %d rows but %d labels", n, len(y))
+	}
+	for i, v := range y {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("sgd: label[%d] = %v, want 0 or 1", i, v)
+		}
+	}
+	learner, err := NewLearner(d, o.LearningRate, o.Lambda)
+	if err != nil {
+		return nil, err
+	}
+
+	batchGrad := make([]float64, d)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rngState := o.Seed ^ 0x9e3779b97f4a7c15
+	if rngState == 0 {
+		rngState = 1
+	}
+	nextRand := func() uint64 {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		return rngState
+	}
+
+	for epoch := 1; epoch <= o.Epochs; epoch++ {
+		if o.Shuffle {
+			for i := n - 1; i > 0; i-- {
+				j := int(nextRand() % uint64(i+1))
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		var epochLoss float64
+		for start := 0; start < n; start += o.BatchSize {
+			end := start + o.BatchSize
+			if end > n {
+				end = n
+			}
+			if o.BatchSize == 1 {
+				row, _ := x.Row(order[start])
+				loss, err := learner.Update(row, y[order[start]])
+				if err != nil {
+					return nil, err
+				}
+				epochLoss += loss
+				continue
+			}
+			// Mini-batch: average the gradient, one step.
+			blas.Fill(batchGrad, 0)
+			var biasGrad float64
+			for _, idx := range order[start:end] {
+				row, _ := x.Row(idx)
+				z := blas.Dot(row, learner.W) + learner.B
+				prob, loss := sigmoidLoss(z, y[idx])
+				epochLoss += loss
+				diff := prob - y[idx]
+				blas.Axpy(diff, row, batchGrad)
+				biasGrad += diff
+			}
+			m := float64(end - start)
+			step := learner.eta()
+			if learner.lambda > 0 {
+				blas.Scal(1-step*learner.lambda, learner.W)
+			}
+			blas.Axpy(-step/m, batchGrad, learner.W)
+			learner.B -= step * biasGrad / m
+			learner.Steps++
+		}
+		if o.Callback != nil && !o.Callback(epoch, epochLoss/float64(n)) {
+			break
+		}
+	}
+	return learner.Model(), nil
+}

@@ -1,0 +1,248 @@
+package sgd
+
+import (
+	"math"
+	"testing"
+
+	"m3/internal/infimnist"
+	"m3/internal/mat"
+)
+
+// blobs builds a linearly separable binary problem.
+func blobs(n int) (*mat.Dense, []float64) {
+	x := mat.NewDense(n, 2)
+	y := make([]float64, n)
+	r := uint64(4242)
+	next := func() float64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return float64(r%1000)/1000 - 0.5
+	}
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x.Set(i, 0, next()+2)
+			x.Set(i, 1, next()+2)
+			y[i] = 1
+		} else {
+			x.Set(i, 0, next()-2)
+			x.Set(i, 1, next()-2)
+		}
+	}
+	return x, y
+}
+
+func TestTrainLearnsBlobs(t *testing.T) {
+	x, y := blobs(400)
+	m, err := Train(x, y, Options{Epochs: 5, LearningRate: 0.5, Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.98 {
+		t.Errorf("SGD accuracy = %v", acc)
+	}
+}
+
+func TestTrainMiniBatch(t *testing.T) {
+	x, y := blobs(300)
+	m, err := Train(x, y, Options{Epochs: 10, BatchSize: 16, LearningRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.98 {
+		t.Errorf("mini-batch accuracy = %v", acc)
+	}
+}
+
+func TestTrainShuffleDeterministicInSeed(t *testing.T) {
+	x, y := blobs(100)
+	a, err := Train(x, y, Options{Epochs: 2, Shuffle: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(x, y, Options{Epochs: 2, Shuffle: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("same seed diverged at weight %d", i)
+		}
+	}
+	c, err := Train(x, y, Options{Epochs: 2, Shuffle: true, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.Intercept == c.Intercept
+	for i := range a.Weights {
+		same = same && a.Weights[i] == c.Weights[i]
+	}
+	if same {
+		t.Error("different seeds produced identical models")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	x, _ := blobs(10)
+	if _, err := Train(x, []float64{0, 1}, Options{}); err == nil {
+		t.Error("accepted label mismatch")
+	}
+	bad := make([]float64, 10)
+	bad[3] = 5
+	if _, err := Train(x, bad, Options{}); err == nil {
+		t.Error("accepted label 5")
+	}
+}
+
+func TestTrainCallbackStops(t *testing.T) {
+	x, y := blobs(50)
+	calls := 0
+	_, err := Train(x, y, Options{Epochs: 10, Callback: func(epoch int, _ float64) bool {
+		calls++
+		return false
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after stop", calls)
+	}
+}
+
+func TestTrainLossDecreasesOverEpochs(t *testing.T) {
+	x, y := blobs(200)
+	var losses []float64
+	_, err := Train(x, y, Options{Epochs: 6, LearningRate: 0.3, Callback: func(_ int, meanLoss float64) bool {
+		losses = append(losses, meanLoss)
+		return true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 6 {
+		t.Fatalf("epochs = %d", len(losses))
+	}
+	if !(losses[5] < losses[0]) {
+		t.Errorf("loss did not decrease: %v", losses)
+	}
+}
+
+func TestLearnerOnlineStream(t *testing.T) {
+	// True online learning from the infinite digit stream: never
+	// materialize a dataset at all (paper §4, online learning).
+	g := infimnist.Generator{Seed: 12}
+	l, err := NewLearner(infimnist.Features, 0.5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, infimnist.Features)
+	for i := int64(0); i < 3000; i++ {
+		label := g.Fill(row, i)
+		y := 0.0
+		if label == 0 {
+			y = 1
+		}
+		if _, err := l.Update(row, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Steps != 3000 {
+		t.Errorf("steps = %d", l.Steps)
+	}
+	// Evaluate on unseen stream indices.
+	correct := 0
+	const test = 500
+	for i := int64(100000); i < 100000+test; i++ {
+		label := g.Fill(row, i)
+		want := 0.0
+		if label == 0 {
+			want = 1
+		}
+		if l.Predict(row) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / test; acc < 0.9 {
+		t.Errorf("online accuracy on unseen stream = %v", acc)
+	}
+}
+
+func TestLearnerValidation(t *testing.T) {
+	if _, err := NewLearner(0, 1, 0); err == nil {
+		t.Error("accepted dim 0")
+	}
+	if _, err := NewLearner(3, 0, 0); err == nil {
+		t.Error("accepted rate 0")
+	}
+	if _, err := NewLearner(3, 1, -1); err == nil {
+		t.Error("accepted negative lambda")
+	}
+	l, err := NewLearner(3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Update([]float64{1, 2}, 0); err == nil {
+		t.Error("accepted short row")
+	}
+	if _, err := l.Update([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("accepted label 2")
+	}
+}
+
+func TestLearnerStepDecay(t *testing.T) {
+	l, err := NewLearner(1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := l.eta()
+	if _, err := l.Update([]float64{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Update([]float64{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e2 := l.eta(); !(e2 < e0) {
+		t.Errorf("learning rate did not decay: %v -> %v", e0, e2)
+	}
+}
+
+func TestLearnerProbRange(t *testing.T) {
+	l, err := NewLearner(2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.W = []float64{1000, -1000}
+	for _, row := range [][]float64{{1, 0}, {0, 1}, {0.5, 0.5}} {
+		p := l.Prob(row)
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Errorf("Prob(%v) = %v", row, p)
+		}
+	}
+}
+
+func TestLearnerModelConversion(t *testing.T) {
+	x, y := blobs(200)
+	l, err := NewLearner(2, 0.5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 5; epoch++ {
+		for i := 0; i < 200; i++ {
+			row, _ := x.Row(i)
+			if _, err := l.Update(row, y[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := l.Model()
+	if acc := m.Accuracy(x, y); acc < 0.98 {
+		t.Errorf("converted model accuracy = %v", acc)
+	}
+	// The conversion copies weights: mutating the learner afterwards
+	// must not change the model.
+	before := m.Weights[0]
+	l.W[0] += 100
+	if m.Weights[0] != before {
+		t.Error("Model aliases learner weights")
+	}
+}

@@ -1,0 +1,32 @@
+package mmap
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// msync flushes dirty pages of b synchronously (MS_SYNC).
+func msync(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// mincore fills vec with per-page residency flags for b.
+func mincore(b []byte, vec []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/blas"
+)
+
+// GDParams configures gradient descent, the baseline optimizer used
+// by ablation benchmarks to quantify how much L-BFGS's curvature
+// information is worth per data pass.
+type GDParams struct {
+	// StepSize is the initial step; the search backtracks from it.
+	// Default 1.
+	StepSize float64
+	// MaxIterations bounds the outer iterations. Default 100.
+	MaxIterations int
+	// GradTol stops when ‖∇f‖₂ < GradTol. Default 1e-6.
+	GradTol float64
+	// Callback, when non-nil, runs after every iteration; returning
+	// false stops the run.
+	Callback func(IterInfo) bool
+}
+
+func (p GDParams) withDefaults() GDParams {
+	if p.StepSize <= 0 {
+		p.StepSize = 1
+	}
+	if p.MaxIterations <= 0 {
+		p.MaxIterations = 100
+	}
+	if p.GradTol <= 0 {
+		p.GradTol = 1e-6
+	}
+	return p
+}
+
+// GradientDescent minimizes obj with steepest descent and Armijo
+// backtracking.
+func GradientDescent(obj Objective, x0 []float64, params GDParams) (Result, error) {
+	p := params.withDefaults()
+	n := obj.Dim()
+	if len(x0) != n {
+		return Result{}, fmt.Errorf("optimize: x0 has %d elements, objective wants %d", len(x0), n)
+	}
+	x := append([]float64(nil), x0...)
+	grad := make([]float64, n)
+	xt := make([]float64, n)
+	gt := make([]float64, n)
+	value := obj.Eval(x, grad)
+	evals := 1
+
+	for iter := 1; iter <= p.MaxIterations; iter++ {
+		gnorm := blas.Nrm2(grad)
+		if gnorm < p.GradTol {
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter - 1, Evaluations: evals, Status: GradientConverged}, nil
+		}
+		// Armijo backtracking along -grad.
+		step := p.StepSize
+		g2 := gnorm * gnorm
+		accepted := false
+		var newValue float64
+		for probe := 0; probe < 40; probe++ {
+			for i := range x {
+				xt[i] = x[i] - step*grad[i]
+			}
+			newValue = obj.Eval(xt, gt)
+			evals++
+			if newValue <= value-1e-4*step*g2 && !math.IsNaN(newValue) {
+				accepted = true
+				break
+			}
+			step /= 2
+		}
+		if !accepted {
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter - 1, Evaluations: evals, Status: LineSearchFailed}, nil
+		}
+		copy(x, xt)
+		copy(grad, gt)
+		value = newValue
+		if p.Callback != nil && !p.Callback(IterInfo{
+			Iter: iter, Value: value, GradNorm: blas.Nrm2(grad), Step: step, Evaluations: evals,
+		}) {
+			return Result{X: x, Value: value, GradNorm: blas.Nrm2(grad),
+				Iterations: iter, Evaluations: evals, Status: CallbackStopped}, nil
+		}
+	}
+	return Result{X: x, Value: value, GradNorm: blas.Nrm2(grad),
+		Iterations: p.MaxIterations, Evaluations: evals, Status: MaxIterationsReached}, nil
+}

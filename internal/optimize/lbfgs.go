@@ -1,0 +1,188 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/blas"
+)
+
+// LBFGSParams configures the L-BFGS optimizer. The zero value selects
+// the defaults used by the paper's experiments (history 10, 10
+// iterations are imposed by the caller through MaxIterations).
+type LBFGSParams struct {
+	// History is the number of (s, y) correction pairs kept (m in
+	// the literature). Default 10.
+	History int
+	// MaxIterations bounds the outer iterations. Default 100.
+	MaxIterations int
+	// GradTol stops when ‖∇f‖₂ < GradTol. Default 1e-6.
+	GradTol float64
+	// FuncTol stops when the relative decrease of f between
+	// iterations falls below FuncTol. Default 1e-12.
+	FuncTol float64
+	// Callback, when non-nil, runs after every iteration; returning
+	// false stops the optimization with CallbackStopped.
+	Callback func(IterInfo) bool
+}
+
+func (p LBFGSParams) withDefaults() LBFGSParams {
+	if p.History <= 0 {
+		p.History = 10
+	}
+	if p.MaxIterations <= 0 {
+		p.MaxIterations = 100
+	}
+	if p.GradTol <= 0 {
+		p.GradTol = 1e-6
+	}
+	if p.FuncTol <= 0 {
+		p.FuncTol = 1e-12
+	}
+	return p
+}
+
+// LBFGS minimizes obj starting from x0 using the limited-memory BFGS
+// two-loop recursion with a strong-Wolfe line search. x0 is not
+// modified.
+func LBFGS(obj Objective, x0 []float64, params LBFGSParams) (Result, error) {
+	p := params.withDefaults()
+	n := obj.Dim()
+	if len(x0) != n {
+		return Result{}, fmt.Errorf("optimize: x0 has %d elements, objective wants %d", len(x0), n)
+	}
+
+	x := append([]float64(nil), x0...)
+	grad := make([]float64, n)
+	value := obj.Eval(x, grad)
+	evals := 1
+	gnorm := blas.Nrm2(grad)
+
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return Result{}, fmt.Errorf("optimize: objective is %v at x0", value)
+	}
+	if gnorm < p.GradTol {
+		return Result{X: x, Value: value, GradNorm: gnorm, Evaluations: evals, Status: GradientConverged}, nil
+	}
+
+	// Ring buffers for the correction pairs.
+	m := p.History
+	sHist := make([][]float64, m)
+	yHist := make([][]float64, m)
+	rho := make([]float64, m)
+	for i := range sHist {
+		sHist[i] = make([]float64, n)
+		yHist[i] = make([]float64, n)
+	}
+	stored := 0 // pairs currently valid
+	next := 0   // ring position to overwrite
+
+	dir := make([]float64, n)
+	alphaBuf := make([]float64, m)
+	gradPrev := make([]float64, n)
+	xPrev := make([]float64, n)
+	lf := &lineFunc{obj: obj, xt: make([]float64, n), gt: make([]float64, n)}
+	wolfe := defaultWolfe()
+
+	for iter := 1; iter <= p.MaxIterations; iter++ {
+		// Two-loop recursion: dir = -H·grad.
+		copy(dir, grad)
+		for k := 0; k < stored; k++ {
+			idx := (next - 1 - k + 2*m) % m
+			a := rho[idx] * blas.Dot(sHist[idx], dir)
+			alphaBuf[idx] = a
+			blas.Axpy(-a, yHist[idx], dir)
+		}
+		if stored > 0 {
+			// Scale by γ = sᵀy / yᵀy of the newest pair.
+			idx := (next - 1 + m) % m
+			yy := blas.Dot(yHist[idx], yHist[idx])
+			if yy > 0 {
+				blas.Scal(blas.Dot(sHist[idx], yHist[idx])/yy, dir)
+			}
+		}
+		for k := stored - 1; k >= 0; k-- {
+			idx := (next - 1 - k + 2*m) % m
+			b := rho[idx] * blas.Dot(yHist[idx], dir)
+			blas.Axpy(alphaBuf[idx]-b, sHist[idx], dir)
+		}
+		blas.Scal(-1, dir)
+
+		dphi0 := blas.Dot(grad, dir)
+		if dphi0 >= 0 {
+			// Hessian approximation lost positive-definiteness:
+			// restart with steepest descent.
+			copy(dir, grad)
+			blas.Scal(-1, dir)
+			dphi0 = -blas.Dot(grad, grad)
+			stored, next = 0, 0
+		}
+
+		// Initial step: 1 once we have curvature history, else a
+		// conservative gradient-scaled guess.
+		alpha0 := 1.0
+		if stored == 0 {
+			if g := blas.Nrm2(dir); g > 0 {
+				alpha0 = math.Min(1, 1/g)
+			}
+		}
+
+		lf.x, lf.d = x, dir
+		step, newValue, ok := wolfeSearch(lf, value, dphi0, alpha0, wolfe)
+		evals += lf.evals
+		lf.evals = 0
+		if !ok {
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter - 1, Evaluations: evals, Status: LineSearchFailed}, nil
+		}
+
+		copy(xPrev, x)
+		copy(gradPrev, grad)
+		blas.Axpy(step, dir, x)
+		if lf.lastAlpha == step {
+			// The line search's final evaluation was at the accepted
+			// step, so its gradient is the gradient at x — reuse it
+			// instead of paying another full data pass.
+			copy(grad, lf.gt)
+		} else {
+			obj.Eval(x, grad)
+			evals++
+		}
+		gnorm = blas.Nrm2(grad)
+
+		// Store the correction pair if curvature is positive.
+		s := sHist[next]
+		y := yHist[next]
+		for i := range s {
+			s[i] = x[i] - xPrev[i]
+			y[i] = grad[i] - gradPrev[i]
+		}
+		if sy := blas.Dot(s, y); sy > 1e-10*blas.Nrm2(s)*blas.Nrm2(y) {
+			rho[next] = 1 / sy
+			next = (next + 1) % m
+			if stored < m {
+				stored++
+			}
+		}
+
+		rel := math.Abs(value-newValue) / math.Max(1, math.Abs(value))
+		value = newValue
+
+		if p.Callback != nil && !p.Callback(IterInfo{
+			Iter: iter, Value: value, GradNorm: gnorm, Step: step, Evaluations: evals,
+		}) {
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter, Evaluations: evals, Status: CallbackStopped}, nil
+		}
+		if gnorm < p.GradTol {
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter, Evaluations: evals, Status: GradientConverged}, nil
+		}
+		if rel < p.FuncTol {
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter, Evaluations: evals, Status: FunctionConverged}, nil
+		}
+	}
+	return Result{X: x, Value: value, GradNorm: gnorm,
+		Iterations: p.MaxIterations, Evaluations: evals, Status: MaxIterationsReached}, nil
+}

@@ -1,0 +1,103 @@
+package optimize
+
+import "math"
+
+// wolfeParams configures the strong-Wolfe line search.
+type wolfeParams struct {
+	c1       float64 // sufficient-decrease constant (Armijo)
+	c2       float64 // curvature constant
+	maxIters int
+	stepMax  float64
+}
+
+func defaultWolfe() wolfeParams {
+	return wolfeParams{c1: 1e-4, c2: 0.9, maxIters: 30, stepMax: 1e8}
+}
+
+// lineFunc evaluates φ(α) = f(x + α·d) and φ'(α) = ∇f(x+α·d)ᵀd.
+// It owns scratch buffers so repeated probes do not allocate.
+type lineFunc struct {
+	obj   Objective
+	x, d  []float64
+	xt    []float64
+	gt    []float64
+	evals int
+	// lastAlpha is the step of the most recent eval; when it matches
+	// the accepted step, xt and gt already hold the new point and
+	// its gradient, sparing the optimizer a full extra data pass.
+	lastAlpha float64
+}
+
+func (lf *lineFunc) eval(alpha float64) (phi, dphi float64) {
+	for i := range lf.x {
+		lf.xt[i] = lf.x[i] + alpha*lf.d[i]
+	}
+	phi = lf.obj.Eval(lf.xt, lf.gt)
+	lf.evals++
+	lf.lastAlpha = alpha
+	for i := range lf.gt {
+		dphi += lf.gt[i] * lf.d[i]
+	}
+	return phi, dphi
+}
+
+// wolfeSearch finds a step length satisfying the strong Wolfe
+// conditions, following the bracket/zoom scheme of Nocedal & Wright
+// (Algorithms 3.5 and 3.6). phi0 and dphi0 are φ(0) and φ'(0);
+// dphi0 must be negative (descent direction). It returns the accepted
+// step and φ(step), or ok=false when no acceptable step was found.
+func wolfeSearch(lf *lineFunc, phi0, dphi0, alpha0 float64, p wolfeParams) (alpha, phi float64, ok bool) {
+	if dphi0 >= 0 {
+		return 0, phi0, false
+	}
+	alphaPrev, phiPrev := 0.0, phi0
+	alpha = alpha0
+	for i := 0; i < p.maxIters; i++ {
+		phiA, dphiA := lf.eval(alpha)
+		if phiA > phi0+p.c1*alpha*dphi0 || (i > 0 && phiA >= phiPrev) {
+			return zoom(lf, alphaPrev, alpha, phiPrev, phi0, dphi0, p)
+		}
+		if math.Abs(dphiA) <= -p.c2*dphi0 {
+			return alpha, phiA, true
+		}
+		if dphiA >= 0 {
+			return zoom(lf, alpha, alphaPrev, phiA, phi0, dphi0, p)
+		}
+		alphaPrev, phiPrev = alpha, phiA
+		alpha *= 2
+		if alpha > p.stepMax {
+			return alphaPrev, phiPrev, alphaPrev > 0
+		}
+	}
+	return 0, phi0, false
+}
+
+// zoom narrows the bracket [lo, hi] (in the ordering sense of N&W:
+// lo has the lower φ) until a Wolfe point is found.
+func zoom(lf *lineFunc, lo, hi, phiLo, phi0, dphi0 float64, p wolfeParams) (alpha, phi float64, ok bool) {
+	for i := 0; i < p.maxIters; i++ {
+		alpha = 0.5 * (lo + hi) // bisection: robust and derivative-free
+		if alpha == lo || alpha == hi {
+			break
+		}
+		phiA, dphiA := lf.eval(alpha)
+		if phiA > phi0+p.c1*alpha*dphi0 || phiA >= phiLo {
+			hi = alpha
+			continue
+		}
+		if math.Abs(dphiA) <= -p.c2*dphi0 {
+			return alpha, phiA, true
+		}
+		if dphiA*(hi-lo) >= 0 {
+			hi = lo
+		}
+		lo, phiLo = alpha, phiA
+	}
+	// Accept the best sufficient-decrease point even without the
+	// curvature condition; L-BFGS will skip the pair update if the
+	// curvature is unusable.
+	if phiLo < phi0 && lo > 0 {
+		return lo, phiLo, true
+	}
+	return 0, phi0, false
+}

@@ -1,0 +1,274 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic returns an Objective for f(x) = Σ cᵢ(xᵢ-tᵢ)², minimum at t.
+func quadratic(c, t []float64) Objective {
+	return FuncObjective{N: len(c), F: func(x, grad []float64) float64 {
+		var f float64
+		for i := range x {
+			d := x[i] - t[i]
+			f += c[i] * d * d
+			grad[i] = 2 * c[i] * d
+		}
+		return f
+	}}
+}
+
+// rosenbrock is the classic banana function, minimum 0 at (1,...,1).
+func rosenbrock(n int) Objective {
+	return FuncObjective{N: n, F: func(x, grad []float64) float64 {
+		var f float64
+		for i := range grad {
+			grad[i] = 0
+		}
+		for i := 0; i+1 < n; i++ {
+			a := x[i+1] - x[i]*x[i]
+			b := 1 - x[i]
+			f += 100*a*a + b*b
+			grad[i] += -400*x[i]*a - 2*b
+			grad[i+1] += 200 * a
+		}
+		return f
+	}}
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	obj := quadratic([]float64{1, 10, 100}, []float64{1, -2, 3})
+	res, err := LBFGS(obj, []float64{0, 0, 0}, LBFGSParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged() {
+		t.Fatalf("did not converge: %v", res.Status)
+	}
+	want := []float64{1, -2, 3}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-5 {
+			t.Errorf("x[%d] = %v want %v", i, res.X[i], want[i])
+		}
+	}
+	if res.Value > 1e-9 {
+		t.Errorf("value = %v", res.Value)
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	for _, n := range []int{2, 10, 50} {
+		obj := rosenbrock(n)
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = -1.2
+		}
+		res, err := LBFGS(obj, x0, LBFGSParams{MaxIterations: 500, GradTol: 1e-8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value > 1e-8 {
+			t.Errorf("n=%d: value = %v after %d iters (%v)", n, res.Value, res.Iterations, res.Status)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(res.X[i]-1) > 1e-3 {
+				t.Errorf("n=%d: x[%d] = %v want 1", n, i, res.X[i])
+				break
+			}
+		}
+	}
+}
+
+func TestLBFGSAlreadyConverged(t *testing.T) {
+	obj := quadratic([]float64{1}, []float64{5})
+	res, err := LBFGS(obj, []float64{5}, LBFGSParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != GradientConverged || res.Iterations != 0 {
+		t.Errorf("status=%v iters=%d, want immediate convergence", res.Status, res.Iterations)
+	}
+}
+
+func TestLBFGSDimMismatch(t *testing.T) {
+	obj := quadratic([]float64{1, 1}, []float64{0, 0})
+	if _, err := LBFGS(obj, []float64{0}, LBFGSParams{}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestLBFGSRejectsNaNStart(t *testing.T) {
+	obj := FuncObjective{N: 1, F: func(x, grad []float64) float64 {
+		grad[0] = 1
+		return math.NaN()
+	}}
+	if _, err := LBFGS(obj, []float64{0}, LBFGSParams{}); err == nil {
+		t.Error("expected error for NaN objective")
+	}
+}
+
+func TestLBFGSMaxIterations(t *testing.T) {
+	obj := rosenbrock(10)
+	x0 := make([]float64, 10)
+	res, err := LBFGS(obj, x0, LBFGSParams{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 || res.Status != MaxIterationsReached {
+		t.Errorf("iters=%d status=%v", res.Iterations, res.Status)
+	}
+}
+
+func TestLBFGSCallbackStops(t *testing.T) {
+	obj := rosenbrock(4)
+	calls := 0
+	res, err := LBFGS(obj, make([]float64, 4), LBFGSParams{
+		Callback: func(info IterInfo) bool {
+			calls++
+			if info.Iter != calls {
+				t.Errorf("callback iter %d on call %d", info.Iter, calls)
+			}
+			return calls < 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != CallbackStopped || calls != 2 {
+		t.Errorf("status=%v calls=%d", res.Status, calls)
+	}
+}
+
+func TestLBFGSMonotoneDecrease(t *testing.T) {
+	obj := rosenbrock(8)
+	x0 := make([]float64, 8)
+	prev := math.Inf(1)
+	_, err := LBFGS(obj, x0, LBFGSParams{
+		MaxIterations: 50,
+		Callback: func(info IterInfo) bool {
+			if info.Value > prev+1e-12 {
+				t.Errorf("iteration %d increased f: %v -> %v", info.Iter, prev, info.Value)
+			}
+			prev = info.Value
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLBFGSDoesNotModifyX0(t *testing.T) {
+	obj := quadratic([]float64{1, 1}, []float64{3, 4})
+	x0 := []float64{0, 0}
+	if _, err := LBFGS(obj, x0, LBFGSParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 0 || x0[1] != 0 {
+		t.Errorf("x0 modified: %v", x0)
+	}
+}
+
+func TestLBFGSBeatsGDOnIllConditioned(t *testing.T) {
+	// With condition number 1e4, L-BFGS should need far fewer
+	// evaluations than gradient descent for the same accuracy —
+	// the reason mlpack (and hence the paper) uses it.
+	c := []float64{1, 1e4}
+	target := []float64{2, -1}
+	budgetTol := 1e-8
+
+	lb, err := LBFGS(quadratic(c, target), []float64{0, 0}, LBFGSParams{GradTol: budgetTol, MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := GradientDescent(quadratic(c, target), []float64{0, 0}, GDParams{GradTol: budgetTol, MaxIterations: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Converged() {
+		t.Fatalf("LBFGS did not converge: %v", lb.Status)
+	}
+	if gd.Evaluations <= lb.Evaluations {
+		t.Errorf("GD evaluations (%d) <= LBFGS (%d); expected L-BFGS advantage", gd.Evaluations, lb.Evaluations)
+	}
+}
+
+func TestGradientDescentQuadratic(t *testing.T) {
+	obj := quadratic([]float64{2, 3}, []float64{-1, 4})
+	res, err := GradientDescent(obj, []float64{0, 0}, GDParams{MaxIterations: 10000, GradTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged() {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.X[0]+1) > 1e-4 || math.Abs(res.X[1]-4) > 1e-4 {
+		t.Errorf("x = %v", res.X)
+	}
+}
+
+func TestGradientDescentDimMismatch(t *testing.T) {
+	obj := quadratic([]float64{1}, []float64{0})
+	if _, err := GradientDescent(obj, []float64{0, 0}, GDParams{}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestGradientDescentCallback(t *testing.T) {
+	obj := quadratic([]float64{1}, []float64{10})
+	res, err := GradientDescent(obj, []float64{0}, GDParams{
+		Callback: func(info IterInfo) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != CallbackStopped {
+		t.Errorf("status %v", res.Status)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		GradientConverged:    "gradient converged",
+		FunctionConverged:    "function converged",
+		MaxIterationsReached: "max iterations reached",
+		LineSearchFailed:     "line search failed",
+		CallbackStopped:      "stopped by callback",
+		Status(99):           "status(99)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestWolfeSearchConditions(t *testing.T) {
+	// φ(α) on f(x) = (x-3)² from x=0 along d=+1: minimum at α=3.
+	obj := quadratic([]float64{1}, []float64{3})
+	lf := &lineFunc{obj: obj, x: []float64{0}, d: []float64{1},
+		xt: make([]float64, 1), gt: make([]float64, 1)}
+	phi0 := 9.0
+	dphi0 := -6.0
+	p := defaultWolfe()
+	alpha, phi, ok := wolfeSearch(lf, phi0, dphi0, 1, p)
+	if !ok {
+		t.Fatal("search failed")
+	}
+	// Check both strong Wolfe conditions explicitly.
+	if phi > phi0+p.c1*alpha*dphi0 {
+		t.Errorf("sufficient decrease violated: φ(%v)=%v", alpha, phi)
+	}
+	_, dphiA := lf.eval(alpha)
+	if math.Abs(dphiA) > -p.c2*dphi0 {
+		t.Errorf("curvature violated: |φ'(%v)|=%v > %v", alpha, math.Abs(dphiA), -p.c2*dphi0)
+	}
+}
+
+func TestWolfeSearchRejectsAscent(t *testing.T) {
+	obj := quadratic([]float64{1}, []float64{0})
+	lf := &lineFunc{obj: obj, x: []float64{1}, d: []float64{1},
+		xt: make([]float64, 1), gt: make([]float64, 1)}
+	if _, _, ok := wolfeSearch(lf, 1, +2, 1, defaultWolfe()); ok {
+		t.Error("accepted ascent direction")
+	}
+}

@@ -1,0 +1,70 @@
+package perfmodel
+
+import "fmt"
+
+// PowerModel converts utilization profiles into energy estimates —
+// the second half of the paper's §4 goal to "profile and predict
+// algorithm performance and energy usage". Energy is integrated as
+//
+//	J = IdleWatts·elapsed + CPUActiveWatts·cpuBusy + DiskActiveWatts·diskBusy
+//
+// i.e. a baseline platform draw plus activity-proportional deltas,
+// the standard first-order server power model.
+type PowerModel struct {
+	// IdleWatts is the platform draw when powered but idle.
+	IdleWatts float64
+	// CPUActiveWatts is the additional draw at full CPU load.
+	CPUActiveWatts float64
+	// DiskActiveWatts is the additional draw while storage is busy.
+	DiskActiveWatts float64
+}
+
+// Validate reports whether the model is usable.
+func (p PowerModel) Validate() error {
+	if p.IdleWatts < 0 || p.CPUActiveWatts < 0 || p.DiskActiveWatts < 0 {
+		return fmt.Errorf("perfmodel: negative power")
+	}
+	if p.IdleWatts == 0 && p.CPUActiveWatts == 0 && p.DiskActiveWatts == 0 {
+		return fmt.Errorf("perfmodel: all-zero power model")
+	}
+	return nil
+}
+
+// DesktopPower models the paper's i7-4770K desktop: ~45 W idle,
+// +84 W CPU package at full load (the 4770K's TDP), +10 W for a PCIe
+// SSD under sustained reads.
+func DesktopPower() PowerModel {
+	return PowerModel{IdleWatts: 45, CPUActiveWatts: 84, DiskActiveWatts: 10}
+}
+
+// ServerPower models one cloud worker (m3.2xlarge-class share of a
+// Xeon host): higher idle draw, similar active deltas.
+func ServerPower() PowerModel {
+	return PowerModel{IdleWatts: 120, CPUActiveWatts: 95, DiskActiveWatts: 12}
+}
+
+// EnergyJoules integrates the model over a phase described by
+// elapsed wall-clock seconds and per-resource busy seconds.
+func (p PowerModel) EnergyJoules(elapsedSec, cpuBusySec, diskBusySec float64) float64 {
+	if elapsedSec < 0 {
+		return 0
+	}
+	return p.IdleWatts*elapsedSec + p.CPUActiveWatts*cpuBusySec + p.DiskActiveWatts*diskBusySec
+}
+
+// EnergyKWh converts EnergyJoules to kilowatt-hours.
+func (p PowerModel) EnergyKWh(elapsedSec, cpuBusySec, diskBusySec float64) float64 {
+	return p.EnergyJoules(elapsedSec, cpuBusySec, diskBusySec) / 3.6e6
+}
+
+// ClusterEnergyJoules scales a per-instance model across n workers
+// that are all powered for the full job duration (the cluster bills
+// and burns idle instances too — a structural energy disadvantage of
+// scale-out for I/O-light iterative jobs).
+func ClusterEnergyJoules(p PowerModel, instances int, elapsedSec, cpuBusyFrac, diskBusyFrac float64) float64 {
+	if instances < 1 {
+		return 0
+	}
+	perInstance := p.EnergyJoules(elapsedSec, cpuBusyFrac*elapsedSec, diskBusyFrac*elapsedSec)
+	return float64(instances) * perInstance
+}

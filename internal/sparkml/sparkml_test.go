@@ -1,0 +1,267 @@
+package sparkml
+
+import (
+	"math"
+	"testing"
+
+	"m3/internal/cluster"
+	"m3/internal/mat"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/logreg"
+	"m3/internal/optimize"
+)
+
+func newTestCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(n, cluster.M32XLarge(), cluster.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// blobs builds a linearly separable binary problem.
+func blobs(n int) (*mat.Dense, []float64) {
+	x := mat.NewDense(n, 2)
+	y := make([]float64, n)
+	r := uint64(99)
+	next := func() float64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return float64(r%1000)/1000 - 0.5
+	}
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x.Set(i, 0, next()+2)
+			x.Set(i, 1, next()+2)
+			y[i] = 1
+		} else {
+			x.Set(i, 0, next()-2)
+			x.Set(i, 1, next()-2)
+		}
+	}
+	return x, y
+}
+
+func TestPartition(t *testing.T) {
+	c := newTestCluster(t, 4)
+	x, y := blobs(1000)
+	pd, err := Partition(c, x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.Parts) != pd.RDD.Partitions {
+		t.Fatalf("parts %d != partitions %d", len(pd.Parts), pd.RDD.Partitions)
+	}
+	total := 0
+	for p, part := range pd.Parts {
+		total += part.Rows()
+		if part.Rows() != len(pd.Labels[p]) {
+			t.Fatalf("partition %d rows/labels mismatch", p)
+		}
+	}
+	if total != 1000 {
+		t.Errorf("partitions cover %d rows", total)
+	}
+	if pd.RDD.NominalBytes != x.SizeBytes() {
+		t.Errorf("nominal bytes = %d want %d", pd.RDD.NominalBytes, x.SizeBytes())
+	}
+}
+
+func TestPartitionFewRows(t *testing.T) {
+	c := newTestCluster(t, 8)
+	x, y := blobs(10) // fewer rows than default partitions
+	pd, err := Partition(c, x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.Parts) != 10 {
+		t.Errorf("parts = %d want 10", len(pd.Parts))
+	}
+	for _, part := range pd.Parts {
+		if part.Rows() != 1 {
+			t.Errorf("partition with %d rows", part.Rows())
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	c := newTestCluster(t, 2)
+	x, _ := blobs(10)
+	if _, err := Partition(c, x, make([]float64, 3), 0); err == nil {
+		t.Error("accepted label mismatch")
+	}
+}
+
+func TestLogRegJobValidation(t *testing.T) {
+	c := newTestCluster(t, 2)
+	x, y := blobs(10)
+	pd, _ := Partition(c, x, y, 0)
+	if _, err := NewLogRegJob(c, pd, -1, true); err == nil {
+		t.Error("accepted negative lambda")
+	}
+	pdNoLabels, _ := Partition(c, x, nil, 0)
+	if _, err := NewLogRegJob(c, pdNoLabels, 0.1, true); err == nil {
+		t.Error("accepted missing labels")
+	}
+	bad := []float64{0, 2, 1, 0, 1, 0, 1, 0, 1, 0}
+	pdBad, _ := Partition(c, x, bad, 0)
+	if _, err := NewLogRegJob(c, pdBad, 0.1, true); err == nil {
+		t.Error("accepted label 2")
+	}
+}
+
+func TestDistributedGradientMatchesLocal(t *testing.T) {
+	// The distributed objective must compute exactly the same value
+	// and gradient as the single-machine objective — only timing
+	// differs. This is the correctness anchor for Figure 1b.
+	x, y := blobs(200)
+	c := newTestCluster(t, 4)
+	pd, err := Partition(c, x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewLogRegJob(c, pd, 0.03, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := logreg.NewObjective(x, y, 0.03, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := []float64{0.2, -0.4, 0.1}
+	gd := make([]float64, 3)
+	gl := make([]float64, 3)
+	fd := job.Eval(params, gd)
+	fl := local.Eval(params, gl)
+	if math.Abs(fd-fl) > 1e-12 {
+		t.Errorf("distributed loss %v != local %v", fd, fl)
+	}
+	for i := range gd {
+		if math.Abs(gd[i]-gl[i]) > 1e-12 {
+			t.Errorf("grad[%d]: %v != %v", i, gd[i], gl[i])
+		}
+	}
+	if job.Passes != 1 {
+		t.Errorf("passes = %d", job.Passes)
+	}
+	if c.Clock() <= 0 {
+		t.Error("cluster clock did not advance")
+	}
+}
+
+func TestDistributedTrainingConverges(t *testing.T) {
+	x, y := blobs(400)
+	c := newTestCluster(t, 4)
+	pd, err := Partition(c, x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewLogRegJob(c, pd, 1e-4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimize.LBFGS(job, make([]float64, job.Dim()), optimize.LBFGSParams{MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &logreg.Model{Weights: res.X[:2], Intercept: res.X[2]}
+	if acc := m.Accuracy(x, y); acc < 0.99 {
+		t.Errorf("distributed model accuracy = %v", acc)
+	}
+	if job.Passes != res.Evaluations {
+		t.Errorf("passes %d != evaluations %d", job.Passes, res.Evaluations)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	c := newTestCluster(t, 2)
+	x, _ := blobs(20)
+	pd, _ := Partition(c, x, nil, 0)
+	init := mat.NewDense(2, 2)
+	if _, err := KMeans(c, pd, KMeansOptions{K: 0, Iterations: 1, InitCentroids: init}); err == nil {
+		t.Error("accepted K=0")
+	}
+	if _, err := KMeans(c, pd, KMeansOptions{K: 2, Iterations: 0, InitCentroids: init}); err == nil {
+		t.Error("accepted 0 iterations")
+	}
+	if _, err := KMeans(c, pd, KMeansOptions{K: 2, Iterations: 1}); err == nil {
+		t.Error("accepted nil init")
+	}
+	if _, err := KMeans(c, pd, KMeansOptions{K: 3, Iterations: 1, InitCentroids: init}); err == nil {
+		t.Error("accepted mismatched init shape")
+	}
+}
+
+func TestKMeansMatchesLocalLloyd(t *testing.T) {
+	// With identical initial centroids and iteration counts, the
+	// distributed k-means must land on the same centroids as the
+	// local implementation.
+	x, _ := blobs(300)
+	init := mat.NewDense(2, 2)
+	init.SetRow(0, []float64{1, 1})
+	init.SetRow(1, []float64{-1, -1})
+	const iters = 8
+
+	c := newTestCluster(t, 4)
+	pd, err := Partition(c, x, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := KMeans(c, pd, KMeansOptions{K: 2, Iterations: iters, InitCentroids: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := kmeans.Run(x, kmeans.Options{K: 2, MaxIterations: iters, InitCentroids: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cc := 0; cc < 2; cc++ {
+		dr := dist.Centroids.RawRow(cc)
+		lr := local.Centroids.RawRow(cc)
+		for j := range dr {
+			if math.Abs(dr[j]-lr[j]) > 1e-9 {
+				t.Errorf("centroid %d[%d]: distributed %v local %v", cc, j, dr[j], lr[j])
+			}
+		}
+	}
+	if math.Abs(dist.Inertia-local.Inertia) > 1e-6*math.Max(1, local.Inertia) {
+		t.Errorf("inertia: distributed %v local %v", dist.Inertia, local.Inertia)
+	}
+}
+
+func TestClusterTimingStructure(t *testing.T) {
+	// At paper scale, the 8-instance cluster must beat the
+	// 4-instance cluster superlinearly on iteration time (cache
+	// crossover), for the same distributed computation.
+	x, y := blobs(256)
+	const nominal = int64(190e9)
+
+	runClock := func(n int) float64 {
+		c := newTestCluster(t, n)
+		pd, err := Partition(c, x, y, nominal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := NewLogRegJob(c, pd, 1e-4, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm the cache with one pass, then measure 10 passes.
+		g := make([]float64, job.Dim())
+		p := make([]float64, job.Dim())
+		job.Eval(p, g)
+		c.ResetClock()
+		for i := 0; i < 10; i++ {
+			job.Eval(p, g)
+		}
+		return c.Clock()
+	}
+	t4 := runClock(4)
+	t8 := runClock(8)
+	if ratio := t4 / t8; ratio <= 2 {
+		t.Errorf("4→8 speedup = %v, want superlinear (cache crossover)", ratio)
+	}
+}

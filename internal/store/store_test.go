@@ -1,0 +1,260 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"m3/internal/mmap"
+	"m3/internal/vm"
+)
+
+// compile-time interface checks
+var (
+	_ Store = (*Heap)(nil)
+	_ Store = (*Mapped)(nil)
+	_ Store = (*Paged)(nil)
+)
+
+func TestHeapStore(t *testing.T) {
+	h := NewHeap(100)
+	if h.Len() != 100 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if !h.Writable() {
+		t.Error("heap not writable")
+	}
+	h.Data()[5] = 3.14
+	if stall := h.Touch(0, 100); stall != 0 {
+		t.Errorf("heap touch stall = %v", stall)
+	}
+	h.TouchWrite(0, 10)
+	s := h.Stats()
+	if s.BytesTouched != 110*8 {
+		t.Errorf("bytes touched = %d want %d", s.BytesTouched, 110*8)
+	}
+	if s.ResidentBytes != 800 {
+		t.Errorf("resident = %d want 800", s.ResidentBytes)
+	}
+	if err := h.Advise(mmap.Sequential); err != nil {
+		t.Errorf("advise: %v", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if h.Data() != nil {
+		t.Error("data not released")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	s := []float64{1, 2, 3}
+	h := FromSlice(s)
+	h.Data()[0] = 9
+	if s[0] != 9 {
+		t.Error("FromSlice copied instead of wrapping")
+	}
+}
+
+func TestMappedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	m, err := CreateMapped(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Writable() {
+		t.Error("CreateMapped not writable")
+	}
+	for i := range m.Data() {
+		m.Data()[i] = float64(i)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if ro.Writable() {
+		t.Error("OpenMapped should be read-only")
+	}
+	if ro.Len() != 512 {
+		t.Fatalf("Len = %d", ro.Len())
+	}
+	for i, v := range ro.Data() {
+		if v != float64(i) {
+			t.Fatalf("data[%d] = %v", i, v)
+		}
+	}
+	if err := ro.Advise(mmap.Sequential); err != nil {
+		t.Errorf("advise: %v", err)
+	}
+	ro.Touch(0, 512)
+	s := ro.Stats()
+	if s.BytesTouched != 512*8 {
+		t.Errorf("bytes touched = %d", s.BytesTouched)
+	}
+	if s.ResidentBytes <= 0 {
+		t.Errorf("resident bytes = %d, want > 0 after touching", s.ResidentBytes)
+	}
+}
+
+func TestOpenMappedRW(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rw.bin")
+	m, err := CreateMapped(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Data()[0] = 1
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := OpenMappedRW(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	rw.Data()[0] = 2
+	if !rw.Writable() {
+		t.Error("not writable")
+	}
+}
+
+func TestOpenMappedMissing(t *testing.T) {
+	if _, err := OpenMapped(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func newPagedTest(t *testing.T, elems int, cfg PagedConfig) *Paged {
+	t.Helper()
+	data := make([]float64, elems)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	p, err := NewPaged(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPagedStallsAndStats(t *testing.T) {
+	// 1024 elements = 8192 bytes = 2 pages at 4096; cache 1 page →
+	// scanning twice faults every page.
+	p := newPagedTest(t, 1024, PagedConfig{VM: vm.Config{
+		PageSize:          4096,
+		CacheBytes:        4096,
+		Disk:              vm.DiskModel{BandwidthBytes: 4096, SeekSeconds: 0, RequestSeconds: 0},
+		MinReadAheadPages: 1, MaxReadAheadPages: 1,
+	}})
+	stall := p.Touch(0, 1024)
+	if stall <= 0 {
+		t.Error("expected stall on cold scan")
+	}
+	s := p.Stats()
+	if s.MajorFaults != 2 {
+		t.Errorf("major faults = %d want 2", s.MajorFaults)
+	}
+	if s.BytesRead != 8192 {
+		t.Errorf("bytes read = %d want 8192", s.BytesRead)
+	}
+	if s.StallSeconds != stall {
+		t.Errorf("stats stall %v != returned %v", s.StallSeconds, stall)
+	}
+	if p.Timeline().DiskSeconds() != stall {
+		t.Errorf("timeline disk %v != %v", p.Timeline().DiskSeconds(), stall)
+	}
+}
+
+func TestPagedNominalScaling(t *testing.T) {
+	// 1024 elements (8 KiB actual) modelling a 8 MiB dataset with a
+	// 1 MiB cache: out-of-core by 8x, so repeated scans must keep
+	// faulting.
+	p := newPagedTest(t, 1024, PagedConfig{
+		NominalBytes: 8 << 20,
+		VM: vm.Config{
+			PageSize:          4096,
+			CacheBytes:        1 << 20,
+			Disk:              vm.DiskModel{BandwidthBytes: 1e6},
+			MinReadAheadPages: 1, MaxReadAheadPages: 1,
+		},
+	})
+	p.Touch(0, 1024)
+	first := p.Stats().BytesRead
+	if first != 8<<20 {
+		t.Errorf("cold scan read %d nominal bytes, want %d", first, 8<<20)
+	}
+	p.Touch(0, 1024)
+	second := p.Stats().BytesRead - first
+	if second != 8<<20 {
+		t.Errorf("warm scan re-read %d bytes, want full re-read %d (working set > cache)", second, 8<<20)
+	}
+}
+
+func TestPagedFitsInCacheNoRereads(t *testing.T) {
+	p := newPagedTest(t, 1024, PagedConfig{
+		NominalBytes: 1 << 20, // 1 MiB dataset
+		VM: vm.Config{
+			PageSize:   4096,
+			CacheBytes: 4 << 20, // 4 MiB cache: fits
+			Disk:       vm.DiskModel{BandwidthBytes: 1e6},
+		},
+	})
+	p.Touch(0, 1024)
+	cold := p.Stats().BytesRead
+	p.Touch(0, 1024)
+	if got := p.Stats().BytesRead; got != cold {
+		t.Errorf("in-RAM dataset re-read from disk: %d -> %d", cold, got)
+	}
+	stall := p.Touch(0, 1024)
+	if stall != 0 {
+		t.Errorf("warm scan stalled %v", stall)
+	}
+}
+
+func TestPagedAdviseDontNeed(t *testing.T) {
+	p := newPagedTest(t, 1024, PagedConfig{VM: vm.Config{
+		PageSize:   4096,
+		CacheBytes: 1 << 20,
+		Disk:       vm.DiskModel{BandwidthBytes: 1e6},
+	}})
+	p.Touch(0, 1024)
+	if p.Stats().ResidentBytes == 0 {
+		t.Fatal("nothing resident after scan")
+	}
+	if err := p.Advise(mmap.DontNeed); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().ResidentBytes != 0 {
+		t.Error("DontNeed did not drop cache")
+	}
+}
+
+func TestPagedReadOnly(t *testing.T) {
+	p := newPagedTest(t, 8, PagedConfig{ReadOnly: true, VM: vm.Config{CacheBytes: 1 << 20}})
+	if p.Writable() {
+		t.Error("read-only store reports writable")
+	}
+}
+
+func TestPagedRejectsEmpty(t *testing.T) {
+	if _, err := NewPaged(nil, PagedConfig{}); err == nil {
+		t.Error("expected error for empty data")
+	}
+}
+
+func TestPagedWriteBackOnEvict(t *testing.T) {
+	p := newPagedTest(t, 1024, PagedConfig{VM: vm.Config{
+		PageSize:          4096,
+		CacheBytes:        4096, // 1 page
+		Disk:              vm.DiskModel{BandwidthBytes: 1e6},
+		MinReadAheadPages: 1, MaxReadAheadPages: 1,
+	}})
+	p.TouchWrite(0, 512) // dirty page 0
+	p.Touch(512, 512)    // evicts page 0 → write-back
+	if p.Memory().Stats().DirtyWrittenBack == 0 {
+		t.Error("expected dirty write-back")
+	}
+}

@@ -1,0 +1,123 @@
+package vm
+
+// lruCache is an O(1) LRU over page numbers, implemented with an
+// intrusive doubly-linked list and a map. It approximates the kernel's
+// page-reclaim behaviour closely enough for runtime modelling: the
+// coldest page is evicted when the cache is full.
+type lruCache struct {
+	capacity int
+	nodes    map[int64]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+}
+
+type lruNode struct {
+	page       int64
+	dirty      bool
+	prev, next *lruNode
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{capacity: capacity, nodes: make(map[int64]*lruNode, capacity)}
+}
+
+// Len returns the number of cached pages.
+func (c *lruCache) Len() int { return len(c.nodes) }
+
+// Contains reports residency without touching recency.
+func (c *lruCache) Contains(page int64) bool {
+	_, ok := c.nodes[page]
+	return ok
+}
+
+// Touch marks page as most-recently-used. It returns true if the page
+// was resident (a hit).
+func (c *lruCache) Touch(page int64) bool {
+	n, ok := c.nodes[page]
+	if !ok {
+		return false
+	}
+	c.moveToFront(n)
+	return true
+}
+
+// MarkDirty flags a resident page as dirty; it reports whether the
+// page was resident.
+func (c *lruCache) MarkDirty(page int64) bool {
+	n, ok := c.nodes[page]
+	if !ok {
+		return false
+	}
+	n.dirty = true
+	c.moveToFront(n)
+	return true
+}
+
+// Insert adds page as most-recently-used. If the cache is full the
+// least-recently-used page is evicted and returned with evicted=true;
+// dirtyEvicted reports whether the victim needed write-back.
+func (c *lruCache) Insert(page int64) (victim int64, evicted, dirtyEvicted bool) {
+	if n, ok := c.nodes[page]; ok {
+		c.moveToFront(n)
+		return 0, false, false
+	}
+	n := &lruNode{page: page}
+	c.nodes[page] = n
+	c.pushFront(n)
+	if len(c.nodes) <= c.capacity {
+		return 0, false, false
+	}
+	v := c.tail
+	c.remove(v)
+	delete(c.nodes, v.page)
+	return v.page, true, v.dirty
+}
+
+// Remove drops page from the cache if present, reporting whether it
+// was resident and dirty.
+func (c *lruCache) Remove(page int64) (present, dirty bool) {
+	n, ok := c.nodes[page]
+	if !ok {
+		return false, false
+	}
+	c.remove(n)
+	delete(c.nodes, page)
+	return true, n.dirty
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) remove(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.remove(n)
+	c.pushFront(n)
+}

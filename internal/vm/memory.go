@@ -1,0 +1,263 @@
+package vm
+
+import "fmt"
+
+// Config parameterizes a simulated address space.
+type Config struct {
+	// PageSize in bytes; defaults to 4 KiB.
+	PageSize int64
+	// CacheBytes is the RAM budget available to the page cache
+	// (the paper's machine: 32 GB). Defaults to 1 MiB.
+	CacheBytes int64
+	// Disk models the backing device.
+	Disk DiskModel
+	// MinReadAheadPages and MaxReadAheadPages bound the sequential
+	// read-ahead window; the window doubles on each confirmed
+	// sequential fault, like the Linux ondemand_readahead heuristic.
+	// Defaults: 4 and 512 (2 MiB at 4 KiB pages).
+	MinReadAheadPages int
+	MaxReadAheadPages int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = 4096
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 1 << 20
+	}
+	if c.Disk == (DiskModel{}) {
+		c.Disk = SSD()
+	}
+	if c.MinReadAheadPages <= 0 {
+		c.MinReadAheadPages = 4
+	}
+	if c.MaxReadAheadPages <= 0 {
+		c.MaxReadAheadPages = 512
+	}
+	if c.MaxReadAheadPages < c.MinReadAheadPages {
+		c.MaxReadAheadPages = c.MinReadAheadPages
+	}
+	return c
+}
+
+// Stats aggregates paging activity for a Memory.
+type Stats struct {
+	// MajorFaults counts accesses that required disk I/O.
+	MajorFaults uint64
+	// MinorFaults counts accesses satisfied by the page cache.
+	MinorFaults uint64
+	// PagesRead counts pages fetched from disk, including read-ahead.
+	PagesRead uint64
+	// PagesEvicted counts evictions.
+	PagesEvicted uint64
+	// DirtyWrittenBack counts evicted pages that required write-back.
+	DirtyWrittenBack uint64
+	// BytesRead is PagesRead in bytes.
+	BytesRead int64
+	// BytesWritten covers write-back traffic.
+	BytesWritten int64
+	// DiskSeconds is total simulated device busy time.
+	DiskSeconds float64
+	// ReadAheadHits counts minor faults on pages brought in by
+	// read-ahead before first use.
+	ReadAheadHits uint64
+}
+
+// HitRatio returns the fraction of page touches served from cache.
+func (s Stats) HitRatio() float64 {
+	total := s.MajorFaults + s.MinorFaults
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MinorFaults) / float64(total)
+}
+
+// Memory simulates demand paging over a backing store of Size bytes.
+// It is deterministic: the same access sequence always produces the
+// same statistics. Memory is not safe for concurrent use.
+type Memory struct {
+	cfg  Config
+	size int64
+
+	cache     *lruCache
+	stats     Stats
+	prefetch  map[int64]bool // pages resident via read-ahead, not yet referenced
+	lastFault int64          // page of the previous major fault (-2 = none)
+	lastEnd   int64          // page just past the previous disk request
+	raWindow  int            // current read-ahead window in pages
+}
+
+// NewMemory creates a simulated address space of size bytes.
+func NewMemory(size int64, cfg Config) (*Memory, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("vm: non-positive size %d", size)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Disk.Validate(); err != nil {
+		return nil, err
+	}
+	capPages := cfg.CacheBytes / cfg.PageSize
+	if capPages < 1 {
+		capPages = 1
+	}
+	return &Memory{
+		cfg:       cfg,
+		size:      size,
+		cache:     newLRU(int(capPages)),
+		prefetch:  make(map[int64]bool),
+		lastFault: -2,
+		lastEnd:   -2,
+		raWindow:  cfg.MinReadAheadPages,
+	}, nil
+}
+
+// Size returns the backing-store size in bytes.
+func (m *Memory) Size() int64 { return m.size }
+
+// PageSize returns the simulated page size.
+func (m *Memory) PageSize() int64 { return m.cfg.PageSize }
+
+// CachePages returns the page-cache capacity in pages.
+func (m *Memory) CachePages() int { return m.cache.capacity }
+
+// ResidentPages returns the current number of cached pages.
+func (m *Memory) ResidentPages() int { return m.cache.Len() }
+
+// Stats returns a snapshot of paging statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents,
+// so steady-state iterations can be measured separately from warm-up.
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// Touch simulates a read of length bytes at offset and returns the
+// simulated disk stall in seconds incurred by the access.
+func (m *Memory) Touch(offset, length int64) float64 {
+	return m.access(offset, length, false)
+}
+
+// TouchWrite simulates a write (pages become dirty and must be written
+// back on eviction) and returns the simulated stall in seconds.
+func (m *Memory) TouchWrite(offset, length int64) float64 {
+	return m.access(offset, length, true)
+}
+
+func (m *Memory) access(offset, length int64, write bool) float64 {
+	if offset < 0 || length < 0 || offset+length > m.size {
+		panic(fmt.Sprintf("vm: access [%d,%d) outside store of %d bytes", offset, offset+length, m.size))
+	}
+	if length == 0 {
+		return 0
+	}
+	var stall float64
+	first := offset / m.cfg.PageSize
+	last := (offset + length - 1) / m.cfg.PageSize
+	for p := first; p <= last; p++ {
+		stall += m.touchPage(p, write)
+	}
+	return stall
+}
+
+// touchPage services one page reference.
+func (m *Memory) touchPage(p int64, write bool) float64 {
+	if m.cache.Touch(p) {
+		m.stats.MinorFaults++
+		if m.prefetch[p] {
+			m.stats.ReadAheadHits++
+			delete(m.prefetch, p)
+			// Consuming a prefetched page confirms the sequential
+			// stream (the kernel's readahead marker): the next miss
+			// at p+1 must extend the window, not reset it.
+			m.lastFault = p
+		}
+		if write {
+			m.cache.MarkDirty(p)
+		}
+		return 0
+	}
+
+	// Major fault. Decide the read window: on a sequential pattern,
+	// fetch [p, p+window); otherwise fetch just the page and shrink
+	// the window back to the minimum.
+	sequential := p == m.lastFault+1 || m.prefetch[p]
+	if sequential {
+		m.raWindow *= 2
+		if m.raWindow > m.cfg.MaxReadAheadPages {
+			m.raWindow = m.cfg.MaxReadAheadPages
+		}
+	} else {
+		m.raWindow = m.cfg.MinReadAheadPages
+	}
+	window := int64(1)
+	if sequential {
+		window = int64(m.raWindow)
+	}
+	maxPage := (m.size + m.cfg.PageSize - 1) / m.cfg.PageSize
+	if p+window > maxPage {
+		window = maxPage - p
+	}
+	// Trim the window to pages that are actually absent.
+	n := int64(0)
+	for n < window && !m.cache.Contains(p+n) {
+		n++
+	}
+
+	contiguous := p == m.lastEnd
+	bytes := n * m.cfg.PageSize
+	t := m.cfg.Disk.ReadTime(bytes, contiguous)
+	m.stats.DiskSeconds += t
+	m.stats.MajorFaults++
+	m.stats.PagesRead += uint64(n)
+	m.stats.BytesRead += bytes
+	m.lastFault = p
+	m.lastEnd = p + n
+
+	for i := int64(0); i < n; i++ {
+		page := p + i
+		if victim, evicted, dirty := m.cache.Insert(page); evicted {
+			m.stats.PagesEvicted++
+			if dirty {
+				m.stats.DirtyWrittenBack++
+				m.stats.BytesWritten += m.cfg.PageSize
+				wt := m.cfg.Disk.ReadTime(m.cfg.PageSize, false)
+				m.stats.DiskSeconds += wt
+				t += wt
+			}
+			delete(m.prefetch, victim)
+		}
+		if i > 0 {
+			m.prefetch[page] = true
+		}
+	}
+	if write {
+		m.cache.MarkDirty(p)
+	}
+	return t
+}
+
+// Drop simulates madvise(DONTNEED) over a byte range: the pages are
+// discarded from the cache without write-back accounting for reads.
+func (m *Memory) Drop(offset, length int64) {
+	if length <= 0 {
+		return
+	}
+	first := offset / m.cfg.PageSize
+	last := (offset + length - 1) / m.cfg.PageSize
+	for p := first; p <= last; p++ {
+		if present, dirty := m.cache.Remove(p); present {
+			m.stats.PagesEvicted++
+			if dirty {
+				m.stats.DirtyWrittenBack++
+				m.stats.BytesWritten += m.cfg.PageSize
+				m.stats.DiskSeconds += m.cfg.Disk.ReadTime(m.cfg.PageSize, false)
+			}
+			delete(m.prefetch, p)
+		}
+	}
+}
+
+// Resident reports whether the page containing offset is cached.
+func (m *Memory) Resident(offset int64) bool {
+	return m.cache.Contains(offset / m.cfg.PageSize)
+}

@@ -1,0 +1,380 @@
+package vm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiskModelReadTime(t *testing.T) {
+	d := DiskModel{BandwidthBytes: 1000, SeekSeconds: 0.5, RequestSeconds: 0.1}
+	if got := d.ReadTime(1000, true); math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("contiguous read = %v want 1.1", got)
+	}
+	if got := d.ReadTime(1000, false); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("seeking read = %v want 1.6", got)
+	}
+	if got := d.ReadTime(0, false); got != 0 {
+		t.Errorf("zero read = %v want 0", got)
+	}
+}
+
+func TestDiskModelValidate(t *testing.T) {
+	if err := (DiskModel{BandwidthBytes: 0}).Validate(); err == nil {
+		t.Error("expected error for zero bandwidth")
+	}
+	if err := (DiskModel{BandwidthBytes: 1, SeekSeconds: -1}).Validate(); err == nil {
+		t.Error("expected error for negative seek")
+	}
+	if err := SSD().Validate(); err != nil {
+		t.Errorf("SSD invalid: %v", err)
+	}
+	if err := HDD().Validate(); err != nil {
+		t.Errorf("HDD invalid: %v", err)
+	}
+}
+
+func TestRAID0(t *testing.T) {
+	base := SSD()
+	r := RAID0(base, 4)
+	if r.BandwidthBytes != 4*base.BandwidthBytes {
+		t.Errorf("RAID0 bandwidth = %v want %v", r.BandwidthBytes, 4*base.BandwidthBytes)
+	}
+	if r2 := RAID0(base, 0); r2.BandwidthBytes != base.BandwidthBytes {
+		t.Errorf("RAID0(0) should clamp to 1")
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU(2)
+	if c.Touch(1) {
+		t.Error("empty cache reported hit")
+	}
+	c.Insert(1)
+	c.Insert(2)
+	if !c.Touch(1) || !c.Touch(2) {
+		t.Error("inserted pages not resident")
+	}
+	// 1 is LRU after Touch order 1,2 → touching 1 makes 2 LRU.
+	c.Touch(1)
+	victim, evicted, _ := c.Insert(3)
+	if !evicted || victim != 2 {
+		t.Errorf("evicted %v (%v) want 2", victim, evicted)
+	}
+	if c.Contains(2) {
+		t.Error("evicted page still resident")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d want 2", c.Len())
+	}
+}
+
+func TestLRUDirtyEviction(t *testing.T) {
+	c := newLRU(1)
+	c.Insert(1)
+	if !c.MarkDirty(1) {
+		t.Fatal("MarkDirty missed resident page")
+	}
+	_, evicted, dirty := c.Insert(2)
+	if !evicted || !dirty {
+		t.Errorf("evicted=%v dirty=%v, want both true", evicted, dirty)
+	}
+	if c.MarkDirty(99) {
+		t.Error("MarkDirty hit absent page")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := newLRU(4)
+	c.Insert(1)
+	c.MarkDirty(1)
+	present, dirty := c.Remove(1)
+	if !present || !dirty {
+		t.Errorf("Remove = (%v,%v) want (true,true)", present, dirty)
+	}
+	if present, _ := c.Remove(1); present {
+		t.Error("second Remove reported present")
+	}
+}
+
+func TestLRUReinsertIsNoEvict(t *testing.T) {
+	c := newLRU(1)
+	c.Insert(5)
+	if _, evicted, _ := c.Insert(5); evicted {
+		t.Error("re-insert of resident page evicted something")
+	}
+}
+
+func newTestMemory(t *testing.T, size int64, cachePages int64) *Memory {
+	t.Helper()
+	m, err := NewMemory(size, Config{
+		PageSize:          4096,
+		CacheBytes:        cachePages * 4096,
+		Disk:              DiskModel{BandwidthBytes: 4096, SeekSeconds: 0, RequestSeconds: 0},
+		MinReadAheadPages: 1,
+		MaxReadAheadPages: 1, // disable read-ahead for precise counting
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMemoryFitsInCacheNoRefaults(t *testing.T) {
+	// 8 pages of data, 16-page cache: second scan must be all hits.
+	m := newTestMemory(t, 8*4096, 16)
+	m.Touch(0, 8*4096)
+	s1 := m.Stats()
+	if s1.MajorFaults != 8 {
+		t.Fatalf("first scan major faults = %d want 8", s1.MajorFaults)
+	}
+	m.Touch(0, 8*4096)
+	s2 := m.Stats()
+	if s2.MajorFaults != 8 {
+		t.Errorf("second scan caused %d extra major faults", s2.MajorFaults-8)
+	}
+	if s2.MinorFaults != 8 {
+		t.Errorf("second scan minor faults = %d want 8", s2.MinorFaults)
+	}
+	if got := s2.HitRatio(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("hit ratio = %v want 0.5", got)
+	}
+}
+
+func TestMemoryThrashingWhenLargerThanCache(t *testing.T) {
+	// 8 pages of data, 4-page cache, repeated sequential scans:
+	// LRU evicts exactly the pages about to be needed, so every
+	// access is a major fault — the canonical sequential-scan
+	// worst case that makes out-of-core runtime linear in data size.
+	m := newTestMemory(t, 8*4096, 4)
+	for scan := 0; scan < 3; scan++ {
+		m.Touch(0, 8*4096)
+	}
+	s := m.Stats()
+	if s.MajorFaults != 24 {
+		t.Errorf("major faults = %d want 24 (every touch misses)", s.MajorFaults)
+	}
+	if s.MinorFaults != 0 {
+		t.Errorf("minor faults = %d want 0", s.MinorFaults)
+	}
+	if s.PagesEvicted == 0 {
+		t.Error("expected evictions")
+	}
+}
+
+func TestMemoryDiskTimeProportionalToBytes(t *testing.T) {
+	m := newTestMemory(t, 100*4096, 10)
+	m.Touch(0, 100*4096)
+	s := m.Stats()
+	// Bandwidth = 1 page/sec, 100 pages read → 100 sec.
+	if math.Abs(s.DiskSeconds-100) > 1e-9 {
+		t.Errorf("disk seconds = %v want 100", s.DiskSeconds)
+	}
+	if s.BytesRead != 100*4096 {
+		t.Errorf("bytes read = %d want %d", s.BytesRead, 100*4096)
+	}
+}
+
+func TestMemoryReadAheadBatchesRequests(t *testing.T) {
+	m, err := NewMemory(64*4096, Config{
+		PageSize:          4096,
+		CacheBytes:        128 * 4096,
+		Disk:              DiskModel{BandwidthBytes: 4096, SeekSeconds: 0, RequestSeconds: 1},
+		MinReadAheadPages: 4,
+		MaxReadAheadPages: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Touch(0, 64*4096)
+	s := m.Stats()
+	if s.PagesRead != 64 {
+		t.Errorf("pages read = %d want 64", s.PagesRead)
+	}
+	// Sequential scan with growing read-ahead needs far fewer disk
+	// requests than 64; each request pays RequestSeconds = 1.
+	requestCost := s.DiskSeconds - 64 // bandwidth cost = 64s
+	if requestCost >= 32 {
+		t.Errorf("request overhead = %v sec, read-ahead not batching (want < 32)", requestCost)
+	}
+	if s.MajorFaults >= 32 {
+		t.Errorf("major faults = %d, read-ahead should absorb most", s.MajorFaults)
+	}
+	if s.ReadAheadHits == 0 {
+		t.Error("expected read-ahead hits")
+	}
+}
+
+func TestMemoryRandomAccessShrinksWindow(t *testing.T) {
+	m, err := NewMemory(1024*4096, Config{
+		PageSize:          4096,
+		CacheBytes:        64 * 4096,
+		Disk:              DiskModel{BandwidthBytes: 4096, SeekSeconds: 0.5, RequestSeconds: 0},
+		MinReadAheadPages: 4,
+		MaxReadAheadPages: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic stride pattern touches distant pages.
+	for i := int64(0); i < 64; i++ {
+		p := (i * 37) % 1024
+		m.Touch(p*4096, 1)
+	}
+	s := m.Stats()
+	// Non-sequential faults fetch one page each: PagesRead == MajorFaults.
+	if s.PagesRead != s.MajorFaults {
+		t.Errorf("random access fetched %d pages for %d faults (window should be 1)", s.PagesRead, s.MajorFaults)
+	}
+	// Every request paid the seek penalty.
+	wantSeek := 0.5 * float64(s.MajorFaults)
+	bwCost := float64(s.BytesRead) / 4096
+	if math.Abs(s.DiskSeconds-(wantSeek+bwCost)) > 1e-9 {
+		t.Errorf("disk time = %v want %v", s.DiskSeconds, wantSeek+bwCost)
+	}
+}
+
+func TestMemoryDirtyWriteBack(t *testing.T) {
+	m := newTestMemory(t, 8*4096, 4)
+	m.TouchWrite(0, 4*4096) // dirty the first 4 pages
+	m.Touch(4*4096, 4*4096) // force their eviction
+	s := m.Stats()
+	if s.DirtyWrittenBack != 4 {
+		t.Errorf("dirty write-backs = %d want 4", s.DirtyWrittenBack)
+	}
+	if s.BytesWritten != 4*4096 {
+		t.Errorf("bytes written = %d want %d", s.BytesWritten, 4*4096)
+	}
+}
+
+func TestMemoryDrop(t *testing.T) {
+	m := newTestMemory(t, 8*4096, 16)
+	m.Touch(0, 8*4096)
+	m.Drop(0, 4*4096)
+	if m.ResidentPages() != 4 {
+		t.Errorf("resident after drop = %d want 4", m.ResidentPages())
+	}
+	if m.Resident(0) {
+		t.Error("dropped page still resident")
+	}
+	if !m.Resident(5 * 4096) {
+		t.Error("non-dropped page missing")
+	}
+	stall := m.Touch(0, 1)
+	if stall <= 0 {
+		t.Error("re-touching dropped page should stall")
+	}
+}
+
+func TestMemoryAccessBoundsPanic(t *testing.T) {
+	m := newTestMemory(t, 4096, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds access")
+		}
+	}()
+	m.Touch(4096, 1)
+}
+
+func TestMemoryResetStatsKeepsCache(t *testing.T) {
+	m := newTestMemory(t, 4*4096, 8)
+	m.Touch(0, 4*4096)
+	m.ResetStats()
+	if m.Stats().MajorFaults != 0 {
+		t.Error("stats not reset")
+	}
+	m.Touch(0, 4*4096)
+	if got := m.Stats().MajorFaults; got != 0 {
+		t.Errorf("cache lost across ResetStats: %d major faults", got)
+	}
+}
+
+func TestNewMemoryValidation(t *testing.T) {
+	if _, err := NewMemory(0, Config{}); err == nil {
+		t.Error("expected error for zero size")
+	}
+	if _, err := NewMemory(10, Config{Disk: DiskModel{BandwidthBytes: -1}}); err == nil {
+		t.Error("expected error for invalid disk")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	tl.AddCPU(2)
+	tl.AddDisk(10)
+	tl.AddCPU(-5) // ignored
+	if tl.Elapsed() != 10 {
+		t.Errorf("elapsed = %v want 10 (disk-bound)", tl.Elapsed())
+	}
+	cpu, disk := tl.Utilization()
+	if math.Abs(cpu-0.2) > 1e-12 || math.Abs(disk-1.0) > 1e-12 {
+		t.Errorf("utilization = (%v,%v) want (0.2,1.0)", cpu, disk)
+	}
+	var other Timeline
+	other.AddCPU(20)
+	tl.Add(other)
+	if tl.Elapsed() != 22 {
+		t.Errorf("merged elapsed = %v want 22 (cpu-bound)", tl.Elapsed())
+	}
+	tl.Reset()
+	if tl.Elapsed() != 0 {
+		t.Error("reset failed")
+	}
+	cpu, disk = tl.Utilization()
+	if cpu != 0 || disk != 0 {
+		t.Error("utilization of empty timeline should be 0,0")
+	}
+}
+
+// Property: for any access pattern, MajorFaults+MinorFaults equals the
+// number of page touches, and resident pages never exceed capacity.
+func TestMemoryPropertyConservation(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		const pages = 32
+		m, err := NewMemory(pages*4096, Config{
+			PageSize:   4096,
+			CacheBytes: 8 * 4096,
+			Disk:       DiskModel{BandwidthBytes: 1e6},
+		})
+		if err != nil {
+			return false
+		}
+		for _, o := range offsets {
+			p := int64(o) % pages
+			m.Touch(p*4096, 1)
+			if m.ResidentPages() > m.CachePages() {
+				return false
+			}
+		}
+		s := m.Stats()
+		return s.MajorFaults+s.MinorFaults == uint64(len(offsets))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bytes read from disk are always >= bytes uniquely touched
+// the first time, and a scan of S bytes with cache >= S reads each
+// byte exactly once regardless of repetition count.
+func TestMemoryPropertyCachedScanReadsOnce(t *testing.T) {
+	f := func(repeats uint8) bool {
+		const size = 16 * 4096
+		m, err := NewMemory(size, Config{
+			PageSize:   4096,
+			CacheBytes: size * 2,
+			Disk:       DiskModel{BandwidthBytes: 1e6},
+		})
+		if err != nil {
+			return false
+		}
+		n := int(repeats%8) + 1
+		for i := 0; i < n; i++ {
+			m.Touch(0, size)
+		}
+		return m.Stats().BytesRead == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package m3 scales machine-learning algorithms to datasets that
+// exceed RAM by memory-mapping them — a Go reproduction of "M3:
+// Scaling Up Machine Learning via Memory Mapping" (Fang & Chau,
+// SIGMOD 2016).
+//
+// The idea (the paper's Table 1): code written against an in-memory
+// matrix keeps working when the matrix becomes a view over a
+// memory-mapped file, because the OS pages data in and out of RAM on
+// the program's behalf. Switching a workload out-of-core is a
+// one-line change of how the matrix is constructed:
+//
+//	// Original: heap allocation, bounded by RAM.
+//	data := m3.NewMatrix(rows, cols)
+//
+//	// M3: file-backed mapping, bounded by disk.
+//	eng := m3.New(m3.Config{})
+//	defer eng.Close()
+//	data, err := eng.Alloc(rows, cols)
+//
+// Training APIs accept either form transparently:
+//
+//	model, err := m3.TrainLogistic(data, labels, m3.LogisticOptions{})
+//
+// See the examples/ directory for runnable end-to-end programs and
+// cmd/m3bench for the harness that regenerates the paper's figures.
+package m3
+
+import (
+	"m3/internal/core"
+	"m3/internal/dataset"
+	"m3/internal/infimnist"
+	"m3/internal/mat"
+	"m3/internal/ml/bayes"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/knn"
+	"m3/internal/ml/linreg"
+	"m3/internal/ml/logreg"
+	"m3/internal/ml/modelio"
+	"m3/internal/ml/pca"
+	"m3/internal/ml/sgd"
+	"m3/internal/mmap"
+	"m3/internal/optimize"
+)
+
+// Matrix is a dense row-major float64 matrix whose backing store may
+// be the Go heap or a memory-mapped file; algorithms cannot tell the
+// difference.
+type Matrix = mat.Dense
+
+// NewMatrix allocates a rows×cols heap matrix (the "Original" path).
+func NewMatrix(rows, cols int) *Matrix { return mat.NewDense(rows, cols) }
+
+// WrapMatrix views an existing slice (length >= rows*cols) as a
+// matrix without copying; the slice may come from any source,
+// including a raw memory mapping.
+func WrapMatrix(data []float64, rows, cols int) *Matrix {
+	return mat.NewDenseFrom(data, rows, cols)
+}
+
+// Engine manages M3 datasets: it opens files with transparent
+// backend selection (heap below the memory budget, mmap above) and
+// releases every resource on Close.
+type Engine = core.Engine
+
+// Config parameterizes an Engine.
+type Config = core.Config
+
+// Table is an opened dataset (matrix + optional labels).
+type Table = core.Table
+
+// Mode selects a storage backend explicitly.
+type Mode = core.Mode
+
+// Backend modes.
+const (
+	// Auto picks heap or mmap by file size against the budget.
+	Auto = core.Auto
+	// InMemory always loads to the heap.
+	InMemory = core.InMemory
+	// MemoryMapped always maps.
+	MemoryMapped = core.MemoryMapped
+)
+
+// New creates an engine.
+func New(cfg Config) *Engine { return core.New(cfg) }
+
+// Advice hints the kernel about a mapping's access pattern.
+type Advice = mmap.Advice
+
+// Access-pattern hints (madvise).
+const (
+	AdviseNormal     = mmap.Normal
+	AdviseSequential = mmap.Sequential
+	AdviseRandom     = mmap.Random
+	AdviseWillNeed   = mmap.WillNeed
+	AdviseDontNeed   = mmap.DontNeed
+)
+
+// MapFloat64 memory-maps an existing raw file of float64 values
+// read-only — the lowest-level M3 primitive. The returned closer
+// unmaps.
+func MapFloat64(path string) ([]float64, func() error, error) {
+	fs, region, err := mmap.OpenFloat64(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fs, region.Unmap, nil
+}
+
+// AllocFloat64 creates a file of n float64 and maps it read-write —
+// the paper's mmapAlloc helper.
+func AllocFloat64(path string, n int64) ([]float64, func() error, error) {
+	fs, region, err := mmap.AllocFloat64(path, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fs, region.Unmap, nil
+}
+
+// --- Datasets --------------------------------------------------------
+
+// WriteDataset writes a row-major matrix (and optional labels, may be
+// nil) as an M3 dataset file.
+func WriteDataset(path string, data []float64, rows, cols int64, labels []float64) error {
+	return dataset.WriteMatrix(path, data, rows, cols, labels)
+}
+
+// GenerateInfimnist streams n deterministic MNIST-like digit images
+// (784 features each, labels 0–9) to an M3 dataset file — the
+// workload generator for the paper's experiments.
+func GenerateInfimnist(path string, n int64, seed uint64) error {
+	return infimnist.Generator{Seed: seed}.WriteDataset(path, n)
+}
+
+// InfimnistFeatures is the per-image feature count (28×28 = 784).
+const InfimnistFeatures = infimnist.Features
+
+// --- Training --------------------------------------------------------
+
+// LogisticOptions configures binary logistic regression training.
+type LogisticOptions = logreg.Options
+
+// LogisticModel is a trained binary classifier.
+type LogisticModel = logreg.Model
+
+// TrainLogistic fits binary logistic regression with L-BFGS; labels
+// must be 0 or 1. The matrix may be heap- or mmap-backed.
+func TrainLogistic(x *Matrix, y []float64, opts LogisticOptions) (*LogisticModel, error) {
+	return logreg.Train(x, y, opts)
+}
+
+// SoftmaxModel is a trained multiclass classifier.
+type SoftmaxModel = logreg.SoftmaxModel
+
+// TrainSoftmax fits K-class softmax regression with L-BFGS; labels
+// must be in [0, classes).
+func TrainSoftmax(x *Matrix, y []int, classes int, opts LogisticOptions) (*SoftmaxModel, error) {
+	return logreg.TrainSoftmax(x, y, classes, opts)
+}
+
+// KMeansOptions configures clustering.
+type KMeansOptions = kmeans.Options
+
+// KMeansResult is a completed clustering.
+type KMeansResult = kmeans.Result
+
+// KMeans clusters the rows of x with Lloyd's algorithm (k-means++
+// initialization by default).
+func KMeans(x *Matrix, opts KMeansOptions) (*KMeansResult, error) {
+	return kmeans.Run(x, opts)
+}
+
+// MiniBatchKMeansOptions configures the mini-batch variant.
+type MiniBatchKMeansOptions = kmeans.MiniBatchOptions
+
+// MiniBatchKMeans clusters with Sculley-style mini-batch updates —
+// each step touches only a batch of rows, the I/O-frugal choice for
+// out-of-core data.
+func MiniBatchKMeans(x *Matrix, opts MiniBatchKMeansOptions) (*KMeansResult, error) {
+	return kmeans.MiniBatch(x, opts)
+}
+
+// Neighbor is one k-nearest-neighbor search result.
+type Neighbor = knn.Neighbor
+
+// NearestNeighbors answers a batch of queries with one sequential
+// scan of the (possibly mapped) reference matrix.
+func NearestNeighbors(refs, queries *Matrix, k int) ([][]Neighbor, error) {
+	return knn.Search(refs, queries, k)
+}
+
+// KNNClassify predicts labels by majority vote among the k nearest
+// labelled reference rows.
+func KNNClassify(refs *Matrix, labels []int, queries *Matrix, k int) ([]int, error) {
+	return knn.Classify(refs, labels, queries, k)
+}
+
+// TrainLogisticParallel fits binary logistic regression with the
+// row-sharded parallel objective (workers <= 0 selects GOMAXPROCS).
+// Use with heap or real-mmap matrices.
+func TrainLogisticParallel(x *Matrix, y []float64, opts LogisticOptions, workers int) (*LogisticModel, error) {
+	return logreg.TrainParallel(x, y, opts, workers)
+}
+
+// LinearOptions configures linear (ridge) regression.
+type LinearOptions = linreg.Options
+
+// LinearModel is a fitted linear regressor.
+type LinearModel = linreg.Model
+
+// TrainLinear fits ridge linear regression with streaming L-BFGS.
+func TrainLinear(x *Matrix, y []float64, opts LinearOptions) (*LinearModel, error) {
+	return linreg.Train(x, y, opts)
+}
+
+// TrainLinearExact solves the ridge normal equations directly (one
+// data scan + O(d³) solve); suitable when the feature count is small.
+func TrainLinearExact(x *Matrix, y []float64, opts LinearOptions) (*LinearModel, error) {
+	return linreg.TrainExact(x, y, opts)
+}
+
+// SGDOptions configures stochastic gradient descent training.
+type SGDOptions = sgd.Options
+
+// TrainSGD fits binary logistic regression with (mini-batch) SGD —
+// the online-learning path of the paper's §4.
+func TrainSGD(x *Matrix, y []float64, opts SGDOptions) (*LogisticModel, error) {
+	return sgd.Train(x, y, opts)
+}
+
+// OnlineLearner is a streaming logistic-regression learner: one
+// Update per arriving example, no dataset required.
+type OnlineLearner = sgd.Learner
+
+// NewOnlineLearner creates a streaming learner for dim features.
+func NewOnlineLearner(dim int, learningRate, lambda float64) (*OnlineLearner, error) {
+	return sgd.NewLearner(dim, learningRate, lambda)
+}
+
+// BayesModel is a fitted Gaussian naive Bayes classifier.
+type BayesModel = bayes.Model
+
+// TrainBayes fits Gaussian naive Bayes in a single data scan; labels
+// must be integers in [0, classes).
+func TrainBayes(x *Matrix, y []int, classes int) (*BayesModel, error) {
+	return bayes.Train(x, y, classes, bayes.Options{})
+}
+
+// PCAOptions configures principal component analysis.
+type PCAOptions = pca.Options
+
+// PCAResult is a fitted decomposition.
+type PCAResult = pca.Result
+
+// PCA extracts the leading principal components in two data scans
+// (mean + covariance) regardless of the component count.
+func PCA(x *Matrix, opts PCAOptions) (*PCAResult, error) {
+	return pca.Fit(x, opts)
+}
+
+// SaveModel persists a trained model (logistic, softmax, linear,
+// k-means or naive Bayes) to path in a self-describing format.
+func SaveModel(path string, model any) error {
+	return modelio.SaveFile(path, model)
+}
+
+// LoadModel reads a model saved by SaveModel. The first return value
+// is one of the model pointer types; the ModelKind tags which.
+func LoadModel(path string) (any, ModelKind, error) {
+	return modelio.LoadFile(path)
+}
+
+// ModelKind tags a persisted model type.
+type ModelKind = modelio.Kind
+
+// IterInfo is passed to optimizer callbacks.
+type IterInfo = optimize.IterInfo

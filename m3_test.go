@@ -1,0 +1,143 @@
+package m3
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTable1MinimalChange is experiment E3: the same training code
+// runs unchanged against a heap matrix and a memory-mapped one, and
+// produces the identical model — the paper's Table 1 in executable
+// form.
+func TestTable1MinimalChange(t *testing.T) {
+	dir := t.TempDir()
+	dsPath := filepath.Join(dir, "digits.m3")
+	const n = 80
+	if err := GenerateInfimnist(dsPath, n, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	train := func(x *Matrix, y []float64) *LogisticModel {
+		t.Helper()
+		m, err := TrainLogistic(x, y, LogisticOptions{MaxIterations: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	binary := func(labels []float64) []float64 {
+		y := make([]float64, len(labels))
+		for i, v := range labels {
+			if v == 0 {
+				y[i] = 1
+			}
+		}
+		return y
+	}
+
+	// "Original": in-memory load.
+	heapEng := New(Config{Mode: InMemory})
+	defer heapEng.Close()
+	heapTbl, err := heapEng.Open(dsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapModel := train(heapTbl.X, binary(heapTbl.Labels))
+
+	// "M3": the one-line change — open memory-mapped instead.
+	mapEng := New(Config{Mode: MemoryMapped})
+	defer mapEng.Close()
+	mapTbl, err := mapEng.Open(dsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapTbl.Mapped {
+		t.Fatal("dataset not mapped")
+	}
+	mapModel := train(mapTbl.X, binary(mapTbl.Labels))
+
+	// Identical data + identical algorithm ⇒ identical model.
+	if heapModel.Intercept != mapModel.Intercept {
+		t.Errorf("intercepts differ: %v vs %v", heapModel.Intercept, mapModel.Intercept)
+	}
+	for i := range heapModel.Weights {
+		if heapModel.Weights[i] != mapModel.Weights[i] {
+			t.Fatalf("weight %d differs: %v vs %v", i, heapModel.Weights[i], mapModel.Weights[i])
+		}
+	}
+}
+
+func TestAllocFloat64RoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "buf.bin")
+	fs, closeFn, err := AllocFloat64(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		fs[i] = float64(i)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	got, closeFn2, err := MapFloat64(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn2()
+	if got[42] != 42 {
+		t.Errorf("value = %v", got[42])
+	}
+}
+
+func TestWrapMatrixAndKMeans(t *testing.T) {
+	// Tiny two-cluster problem through the public API.
+	data := []float64{
+		0, 0, 0.1, 0.1, 0.2, 0, // cluster A
+		5, 5, 5.1, 5.2, 4.9, 5, // cluster B
+	}
+	x := WrapMatrix(data, 6, 2)
+	res, err := KMeans(x, KMeansOptions{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0] == res.Assignments[3] {
+		t.Error("clusters not separated")
+	}
+	if res.Assignments[0] != res.Assignments[1] || res.Assignments[3] != res.Assignments[4] {
+		t.Error("cluster members split")
+	}
+}
+
+func TestTrainSoftmaxPublic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.m3")
+	if err := GenerateInfimnist(path, 100, 3); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Mode: MemoryMapped})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]int, len(tbl.Labels))
+	for i, v := range tbl.Labels {
+		y[i] = int(v)
+	}
+	model, err := TrainSoftmax(tbl.X, y, 10, LogisticOptions{MaxIterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := model.Accuracy(tbl.X, y); acc < 0.8 {
+		t.Errorf("softmax accuracy over mapped data = %v", acc)
+	}
+}
+
+func TestNewMatrix(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Errorf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	if InfimnistFeatures != 784 {
+		t.Errorf("InfimnistFeatures = %d", InfimnistFeatures)
+	}
+}
