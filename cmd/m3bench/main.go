@@ -9,7 +9,13 @@
 //	m3bench -exp disks     # ablation: HDD vs SSD vs RAID 0
 //	m3bench -exp energy    # §4 energy usage: desktop vs clusters
 //	m3bench -exp locality  # §4 recorded traces + miss-ratio curves
+//	m3bench -exp parallel  # real hardware: blocked scan, workers 1..N
 //	m3bench -exp all       # everything
+//
+// With -json out.json, every experiment additionally appends
+// machine-readable records (algorithm, mode, workers, wall/simulated
+// seconds, faults) so benchmark trajectories can accumulate across
+// runs.
 //
 // Simulated seconds model the paper's hardware (32 GB RAM desktop
 // with a PCIe SSD; EMR m3.2xlarge workers); the shapes — who wins,
@@ -18,41 +24,102 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
 
 	"m3/internal/bench"
+	"m3/internal/infimnist"
+	"m3/internal/iostats"
+	"m3/internal/mat"
+	"m3/internal/store"
 )
 
+// Record is one machine-readable benchmark result.
+type Record struct {
+	Experiment  string  `json:"experiment"`
+	Algorithm   string  `json:"algorithm"`
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	SizeBytes   int64   `json:"size_bytes,omitempty"`
+	SimSeconds  float64 `json:"sim_seconds,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	MajorFaults int64   `json:"major_faults,omitempty"`
+	// FaultsValid is true when MajorFaults came from readable /proc
+	// counters (real-hardware experiments only).
+	FaultsValid bool `json:"faults_valid,omitempty"`
+	Passes      int  `json:"passes,omitempty"`
+}
+
+// recorder accumulates records for -json output.
+type recorder struct {
+	records []Record
+}
+
+func (r *recorder) add(recs ...Record) {
+	if r != nil {
+		r.records = append(r.records, recs...)
+	}
+}
+
+func (r *recorder) write(path string) error {
+	out := struct {
+		GeneratedAt string   `json:"generated_at"`
+		Records     []Record `json:"records"`
+	}{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Records:     r.records,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, all")
+	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, all")
 	rows := flag.Int("rows", 512, "actual (scaled-down) row count the math runs on")
 	seed := flag.Uint64("seed", 3, "workload seed")
 	size := flag.Float64("size", 190e9, "nominal dataset bytes for single-size experiments")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
 	w := bench.Workload{NominalBytes: int64(*size), ActualRows: *rows, Seed: *seed}
 	machine := bench.PaperPC()
+	var rec *recorder
+	if *jsonOut != "" {
+		rec = &recorder{}
+	}
 
 	runners := map[string]func() error{
-		"fig1a":    func() error { return runFig1a(machine, w) },
-		"fig1b":    func() error { return runFig1b(machine, w) },
-		"iobound":  func() error { return runIOBound(machine, w) },
-		"access":   func() error { return runAccess(machine, w) },
-		"predict":  func() error { return runPredict(machine, w) },
-		"disks":    func() error { return runDisks(w) },
-		"energy":   func() error { return runEnergy(machine, w) },
-		"locality": func() error { return runLocality(w) },
+		"fig1a":    func() error { return runFig1a(machine, w, rec) },
+		"fig1b":    func() error { return runFig1b(machine, w, rec) },
+		"iobound":  func() error { return runIOBound(machine, w, rec) },
+		"access":   func() error { return runAccess(machine, w, rec) },
+		"predict":  func() error { return runPredict(machine, w, rec) },
+		"disks":    func() error { return runDisks(w, rec) },
+		"energy":   func() error { return runEnergy(machine, w, rec) },
+		"locality": func() error { return runLocality(w, rec) },
+		"parallel": func() error { return runParallel(rec) },
 	}
-	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality"}
+	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel"}
 
 	if *exp == "all" {
 		for _, name := range order {
 			if err := runners[name](); err != nil {
+				// Flush what completed so earlier experiments'
+				// records survive a late failure.
+				finish(rec, *jsonOut)
 				fail(err)
 			}
 		}
+		finish(rec, *jsonOut)
 		return
 	}
 	run, ok := runners[*exp]
@@ -62,8 +129,20 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(); err != nil {
+		finish(rec, *jsonOut)
 		fail(err)
 	}
+	finish(rec, *jsonOut)
+}
+
+func finish(rec *recorder, path string) {
+	if rec == nil {
+		return
+	}
+	if err := rec.write(path); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nwrote %d records to %s\n", len(rec.records), path)
 }
 
 func fail(err error) {
@@ -75,48 +154,68 @@ func header(title string) {
 	fmt.Printf("\n=== %s ===\n\n", title)
 }
 
-func runFig1a(machine bench.Machine, w bench.Workload) error {
+func runFig1a(machine bench.Machine, w bench.Workload, rec *recorder) error {
 	header("Figure 1a — M3 runtime vs dataset size (logreg, 10 iters L-BFGS, RAM 32 GB)")
 	res, err := bench.Fig1a(bench.Fig1aConfig{Machine: machine, Workload: w})
 	if err != nil {
 		return err
 	}
+	for _, p := range res.Points {
+		rec.add(Record{
+			Experiment: "fig1a", Algorithm: "logreg", Mode: "simulated",
+			Workers: 1, SizeBytes: p.SizeBytes, SimSeconds: p.Seconds, Passes: p.Passes,
+		})
+	}
 	return bench.RenderFig1a(os.Stdout, res, machine.RAMBytes)
 }
 
-func runFig1b(machine bench.Machine, w bench.Workload) error {
+func runFig1b(machine bench.Machine, w bench.Workload, rec *recorder) error {
 	header(fmt.Sprintf("Figure 1b — M3 (1 PC) vs Spark clusters at %.0f GB", float64(w.NominalBytes)/1e9))
 	rows, err := bench.Fig1b(machine, w)
 	if err != nil {
 		return err
 	}
+	for _, r := range rows {
+		rec.add(Record{
+			Experiment: "fig1b", Algorithm: r.Algorithm, Mode: r.System,
+			Workers: 1, SizeBytes: w.NominalBytes, SimSeconds: r.Seconds,
+		})
+	}
 	return bench.RenderFig1b(os.Stdout, rows)
 }
 
-func runIOBound(machine bench.Machine, w bench.Workload) error {
+func runIOBound(machine bench.Machine, w bench.Workload, rec *recorder) error {
 	header("§3.1 — resource utilization of out-of-core M3")
 	util, err := bench.IOBound(machine, w)
 	if err != nil {
 		return err
 	}
+	rec.add(Record{
+		Experiment: "iobound", Algorithm: "logreg", Mode: "simulated",
+		Workers: 1, SizeBytes: w.NominalBytes, SimSeconds: util.ElapsedSeconds,
+	})
 	fmt.Println(util)
 	fmt.Printf("I/O bound: %v (paper: disk 100%% utilized, CPU ≈13%%)\n", util.IOBound())
 	return nil
 }
 
-func runAccess(machine bench.Machine, w bench.Workload) error {
+func runAccess(machine bench.Machine, w bench.Workload, rec *recorder) error {
 	header("§4 — access-pattern study (same volume, different order)")
 	seq, rnd, err := bench.RunAccessPattern(machine, w, 3)
 	if err != nil {
 		return err
 	}
+	rec.add(
+		Record{Experiment: "access", Algorithm: "scan", Mode: "sequential", Workers: 1, SimSeconds: seq.Seconds},
+		Record{Experiment: "access", Algorithm: "scan", Mode: "random", Workers: 1, SimSeconds: rnd.Seconds},
+	)
 	fmt.Printf("sequential scan: %8.0f s  (%s)\n", seq.Seconds, seq.Util)
 	fmt.Printf("random access:   %8.0f s  (%s)\n", rnd.Seconds, rnd.Util)
 	fmt.Printf("penalty: %.1fx — locality determines out-of-core performance\n", rnd.Seconds/seq.Seconds)
 	return nil
 }
 
-func runPredict(machine bench.Machine, w bench.Workload) error {
+func runPredict(machine bench.Machine, w bench.Workload, rec *recorder) error {
 	header("§4 — runtime prediction from small-scale measurements")
 	train := []int64{8e9, 16e9, 24e9, 40e9, 60e9, 80e9}
 	test := []int64{120e9, 160e9, 190e9, 250e9}
@@ -124,33 +223,158 @@ func runPredict(machine bench.Machine, w bench.Workload) error {
 	if err != nil {
 		return err
 	}
+	for _, p := range points {
+		rec.add(Record{
+			Experiment: "predict", Algorithm: "logreg", Mode: "simulated",
+			Workers: 1, SizeBytes: p.SizeBytes, SimSeconds: p.Actual,
+		})
+	}
 	fmt.Printf("model: %s\n\n", model)
 	return bench.RenderPredict(os.Stdout, points)
 }
 
-func runEnergy(machine bench.Machine, w bench.Workload) error {
+func runEnergy(machine bench.Machine, w bench.Workload, rec *recorder) error {
 	header("§4 — energy usage: M3 desktop vs Spark clusters (logreg job)")
 	rows, err := bench.Energy(machine, w)
 	if err != nil {
 		return err
 	}
+	for _, r := range rows {
+		rec.add(Record{
+			Experiment: "energy", Algorithm: "logreg", Mode: r.System,
+			Workers: 1, SizeBytes: w.NominalBytes, SimSeconds: r.Seconds,
+		})
+	}
 	return bench.RenderEnergy(os.Stdout, rows)
 }
 
-func runLocality(w bench.Workload) error {
+func runLocality(w bench.Workload, rec *recorder) error {
 	header("§4 — recorded access traces and miss-ratio curves (Mattson analysis)")
 	reports, err := bench.Locality(w)
 	if err != nil {
 		return err
 	}
+	for _, r := range reports {
+		rec.add(Record{
+			Experiment: "locality", Algorithm: r.Algorithm, Mode: "traced",
+			Workers: 1, Passes: r.References,
+		})
+	}
 	return bench.RenderLocality(os.Stdout, reports)
 }
 
-func runDisks(w bench.Workload) error {
+func runDisks(w bench.Workload, rec *recorder) error {
 	header("Ablation — storage device (paper: \"faster disks, or RAID 0\")")
 	reports, err := bench.DiskAblation(w)
 	if err != nil {
 		return err
 	}
+	disks := make([]string, 0, len(reports))
+	for disk := range reports {
+		disks = append(disks, disk)
+	}
+	sort.Strings(disks)
+	for _, disk := range disks {
+		rec.add(Record{
+			Experiment: "disks", Algorithm: "logreg", Mode: disk,
+			Workers: 1, SimSeconds: reports[disk].Seconds,
+		})
+	}
 	return bench.RenderReports(os.Stdout, reports)
+}
+
+// workerSweep returns {1, 2, 4, NumCPU} deduplicated and sorted, so
+// records never carry duplicate (mode, workers) keys.
+func workerSweep() []int {
+	sweep := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	out := sweep[:0]
+	for _, w := range sweep {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runParallel measures real wall-clock time of a full-matrix scan
+// (y = A·x) on an mmap-backed matrix through the shared
+// chunked-execution layer, sweeping the worker count — the hardware
+// counterpart of BenchmarkParallelScan.
+func runParallel(rec *recorder) error {
+	header("Parallel — blocked mmap scan on this machine (internal/exec)")
+	const rows, cols = 4096, 784
+	dir, err := os.MkdirTemp("", "m3bench-parallel")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "scan.bin")
+	ms, err := store.CreateMapped(path, rows*cols)
+	if err != nil {
+		return err
+	}
+	defer ms.Close()
+	g := infimnist.Generator{Seed: 7}
+	data, _ := g.Matrix(0, rows)
+	copy(ms.Data(), data)
+	x, err := mat.NewDenseStore(ms, rows, cols)
+	if err != nil {
+		return err
+	}
+
+	vec := make([]float64, cols)
+	for j := range vec {
+		vec[j] = 1 / float64(j+1)
+	}
+	y := make([]float64, rows)
+	const reps = 20
+
+	// measure returns the mean wall time per scan plus the major-fault
+	// delta; faultsOK is false when /proc counters are unavailable, so
+	// a zero is never mistaken for a fully-resident run.
+	measure := func(workers int) (wall float64, faults int64, faultsOK bool) {
+		before, errB := iostats.ReadProc()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if workers == 0 {
+				x.MulVec(y, vec)
+			} else {
+				x.MulVecParallel(y, vec, workers)
+			}
+		}
+		wall = time.Since(start).Seconds() / reps
+		after, errA := iostats.ReadProc()
+		if errB != nil || errA != nil {
+			return wall, 0, false
+		}
+		return wall, after.Sub(before).MajorFaults, true
+	}
+	faultCol := func(faults int64, ok bool) string {
+		if !ok {
+			return "n/a"
+		}
+		return fmt.Sprintf("%d", faults)
+	}
+
+	seqWall, seqFaults, seqOK := measure(0)
+	fmt.Printf("%-12s %12s %14s %8s\n", "variant", "workers", "wall/scan", "faults")
+	fmt.Printf("%-12s %12d %12.3fms %8s\n", "sequential", 1, seqWall*1e3, faultCol(seqFaults, seqOK))
+	rec.add(Record{
+		Experiment: "parallel", Algorithm: "scan", Mode: "mmap-seq",
+		Workers: 1, SizeBytes: rows * cols * 8, WallSeconds: seqWall,
+		MajorFaults: seqFaults, FaultsValid: seqOK,
+	})
+	for _, workers := range workerSweep() {
+		wall, faults, ok := measure(workers)
+		fmt.Printf("%-12s %12d %12.3fms %8s  (%.2fx)\n", "blocked", workers, wall*1e3, faultCol(faults, ok), seqWall/wall)
+		rec.add(Record{
+			Experiment: "parallel", Algorithm: "scan", Mode: "mmap-blocked",
+			Workers: workers, SizeBytes: rows * cols * 8, WallSeconds: wall,
+			MajorFaults: faults, FaultsValid: ok,
+		})
+	}
+	return nil
 }

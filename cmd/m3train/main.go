@@ -31,6 +31,7 @@ func main() {
 	iters := flag.Int("iters", 10, "iterations (L-BFGS or Lloyd)")
 	k := flag.Int("k", 5, "k-means cluster count")
 	classes := flag.Int("classes", 10, "softmax class count")
+	workers := flag.Int("workers", 0, "chunked-execution worker pool (0 = NumCPU, 1 = sequential)")
 	positive := flag.Float64("positive", 0, "label treated as the positive class for logreg")
 	save := flag.String("save", "", "save the trained model to this path")
 	flag.Parse()
@@ -40,13 +41,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*data, *algo, *backend, *iters, *k, *classes, *positive, *save); err != nil {
+	if err := run(*data, *algo, *backend, *iters, *k, *classes, *workers, *positive, *save); err != nil {
 		fmt.Fprintf(os.Stderr, "m3train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, algo, backend string, iters, k, classes int, positive float64, save string) error {
+func run(data, algo, backend string, iters, k, classes, workers int, positive float64, save string) error {
 	var mode core.Mode
 	switch backend {
 	case "mmap":
@@ -59,7 +60,7 @@ func run(data, algo, backend string, iters, k, classes int, positive float64, sa
 		return fmt.Errorf("unknown backend %q", backend)
 	}
 
-	eng := core.New(core.Config{Mode: mode})
+	eng := core.New(core.Config{Mode: mode, Workers: workers})
 	defer eng.Close()
 
 	before, procErr := iostats.ReadProc()
@@ -84,7 +85,7 @@ func run(data, algo, backend string, iters, k, classes int, positive float64, sa
 				y[i] = 1
 			}
 		}
-		model, err := logreg.Train(tbl.X, y, logreg.Options{MaxIterations: iters, GradTol: 1e-12})
+		model, err := logreg.TrainParallel(tbl.X, y, logreg.Options{MaxIterations: iters, GradTol: 1e-12}, eng.Workers())
 		if err != nil {
 			return err
 		}
@@ -101,7 +102,7 @@ func run(data, algo, backend string, iters, k, classes int, positive float64, sa
 		for i, v := range tbl.Labels {
 			y[i] = int(v)
 		}
-		model, err := logreg.TrainSoftmax(tbl.X, y, classes, logreg.Options{MaxIterations: iters})
+		model, err := logreg.TrainSoftmax(tbl.X, y, classes, logreg.Options{MaxIterations: iters, Workers: eng.Workers()})
 		if err != nil {
 			return err
 		}
@@ -111,7 +112,7 @@ func run(data, algo, backend string, iters, k, classes int, positive float64, sa
 		trained = model
 
 	case "kmeans":
-		res, err := kmeans.Run(tbl.X, kmeans.Options{K: k, MaxIterations: iters, RunAllIterations: true})
+		res, err := kmeans.Run(tbl.X, kmeans.Options{K: k, MaxIterations: iters, RunAllIterations: true, Workers: eng.Workers()})
 		if err != nil {
 			return err
 		}

@@ -266,6 +266,61 @@ func Gemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int
 	}
 }
 
+// --- Row-block kernels ------------------------------------------------
+//
+// These operate on a contiguous block of rows — the unit of work the
+// chunked-execution layer (internal/exec) hands to each worker — so
+// trainers can express their per-block map step as one call.
+
+// SumRows accumulates the column sums of a row-major m×n block into y
+// (y[j] += sum_i a[i][j]).
+func SumRows(m, n int, a []float64, lda int, y []float64) {
+	checkMatrix(m, n, a, lda)
+	if len(y) < n {
+		panic("blas: sumrows destination too short")
+	}
+	for i := 0; i < m; i++ {
+		Axpy(1, a[i*lda:i*lda+n], y[:n])
+	}
+}
+
+// Syr performs the symmetric rank-1 update A += alpha * x * xᵀ on the
+// upper triangle of a row-major n×n matrix — the covariance
+// accumulation kernel. Only entries a[i][j] with j >= i are written.
+func Syr(n int, alpha float64, x []float64, a []float64, lda int) {
+	checkMatrix(n, n, a, lda)
+	if len(x) < n {
+		panic("blas: syr vector too short")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		v := alpha * x[i]
+		if v == 0 {
+			continue
+		}
+		Axpy(v, x[i:n], a[i*lda+i:i*lda+n])
+	}
+}
+
+// NearestRow returns the index of the row of the row-major k×n matrix
+// c closest (squared Euclidean distance) to x, and that distance —
+// the k-means assignment kernel. Ties resolve to the lowest index.
+func NearestRow(x []float64, k, n int, c []float64, ldc int) (best int, dist float64) {
+	checkMatrix(k, n, c, ldc)
+	if len(x) < n {
+		panic("blas: nearestrow vector too short")
+	}
+	dist = math.Inf(1)
+	for i := 0; i < k; i++ {
+		if d2 := SqDist(x[:n], c[i*ldc:i*ldc+n]); d2 < dist {
+			best, dist = i, d2
+		}
+	}
+	return best, dist
+}
+
 func checkMatrix(m, n int, a []float64, lda int) {
 	if m < 0 || n < 0 {
 		panic("blas: negative dimension")

@@ -335,3 +335,46 @@ func TestSqDistPropertyNormConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSumRows(t *testing.T) {
+	// 3x2 block with stride 3 (one padding column).
+	a := []float64{1, 2, 99, 3, 4, 99, 5, 6, 99}
+	y := []float64{10, 20}
+	SumRows(3, 2, a, 3, y)
+	if y[0] != 19 || y[1] != 32 {
+		t.Errorf("SumRows = %v, want [19 32]", y)
+	}
+}
+
+func TestSyrUpperTriangle(t *testing.T) {
+	x := []float64{1, 2, 3}
+	a := make([]float64, 9)
+	Syr(3, 2, x, a, 3)
+	want := []float64{2, 4, 6, 0, 8, 12, 0, 0, 18}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Syr a = %v, want %v", a, want)
+		}
+	}
+	// alpha == 0 is a no-op.
+	Syr(3, 0, x, a, 3)
+	if a[0] != 2 {
+		t.Errorf("Syr alpha=0 modified a")
+	}
+}
+
+func TestNearestRow(t *testing.T) {
+	c := []float64{0, 0, 10, 10, 1, 1}
+	best, dist := NearestRow([]float64{1.2, 0.9}, 3, 2, c, 2)
+	if best != 2 {
+		t.Errorf("NearestRow best = %d, want 2", best)
+	}
+	if !almostEqual(dist, 0.2*0.2+0.1*0.1, 1e-12) {
+		t.Errorf("NearestRow dist = %v", dist)
+	}
+	// Ties resolve to the lowest index.
+	tie := []float64{1, 0, 1, 0}
+	if best, _ := NearestRow([]float64{0, 0}, 2, 2, tie, 2); best != 0 {
+		t.Errorf("tie best = %d, want 0", best)
+	}
+}

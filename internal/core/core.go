@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"m3/internal/dataset"
+	"m3/internal/exec"
 	"m3/internal/mat"
 	"m3/internal/mmap"
 	"m3/internal/store"
@@ -54,6 +55,12 @@ type Config struct {
 	Advise mmap.Advice
 	// TempDir hosts scratch allocations (default os.TempDir()).
 	TempDir string
+	// Workers sizes the chunked-execution worker pool (internal/exec)
+	// that parallel scans over this engine's matrices use: <= 0
+	// selects runtime.NumCPU(), 1 forces sequential scans. The engine
+	// threads it through to trainers via Workers(); results are
+	// identical for every value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,15 +94,33 @@ func New(cfg Config) *Engine {
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("core: engine is closed")
 
-// track registers a resource for Close.
+// Workers returns the resolved chunked-execution pool size for this
+// engine (Config.Workers, with <= 0 meaning runtime.NumCPU()).
+func (e *Engine) Workers() int { return exec.Workers(e.cfg.Workers) }
+
+// track registers a resource for Close. If the engine was closed
+// between resource creation and registration, the resource is closed
+// here — under the same lock that Close holds, so exactly one of
+// track and Close releases it — and ErrClosed is returned, joined
+// with any error from the release so nothing is silently dropped.
 func (e *Engine) track(c closer) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		c.Close()
-		return ErrClosed
+		return errors.Join(ErrClosed, c.Close())
 	}
 	e.open = append(e.open, c)
+	return nil
+}
+
+// checkOpen is the advisory fast-fail used at operation entry; track
+// remains the authoritative gate for resources created afterwards.
+func (e *Engine) checkOpen() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
 	return nil
 }
 
@@ -131,12 +156,9 @@ func (heapTable) Close() error { return nil }
 // Open opens an M3 dataset file, choosing the backend per the
 // engine's mode, and returns its matrix view.
 func (e *Engine) Open(path string) (*Table, error) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil, ErrClosed
+	if err := e.checkOpen(); err != nil {
+		return nil, err
 	}
-	e.mu.Unlock()
 
 	fi, err := os.Stat(path)
 	if err != nil {
@@ -201,6 +223,12 @@ func (e *Engine) Alloc(rows, cols int) (*mat.Dense, error) {
 		return nil, fmt.Errorf("core: non-positive dimensions %dx%d", rows, cols)
 	}
 	e.mu.Lock()
+	if e.closed {
+		// Refuse before creating the backing file: a closed engine
+		// must never leave scratch files behind.
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
 	e.nalloc++
 	path := filepath.Join(e.cfg.TempDir, fmt.Sprintf("m3-alloc-%d-%d.bin", os.Getpid(), e.nalloc))
 	e.mu.Unlock()
@@ -216,7 +244,13 @@ func (e *Engine) Alloc(rows, cols int) (*mat.Dense, error) {
 		return nil, err
 	}
 	if err := e.track(&scratch{Mapped: ms, path: path}); err != nil {
-		os.Remove(path)
+		// track released the scratch (unmapping and removing the
+		// file) under the engine lock if it lost the race with
+		// Close; the fallback remove below only covers removal
+		// failures surfaced through the joined error.
+		if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+			err = errors.Join(err, rmErr)
+		}
 		return nil, err
 	}
 	return d, nil

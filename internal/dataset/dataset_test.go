@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"m3/internal/mmap"
+	"m3/internal/store"
 )
 
 func tmpPath(t *testing.T, name string) string {
@@ -335,5 +338,52 @@ func TestLargeSparseDatasetOpens(t *testing.T) {
 		if got := m.At(i, 0); got != float64(i) {
 			t.Errorf("row %d marker = %v", i, got)
 		}
+	}
+}
+
+// TestMappedDatasetSupportsParallelLayer: the matrix returned by
+// Dataset.X must expose the real mapped backend — concurrent-safe
+// Touch accounting and ranged advice — so the chunked-execution layer
+// parallelizes and prefetches on the Engine's mmap training path
+// instead of silently degrading to a heap facade.
+func TestMappedDatasetSupportsParallelLayer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.m3")
+	data := make([]float64, 6*4)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if err := WriteMatrix(path, data, 6, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	x := ds.X()
+	s := x.Store()
+	if c, ok := s.(store.ConcurrentToucher); !ok || !c.ConcurrentSafe() {
+		t.Error("mapped dataset store is not concurrent-safe; parallel scans will clamp to one worker")
+	}
+	ra, ok := s.(store.RangeAdviser)
+	if !ok {
+		t.Fatal("mapped dataset store has no AdviseRange; block prefetch is dead")
+	}
+	if err := ra.AdviseRange(mmap.WillNeed, 0, 8); err != nil {
+		t.Errorf("AdviseRange: %v", err)
+	}
+	// The view must still read the payload, not the header.
+	if got := x.At(0, 0); got != 0 {
+		t.Errorf("x[0,0] = %v, want 0", got)
+	}
+	if got := x.At(5, 3); got != 23 {
+		t.Errorf("x[5,3] = %v, want 23", got)
+	}
+	// Closing the matrix's store must not unmap the dataset.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.RawX()[1]; got != 1 {
+		t.Errorf("dataset unmapped by view close: %v", got)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"m3/internal/mat"
 	"m3/internal/mmap"
+	"m3/internal/store"
 )
 
 // Dataset is an opened dataset file whose payload is memory-mapped —
@@ -69,9 +70,18 @@ func Open(path string) (*Dataset, error) {
 	return d, nil
 }
 
-// X returns the feature matrix as a view over the mapping.
+// X returns the feature matrix as a view over the mapping, backed by
+// a mapped store so the parallel execution layer sees the real
+// backend (concurrent-safe accounting, WillNeed block prefetch) —
+// not a heap facade.
 func (d *Dataset) X() *mat.Dense {
-	return mat.NewDenseFrom(d.x, int(d.Rows), int(d.Cols))
+	s := store.ViewMapped(d.region, d.x, HeaderSize)
+	m, err := mat.NewDenseStore(s, int(d.Rows), int(d.Cols))
+	if err != nil {
+		// Unreachable: the view is sized exactly Rows*Cols.
+		return mat.NewDenseFrom(d.x, int(d.Rows), int(d.Cols))
+	}
+	return m
 }
 
 // RawX returns the mapped feature payload.

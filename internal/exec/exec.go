@@ -1,0 +1,305 @@
+// Package exec is M3's shared parallel chunked-execution layer: a
+// block scheduler plus worker pool that every trainer sits on.
+//
+// The design follows the streaming-operator shape of FDB (Bakibayev
+// et al., VLDB 2012) applied to M3's substrate: the row space of a
+// (possibly memory-mapped) matrix is partitioned into blocks sized to
+// a whole number of pages, a map runs over blocks on a pool of workers, and
+// per-block partial states are combined by an ordered reduce. Because
+// the partition depends only on the data geometry — never on the
+// worker count — and partials are merged in ascending block order,
+// results are bit-identical run to run regardless of how many workers
+// execute the map. Parallelism changes wall time, not answers.
+//
+// The layer integrates with the storage stack rather than sitting on
+// top of it:
+//
+//   - every block's access is declared through store.Store Touch
+//     accounting, so the simulated paged backend keeps exact fault
+//     counts and stall seconds;
+//   - when the backing store supports ranged madvise
+//     (store.RangeAdviser — the real mmap backend), each worker
+//     issues mmap.WillNeed for the next block before computing on the
+//     current one, overlapping kernel read-ahead with compute;
+//   - backends whose accounting is not safe under concurrency (the
+//     simulated Paged store, trace recorders) are detected via
+//     store.ConcurrentToucher and scanned by a single worker — same
+//     blocks, same ordered reduce, identical results.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"m3/internal/mmap"
+	"m3/internal/store"
+)
+
+// DefaultBlockBytes is the target block payload size. 256 KiB spans
+// 64 pages at 4 KiB — large enough to amortize scheduling and touch
+// accounting, small enough that a handful of blocks exist even for
+// modest matrices.
+const DefaultBlockBytes = 256 << 10
+
+// Block is a half-open range [Lo, Hi) of items (rows, edges, ...).
+type Block struct {
+	Lo, Hi int
+}
+
+// Len returns the number of items in the block.
+func (b Block) Len() int { return b.Hi - b.Lo }
+
+// Workers resolves a worker-count knob: n <= 0 selects
+// runtime.NumCPU(), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Partition splits n items of itemBytes bytes each into equal-size
+// blocks (the last one keeps the remainder). The block budget is
+// snapped up to a whole number of pages and then filled with whole
+// items, so a block spans at least one page; block boundaries land on
+// item boundaries and coincide with page boundaries only when
+// itemBytes divides the budget.
+// targetBlockBytes <= 0 selects DefaultBlockBytes. The
+// result depends only on (n, itemBytes, targetBlockBytes) — never on
+// the worker count — which is what makes downstream reductions
+// deterministic under any parallelism.
+func Partition(n, itemBytes, targetBlockBytes int) []Block {
+	if n <= 0 {
+		return nil
+	}
+	if itemBytes <= 0 {
+		itemBytes = 8
+	}
+	if targetBlockBytes <= 0 {
+		targetBlockBytes = DefaultBlockBytes
+	}
+	ps := mmap.PageSize()
+	// Snap the block budget to a whole number of pages, then convert
+	// to items, rounding up so a block always covers >= 1 page.
+	blockBytes := (targetBlockBytes + ps - 1) / ps * ps
+	itemsPerBlock := blockBytes / itemBytes
+	if itemsPerBlock < 1 {
+		itemsPerBlock = 1
+	}
+	blocks := make([]Block, 0, (n+itemsPerBlock-1)/itemsPerBlock)
+	for lo := 0; lo < n; lo += itemsPerBlock {
+		hi := lo + itemsPerBlock
+		if hi > n {
+			hi = n
+		}
+		blocks = append(blocks, Block{Lo: lo, Hi: hi})
+	}
+	return blocks
+}
+
+// MapReduce runs process over every block on up to workers goroutines
+// and merges the per-block partial states into a fresh root state in
+// ascending block order. alloc must return a zero-valued state;
+// process must not retain its state after returning; merge folds src
+// into dst. The reduction order — and therefore every floating-point
+// association — is independent of the worker count.
+func MapReduce[T any](blocks []Block, workers int, alloc func() T, process func(state T, b Block), merge func(dst, src T)) T {
+	out := alloc()
+	if len(blocks) == 0 {
+		return out
+	}
+	workers = Workers(workers)
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if workers == 1 {
+		// Same block structure and merge association as the parallel
+		// path, so one worker and N workers agree bit for bit.
+		for _, b := range blocks {
+			s := alloc()
+			process(s, b)
+			merge(out, s)
+		}
+		return out
+	}
+
+	type item struct {
+		i int
+		s T
+	}
+	// The in-flight window bounds live partial states at O(workers):
+	// a worker takes a token before claiming a block and the reducer
+	// returns it after the merge, so one slow block (a major-fault
+	// stall on block 0, say) cannot let the rest of the pool race
+	// ahead and pile up unmerged partials — which matters when a
+	// partial is a whole vector, as in PageRank.
+	window := 2 * workers
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	ch := make(chan item, window)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				<-tokens
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) {
+					tokens <- struct{}{}
+					return
+				}
+				s := alloc()
+				process(s, blocks[i])
+				ch <- item{i: i, s: s}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	// Ordered streaming reduce: merge block k only after blocks
+	// 0..k-1. Progress is guaranteed: blocks are claimed in order, so
+	// the lowest unmerged block is always either in pending (merged
+	// immediately below) or being processed by a token-holding worker.
+	pending := make(map[int]T, window)
+	nextMerge := 0
+	for it := range ch {
+		pending[it.i] = it.s
+		for {
+			s, ok := pending[nextMerge]
+			if !ok {
+				break
+			}
+			delete(pending, nextMerge)
+			merge(out, s)
+			nextMerge++
+			tokens <- struct{}{}
+		}
+	}
+	return out
+}
+
+// RowScan describes a blocked scan over the rows of a row-major,
+// store-backed matrix. Zero-valued knobs pick defaults: Workers <= 0
+// means runtime.NumCPU(), BlockBytes <= 0 means DefaultBlockBytes.
+type RowScan struct {
+	// Store backs the matrix; Data() must remain valid for the scan.
+	Store store.Store
+	// Off is the element offset of row 0 within the store.
+	Off int
+	// Rows and Cols give the scanned shape; Stride is the element
+	// distance between row starts.
+	Rows, Cols, Stride int
+	// Workers caps the pool (<= 0: NumCPU). Stores that are not
+	// store.ConcurrentToucher-safe are always scanned by one worker.
+	Workers int
+	// BlockBytes overrides the target block payload size.
+	BlockBytes int
+	// NoPrefetch disables WillNeed advice for upcoming blocks.
+	NoPrefetch bool
+}
+
+// Blocks returns the scan's row partition (page-budgeted, row-
+// boundary blocks). Worker count does not influence it.
+func (s RowScan) Blocks() []Block {
+	return Partition(s.Rows, s.Cols*8, s.BlockBytes)
+}
+
+// effectiveWorkers clamps the pool to 1 for backends whose accounting
+// cannot race.
+func (s RowScan) effectiveWorkers() int {
+	if c, ok := s.Store.(store.ConcurrentToucher); !ok || !c.ConcurrentSafe() {
+		return 1
+	}
+	return Workers(s.Workers)
+}
+
+// blockState pairs a user partial with its accounted stall so both
+// reduce in block order.
+type blockState[T any] struct {
+	user  T
+	stall float64
+}
+
+// ReduceRowBlocks applies fn to whole row blocks and merges per-block
+// partial states in ascending block order, returning the root state
+// and the total simulated stall. Each block declares its access with
+// one bulk Store.Touch and, on prefetch-capable stores, first advises
+// WillNeed for the following block so the kernel overlaps its faults
+// with this block's compute. fn receives the row range [lo, hi), the
+// backing slice of those rows (starting at row lo) and the row
+// stride, sized for direct use with the row-block kernels in
+// internal/blas (Gemv, SumRows, ...).
+func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi int, block []float64, stride int), merge func(dst, src T)) (T, float64) {
+	blocks := s.Blocks()
+	data := s.Store.Data()
+	adviser, _ := s.Store.(store.RangeAdviser)
+	prefetch := adviser != nil && !s.NoPrefetch
+	workers := s.effectiveWorkers()
+
+	root := MapReduce(blocks, workers,
+		func() *blockState[T] { return &blockState[T]{user: alloc()} },
+		func(st *blockState[T], b Block) {
+			if prefetch {
+				// Advise the block this worker will likely claim
+				// next: with W workers, blocks b..b+W-1 are already
+				// in flight, so W blocks ahead is the nearest range
+				// with actual lead time (W=1 degenerates to the
+				// following block). Advising an already-claimed
+				// block is harmless (madvise is idempotent).
+				if nb := b.Lo + workers*b.Len(); nb < s.Rows {
+					end := nb + b.Len()
+					if end > s.Rows {
+						end = s.Rows
+					}
+					start := s.Off + nb*s.Stride
+					n := (end-nb-1)*s.Stride + s.Cols
+					_ = adviser.AdviseRange(mmap.WillNeed, start, n)
+				}
+			}
+			start := s.Off + b.Lo*s.Stride
+			n := (b.Len()-1)*s.Stride + s.Cols
+			st.stall = s.Store.Touch(start, n)
+			fn(st.user, b.Lo, b.Hi, data[start:start+n], s.Stride)
+		},
+		func(dst, src *blockState[T]) {
+			merge(dst.user, src.user)
+			dst.stall += src.stall
+		})
+	return root.user, root.stall
+}
+
+// ReduceRows applies fn to every row of the scan and merges per-block
+// partial states in ascending block order, returning the root state
+// and the total simulated stall. fn receives the row index and the
+// row slice aliasing the backing store; it must only write to state
+// (or to per-row disjoint locations such as an output slice).
+func ReduceRows[T any](s RowScan, alloc func() T, fn func(state T, i int, row []float64), merge func(dst, src T)) (T, float64) {
+	return ReduceRowBlocks(s, alloc,
+		func(state T, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				rs := (i - lo) * stride
+				fn(state, i, block[rs:rs+s.Cols])
+			}
+		}, merge)
+}
+
+// ForEachRow runs fn over every row of the scan on the worker pool,
+// with block-granular Touch accounting and prefetch, and returns the
+// total stall. fn must write only to per-row disjoint locations; no
+// state is reduced. Row visit order within a block is ascending, but
+// blocks run concurrently.
+func ForEachRow(s RowScan, fn func(i int, row []float64)) float64 {
+	_, stall := ReduceRows(s,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, row []float64) { fn(i, row) },
+		func(_, _ struct{}) {})
+	return stall
+}

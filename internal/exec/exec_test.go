@@ -1,0 +1,272 @@
+package exec_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"m3/internal/exec"
+	"m3/internal/infimnist"
+	"m3/internal/mat"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/logreg"
+	"m3/internal/mmap"
+	"m3/internal/store"
+)
+
+func TestPartitionCoversExactlyOnce(t *testing.T) {
+	cases := []struct{ n, itemBytes, target int }{
+		{1, 8, 0},
+		{100, 784 * 8, 0},
+		{4096, 8, 4096},
+		{17, 16, 1},
+		{1000, 100000, 0}, // item larger than a block
+	}
+	for _, c := range cases {
+		blocks := exec.Partition(c.n, c.itemBytes, c.target)
+		next := 0
+		for _, b := range blocks {
+			if b.Lo != next || b.Hi <= b.Lo {
+				t.Fatalf("Partition(%v): bad block %+v after %d", c, b, next)
+			}
+			next = b.Hi
+		}
+		if next != c.n {
+			t.Errorf("Partition(%v): covered %d of %d items", c, next, c.n)
+		}
+	}
+	if got := exec.Partition(0, 8, 0); got != nil {
+		t.Errorf("Partition(0) = %v, want nil", got)
+	}
+}
+
+// TestPartitionIsPageAligned covers the divisible case: when the
+// item size divides the page-rounded budget, interior block spans are
+// exact page multiples.
+func TestPartitionIsPageAligned(t *testing.T) {
+	ps := mmap.PageSize()
+	blocks := exec.Partition(1<<20, 8, 0)
+	if len(blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(blocks))
+	}
+	for _, b := range blocks[:len(blocks)-1] {
+		if (b.Len()*8)%ps != 0 {
+			t.Errorf("block %+v spans %d bytes, not a page multiple", b, b.Len()*8)
+		}
+	}
+}
+
+// TestMapReduceDeterministicAcrossWorkers checks the core contract:
+// the reduce result is bit-identical for every worker count, because
+// the partition and merge order never consult it.
+func TestMapReduceDeterministicAcrossWorkers(t *testing.T) {
+	blocks := exec.Partition(10000, 8, 4096)
+	run := func(workers int) float64 {
+		sum := exec.MapReduce(blocks, workers,
+			func() *float64 { return new(float64) },
+			func(s *float64, b exec.Block) {
+				for i := b.Lo; i < b.Hi; i++ {
+					*s += 1.0 / float64(i+1)
+				}
+			},
+			func(dst, src *float64) { *dst += *src })
+		return *sum
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 7, runtime.NumCPU(), 64} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: %v != %v (workers=1)", workers, got, want)
+		}
+	}
+}
+
+// digits builds a labelled heap matrix for the trainer determinism
+// tests.
+func digits(t *testing.T, n int) (*mat.Dense, []float64) {
+	t.Helper()
+	g := infimnist.Generator{Seed: 11}
+	xs, labels := g.Matrix(0, int64(n))
+	x := mat.NewDenseFrom(xs, n, infimnist.Features)
+	y := make([]float64, n)
+	for i, v := range labels {
+		if v == 0 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+// TestLogregGradientDeterministicAcrossWorkers is the ISSUE's table
+// test: the block-parallel logreg loss and gradient are bit-identical
+// for workers ∈ {1, 2, 7, NumCPU}.
+func TestLogregGradientDeterministicAcrossWorkers(t *testing.T) {
+	const n = 200
+	x, y := digits(t, n)
+	params := make([]float64, infimnist.Features+1)
+	for i := range params {
+		params[i] = 0.01 * float64(i%17-8)
+	}
+
+	eval := func(workers int) (float64, []float64) {
+		obj, err := logreg.NewParallelObjective(x, y, 1e-3, true, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := make([]float64, obj.Dim())
+		return obj.Eval(params, grad), grad
+	}
+	refLoss, refGrad := eval(1)
+	for _, workers := range []int{2, 7, runtime.NumCPU()} {
+		loss, grad := eval(workers)
+		if loss != refLoss {
+			t.Errorf("workers=%d: loss %v != %v", workers, loss, refLoss)
+		}
+		for j := range grad {
+			if grad[j] != refGrad[j] {
+				t.Fatalf("workers=%d: grad[%d] %v != %v", workers, j, grad[j], refGrad[j])
+			}
+		}
+	}
+}
+
+// TestKMeansAssignmentDeterministicAcrossWorkers: one Lloyd iteration
+// from fixed centroids produces identical assignments, centroids and
+// inertia for every worker count.
+func TestKMeansAssignmentDeterministicAcrossWorkers(t *testing.T) {
+	const n, k = 200, 5
+	x, _ := digits(t, n)
+	g := infimnist.Generator{Seed: 12}
+	init := mat.NewDense(k, infimnist.Features)
+	row := make([]float64, infimnist.Features)
+	for c := 0; c < k; c++ {
+		g.Fill(row, int64(c*3+1))
+		init.SetRow(c, row)
+	}
+
+	run := func(workers int) *kmeans.Result {
+		res, err := kmeans.Run(x, kmeans.Options{
+			K: k, MaxIterations: 3, InitCentroids: init,
+			RunAllIterations: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 7, runtime.NumCPU()} {
+		res := run(workers)
+		if res.Inertia != ref.Inertia {
+			t.Errorf("workers=%d: inertia %v != %v", workers, res.Inertia, ref.Inertia)
+		}
+		for i := range res.Assignments {
+			if res.Assignments[i] != ref.Assignments[i] {
+				t.Fatalf("workers=%d: assignment[%d] differs", workers, i)
+			}
+		}
+		if !res.Centroids.Equal(ref.Centroids) {
+			t.Errorf("workers=%d: centroids differ", workers)
+		}
+	}
+}
+
+// TestConcurrentScanMappedStore drives many concurrent blocked scans
+// through one shared mmap-backed store; under -race this verifies the
+// Touch accounting and block scheduler are data-race free.
+func TestConcurrentScanMappedStore(t *testing.T) {
+	const rows, cols = 512, 64
+	path := filepath.Join(t.TempDir(), "scan.bin")
+	ms, err := store.CreateMapped(path, rows*cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	data := ms.Data()
+	for i := range data {
+		data[i] = float64(i % 97)
+	}
+	x, err := mat.NewDenseStore(ms, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vec := make([]float64, cols)
+	for j := range vec {
+		vec[j] = 1 / float64(j+1)
+	}
+	want := make([]float64, rows)
+	x.MulVec(want, vec)
+
+	done := make(chan []float64, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			y := make([]float64, rows)
+			x.MulVecParallel(y, vec, 4)
+			done <- y
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		y := <-done
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("concurrent scan diverged at row %d: %v != %v", i, y[i], want[i])
+			}
+		}
+	}
+	if got := ms.Stats().BytesTouched; got <= 0 {
+		t.Errorf("no bytes accounted: %d", got)
+	}
+}
+
+// TestPagedStoreStaysSequential: backends without concurrent-safe
+// accounting are scanned by one worker, with stall accounting intact.
+func TestPagedStoreStaysSequential(t *testing.T) {
+	const rows, cols = 64, 32
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	ps, err := store.NewPaged(data, store.PagedConfig{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := mat.NewDenseStore(ps, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, stall := exec.ReduceRows(x.Scan(8),
+		func() *float64 { return new(float64) },
+		func(s *float64, i int, row []float64) { *s += row[0] },
+		func(dst, src *float64) { *dst += *src })
+	if stall <= 0 {
+		t.Errorf("paged scan reported no stall: %v", stall)
+	}
+	var want float64
+	for i := 0; i < rows; i++ {
+		want += data[i*cols]
+	}
+	if *sum != want {
+		t.Errorf("paged reduce = %v, want %v", *sum, want)
+	}
+	if ps.Stats().MajorFaults == 0 {
+		t.Error("paged scan recorded no faults")
+	}
+}
+
+// TestForEachRowParallelVisitsAllRows checks the non-reducing path.
+func TestForEachRowParallelVisitsAllRows(t *testing.T) {
+	const rows, cols = 300, 16
+	x := mat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		x.Set(i, 0, float64(i))
+	}
+	seen := make([]float64, rows)
+	x.ForEachRowParallel(4, func(i int, row []float64) {
+		seen[i] = row[0] + 1
+	})
+	for i := range seen {
+		if seen[i] != float64(i)+1 {
+			t.Fatalf("row %d not visited correctly: %v", i, seen[i])
+		}
+	}
+}

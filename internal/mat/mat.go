@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"m3/internal/blas"
+	"m3/internal/exec"
 	"m3/internal/store"
 )
 
@@ -126,6 +127,16 @@ func (d *Dense) SetRow(i int, src []float64) (stall float64) {
 	return stall
 }
 
+// Contiguous returns the matrix's backing elements as one row-major
+// slice when rows are stored back to back (stride == cols); ok is
+// false for strided views, whose rows are not adjacent in memory.
+func (d *Dense) Contiguous() (data []float64, ok bool) {
+	if d.stride != d.cols {
+		return nil, false
+	}
+	return d.data[d.off : d.off+d.rows*d.cols], true
+}
+
 // RowWindow returns a view of rows [i0, i1) sharing the same backing
 // store; no data is copied.
 func (d *Dense) RowWindow(i0, i1 int) *Dense {
@@ -149,6 +160,50 @@ func (d *Dense) ForEachRow(fn func(i int, row []float64)) (stall float64) {
 		stall += d.s.Touch(start, d.cols)
 		fn(i, d.data[start:start+d.cols])
 	}
+	return stall
+}
+
+// Scan returns a chunked-execution descriptor over d's rows for the
+// shared parallel layer (internal/exec): workers <= 0 selects
+// runtime.NumCPU(). The partition depends only on the matrix shape —
+// never the worker count — so reductions built on it are
+// deterministic.
+func (d *Dense) Scan(workers int) exec.RowScan {
+	return exec.RowScan{
+		Store:   d.s,
+		Off:     d.off,
+		Rows:    d.rows,
+		Cols:    d.cols,
+		Stride:  d.stride,
+		Workers: workers,
+	}
+}
+
+// ForEachRowParallel invokes fn for every row using the shared block
+// scheduler: page-sized blocks, bulk Touch accounting, WillNeed
+// prefetch on mapped backings. fn runs concurrently across blocks and
+// must write only to per-row disjoint locations. Row order within a
+// block is ascending; blocks interleave. It returns the total
+// simulated stall.
+func (d *Dense) ForEachRowParallel(workers int, fn func(i int, row []float64)) (stall float64) {
+	return exec.ForEachRow(d.Scan(workers), fn)
+}
+
+// MulVecParallel computes y = A·x over the shared parallel layer,
+// running the blas.Gemv row-block kernel on each block. Each y[i] is
+// written by exactly one worker, so the result is bit-identical to
+// MulVec — per-row dot products do not reassociate. It returns the
+// simulated stall.
+func (d *Dense) MulVecParallel(y, x []float64, workers int) (stall float64) {
+	if len(x) != d.cols || len(y) != d.rows {
+		panic(fmt.Sprintf("mat: MulVecParallel shapes y[%d] = A(%dx%d)·x[%d]", len(y), d.rows, d.cols, len(x)))
+	}
+	_, stall = exec.ReduceRowBlocks(d.Scan(workers),
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, lo, hi int, block []float64, stride int) {
+			blas.Gemv(hi-lo, d.cols, 1, block, stride, x, 0, y[lo:hi])
+		},
+		func(_, _ struct{}) {})
 	return stall
 }
 

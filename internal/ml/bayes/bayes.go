@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 
+	"m3/internal/blas"
+	"m3/internal/exec"
 	"m3/internal/mat"
 )
 
@@ -18,6 +20,10 @@ type Options struct {
 	// scaled by the largest feature variance (default 1e-9, the
 	// scikit-learn convention).
 	VarSmoothing float64
+	// Workers sizes the chunked-execution pool for the counting scan
+	// (<= 0: runtime.NumCPU(), 1: sequential). The fitted model is
+	// identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -65,20 +71,33 @@ func Train(x *mat.Dense, y []int, classes int, opts Options) (*Model, error) {
 		Var:      make([]float64, classes*d),
 		LogPrior: make([]float64, classes),
 	}
-	counts := make([]float64, classes)
-
-	// Single scan: accumulate sum and sum of squares per class.
-	sum := m.Mean // reuse storage, finalized below
-	sumSq := m.Var
-	x.ForEachRow(func(i int, row []float64) {
-		c := y[i]
-		counts[c]++
-		base := c * d
-		for j, v := range row {
-			sum[base+j] += v
-			sumSq[base+j] += v * v
-		}
-	})
+	// Single blocked scan on the shared execution layer: each block
+	// accumulates per-class count, sum and sum-of-squares partials,
+	// merged in block order so the model is identical for any worker
+	// count.
+	acc, _ := exec.ReduceRows(x.Scan(o.Workers),
+		func() *countPartial {
+			return &countPartial{
+				counts: make([]float64, classes),
+				sum:    make([]float64, classes*d),
+				sumSq:  make([]float64, classes*d),
+			}
+		},
+		func(p *countPartial, i int, row []float64) {
+			c := y[i]
+			p.counts[c]++
+			base := c * d
+			for j, v := range row {
+				p.sum[base+j] += v
+				p.sumSq[base+j] += v * v
+			}
+		},
+		func(dst, src *countPartial) {
+			blas.Axpy(1, src.counts, dst.counts)
+			blas.Axpy(1, src.sum, dst.sum)
+			blas.Axpy(1, src.sumSq, dst.sumSq)
+		})
+	counts, sum, sumSq := acc.counts, acc.sum, acc.sumSq
 
 	var maxVar float64
 	for c := 0; c < classes; c++ {
@@ -105,6 +124,11 @@ func Train(x *mat.Dense, y []int, classes int, opts Options) (*Model, error) {
 		m.Var[i] += eps
 	}
 	return m, nil
+}
+
+// countPartial is one block's share of the class statistics.
+type countPartial struct {
+	counts, sum, sumSq []float64
 }
 
 // LogScores writes per-class joint log-likelihoods into dst

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"m3/internal/blas"
+	"m3/internal/exec"
 	"m3/internal/mat"
 )
 
@@ -40,6 +41,10 @@ type Options struct {
 	// Callback, when non-nil, runs after each iteration with the
 	// current inertia; returning false stops the run.
 	Callback func(iter int, inertia float64) bool
+	// Workers sizes the chunked-execution pool for the assignment
+	// scan (<= 0: runtime.NumCPU(), 1: sequential). Assignments,
+	// centroids and inertia are identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -73,6 +78,14 @@ type Result struct {
 	Stall float64
 	// Scans counts full passes over the data matrix.
 	Scans int
+}
+
+// assignPartial is one block's share of a Lloyd assignment pass.
+type assignPartial struct {
+	sums    []float64
+	counts  []int
+	inertia float64
+	changed int
 }
 
 type rng struct{ s uint64 }
@@ -123,33 +136,40 @@ func Run(x *mat.Dense, opts Options) (*Result, error) {
 		res.Scans += scans
 	}
 
-	sums := make([]float64, o.K*d)
-	counts := make([]int, o.K)
 	newCentroid := make([]float64, d)
+	centroids, ok := res.Centroids.Contiguous() // K×d heap matrix is always contiguous
+	if !ok {
+		return nil, fmt.Errorf("kmeans: internal: centroid matrix not contiguous")
+	}
 
 	for iter := 1; iter <= o.MaxIterations; iter++ {
-		// Assignment pass: one sequential scan.
-		blas.Fill(sums, 0)
-		for i := range counts {
-			counts[i] = 0
-		}
-		changed := 0
-		inertia := 0.0
-		stall := x.ForEachRow(func(i int, row []float64) {
-			best, bestC := math.Inf(1), 0
-			for c := 0; c < o.K; c++ {
-				if d2 := blas.SqDist(row, res.Centroids.RawRow(c)); d2 < best {
-					best, bestC = d2, c
+		// Assignment pass: one blocked scan on the shared execution
+		// layer. Each block accumulates its own sums/counts/inertia;
+		// partials merge in block order, so the result is identical
+		// for any worker count. Assignments[i] is per-row disjoint.
+		acc, stall := exec.ReduceRows(x.Scan(o.Workers),
+			func() *assignPartial {
+				return &assignPartial{sums: make([]float64, o.K*d), counts: make([]int, o.K)}
+			},
+			func(p *assignPartial, i int, row []float64) {
+				bestC, best := blas.NearestRow(row, o.K, d, centroids, d)
+				if res.Assignments[i] != bestC {
+					p.changed++
+					res.Assignments[i] = bestC
 				}
-			}
-			if res.Assignments[i] != bestC {
-				changed++
-				res.Assignments[i] = bestC
-			}
-			inertia += best
-			blas.Axpy(1, row, sums[bestC*d:(bestC+1)*d])
-			counts[bestC]++
-		})
+				p.inertia += best
+				blas.Axpy(1, row, p.sums[bestC*d:(bestC+1)*d])
+				p.counts[bestC]++
+			},
+			func(dst, src *assignPartial) {
+				dst.inertia += src.inertia
+				dst.changed += src.changed
+				blas.Axpy(1, src.sums, dst.sums)
+				for c, n := range src.counts {
+					dst.counts[c] += n
+				}
+			})
+		sums, counts, changed, inertia := acc.sums, acc.counts, acc.changed, acc.inertia
 		res.Stall += stall
 		res.Scans++
 		res.Inertia = inertia

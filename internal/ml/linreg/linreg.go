@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"m3/internal/blas"
+	"m3/internal/exec"
 	"m3/internal/mat"
 	"m3/internal/optimize"
 )
@@ -24,6 +25,10 @@ type Options struct {
 	MaxIterations int
 	// GradTol is the L-BFGS gradient tolerance (default 1e-8).
 	GradTol float64
+	// Workers sizes the chunked-execution pool for data scans
+	// (<= 0: runtime.NumCPU(), 1: sequential). Results are identical
+	// for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -87,13 +92,17 @@ func (m *Model) R2(x *mat.Dense, y []float64) float64 {
 	return 1 - m.MSE(x, y)*float64(n)/ssTot
 }
 
-// Objective is the ridge least-squares loss, streamed one row at a
-// time; it implements optimize.Objective.
+// Objective is the ridge least-squares loss, evaluated in blocked
+// (optionally parallel) scans on the shared execution layer; it
+// implements optimize.Objective.
 type Objective struct {
 	x         *mat.Dense
 	y         []float64
 	lambda    float64
 	intercept bool
+	// Workers sizes the worker pool per scan (<= 0: NumCPU). The
+	// result is bit-identical for every value.
+	Workers int
 	// Scans counts full passes.
 	Scans int
 }
@@ -118,8 +127,14 @@ func (o *Objective) Dim() int {
 	return d
 }
 
+// lsqPartial is one block's share of the least-squares loss.
+type lsqPartial struct {
+	sse, gb float64
+	gw      []float64
+}
+
 // Eval computes ½·mean((w·x+b−y)²) + ½λ‖w‖² and its gradient in one
-// sequential scan.
+// blocked pass over the data.
 func (o *Objective) Eval(params, grad []float64) float64 {
 	d := o.x.Cols()
 	w := params[:d]
@@ -127,34 +142,41 @@ func (o *Objective) Eval(params, grad []float64) float64 {
 	if o.intercept {
 		b = params[d]
 	}
+	total, _ := exec.ReduceRows(o.x.Scan(o.Workers),
+		func() *lsqPartial { return &lsqPartial{gw: make([]float64, d)} },
+		func(p *lsqPartial, i int, row []float64) {
+			r := blas.Dot(row, w) + b - o.y[i]
+			p.sse += r * r
+			blas.Axpy(r, row, p.gw)
+			p.gb += r
+		},
+		func(dst, src *lsqPartial) {
+			dst.sse += src.sse
+			dst.gb += src.gb
+			blas.Axpy(1, src.gw, dst.gw)
+		})
+	o.Scans++
 	blas.Fill(grad, 0)
 	gw := grad[:d]
-	var gb, sse float64
-	o.x.ForEachRow(func(i int, row []float64) {
-		r := blas.Dot(row, w) + b - o.y[i]
-		sse += r * r
-		blas.Axpy(r, row, gw)
-		gb += r
-	})
-	o.Scans++
 	n := float64(o.x.Rows())
-	blas.Scal(1/n, gw)
+	blas.AddScaled(gw, gw, 1/n, total.gw)
 	if o.intercept {
-		grad[d] = gb / n
+		grad[d] = total.gb / n
 	}
-	loss := 0.5 * sse / n
+	loss := 0.5 * total.sse / n
 	loss += 0.5 * o.lambda * blas.Dot(w, w)
 	blas.Axpy(o.lambda, w, gw)
 	return loss
 }
 
-// Train fits the model with streaming L-BFGS.
+// Train fits the model with blocked L-BFGS scans.
 func Train(x *mat.Dense, y []float64, opts Options) (*Model, error) {
 	o := opts.withDefaults()
 	obj, err := NewObjective(x, y, o.Lambda, !o.NoIntercept)
 	if err != nil {
 		return nil, err
 	}
+	obj.Workers = o.Workers
 	res, err := optimize.LBFGS(obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
 		MaxIterations: o.MaxIterations,
 		GradTol:       o.GradTol,
@@ -184,26 +206,39 @@ func TrainExact(x *mat.Dense, y []float64, opts Options) (*Model, error) {
 	if !o.NoIntercept {
 		p++
 	}
-	gram := make([]float64, p*p)
-	rhs := make([]float64, p)
-	x.ForEachRow(func(i int, row []float64) {
-		for a := 0; a < d; a++ {
-			va := row[a]
-			if va == 0 {
-				continue
+	// Each partial carries a p×p gram block; size blocks to hold at
+	// least ~p rows so the O(p²) zero+merge amortizes to O(p) per row.
+	gramScan := x.Scan(o.Workers)
+	if minBytes := p * p * 8; minBytes > exec.DefaultBlockBytes {
+		gramScan.BlockBytes = minBytes
+	}
+	total, _ := exec.ReduceRows(gramScan,
+		func() *gramPartial {
+			return &gramPartial{gram: make([]float64, p*p), rhs: make([]float64, p)}
+		},
+		func(g *gramPartial, i int, row []float64) {
+			for a := 0; a < d; a++ {
+				va := row[a]
+				if va == 0 {
+					continue
+				}
+				blas.Axpy(va, row, g.gram[a*p:a*p+d])
+				if !o.NoIntercept {
+					g.gram[a*p+d] += va
+				}
+				g.rhs[a] += va * y[i]
 			}
-			blas.Axpy(va, row, gram[a*p:a*p+d])
 			if !o.NoIntercept {
-				gram[a*p+d] += va
+				blas.Axpy(1, row, g.gram[d*p:d*p+d])
+				g.gram[d*p+d]++
+				g.rhs[d] += y[i]
 			}
-			rhs[a] += va * y[i]
-		}
-		if !o.NoIntercept {
-			blas.Axpy(1, row, gram[d*p:d*p+d])
-			gram[d*p+d]++
-			rhs[d] += y[i]
-		}
-	})
+		},
+		func(dst, src *gramPartial) {
+			blas.Axpy(1, src.gram, dst.gram)
+			blas.Axpy(1, src.rhs, dst.rhs)
+		})
+	gram, rhs := total.gram, total.rhs
 	// Ridge on weights only.
 	for a := 0; a < d; a++ {
 		gram[a*p+a] += o.Lambda * float64(x.Rows())
@@ -217,6 +252,11 @@ func TrainExact(x *mat.Dense, y []float64, opts Options) (*Model, error) {
 		m.Intercept = w[d]
 	}
 	return m, nil
+}
+
+// gramPartial is one block's share of the normal equations.
+type gramPartial struct {
+	gram, rhs []float64
 }
 
 // choleskySolve solves Ax=b for symmetric positive-definite A (n×n,

@@ -28,6 +28,12 @@ type Options struct {
 	GradTol float64
 	// Callback is forwarded to the optimizer.
 	Callback func(optimize.IterInfo) bool
+	// Workers sizes the chunked-execution pool for TrainSoftmax's
+	// scans (<= 0: runtime.NumCPU(), 1: sequential); results are
+	// identical for every value. Binary Train keeps the sequential
+	// streaming objective — use TrainParallel for a pooled binary
+	// fit, whose workers argument overrides this field.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

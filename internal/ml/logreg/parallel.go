@@ -4,29 +4,26 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"m3/internal/blas"
+	"m3/internal/exec"
 	"m3/internal/mat"
 	"m3/internal/optimize"
 )
 
-// ParallelObjective evaluates the binary logistic-regression loss
-// with row-sharded goroutines — the configuration the paper's
-// machine actually runs (8 hyperthreads; M3 was still I/O bound).
+// ParallelObjective evaluates the binary logistic-regression loss on
+// the shared chunked-execution layer (internal/exec): the row space is
+// partitioned into page-aligned blocks, blocks run on a worker pool,
+// and per-block partial losses and gradients reduce in block order.
+// Because the partition never depends on the worker count, results
+// are bit-identical for any workers value (they may differ from the
+// serial Objective in the last bits, as any floating-point
+// re-association does).
 //
-// Each worker owns a contiguous row shard, so every shard is itself
-// a sequential scan and the access pattern stays read-ahead friendly.
-// Partial losses and gradients are reduced in fixed shard order, so
-// results are deterministic for a given worker count (they may
-// differ from the serial objective in the last bits, as any
-// floating-point re-association does).
-//
-// ParallelObjective requires a store whose Data slice may be read
-// concurrently (heap or real mmap); the simulated Paged store is not
-// safe for concurrent access and is rejected by NewParallelObjective
-// only through documentation — accounting there is meaningless under
-// sharding anyway.
+// Backends whose accounting is unsafe under concurrency (the
+// simulated Paged store, trace recorders) are detected by the layer
+// and scanned with one worker — same blocks, same reduce, identical
+// numbers.
 type ParallelObjective struct {
 	x         *mat.Dense
 	y         []float64
@@ -34,20 +31,20 @@ type ParallelObjective struct {
 	intercept bool
 	workers   int
 
+	// Stall accumulates simulated paging stall seconds across Evals.
+	Stall float64
 	// Scans counts full passes over the data.
 	Scans int
-
-	shards []shard
 }
 
-type shard struct {
-	lo, hi int
-	grad   []float64 // d+1: weights then bias partial
-	loss   float64
+// partial is one block's contribution to the loss and gradient.
+type partial struct {
+	loss float64
+	grad []float64 // d weights then bias
 }
 
-// NewParallelObjective builds a sharded objective. workers <= 0
-// selects GOMAXPROCS.
+// NewParallelObjective builds a block-parallel objective. workers <= 0
+// selects GOMAXPROCS; more workers than rows clamps to the row count.
 func NewParallelObjective(x *mat.Dense, y []float64, lambda float64, intercept bool, workers int) (*ParallelObjective, error) {
 	if x.Rows() != len(y) {
 		return nil, fmt.Errorf("logreg: %d rows but %d labels", x.Rows(), len(y))
@@ -66,20 +63,10 @@ func NewParallelObjective(x *mat.Dense, y []float64, lambda float64, intercept b
 	if workers > x.Rows() {
 		workers = x.Rows()
 	}
-	o := &ParallelObjective{x: x, y: y, lambda: lambda, intercept: intercept, workers: workers}
-	d := x.Cols()
-	n := x.Rows()
-	for w := 0; w < workers; w++ {
-		o.shards = append(o.shards, shard{
-			lo:   n * w / workers,
-			hi:   n * (w + 1) / workers,
-			grad: make([]float64, d+1),
-		})
-	}
-	return o, nil
+	return &ParallelObjective{x: x, y: y, lambda: lambda, intercept: intercept, workers: workers}, nil
 }
 
-// Workers returns the shard count in use.
+// Workers returns the worker-pool size in use.
 func (o *ParallelObjective) Workers() int { return o.workers }
 
 // Dim returns the parameter count.
@@ -91,7 +78,7 @@ func (o *ParallelObjective) Dim() int {
 	return d
 }
 
-// Eval computes the loss and gradient with one parallel pass.
+// Eval computes the loss and gradient with one blocked parallel pass.
 func (o *ParallelObjective) Eval(params, grad []float64) float64 {
 	d := o.x.Cols()
 	w := params[:d]
@@ -100,49 +87,29 @@ func (o *ParallelObjective) Eval(params, grad []float64) float64 {
 		b = params[d]
 	}
 
-	// Account the full-matrix read once (bulk, not per row — the
-	// shards below use RawRow).
-	o.x.Store().Touch(0, o.x.Rows()*d)
+	total, stall := exec.ReduceRows(o.x.Scan(o.workers),
+		func() *partial { return &partial{grad: make([]float64, d+1)} },
+		func(p *partial, i int, row []float64) {
+			z := blas.Dot(row, w) + b
+			prob, l := sigmoidLoss(z, o.y[i])
+			p.loss += l
+			diff := prob - o.y[i]
+			blas.Axpy(diff, row, p.grad[:d])
+			p.grad[d] += diff
+		},
+		func(dst, src *partial) {
+			dst.loss += src.loss
+			blas.Axpy(1, src.grad, dst.grad)
+		})
+	o.Stall += stall
 	o.Scans++
 
-	var wg sync.WaitGroup
-	for si := range o.shards {
-		wg.Add(1)
-		go func(s *shard) {
-			defer wg.Done()
-			blas.Fill(s.grad, 0)
-			s.loss = 0
-			gw := s.grad[:d]
-			for i := s.lo; i < s.hi; i++ {
-				row := o.x.RawRow(i)
-				z := blas.Dot(row, w) + b
-				prob, l := sigmoidLoss(z, o.y[i])
-				s.loss += l
-				diff := prob - o.y[i]
-				blas.Axpy(diff, row, gw)
-				s.grad[d] += diff
-			}
-		}(&o.shards[si])
-	}
-	wg.Wait()
-
-	// Deterministic reduction in shard order.
 	blas.Fill(grad, 0)
-	var loss float64
-	for si := range o.shards {
-		s := &o.shards[si]
-		loss += s.loss
-		blas.Axpy(1, s.grad[:d], grad[:d])
-		if o.intercept {
-			grad[d] += s.grad[d]
-		}
-	}
-
 	n := float64(o.x.Rows())
-	loss /= n
-	blas.Scal(1/n, grad[:d])
+	loss := total.loss / n
+	blas.AddScaled(grad[:d], grad[:d], 1/n, total.grad[:d])
 	if o.intercept {
-		grad[d] /= n
+		grad[d] = total.grad[d] / n
 	}
 	loss += 0.5 * o.lambda * blas.Dot(w, w)
 	blas.Axpy(o.lambda, w, grad[:d])
@@ -172,8 +139,8 @@ func sigmoidLoss(z, y float64) (prob, loss float64) {
 	return prob, loss
 }
 
-// TrainParallel fits binary logistic regression using the sharded
-// objective. workers <= 0 selects GOMAXPROCS.
+// TrainParallel fits binary logistic regression using the block-
+// parallel objective. workers <= 0 selects GOMAXPROCS.
 func TrainParallel(x *mat.Dense, y []float64, opts Options, workers int) (*Model, error) {
 	o := opts.withDefaults()
 	obj, err := NewParallelObjective(x, y, o.Lambda, !o.NoIntercept, workers)

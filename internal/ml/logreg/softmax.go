@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"m3/internal/blas"
+	"m3/internal/exec"
 	"m3/internal/mat"
 	"m3/internal/optimize"
 )
@@ -18,12 +19,13 @@ type SoftmaxObjective struct {
 	classes   int
 	lambda    float64
 	intercept bool
+	// Workers sizes the chunked-execution pool per scan (<= 0:
+	// NumCPU). The result is bit-identical for every value.
+	Workers int
 	// Stall accumulates simulated paging stall seconds.
 	Stall float64
 	// Scans counts full data passes.
 	Scans int
-	// scratch
-	scores []float64
 }
 
 // NewSoftmaxObjective validates inputs; labels must be in [0, classes).
@@ -44,7 +46,6 @@ func NewSoftmaxObjective(x *mat.Dense, y []int, classes int, lambda float64, int
 	}
 	return &SoftmaxObjective{
 		x: x, y: y, classes: classes, lambda: lambda, intercept: intercept,
-		scores: make([]float64, classes),
 	}, nil
 }
 
@@ -57,8 +58,16 @@ func (o *SoftmaxObjective) Dim() int {
 	return d
 }
 
-// Eval computes mean cross-entropy plus L2 penalty, streaming the
-// data once.
+// softmaxPartial is one block's share of the cross-entropy loss; the
+// scores scratch is per block so workers never share it.
+type softmaxPartial struct {
+	loss   float64
+	grad   []float64
+	scores []float64
+}
+
+// Eval computes mean cross-entropy plus L2 penalty in one blocked
+// pass over the data on the shared execution layer.
 func (o *SoftmaxObjective) Eval(params, grad []float64) float64 {
 	d := o.x.Cols()
 	k := o.classes
@@ -67,60 +76,65 @@ func (o *SoftmaxObjective) Eval(params, grad []float64) float64 {
 	if o.intercept {
 		bias = params[k*d : k*d+k]
 	}
-	blas.Fill(grad, 0)
-	gw := grad[:k*d]
-	var gb []float64
-	if o.intercept {
-		gb = grad[k*d : k*d+k]
-	}
-	var loss float64
 
-	stall := o.x.ForEachRow(func(i int, row []float64) {
-		// scores_c = w_c · row + b_c
-		maxScore := math.Inf(-1)
-		for c := 0; c < k; c++ {
-			s := blas.Dot(wAll[c*d:(c+1)*d], row)
-			if o.intercept {
-				s += bias[c]
-			}
-			o.scores[c] = s
-			if s > maxScore {
-				maxScore = s
-			}
-		}
-		// log-sum-exp with max shift
-		var sum float64
-		for c := 0; c < k; c++ {
-			o.scores[c] = math.Exp(o.scores[c] - maxScore)
-			sum += o.scores[c]
-		}
-		logSum := math.Log(sum) + maxScore
-		yi := o.y[i]
-		// loss_i = logSum - score_{yi}; recover shifted score.
-		loss += logSum - (math.Log(o.scores[yi]) + maxScore)
-		inv := 1 / sum
-		for c := 0; c < k; c++ {
-			p := o.scores[c] * inv
-			diff := p
-			if c == yi {
-				diff -= 1
-			}
-			if diff != 0 {
-				blas.Axpy(diff, row, gw[c*d:(c+1)*d])
+	total, stall := exec.ReduceRows(o.x.Scan(o.Workers),
+		func() *softmaxPartial {
+			return &softmaxPartial{grad: make([]float64, o.Dim()), scores: make([]float64, k)}
+		},
+		func(p *softmaxPartial, i int, row []float64) {
+			gw := p.grad[:k*d]
+			// scores_c = w_c · row + b_c
+			maxScore := math.Inf(-1)
+			for c := 0; c < k; c++ {
+				s := blas.Dot(wAll[c*d:(c+1)*d], row)
 				if o.intercept {
-					gb[c] += diff
+					s += bias[c]
+				}
+				p.scores[c] = s
+				if s > maxScore {
+					maxScore = s
 				}
 			}
-		}
-	})
+			// log-sum-exp with max shift
+			var sum float64
+			for c := 0; c < k; c++ {
+				p.scores[c] = math.Exp(p.scores[c] - maxScore)
+				sum += p.scores[c]
+			}
+			logSum := math.Log(sum) + maxScore
+			yi := o.y[i]
+			// loss_i = logSum - score_{yi}; recover shifted score.
+			p.loss += logSum - (math.Log(p.scores[yi]) + maxScore)
+			inv := 1 / sum
+			for c := 0; c < k; c++ {
+				prob := p.scores[c] * inv
+				diff := prob
+				if c == yi {
+					diff -= 1
+				}
+				if diff != 0 {
+					blas.Axpy(diff, row, gw[c*d:(c+1)*d])
+					if o.intercept {
+						p.grad[k*d+c] += diff
+					}
+				}
+			}
+		},
+		func(dst, src *softmaxPartial) {
+			dst.loss += src.loss
+			blas.Axpy(1, src.grad, dst.grad)
+		})
 	o.Stall += stall
 	o.Scans++
 
+	blas.Fill(grad, 0)
+	gw := grad[:k*d]
 	n := float64(o.x.Rows())
-	loss /= n
-	blas.Scal(1/n, gw)
+	loss := total.loss / n
+	blas.AddScaled(gw, gw, 1/n, total.grad[:k*d])
 	if o.intercept {
-		blas.Scal(1/n, gb)
+		gb := grad[k*d : k*d+k]
+		blas.AddScaled(gb, gb, 1/n, total.grad[k*d:k*d+k])
 	}
 	loss += 0.5 * o.lambda * blas.Dot(wAll, wAll)
 	blas.Axpy(o.lambda, wAll, gw)
@@ -148,6 +162,7 @@ func TrainSoftmax(x *mat.Dense, y []int, classes int, opts Options) (*SoftmaxMod
 	if err != nil {
 		return nil, err
 	}
+	obj.Workers = o.Workers
 	x0 := make([]float64, obj.Dim())
 	res, err := optimize.LBFGS(obj, x0, optimize.LBFGSParams{
 		MaxIterations: o.MaxIterations,

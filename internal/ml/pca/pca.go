@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"m3/internal/blas"
+	"m3/internal/exec"
 	"m3/internal/mat"
 )
 
@@ -25,6 +26,10 @@ type Options struct {
 	Tol float64
 	// Seed drives the deterministic start vectors.
 	Seed uint64
+	// Workers sizes the chunked-execution pool for the mean and
+	// covariance scans (<= 0: runtime.NumCPU(), 1: sequential). The
+	// decomposition is identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -109,26 +114,36 @@ func Fit(x *mat.Dense, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("pca: need >= 2 rows, got %d", n)
 	}
 
-	// Pass 1: mean.
-	mean := make([]float64, d)
-	x.ForEachRow(func(i int, row []float64) {
-		blas.Axpy(1, row, mean)
-	})
+	// Pass 1: mean — blocked column sums (blas.SumRows per block) on
+	// the shared execution layer, merged in block order.
+	mean, _ := exec.ReduceRowBlocks(x.Scan(o.Workers),
+		func() []float64 { return make([]float64, d) },
+		func(sum []float64, lo, hi int, block []float64, stride int) {
+			blas.SumRows(hi-lo, d, block, stride, sum)
+		},
+		func(dst, src []float64) { blas.Axpy(1, src, dst) })
 	blas.Scal(1/float64(n), mean)
 
-	// Pass 2: covariance (upper triangle, then mirrored).
-	cov := make([]float64, d*d)
-	centered := make([]float64, d)
-	x.ForEachRow(func(i int, row []float64) {
-		blas.AddScaled(centered, row, -1, mean)
-		for a := 0; a < d; a++ {
-			va := centered[a]
-			if va == 0 {
-				continue
+	// Pass 2: covariance — per-block symmetric rank-1 accumulation
+	// (blas.Syr on the upper triangle), partial triangles merged in
+	// block order, then mirrored. Each partial is a d×d matrix, so
+	// blocks are sized to hold at least ~d rows: zeroing + merging the
+	// O(d²) partial then amortizes to O(d) per row.
+	covScan := x.Scan(o.Workers)
+	if minBytes := d * d * 8; minBytes > exec.DefaultBlockBytes {
+		covScan.BlockBytes = minBytes
+	}
+	cov, _ := exec.ReduceRowBlocks(covScan,
+		func() []float64 { return make([]float64, d*d) },
+		func(part []float64, lo, hi int, block []float64, stride int) {
+			centered := make([]float64, d)
+			for i := lo; i < hi; i++ {
+				row := block[(i-lo)*stride : (i-lo)*stride+d]
+				blas.AddScaled(centered, row, -1, mean)
+				blas.Syr(d, 1, centered, part, d)
 			}
-			blas.Axpy(va, centered[a:], cov[a*d+a:a*d+d])
-		}
-	})
+		},
+		func(dst, src []float64) { blas.Axpy(1, src, dst) })
 	inv := 1 / float64(n-1)
 	var total float64
 	for a := 0; a < d; a++ {

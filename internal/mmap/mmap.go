@@ -234,6 +234,39 @@ func (r *Region) Advise(a Advice) error {
 	return nil
 }
 
+// AdviseRange applies a hint to bytes [off, off+length) of the region.
+// The range is widened to page boundaries, as madvise(2) requires; a
+// range that falls outside the mapping is clamped. This is the
+// primitive behind block prefetch: a scanner working on block k can
+// issue WillNeed for block k+1 so the kernel overlaps its read with
+// the current block's compute.
+func (r *Region) AdviseRange(a Advice, off, length int64) error {
+	if r.data == nil {
+		return ErrClosed
+	}
+	adv, err := a.sysAdvice()
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		length += off
+		off = 0
+	}
+	if off >= int64(len(r.data)) || length <= 0 {
+		return nil
+	}
+	ps := int64(PageSize())
+	start := off / ps * ps // mapping base is page-aligned
+	end := off + length
+	if end > int64(len(r.data)) {
+		end = int64(len(r.data))
+	}
+	if err := syscall.Madvise(r.data[start:end], adv); err != nil {
+		return fmt.Errorf("mmap: madvise(%s, [%d,%d)): %w", a, start, end, err)
+	}
+	return nil
+}
+
 // Lock pins the region's pages in RAM (mlock(2)), exempting them
 // from reclaim — useful for model parameters that must never fault
 // while the data matrix churns the page cache. It may fail with

@@ -12,6 +12,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"m3/internal/mmap"
 	"m3/internal/vm"
@@ -19,6 +21,26 @@ import (
 
 // ErrReadOnly is returned by write accessors of read-only stores.
 var ErrReadOnly = errors.New("store: read-only")
+
+// ConcurrentToucher is implemented by backends whose Touch accounting
+// (and Data reads) are safe from multiple goroutines at once. The
+// parallel execution layer (internal/exec) consults it: backends that
+// do not implement it — or report false — are scanned by a single
+// worker, which keeps simulated-paging accounting exact.
+type ConcurrentToucher interface {
+	// ConcurrentSafe reports whether Touch/TouchWrite may race.
+	ConcurrentSafe() bool
+}
+
+// RangeAdviser is implemented by backends that can apply an madvise
+// hint to a sub-range of elements — the hook block schedulers use to
+// prefetch the next block (mmap.WillNeed) while the current one is
+// being computed on.
+type RangeAdviser interface {
+	// AdviseRange hints the access pattern for elements
+	// [start, start+n).
+	AdviseRange(a mmap.Advice, start, n int) error
+}
 
 // Stats summarizes access activity for a store. Real backends report
 // best-effort OS numbers; the paged backend reports exact simulated
@@ -69,7 +91,7 @@ type Store interface {
 // paging hooks. It is what "Original" code in Table 1 uses.
 type Heap struct {
 	data    []float64
-	touched int64
+	touched atomic.Int64
 }
 
 // NewHeap allocates an n-element heap store.
@@ -93,22 +115,25 @@ func (h *Heap) Writable() bool { return true }
 
 // Touch records the access for statistics and returns zero stall.
 func (h *Heap) Touch(start, n int) float64 {
-	h.touched += int64(n) * 8
+	h.touched.Add(int64(n) * 8)
 	return 0
 }
 
 // TouchWrite records the access and returns zero stall.
 func (h *Heap) TouchWrite(start, n int) float64 {
-	h.touched += int64(n) * 8
+	h.touched.Add(int64(n) * 8)
 	return 0
 }
 
 // Advise is a no-op for heap memory.
 func (h *Heap) Advise(mmap.Advice) error { return nil }
 
+// ConcurrentSafe reports true: heap accounting is atomic.
+func (h *Heap) ConcurrentSafe() bool { return true }
+
 // Stats reports bytes touched; heap data is always resident.
 func (h *Heap) Stats() Stats {
-	return Stats{BytesTouched: h.touched, ResidentBytes: int64(len(h.data)) * 8}
+	return Stats{BytesTouched: h.touched.Load(), ResidentBytes: int64(len(h.data)) * 8}
 }
 
 // Close drops the reference to the slice.
@@ -124,7 +149,9 @@ func (h *Heap) Close() error {
 type Mapped struct {
 	region  *mmap.Region
 	data    []float64
-	touched int64
+	off     int64 // byte offset of data[0] within the region
+	view    bool  // region owned by someone else; Close must not unmap
+	touched atomic.Int64
 }
 
 // OpenMapped maps an existing file of float64 values read-only.
@@ -144,6 +171,15 @@ func CreateMapped(path string, n int64) (*Mapped, error) {
 		return nil, err
 	}
 	return &Mapped{region: region, data: data}, nil
+}
+
+// ViewMapped wraps an element slice of an already-mapped region as a
+// store, with byteOff giving the slice's byte offset within the
+// region — how dataset files expose their payload (which sits behind
+// a header page) with full paging hooks. The caller keeps ownership
+// of the region: Close drops the reference without unmapping.
+func ViewMapped(region *mmap.Region, data []float64, byteOff int64) *Mapped {
+	return &Mapped{region: region, data: data, off: byteOff, view: true}
 }
 
 // OpenMappedRW maps an existing file read-write.
@@ -171,18 +207,35 @@ func (m *Mapped) Writable() bool { return m.region.Writable() }
 
 // Touch records statistics; the OS services the actual fault.
 func (m *Mapped) Touch(start, n int) float64 {
-	m.touched += int64(n) * 8
+	m.touched.Add(int64(n) * 8)
 	return 0
 }
 
 // TouchWrite records statistics.
 func (m *Mapped) TouchWrite(start, n int) float64 {
-	m.touched += int64(n) * 8
+	m.touched.Add(int64(n) * 8)
 	return 0
 }
 
-// Advise forwards the hint to madvise(2).
-func (m *Mapped) Advise(a mmap.Advice) error { return m.region.Advise(a) }
+// Advise forwards the hint to madvise(2) — for views, restricted to
+// the viewed byte range.
+func (m *Mapped) Advise(a mmap.Advice) error {
+	if m.view {
+		return m.region.AdviseRange(a, m.off, int64(len(m.data))*8)
+	}
+	return m.region.Advise(a)
+}
+
+// AdviseRange hints the pattern for elements [start, start+n) —
+// typically mmap.WillNeed issued by the block scheduler for the block
+// after the one in flight.
+func (m *Mapped) AdviseRange(a mmap.Advice, start, n int) error {
+	return m.region.AdviseRange(a, m.off+int64(start)*8, int64(n)*8)
+}
+
+// ConcurrentSafe reports true: faults are serviced by the OS and the
+// byte accounting is atomic.
+func (m *Mapped) ConcurrentSafe() bool { return true }
 
 // Region exposes the underlying mapping for callers that need Sync
 // or Residency directly.
@@ -190,16 +243,20 @@ func (m *Mapped) Region() *mmap.Region { return m.region }
 
 // Stats reports bytes touched plus real page residency via mincore.
 func (m *Mapped) Stats() Stats {
-	s := Stats{BytesTouched: m.touched}
+	s := Stats{BytesTouched: m.touched.Load()}
 	if resident, _, err := m.region.Residency(); err == nil {
 		s.ResidentBytes = int64(resident) * int64(mmap.PageSize())
 	}
 	return s
 }
 
-// Close unmaps the region (syncing dirty pages first).
+// Close unmaps the region (syncing dirty pages first). A view store
+// only drops its reference; the region's owner unmaps.
 func (m *Mapped) Close() error {
 	m.data = nil
+	if m.view {
+		return nil
+	}
 	return m.region.Unmap()
 }
 
@@ -216,8 +273,14 @@ func (m *Mapped) Close() error {
 // pattern of the real slice. This is how the 10–190 GB sweep of
 // Figure 1a runs on a laptop: the computation runs on a congruent
 // small matrix while paging is accounted at full scale.
+// Paged does not implement ConcurrentToucher: its accounting depends
+// on access order, so the parallel execution layer scans it with a
+// single worker. The internal mutex only guards against corruption if
+// callers race anyway — the simulated timings are then still
+// well-defined, just order-dependent.
 type Paged struct {
 	data    []float64
+	mu      sync.Mutex
 	mem     *vm.Memory
 	tl      *vm.Timeline
 	scale   float64 // nominal bytes per actual element byte
@@ -272,6 +335,8 @@ func (p *Paged) Writable() bool { return !p.ro }
 // returns the simulated stall seconds (also accumulated on the
 // store's Timeline).
 func (p *Paged) Touch(start, n int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.touched += int64(n) * 8
 	off, length := p.scaleRange(start, n)
 	stall := p.mem.Touch(off, length)
@@ -281,6 +346,8 @@ func (p *Paged) Touch(start, n int) float64 {
 
 // TouchWrite simulates paging for a write.
 func (p *Paged) TouchWrite(start, n int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.touched += int64(n) * 8
 	off, length := p.scaleRange(start, n)
 	stall := p.mem.TouchWrite(off, length)
@@ -308,7 +375,9 @@ func (p *Paged) scaleRange(start, n int) (off, length int64) {
 // other hints are accepted silently (read-ahead adapts on its own).
 func (p *Paged) Advise(a mmap.Advice) error {
 	if a == mmap.DontNeed {
+		p.mu.Lock()
 		p.mem.Drop(0, p.mem.Size())
+		p.mu.Unlock()
 	}
 	return nil
 }
@@ -322,6 +391,8 @@ func (p *Paged) Memory() *vm.Memory { return p.mem }
 
 // Stats converts simulated paging counters into store statistics.
 func (p *Paged) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	vs := p.mem.Stats()
 	return Stats{
 		BytesTouched:  p.touched,
