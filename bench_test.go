@@ -15,6 +15,7 @@ package m3
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -221,7 +222,7 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := optimize.LBFGS(obj, make([]float64, obj.Dim()), optimize.LBFGSParams{MaxIterations: 10, GradTol: 1e-12})
+			res, err := optimize.LBFGS(context.Background(), obj, make([]float64, obj.Dim()), optimize.LBFGSParams{MaxIterations: 10, GradTol: 1e-12})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -236,7 +237,7 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := optimize.GradientDescent(obj, make([]float64, obj.Dim()), optimize.GDParams{MaxIterations: 10, GradTol: 1e-12})
+			res, err := optimize.GradientDescent(context.Background(), obj, make([]float64, obj.Dim()), optimize.GDParams{MaxIterations: 10, GradTol: 1e-12})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -406,7 +407,7 @@ func BenchmarkKMeansPass(b *testing.B) {
 	b.SetBytes(int64(rows) * infimnist.Features * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := kmeans.Run(x, kmeans.Options{K: 5, MaxIterations: 1, InitCentroids: init, RunAllIterations: true}); err != nil {
+		if _, err := kmeans.Run(context.Background(), x, kmeans.Options{K: 5, MaxIterations: 1, InitCentroids: init, RunAllIterations: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -423,7 +424,7 @@ func BenchmarkKNNBatch(b *testing.B) {
 	b.SetBytes(1024 * infimnist.Features * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := knn.Search(refs, queries, 5); err != nil {
+		if _, err := knn.Search(context.Background(), refs, queries, 5, knn.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

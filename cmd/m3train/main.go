@@ -1,6 +1,8 @@
 // Command m3train trains a model on an M3 dataset file, with the
 // storage backend selectable on the command line — the Table 1
-// "minimal change" exposed as a flag.
+// "minimal change" exposed as a flag. It drives the estimator surface:
+// every algorithm goes through the same Engine.Fit call, with a
+// cancellable context wired to SIGINT.
 //
 // Usage:
 //
@@ -10,18 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"m3/internal/core"
+	"m3"
 	"m3/internal/iostats"
 	"m3/internal/mat"
 	"m3/internal/ml/eval"
-	"m3/internal/ml/kmeans"
-	"m3/internal/ml/logreg"
-	"m3/internal/ml/modelio"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	classes := flag.Int("classes", 10, "softmax class count")
 	workers := flag.Int("workers", 0, "chunked-execution worker pool (0 = NumCPU, 1 = sequential)")
 	positive := flag.Float64("positive", 0, "label treated as the positive class for logreg")
+	verbose := flag.Bool("verbose", false, "log one line per iteration")
 	save := flag.String("save", "", "save the trained model to this path")
 	flag.Parse()
 
@@ -41,26 +43,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*data, *algo, *backend, *iters, *k, *classes, *workers, *positive, *save); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *data, *algo, *backend, *iters, *k, *classes, *workers, *positive, *verbose, *save); err != nil {
 		fmt.Fprintf(os.Stderr, "m3train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, algo, backend string, iters, k, classes, workers int, positive float64, save string) error {
-	var mode core.Mode
+func run(ctx context.Context, data, algo, backend string, iters, k, classes, workers int, positive float64, verbose bool, save string) error {
+	var mode m3.Mode
 	switch backend {
 	case "mmap":
-		mode = core.MemoryMapped
+		mode = m3.MemoryMapped
 	case "heap":
-		mode = core.InMemory
+		mode = m3.InMemory
 	case "auto":
-		mode = core.Auto
+		mode = m3.Auto
 	default:
 		return fmt.Errorf("unknown backend %q", backend)
 	}
 
-	eng := core.New(core.Config{Mode: mode, Workers: workers})
+	eng := m3.New(m3.Config{Mode: mode, Workers: workers})
 	defer eng.Close()
 
 	before, procErr := iostats.ReadProc()
@@ -72,61 +76,63 @@ func run(data, algo, backend string, iters, k, classes, workers int, positive fl
 	fmt.Printf("opened %s: %dx%d, mapped=%v (%.3fs)\n",
 		data, tbl.X.Rows(), tbl.X.Cols(), tbl.Mapped, time.Since(start).Seconds())
 
-	trainStart := time.Now()
-	var trained any
+	fitOpts := m3.FitOptions{Verbose: verbose}
+	var est m3.Estimator
 	switch algo {
 	case "logreg":
-		if tbl.Labels == nil {
-			return fmt.Errorf("dataset has no labels")
+		est = m3.LogisticRegression{
+			Binarize: true, Positive: positive,
+			Options: m3.LogisticOptions{FitOptions: fitOpts, MaxIterations: iters, GradTol: 1e-12},
 		}
+	case "softmax":
+		est = m3.SoftmaxRegression{
+			Classes: classes,
+			Options: m3.LogisticOptions{FitOptions: fitOpts, MaxIterations: iters},
+		}
+	case "kmeans":
+		est = m3.KMeansClustering{
+			Options: m3.KMeansOptions{FitOptions: fitOpts, K: k, MaxIterations: iters, RunAllIterations: true},
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	trainStart := time.Now()
+	model, err := eng.Fit(ctx, est, tbl)
+	if err != nil {
+		return err
+	}
+
+	// Per-algorithm reporting off the rich fitted types.
+	switch m := model.(type) {
+	case *m3.FittedLogistic:
 		y := make([]float64, len(tbl.Labels))
 		for i, v := range tbl.Labels {
 			if v == positive {
 				y[i] = 1
 			}
 		}
-		model, err := logreg.TrainParallel(tbl.X, y, logreg.Options{MaxIterations: iters, GradTol: 1e-12}, eng.Workers())
-		if err != nil {
-			return err
-		}
 		fmt.Printf("logreg: %d iterations, %d data passes, loss %.6f, train accuracy %.4f\n",
-			model.Result.Iterations, model.Result.Evaluations, model.Result.Value,
-			model.Accuracy(tbl.X, y))
-		trained = model
+			m.Result.Iterations, m.Result.Evaluations, m.Result.Value,
+			m.Accuracy(tbl.X, y))
 
-	case "softmax":
-		if tbl.Labels == nil {
-			return fmt.Errorf("dataset has no labels")
-		}
+	case *m3.FittedSoftmax:
 		y := make([]int, len(tbl.Labels))
 		for i, v := range tbl.Labels {
 			y[i] = int(v)
 		}
-		model, err := logreg.TrainSoftmax(tbl.X, y, classes, logreg.Options{MaxIterations: iters, Workers: eng.Workers()})
-		if err != nil {
-			return err
-		}
 		fmt.Printf("softmax: %d iterations, loss %.6f, train accuracy %.4f\n",
-			model.Result.Iterations, model.Result.Value, model.Accuracy(tbl.X, y))
-		printConfusion(tbl.X, y, model, classes)
-		trained = model
+			m.Result.Iterations, m.Result.Value, m.Accuracy(tbl.X, y))
+		printConfusion(tbl.X, y, m, classes)
 
-	case "kmeans":
-		res, err := kmeans.Run(tbl.X, kmeans.Options{K: k, MaxIterations: iters, RunAllIterations: true, Workers: eng.Workers()})
-		if err != nil {
-			return err
-		}
+	case *m3.FittedKMeans:
 		fmt.Printf("kmeans: %d iterations, %d scans, inertia %.2f\n",
-			res.Iterations, res.Scans, res.Inertia)
-		trained = res
-
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+			m.Iterations, m.Scans, m.Inertia)
 	}
 	fmt.Printf("training time: %v\n", time.Since(trainStart).Round(time.Millisecond))
 
-	if save != "" && trained != nil {
-		if err := modelio.SaveFile(save, trained); err != nil {
+	if save != "" {
+		if err := model.Save(save); err != nil {
 			return fmt.Errorf("saving model: %w", err)
 		}
 		fmt.Printf("model saved to %s\n", save)
@@ -144,14 +150,14 @@ func run(data, algo, backend string, iters, k, classes, workers int, positive fl
 
 // printConfusion renders per-class precision/recall for a trained
 // softmax model.
-func printConfusion(x *mat.Dense, y []int, model *logreg.SoftmaxModel, classes int) {
+func printConfusion(x *mat.Dense, y []int, model *m3.FittedSoftmax, classes int) {
 	cm, err := eval.NewConfusionMatrix(classes)
 	if err != nil {
 		return
 	}
 	ok := true
 	x.ForEachRow(func(i int, row []float64) {
-		if err := cm.Add(y[i], model.Predict(row)); err != nil {
+		if err := cm.Add(y[i], model.SoftmaxModel.Predict(row)); err != nil {
 			ok = false
 		}
 	})

@@ -1,0 +1,283 @@
+package m3
+
+// Estimator API v2 tests: the cross-backend parity suite (every
+// estimator yields bit-identical models on heap, memory-mapped and
+// Auto tables) and the cancellation contract (Fit returns ctx.Err()
+// promptly, within one block or iteration). The cancellation tests
+// run under -race in CI.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// estimatorCase is one algorithm configured for the shared digits
+// dataset (200 Infimnist images, labels 0–9).
+type estimatorCase struct {
+	name     string
+	est      Estimator
+	savable  bool // k-NN has no serial form
+	iterates bool // supports mid-fit cancellation via callback
+}
+
+func estimatorCases(extra FitOptions) []estimatorCase {
+	lrOpts := LogisticOptions{FitOptions: extra, MaxIterations: 8}
+	return []estimatorCase{
+		{"logreg", LogisticRegression{Binarize: true, Positive: 0, Options: lrOpts}, true, true},
+		{"softmax", SoftmaxRegression{Classes: 10, Options: LogisticOptions{FitOptions: extra, MaxIterations: 4}}, true, true},
+		{"linreg", LinearRegression{Options: LinearOptions{FitOptions: extra, MaxIterations: 6}}, true, true},
+		{"linreg-exact", LinearRegression{Exact: true, Options: LinearOptions{FitOptions: extra}}, true, false},
+		{"kmeans", KMeansClustering{Options: KMeansOptions{FitOptions: extra, K: 4, MaxIterations: 5, Seed: 3, RunAllIterations: true}}, true, true},
+		{"minibatch-kmeans", MiniBatchClustering{Options: MiniBatchKMeansOptions{FitOptions: extra, K: 4, Steps: 40, BatchSize: 32, Seed: 3}}, true, true},
+		{"knn", KNNClassifier{K: 3, Classes: 10, Options: KNNOptions{FitOptions: extra}}, false, false},
+		{"sgd", SGDClassifier{Binarize: true, Positive: 0, Options: SGDOptions{FitOptions: extra, Epochs: 2}}, true, true},
+		{"bayes", NaiveBayes{Classes: 10, Options: BayesOptions{FitOptions: extra}}, true, false},
+		{"pca", PrincipalComponents{Options: PCAOptions{FitOptions: extra, Components: 3, Seed: 1}}, true, false},
+	}
+}
+
+// digitsFile writes the shared test dataset once per test.
+func digitsFile(t *testing.T, n int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "digits.m3")
+	if err := GenerateInfimnist(path, n, 7); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestEstimatorBackendParity is the acceptance test of the estimator
+// redesign: one loop over every shipped algorithm, fitted through the
+// single Engine.Fit entry point on all three storage backends, must
+// produce bit-identical predictions and (where supported) identical
+// serialized models.
+func TestEstimatorBackendParity(t *testing.T) {
+	path := digitsFile(t, 200)
+	backends := []struct {
+		name string
+		mode Mode
+	}{
+		{"heap", InMemory},
+		{"mmap", MemoryMapped},
+		{"auto", Auto},
+	}
+
+	for _, tc := range estimatorCases(FitOptions{}) {
+		t.Run(tc.name, func(t *testing.T) {
+			var refPreds []float64
+			var refSaved []byte
+			for _, b := range backends {
+				eng := New(Config{Mode: b.mode})
+				tbl, err := eng.Open(path)
+				if err != nil {
+					eng.Close()
+					t.Fatal(err)
+				}
+				model, err := eng.Fit(context.Background(), tc.est, tbl)
+				if err != nil {
+					eng.Close()
+					t.Fatalf("%s: %v", b.name, err)
+				}
+				preds, err := model.PredictMatrix(tbl.X)
+				if err != nil {
+					eng.Close()
+					t.Fatalf("%s: PredictMatrix: %v", b.name, err)
+				}
+				var saved []byte
+				if tc.savable {
+					mp := filepath.Join(t.TempDir(), b.name+".model")
+					if err := model.Save(mp); err != nil {
+						eng.Close()
+						t.Fatalf("%s: Save: %v", b.name, err)
+					}
+					if saved, err = os.ReadFile(mp); err != nil {
+						eng.Close()
+						t.Fatal(err)
+					}
+				}
+				eng.Close()
+
+				if refPreds == nil {
+					refPreds, refSaved = preds, saved
+					continue
+				}
+				if len(preds) != len(refPreds) {
+					t.Fatalf("%s: %d predictions, want %d", b.name, len(preds), len(refPreds))
+				}
+				for i := range preds {
+					if preds[i] != refPreds[i] {
+						t.Fatalf("%s: prediction %d = %v, %s = %v — backends disagree",
+							b.name, i, preds[i], backends[0].name, refPreds[i])
+					}
+				}
+				if tc.savable && string(saved) != string(refSaved) {
+					t.Errorf("%s: serialized model differs from %s", b.name, backends[0].name)
+				}
+			}
+		})
+	}
+}
+
+// TestFitStandaloneHeapPath: m3.Fit trains on bare heap matrices with
+// no engine at all and agrees with the engine-bound path.
+func TestFitStandaloneHeapPath(t *testing.T) {
+	path := digitsFile(t, 120)
+	eng := New(Config{Mode: InMemory})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := LogisticRegression{Binarize: true, Options: LogisticOptions{MaxIterations: 6}}
+
+	viaEngine, err := eng.Fit(context.Background(), est, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := Fit(context.Background(), est, tbl.X, tbl.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := viaEngine.(*FittedLogistic)
+	b := standalone.(*FittedLogistic)
+	if a.Intercept != b.Intercept {
+		t.Errorf("intercepts differ: %v vs %v", a.Intercept, b.Intercept)
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("weight %d differs", i)
+		}
+	}
+}
+
+// TestFitPreCancelledContext: a context cancelled before Fit must make
+// every estimator return ctx.Err() without training.
+func TestFitPreCancelledContext(t *testing.T) {
+	path := digitsFile(t, 120)
+	eng := New(Config{Mode: MemoryMapped})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range estimatorCases(FitOptions{}) {
+		t.Run(tc.name, func(t *testing.T) {
+			model, err := eng.Fit(ctx, tc.est, tbl)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if model != nil {
+				t.Error("got a model from a cancelled fit")
+			}
+		})
+	}
+}
+
+// TestFitCancelMidFit: cancelling from an iteration callback stops the
+// fit within one block/iteration with context.Canceled — exercised for
+// every iterative estimator, and under -race for logreg and kmeans in
+// the CI workflow (this test is part of the root -race run).
+func TestFitCancelMidFit(t *testing.T) {
+	path := digitsFile(t, 200)
+	eng := New(Config{Mode: MemoryMapped})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range estimatorCases(FitOptions{}) {
+		if !tc.iterates {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			fired := false
+			// Rebuild the estimator with a cancelling callback wired in.
+			cases := estimatorCases(FitOptions{Callback: func(info IterInfo) bool {
+				if !fired {
+					fired = true
+					cancel()
+				}
+				return true
+			}})
+			var est Estimator
+			for _, c := range cases {
+				if c.name == tc.name {
+					est = c.est
+				}
+			}
+			model, err := eng.Fit(ctx, est, tbl)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled (callback fired: %v)", err, fired)
+			}
+			if model != nil {
+				t.Error("got a model from a cancelled fit")
+			}
+			if !fired {
+				t.Error("callback never ran")
+			}
+		})
+	}
+}
+
+// TestEngineFitValidation covers the entry-point error paths.
+func TestEngineFitValidation(t *testing.T) {
+	path := digitsFile(t, 50)
+	eng := New(Config{})
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Fit(context.Background(), nil, tbl); err == nil {
+		t.Error("accepted nil estimator")
+	}
+	est := NaiveBayes{Classes: 10}
+	if _, err := eng.Fit(context.Background(), est, nil); err == nil {
+		t.Error("accepted nil table")
+	}
+	eng.Close()
+	if _, err := eng.Fit(context.Background(), est, tbl); err == nil {
+		t.Error("accepted fit on closed engine")
+	}
+}
+
+// TestEngineWorkersReachTrainers: the engine's Workers config is
+// stamped on opened matrices, so estimators inherit it with no per-fit
+// plumbing — and results stay bit-identical across pool sizes.
+func TestEngineWorkersReachTrainers(t *testing.T) {
+	path := digitsFile(t, 150)
+	fitWith := func(workers int) *FittedLogistic {
+		t.Helper()
+		eng := New(Config{Mode: MemoryMapped, Workers: workers})
+		defer eng.Close()
+		tbl, err := eng.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers > 0 && tbl.X.WorkersHint() != workers {
+			t.Fatalf("workers hint = %d, want %d", tbl.X.WorkersHint(), workers)
+		}
+		m, err := eng.Fit(context.Background(), LogisticRegression{
+			Binarize: true, Options: LogisticOptions{MaxIterations: 6},
+		}, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.(*FittedLogistic)
+	}
+	ref := fitWith(1)
+	for _, workers := range []int{2, 3, 7} {
+		m := fitWith(workers)
+		for i := range ref.Weights {
+			if m.Weights[i] != ref.Weights[i] {
+				t.Fatalf("workers=%d: weight %d differs from sequential", workers, i)
+			}
+		}
+	}
+}

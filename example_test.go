@@ -1,6 +1,7 @@
 package m3_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,9 +32,10 @@ func ExampleEngine_Open() {
 	// Output: mapped=true rows=100 cols=784
 }
 
-// ExampleTrainLogistic trains a binary classifier on a mapped
-// dataset.
-func ExampleTrainLogistic() {
+// ExampleEngine_Fit trains a binary classifier on a mapped dataset
+// through the estimator surface — the algorithm-agnostic entry point
+// of the v2 API.
+func ExampleEngine_Fit() {
 	dir, _ := os.MkdirTemp("", "m3-example")
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "digits.m3")
@@ -45,33 +47,42 @@ func ExampleTrainLogistic() {
 	defer eng.Close()
 	tbl, _ := eng.Open(path)
 
-	y := make([]float64, len(tbl.Labels))
-	for i, v := range tbl.Labels {
-		if v == 0 {
-			y[i] = 1 // digit zero vs rest
-		}
+	est := m3.LogisticRegression{
+		Binarize: true, Positive: 0, // digit zero vs rest
+		Options: m3.LogisticOptions{MaxIterations: 20},
 	}
-	model, err := m3.TrainLogistic(tbl.X, y, m3.LogisticOptions{MaxIterations: 20})
+	fitted, err := eng.Fit(context.Background(), est, tbl)
 	if err != nil {
 		fmt.Println(err)
 		return
+	}
+	model := fitted.(*m3.FittedLogistic)
+	y := make([]float64, len(tbl.Labels))
+	for i, v := range tbl.Labels {
+		if v == 0 {
+			y[i] = 1
+		}
 	}
 	fmt.Printf("train accuracy >= 0.99: %v\n", model.Accuracy(tbl.X, y) >= 0.99)
 	// Output: train accuracy >= 0.99: true
 }
 
-// ExampleKMeans clusters points through the public API.
-func ExampleKMeans() {
+// ExampleFit clusters heap-resident points through the standalone
+// estimator entry point (no engine, no files).
+func ExampleFit() {
 	data := []float64{
 		0, 0, 0.1, 0, 0, 0.1, // cluster around origin
 		9, 9, 9.1, 9, 9, 9.1, // cluster around (9,9)
 	}
 	x := m3.WrapMatrix(data, 6, 2)
-	res, err := m3.KMeans(x, m3.KMeansOptions{K: 2, Seed: 1})
+	fitted, err := m3.Fit(context.Background(), m3.KMeansClustering{
+		Options: m3.KMeansOptions{K: 2, Seed: 1},
+	}, x, nil)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
+	res := fitted.(*m3.FittedKMeans)
 	fmt.Printf("same cluster within groups: %v\n",
 		res.Assignments[0] == res.Assignments[2] && res.Assignments[3] == res.Assignments[5])
 	fmt.Printf("groups separated: %v\n", res.Assignments[0] != res.Assignments[3])

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,18 +45,22 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := m3.KMeans(tbl.X, m3.KMeansOptions{
+	est := m3.KMeansClustering{Options: m3.KMeansOptions{
 		K:             *k,
 		MaxIterations: 10, // the paper's protocol
 		Seed:          7,
-		Callback: func(iter int, inertia float64) bool {
-			fmt.Printf("  iter %2d: inertia %.1f\n", iter, inertia)
-			return true
+		FitOptions: m3.FitOptions{
+			Callback: func(info m3.IterInfo) bool {
+				fmt.Printf("  iter %2d: inertia %.1f\n", info.Iter, info.Value)
+				return true
+			},
 		},
-	})
+	}}
+	fitted, err := eng.Fit(context.Background(), est, tbl)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := fitted.(*m3.FittedKMeans)
 	fmt.Printf("\nclustered in %v (%d scans, converged=%v)\n",
 		time.Since(start).Round(time.Millisecond), res.Scans, res.Converged)
 

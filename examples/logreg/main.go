@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -68,18 +69,27 @@ func main() {
 	before, procOK := iostats.ReadProc()
 	start := time.Now()
 	passes := 0
-	model, err := m3.TrainLogistic(trainTbl.X, yTrain, m3.LogisticOptions{
-		MaxIterations: 10, // the paper's protocol
-		GradTol:       1e-12,
-		Callback: func(info m3.IterInfo) bool {
-			passes = info.Evaluations
-			fmt.Printf("  iter %2d: loss %.6f  |grad| %.2e\n", info.Iter, info.Value, info.GradNorm)
-			return true
+	// Estimator API: the engine threads its worker pool and storage
+	// settings into the fit; the context could cancel it mid-scan.
+	est := m3.LogisticRegression{
+		Binarize: true, Positive: 0, // digit zero vs rest
+		Options: m3.LogisticOptions{
+			MaxIterations: 10, // the paper's protocol
+			GradTol:       1e-12,
+			FitOptions: m3.FitOptions{
+				Callback: func(info m3.IterInfo) bool {
+					passes = info.Evaluations
+					fmt.Printf("  iter %2d: loss %.6f  |grad| %.2e\n", info.Iter, info.Value, info.GradNorm)
+					return true
+				},
+			},
 		},
-	})
+	}
+	fitted, err := eng.Fit(context.Background(), est, trainTbl)
 	if err != nil {
 		log.Fatal(err)
 	}
+	model := fitted.(*m3.FittedLogistic)
 	elapsed := time.Since(start)
 
 	fmt.Printf("\ntrained in %v (%d data passes over %.1f MB)\n",

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,7 +55,7 @@ func main() {
 	defer m.Close()
 
 	start := time.Now()
-	rank, iters, err := graph.PageRank(m, graph.PageRankOptions{})
+	rank, iters, err := graph.PageRank(context.Background(), m, graph.PageRankOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,7 +7,7 @@
 //	eng := m3.New(m3.Config{          eng := m3.New(m3.Config{
 //	    Mode: m3.InMemory})               Mode: m3.MemoryMapped})   // ← the change
 //	tbl, _ := eng.Open("digits.m3")   tbl, _ := eng.Open("digits.m3")
-//	m3.TrainLogistic(tbl.X, y, ...)   m3.TrainLogistic(tbl.X, y, ...)
+//	eng.Fit(ctx, est, tbl)            eng.Fit(ctx, est, tbl)
 //
 // Run:
 //
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,23 +40,29 @@ func main() {
 	}
 	fmt.Printf("dataset: %d images x %d features at %s\n\n", images, m3.InfimnistFeatures, path)
 
-	// Binary task: is the digit a zero?
-	train := func(mode m3.Mode, name string) *m3.LogisticModel {
+	// Binary task: is the digit a zero? One estimator serves both
+	// backends — the engine's mode is the only difference.
+	est := m3.LogisticRegression{
+		Binarize: true, Positive: 0,
+		Options: m3.LogisticOptions{MaxIterations: 20},
+	}
+	train := func(mode m3.Mode, name string) *m3.FittedLogistic {
 		eng := m3.New(m3.Config{Mode: mode})
 		defer eng.Close()
 		tbl, err := eng.Open(path)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fitted, err := eng.Fit(context.Background(), est, tbl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := fitted.(*m3.FittedLogistic)
 		y := make([]float64, len(tbl.Labels))
 		for i, v := range tbl.Labels {
 			if v == 0 {
 				y[i] = 1
 			}
-		}
-		model, err := m3.TrainLogistic(tbl.X, y, m3.LogisticOptions{MaxIterations: 20})
-		if err != nil {
-			log.Fatal(err)
 		}
 		fmt.Printf("%-12s mapped=%-5v  loss=%.6f  accuracy=%.3f\n",
 			name, tbl.Mapped, model.Result.Value, model.Accuracy(tbl.X, y))

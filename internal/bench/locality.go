@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -86,7 +88,7 @@ func Locality(w Workload) ([]LocalityReport, error) {
 		if err != nil {
 			return err
 		}
-		_, err = optimize.LBFGS(obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
+		_, err = optimize.LBFGS(context.Background(), obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
 			MaxIterations: 3, GradTol: 1e-12,
 		})
 		return err
@@ -96,7 +98,7 @@ func Locality(w Workload) ([]LocalityReport, error) {
 	}
 
 	kmeansRep, err := record("kmeans", func(x *mat.Dense) error {
-		_, err := kmeans.Run(x, kmeans.Options{
+		_, err := kmeans.Run(context.Background(), x, kmeans.Options{
 			K: w.K, MaxIterations: 3,
 			InitCentroids:    w.InitialCentroids(),
 			RunAllIterations: true,

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 
 	"m3/internal/infimnist"
@@ -143,7 +145,7 @@ func RunLogRegM3(machine Machine, w Workload) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	res, err := optimize.LBFGS(obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
+	res, err := optimize.LBFGS(context.Background(), obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
 		MaxIterations: w.Iterations,
 		GradTol:       1e-12, // run the full iteration budget, like the paper
 	})
@@ -165,7 +167,7 @@ func RunKMeansM3(machine Machine, w Workload) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	res, err := kmeans.Run(x, kmeans.Options{
+	res, err := kmeans.Run(context.Background(), x, kmeans.Options{
 		K:                w.K,
 		MaxIterations:    w.Iterations,
 		InitCentroids:    w.InitialCentroids(),

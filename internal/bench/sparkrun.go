@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 
 	"m3/internal/cluster"
@@ -36,7 +38,7 @@ func RunLogRegSpark(instances int, w Workload) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	res, err := optimize.LBFGS(job, make([]float64, job.Dim()), optimize.LBFGSParams{
+	res, err := optimize.LBFGS(context.Background(), job, make([]float64, job.Dim()), optimize.LBFGSParams{
 		MaxIterations: w.Iterations,
 		GradTol:       1e-12,
 	})

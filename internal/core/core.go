@@ -185,6 +185,7 @@ func (e *Engine) Open(path string) (*Table, error) {
 			Path:   path,
 			res:    heapTable{},
 		}
+		t.X.SetWorkersHint(e.cfg.Workers)
 		if err := e.track(t); err != nil {
 			return nil, err
 		}
@@ -206,6 +207,7 @@ func (e *Engine) Open(path string) (*Table, error) {
 			Path:   path,
 			res:    ds,
 		}
+		t.X.SetWorkersHint(e.cfg.Workers)
 		if err := e.track(t); err != nil {
 			return nil, err
 		}
@@ -243,6 +245,7 @@ func (e *Engine) Alloc(rows, cols int) (*mat.Dense, error) {
 		os.Remove(path)
 		return nil, err
 	}
+	d.SetWorkersHint(e.cfg.Workers)
 	if err := e.track(&scratch{Mapped: ms, path: path}); err != nil {
 		// track released the scratch (unmapping and removing the
 		// file) under the engine lock if it lost the race with

@@ -28,6 +28,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -98,16 +99,30 @@ func Partition(n, itemBytes, targetBlockBytes int) []Block {
 	return blocks
 }
 
+// ctxErr reports the cancellation state of an optional context (nil
+// means the scan is not cancellable).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // MapReduce runs process over every block on up to workers goroutines
 // and merges the per-block partial states into a fresh root state in
 // ascending block order. alloc must return a zero-valued state;
 // process must not retain its state after returning; merge folds src
 // into dst. The reduction order — and therefore every floating-point
 // association — is independent of the worker count.
-func MapReduce[T any](blocks []Block, workers int, alloc func() T, process func(state T, b Block), merge func(dst, src T)) T {
+//
+// ctx cancels the scan at block granularity: no new block starts after
+// cancellation (blocks already in flight finish), and the returned
+// error is ctx.Err(). The partial root state accompanying a non-nil
+// error is incomplete and must be discarded. A nil ctx never cancels.
+func MapReduce[T any](ctx context.Context, blocks []Block, workers int, alloc func() T, process func(state T, b Block), merge func(dst, src T)) (T, error) {
 	out := alloc()
 	if len(blocks) == 0 {
-		return out
+		return out, ctxErr(ctx)
 	}
 	workers = Workers(workers)
 	if workers > len(blocks) {
@@ -117,11 +132,14 @@ func MapReduce[T any](blocks []Block, workers int, alloc func() T, process func(
 		// Same block structure and merge association as the parallel
 		// path, so one worker and N workers agree bit for bit.
 		for _, b := range blocks {
+			if err := ctxErr(ctx); err != nil {
+				return out, err
+			}
 			s := alloc()
 			process(s, b)
 			merge(out, s)
 		}
-		return out
+		return out, ctxErr(ctx)
 	}
 
 	type item struct {
@@ -149,7 +167,12 @@ func MapReduce[T any](blocks []Block, workers int, alloc func() T, process func(
 			for {
 				<-tokens
 				i := int(next.Add(1)) - 1
-				if i >= len(blocks) {
+				if i >= len(blocks) || ctxErr(ctx) != nil {
+					// Cancelled workers stop claiming blocks; the
+					// block just taken (if any) is abandoned, which
+					// leaves a gap the reducer never merges past —
+					// fine, because the partial result is discarded
+					// alongside the returned error.
 					tokens <- struct{}{}
 					return
 				}
@@ -183,13 +206,16 @@ func MapReduce[T any](blocks []Block, workers int, alloc func() T, process func(
 			tokens <- struct{}{}
 		}
 	}
-	return out
+	return out, ctxErr(ctx)
 }
 
 // RowScan describes a blocked scan over the rows of a row-major,
 // store-backed matrix. Zero-valued knobs pick defaults: Workers <= 0
 // means runtime.NumCPU(), BlockBytes <= 0 means DefaultBlockBytes.
 type RowScan struct {
+	// Ctx, when non-nil, cancels the scan at block granularity: no new
+	// block starts after cancellation and the scan returns Ctx.Err().
+	Ctx context.Context
 	// Store backs the matrix; Data() must remain valid for the scan.
 	Store store.Store
 	// Off is the element offset of row 0 within the store.
@@ -237,14 +263,17 @@ type blockState[T any] struct {
 // backing slice of those rows (starting at row lo) and the row
 // stride, sized for direct use with the row-block kernels in
 // internal/blas (Gemv, SumRows, ...).
-func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi int, block []float64, stride int), merge func(dst, src T)) (T, float64) {
+//
+// When s.Ctx is cancelled the scan stops within one block and returns
+// s.Ctx.Err(); the partial state must then be discarded.
+func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi int, block []float64, stride int), merge func(dst, src T)) (T, float64, error) {
 	blocks := s.Blocks()
 	data := s.Store.Data()
 	adviser, _ := s.Store.(store.RangeAdviser)
 	prefetch := adviser != nil && !s.NoPrefetch
 	workers := s.effectiveWorkers()
 
-	root := MapReduce(blocks, workers,
+	root, err := MapReduce(s.Ctx, blocks, workers,
 		func() *blockState[T] { return &blockState[T]{user: alloc()} },
 		func(st *blockState[T], b Block) {
 			if prefetch {
@@ -273,15 +302,17 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 			merge(dst.user, src.user)
 			dst.stall += src.stall
 		})
-	return root.user, root.stall
+	return root.user, root.stall, err
 }
 
 // ReduceRows applies fn to every row of the scan and merges per-block
 // partial states in ascending block order, returning the root state
 // and the total simulated stall. fn receives the row index and the
 // row slice aliasing the backing store; it must only write to state
-// (or to per-row disjoint locations such as an output slice).
-func ReduceRows[T any](s RowScan, alloc func() T, fn func(state T, i int, row []float64), merge func(dst, src T)) (T, float64) {
+// (or to per-row disjoint locations such as an output slice). A
+// cancelled s.Ctx stops the scan within one block (see
+// ReduceRowBlocks).
+func ReduceRows[T any](s RowScan, alloc func() T, fn func(state T, i int, row []float64), merge func(dst, src T)) (T, float64, error) {
 	return ReduceRowBlocks(s, alloc,
 		func(state T, lo, hi int, block []float64, stride int) {
 			for i := lo; i < hi; i++ {
@@ -295,11 +326,13 @@ func ReduceRows[T any](s RowScan, alloc func() T, fn func(state T, i int, row []
 // with block-granular Touch accounting and prefetch, and returns the
 // total stall. fn must write only to per-row disjoint locations; no
 // state is reduced. Row visit order within a block is ascending, but
-// blocks run concurrently.
-func ForEachRow(s RowScan, fn func(i int, row []float64)) float64 {
-	_, stall := ReduceRows(s,
+// blocks run concurrently. A cancelled s.Ctx stops the scan within
+// one block and returns s.Ctx.Err(); rows of unprocessed blocks are
+// then never visited.
+func ForEachRow(s RowScan, fn func(i int, row []float64)) (float64, error) {
+	_, stall, err := ReduceRows(s,
 		func() struct{} { return struct{}{} },
 		func(_ struct{}, i int, row []float64) { fn(i, row) },
 		func(_, _ struct{}) {})
-	return stall
+	return stall, err
 }

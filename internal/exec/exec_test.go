@@ -1,6 +1,8 @@
 package exec_test
 
 import (
+	"context"
+	"m3/internal/fit"
 	"path/filepath"
 	"runtime"
 	"testing"
@@ -62,7 +64,7 @@ func TestPartitionIsPageAligned(t *testing.T) {
 func TestMapReduceDeterministicAcrossWorkers(t *testing.T) {
 	blocks := exec.Partition(10000, 8, 4096)
 	run := func(workers int) float64 {
-		sum := exec.MapReduce(blocks, workers,
+		sum, _ := exec.MapReduce(context.Background(), blocks, workers,
 			func() *float64 { return new(float64) },
 			func(s *float64, b exec.Block) {
 				for i := b.Lo; i < b.Hi; i++ {
@@ -144,9 +146,10 @@ func TestKMeansAssignmentDeterministicAcrossWorkers(t *testing.T) {
 	}
 
 	run := func(workers int) *kmeans.Result {
-		res, err := kmeans.Run(x, kmeans.Options{
+		res, err := kmeans.Run(context.Background(), x, kmeans.Options{
 			K: k, MaxIterations: 3, InitCentroids: init,
-			RunAllIterations: true, Workers: workers,
+			RunAllIterations: true,
+			FitOptions:       fit.FitOptions{Workers: workers},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -234,7 +237,7 @@ func TestPagedStoreStaysSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, stall := exec.ReduceRows(x.Scan(8),
+	sum, stall, _ := exec.ReduceRows(x.Scan(8),
 		func() *float64 { return new(float64) },
 		func(s *float64, i int, row []float64) { *s += row[0] },
 		func(dst, src *float64) { *dst += *src })
@@ -268,5 +271,64 @@ func TestForEachRowParallelVisitsAllRows(t *testing.T) {
 		if seen[i] != float64(i)+1 {
 			t.Fatalf("row %d not visited correctly: %v", i, seen[i])
 		}
+	}
+}
+
+// TestMapReduceCancellation: a cancelled context stops the sequential
+// path before the next block and surfaces ctx.Err().
+func TestMapReduceCancellation(t *testing.T) {
+	blocks := exec.Partition(1000, 8, 4096)
+	if len(blocks) < 2 {
+		t.Fatalf("want multiple blocks, got %d", len(blocks))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	processed := 0
+	_, err := exec.MapReduce(ctx, blocks, 1,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, b exec.Block) {
+			processed++
+			cancel() // cancel from inside the first block
+		},
+		func(_, _ struct{}) {})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if processed != 1 {
+		t.Errorf("processed %d blocks after cancellation, want 1", processed)
+	}
+
+	// Pre-cancelled parallel path: no block runs at all.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	ran := false
+	_, err = exec.MapReduce(ctx2, blocks, 4,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, b exec.Block) { ran = true },
+		func(_, _ struct{}) {})
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("a block ran under a pre-cancelled context")
+	}
+}
+
+// TestReduceRowsCancellation: the row-scan wrappers propagate the
+// context error and leave unvisited rows untouched.
+func TestReduceRowsCancellation(t *testing.T) {
+	const rows, cols = 4096, 16
+	x := mat.NewDense(rows, cols)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	visited := 0
+	_, _, err := exec.ReduceRows(x.ScanCtx(ctx, 4),
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, row []float64) { visited++ },
+		func(_, _ struct{}) {})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visited != 0 {
+		t.Errorf("visited %d rows under a pre-cancelled context", visited)
 	}
 }

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -62,7 +63,7 @@ func TestPageRankRingIsUniform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rank, iters, err := PageRank(g, PageRankOptions{})
+	rank, iters, err := PageRank(context.Background(), g, PageRankOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestPageRankSumsToOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rank, _, err := PageRank(g, PageRankOptions{})
+	rank, _, err := PageRank(context.Background(), g, PageRankOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestPageRankHubGetsHighRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rank, _, err := PageRank(g, PageRankOptions{})
+	rank, _, err := PageRank(context.Background(), g, PageRankOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestPageRankDanglingMassConserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rank, _, err := PageRank(g, PageRankOptions{})
+	rank, _, err := PageRank(context.Background(), g, PageRankOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestPageRankOverMappedGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := PageRank(g, PageRankOptions{})
+	want, _, err := PageRank(context.Background(), g, PageRankOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestPageRankOverMappedGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	got, _, err := PageRank(m, PageRankOptions{})
+	got, _, err := PageRank(context.Background(), m, PageRankOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

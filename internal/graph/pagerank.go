@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,7 +51,10 @@ const edgeBytes = 16
 // scanning its own, overlapping page-in with compute — the access
 // pattern that made the MMap work [3] viable on a PC, and the same
 // pattern M3's ML workloads exhibit.
-func PageRank(g *Graph, opts PageRankOptions) ([]float64, int, error) {
+//
+// ctx cancels the computation within one edge block; the error is
+// then ctx.Err(). A nil ctx never cancels.
+func PageRank(ctx context.Context, g *Graph, opts PageRankOptions) ([]float64, int, error) {
 	o := opts.withDefaults()
 	if err := g.Validate(); err != nil {
 		return nil, 0, err
@@ -95,7 +99,7 @@ func PageRank(g *Graph, opts PageRankOptions) ([]float64, int, error) {
 		}
 		// One blocked edge scan; per-block partial vectors reduce in
 		// block order into next.
-		contrib := exec.MapReduce(blocks, exec.Workers(o.Workers),
+		contrib, err := exec.MapReduce(ctx, blocks, exec.Workers(o.Workers),
 			func() []float64 { return make([]float64, n) },
 			func(part []float64, b exec.Block) {
 				g.adviseEdges(mmap.WillNeed, b.Hi, b.Hi+b.Len())
@@ -105,6 +109,9 @@ func PageRank(g *Graph, opts PageRankOptions) ([]float64, int, error) {
 				}
 			},
 			func(dst, src []float64) { blas.Axpy(1, src, dst) })
+		if err != nil {
+			return nil, iter - 1, err
+		}
 		blas.Axpy(1, contrib, next)
 		// L1 convergence check.
 		var delta float64

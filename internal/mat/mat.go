@@ -11,6 +11,7 @@
 package mat
 
 import (
+	"context"
 	"fmt"
 
 	"m3/internal/blas"
@@ -25,6 +26,11 @@ type Dense struct {
 	rows, cols int
 	stride     int
 	off        int // element offset of row 0 within the store
+	// workersHint is the default chunked-execution pool size for scans
+	// that do not choose one themselves; engines stamp it on the
+	// matrices they open so trainers inherit the engine configuration
+	// automatically. 0 means "no preference" (NumCPU at the exec layer).
+	workersHint int
 }
 
 // NewDense allocates a rows×cols heap-backed matrix.
@@ -148,8 +154,25 @@ func (d *Dense) RowWindow(i0, i1 int) *Dense {
 		rows: i1 - i0, cols: d.cols,
 		stride: d.stride,
 		off:    d.off + i0*d.stride,
+		// Views inherit the engine's worker preference.
+		workersHint: d.workersHint,
 	}
 }
+
+// SetWorkersHint records the default worker-pool size scans over this
+// matrix use when the caller does not pick one (workers <= 0). Engines
+// stamp their Config.Workers here on Open and Alloc, which is how
+// engine-backed matrices reach every trainer with the engine's
+// parallelism without any per-call plumbing. n <= 0 clears the hint.
+func (d *Dense) SetWorkersHint(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.workersHint = n
+}
+
+// WorkersHint returns the stamped default pool size (0 = none).
+func (d *Dense) WorkersHint() int { return d.workersHint }
 
 // ForEachRow invokes fn for every row in storage order — the
 // sequential scan at the heart of each training iteration. It returns
@@ -164,11 +187,15 @@ func (d *Dense) ForEachRow(fn func(i int, row []float64)) (stall float64) {
 }
 
 // Scan returns a chunked-execution descriptor over d's rows for the
-// shared parallel layer (internal/exec): workers <= 0 selects
-// runtime.NumCPU(). The partition depends only on the matrix shape —
+// shared parallel layer (internal/exec): workers <= 0 falls back to
+// the matrix's workers hint (stamped by the owning engine), and then
+// to runtime.NumCPU(). The partition depends only on the matrix shape —
 // never the worker count — so reductions built on it are
 // deterministic.
 func (d *Dense) Scan(workers int) exec.RowScan {
+	if workers <= 0 {
+		workers = d.workersHint
+	}
 	return exec.RowScan{
 		Store:   d.s,
 		Off:     d.off,
@@ -179,6 +206,14 @@ func (d *Dense) Scan(workers int) exec.RowScan {
 	}
 }
 
+// ScanCtx is Scan with a cancellation context attached: the scan stops
+// within one block of ctx being cancelled and reports ctx.Err().
+func (d *Dense) ScanCtx(ctx context.Context, workers int) exec.RowScan {
+	s := d.Scan(workers)
+	s.Ctx = ctx
+	return s
+}
+
 // ForEachRowParallel invokes fn for every row using the shared block
 // scheduler: page-sized blocks, bulk Touch accounting, WillNeed
 // prefetch on mapped backings. fn runs concurrently across blocks and
@@ -186,7 +221,8 @@ func (d *Dense) Scan(workers int) exec.RowScan {
 // block is ascending; blocks interleave. It returns the total
 // simulated stall.
 func (d *Dense) ForEachRowParallel(workers int, fn func(i int, row []float64)) (stall float64) {
-	return exec.ForEachRow(d.Scan(workers), fn)
+	stall, _ = exec.ForEachRow(d.Scan(workers), fn) // nil ctx: never cancels
+	return stall
 }
 
 // MulVecParallel computes y = A·x over the shared parallel layer,
@@ -198,7 +234,7 @@ func (d *Dense) MulVecParallel(y, x []float64, workers int) (stall float64) {
 	if len(x) != d.cols || len(y) != d.rows {
 		panic(fmt.Sprintf("mat: MulVecParallel shapes y[%d] = A(%dx%d)·x[%d]", len(y), d.rows, d.cols, len(x)))
 	}
-	_, stall = exec.ReduceRowBlocks(d.Scan(workers),
+	_, stall, _ = exec.ReduceRowBlocks(d.Scan(workers),
 		func() struct{} { return struct{}{} },
 		func(_ struct{}, lo, hi int, block []float64, stride int) {
 			blas.Gemv(hi-lo, d.cols, 1, block, stride, x, 0, y[lo:hi])

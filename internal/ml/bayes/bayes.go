@@ -6,24 +6,26 @@
 package bayes
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
 	"m3/internal/exec"
+	"m3/internal/fit"
 	"m3/internal/mat"
 )
 
 // Options configures training.
 type Options struct {
+	// FitOptions carries the shared training surface; Workers sizes
+	// the counting scan's pool (<= 0: engine hint, then NumCPU). The
+	// fitted model is identical for every value.
+	fit.FitOptions
 	// VarSmoothing is added to every variance for numerical safety,
 	// scaled by the largest feature variance (default 1e-9, the
 	// scikit-learn convention).
 	VarSmoothing float64
-	// Workers sizes the chunked-execution pool for the counting scan
-	// (<= 0: runtime.NumCPU(), 1: sequential). The fitted model is
-	// identical for every value.
-	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,9 +50,12 @@ type Model struct {
 }
 
 // Train fits the model in one pass over x. Labels must be integers in
-// [0, classes).
-func Train(x *mat.Dense, y []int, classes int, opts Options) (*Model, error) {
+// [0, classes). ctx cancels the counting scan within one data block.
+func Train(ctx context.Context, x *mat.Dense, y []int, classes int, opts Options) (*Model, error) {
 	o := opts.withDefaults()
+	if err := fit.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	n, d := x.Dims()
 	if n != len(y) {
 		return nil, fmt.Errorf("bayes: %d rows but %d labels", n, len(y))
@@ -75,7 +80,7 @@ func Train(x *mat.Dense, y []int, classes int, opts Options) (*Model, error) {
 	// accumulates per-class count, sum and sum-of-squares partials,
 	// merged in block order so the model is identical for any worker
 	// count.
-	acc, _ := exec.ReduceRows(x.Scan(o.Workers),
+	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers),
 		func() *countPartial {
 			return &countPartial{
 				counts: make([]float64, classes),
@@ -97,6 +102,9 @@ func Train(x *mat.Dense, y []int, classes int, opts Options) (*Model, error) {
 			blas.Axpy(1, src.sum, dst.sum)
 			blas.Axpy(1, src.sumSq, dst.sumSq)
 		})
+	if err != nil {
+		return nil, err
+	}
 	counts, sum, sumSq := acc.counts, acc.sum, acc.sumSq
 
 	var maxVar float64

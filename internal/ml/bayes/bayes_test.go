@@ -1,6 +1,7 @@
 package bayes
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func gaussBlobs(n int) (*mat.Dense, []int) {
 
 func TestTrainSeparatesBlobs(t *testing.T) {
 	x, y := gaussBlobs(300)
-	m, err := Train(x, y, 3, Options{})
+	m, err := Train(context.Background(), x, y, 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,18 +53,18 @@ func TestTrainSeparatesBlobs(t *testing.T) {
 
 func TestTrainValidation(t *testing.T) {
 	x, y := gaussBlobs(9)
-	if _, err := Train(x, y[:5], 3, Options{}); err == nil {
+	if _, err := Train(context.Background(), x, y[:5], 3, Options{}); err == nil {
 		t.Error("accepted label mismatch")
 	}
-	if _, err := Train(x, y, 1, Options{}); err == nil {
+	if _, err := Train(context.Background(), x, y, 1, Options{}); err == nil {
 		t.Error("accepted 1 class")
 	}
-	if _, err := Train(x, y, 5, Options{}); err == nil {
+	if _, err := Train(context.Background(), x, y, 5, Options{}); err == nil {
 		t.Error("accepted empty class")
 	}
 	bad := append([]int(nil), y...)
 	bad[0] = 7
-	if _, err := Train(x, bad, 3, Options{}); err == nil {
+	if _, err := Train(context.Background(), x, bad, 3, Options{}); err == nil {
 		t.Error("accepted out-of-range label")
 	}
 }
@@ -77,7 +78,7 @@ func TestDigitsOnePassAccuracy(t *testing.T) {
 	for i, v := range labels {
 		y[i] = int(v)
 	}
-	m, err := Train(x, y, 10, Options{})
+	m, err := Train(context.Background(), x, y, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestZeroVarianceFeatureHandled(t *testing.T) {
 		x.Set(i, 0, 1) // constant
 		x.Set(i, 1, float64(i%2)*10)
 	}
-	m, err := Train(x, y, 2, Options{})
+	m, err := Train(context.Background(), x, y, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestZeroVarianceFeatureHandled(t *testing.T) {
 
 func TestLogScoresPanicsOnShape(t *testing.T) {
 	x, y := gaussBlobs(30)
-	m, err := Train(x, y, 3, Options{})
+	m, err := Train(context.Background(), x, y, 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -205,7 +206,7 @@ func TestCrossValidateLogreg(t *testing.T) {
 		}
 	}
 	accs, err := CrossValidate(x, y, 5, 3, func(xt *mat.Dense, yt []float64) (func([]float64) float64, error) {
-		m, err := logreg.Train(xt, yt, logreg.Options{MaxIterations: 20})
+		m, err := logreg.Train(context.Background(), xt, yt, logreg.Options{MaxIterations: 20})
 		if err != nil {
 			return nil, err
 		}

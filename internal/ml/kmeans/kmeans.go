@@ -7,16 +7,25 @@
 package kmeans
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
 	"m3/internal/exec"
+	"m3/internal/fit"
 	"m3/internal/mat"
+	"m3/internal/optimize"
 )
 
 // Options configures a k-means run.
 type Options struct {
+	// FitOptions carries the shared training surface. Workers sizes
+	// the pool for the init and assignment scans; Callback runs after
+	// each Lloyd iteration with IterInfo{Iter, Value: inertia} and can
+	// stop the run. Assignments, centroids and inertia are identical
+	// for every worker count.
+	fit.FitOptions
 	// K is the number of clusters (required, >= 1).
 	K int
 	// MaxIterations bounds Lloyd iterations (default 100; the paper
@@ -38,13 +47,6 @@ type Options struct {
 	// MaxIterations passes execute — the paper's fixed "10
 	// iterations" protocol.
 	RunAllIterations bool
-	// Callback, when non-nil, runs after each iteration with the
-	// current inertia; returning false stops the run.
-	Callback func(iter int, inertia float64) bool
-	// Workers sizes the chunked-execution pool for the assignment
-	// scan (<= 0: runtime.NumCPU(), 1: sequential). Assignments,
-	// centroids and inertia are identical for every value.
-	Workers int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -101,10 +103,15 @@ func (r *rng) uniform() float64 { return float64(r.next()>>11) / float64(1<<53) 
 
 func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 
-// Run clusters the rows of x into K groups.
-func Run(x *mat.Dense, opts Options) (*Result, error) {
+// Run clusters the rows of x into K groups. ctx cancels the run
+// within one data block of the init or assignment scans; the error is
+// then ctx.Err() and no result is returned.
+func Run(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
+		return nil, err
+	}
+	if err := fit.Canceled(ctx); err != nil {
 		return nil, err
 	}
 	n, d := x.Dims()
@@ -131,7 +138,10 @@ func Run(x *mat.Dense, opts Options) (*Result, error) {
 		res.Stall += initRandom(x, res.Centroids, r)
 		res.Scans++ // counted as one pass worth of row touches
 	default:
-		stall, scans := initPlusPlus(x, res.Centroids, r)
+		stall, scans, err := initPlusPlus(ctx, x, res.Centroids, r, o.Workers)
+		if err != nil {
+			return nil, err
+		}
 		res.Stall += stall
 		res.Scans += scans
 	}
@@ -141,13 +151,14 @@ func Run(x *mat.Dense, opts Options) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("kmeans: internal: centroid matrix not contiguous")
 	}
+	callback := o.Hook("kmeans")
 
 	for iter := 1; iter <= o.MaxIterations; iter++ {
 		// Assignment pass: one blocked scan on the shared execution
 		// layer. Each block accumulates its own sums/counts/inertia;
 		// partials merge in block order, so the result is identical
 		// for any worker count. Assignments[i] is per-row disjoint.
-		acc, stall := exec.ReduceRows(x.Scan(o.Workers),
+		acc, stall, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers),
 			func() *assignPartial {
 				return &assignPartial{sums: make([]float64, o.K*d), counts: make([]int, o.K)}
 			},
@@ -169,6 +180,9 @@ func Run(x *mat.Dense, opts Options) (*Result, error) {
 					dst.counts[c] += n
 				}
 			})
+		if err != nil {
+			return nil, err
+		}
 		sums, counts, changed, inertia := acc.sums, acc.counts, acc.changed, acc.inertia
 		res.Stall += stall
 		res.Scans++
@@ -191,7 +205,7 @@ func Run(x *mat.Dense, opts Options) (*Result, error) {
 			res.Centroids.SetRow(c, newCentroid)
 		}
 
-		if o.Callback != nil && !o.Callback(iter, inertia) {
+		if callback != nil && !callback(optimize.IterInfo{Iter: iter, Value: inertia}) {
 			return res, nil
 		}
 		if changed == 0 && move < o.Tol {
@@ -227,8 +241,11 @@ func initRandom(x *mat.Dense, centroids *mat.Dense, r *rng) (stall float64) {
 // initPlusPlus implements k-means++ (Arthur & Vassilvitskii 2007):
 // each next centroid is sampled with probability proportional to the
 // squared distance from the nearest chosen centroid. Costs one data
-// scan per centroid.
-func initPlusPlus(x *mat.Dense, centroids *mat.Dense, r *rng) (stall float64, scans int) {
+// scan per centroid; each scan runs blocked on the shared execution
+// layer (dist[i] updates are per-row disjoint, the mass total reduces
+// in block order), so the sampled centroids are identical for every
+// worker count and the scans are cancellable.
+func initPlusPlus(ctx context.Context, x *mat.Dense, centroids *mat.Dense, r *rng, workers int) (stall float64, scans int, err error) {
 	n, _ := x.Dims()
 	k, _ := centroids.Dims()
 
@@ -242,16 +259,22 @@ func initPlusPlus(x *mat.Dense, centroids *mat.Dense, r *rng) (stall float64, sc
 	}
 	for c := 1; c < k; c++ {
 		prev := centroids.RawRow(c - 1)
-		var total float64
-		stall += x.ForEachRow(func(i int, row []float64) {
-			if d2 := blas.SqDist(row, prev); d2 < dist[i] {
-				dist[i] = d2
-			}
-			total += dist[i]
-		})
+		total, scanStall, err := exec.ReduceRows(x.ScanCtx(ctx, workers),
+			func() *float64 { return new(float64) },
+			func(mass *float64, i int, row []float64) {
+				if d2 := blas.SqDist(row, prev); d2 < dist[i] {
+					dist[i] = d2
+				}
+				*mass += dist[i]
+			},
+			func(dst, src *float64) { *dst += *src })
+		if err != nil {
+			return stall, scans, err
+		}
+		stall += scanStall
 		scans++
 		// Sample proportional to dist.
-		target := r.uniform() * total
+		target := r.uniform() * *total
 		chosen := n - 1
 		var acc float64
 		for i, d2 := range dist {
@@ -265,7 +288,7 @@ func initPlusPlus(x *mat.Dense, centroids *mat.Dense, r *rng) (stall float64, sc
 		stall += s
 		stall += centroids.SetRow(c, row)
 	}
-	return stall, scans
+	return stall, scans, nil
 }
 
 // Predict returns the nearest-centroid assignment for a single row.

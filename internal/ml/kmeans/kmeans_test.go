@@ -1,6 +1,9 @@
 package kmeans
 
 import (
+	"context"
+	"m3/internal/fit"
+	"m3/internal/optimize"
 	"math"
 	"testing"
 
@@ -36,7 +39,7 @@ func blobs(n, k int) (*mat.Dense, []int) {
 func TestRunRecoversBlobs(t *testing.T) {
 	const k = 4
 	x, truth := blobs(400, k)
-	res, err := Run(x, Options{K: k, Seed: 5})
+	res, err := Run(context.Background(), x, Options{K: k, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,17 +65,17 @@ func TestRunRecoversBlobs(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	x, _ := blobs(10, 2)
-	if _, err := Run(x, Options{K: 0}); err == nil {
+	if _, err := Run(context.Background(), x, Options{K: 0}); err == nil {
 		t.Error("accepted K=0")
 	}
-	if _, err := Run(x, Options{K: 11}); err == nil {
+	if _, err := Run(context.Background(), x, Options{K: 11}); err == nil {
 		t.Error("accepted K > n")
 	}
 }
 
 func TestRunK1(t *testing.T) {
 	x, _ := blobs(50, 1)
-	res, err := Run(x, Options{K: 1, Seed: 1})
+	res, err := Run(context.Background(), x, Options{K: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,11 +95,11 @@ func TestRunK1(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	x, _ := blobs(100, 3)
-	a, err := Run(x, Options{K: 3, Seed: 42})
+	a, err := Run(context.Background(), x, Options{K: 3, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(x, Options{K: 3, Seed: 42})
+	b, err := Run(context.Background(), x, Options{K: 3, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,12 +116,14 @@ func TestDeterminism(t *testing.T) {
 func TestInertiaDecreasesMonotonically(t *testing.T) {
 	x, _ := blobs(300, 5)
 	prev := math.Inf(1)
-	_, err := Run(x, Options{K: 5, Seed: 9, Callback: func(iter int, inertia float64) bool {
-		if inertia > prev+1e-9 {
-			t.Errorf("iteration %d increased inertia %v -> %v", iter, prev, inertia)
-		}
-		prev = inertia
-		return true
+	_, err := Run(context.Background(), x, Options{K: 5, Seed: 9, FitOptions: fit.FitOptions{
+		Callback: func(info optimize.IterInfo) bool {
+			if info.Value > prev+1e-9 {
+				t.Errorf("iteration %d increased inertia %v -> %v", info.Iter, prev, info.Value)
+			}
+			prev = info.Value
+			return true
+		},
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -127,8 +132,10 @@ func TestInertiaDecreasesMonotonically(t *testing.T) {
 
 func TestCallbackStops(t *testing.T) {
 	x, _ := blobs(100, 3)
-	res, err := Run(x, Options{K: 3, Seed: 1, Callback: func(iter int, _ float64) bool {
-		return iter < 2
+	res, err := Run(context.Background(), x, Options{K: 3, Seed: 1, FitOptions: fit.FitOptions{
+		Callback: func(info optimize.IterInfo) bool {
+			return info.Iter < 2
+		},
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +149,7 @@ func TestMaxIterationsRespected(t *testing.T) {
 	g := infimnist.Generator{Seed: 1}
 	xs, _ := g.Matrix(0, 100)
 	x := mat.NewDenseFrom(xs, 100, infimnist.Features)
-	res, err := Run(x, Options{K: 5, MaxIterations: 3, Seed: 2})
+	res, err := Run(context.Background(), x, Options{K: 5, MaxIterations: 3, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +165,11 @@ func TestPlusPlusBeatsRandomInit(t *testing.T) {
 	better := 0
 	const trials = 10
 	for s := uint64(0); s < trials; s++ {
-		pp, err := Run(x, Options{K: 6, Seed: s, MaxIterations: 1})
+		pp, err := Run(context.Background(), x, Options{K: 6, Seed: s, MaxIterations: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		rnd, err := Run(x, Options{K: 6, Seed: s, MaxIterations: 1, RandomInit: true})
+		rnd, err := Run(context.Background(), x, Options{K: 6, Seed: s, MaxIterations: 1, RandomInit: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +184,7 @@ func TestPlusPlusBeatsRandomInit(t *testing.T) {
 
 func TestPredictMatchesAssignments(t *testing.T) {
 	x, _ := blobs(100, 3)
-	res, err := Run(x, Options{K: 3, Seed: 3})
+	res, err := Run(context.Background(), x, Options{K: 3, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +198,7 @@ func TestPredictMatchesAssignments(t *testing.T) {
 
 func TestInertiaFunction(t *testing.T) {
 	x, _ := blobs(100, 2)
-	res, err := Run(x, Options{K: 2, Seed: 8})
+	res, err := Run(context.Background(), x, Options{K: 2, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +214,7 @@ func TestEmptyClusterRepair(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		x.Set(i, 0, float64(i/5)) // only two distinct locations
 	}
-	res, err := Run(x, Options{K: 4, Seed: 13, MaxIterations: 5})
+	res, err := Run(context.Background(), x, Options{K: 4, Seed: 13, MaxIterations: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,11 +252,11 @@ func TestPagedBackendSameClustering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rh, err := Run(xh, Options{K: 3, Seed: 6, MaxIterations: 10})
+	rh, err := Run(context.Background(), xh, Options{K: 3, Seed: 6, MaxIterations: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp, err := Run(xp, Options{K: 3, Seed: 6, MaxIterations: 10})
+	rp, err := Run(context.Background(), xp, Options{K: 3, Seed: 6, MaxIterations: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,11 +280,11 @@ func TestClustersDigits(t *testing.T) {
 	g := infimnist.Generator{Seed: 30}
 	xs, _ := g.Matrix(0, 200)
 	x := mat.NewDenseFrom(xs, 200, infimnist.Features)
-	k5, err := Run(x, Options{K: 5, Seed: 5, MaxIterations: 10})
+	k5, err := Run(context.Background(), x, Options{K: 5, Seed: 5, MaxIterations: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	k1, err := Run(x, Options{K: 1, Seed: 5, MaxIterations: 10})
+	k1, err := Run(context.Background(), x, Options{K: 1, Seed: 5, MaxIterations: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,15 @@
 package kmeans
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
+	"m3/internal/exec"
+	"m3/internal/fit"
 	"m3/internal/mat"
+	"m3/internal/optimize"
 )
 
 // MiniBatchOptions configures mini-batch k-means (Sculley, WWW 2010),
@@ -13,6 +17,11 @@ import (
 // BatchSize rows instead of the whole matrix, trading a little
 // clustering quality for an order-of-magnitude less paging.
 type MiniBatchOptions struct {
+	// FitOptions carries the shared training surface. Workers applies
+	// to the final full assignment pass (the sequential mini-batch
+	// updates are inherently order-dependent); Callback runs after
+	// each step with IterInfo{Iter: step}.
+	fit.FitOptions
 	// K is the cluster count (required).
 	K int
 	// BatchSize rows per step (default 256).
@@ -42,10 +51,14 @@ func (o MiniBatchOptions) withDefaults() (MiniBatchOptions, error) {
 // MiniBatch runs mini-batch k-means. Batches are sampled as
 // contiguous row windows at random offsets, so each step is a short
 // sequential scan — random enough to be unbiased across steps,
-// sequential enough to page well under M3.
-func MiniBatch(x *mat.Dense, opts MiniBatchOptions) (*Result, error) {
+// sequential enough to page well under M3. ctx cancels between steps
+// and within one block of the final assignment pass.
+func MiniBatch(ctx context.Context, x *mat.Dense, opts MiniBatchOptions) (*Result, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
+		return nil, err
+	}
+	if err := fit.Canceled(ctx); err != nil {
 		return nil, err
 	}
 	n, d := x.Dims()
@@ -78,8 +91,12 @@ func MiniBatch(x *mat.Dense, opts MiniBatchOptions) (*Result, error) {
 	// Per-centroid counts drive the decaying per-center learning
 	// rate η = 1/count (Sculley's update).
 	counts := make([]float64, o.K)
+	callback := o.Hook("minibatch-kmeans")
 
 	for step := 0; step < o.Steps; step++ {
+		if err := fit.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		start := 0
 		if n > o.BatchSize {
 			start = r.intn(n - o.BatchSize + 1)
@@ -102,22 +119,34 @@ func MiniBatch(x *mat.Dense, opts MiniBatchOptions) (*Result, error) {
 		})
 		res.Stall += stall
 		res.Iterations = step + 1
-	}
-	// Scans: mini-batch touches Steps×BatchSize rows ≈ this many
-	// full passes (rounded up for reporting).
-	res.Scans = (o.Steps*o.BatchSize + n - 1) / n
-
-	// Final assignment pass for labels and inertia.
-	stall := x.ForEachRow(func(i int, row []float64) {
-		best, bestC := math.Inf(1), 0
-		for c := 0; c < o.K; c++ {
-			if d2 := blas.SqDist(row, res.Centroids.RawRow(c)); d2 < best {
-				best, bestC = d2, c
-			}
+		if callback != nil && !callback(optimize.IterInfo{Iter: step + 1}) {
+			break
 		}
-		res.Assignments[i] = bestC
-		res.Inertia += best
-	})
+	}
+	// Scans: mini-batch touched Iterations×BatchSize rows ≈ this many
+	// full passes (rounded up for reporting; Iterations < Steps when
+	// the callback stopped early).
+	res.Scans = (res.Iterations*o.BatchSize + n - 1) / n
+
+	// Final assignment pass for labels and inertia: one blocked scan
+	// on the shared execution layer (assignments are per-row disjoint,
+	// per-block inertia partials reduce in block order).
+	centroids, ok := res.Centroids.Contiguous()
+	if !ok {
+		return nil, fmt.Errorf("kmeans: internal: centroid matrix not contiguous")
+	}
+	inertia, stall, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers),
+		func() *float64 { return new(float64) },
+		func(sum *float64, i int, row []float64) {
+			bestC, best := blas.NearestRow(row, o.K, d, centroids, d)
+			res.Assignments[i] = bestC
+			*sum += best
+		},
+		func(dst, src *float64) { *dst += *src })
+	if err != nil {
+		return nil, err
+	}
+	res.Inertia = *inertia
 	res.Stall += stall
 	res.Scans++
 	return res, nil

@@ -1,6 +1,7 @@
 package kmeans
 
 import (
+	"context"
 	"testing"
 
 	"m3/internal/mat"
@@ -18,7 +19,7 @@ func TestMiniBatchRecoversBlobs(t *testing.T) {
 		row, _ := x.Row(c)
 		init.SetRow(c, row)
 	}
-	res, err := MiniBatch(x, MiniBatchOptions{K: k, Seed: 3, Steps: 200, BatchSize: 64, InitCentroids: init})
+	res, err := MiniBatch(context.Background(), x, MiniBatchOptions{K: k, Seed: 3, Steps: 200, BatchSize: 64, InitCentroids: init})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,25 +47,25 @@ func TestMiniBatchRecoversBlobs(t *testing.T) {
 
 func TestMiniBatchValidation(t *testing.T) {
 	x, _ := blobs(10, 2)
-	if _, err := MiniBatch(x, MiniBatchOptions{K: 0}); err == nil {
+	if _, err := MiniBatch(context.Background(), x, MiniBatchOptions{K: 0}); err == nil {
 		t.Error("accepted K=0")
 	}
-	if _, err := MiniBatch(x, MiniBatchOptions{K: 11}); err == nil {
+	if _, err := MiniBatch(context.Background(), x, MiniBatchOptions{K: 11}); err == nil {
 		t.Error("accepted K>n")
 	}
 	badInit := mat.NewDense(3, 2)
-	if _, err := MiniBatch(x, MiniBatchOptions{K: 2, InitCentroids: badInit}); err == nil {
+	if _, err := MiniBatch(context.Background(), x, MiniBatchOptions{K: 2, InitCentroids: badInit}); err == nil {
 		t.Error("accepted wrong init shape")
 	}
 }
 
 func TestMiniBatchDeterministic(t *testing.T) {
 	x, _ := blobs(200, 3)
-	a, err := MiniBatch(x, MiniBatchOptions{K: 3, Seed: 9})
+	a, err := MiniBatch(context.Background(), x, MiniBatchOptions{K: 3, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MiniBatch(x, MiniBatchOptions{K: 3, Seed: 9})
+	b, err := MiniBatch(context.Background(), x, MiniBatchOptions{K: 3, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestMiniBatchNearFullBatchQuality(t *testing.T) {
 	// Mini-batch should land within 2x of full Lloyd inertia on easy
 	// blobs.
 	x, _ := blobs(300, 3)
-	full, err := Run(x, Options{K: 3, Seed: 4})
+	full, err := Run(context.Background(), x, Options{K: 3, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mb, err := MiniBatch(x, MiniBatchOptions{K: 3, Seed: 4, Steps: 300})
+	mb, err := MiniBatch(context.Background(), x, MiniBatchOptions{K: 3, Seed: 4, Steps: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,13 +114,13 @@ func TestMiniBatchTouchesFarLessDataThanLloyd(t *testing.T) {
 	}
 
 	xl, psl := mk()
-	if _, err := Run(xl, Options{K: 4, Seed: 1, MaxIterations: 10, RunAllIterations: true, InitCentroids: mat.NewDense(4, 64)}); err != nil {
+	if _, err := Run(context.Background(), xl, Options{K: 4, Seed: 1, MaxIterations: 10, RunAllIterations: true, InitCentroids: mat.NewDense(4, 64)}); err != nil {
 		t.Fatal(err)
 	}
 	lloydBytes := psl.Stats().BytesTouched
 
 	xm, psm := mk()
-	if _, err := MiniBatch(xm, MiniBatchOptions{K: 4, Seed: 1, Steps: 100, BatchSize: 16, InitCentroids: mat.NewDense(4, 64)}); err != nil {
+	if _, err := MiniBatch(context.Background(), xm, MiniBatchOptions{K: 4, Seed: 1, Steps: 100, BatchSize: 16, InitCentroids: mat.NewDense(4, 64)}); err != nil {
 		t.Fatal(err)
 	}
 	mbBytes := psm.Stats().BytesTouched

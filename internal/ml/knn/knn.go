@@ -2,17 +2,34 @@
 // classification. Neighbor search is mlpack's flagship workload
 // (allkNN in the mlpack paper the authors built M3 on), and the
 // brute-force variant is the perfect M3 citizen: answering a batch of
-// queries costs exactly one sequential scan of the (possibly mapped)
-// reference matrix, regardless of batch size.
+// queries costs exactly one scan of the (possibly mapped) reference
+// matrix, regardless of batch size.
+//
+// The scan runs blocked on the shared chunked-execution layer
+// (internal/exec): reference blocks stream on a worker pool, each
+// block keeps its own per-query bounded heaps, and block heaps merge
+// in ascending block order — so results are identical for every
+// worker count and every storage backend, and blas.NearestRow-style
+// batch queries parallelize over the reference matrix.
 package knn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"m3/internal/blas"
+	"m3/internal/exec"
+	"m3/internal/fit"
 	"m3/internal/mat"
 )
+
+// Options configures a search or classification scan.
+type Options struct {
+	// FitOptions carries the shared training surface; only Workers is
+	// consulted (<= 0: engine hint, then NumCPU).
+	fit.FitOptions
+}
 
 // Neighbor is one search result.
 type Neighbor struct {
@@ -22,11 +39,16 @@ type Neighbor struct {
 	SqDist float64
 }
 
+// heapSet is one block's per-query bounded max-heaps.
+type heapSet struct {
+	heaps []nheap
+}
+
 // Search finds the k nearest reference rows for each query row using
-// one sequential scan of refs. Results per query are sorted by
-// ascending distance (ties by index). It returns one neighbor slice
-// per query.
-func Search(refs *mat.Dense, queries *mat.Dense, k int) ([][]Neighbor, error) {
+// one blocked scan of refs on the shared execution layer. Results per
+// query are sorted by ascending distance (ties by index). ctx cancels
+// the scan within one reference block.
+func Search(ctx context.Context, refs, queries *mat.Dense, k int, opts Options) ([][]Neighbor, error) {
 	n, d := refs.Dims()
 	qn, qd := queries.Dims()
 	if d != qd {
@@ -36,31 +58,50 @@ func Search(refs *mat.Dense, queries *mat.Dense, k int) ([][]Neighbor, error) {
 		return nil, fmt.Errorf("knn: k = %d outside [1,%d]", k, n)
 	}
 
-	// Per-query bounded max-heaps, updated as the single scan
-	// streams reference rows past every query.
-	heaps := make([]nheap, qn)
-	for i := range heaps {
-		heaps[i] = make(nheap, 0, k)
-	}
 	qRows := make([][]float64, qn)
 	for i := 0; i < qn; i++ {
 		qRows[i] = queries.RawRow(i)
 	}
-	refs.ForEachRow(func(ri int, row []float64) {
-		for qi := range heaps {
-			d2 := blas.SqDist(row, qRows[qi])
-			h := &heaps[qi]
-			if len(*h) < k {
-				h.push(Neighbor{Index: ri, SqDist: d2})
-			} else if d2 < (*h)[0].SqDist {
-				h.replaceTop(Neighbor{Index: ri, SqDist: d2})
+	// Per-block bounded max-heaps per query; merged in block order, so
+	// the kept set is the one a single sequential scan would keep.
+	acc, _, err := exec.ReduceRowBlocks(refs.ScanCtx(ctx, opts.Workers),
+		func() *heapSet {
+			hs := &heapSet{heaps: make([]nheap, qn)}
+			return hs
+		},
+		func(hs *heapSet, lo, hi int, block []float64, stride int) {
+			for ri := lo; ri < hi; ri++ {
+				row := block[(ri-lo)*stride : (ri-lo)*stride+d]
+				for qi := range hs.heaps {
+					d2 := blas.SqDist(row, qRows[qi])
+					h := &hs.heaps[qi]
+					if len(*h) < k {
+						h.push(Neighbor{Index: ri, SqDist: d2})
+					} else if d2 < (*h)[0].SqDist {
+						h.replaceTop(Neighbor{Index: ri, SqDist: d2})
+					}
+				}
 			}
-		}
-	})
+		},
+		func(dst, src *heapSet) {
+			for qi := range dst.heaps {
+				h := &dst.heaps[qi]
+				for _, nb := range src.heaps[qi] {
+					if len(*h) < k {
+						h.push(nb)
+					} else if nb.SqDist < (*h)[0].SqDist {
+						h.replaceTop(nb)
+					}
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
 
 	out := make([][]Neighbor, qn)
-	for qi := range heaps {
-		res := []Neighbor(heaps[qi])
+	for qi := range acc.heaps {
+		res := []Neighbor(acc.heaps[qi])
 		sort.Slice(res, func(a, b int) bool {
 			if res[a].SqDist != res[b].SqDist {
 				return res[a].SqDist < res[b].SqDist
@@ -73,12 +114,13 @@ func Search(refs *mat.Dense, queries *mat.Dense, k int) ([][]Neighbor, error) {
 }
 
 // Classify predicts labels by majority vote among the k nearest
-// labelled reference rows (ties resolve to the nearest class).
-func Classify(refs *mat.Dense, labels []int, queries *mat.Dense, k int) ([]int, error) {
+// labelled reference rows (ties resolve to the nearest class). ctx
+// cancels the underlying search within one reference block.
+func Classify(ctx context.Context, refs *mat.Dense, labels []int, queries *mat.Dense, k int, opts Options) ([]int, error) {
 	if refs.Rows() != len(labels) {
 		return nil, fmt.Errorf("knn: %d reference rows but %d labels", refs.Rows(), len(labels))
 	}
-	results, err := Search(refs, queries, k)
+	results, err := Search(ctx, refs, queries, k, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package knn
 
 import (
+	"context"
+	"m3/internal/fit"
 	"math"
 	"sort"
 	"testing"
@@ -18,7 +20,7 @@ func TestSearchExactSmall(t *testing.T) {
 	}
 	queries := mat.NewDense(1, 1)
 	queries.Set(0, 0, 2.2)
-	res, err := Search(refs, queries, 3)
+	res, err := Search(context.Background(), refs, queries, 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,14 +42,14 @@ func TestSearchExactSmall(t *testing.T) {
 func TestSearchValidation(t *testing.T) {
 	refs := mat.NewDense(3, 2)
 	q := mat.NewDense(1, 3)
-	if _, err := Search(refs, q, 1); err == nil {
+	if _, err := Search(context.Background(), refs, q, 1, Options{}); err == nil {
 		t.Error("accepted dim mismatch")
 	}
 	q2 := mat.NewDense(1, 2)
-	if _, err := Search(refs, q2, 0); err == nil {
+	if _, err := Search(context.Background(), refs, q2, 0, Options{}); err == nil {
 		t.Error("accepted k=0")
 	}
-	if _, err := Search(refs, q2, 4); err == nil {
+	if _, err := Search(context.Background(), refs, q2, 4, Options{}); err == nil {
 		t.Error("accepted k>n")
 	}
 }
@@ -76,7 +78,7 @@ func TestSearchMatchesNaive(t *testing.T) {
 		for j := 0; j < d; j++ {
 			q.Set(0, j, next())
 		}
-		res, err := Search(refs, q, k)
+		res, err := Search(context.Background(), refs, q, k, Options{})
 		if err != nil {
 			return false
 		}
@@ -125,7 +127,7 @@ func TestClassifyDigits(t *testing.T) {
 	qx, qlabels := g.Matrix(20000, nQ)
 	queries := mat.NewDenseFrom(qx, nQ, infimnist.Features)
 
-	pred, err := Classify(refs, y, queries, 5)
+	pred, err := Classify(context.Background(), refs, y, queries, 5, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestClassifyDigits(t *testing.T) {
 func TestClassifyValidation(t *testing.T) {
 	refs := mat.NewDense(3, 2)
 	q := mat.NewDense(1, 2)
-	if _, err := Classify(refs, []int{0, 1}, q, 1); err == nil {
+	if _, err := Classify(context.Background(), refs, []int{0, 1}, q, 1, Options{}); err == nil {
 		t.Error("accepted label mismatch")
 	}
 }
@@ -155,11 +157,70 @@ func TestClassifyK1IsNearest(t *testing.T) {
 	q := mat.NewDense(2, 1)
 	q.Set(0, 0, 1)
 	q.Set(1, 0, 9)
-	pred, err := Classify(refs, []int{7, 8}, q, 1)
+	pred, err := Classify(context.Background(), refs, []int{7, 8}, q, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pred[0] != 7 || pred[1] != 8 {
 		t.Errorf("pred = %v", pred)
+	}
+}
+
+// TestSearchDeterministicAcrossWorkers: the blocked reference scan
+// returns identical neighbor lists for every worker count — block
+// heaps merge in ascending block order, so the kept set matches the
+// sequential scan's.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	const n, d, k, qn = 3000, 8, 7, 5
+	refs := mat.NewDense(n, d)
+	queries := mat.NewDense(qn, d)
+	r := uint64(31)
+	next := func() float64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return float64(r%10000) / 100
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			refs.Set(i, j, next())
+		}
+	}
+	for i := 0; i < qn; i++ {
+		for j := 0; j < d; j++ {
+			queries.Set(i, j, next())
+		}
+	}
+	opts := func(w int) Options {
+		return Options{FitOptions: fit.FitOptions{Workers: w}}
+	}
+	ref, err := Search(context.Background(), refs, queries, k, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Search(context.Background(), refs, queries, k, opts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range ref {
+			for i := range ref[qi] {
+				if got[qi][i] != ref[qi][i] {
+					t.Fatalf("workers=%d: query %d neighbor %d = %+v, want %+v",
+						workers, qi, i, got[qi][i], ref[qi][i])
+				}
+			}
+		}
+	}
+}
+
+// TestSearchCancellation: a pre-cancelled context aborts the scan.
+func TestSearchCancellation(t *testing.T) {
+	refs := mat.NewDense(100, 4)
+	q := mat.NewDense(2, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Search(ctx, refs, q, 3, Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

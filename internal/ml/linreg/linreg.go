@@ -6,17 +6,22 @@
 package linreg
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
 	"m3/internal/exec"
+	"m3/internal/fit"
 	"m3/internal/mat"
 	"m3/internal/optimize"
 )
 
 // Options configures training.
 type Options struct {
+	// FitOptions carries the shared training surface (workers
+	// override, iteration callback, verbosity).
+	fit.FitOptions
 	// Lambda is the ridge penalty (default 1e-6).
 	Lambda float64
 	// NoIntercept disables the bias term.
@@ -25,10 +30,6 @@ type Options struct {
 	MaxIterations int
 	// GradTol is the L-BFGS gradient tolerance (default 1e-8).
 	GradTol float64
-	// Workers sizes the chunked-execution pool for data scans
-	// (<= 0: runtime.NumCPU(), 1: sequential). Results are identical
-	// for every value.
-	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,9 +101,11 @@ type Objective struct {
 	y         []float64
 	lambda    float64
 	intercept bool
-	// Workers sizes the worker pool per scan (<= 0: NumCPU). The
-	// result is bit-identical for every value.
+	// Workers sizes the worker pool per scan (<= 0: engine hint, then
+	// NumCPU). The result is bit-identical for every value.
 	Workers int
+	// Ctx, when non-nil, cancels data scans at block granularity.
+	Ctx context.Context
 	// Scans counts full passes.
 	Scans int
 }
@@ -142,7 +145,7 @@ func (o *Objective) Eval(params, grad []float64) float64 {
 	if o.intercept {
 		b = params[d]
 	}
-	total, _ := exec.ReduceRows(o.x.Scan(o.Workers),
+	total, _, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.Workers),
 		func() *lsqPartial { return &lsqPartial{gw: make([]float64, d)} },
 		func(p *lsqPartial, i int, row []float64) {
 			r := blas.Dot(row, w) + b - o.y[i]
@@ -169,17 +172,23 @@ func (o *Objective) Eval(params, grad []float64) float64 {
 	return loss
 }
 
-// Train fits the model with blocked L-BFGS scans.
-func Train(x *mat.Dense, y []float64, opts Options) (*Model, error) {
+// Train fits the model with blocked L-BFGS scans. ctx cancels the fit
+// within one data block.
+func Train(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*Model, error) {
 	o := opts.withDefaults()
+	if err := fit.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	obj, err := NewObjective(x, y, o.Lambda, !o.NoIntercept)
 	if err != nil {
 		return nil, err
 	}
 	obj.Workers = o.Workers
-	res, err := optimize.LBFGS(obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
+	obj.Ctx = ctx
+	res, err := optimize.LBFGS(ctx, obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
 		MaxIterations: o.MaxIterations,
 		GradTol:       o.GradTol,
+		Callback:      o.Hook("linreg"),
 	})
 	if err != nil {
 		return nil, err
@@ -195,8 +204,8 @@ func Train(x *mat.Dense, y []float64, opts Options) (*Model, error) {
 // Cholesky factorization. One data scan builds the Gram matrix; the
 // solve is O(d³), so this path suits d up to a few thousand. The
 // intercept is handled by augmenting with a constant column
-// (unregularized).
-func TrainExact(x *mat.Dense, y []float64, opts Options) (*Model, error) {
+// (unregularized). ctx cancels the Gram scan within one data block.
+func TrainExact(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*Model, error) {
 	o := opts.withDefaults()
 	if x.Rows() != len(y) {
 		return nil, fmt.Errorf("linreg: %d rows but %d targets", x.Rows(), len(y))
@@ -208,11 +217,11 @@ func TrainExact(x *mat.Dense, y []float64, opts Options) (*Model, error) {
 	}
 	// Each partial carries a p×p gram block; size blocks to hold at
 	// least ~p rows so the O(p²) zero+merge amortizes to O(p) per row.
-	gramScan := x.Scan(o.Workers)
+	gramScan := x.ScanCtx(ctx, o.Workers)
 	if minBytes := p * p * 8; minBytes > exec.DefaultBlockBytes {
 		gramScan.BlockBytes = minBytes
 	}
-	total, _ := exec.ReduceRows(gramScan,
+	total, _, err := exec.ReduceRows(gramScan,
 		func() *gramPartial {
 			return &gramPartial{gram: make([]float64, p*p), rhs: make([]float64, p)}
 		},
@@ -238,6 +247,9 @@ func TrainExact(x *mat.Dense, y []float64, opts Options) (*Model, error) {
 			blas.Axpy(1, src.gram, dst.gram)
 			blas.Axpy(1, src.rhs, dst.rhs)
 		})
+	if err != nil {
+		return nil, err
+	}
 	gram, rhs := total.gram, total.rhs
 	// Ridge on weights only.
 	for a := 0; a < d; a++ {

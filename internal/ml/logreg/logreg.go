@@ -6,16 +6,21 @@
 package logreg
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
+	"m3/internal/fit"
 	"m3/internal/mat"
 	"m3/internal/optimize"
 )
 
 // Options configures binary logistic regression training.
 type Options struct {
+	// FitOptions carries the shared training surface: worker-pool
+	// override, iteration callback, verbosity.
+	fit.FitOptions
 	// Lambda is the L2 regularization strength (default 1e-4).
 	Lambda float64
 	// FitIntercept adds an unregularized bias term (default true via
@@ -26,14 +31,6 @@ type Options struct {
 	MaxIterations int
 	// GradTol is the L-BFGS gradient tolerance (default 1e-6).
 	GradTol float64
-	// Callback is forwarded to the optimizer.
-	Callback func(optimize.IterInfo) bool
-	// Workers sizes the chunked-execution pool for TrainSoftmax's
-	// scans (<= 0: runtime.NumCPU(), 1: sequential); results are
-	// identical for every value. Binary Train keeps the sequential
-	// streaming objective — use TrainParallel for a pooled binary
-	// fit, whose workers argument overrides this field.
-	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -155,18 +152,27 @@ func (o *Objective) Eval(params, grad []float64) float64 {
 	return loss
 }
 
-// Train fits a binary logistic regression model with L-BFGS.
-func Train(x *mat.Dense, y []float64, opts Options) (*Model, error) {
+// Train fits a binary logistic regression model with L-BFGS. Every
+// objective evaluation is one blocked, worker-pooled pass over the
+// (possibly memory-mapped) data on the shared execution layer; the
+// model is bit-identical for every worker count and every storage
+// backend. ctx cancels the fit within one data block (the returned
+// error is then ctx.Err()).
+func Train(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*Model, error) {
 	o := opts.withDefaults()
-	obj, err := NewObjective(x, y, o.Lambda, !o.NoIntercept)
+	if err := fit.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	obj, err := NewParallelObjective(x, y, o.Lambda, !o.NoIntercept, o.Workers)
 	if err != nil {
 		return nil, err
 	}
+	obj.Ctx = ctx
 	x0 := make([]float64, obj.Dim())
-	res, err := optimize.LBFGS(obj, x0, optimize.LBFGSParams{
+	res, err := optimize.LBFGS(ctx, obj, x0, optimize.LBFGSParams{
 		MaxIterations: o.MaxIterations,
 		GradTol:       o.GradTol,
-		Callback:      o.Callback,
+		Callback:      o.Hook("logreg"),
 	})
 	if err != nil {
 		return nil, err

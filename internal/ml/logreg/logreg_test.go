@@ -1,6 +1,7 @@
 package logreg
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -38,7 +39,7 @@ func twoBlobs(n int) (*mat.Dense, []float64) {
 
 func TestTrainSeparable(t *testing.T) {
 	x, y := twoBlobs(200)
-	m, err := Train(x, y, Options{})
+	m, err := Train(context.Background(), x, y, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestTrainSeparable(t *testing.T) {
 
 func TestTrainNoIntercept(t *testing.T) {
 	x, y := twoBlobs(100)
-	m, err := Train(x, y, Options{NoIntercept: true})
+	m, err := Train(context.Background(), x, y, Options{NoIntercept: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +170,11 @@ func TestTrainOverPagedStoreSameModel(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	mh, err := Train(xh, y, Options{MaxIterations: 15})
+	mh, err := Train(context.Background(), xh, y, Options{MaxIterations: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp, err := Train(xp, y, Options{MaxIterations: 15})
+	mp, err := Train(context.Background(), xp, y, Options{MaxIterations: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestSoftmaxLearnsDigits(t *testing.T) {
 		y[i] = int(v)
 	}
 	x := mat.NewDenseFrom(xs, n, infimnist.Features)
-	m, err := TrainSoftmax(x, y, 10, Options{MaxIterations: 40, Lambda: 1e-4})
+	m, err := TrainSoftmax(context.Background(), x, y, 10, Options{MaxIterations: 40, Lambda: 1e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestSoftmaxScoresMatchPredict(t *testing.T) {
 		y[i] = int(v)
 	}
 	x := mat.NewDenseFrom(xs, 50, infimnist.Features)
-	m, err := TrainSoftmax(x, y, 10, Options{MaxIterations: 10})
+	m, err := TrainSoftmax(context.Background(), x, y, 10, Options{MaxIterations: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestTrainMappedDataset(t *testing.T) {
 			y[i] = 1
 		}
 	}
-	m, err := Train(x, y, Options{MaxIterations: 30})
+	m, err := Train(context.Background(), x, y, Options{MaxIterations: 30})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,14 +1,13 @@
 package logreg
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 
 	"m3/internal/blas"
 	"m3/internal/exec"
 	"m3/internal/mat"
-	"m3/internal/optimize"
 )
 
 // ParallelObjective evaluates the binary logistic-regression loss on
@@ -31,6 +30,11 @@ type ParallelObjective struct {
 	intercept bool
 	workers   int
 
+	// Ctx, when non-nil, cancels data scans at block granularity; the
+	// optimizer driving this objective must watch the same context,
+	// because Eval's return value after cancellation is a discarded
+	// partial.
+	Ctx context.Context
 	// Stall accumulates simulated paging stall seconds across Evals.
 	Stall float64
 	// Scans counts full passes over the data.
@@ -44,7 +48,8 @@ type partial struct {
 }
 
 // NewParallelObjective builds a block-parallel objective. workers <= 0
-// selects GOMAXPROCS; more workers than rows clamps to the row count.
+// defers to the matrix's engine hint and then runtime.NumCPU(); the
+// execution layer clamps to the block count either way.
 func NewParallelObjective(x *mat.Dense, y []float64, lambda float64, intercept bool, workers int) (*ParallelObjective, error) {
 	if x.Rows() != len(y) {
 		return nil, fmt.Errorf("logreg: %d rows but %d labels", x.Rows(), len(y))
@@ -57,16 +62,10 @@ func NewParallelObjective(x *mat.Dense, y []float64, lambda float64, intercept b
 	if lambda < 0 {
 		return nil, fmt.Errorf("logreg: negative lambda %v", lambda)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > x.Rows() {
-		workers = x.Rows()
-	}
 	return &ParallelObjective{x: x, y: y, lambda: lambda, intercept: intercept, workers: workers}, nil
 }
 
-// Workers returns the worker-pool size in use.
+// Workers returns the configured worker knob (0 = inherit).
 func (o *ParallelObjective) Workers() int { return o.workers }
 
 // Dim returns the parameter count.
@@ -87,7 +86,7 @@ func (o *ParallelObjective) Eval(params, grad []float64) float64 {
 		b = params[d]
 	}
 
-	total, stall := exec.ReduceRows(o.x.Scan(o.workers),
+	total, stall, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.workers),
 		func() *partial { return &partial{grad: make([]float64, d+1)} },
 		func(p *partial, i int, row []float64) {
 			z := blas.Dot(row, w) + b
@@ -140,25 +139,11 @@ func sigmoidLoss(z, y float64) (prob, loss float64) {
 }
 
 // TrainParallel fits binary logistic regression using the block-
-// parallel objective. workers <= 0 selects GOMAXPROCS.
+// parallel objective.
+//
+// Deprecated: Train is block-parallel itself; set Options.Workers (or
+// rely on the engine's configuration) instead of the extra argument.
 func TrainParallel(x *mat.Dense, y []float64, opts Options, workers int) (*Model, error) {
-	o := opts.withDefaults()
-	obj, err := NewParallelObjective(x, y, o.Lambda, !o.NoIntercept, workers)
-	if err != nil {
-		return nil, err
-	}
-	x0 := make([]float64, obj.Dim())
-	res, err := optimize.LBFGS(obj, x0, optimize.LBFGSParams{
-		MaxIterations: o.MaxIterations,
-		GradTol:       o.GradTol,
-		Callback:      o.Callback,
-	})
-	if err != nil {
-		return nil, err
-	}
-	m := &Model{Weights: res.X[:x.Cols()], Result: res}
-	if !o.NoIntercept {
-		m.Intercept = res.X[x.Cols()]
-	}
-	return m, nil
+	opts.FitOptions.Workers = workers
+	return Train(context.Background(), x, y, opts)
 }

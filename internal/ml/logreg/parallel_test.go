@@ -108,13 +108,14 @@ func TestParallelValidation(t *testing.T) {
 	if _, err := NewParallelObjective(x, []float64{0, 1, 1, 0}, -1, true, 2); err == nil {
 		t.Error("accepted negative lambda")
 	}
-	// More workers than rows clamps.
+	// The workers knob is kept as configured; the execution layer
+	// clamps to the block count at scan time.
 	obj, err := NewParallelObjective(x, []float64{0, 1, 1, 0}, 0, true, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if obj.Workers() != 4 {
-		t.Errorf("workers = %d want clamp to 4", obj.Workers())
+	if obj.Workers() != 100 {
+		t.Errorf("workers = %d want 100 (exec clamps at scan time)", obj.Workers())
 	}
 }
 

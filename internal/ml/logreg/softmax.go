@@ -1,11 +1,13 @@
 package logreg
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
 	"m3/internal/exec"
+	"m3/internal/fit"
 	"m3/internal/mat"
 	"m3/internal/optimize"
 )
@@ -19,9 +21,11 @@ type SoftmaxObjective struct {
 	classes   int
 	lambda    float64
 	intercept bool
-	// Workers sizes the chunked-execution pool per scan (<= 0:
-	// NumCPU). The result is bit-identical for every value.
+	// Workers sizes the chunked-execution pool per scan (<= 0: engine
+	// hint, then NumCPU). The result is bit-identical for every value.
 	Workers int
+	// Ctx, when non-nil, cancels data scans at block granularity.
+	Ctx context.Context
 	// Stall accumulates simulated paging stall seconds.
 	Stall float64
 	// Scans counts full data passes.
@@ -77,7 +81,7 @@ func (o *SoftmaxObjective) Eval(params, grad []float64) float64 {
 		bias = params[k*d : k*d+k]
 	}
 
-	total, stall := exec.ReduceRows(o.x.Scan(o.Workers),
+	total, stall, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.Workers),
 		func() *softmaxPartial {
 			return &softmaxPartial{grad: make([]float64, o.Dim()), scores: make([]float64, k)}
 		},
@@ -155,19 +159,25 @@ type SoftmaxModel struct {
 	Result optimize.Result
 }
 
-// TrainSoftmax fits a K-class softmax regression model with L-BFGS.
-func TrainSoftmax(x *mat.Dense, y []int, classes int, opts Options) (*SoftmaxModel, error) {
+// TrainSoftmax fits a K-class softmax regression model with L-BFGS on
+// blocked, worker-pooled data scans. ctx cancels the fit within one
+// data block.
+func TrainSoftmax(ctx context.Context, x *mat.Dense, y []int, classes int, opts Options) (*SoftmaxModel, error) {
 	o := opts.withDefaults()
+	if err := fit.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	obj, err := NewSoftmaxObjective(x, y, classes, o.Lambda, !o.NoIntercept)
 	if err != nil {
 		return nil, err
 	}
 	obj.Workers = o.Workers
+	obj.Ctx = ctx
 	x0 := make([]float64, obj.Dim())
-	res, err := optimize.LBFGS(obj, x0, optimize.LBFGSParams{
+	res, err := optimize.LBFGS(ctx, obj, x0, optimize.LBFGSParams{
 		MaxIterations: o.MaxIterations,
 		GradTol:       o.GradTol,
-		Callback:      o.Callback,
+		Callback:      o.Hook("softmax"),
 	})
 	if err != nil {
 		return nil, err

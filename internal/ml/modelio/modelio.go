@@ -15,6 +15,7 @@ import (
 	"m3/internal/ml/kmeans"
 	"m3/internal/ml/linreg"
 	"m3/internal/ml/logreg"
+	"m3/internal/ml/pca"
 )
 
 // Kind tags a persisted model type.
@@ -27,6 +28,7 @@ const (
 	KindLinear   Kind = "linear"
 	KindKMeans   Kind = "kmeans"
 	KindBayes    Kind = "bayes"
+	KindPCA      Kind = "pca"
 )
 
 // version of the envelope format.
@@ -71,16 +73,26 @@ type bayesPayload struct {
 	LogPrior []float64
 }
 
+type pcaPayload struct {
+	Components    []float64 // row-major K×D
+	K, D          int
+	Eigenvalues   []float64
+	Mean          []float64
+	TotalVariance float64
+}
+
 func init() {
 	gob.Register(logisticPayload{})
 	gob.Register(softmaxPayload{})
 	gob.Register(linearPayload{})
 	gob.Register(kmeansPayload{})
 	gob.Register(bayesPayload{})
+	gob.Register(pcaPayload{})
 }
 
 // Save writes a model to w. Supported types: *logreg.Model,
-// *logreg.SoftmaxModel, *linreg.Model, *kmeans.Result, *bayes.Model.
+// *logreg.SoftmaxModel, *linreg.Model, *kmeans.Result, *bayes.Model,
+// *pca.Result.
 func Save(w io.Writer, model any) error {
 	env := envelope{Version: version}
 	switch m := model.(type) {
@@ -108,6 +120,17 @@ func Save(w io.Writer, model any) error {
 		env.Payload = bayesPayload{
 			Classes: m.Classes, Features: m.Features,
 			Mean: m.Mean, Var: m.Var, LogPrior: m.LogPrior,
+		}
+	case *pca.Result:
+		k, d := m.Components.Dims()
+		flat := make([]float64, 0, k*d)
+		for c := 0; c < k; c++ {
+			flat = append(flat, m.Components.RawRow(c)...)
+		}
+		env.Kind = KindPCA
+		env.Payload = pcaPayload{
+			Components: flat, K: k, D: d,
+			Eigenvalues: m.Eigenvalues, Mean: m.Mean, TotalVariance: m.TotalVariance,
 		}
 	default:
 		return fmt.Errorf("modelio: unsupported model type %T", model)
@@ -144,6 +167,14 @@ func Load(r io.Reader) (any, Kind, error) {
 		return &bayes.Model{
 			Classes: p.Classes, Features: p.Features,
 			Mean: p.Mean, Var: p.Var, LogPrior: p.LogPrior,
+		}, env.Kind, nil
+	case pcaPayload:
+		if p.K <= 0 || p.D <= 0 || len(p.Components) != p.K*p.D {
+			return nil, "", fmt.Errorf("modelio: corrupt pca payload (%d values for %dx%d)", len(p.Components), p.K, p.D)
+		}
+		return &pca.Result{
+			Components:  mat.NewDenseFrom(p.Components, p.K, p.D),
+			Eigenvalues: p.Eigenvalues, Mean: p.Mean, TotalVariance: p.TotalVariance,
 		}, env.Kind, nil
 	}
 	return nil, "", fmt.Errorf("modelio: unknown payload %T", env.Payload)

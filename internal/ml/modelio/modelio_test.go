@@ -2,6 +2,8 @@ package modelio
 
 import (
 	"bytes"
+	"context"
+	"encoding/gob"
 	"path/filepath"
 	"testing"
 
@@ -11,6 +13,7 @@ import (
 	"m3/internal/ml/kmeans"
 	"m3/internal/ml/linreg"
 	"m3/internal/ml/logreg"
+	"m3/internal/ml/pca"
 )
 
 func digitData(t *testing.T, n int) (*mat.Dense, []float64, []int) {
@@ -31,7 +34,7 @@ func digitData(t *testing.T, n int) (*mat.Dense, []float64, []int) {
 
 func TestLogisticRoundTrip(t *testing.T) {
 	x, y, _ := digitData(t, 80)
-	m, err := logreg.Train(x, y, logreg.Options{MaxIterations: 10})
+	m, err := logreg.Train(context.Background(), x, y, logreg.Options{MaxIterations: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +60,7 @@ func TestLogisticRoundTrip(t *testing.T) {
 
 func TestSoftmaxRoundTrip(t *testing.T) {
 	x, _, yi := digitData(t, 80)
-	m, err := logreg.TrainSoftmax(x, yi, 10, logreg.Options{MaxIterations: 8})
+	m, err := logreg.TrainSoftmax(context.Background(), x, yi, 10, logreg.Options{MaxIterations: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +90,7 @@ func TestLinearRoundTrip(t *testing.T) {
 		x.Set(i, 1, float64(i%7))
 		y[i] = 2*float64(i) - float64(i%7) + 1
 	}
-	m, err := linreg.Train(x, y, linreg.Options{})
+	m, err := linreg.Train(context.Background(), x, y, linreg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +113,7 @@ func TestLinearRoundTrip(t *testing.T) {
 
 func TestKMeansRoundTripFile(t *testing.T) {
 	x, _, _ := digitData(t, 60)
-	res, err := kmeans.Run(x, kmeans.Options{K: 4, Seed: 2, MaxIterations: 5})
+	res, err := kmeans.Run(context.Background(), x, kmeans.Options{K: 4, Seed: 2, MaxIterations: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +137,7 @@ func TestKMeansRoundTripFile(t *testing.T) {
 
 func TestBayesRoundTrip(t *testing.T) {
 	x, _, yi := digitData(t, 100)
-	m, err := bayes.Train(x, yi, 10, bayes.Options{})
+	m, err := bayes.Train(context.Background(), x, yi, 10, bayes.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,5 +171,52 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("loaded missing file")
+	}
+}
+
+func TestPCARoundTrip(t *testing.T) {
+	x, _, _ := digitData(t, 80)
+	res, err := pca.Fit(context.Background(), x, pca.Options{Components: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pca.model")
+	if err := SaveFile(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, kind, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindPCA {
+		t.Errorf("kind = %v", kind)
+	}
+	pr := got.(*pca.Result)
+	row := x.RawRow(11)
+	want := make([]float64, 3)
+	have := make([]float64, 3)
+	res.Transform(row, want)
+	pr.Transform(row, have)
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("coordinate %d changed after round trip: %v vs %v", i, have[i], want[i])
+		}
+	}
+	if pr.TotalVariance != res.TotalVariance {
+		t.Errorf("total variance changed: %v vs %v", pr.TotalVariance, res.TotalVariance)
+	}
+
+	// Corrupt payload shape (component count disagreeing with K×D) is
+	// rejected by Load. Encode the raw envelope directly so the writer
+	// path cannot fix it up.
+	var buf bytes.Buffer
+	env := envelope{Version: version, Kind: KindPCA, Payload: pcaPayload{
+		Components: []float64{1, 2, 3}, K: 2, D: 2,
+	}}
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(&buf); err == nil {
+		t.Error("Load accepted a pca payload with 3 components for a 2x2 shape")
 	}
 }

@@ -7,16 +7,22 @@
 package pca
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
 	"m3/internal/exec"
+	"m3/internal/fit"
 	"m3/internal/mat"
 )
 
 // Options configures the decomposition.
 type Options struct {
+	// FitOptions carries the shared training surface; Workers sizes
+	// the mean and covariance scans' pool (<= 0: engine hint, then
+	// NumCPU). The decomposition is identical for every value.
+	fit.FitOptions
 	// Components is the number of principal components (required).
 	Components int
 	// MaxIterations bounds power iterations per component
@@ -26,10 +32,6 @@ type Options struct {
 	Tol float64
 	// Seed drives the deterministic start vectors.
 	Seed uint64
-	// Workers sizes the chunked-execution pool for the mean and
-	// covariance scans (<= 0: runtime.NumCPU(), 1: sequential). The
-	// decomposition is identical for every value.
-	Workers int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -100,10 +102,14 @@ func (r *Result) Reconstruct(coords []float64, dst []float64) {
 
 // Fit computes the decomposition. The data matrix is scanned exactly
 // twice (mean pass + covariance pass); all further work is on the
-// D×D covariance.
-func Fit(x *mat.Dense, opts Options) (*Result, error) {
+// D×D covariance. ctx cancels either scan within one data block and
+// the power iteration between components.
+func Fit(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
+		return nil, err
+	}
+	if err := fit.Canceled(ctx); err != nil {
 		return nil, err
 	}
 	n, d := x.Dims()
@@ -116,12 +122,15 @@ func Fit(x *mat.Dense, opts Options) (*Result, error) {
 
 	// Pass 1: mean — blocked column sums (blas.SumRows per block) on
 	// the shared execution layer, merged in block order.
-	mean, _ := exec.ReduceRowBlocks(x.Scan(o.Workers),
+	mean, _, err := exec.ReduceRowBlocks(x.ScanCtx(ctx, o.Workers),
 		func() []float64 { return make([]float64, d) },
 		func(sum []float64, lo, hi int, block []float64, stride int) {
 			blas.SumRows(hi-lo, d, block, stride, sum)
 		},
 		func(dst, src []float64) { blas.Axpy(1, src, dst) })
+	if err != nil {
+		return nil, err
+	}
 	blas.Scal(1/float64(n), mean)
 
 	// Pass 2: covariance — per-block symmetric rank-1 accumulation
@@ -129,11 +138,11 @@ func Fit(x *mat.Dense, opts Options) (*Result, error) {
 	// block order, then mirrored. Each partial is a d×d matrix, so
 	// blocks are sized to hold at least ~d rows: zeroing + merging the
 	// O(d²) partial then amortizes to O(d) per row.
-	covScan := x.Scan(o.Workers)
+	covScan := x.ScanCtx(ctx, o.Workers)
 	if minBytes := d * d * 8; minBytes > exec.DefaultBlockBytes {
 		covScan.BlockBytes = minBytes
 	}
-	cov, _ := exec.ReduceRowBlocks(covScan,
+	cov, _, err := exec.ReduceRowBlocks(covScan,
 		func() []float64 { return make([]float64, d*d) },
 		func(part []float64, lo, hi int, block []float64, stride int) {
 			centered := make([]float64, d)
@@ -144,6 +153,9 @@ func Fit(x *mat.Dense, opts Options) (*Result, error) {
 			}
 		},
 		func(dst, src []float64) { blas.Axpy(1, src, dst) })
+	if err != nil {
+		return nil, err
+	}
 	inv := 1 / float64(n-1)
 	var total float64
 	for a := 0; a < d; a++ {
@@ -176,6 +188,9 @@ func Fit(x *mat.Dense, opts Options) (*Result, error) {
 	v := make([]float64, d)
 	av := make([]float64, d)
 	for c := 0; c < o.Components; c++ {
+		if err := fit.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		for i := range v {
 			v[i] = next()
 		}

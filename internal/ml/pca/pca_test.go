@@ -1,6 +1,7 @@
 package pca
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -30,7 +31,7 @@ func anisotropic(n int) *mat.Dense {
 
 func TestFitFindsDominantDirection(t *testing.T) {
 	x := anisotropic(500)
-	res, err := Fit(x, Options{Components: 2, Seed: 1})
+	res, err := Fit(context.Background(), x, Options{Components: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestComponentsOrthonormal(t *testing.T) {
 	g := infimnist.Generator{Seed: 2}
 	xs, _ := g.Matrix(0, 150)
 	x := mat.NewDenseFrom(xs, 150, infimnist.Features)
-	res, err := Fit(x, Options{Components: 5, Seed: 3})
+	res, err := Fit(context.Background(), x, Options{Components: 5, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestComponentsOrthonormal(t *testing.T) {
 
 func TestTransformReconstructRoundTrip(t *testing.T) {
 	x := anisotropic(300)
-	res, err := Fit(x, Options{Components: 2, Seed: 5})
+	res, err := Fit(context.Background(), x, Options{Components: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestCompressionQualityOnDigits(t *testing.T) {
 	g := infimnist.Generator{Seed: 7}
 	xs, _ := g.Matrix(0, 200)
 	x := mat.NewDenseFrom(xs, 200, infimnist.Features)
-	res, err := Fit(x, Options{Components: 20, Seed: 1})
+	res, err := Fit(context.Background(), x, Options{Components: 20, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,21 +127,21 @@ func TestCompressionQualityOnDigits(t *testing.T) {
 
 func TestFitValidation(t *testing.T) {
 	x := anisotropic(10)
-	if _, err := Fit(x, Options{Components: 0}); err == nil {
+	if _, err := Fit(context.Background(), x, Options{Components: 0}); err == nil {
 		t.Error("accepted 0 components")
 	}
-	if _, err := Fit(x, Options{Components: 3}); err == nil {
+	if _, err := Fit(context.Background(), x, Options{Components: 3}); err == nil {
 		t.Error("accepted components > features")
 	}
 	one := mat.NewDense(1, 2)
-	if _, err := Fit(one, Options{Components: 1}); err == nil {
+	if _, err := Fit(context.Background(), one, Options{Components: 1}); err == nil {
 		t.Error("accepted single row")
 	}
 }
 
 func TestTransformPanicsOnShape(t *testing.T) {
 	x := anisotropic(50)
-	res, err := Fit(x, Options{Components: 1, Seed: 2})
+	res, err := Fit(context.Background(), x, Options{Components: 1, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,11 +155,11 @@ func TestTransformPanicsOnShape(t *testing.T) {
 
 func TestDeterministicInSeed(t *testing.T) {
 	x := anisotropic(100)
-	a, err := Fit(x, Options{Components: 2, Seed: 11})
+	a, err := Fit(context.Background(), x, Options{Components: 2, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fit(x, Options{Components: 2, Seed: 11})
+	b, err := Fit(context.Background(), x, Options{Components: 2, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

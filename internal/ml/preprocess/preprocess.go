@@ -2,14 +2,30 @@
 // fitted in single streaming passes, so preprocessing a memory-mapped
 // dataset costs exactly one scan — the same currency every other M3
 // stage is priced in.
+//
+// The fitting scans run blocked on the shared chunked-execution layer
+// (internal/exec): each block accumulates its own moments (Welford) or
+// extrema, and per-block partials merge in ascending block order with
+// the parallel-moments combine of Chan et al. — so fitted scalers are
+// bit-identical for every worker count and every storage backend.
 package preprocess
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"m3/internal/exec"
+	"m3/internal/fit"
 	"m3/internal/mat"
 )
+
+// Options configures a fitting scan.
+type Options struct {
+	// FitOptions carries the shared training surface; only Workers is
+	// consulted (<= 0: engine hint, then NumCPU).
+	fit.FitOptions
+}
 
 // StandardScaler centers features to zero mean and unit variance.
 type StandardScaler struct {
@@ -19,32 +35,69 @@ type StandardScaler struct {
 	Std  []float64
 }
 
+// moments is one block's share of the per-feature running statistics
+// (Welford within the block, Chan-style combine across blocks).
+type moments struct {
+	count float64
+	mean  []float64
+	m2    []float64
+}
+
+// mergeMoments folds src into dst with the parallel-variance combine
+// (Chan, Golub & LeVeque): exact for counts, associative enough that
+// the fixed block-order reduction is deterministic.
+func mergeMoments(dst, src *moments) {
+	if src.count == 0 {
+		return
+	}
+	if dst.count == 0 {
+		dst.count = src.count
+		copy(dst.mean, src.mean)
+		copy(dst.m2, src.m2)
+		return
+	}
+	n := dst.count + src.count
+	for j := range dst.mean {
+		delta := src.mean[j] - dst.mean[j]
+		dst.mean[j] += delta * src.count / n
+		dst.m2[j] += src.m2[j] + delta*delta*dst.count*src.count/n
+	}
+	dst.count = n
+}
+
 // FitStandard computes per-feature mean and standard deviation in one
-// scan (Welford's algorithm, numerically stable for long streams).
-func FitStandard(x *mat.Dense) (*StandardScaler, error) {
+// blocked scan (per-block Welford, numerically stable for long
+// streams; block partials merge in ascending block order). ctx cancels
+// the scan within one data block.
+func FitStandard(ctx context.Context, x *mat.Dense, opts Options) (*StandardScaler, error) {
 	n, d := x.Dims()
 	if n < 2 {
 		return nil, fmt.Errorf("preprocess: need >= 2 rows, got %d", n)
 	}
-	mean := make([]float64, d)
-	m2 := make([]float64, d)
-	count := 0.0
-	x.ForEachRow(func(i int, row []float64) {
-		count++
-		for j, v := range row {
-			delta := v - mean[j]
-			mean[j] += delta / count
-			m2[j] += delta * (v - mean[j])
-		}
-	})
+	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, opts.Workers),
+		func() *moments {
+			return &moments{mean: make([]float64, d), m2: make([]float64, d)}
+		},
+		func(m *moments, i int, row []float64) {
+			m.count++
+			for j, v := range row {
+				delta := v - m.mean[j]
+				m.mean[j] += delta / m.count
+				m.m2[j] += delta * (v - m.mean[j])
+			}
+		},
+		mergeMoments)
+	if err != nil {
+		return nil, err
+	}
 	std := make([]float64, d)
 	for j := range std {
-		std[j] = math.Sqrt(m2[j] / count)
+		std[j] = math.Sqrt(acc.m2[j] / acc.count)
 		if std[j] < 1e-12 {
 			std[j] = 1 // constant feature: leave centered at zero
 		}
 	}
-	return &StandardScaler{Mean: mean, Std: std}, nil
+	return &StandardScaler{Mean: acc.mean, Std: std}, nil
 }
 
 // TransformRow standardizes one row in place.
@@ -81,36 +134,60 @@ type MinMaxScaler struct {
 	Range []float64
 }
 
-// FitMinMax computes per-feature minima and ranges in one scan.
-func FitMinMax(x *mat.Dense) (*MinMaxScaler, error) {
+// extrema is one block's per-feature minima and maxima.
+type extrema struct {
+	lo, hi []float64
+}
+
+// FitMinMax computes per-feature minima and ranges in one blocked scan
+// (per-block extrema merge elementwise in block order — min and max
+// are exactly associative, so the result equals the sequential scan
+// bit for bit). ctx cancels the scan within one data block.
+func FitMinMax(ctx context.Context, x *mat.Dense, opts Options) (*MinMaxScaler, error) {
 	n, d := x.Dims()
 	if n < 1 {
 		return nil, fmt.Errorf("preprocess: empty matrix")
 	}
-	lo := make([]float64, d)
-	hi := make([]float64, d)
-	for j := range lo {
-		lo[j] = math.Inf(1)
-		hi[j] = math.Inf(-1)
+	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, opts.Workers),
+		func() *extrema {
+			e := &extrema{lo: make([]float64, d), hi: make([]float64, d)}
+			for j := 0; j < d; j++ {
+				e.lo[j] = math.Inf(1)
+				e.hi[j] = math.Inf(-1)
+			}
+			return e
+		},
+		func(e *extrema, i int, row []float64) {
+			for j, v := range row {
+				if v < e.lo[j] {
+					e.lo[j] = v
+				}
+				if v > e.hi[j] {
+					e.hi[j] = v
+				}
+			}
+		},
+		func(dst, src *extrema) {
+			for j := range dst.lo {
+				if src.lo[j] < dst.lo[j] {
+					dst.lo[j] = src.lo[j]
+				}
+				if src.hi[j] > dst.hi[j] {
+					dst.hi[j] = src.hi[j]
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
-	x.ForEachRow(func(i int, row []float64) {
-		for j, v := range row {
-			if v < lo[j] {
-				lo[j] = v
-			}
-			if v > hi[j] {
-				hi[j] = v
-			}
-		}
-	})
 	rng := make([]float64, d)
 	for j := range rng {
-		rng[j] = hi[j] - lo[j]
+		rng[j] = acc.hi[j] - acc.lo[j]
 		if rng[j] < 1e-12 {
 			rng[j] = 1
 		}
 	}
-	return &MinMaxScaler{Min: lo, Range: rng}, nil
+	return &MinMaxScaler{Min: acc.lo, Range: rng}, nil
 }
 
 // TransformRow rescales one row in place.

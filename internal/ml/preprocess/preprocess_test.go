@@ -1,6 +1,8 @@
 package preprocess
 
 import (
+	"context"
+	"m3/internal/fit"
 	"math"
 	"testing"
 	"testing/quick"
@@ -23,7 +25,7 @@ func sampleMatrix() *mat.Dense {
 }
 
 func TestFitStandard(t *testing.T) {
-	s, err := FitStandard(sampleMatrix())
+	s, err := FitStandard(context.Background(), sampleMatrix(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func TestFitStandard(t *testing.T) {
 
 func TestStandardTransformInPlace(t *testing.T) {
 	x := sampleMatrix()
-	s, err := FitStandard(x)
+	s, err := FitStandard(context.Background(), x, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +72,10 @@ func TestStandardTransformInPlace(t *testing.T) {
 
 func TestStandardValidation(t *testing.T) {
 	one := mat.NewDense(1, 2)
-	if _, err := FitStandard(one); err == nil {
+	if _, err := FitStandard(context.Background(), one, Options{}); err == nil {
 		t.Error("accepted single row")
 	}
-	s, err := FitStandard(sampleMatrix())
+	s, err := FitStandard(context.Background(), sampleMatrix(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestStandardValidation(t *testing.T) {
 }
 
 func TestFitMinMax(t *testing.T) {
-	s, err := FitMinMax(sampleMatrix())
+	s, err := FitMinMax(context.Background(), sampleMatrix(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +157,7 @@ func TestPropertyStandardInvertible(t *testing.T) {
 				x.Set(i, j, next())
 			}
 		}
-		s, err := FitStandard(x)
+		s, err := FitStandard(context.Background(), x, Options{})
 		if err != nil {
 			return false
 		}
@@ -172,5 +174,62 @@ func TestPropertyStandardInvertible(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestFitScansDeterministicAcrossWorkers: the blocked moment and
+// extrema scans produce bit-identical scalers for every worker count
+// (the block partition and merge order never consult it).
+func TestFitScansDeterministicAcrossWorkers(t *testing.T) {
+	x := mat.NewDense(1500, 8)
+	r := uint64(99)
+	next := func() float64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return float64(r%100000)/1000 - 50
+	}
+	for i := 0; i < 1500; i++ {
+		for j := 0; j < 8; j++ {
+			x.Set(i, j, next())
+		}
+	}
+	refStd, err := FitStandard(context.Background(), x, Options{FitOptions: fit.FitOptions{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMM, err := FitMinMax(context.Background(), x, Options{FitOptions: fit.FitOptions{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		s, err := FitStandard(context.Background(), x, Options{FitOptions: fit.FitOptions{Workers: workers}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := FitMinMax(context.Background(), x, Options{FitOptions: fit.FitOptions{Workers: workers}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 8; j++ {
+			if s.Mean[j] != refStd.Mean[j] || s.Std[j] != refStd.Std[j] {
+				t.Fatalf("workers=%d: standard scaler differs at feature %d", workers, j)
+			}
+			if m.Min[j] != refMM.Min[j] || m.Range[j] != refMM.Range[j] {
+				t.Fatalf("workers=%d: min-max scaler differs at feature %d", workers, j)
+			}
+		}
+	}
+}
+
+// TestFitStandardCancellation: a pre-cancelled context aborts the scan.
+func TestFitStandardCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FitStandard(ctx, sampleMatrix(), Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := FitMinMax(ctx, sampleMatrix(), Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -15,16 +15,24 @@
 package sgd
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
+	"m3/internal/fit"
 	"m3/internal/mat"
 	"m3/internal/ml/logreg"
+	"m3/internal/optimize"
 )
 
 // Options configures SGD training.
 type Options struct {
+	// FitOptions carries the shared training surface. Workers is
+	// ignored — SGD's updates are inherently sequential — and Callback
+	// runs after each epoch with IterInfo{Iter: epoch, Value: mean
+	// loss}; returning false stops training.
+	fit.FitOptions
 	// LearningRate is the initial step size η₀ (default 0.5).
 	LearningRate float64
 	// Lambda is the L2 regularization strength (default 1e-4). It
@@ -39,9 +47,6 @@ type Options struct {
 	Shuffle bool
 	// Seed drives shuffling.
 	Seed uint64
-	// Callback runs after each epoch with the running mean loss;
-	// returning false stops training.
-	Callback func(epoch int, meanLoss float64) bool
 }
 
 func (o Options) withDefaults() Options {
@@ -164,9 +169,14 @@ func sigmoidLoss(z, y float64) (prob, loss float64) {
 }
 
 // Train runs epoch-based mini-batch SGD over a (possibly mapped)
-// matrix and returns the fitted model.
-func Train(x *mat.Dense, y []float64, opts Options) (*logreg.Model, error) {
+// matrix and returns the fitted model. ctx cancels training between
+// mini-batches (SGD has no long uninterruptible scans: every batch is
+// at most BatchSize rows).
+func Train(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*logreg.Model, error) {
 	o := opts.withDefaults()
+	if err := fit.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	n, d := x.Dims()
 	if n != len(y) {
 		return nil, fmt.Errorf("sgd: %d rows but %d labels", n, len(y))
@@ -186,6 +196,7 @@ func Train(x *mat.Dense, y []float64, opts Options) (*logreg.Model, error) {
 	for i := range order {
 		order[i] = i
 	}
+	callback := o.Hook("sgd")
 	rngState := o.Seed ^ 0x9e3779b97f4a7c15
 	if rngState == 0 {
 		rngState = 1
@@ -206,6 +217,9 @@ func Train(x *mat.Dense, y []float64, opts Options) (*logreg.Model, error) {
 		}
 		var epochLoss float64
 		for start := 0; start < n; start += o.BatchSize {
+			if err := fit.Canceled(ctx); err != nil {
+				return nil, err
+			}
 			end := start + o.BatchSize
 			if end > n {
 				end = n
@@ -240,7 +254,7 @@ func Train(x *mat.Dense, y []float64, opts Options) (*logreg.Model, error) {
 			learner.B -= step * biasGrad / m
 			learner.Steps++
 		}
-		if o.Callback != nil && !o.Callback(epoch, epochLoss/float64(n)) {
+		if callback != nil && !callback(optimize.IterInfo{Iter: epoch, Value: epochLoss / float64(n)}) {
 			break
 		}
 	}

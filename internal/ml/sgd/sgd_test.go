@@ -1,6 +1,9 @@
 package sgd
 
 import (
+	"context"
+	"m3/internal/fit"
+	"m3/internal/optimize"
 	"math"
 	"testing"
 
@@ -34,7 +37,7 @@ func blobs(n int) (*mat.Dense, []float64) {
 
 func TestTrainLearnsBlobs(t *testing.T) {
 	x, y := blobs(400)
-	m, err := Train(x, y, Options{Epochs: 5, LearningRate: 0.5, Lambda: 1e-4})
+	m, err := Train(context.Background(), x, y, Options{Epochs: 5, LearningRate: 0.5, Lambda: 1e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +48,7 @@ func TestTrainLearnsBlobs(t *testing.T) {
 
 func TestTrainMiniBatch(t *testing.T) {
 	x, y := blobs(300)
-	m, err := Train(x, y, Options{Epochs: 10, BatchSize: 16, LearningRate: 1})
+	m, err := Train(context.Background(), x, y, Options{Epochs: 10, BatchSize: 16, LearningRate: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +59,11 @@ func TestTrainMiniBatch(t *testing.T) {
 
 func TestTrainShuffleDeterministicInSeed(t *testing.T) {
 	x, y := blobs(100)
-	a, err := Train(x, y, Options{Epochs: 2, Shuffle: true, Seed: 9})
+	a, err := Train(context.Background(), x, y, Options{Epochs: 2, Shuffle: true, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Train(x, y, Options{Epochs: 2, Shuffle: true, Seed: 9})
+	b, err := Train(context.Background(), x, y, Options{Epochs: 2, Shuffle: true, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +72,7 @@ func TestTrainShuffleDeterministicInSeed(t *testing.T) {
 			t.Fatalf("same seed diverged at weight %d", i)
 		}
 	}
-	c, err := Train(x, y, Options{Epochs: 2, Shuffle: true, Seed: 10})
+	c, err := Train(context.Background(), x, y, Options{Epochs: 2, Shuffle: true, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,12 +87,12 @@ func TestTrainShuffleDeterministicInSeed(t *testing.T) {
 
 func TestTrainValidation(t *testing.T) {
 	x, _ := blobs(10)
-	if _, err := Train(x, []float64{0, 1}, Options{}); err == nil {
+	if _, err := Train(context.Background(), x, []float64{0, 1}, Options{}); err == nil {
 		t.Error("accepted label mismatch")
 	}
 	bad := make([]float64, 10)
 	bad[3] = 5
-	if _, err := Train(x, bad, Options{}); err == nil {
+	if _, err := Train(context.Background(), x, bad, Options{}); err == nil {
 		t.Error("accepted label 5")
 	}
 }
@@ -97,9 +100,11 @@ func TestTrainValidation(t *testing.T) {
 func TestTrainCallbackStops(t *testing.T) {
 	x, y := blobs(50)
 	calls := 0
-	_, err := Train(x, y, Options{Epochs: 10, Callback: func(epoch int, _ float64) bool {
-		calls++
-		return false
+	_, err := Train(context.Background(), x, y, Options{Epochs: 10, FitOptions: fit.FitOptions{
+		Callback: func(info optimize.IterInfo) bool {
+			calls++
+			return false
+		},
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -112,9 +117,11 @@ func TestTrainCallbackStops(t *testing.T) {
 func TestTrainLossDecreasesOverEpochs(t *testing.T) {
 	x, y := blobs(200)
 	var losses []float64
-	_, err := Train(x, y, Options{Epochs: 6, LearningRate: 0.3, Callback: func(_ int, meanLoss float64) bool {
-		losses = append(losses, meanLoss)
-		return true
+	_, err := Train(context.Background(), x, y, Options{Epochs: 6, LearningRate: 0.3, FitOptions: fit.FitOptions{
+		Callback: func(info optimize.IterInfo) bool {
+			losses = append(losses, info.Value)
+			return true
+		},
 	}})
 	if err != nil {
 		t.Fatal(err)

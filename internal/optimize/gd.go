@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -37,12 +38,17 @@ func (p GDParams) withDefaults() GDParams {
 }
 
 // GradientDescent minimizes obj with steepest descent and Armijo
-// backtracking.
-func GradientDescent(obj Objective, x0 []float64, params GDParams) (Result, error) {
+// backtracking. ctx is checked at the top of every iteration (and may
+// be nil); once cancelled, the last completed iterate is returned with
+// Status Canceled and error ctx.Err().
+func GradientDescent(ctx context.Context, obj Objective, x0 []float64, params GDParams) (Result, error) {
 	p := params.withDefaults()
 	n := obj.Dim()
 	if len(x0) != n {
 		return Result{}, fmt.Errorf("optimize: x0 has %d elements, objective wants %d", len(x0), n)
+	}
+	if err := ctxDone(ctx); err != nil {
+		return Result{X: append([]float64(nil), x0...), Status: Canceled}, err
 	}
 	x := append([]float64(nil), x0...)
 	grad := make([]float64, n)
@@ -52,6 +58,10 @@ func GradientDescent(obj Objective, x0 []float64, params GDParams) (Result, erro
 	evals := 1
 
 	for iter := 1; iter <= p.MaxIterations; iter++ {
+		if err := ctxDone(ctx); err != nil {
+			return Result{X: x, Value: value, GradNorm: blas.Nrm2(grad),
+				Iterations: iter - 1, Evaluations: evals, Status: Canceled}, err
+		}
 		gnorm := blas.Nrm2(grad)
 		if gnorm < p.GradTol {
 			return Result{X: x, Value: value, GradNorm: gnorm,
@@ -73,6 +83,10 @@ func GradientDescent(obj Objective, x0 []float64, params GDParams) (Result, erro
 				break
 			}
 			step /= 2
+		}
+		if err := ctxDone(ctx); err != nil {
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter - 1, Evaluations: evals, Status: Canceled}, err
 		}
 		if !accepted {
 			return Result{X: x, Value: value, GradNorm: gnorm,

@@ -1,11 +1,20 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3/internal/blas"
 )
+
+// ctxDone reports a cancelled context (nil means non-cancellable).
+func ctxDone(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // LBFGSParams configures the L-BFGS optimizer. The zero value selects
 // the defaults used by the paper's experiments (history 10, 10
@@ -45,11 +54,21 @@ func (p LBFGSParams) withDefaults() LBFGSParams {
 // LBFGS minimizes obj starting from x0 using the limited-memory BFGS
 // two-loop recursion with a strong-Wolfe line search. x0 is not
 // modified.
-func LBFGS(obj Objective, x0 []float64, params LBFGSParams) (Result, error) {
+//
+// ctx is checked before every objective evaluation and at the top of
+// every iteration; once cancelled, LBFGS returns the last completed
+// iterate with Status Canceled and error ctx.Err(). Objectives that
+// scan through internal/exec additionally abort their own scans at
+// block granularity, so cancellation takes effect within one data
+// block, not one full pass. A nil ctx never cancels.
+func LBFGS(ctx context.Context, obj Objective, x0 []float64, params LBFGSParams) (Result, error) {
 	p := params.withDefaults()
 	n := obj.Dim()
 	if len(x0) != n {
 		return Result{}, fmt.Errorf("optimize: x0 has %d elements, objective wants %d", len(x0), n)
+	}
+	if err := ctxDone(ctx); err != nil {
+		return Result{X: append([]float64(nil), x0...), Status: Canceled}, err
 	}
 
 	x := append([]float64(nil), x0...)
@@ -58,6 +77,9 @@ func LBFGS(obj Objective, x0 []float64, params LBFGSParams) (Result, error) {
 	evals := 1
 	gnorm := blas.Nrm2(grad)
 
+	if err := ctxDone(ctx); err != nil {
+		return Result{X: x, Evaluations: evals, Status: Canceled}, err
+	}
 	if math.IsNaN(value) || math.IsInf(value, 0) {
 		return Result{}, fmt.Errorf("optimize: objective is %v at x0", value)
 	}
@@ -85,6 +107,10 @@ func LBFGS(obj Objective, x0 []float64, params LBFGSParams) (Result, error) {
 	wolfe := defaultWolfe()
 
 	for iter := 1; iter <= p.MaxIterations; iter++ {
+		if err := ctxDone(ctx); err != nil {
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter - 1, Evaluations: evals, Status: Canceled}, err
+		}
 		// Two-loop recursion: dir = -H·grad.
 		copy(dir, grad)
 		for k := 0; k < stored; k++ {
@@ -131,6 +157,13 @@ func LBFGS(obj Objective, x0 []float64, params LBFGSParams) (Result, error) {
 		step, newValue, ok := wolfeSearch(lf, value, dphi0, alpha0, wolfe)
 		evals += lf.evals
 		lf.evals = 0
+		if err := ctxDone(ctx); err != nil {
+			// A cancelled context makes objective scans return early
+			// with garbage partials; discard whatever the line search
+			// produced and report the last completed iterate.
+			return Result{X: x, Value: value, GradNorm: gnorm,
+				Iterations: iter - 1, Evaluations: evals, Status: Canceled}, err
+		}
 		if !ok {
 			return Result{X: x, Value: value, GradNorm: gnorm,
 				Iterations: iter - 1, Evaluations: evals, Status: LineSearchFailed}, nil

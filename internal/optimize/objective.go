@@ -46,6 +46,9 @@ const (
 	LineSearchFailed
 	// CallbackStopped: the iteration callback requested a stop.
 	CallbackStopped
+	// Canceled: the context was cancelled; the accompanying error is
+	// ctx.Err() and the Result holds the last completed iterate.
+	Canceled
 )
 
 func (s Status) String() string {
@@ -60,6 +63,8 @@ func (s Status) String() string {
 		return "line search failed"
 	case CallbackStopped:
 		return "stopped by callback"
+	case Canceled:
+		return "context cancelled"
 	}
 	return fmt.Sprintf("status(%d)", int(s))
 }

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -38,7 +39,7 @@ func rosenbrock(n int) Objective {
 
 func TestLBFGSQuadratic(t *testing.T) {
 	obj := quadratic([]float64{1, 10, 100}, []float64{1, -2, 3})
-	res, err := LBFGS(obj, []float64{0, 0, 0}, LBFGSParams{})
+	res, err := LBFGS(context.Background(), obj, []float64{0, 0, 0}, LBFGSParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestLBFGSRosenbrock(t *testing.T) {
 		for i := range x0 {
 			x0[i] = -1.2
 		}
-		res, err := LBFGS(obj, x0, LBFGSParams{MaxIterations: 500, GradTol: 1e-8})
+		res, err := LBFGS(context.Background(), obj, x0, LBFGSParams{MaxIterations: 500, GradTol: 1e-8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestLBFGSRosenbrock(t *testing.T) {
 
 func TestLBFGSAlreadyConverged(t *testing.T) {
 	obj := quadratic([]float64{1}, []float64{5})
-	res, err := LBFGS(obj, []float64{5}, LBFGSParams{})
+	res, err := LBFGS(context.Background(), obj, []float64{5}, LBFGSParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestLBFGSAlreadyConverged(t *testing.T) {
 
 func TestLBFGSDimMismatch(t *testing.T) {
 	obj := quadratic([]float64{1, 1}, []float64{0, 0})
-	if _, err := LBFGS(obj, []float64{0}, LBFGSParams{}); err == nil {
+	if _, err := LBFGS(context.Background(), obj, []float64{0}, LBFGSParams{}); err == nil {
 		t.Error("expected dimension error")
 	}
 }
@@ -102,7 +103,7 @@ func TestLBFGSRejectsNaNStart(t *testing.T) {
 		grad[0] = 1
 		return math.NaN()
 	}}
-	if _, err := LBFGS(obj, []float64{0}, LBFGSParams{}); err == nil {
+	if _, err := LBFGS(context.Background(), obj, []float64{0}, LBFGSParams{}); err == nil {
 		t.Error("expected error for NaN objective")
 	}
 }
@@ -110,7 +111,7 @@ func TestLBFGSRejectsNaNStart(t *testing.T) {
 func TestLBFGSMaxIterations(t *testing.T) {
 	obj := rosenbrock(10)
 	x0 := make([]float64, 10)
-	res, err := LBFGS(obj, x0, LBFGSParams{MaxIterations: 3})
+	res, err := LBFGS(context.Background(), obj, x0, LBFGSParams{MaxIterations: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestLBFGSMaxIterations(t *testing.T) {
 func TestLBFGSCallbackStops(t *testing.T) {
 	obj := rosenbrock(4)
 	calls := 0
-	res, err := LBFGS(obj, make([]float64, 4), LBFGSParams{
+	res, err := LBFGS(context.Background(), obj, make([]float64, 4), LBFGSParams{
 		Callback: func(info IterInfo) bool {
 			calls++
 			if info.Iter != calls {
@@ -143,7 +144,7 @@ func TestLBFGSMonotoneDecrease(t *testing.T) {
 	obj := rosenbrock(8)
 	x0 := make([]float64, 8)
 	prev := math.Inf(1)
-	_, err := LBFGS(obj, x0, LBFGSParams{
+	_, err := LBFGS(context.Background(), obj, x0, LBFGSParams{
 		MaxIterations: 50,
 		Callback: func(info IterInfo) bool {
 			if info.Value > prev+1e-12 {
@@ -161,7 +162,7 @@ func TestLBFGSMonotoneDecrease(t *testing.T) {
 func TestLBFGSDoesNotModifyX0(t *testing.T) {
 	obj := quadratic([]float64{1, 1}, []float64{3, 4})
 	x0 := []float64{0, 0}
-	if _, err := LBFGS(obj, x0, LBFGSParams{}); err != nil {
+	if _, err := LBFGS(context.Background(), obj, x0, LBFGSParams{}); err != nil {
 		t.Fatal(err)
 	}
 	if x0[0] != 0 || x0[1] != 0 {
@@ -177,11 +178,11 @@ func TestLBFGSBeatsGDOnIllConditioned(t *testing.T) {
 	target := []float64{2, -1}
 	budgetTol := 1e-8
 
-	lb, err := LBFGS(quadratic(c, target), []float64{0, 0}, LBFGSParams{GradTol: budgetTol, MaxIterations: 200})
+	lb, err := LBFGS(context.Background(), quadratic(c, target), []float64{0, 0}, LBFGSParams{GradTol: budgetTol, MaxIterations: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gd, err := GradientDescent(quadratic(c, target), []float64{0, 0}, GDParams{GradTol: budgetTol, MaxIterations: 100000})
+	gd, err := GradientDescent(context.Background(), quadratic(c, target), []float64{0, 0}, GDParams{GradTol: budgetTol, MaxIterations: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestLBFGSBeatsGDOnIllConditioned(t *testing.T) {
 
 func TestGradientDescentQuadratic(t *testing.T) {
 	obj := quadratic([]float64{2, 3}, []float64{-1, 4})
-	res, err := GradientDescent(obj, []float64{0, 0}, GDParams{MaxIterations: 10000, GradTol: 1e-8})
+	res, err := GradientDescent(context.Background(), obj, []float64{0, 0}, GDParams{MaxIterations: 10000, GradTol: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,14 +210,14 @@ func TestGradientDescentQuadratic(t *testing.T) {
 
 func TestGradientDescentDimMismatch(t *testing.T) {
 	obj := quadratic([]float64{1}, []float64{0})
-	if _, err := GradientDescent(obj, []float64{0, 0}, GDParams{}); err == nil {
+	if _, err := GradientDescent(context.Background(), obj, []float64{0, 0}, GDParams{}); err == nil {
 		t.Error("expected dimension error")
 	}
 }
 
 func TestGradientDescentCallback(t *testing.T) {
 	obj := quadratic([]float64{1}, []float64{10})
-	res, err := GradientDescent(obj, []float64{0}, GDParams{
+	res, err := GradientDescent(context.Background(), obj, []float64{0}, GDParams{
 		Callback: func(info IterInfo) bool { return false },
 	})
 	if err != nil {
@@ -270,5 +271,64 @@ func TestWolfeSearchRejectsAscent(t *testing.T) {
 		xt: make([]float64, 1), gt: make([]float64, 1)}
 	if _, _, ok := wolfeSearch(lf, 1, +2, 1, defaultWolfe()); ok {
 		t.Error("accepted ascent direction")
+	}
+}
+
+// TestLBFGSCancellation: cancelling mid-run returns the last completed
+// iterate with Status Canceled and error ctx.Err().
+func TestLBFGSCancellation(t *testing.T) {
+	obj := rosenbrock(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := LBFGS(ctx, obj, []float64{5, 5, 5, 5}, LBFGSParams{
+		MaxIterations: 100,
+		Callback: func(info IterInfo) bool {
+			if info.Iter == 2 {
+				cancel()
+			}
+			return true
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Status != Canceled {
+		t.Errorf("status = %v, want Canceled", res.Status)
+	}
+	if res.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2 (cancelled after iteration 2)", res.Iterations)
+	}
+
+	// Pre-cancelled: no evaluation happens at all.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	evals := 0
+	_, err = LBFGS(ctx2, FuncObjective{N: 1, F: func(x, g []float64) float64 {
+		evals++
+		return 0
+	}}, []float64{1}, LBFGSParams{})
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+	if evals != 0 {
+		t.Errorf("%d evaluations under a pre-cancelled context", evals)
+	}
+}
+
+// TestGradientDescentCancellation mirrors the LBFGS contract.
+func TestGradientDescentCancellation(t *testing.T) {
+	obj := quadratic([]float64{1, 3}, []float64{2, -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := GradientDescent(ctx, obj, []float64{3, -2}, GDParams{
+		MaxIterations: 100,
+		Callback: func(info IterInfo) bool {
+			cancel()
+			return true
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Status != Canceled {
+		t.Errorf("status = %v, want Canceled", res.Status)
 	}
 }

@@ -1,6 +1,7 @@
 package sparkml
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -163,7 +164,7 @@ func TestDistributedTrainingConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := optimize.LBFGS(job, make([]float64, job.Dim()), optimize.LBFGSParams{MaxIterations: 20})
+	res, err := optimize.LBFGS(context.Background(), job, make([]float64, job.Dim()), optimize.LBFGSParams{MaxIterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestKMeansMatchesLocalLloyd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := kmeans.Run(x, kmeans.Options{K: 2, MaxIterations: iters, InitCentroids: init})
+	local, err := kmeans.Run(context.Background(), x, kmeans.Options{K: 2, MaxIterations: iters, InitCentroids: init})
 	if err != nil {
 		t.Fatal(err)
 	}

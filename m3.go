@@ -7,25 +7,43 @@
 // matrix keeps working when the matrix becomes a view over a
 // memory-mapped file, because the OS pages data in and out of RAM on
 // the program's behalf. Switching a workload out-of-core is a
-// one-line change of how the matrix is constructed:
+// one-line change of how the engine is configured:
 //
-//	// Original: heap allocation, bounded by RAM.
-//	data := m3.NewMatrix(rows, cols)
-//
-//	// M3: file-backed mapping, bounded by disk.
-//	eng := m3.New(m3.Config{})
+//	eng := m3.New(m3.Config{Mode: m3.MemoryMapped}) // ← the change
 //	defer eng.Close()
-//	data, err := eng.Alloc(rows, cols)
+//	tbl, err := eng.Open("digits.m3")
 //
-// Training APIs accept either form transparently:
+// # The estimator surface
 //
-//	model, err := m3.TrainLogistic(data, labels, m3.LogisticOptions{})
+// Training goes through one algorithm-agnostic entry point,
+// Engine.Fit, which accepts any Estimator — logistic regression,
+// k-means, PCA, ... — and returns a fitted Model (Predict,
+// PredictMatrix, Save):
+//
+//	est := m3.LogisticRegression{Binarize: true, Positive: 0}
+//	model, err := eng.Fit(ctx, est, tbl)
+//
+// Fits are cancellable: ctx takes effect within one data block of a
+// scan or one optimizer iteration, so even minutes-long out-of-core
+// passes stop promptly. The engine threads its Workers pool, store
+// accounting and prefetch settings into every trainer; per-fit
+// overrides live in the FitOptions each algorithm's options embed.
+// Results are bit-identical for every worker count and every storage
+// backend. For heap matrices that never touch an engine there is the
+// standalone form:
+//
+//	model, err := m3.Fit(ctx, est, x, labels)
+//
+// The v1 free functions (TrainLogistic, KMeans, ...) remain as thin
+// deprecated wrappers over the same trainers.
 //
 // See the examples/ directory for runnable end-to-end programs and
 // cmd/m3bench for the harness that regenerates the paper's figures.
 package m3
 
 import (
+	"context"
+
 	"m3/internal/core"
 	"m3/internal/dataset"
 	"m3/internal/infimnist"
@@ -58,8 +76,8 @@ func WrapMatrix(data []float64, rows, cols int) *Matrix {
 }
 
 // Engine manages M3 datasets: it opens files with transparent
-// backend selection (heap below the memory budget, mmap above) and
-// releases every resource on Close.
+// backend selection (heap below the memory budget, mmap above),
+// trains any Estimator via Fit, and releases every resource on Close.
 type Engine = core.Engine
 
 // Config parameterizes an Engine.
@@ -135,7 +153,7 @@ func GenerateInfimnist(path string, n int64, seed uint64) error {
 // InfimnistFeatures is the per-image feature count (28×28 = 784).
 const InfimnistFeatures = infimnist.Features
 
-// --- Training --------------------------------------------------------
+// --- v1 training surface (deprecated thin wrappers) ------------------
 
 // LogisticOptions configures binary logistic regression training.
 type LogisticOptions = logreg.Options
@@ -145,8 +163,11 @@ type LogisticModel = logreg.Model
 
 // TrainLogistic fits binary logistic regression with L-BFGS; labels
 // must be 0 or 1. The matrix may be heap- or mmap-backed.
+//
+// Deprecated: use Engine.Fit (or Fit) with LogisticRegression, which
+// adds cancellation and engine-threaded parallelism.
 func TrainLogistic(x *Matrix, y []float64, opts LogisticOptions) (*LogisticModel, error) {
-	return logreg.Train(x, y, opts)
+	return logreg.Train(context.Background(), x, y, opts)
 }
 
 // SoftmaxModel is a trained multiclass classifier.
@@ -154,8 +175,10 @@ type SoftmaxModel = logreg.SoftmaxModel
 
 // TrainSoftmax fits K-class softmax regression with L-BFGS; labels
 // must be in [0, classes).
+//
+// Deprecated: use Engine.Fit (or Fit) with SoftmaxRegression.
 func TrainSoftmax(x *Matrix, y []int, classes int, opts LogisticOptions) (*SoftmaxModel, error) {
-	return logreg.TrainSoftmax(x, y, classes, opts)
+	return logreg.TrainSoftmax(context.Background(), x, y, classes, opts)
 }
 
 // KMeansOptions configures clustering.
@@ -166,8 +189,10 @@ type KMeansResult = kmeans.Result
 
 // KMeans clusters the rows of x with Lloyd's algorithm (k-means++
 // initialization by default).
+//
+// Deprecated: use Engine.Fit (or Fit) with KMeansClustering.
 func KMeans(x *Matrix, opts KMeansOptions) (*KMeansResult, error) {
-	return kmeans.Run(x, opts)
+	return kmeans.Run(context.Background(), x, opts)
 }
 
 // MiniBatchKMeansOptions configures the mini-batch variant.
@@ -176,30 +201,48 @@ type MiniBatchKMeansOptions = kmeans.MiniBatchOptions
 // MiniBatchKMeans clusters with Sculley-style mini-batch updates —
 // each step touches only a batch of rows, the I/O-frugal choice for
 // out-of-core data.
+//
+// Deprecated: use Engine.Fit (or Fit) with MiniBatchClustering.
 func MiniBatchKMeans(x *Matrix, opts MiniBatchKMeansOptions) (*KMeansResult, error) {
-	return kmeans.MiniBatch(x, opts)
+	return kmeans.MiniBatch(context.Background(), x, opts)
 }
 
 // Neighbor is one k-nearest-neighbor search result.
 type Neighbor = knn.Neighbor
 
-// NearestNeighbors answers a batch of queries with one sequential
-// scan of the (possibly mapped) reference matrix.
+// NearestNeighbors answers a batch of queries with one blocked
+// parallel scan of the (possibly mapped) reference matrix.
+//
+// Deprecated: use Engine.Fit (or Fit) with KNNClassifier, or
+// SearchNeighbors for the raw neighbor lists with context and
+// worker control.
 func NearestNeighbors(refs, queries *Matrix, k int) ([][]Neighbor, error) {
-	return knn.Search(refs, queries, k)
+	return knn.Search(context.Background(), refs, queries, k, knn.Options{})
+}
+
+// SearchNeighbors answers a batch of queries with one blocked parallel
+// scan of the reference matrix; ctx cancels within one block.
+func SearchNeighbors(ctx context.Context, refs, queries *Matrix, k int, opts KNNOptions) ([][]Neighbor, error) {
+	return knn.Search(ctx, refs, queries, k, opts)
 }
 
 // KNNClassify predicts labels by majority vote among the k nearest
 // labelled reference rows.
+//
+// Deprecated: use Engine.Fit (or Fit) with KNNClassifier.
 func KNNClassify(refs *Matrix, labels []int, queries *Matrix, k int) ([]int, error) {
-	return knn.Classify(refs, labels, queries, k)
+	return knn.Classify(context.Background(), refs, labels, queries, k, knn.Options{})
 }
 
-// TrainLogisticParallel fits binary logistic regression with the
-// row-sharded parallel objective (workers <= 0 selects GOMAXPROCS).
-// Use with heap or real-mmap matrices.
+// TrainLogisticParallel fits binary logistic regression on a
+// worker-pool of the given size.
+//
+// Deprecated: TrainLogistic (and LogisticRegression) are
+// block-parallel themselves; set FitOptions.Workers — or configure
+// Config.Workers on the engine — instead of passing a pool size here.
 func TrainLogisticParallel(x *Matrix, y []float64, opts LogisticOptions, workers int) (*LogisticModel, error) {
-	return logreg.TrainParallel(x, y, opts, workers)
+	opts.FitOptions.Workers = workers
+	return logreg.Train(context.Background(), x, y, opts)
 }
 
 // LinearOptions configures linear (ridge) regression.
@@ -209,14 +252,18 @@ type LinearOptions = linreg.Options
 type LinearModel = linreg.Model
 
 // TrainLinear fits ridge linear regression with streaming L-BFGS.
+//
+// Deprecated: use Engine.Fit (or Fit) with LinearRegression.
 func TrainLinear(x *Matrix, y []float64, opts LinearOptions) (*LinearModel, error) {
-	return linreg.Train(x, y, opts)
+	return linreg.Train(context.Background(), x, y, opts)
 }
 
 // TrainLinearExact solves the ridge normal equations directly (one
 // data scan + O(d³) solve); suitable when the feature count is small.
+//
+// Deprecated: use Engine.Fit (or Fit) with LinearRegression{Exact: true}.
 func TrainLinearExact(x *Matrix, y []float64, opts LinearOptions) (*LinearModel, error) {
-	return linreg.TrainExact(x, y, opts)
+	return linreg.TrainExact(context.Background(), x, y, opts)
 }
 
 // SGDOptions configures stochastic gradient descent training.
@@ -224,8 +271,10 @@ type SGDOptions = sgd.Options
 
 // TrainSGD fits binary logistic regression with (mini-batch) SGD —
 // the online-learning path of the paper's §4.
+//
+// Deprecated: use Engine.Fit (or Fit) with SGDClassifier.
 func TrainSGD(x *Matrix, y []float64, opts SGDOptions) (*LogisticModel, error) {
-	return sgd.Train(x, y, opts)
+	return sgd.Train(context.Background(), x, y, opts)
 }
 
 // OnlineLearner is a streaming logistic-regression learner: one
@@ -242,8 +291,10 @@ type BayesModel = bayes.Model
 
 // TrainBayes fits Gaussian naive Bayes in a single data scan; labels
 // must be integers in [0, classes).
+//
+// Deprecated: use Engine.Fit (or Fit) with NaiveBayes.
 func TrainBayes(x *Matrix, y []int, classes int) (*BayesModel, error) {
-	return bayes.Train(x, y, classes, bayes.Options{})
+	return bayes.Train(context.Background(), x, y, classes, bayes.Options{})
 }
 
 // PCAOptions configures principal component analysis.
@@ -254,12 +305,15 @@ type PCAResult = pca.Result
 
 // PCA extracts the leading principal components in two data scans
 // (mean + covariance) regardless of the component count.
+//
+// Deprecated: use Engine.Fit (or Fit) with PrincipalComponents.
 func PCA(x *Matrix, opts PCAOptions) (*PCAResult, error) {
-	return pca.Fit(x, opts)
+	return pca.Fit(context.Background(), x, opts)
 }
 
 // SaveModel persists a trained model (logistic, softmax, linear,
-// k-means or naive Bayes) to path in a self-describing format.
+// k-means, naive Bayes or PCA) to path in a self-describing format.
+// Fitted models from Engine.Fit also expose this as Model.Save.
 func SaveModel(path string, model any) error {
 	return modelio.SaveFile(path, model)
 }
@@ -273,5 +327,5 @@ func LoadModel(path string) (any, ModelKind, error) {
 // ModelKind tags a persisted model type.
 type ModelKind = modelio.Kind
 
-// IterInfo is passed to optimizer callbacks.
+// IterInfo is passed to optimizer and FitOptions callbacks.
 type IterInfo = optimize.IterInfo
