@@ -116,3 +116,16 @@ func TestCLIBenchSingleExperiment(t *testing.T) {
 		t.Errorf("m3bench iobound output: %s", out)
 	}
 }
+
+func TestCLIBenchMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// -experiment is the documented alias of -exp.
+	out := runCLI(t, "m3bench", "-experiment", "multicore", "-rows", "64", "-passes", "2")
+	for _, want := range []string{"workers", "speedup", "out-of-core", "in-RAM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("m3bench multicore output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,7 +10,10 @@
 //	m3bench -exp energy    # §4 energy usage: desktop vs clusters
 //	m3bench -exp locality  # §4 recorded traces + miss-ratio curves
 //	m3bench -exp parallel  # real hardware: blocked scan, workers 1..N
+//	m3bench -exp multicore # simulated: parallel faulting, workers × size
 //	m3bench -exp all       # everything
+//
+// -experiment is accepted as an alias of -exp.
 //
 // With -json out.json, every experiment additionally appends
 // machine-readable records (algorithm, mode, workers, wall/simulated
@@ -83,10 +86,12 @@ func (r *recorder) write(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, all")
+	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, multicore, all")
+	flag.StringVar(exp, "experiment", *exp, "alias of -exp")
 	rows := flag.Int("rows", 512, "actual (scaled-down) row count the math runs on")
 	seed := flag.Uint64("seed", 3, "workload seed")
 	size := flag.Float64("size", 190e9, "nominal dataset bytes for single-size experiments")
+	passes := flag.Int("passes", 10, "steady-state passes per multicore point")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
@@ -98,17 +103,18 @@ func main() {
 	}
 
 	runners := map[string]func() error{
-		"fig1a":    func() error { return runFig1a(machine, w, rec) },
-		"fig1b":    func() error { return runFig1b(machine, w, rec) },
-		"iobound":  func() error { return runIOBound(machine, w, rec) },
-		"access":   func() error { return runAccess(machine, w, rec) },
-		"predict":  func() error { return runPredict(machine, w, rec) },
-		"disks":    func() error { return runDisks(w, rec) },
-		"energy":   func() error { return runEnergy(machine, w, rec) },
-		"locality": func() error { return runLocality(w, rec) },
-		"parallel": func() error { return runParallel(rec) },
+		"fig1a":     func() error { return runFig1a(machine, w, rec) },
+		"fig1b":     func() error { return runFig1b(machine, w, rec) },
+		"iobound":   func() error { return runIOBound(machine, w, rec) },
+		"access":    func() error { return runAccess(machine, w, rec) },
+		"predict":   func() error { return runPredict(machine, w, rec) },
+		"disks":     func() error { return runDisks(w, rec) },
+		"energy":    func() error { return runEnergy(machine, w, rec) },
+		"locality":  func() error { return runLocality(w, rec) },
+		"parallel":  func() error { return runParallel(rec) },
+		"multicore": func() error { return runMultiCore(machine, w, *passes, rec) },
 	}
-	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel"}
+	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel", "multicore"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -281,6 +287,31 @@ func runDisks(w bench.Workload, rec *recorder) error {
 		})
 	}
 	return bench.RenderReports(os.Stdout, reports)
+}
+
+// runMultiCore sweeps parallel faulting on the simulated paged store:
+// workers × nominal size, per-worker read-ahead streams, elapsed =
+// max(slowest worker CPU, disk busy). The out-of-core rows show the
+// paper's regime — disk pinned at 100%, speedup flat — while the
+// in-RAM rows scale with the core count.
+func runMultiCore(machine bench.Machine, w bench.Workload, passes int, rec *recorder) error {
+	header("Multi-core — parallel faulting on the simulated paged store (per-worker streams)")
+	points, err := bench.MultiCore(bench.MultiCoreConfig{
+		Machine:  machine,
+		Workload: w,
+		Passes:   passes,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec.add(Record{
+			Experiment: "multicore", Algorithm: "scan", Mode: "simulated",
+			Workers: p.Workers, SizeBytes: p.SizeBytes, SimSeconds: p.Seconds,
+			Passes: passes,
+		})
+	}
+	return bench.RenderMultiCore(os.Stdout, points, machine.RAMBytes)
 }
 
 // workerSweep returns {1, 2, 4, NumCPU} deduplicated and sorted, so

@@ -351,6 +351,71 @@ func TestRenderers(t *testing.T) {
 	}
 }
 
+// TestMultiCoreRegimes: with per-worker streams and per-worker CPU
+// tracks, the in-RAM regime scales with the core count while the
+// out-of-core regime stays pinned to the disk — the paper's 13%-CPU
+// observation made sweepable.
+func TestMultiCoreRegimes(t *testing.T) {
+	points, err := MultiCore(MultiCoreConfig{
+		Workload:     Workload{ActualRows: 64, Seed: 3, NominalBytes: 1},
+		WorkerCounts: []int{1, 4},
+		SizesBytes:   []int64{8e9, 190e9},
+		Passes:       4,
+		BlockBytes:   16 << 10, // 2 rows/block: fine-grained static schedule
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d want 4", len(points))
+	}
+	get := func(size int64, workers int) MultiCorePoint {
+		for _, p := range points {
+			if p.SizeBytes == size && p.Workers == workers {
+				return p
+			}
+		}
+		t.Fatalf("missing point %d/%d", size, workers)
+		return MultiCorePoint{}
+	}
+
+	// In-RAM steady state: no faults after warm-up, so elapsed is the
+	// slowest CPU track and four cores cut it ~4x deterministically.
+	inRAM := get(8e9, 4)
+	if inRAM.Speedup < 2.5 {
+		t.Errorf("in-RAM speedup at 4 workers = %.2fx, want > 2.5x", inRAM.Speedup)
+	}
+	if inRAM.DiskUtil != 0 {
+		t.Errorf("in-RAM steady-state disk util = %v, want 0 (no re-faults)", inRAM.DiskUtil)
+	}
+
+	// Out-of-core: every pass re-faults the dataset; the disk is the
+	// bottleneck, so extra cores buy ~nothing and the CPUs idle.
+	ooc1, ooc4 := get(190e9, 1), get(190e9, 4)
+	if ooc4.Speedup < 0.5 || ooc4.Speedup > 1.5 {
+		t.Errorf("out-of-core speedup at 4 workers = %.2fx, want ~1x (disk bound)", ooc4.Speedup)
+	}
+	if ooc4.DiskUtil < 0.9 {
+		t.Errorf("out-of-core disk util = %.2f, want > 0.9", ooc4.DiskUtil)
+	}
+	if ooc4.CPUUtil > 0.1 {
+		t.Errorf("out-of-core CPU util at 4 workers = %.2f, want < 0.1 (the paper's idle-CPU regime)", ooc4.CPUUtil)
+	}
+	if ooc1.CPUUtil < 0.05 || ooc1.CPUUtil > 0.3 {
+		t.Errorf("out-of-core CPU util at 1 worker = %.2f, paper observed ≈0.13", ooc1.CPUUtil)
+	}
+
+	var sb strings.Builder
+	if err := RenderMultiCore(&sb, points, PaperPC().RAMBytes); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"workers", "speedup", "out-of-core", "in-RAM"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("multicore render missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
 func TestSparkRunsProduceSameModelQuality(t *testing.T) {
 	// M3 and Spark train on the same data with the same algorithm;
 	// their final objective values must agree closely (they may take

@@ -109,6 +109,12 @@ func pagedMatrix(machine Machine, w Workload, data []float64) (*mat.Dense, *stor
 	if err != nil {
 		return nil, nil, err
 	}
+	// The paper's timed runs are modelled as one scanner: a single
+	// stream keeps the simulated timings exactly deterministic, which
+	// the figure-regeneration suite (and the runtime-prediction fits)
+	// rely on. The multicore experiment opts into parallel faulting
+	// explicitly with per-worker streams.
+	x.SetWorkersHint(1)
 	return x, ps, nil
 }
 

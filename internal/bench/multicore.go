@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"m3/internal/exec"
+	"m3/internal/store"
+	"m3/internal/vm"
+)
+
+// MultiCoreConfig parameterizes the multi-core out-of-core sweep: the
+// paper observes that out-of-core M3 leaves the CPU ~13% utilized on
+// an 8-thread machine because the disk is the bottleneck; this
+// experiment makes that observation explorable by scanning one paged
+// dataset with W parallel workers (per-worker read-ahead streams) and
+// modelling elapsed time as max(slowest worker CPU, disk busy).
+type MultiCoreConfig struct {
+	// Machine is the M3 platform (default PaperPC).
+	Machine Machine
+	// Workload template; NominalBytes is overridden per point.
+	Workload Workload
+	// WorkerCounts are the pool sizes to sweep (default 1, 2, 4, 8 —
+	// the paper PC has 8 hyperthreads).
+	WorkerCounts []int
+	// SizesBytes are the nominal dataset sizes; the default spans both
+	// regimes around the 32 GB RAM budget.
+	SizesBytes []int64
+	// Passes counts measured steady-state scans per point (default 10,
+	// the paper's iteration budget). One warm-up scan always precedes
+	// them so the in-RAM regime is measured warm, like an iterative
+	// trainer's steady state.
+	Passes int
+	// BlockBytes overrides the scan block size (<= 0: exec default).
+	// Smaller blocks reduce tail imbalance when ActualRows is small.
+	BlockBytes int
+}
+
+func (c MultiCoreConfig) withDefaults() (MultiCoreConfig, error) {
+	if c.Machine == (Machine{}) {
+		c.Machine = PaperPC()
+	}
+	if len(c.WorkerCounts) == 0 {
+		c.WorkerCounts = []int{1, 2, 4, 8}
+	}
+	if len(c.SizesBytes) == 0 {
+		c.SizesBytes = []int64{8e9, 16e9, 28e9, 64e9, 128e9, 190e9}
+	}
+	if c.Passes <= 0 {
+		c.Passes = 10
+	}
+	if c.Workload.NominalBytes == 0 {
+		c.Workload.NominalBytes = 1 // placeholder; overridden per point
+	}
+	w, err := c.Workload.withDefaults()
+	c.Workload = w
+	return c, err
+}
+
+// MultiCorePoint is one (workers, size) measurement.
+type MultiCorePoint struct {
+	Workers   int
+	SizeBytes int64
+	// Seconds is the simulated steady-state elapsed time: the sum over
+	// passes of max(slowest worker CPU, disk busy).
+	Seconds float64
+	// CPUUtil is the busy fraction of the Workers cores; DiskUtil is
+	// the device busy fraction.
+	CPUUtil  float64
+	DiskUtil float64
+	// Speedup is elapsed at the sweep's first worker count over this
+	// point's elapsed, same size.
+	Speedup float64
+}
+
+// MultiCore sweeps workers × nominal dataset size over a simulated
+// paged store scanned through the shared parallel execution layer,
+// with one read-ahead stream per worker. In the in-RAM regime the
+// steady-state passes never fault, so elapsed time is the slowest CPU
+// track and speedup approaches the worker count; out-of-core every
+// pass re-faults the whole dataset, the disk stays the bottleneck and
+// extra cores buy almost nothing — the regime where the paper
+// measured 100% disk and ~13% CPU utilization.
+func MultiCore(cfg MultiCoreConfig) ([]MultiCorePoint, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	data, _ := c.Workload.materialize()
+
+	var out []MultiCorePoint
+	for _, size := range c.SizesBytes {
+		var base float64
+		for i, workers := range c.WorkerCounts {
+			pt, err := c.runPoint(data, size, workers)
+			if err != nil {
+				return nil, fmt.Errorf("bench: multicore at %d bytes, %d workers: %w", size, workers, err)
+			}
+			if i == 0 {
+				base = pt.Seconds
+			}
+			if pt.Seconds > 0 {
+				pt.Speedup = base / pt.Seconds
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// runPoint measures one (size, workers) cell on a fresh paged store.
+func (c MultiCoreConfig) runPoint(data []float64, size int64, workers int) (MultiCorePoint, error) {
+	w := c.Workload
+	ps, err := store.NewPaged(data, store.PagedConfig{
+		NominalBytes: size,
+		VM:           c.Machine.vmConfig(size),
+		ReadOnly:     true,
+	})
+	if err != nil {
+		return MultiCorePoint{}, err
+	}
+	defer ps.Close()
+
+	// Each scanned row stands for size/ActualRows nominal bytes. Its
+	// compute cost is accounted on a CPU track chosen by block ordinal
+	// — static striped scheduling, like OpenMP's — rather than by
+	// which pool goroutine happened to claim the block: the simulated
+	// per-block compute takes ~zero real time, so dynamic claiming
+	// reflects the host scheduler, not the modelled machine, and a
+	// static assignment keeps the CPU model deterministic.
+	cpuPerRow := float64(size) / float64(w.ActualRows) / c.Machine.CPUScanBytesPerSec
+	cpu := make([]float64, workers)
+	var mu sync.Mutex
+	scan := exec.RowScan{
+		Store:      ps,
+		Rows:       w.ActualRows,
+		Cols:       w.Features,
+		Stride:     w.Features,
+		Workers:    workers,
+		BlockBytes: c.BlockBytes,
+	}
+	trackOf := make(map[int]int) // block Lo -> assigned CPU track
+	for i, b := range scan.Blocks() {
+		trackOf[b.Lo] = i % workers
+	}
+	scan.OnBlock = func(_ int, b exec.Block, _ float64) {
+		mu.Lock()
+		cpu[trackOf[b.Lo]] += float64(b.Len()) * cpuPerRow
+		mu.Unlock()
+	}
+	nop := func(int, []float64) {}
+
+	// Warm-up pass: unmeasured, so the in-RAM regime starts with a hot
+	// cache (the trainer steady state) instead of billing the one-off
+	// cold load against every worker count.
+	if _, err := exec.ForEachRow(scan, nop); err != nil {
+		return MultiCorePoint{}, err
+	}
+
+	var elapsed, totalCPU, totalDisk float64
+	for pass := 0; pass < c.Passes; pass++ {
+		for i := range cpu {
+			cpu[i] = 0
+		}
+		stall, err := exec.ForEachRow(scan, nop)
+		if err != nil {
+			return MultiCorePoint{}, err
+		}
+		// Per-pass phase model: all worker tracks overlap the disk;
+		// the slowest resource sets the pass's wall time, and passes
+		// compose sequentially.
+		var tl vm.Timeline
+		tl.AddDisk(stall)
+		for i, t := range cpu {
+			tl.AddWorkerCPU(i, t)
+			totalCPU += t
+		}
+		elapsed += tl.Elapsed()
+		totalDisk += stall
+	}
+
+	pt := MultiCorePoint{Workers: workers, SizeBytes: size, Seconds: elapsed}
+	if elapsed > 0 {
+		pt.CPUUtil = totalCPU / (elapsed * float64(workers))
+		pt.DiskUtil = totalDisk / elapsed
+	}
+	return pt, nil
+}

@@ -90,6 +90,28 @@ func RenderEnergy(w io.Writer, rows []EnergyRow) error {
 	return tw.Flush()
 }
 
+// RenderMultiCore writes the workers × size sweep grouped by size, so
+// each group reads as "what did extra cores buy at this scale".
+func RenderMultiCore(w io.Writer, points []MultiCorePoint, ramBytes int64) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "size\tworkers\truntime (s)\tcpu util\tdisk util\tspeedup\tregime")
+	var lastSize int64 = -1
+	for _, p := range points {
+		if lastSize >= 0 && p.SizeBytes != lastSize {
+			fmt.Fprintln(tw, "\t\t\t\t\t\t")
+		}
+		lastSize = p.SizeBytes
+		regime := "in-RAM"
+		if p.SizeBytes > ramBytes {
+			regime = "out-of-core"
+		}
+		fmt.Fprintf(tw, "%dG\t%d\t%.0f\t%.0f%%\t%.0f%%\t%.2fx\t%s\n",
+			p.SizeBytes/1e9, p.Workers, p.Seconds,
+			100*p.CPUUtil, 100*p.DiskUtil, p.Speedup, regime)
+	}
+	return tw.Flush()
+}
+
 // RenderPredict writes the prediction-vs-actual table.
 func RenderPredict(w io.Writer, points []PredictPoint) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

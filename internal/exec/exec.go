@@ -21,10 +21,17 @@
 //     (store.RangeAdviser — the real mmap backend), each worker
 //     issues mmap.WillNeed for the next block before computing on the
 //     current one, overlapping kernel read-ahead with compute;
-//   - backends whose accounting is not safe under concurrency (the
-//     simulated Paged store, trace recorders) are detected via
-//     store.ConcurrentToucher and scanned by a single worker — same
-//     blocks, same ordered reduce, identical results.
+//   - backends whose accounting is not safe under concurrency (trace
+//     recorders) are detected via store.ConcurrentToucher and scanned
+//     by a single worker — same blocks, same ordered reduce,
+//     identical results;
+//   - backends whose paging model keeps per-scanner read-ahead state
+//     (store.StreamToucher — the simulated Paged store) hand each
+//     pool worker a private stream, so parallel faulting can be
+//     studied without concurrent scanners destroying one another's
+//     sequential-detection state. With one worker the store's default
+//     Touch path is used, keeping single-stream simulated timings
+//     bit-identical to a sequential scan.
 package exec
 
 import (
@@ -120,6 +127,16 @@ func ctxErr(ctx context.Context) error {
 // error is ctx.Err(). The partial root state accompanying a non-nil
 // error is incomplete and must be discarded. A nil ctx never cancels.
 func MapReduce[T any](ctx context.Context, blocks []Block, workers int, alloc func() T, process func(state T, b Block), merge func(dst, src T)) (T, error) {
+	return mapReduceWorker(ctx, blocks, workers,
+		alloc, func(state T, _ int, b Block) { process(state, b) }, merge)
+}
+
+// mapReduceWorker is MapReduce with the pool-worker index threaded to
+// process: worker w runs on exactly one goroutine at a time, so
+// per-worker resources (a store.TouchStream, a CPU accumulator) can
+// be indexed by w without further synchronization. The sequential
+// path always reports worker 0.
+func mapReduceWorker[T any](ctx context.Context, blocks []Block, workers int, alloc func() T, process func(state T, worker int, b Block), merge func(dst, src T)) (T, error) {
 	out := alloc()
 	if len(blocks) == 0 {
 		return out, ctxErr(ctx)
@@ -136,7 +153,7 @@ func MapReduce[T any](ctx context.Context, blocks []Block, workers int, alloc fu
 				return out, err
 			}
 			s := alloc()
-			process(s, b)
+			process(s, 0, b)
 			merge(out, s)
 		}
 		return out, ctxErr(ctx)
@@ -162,7 +179,7 @@ func MapReduce[T any](ctx context.Context, blocks []Block, workers int, alloc fu
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				<-tokens
@@ -177,10 +194,10 @@ func MapReduce[T any](ctx context.Context, blocks []Block, workers int, alloc fu
 					return
 				}
 				s := alloc()
-				process(s, blocks[i])
+				process(s, w, blocks[i])
 				ch <- item{i: i, s: s}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -224,12 +241,23 @@ type RowScan struct {
 	// distance between row starts.
 	Rows, Cols, Stride int
 	// Workers caps the pool (<= 0: NumCPU). Stores that are not
-	// store.ConcurrentToucher-safe are always scanned by one worker.
+	// store.ConcurrentToucher-safe are always scanned by one worker;
+	// stream-capable stores (store.StreamToucher, e.g. the simulated
+	// Paged backend) run fully parallel with one private stream per
+	// worker.
 	Workers int
 	// BlockBytes overrides the target block payload size.
 	BlockBytes int
 	// NoPrefetch disables WillNeed advice for upcoming blocks.
 	NoPrefetch bool
+	// OnBlock, when non-nil, is invoked by the processing worker after
+	// each block completes (Touch accounting and the block computation
+	// both done) with the pool-worker index, the block and the block's
+	// simulated stall. A given worker index never runs concurrently
+	// with itself, so callbacks may write to worker-indexed state
+	// without locking; different workers do run concurrently. The
+	// multicore bench uses this to account per-worker CPU tracks.
+	OnBlock func(worker int, b Block, stall float64)
 }
 
 // Blocks returns the scan's row partition (page-budgeted, row-
@@ -238,13 +266,27 @@ func (s RowScan) Blocks() []Block {
 	return Partition(s.Rows, s.Cols*8, s.BlockBytes)
 }
 
-// effectiveWorkers clamps the pool to 1 for backends whose accounting
-// cannot race.
-func (s RowScan) effectiveWorkers() int {
+// EffectiveWorkers resolves the pool size this scan will actually
+// run with: the Workers knob (<= 0: NumCPU), clamped to 1 for
+// backends whose accounting cannot race (no store.ConcurrentToucher,
+// or one reporting false), and to the block count — a pool larger
+// than the partition has idle workers. The simulated Paged store is
+// concurrent-safe (per-worker streams), so it is NOT clamped.
+func (s RowScan) EffectiveWorkers() int {
+	return s.effectiveWorkers(len(s.Blocks()))
+}
+
+// effectiveWorkers is EffectiveWorkers with the block count already
+// in hand, so callers that hold the partition don't recompute it.
+func (s RowScan) effectiveWorkers(nblocks int) int {
 	if c, ok := s.Store.(store.ConcurrentToucher); !ok || !c.ConcurrentSafe() {
 		return 1
 	}
-	return Workers(s.Workers)
+	w := Workers(s.Workers)
+	if nblocks > 0 && w > nblocks {
+		w = nblocks
+	}
+	return w
 }
 
 // blockState pairs a user partial with its accounted stall so both
@@ -271,11 +313,26 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 	data := s.Store.Data()
 	adviser, _ := s.Store.(store.RangeAdviser)
 	prefetch := adviser != nil && !s.NoPrefetch
-	workers := s.effectiveWorkers()
+	workers := s.effectiveWorkers(len(blocks))
 
-	root, err := MapReduce(s.Ctx, blocks, workers,
+	// Stream-capable stores give every pool worker a private stream,
+	// so concurrent block scans keep their own sequential-detection
+	// state (read-ahead windows survive interleaving). Everything
+	// else — and any single-worker scan — goes through the store's
+	// default Touch path, which keeps one-worker simulated timings
+	// bit-identical to a plain sequential scan.
+	touch := func(_ int, start, n int) float64 { return s.Store.Touch(start, n) }
+	if st, ok := s.Store.(store.StreamToucher); ok && workers > 1 {
+		streams := make([]store.TouchStream, workers)
+		for i := range streams {
+			streams[i] = st.OpenStream()
+		}
+		touch = func(w int, start, n int) float64 { return streams[w].Touch(start, n) }
+	}
+
+	root, err := mapReduceWorker(s.Ctx, blocks, workers,
 		func() *blockState[T] { return &blockState[T]{user: alloc()} },
-		func(st *blockState[T], b Block) {
+		func(st *blockState[T], w int, b Block) {
 			if prefetch {
 				// Advise the block this worker will likely claim
 				// next: with W workers, blocks b..b+W-1 are already
@@ -295,8 +352,11 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 			}
 			start := s.Off + b.Lo*s.Stride
 			n := (b.Len()-1)*s.Stride + s.Cols
-			st.stall = s.Store.Touch(start, n)
+			st.stall = touch(w, start, n)
 			fn(st.user, b.Lo, b.Hi, data[start:start+n], s.Stride)
+			if s.OnBlock != nil {
+				s.OnBlock(w, b, st.stall)
+			}
 		},
 		func(dst, src *blockState[T]) {
 			merge(dst.user, src.user)

@@ -26,10 +26,36 @@ var ErrReadOnly = errors.New("store: read-only")
 // (and Data reads) are safe from multiple goroutines at once. The
 // parallel execution layer (internal/exec) consults it: backends that
 // do not implement it — or report false — are scanned by a single
-// worker, which keeps simulated-paging accounting exact.
+// worker, which keeps order-dependent accounting (trace recorders)
+// exact.
 type ConcurrentToucher interface {
 	// ConcurrentSafe reports whether Touch/TouchWrite may race.
 	ConcurrentSafe() bool
+}
+
+// TouchStream is a per-scanner access handle: Touch/TouchWrite with
+// the same element semantics as the owning Store, but with private
+// sequential-detection state so one scanner's access pattern is
+// invisible to the others.
+type TouchStream interface {
+	// Touch declares a read of elements [start, start+n) and returns
+	// the simulated stall in seconds.
+	Touch(start, n int) float64
+	// TouchWrite declares a write of elements [start, start+n).
+	TouchWrite(start, n int) float64
+}
+
+// StreamToucher is implemented by backends whose paging model keeps
+// read-ahead state per stream (the simulated Paged store, mirroring
+// the kernel's per-struct-file readahead). The parallel execution
+// layer opens one stream per pool worker so concurrent block scans
+// keep their sequentiality — interleaved faults from other workers do
+// not reset a stream's read-ahead window.
+type StreamToucher interface {
+	// OpenStream returns a stream with fresh private read-ahead state
+	// over the store's shared cache. Streams are safe for concurrent
+	// use but are meant to be owned by a single scanner.
+	OpenStream() TouchStream
 }
 
 // RangeAdviser is implemented by backends that can apply an madvise
@@ -273,19 +299,24 @@ func (m *Mapped) Close() error {
 // pattern of the real slice. This is how the 10–190 GB sweep of
 // Figure 1a runs on a laptop: the computation runs on a congruent
 // small matrix while paging is accounted at full scale.
-// Paged does not implement ConcurrentToucher: its accounting depends
-// on access order, so the parallel execution layer scans it with a
-// single worker. The internal mutex only guards against corruption if
-// callers race anyway — the simulated timings are then still
-// well-defined, just order-dependent.
+//
+// Paged is safe for concurrent use and implements StreamToucher: the
+// parallel execution layer gives each pool worker a private stream
+// (per-stream read-ahead over the shared simulated cache), so the
+// multi-core out-of-core regime can be studied. Touch/TouchWrite on
+// the store itself run on the simulator's default stream; a
+// single-scanner sequence through them is exactly deterministic,
+// while totals under concurrent streams depend on goroutine
+// interleaving (values computed from the data never do).
 type Paged struct {
-	data    []float64
-	mu      sync.Mutex
-	mem     *vm.Memory
+	data  []float64
+	mem   *vm.Memory
+	scale float64 // nominal bytes per actual element byte
+	ro    bool
+
+	mu      sync.Mutex // guards tl and touched; mem locks itself
 	tl      *vm.Timeline
-	scale   float64 // nominal bytes per actual element byte
 	touched int64
-	ro      bool
 }
 
 // PagedConfig configures a Paged store.
@@ -331,53 +362,122 @@ func (p *Paged) Len() int { return len(p.data) }
 // Writable reports whether the store accepts writes.
 func (p *Paged) Writable() bool { return !p.ro }
 
-// Touch simulates paging for a read of elements [start, start+n) and
-// returns the simulated stall seconds (also accumulated on the
-// store's Timeline).
+// Touch simulates paging for a read of elements [start, start+n) on
+// the default stream and returns the simulated stall seconds (also
+// accumulated on the store's Timeline).
 func (p *Paged) Touch(start, n int) float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.touched += int64(n) * 8
 	off, length := p.scaleRange(start, n)
 	stall := p.mem.Touch(off, length)
-	p.tl.AddDisk(stall)
+	p.account(n, stall)
 	return stall
 }
 
-// TouchWrite simulates paging for a write.
+// TouchWrite simulates paging for a write on the default stream.
 func (p *Paged) TouchWrite(start, n int) float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.touched += int64(n) * 8
 	off, length := p.scaleRange(start, n)
 	stall := p.mem.TouchWrite(off, length)
-	p.tl.AddDisk(stall)
+	p.account(n, stall)
 	return stall
 }
 
-// scaleRange maps element range to nominal byte range.
+// account folds one access into the shared byte counter and timeline.
+func (p *Paged) account(n int, stall float64) {
+	p.mu.Lock()
+	p.touched += int64(n) * 8
+	p.tl.AddDisk(stall)
+	p.mu.Unlock()
+}
+
+// scaleRange maps the element range [start, start+n) to the nominal
+// byte range. The end offset is derived by scaling start+n — not by
+// rounding a scaled length separately — so adjacent element ranges
+// map to adjacent nominal ranges: block scans neither double-touch
+// nor skip nominal pages at block boundaries. Offsets are clamped
+// into the nominal store so float64 rounding at extreme scales can
+// never reach vm's out-of-range panic.
 func (p *Paged) scaleRange(start, n int) (off, length int64) {
-	off = int64(float64(start*8) * p.scale)
-	length = int64(float64(n*8) * p.scale)
-	if length < 1 {
-		length = 1
+	if n < 0 {
+		n = 0
 	}
-	if off+length > p.mem.Size() {
-		length = p.mem.Size() - off
-		if length < 0 {
-			length = 0
-		}
+	size := p.mem.Size()
+	fsize := float64(size)
+	// Clamp in the float domain first: converting an out-of-range
+	// float64 to int64 is not a saturating operation in Go, so a huge
+	// declared start must never reach the conversion unclamped.
+	fo := float64(start) * 8 * p.scale
+	if fo < 0 {
+		fo = 0
+	}
+	if fo > fsize {
+		fo = fsize
+	}
+	fe := float64(start+n) * 8 * p.scale
+	if fe > fsize {
+		fe = fsize
+	}
+	if fe < fo {
+		fe = fo
+	}
+	off = int64(fo)
+	if off < 0 || off > size { // float64(size) can round up past size
+		off = size
+	}
+	end := int64(fe)
+	if end < 0 || end > size {
+		end = size
+	}
+	if end < off {
+		end = off
+	}
+	length = end - off
+	// A non-empty element range always touches at least one byte,
+	// even when downscaling collapses it.
+	if n > 0 && length == 0 && off < size {
+		length = 1
 	}
 	return off, length
 }
+
+// pagedStream is a per-scanner handle over a Paged store: element
+// scaling and shared accounting from the store, read-ahead state from
+// its own vm.Stream.
+type pagedStream struct {
+	p *Paged
+	s *vm.Stream
+}
+
+// Touch simulates paging for a read on this stream.
+func (ps *pagedStream) Touch(start, n int) float64 {
+	off, length := ps.p.scaleRange(start, n)
+	stall := ps.s.Touch(off, length)
+	ps.p.account(n, stall)
+	return stall
+}
+
+// TouchWrite simulates paging for a write on this stream.
+func (ps *pagedStream) TouchWrite(start, n int) float64 {
+	off, length := ps.p.scaleRange(start, n)
+	stall := ps.s.TouchWrite(off, length)
+	ps.p.account(n, stall)
+	return stall
+}
+
+// OpenStream returns a stream with private read-ahead state over the
+// store's shared simulated cache — one per concurrent scanner.
+func (p *Paged) OpenStream() TouchStream {
+	return &pagedStream{p: p, s: p.mem.NewStream()}
+}
+
+// ConcurrentSafe reports true: the simulated memory serializes cache
+// updates internally, and scanners that need their own sequentiality
+// open per-worker streams via OpenStream.
+func (p *Paged) ConcurrentSafe() bool { return true }
 
 // Advise adjusts simulated behaviour: DontNeed drops the whole cache;
 // other hints are accepted silently (read-ahead adapts on its own).
 func (p *Paged) Advise(a mmap.Advice) error {
 	if a == mmap.DontNeed {
-		p.mu.Lock()
 		p.mem.Drop(0, p.mem.Size())
-		p.mu.Unlock()
 	}
 	return nil
 }
@@ -391,15 +491,17 @@ func (p *Paged) Memory() *vm.Memory { return p.mem }
 
 // Stats converts simulated paging counters into store statistics.
 func (p *Paged) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	vs := p.mem.Stats()
+	resident := int64(p.mem.ResidentPages()) * p.mem.PageSize()
+	p.mu.Lock()
+	touched := p.touched
+	p.mu.Unlock()
 	return Stats{
-		BytesTouched:  p.touched,
+		BytesTouched:  touched,
 		MajorFaults:   vs.MajorFaults,
 		BytesRead:     vs.BytesRead,
 		StallSeconds:  vs.DiskSeconds,
-		ResidentBytes: int64(p.mem.ResidentPages()) * p.mem.PageSize(),
+		ResidentBytes: resident,
 	}
 }
 

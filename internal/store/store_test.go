@@ -2,6 +2,7 @@ package store
 
 import (
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"m3/internal/mmap"
@@ -242,6 +243,104 @@ func TestPagedReadOnly(t *testing.T) {
 func TestPagedRejectsEmpty(t *testing.T) {
 	if _, err := NewPaged(nil, PagedConfig{}); err == nil {
 		t.Error("expected error for empty data")
+	}
+}
+
+// TestPagedScaleRangeSeamless pins the scaleRange bugfix: with a
+// non-integral nominal scale, element-by-element touches must cover
+// every nominal byte exactly once — the old independent rounding of
+// off and length both skipped and double-touched bytes at range
+// boundaries.
+func TestPagedScaleRangeSeamless(t *testing.T) {
+	// 10 elements (80 actual bytes) modelling 56 nominal bytes:
+	// scale = 0.7, so every element boundary lands mid-byte.
+	p := newPagedTest(t, 10, PagedConfig{
+		NominalBytes: 56,
+		VM: vm.Config{
+			PageSize:          1, // byte-granular pages make gaps visible
+			CacheBytes:        1024,
+			Disk:              vm.DiskModel{BandwidthBytes: 1e6},
+			MinReadAheadPages: 1, MaxReadAheadPages: 1,
+		},
+	})
+	for i := 0; i < 10; i++ {
+		p.Touch(i, 1)
+	}
+	s := p.Stats()
+	if s.BytesRead != 56 {
+		t.Errorf("element-wise scan read %d nominal bytes, want exactly 56 (no skips, no double reads)", s.BytesRead)
+	}
+	if s.ResidentBytes != 56 {
+		t.Errorf("resident = %d want 56 (every nominal byte cached)", s.ResidentBytes)
+	}
+	// Adjacent block pairs cover the same bytes as one big touch.
+	q := newPagedTest(t, 10, PagedConfig{
+		NominalBytes: 56,
+		VM: vm.Config{
+			PageSize:          1,
+			CacheBytes:        1024,
+			Disk:              vm.DiskModel{BandwidthBytes: 1e6},
+			MinReadAheadPages: 1, MaxReadAheadPages: 1,
+		},
+	})
+	q.Touch(0, 7)
+	q.Touch(7, 3)
+	if got := q.Stats().BytesRead; got != 56 {
+		t.Errorf("blocked scan read %d nominal bytes, want 56", got)
+	}
+}
+
+// TestPagedTouchBeyondRangeClamps: a declared access past the nominal
+// end is clamped instead of reaching vm's out-of-range panic.
+func TestPagedTouchBeyondRangeClamps(t *testing.T) {
+	p := newPagedTest(t, 8, PagedConfig{VM: vm.Config{CacheBytes: 1 << 20}})
+	if stall := p.Touch(1<<60, 4); stall != 0 {
+		t.Errorf("beyond-range touch stalled %v, want 0 (clamped to empty)", stall)
+	}
+	p.Touch(6, 100) // overlaps the end: clamped to the tail
+	if p.Stats().BytesRead <= 0 {
+		t.Error("tail touch read nothing")
+	}
+}
+
+// Interface contract: Paged is concurrent-safe and stream-capable.
+var (
+	_ ConcurrentToucher = (*Paged)(nil)
+	_ StreamToucher     = (*Paged)(nil)
+)
+
+func TestPagedConcurrentStreams(t *testing.T) {
+	if !(*Paged)(nil).ConcurrentSafe() {
+		t.Error("Paged must report ConcurrentSafe")
+	}
+	const workers, elems = 8, 8192
+	p := newPagedTest(t, elems, PagedConfig{VM: vm.Config{
+		PageSize:   4096,
+		CacheBytes: 4 * elems * 8,
+		Disk:       vm.DiskModel{BandwidthBytes: 1e6},
+	}})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := p.OpenStream()
+			lo := w * elems / workers
+			for i := 0; i < elems/workers; i += 64 {
+				s.Touch(lo+i, 64)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.BytesTouched != elems*8 {
+		t.Errorf("bytes touched = %d want %d", s.BytesTouched, elems*8)
+	}
+	if s.BytesRead != elems*8 {
+		t.Errorf("bytes read = %d want %d (cache fits: each page once)", s.BytesRead, elems*8)
+	}
+	if got := p.Timeline().DiskSeconds(); got != s.StallSeconds {
+		t.Errorf("timeline disk %v != stats stall %v", got, s.StallSeconds)
 	}
 }
 

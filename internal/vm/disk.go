@@ -20,6 +20,9 @@ type DiskModel struct {
 	// BandwidthBytes is the sustained sequential read bandwidth in
 	// bytes per simulated second.
 	BandwidthBytes float64
+	// WriteBandwidthBytes is the sustained sequential write bandwidth;
+	// zero selects BandwidthBytes (a symmetric device).
+	WriteBandwidthBytes float64
 	// SeekSeconds is the penalty for a non-contiguous request.
 	SeekSeconds float64
 	// RequestSeconds is the fixed per-request overhead (command
@@ -31,6 +34,9 @@ type DiskModel struct {
 func (d DiskModel) Validate() error {
 	if d.BandwidthBytes <= 0 {
 		return fmt.Errorf("vm: disk bandwidth must be positive, got %g", d.BandwidthBytes)
+	}
+	if d.WriteBandwidthBytes < 0 {
+		return fmt.Errorf("vm: negative disk write bandwidth %g", d.WriteBandwidthBytes)
 	}
 	if d.SeekSeconds < 0 || d.RequestSeconds < 0 {
 		return fmt.Errorf("vm: negative disk latency")
@@ -52,19 +58,44 @@ func (d DiskModel) ReadTime(n int64, contiguous bool) float64 {
 	return t
 }
 
+// WriteTime returns the simulated service time for writing one request
+// of n bytes — write-back of evicted dirty pages. Writes stream at the
+// device's write bandwidth and pay the same per-request latencies as
+// reads; contiguous indicates the request starts where the previous
+// write-back ended, skipping the seek penalty.
+func (d DiskModel) WriteTime(n int64, contiguous bool) float64 {
+	if n <= 0 {
+		return 0
+	}
+	bw := d.WriteBandwidthBytes
+	if bw <= 0 {
+		bw = d.BandwidthBytes
+	}
+	t := d.RequestSeconds + float64(n)/bw
+	if !contiguous {
+		t += d.SeekSeconds
+	}
+	return t
+}
+
 // SSD returns a model of the paper's OCZ RevoDrive 350-class PCIe SSD
-// (~1.6 GB/s effective sequential read; the device is rated 1.8 GB/s).
+// (~1.6 GB/s effective sequential read; the device is rated 1.8 GB/s
+// read, 1.7 GB/s write — the same derating gives ~1.5 GB/s effective
+// write).
 func SSD() DiskModel {
 	return DiskModel{
-		BandwidthBytes: 1.64e9,
-		SeekSeconds:    60e-6,
-		RequestSeconds: 15e-6,
+		BandwidthBytes:      1.64e9,
+		WriteBandwidthBytes: 1.5e9,
+		SeekSeconds:         60e-6,
+		RequestSeconds:      15e-6,
 	}
 }
 
 // HDD returns a model of a 7200 RPM spinning disk, used by ablation
 // benches to show M3's sensitivity to storage speed (§3.1: "strong
 // potential for reaching even higher speed if we use faster disks").
+// Spinning media reads and writes at the same platter rate, so the
+// write bandwidth is left to default to the read bandwidth.
 func HDD() DiskModel {
 	return DiskModel{
 		BandwidthBytes: 150e6,
@@ -73,13 +104,14 @@ func HDD() DiskModel {
 	}
 }
 
-// RAID0 returns an n-way stripe over the given model: n× bandwidth,
-// same latencies. The paper calls out RAID 0 as a configuration that
-// could lift M3's I/O bound.
+// RAID0 returns an n-way stripe over the given model: n× bandwidth
+// in both directions, same latencies. The paper calls out RAID 0 as a
+// configuration that could lift M3's I/O bound.
 func RAID0(base DiskModel, n int) DiskModel {
 	if n < 1 {
 		n = 1
 	}
 	base.BandwidthBytes *= float64(n)
+	base.WriteBandwidthBytes *= float64(n)
 	return base
 }

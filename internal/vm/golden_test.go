@@ -1,0 +1,134 @@
+package vm
+
+import (
+	"math"
+	"testing"
+)
+
+// goldenConfig is the fixed configuration of the golden trace: small
+// cache, read-ahead enabled, asymmetric read/write bandwidth and
+// non-zero latencies so every cost component shows up in the totals.
+func goldenConfig() Config {
+	return Config{
+		PageSize:   4096,
+		CacheBytes: 16 * 4096,
+		Disk: DiskModel{
+			BandwidthBytes:      4096 * 100, // 100 pages/s read
+			WriteBandwidthBytes: 4096 * 50,  // 50 pages/s write
+			SeekSeconds:         0.25,
+			RequestSeconds:      0.0625,
+		},
+		MinReadAheadPages: 2,
+		MaxReadAheadPages: 8,
+	}
+}
+
+// goldenTrace drives a fixed access mix — sequential scans, a strided
+// re-read, writes, a partial drop, a re-scan — through any toucher.
+// It exercises read-ahead growth and reset, eviction, dirty
+// write-back batching and Drop.
+func goldenTrace(m *Memory, touch, touchWrite func(off, length int64) float64) float64 {
+	const page = 4096
+	var stall float64
+	stall += touch(0, 24*page)          // sequential scan, evicts into the 16-page cache
+	stall += touchWrite(4*page, 8*page) // dirty a resident window
+	for i := int64(0); i < 12; i++ {    // stride-5 pages: random-ish pattern
+		stall += touch(((i*5)%24)*page, 1)
+	}
+	stall += touch(24*page, 8*page) // fresh sequential tail
+	m.Drop(2*page, 10*page)         // madvise(DONTNEED) over a dirty range
+	stall += touch(0, 32*page)      // full re-scan
+	return stall
+}
+
+// TestMemoryGoldenTrace pins the exact simulated statistics of the
+// golden trace, protecting the single-stream cost model bit for bit
+// through refactors of Memory's internals.
+func TestMemoryGoldenTrace(t *testing.T) {
+	m, err := NewMemory(32*4096, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := goldenTrace(m, m.Touch, m.TouchWrite)
+	s := m.Stats()
+
+	want := Stats{
+		MajorFaults:      28,
+		MinorFaults:      56,
+		PagesRead:        92,
+		PagesEvicted:     76,
+		DirtyWrittenBack: 8,
+		WriteRequests:    8,
+		BytesRead:        376832,
+		BytesWritten:     32768,
+		ReadAheadHits:    52,
+	}
+	const wantDisk = 7.33
+	// stall excludes Drop's write-back (Drop returns nothing), so it
+	// trails DiskSeconds by that one contiguous 1-page write request.
+	const wantStall = 7.2475
+
+	got := s
+	got.DiskSeconds = 0
+	if got != want {
+		t.Errorf("golden stats drifted:\n got %+v\nwant %+v", got, want)
+	}
+	if math.Abs(s.DiskSeconds-wantDisk) > 1e-9 {
+		t.Errorf("golden DiskSeconds = %.10f want %.10f", s.DiskSeconds, wantDisk)
+	}
+	if math.Abs(stall-wantStall) > 1e-9 {
+		t.Errorf("golden stall = %.10f want %.10f", stall, wantStall)
+	}
+	t.Logf("stats=%+v disk=%.10f stall=%.10f", s, s.DiskSeconds, stall)
+}
+
+// TestStreamMatchesDefaultPath proves the refactor's core invariant:
+// one explicit Stream is bit-identical to the built-in default stream
+// that Touch/TouchWrite use, access by access.
+func TestStreamMatchesDefaultPath(t *testing.T) {
+	md, err := NewMemory(32*4096, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewMemory(32*4096, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ms.NewStream()
+
+	var stalls []float64
+	recTouch := func(off, length int64) float64 {
+		d := md.Touch(off, length)
+		stalls = append(stalls, d)
+		return d
+	}
+	recWrite := func(off, length int64) float64 {
+		d := md.TouchWrite(off, length)
+		stalls = append(stalls, d)
+		return d
+	}
+	goldenTrace(md, recTouch, recWrite)
+
+	i := 0
+	chkTouch := func(off, length int64) float64 {
+		d := st.Touch(off, length)
+		if d != stalls[i] {
+			t.Fatalf("access %d: stream stall %v != default %v", i, d, stalls[i])
+		}
+		i++
+		return d
+	}
+	chkWrite := func(off, length int64) float64 {
+		d := st.TouchWrite(off, length)
+		if d != stalls[i] {
+			t.Fatalf("access %d: stream stall %v != default %v", i, d, stalls[i])
+		}
+		i++
+		return d
+	}
+	goldenTrace(ms, chkTouch, chkWrite)
+
+	if md.Stats() != ms.Stats() {
+		t.Errorf("stream stats diverged:\n default %+v\n stream  %+v", md.Stats(), ms.Stats())
+	}
+}

@@ -1,6 +1,10 @@
 package vm
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
 
 // Config parameterizes a simulated address space.
 type Config struct {
@@ -12,9 +16,10 @@ type Config struct {
 	// Disk models the backing device.
 	Disk DiskModel
 	// MinReadAheadPages and MaxReadAheadPages bound the sequential
-	// read-ahead window; the window doubles on each confirmed
-	// sequential fault, like the Linux ondemand_readahead heuristic.
-	// Defaults: 4 and 512 (2 MiB at 4 KiB pages).
+	// read-ahead window: the first sequential fault reads
+	// MinReadAheadPages and the window doubles on each confirmed
+	// sequential fault after that, like the Linux ondemand_readahead
+	// heuristic. Defaults: 4 and 512 (2 MiB at 4 KiB pages).
 	MinReadAheadPages int
 	MaxReadAheadPages int
 }
@@ -53,6 +58,9 @@ type Stats struct {
 	PagesEvicted uint64
 	// DirtyWrittenBack counts evicted pages that required write-back.
 	DirtyWrittenBack uint64
+	// WriteRequests counts write-back requests issued to the device;
+	// contiguous dirty victims are batched into a single request.
+	WriteRequests uint64
 	// BytesRead is PagesRead in bytes.
 	BytesRead int64
 	// BytesWritten covers write-back traffic.
@@ -74,18 +82,34 @@ func (s Stats) HitRatio() float64 {
 }
 
 // Memory simulates demand paging over a backing store of Size bytes.
-// It is deterministic: the same access sequence always produces the
-// same statistics. Memory is not safe for concurrent use.
+//
+// The page cache (LRU), the statistics and the device are shared
+// state, guarded by one mutex, so a Memory is safe for concurrent
+// use. Sequential-pattern detection — the state that drives
+// read-ahead — lives in a Stream (the simulated counterpart of the
+// kernel keeping readahead state per struct file, not per device):
+// Touch/TouchWrite use a built-in default stream, and concurrent
+// scanners open one private Stream each via NewStream so interleaved
+// faults do not destroy one another's sequentiality.
+//
+// Determinism: a single-stream access sequence always produces the
+// same statistics. With concurrent streams, interleaving depends on
+// goroutine scheduling, and under cache pressure so do the totals —
+// one stream's faults can evict pages another prefetched but has not
+// consumed, forcing re-reads that vary run to run. Every touched page
+// is still read at least once, and when the cache absorbs the working
+// set (no evictions) fault and byte totals are exact.
 type Memory struct {
 	cfg  Config
 	size int64
 
-	cache     *lruCache
-	stats     Stats
-	prefetch  map[int64]bool // pages resident via read-ahead, not yet referenced
-	lastFault int64          // page of the previous major fault (-2 = none)
-	lastEnd   int64          // page just past the previous disk request
-	raWindow  int            // current read-ahead window in pages
+	mu           sync.Mutex
+	cache        *lruCache
+	stats        Stats
+	prefetch     map[int64]bool // pages resident via read-ahead, not yet referenced
+	lastWriteEnd int64          // page just past the previous write-back request
+	wbuf         []int64        // scratch: dirty victims of the access in flight
+	def          *Stream        // stream behind the plain Touch/TouchWrite API
 }
 
 // NewMemory creates a simulated address space of size bytes.
@@ -101,15 +125,15 @@ func NewMemory(size int64, cfg Config) (*Memory, error) {
 	if capPages < 1 {
 		capPages = 1
 	}
-	return &Memory{
-		cfg:       cfg,
-		size:      size,
-		cache:     newLRU(int(capPages)),
-		prefetch:  make(map[int64]bool),
-		lastFault: -2,
-		lastEnd:   -2,
-		raWindow:  cfg.MinReadAheadPages,
-	}, nil
+	m := &Memory{
+		cfg:          cfg,
+		size:         size,
+		cache:        newLRU(int(capPages)),
+		prefetch:     make(map[int64]bool),
+		lastWriteEnd: -2,
+	}
+	m.def = m.NewStream()
+	return m, nil
 }
 
 // Size returns the backing-store size in bytes.
@@ -122,45 +146,67 @@ func (m *Memory) PageSize() int64 { return m.cfg.PageSize }
 func (m *Memory) CachePages() int { return m.cache.capacity }
 
 // ResidentPages returns the current number of cached pages.
-func (m *Memory) ResidentPages() int { return m.cache.Len() }
+func (m *Memory) ResidentPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cache.Len()
+}
 
 // Stats returns a snapshot of paging statistics.
-func (m *Memory) Stats() Stats { return m.stats }
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // ResetStats zeroes the counters without disturbing cache contents,
 // so steady-state iterations can be measured separately from warm-up.
-func (m *Memory) ResetStats() { m.stats = Stats{} }
+func (m *Memory) ResetStats() {
+	m.mu.Lock()
+	m.stats = Stats{}
+	m.mu.Unlock()
+}
 
-// Touch simulates a read of length bytes at offset and returns the
-// simulated disk stall in seconds incurred by the access.
+// Touch simulates a read of length bytes at offset on the default
+// stream and returns the simulated disk stall in seconds incurred by
+// the access.
 func (m *Memory) Touch(offset, length int64) float64 {
-	return m.access(offset, length, false)
+	return m.def.Touch(offset, length)
 }
 
 // TouchWrite simulates a write (pages become dirty and must be written
-// back on eviction) and returns the simulated stall in seconds.
+// back on eviction) on the default stream and returns the simulated
+// stall in seconds.
 func (m *Memory) TouchWrite(offset, length int64) float64 {
-	return m.access(offset, length, true)
+	return m.def.TouchWrite(offset, length)
 }
 
-func (m *Memory) access(offset, length int64, write bool) float64 {
+func (m *Memory) access(s *Stream, offset, length int64, write bool) float64 {
 	if offset < 0 || length < 0 || offset+length > m.size {
 		panic(fmt.Sprintf("vm: access [%d,%d) outside store of %d bytes", offset, offset+length, m.size))
 	}
 	if length == 0 {
 		return 0
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var stall float64
 	first := offset / m.cfg.PageSize
 	last := (offset + length - 1) / m.cfg.PageSize
+	m.wbuf = m.wbuf[:0]
 	for p := first; p <= last; p++ {
-		stall += m.touchPage(p, write)
+		stall += m.touchPage(s, p, write)
 	}
+	// Dirty victims evicted anywhere in this access are written back
+	// as one batch: contiguous pages coalesce into single requests at
+	// write bandwidth, the way the kernel's flusher submits them.
+	stall += m.writeBack(m.wbuf)
 	return stall
 }
 
-// touchPage services one page reference.
-func (m *Memory) touchPage(p int64, write bool) float64 {
+// touchPage services one page reference on stream s, accumulating the
+// dirty victims it evicts into m.wbuf. Caller holds m.mu.
+func (m *Memory) touchPage(s *Stream, p int64, write bool) float64 {
 	if m.cache.Touch(p) {
 		m.stats.MinorFaults++
 		if m.prefetch[p] {
@@ -169,7 +215,7 @@ func (m *Memory) touchPage(p int64, write bool) float64 {
 			// Consuming a prefetched page confirms the sequential
 			// stream (the kernel's readahead marker): the next miss
 			// at p+1 must extend the window, not reset it.
-			m.lastFault = p
+			s.lastFault = p
 		}
 		if write {
 			m.cache.MarkDirty(p)
@@ -179,19 +225,20 @@ func (m *Memory) touchPage(p int64, write bool) float64 {
 
 	// Major fault. Decide the read window: on a sequential pattern,
 	// fetch [p, p+window); otherwise fetch just the page and shrink
-	// the window back to the minimum.
-	sequential := p == m.lastFault+1 || m.prefetch[p]
-	if sequential {
-		m.raWindow *= 2
-		if m.raWindow > m.cfg.MaxReadAheadPages {
-			m.raWindow = m.cfg.MaxReadAheadPages
-		}
-	} else {
-		m.raWindow = m.cfg.MinReadAheadPages
-	}
+	// the window back to the minimum. The current window is used
+	// as-is and growth is deferred, so the first sequential fault
+	// reads exactly MinReadAheadPages and the window doubles only on
+	// each confirmed sequential fault after it.
+	sequential := p == s.lastFault+1 || m.prefetch[p]
 	window := int64(1)
 	if sequential {
-		window = int64(m.raWindow)
+		window = int64(s.raWindow)
+		s.raWindow *= 2
+		if s.raWindow > m.cfg.MaxReadAheadPages {
+			s.raWindow = m.cfg.MaxReadAheadPages
+		}
+	} else {
+		s.raWindow = m.cfg.MinReadAheadPages
 	}
 	maxPage := (m.size + m.cfg.PageSize - 1) / m.cfg.PageSize
 	if p+window > maxPage {
@@ -203,26 +250,22 @@ func (m *Memory) touchPage(p int64, write bool) float64 {
 		n++
 	}
 
-	contiguous := p == m.lastEnd
+	contiguous := p == s.lastEnd
 	bytes := n * m.cfg.PageSize
 	t := m.cfg.Disk.ReadTime(bytes, contiguous)
 	m.stats.DiskSeconds += t
 	m.stats.MajorFaults++
 	m.stats.PagesRead += uint64(n)
 	m.stats.BytesRead += bytes
-	m.lastFault = p
-	m.lastEnd = p + n
+	s.lastFault = p
+	s.lastEnd = p + n
 
 	for i := int64(0); i < n; i++ {
 		page := p + i
 		if victim, evicted, dirty := m.cache.Insert(page); evicted {
 			m.stats.PagesEvicted++
 			if dirty {
-				m.stats.DirtyWrittenBack++
-				m.stats.BytesWritten += m.cfg.PageSize
-				wt := m.cfg.Disk.ReadTime(m.cfg.PageSize, false)
-				m.stats.DiskSeconds += wt
-				t += wt
+				m.wbuf = append(m.wbuf, victim)
 			}
 			delete(m.prefetch, victim)
 		}
@@ -236,28 +279,69 @@ func (m *Memory) touchPage(p int64, write bool) float64 {
 	return t
 }
 
+// writeBack bills the write-back of the given dirty pages: pages are
+// sorted (the elevator) and maximal contiguous runs are submitted as
+// single requests at the device's write bandwidth. A run starting
+// where the previous write-back ended skips the seek penalty. It
+// returns the total write stall. Caller holds m.mu.
+func (m *Memory) writeBack(pages []int64) float64 {
+	if len(pages) == 0 {
+		return 0
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	var total float64
+	start, n := pages[0], int64(1)
+	flush := func() {
+		bytes := n * m.cfg.PageSize
+		wt := m.cfg.Disk.WriteTime(bytes, start == m.lastWriteEnd)
+		m.stats.DiskSeconds += wt
+		m.stats.WriteRequests++
+		m.stats.DirtyWrittenBack += uint64(n)
+		m.stats.BytesWritten += bytes
+		m.lastWriteEnd = start + n
+		total += wt
+	}
+	for _, p := range pages[1:] {
+		if p == start+n {
+			n++
+			continue
+		}
+		flush()
+		start, n = p, 1
+	}
+	flush()
+	return total
+}
+
 // Drop simulates madvise(DONTNEED) over a byte range: the pages are
-// discarded from the cache without write-back accounting for reads.
+// discarded from the cache. Dirty pages are written back first —
+// batched into contiguous requests billed at the device's write
+// bandwidth, exactly as on eviction — while clean pages are discarded
+// for free.
 func (m *Memory) Drop(offset, length int64) {
 	if length <= 0 {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	first := offset / m.cfg.PageSize
 	last := (offset + length - 1) / m.cfg.PageSize
+	m.wbuf = m.wbuf[:0]
 	for p := first; p <= last; p++ {
 		if present, dirty := m.cache.Remove(p); present {
 			m.stats.PagesEvicted++
 			if dirty {
-				m.stats.DirtyWrittenBack++
-				m.stats.BytesWritten += m.cfg.PageSize
-				m.stats.DiskSeconds += m.cfg.Disk.ReadTime(m.cfg.PageSize, false)
+				m.wbuf = append(m.wbuf, p)
 			}
 			delete(m.prefetch, p)
 		}
 	}
+	m.writeBack(m.wbuf)
 }
 
 // Resident reports whether the page containing offset is cached.
 func (m *Memory) Resident(offset int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.cache.Contains(offset / m.cfg.PageSize)
 }

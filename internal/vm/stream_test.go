@@ -1,0 +1,293 @@
+package vm
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestDiskModelWriteTime(t *testing.T) {
+	d := DiskModel{BandwidthBytes: 1000, WriteBandwidthBytes: 500, SeekSeconds: 0.5, RequestSeconds: 0.1}
+	if got := d.WriteTime(1000, true); math.Abs(got-2.1) > 1e-12 {
+		t.Errorf("contiguous write = %v want 2.1", got)
+	}
+	if got := d.WriteTime(1000, false); math.Abs(got-2.6) > 1e-12 {
+		t.Errorf("seeking write = %v want 2.6", got)
+	}
+	if got := d.WriteTime(0, false); got != 0 {
+		t.Errorf("zero write = %v want 0", got)
+	}
+	// Zero write bandwidth falls back to the read bandwidth.
+	sym := DiskModel{BandwidthBytes: 1000, SeekSeconds: 0.5, RequestSeconds: 0.1}
+	if got := sym.WriteTime(1000, false); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("symmetric write = %v want 1.6", got)
+	}
+	if err := (DiskModel{BandwidthBytes: 1, WriteBandwidthBytes: -1}).Validate(); err == nil {
+		t.Error("expected error for negative write bandwidth")
+	}
+	if r := RAID0(SSD(), 2); r.WriteBandwidthBytes != 2*SSD().WriteBandwidthBytes {
+		t.Errorf("RAID0 write bandwidth = %v want %v", r.WriteBandwidthBytes, 2*SSD().WriteBandwidthBytes)
+	}
+}
+
+// TestWriteBackBatchedAtWriteTime is the corrected disk-cost model's
+// acceptance check: evicting N contiguous dirty pages in one access
+// is billed as ONE write request at the device's write bandwidth —
+// not N seek-laden read-priced requests.
+func TestWriteBackBatchedAtWriteTime(t *testing.T) {
+	disk := DiskModel{
+		BandwidthBytes:      4096, // 1 page/s read
+		WriteBandwidthBytes: 8192, // 2 pages/s write
+		SeekSeconds:         0.5,
+		RequestSeconds:      0.1,
+	}
+	cfg := Config{
+		PageSize:          4096,
+		CacheBytes:        4 * 4096,
+		Disk:              disk,
+		MinReadAheadPages: 1,
+		MaxReadAheadPages: 1,
+	}
+	run := func(dirty bool) Stats {
+		m, err := NewMemory(8*4096, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dirty {
+			m.TouchWrite(0, 4*4096)
+		} else {
+			m.Touch(0, 4*4096)
+		}
+		m.Touch(4*4096, 4*4096) // one access evicting all 4 victims
+		return m.Stats()
+	}
+	clean, dirtied := run(false), run(true)
+
+	if dirtied.DirtyWrittenBack != 4 {
+		t.Fatalf("dirty write-backs = %d want 4", dirtied.DirtyWrittenBack)
+	}
+	if dirtied.WriteRequests != 1 {
+		t.Errorf("write requests = %d want 1 (contiguous victims batch)", dirtied.WriteRequests)
+	}
+	if dirtied.BytesWritten != 4*4096 {
+		t.Errorf("bytes written = %d want %d", dirtied.BytesWritten, 4*4096)
+	}
+	// The write-back surcharge over the clean run is exactly one
+	// WriteTime request for the whole batch...
+	surcharge := dirtied.DiskSeconds - clean.DiskSeconds
+	want := disk.WriteTime(4*4096, false)
+	if math.Abs(surcharge-want) > 1e-12 {
+		t.Errorf("write-back cost = %v want one WriteTime = %v", surcharge, want)
+	}
+	// ...which is far below 4 seek-laden read-priced requests (the
+	// old accounting).
+	if old := 4 * disk.ReadTime(4096, false); surcharge >= old {
+		t.Errorf("write-back cost %v not below old per-page read billing %v", surcharge, old)
+	}
+}
+
+// TestDropWriteBackBatched: Drop over a contiguous dirty range is
+// billed as one write request too, and drops clean pages for free.
+func TestDropWriteBackBatched(t *testing.T) {
+	cfg := Config{
+		PageSize:          4096,
+		CacheBytes:        16 * 4096,
+		Disk:              DiskModel{BandwidthBytes: 4096, WriteBandwidthBytes: 8192, SeekSeconds: 0.5, RequestSeconds: 0.1},
+		MinReadAheadPages: 1,
+		MaxReadAheadPages: 1,
+	}
+	m, err := NewMemory(8*4096, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TouchWrite(0, 4*4096)
+	m.Touch(4*4096, 4*4096)
+	before := m.Stats()
+	m.Drop(0, 8*4096)
+	s := m.Stats()
+	if s.DirtyWrittenBack != 4 || s.WriteRequests != 1 {
+		t.Errorf("drop wrote back %d pages in %d requests, want 4 in 1", s.DirtyWrittenBack, s.WriteRequests)
+	}
+	want := cfg.Disk.WriteTime(4*4096, false)
+	if got := s.DiskSeconds - before.DiskSeconds; math.Abs(got-want) > 1e-12 {
+		t.Errorf("drop write-back cost = %v want %v", got, want)
+	}
+	if m.ResidentPages() != 0 {
+		t.Errorf("resident after full drop = %d", m.ResidentPages())
+	}
+}
+
+// TestReadAheadInitialWindow pins the satellite bugfix: the FIRST
+// sequential fault reads exactly MinReadAheadPages; the window only
+// doubles on confirmed sequential faults after it. (The old code
+// doubled before first use, making the initial window 2×Min.)
+func TestReadAheadInitialWindow(t *testing.T) {
+	m, err := NewMemory(64*4096, Config{
+		PageSize:          4096,
+		CacheBytes:        128 * 4096,
+		Disk:              DiskModel{BandwidthBytes: 1e6},
+		MinReadAheadPages: 4,
+		MaxReadAheadPages: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Touch(0, 1) // cold fault: no pattern yet, reads 1 page
+	if got := m.Stats().PagesRead; got != 1 {
+		t.Fatalf("cold fault read %d pages, want 1", got)
+	}
+	m.Touch(4096, 1) // first sequential fault: the initial window, 4 pages
+	if got := m.Stats().PagesRead; got != 1+4 {
+		t.Errorf("first sequential fault read %d pages total, want 5 (window = MinReadAheadPages)", got)
+	}
+	m.Touch(2*4096, 3*4096) // consume the prefetched pages 2..4 (hits)
+	if got := m.Stats().PagesRead; got != 1+4 {
+		t.Fatalf("consuming prefetched pages read %d pages total, want still 5", got)
+	}
+	m.Touch(5*4096, 1) // confirmed sequential: window doubled to 8
+	if got := m.Stats().PagesRead; got != 1+4+8 {
+		t.Errorf("second sequential fault read %d pages total, want 13 (window doubled once)", got)
+	}
+}
+
+// TestStreamsKeepSequentialityWhenInterleaved is the tentpole's
+// point: two scanners interleaving page-sized reads over disjoint
+// halves destroy each other's sequential detection when they share
+// one stream, but keep read-ahead batching — far fewer, larger disk
+// requests — when each owns a stream.
+func TestStreamsKeepSequentialityWhenInterleaved(t *testing.T) {
+	const pages = 128
+	cfg := Config{
+		PageSize:          4096,
+		CacheBytes:        4 * pages * 4096,
+		Disk:              DiskModel{BandwidthBytes: 4096, SeekSeconds: 0, RequestSeconds: 1},
+		MinReadAheadPages: 4,
+		MaxReadAheadPages: 32,
+	}
+	interleave := func(privateStreams bool) Stats {
+		m, err := NewMemory(2*pages*4096, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, sb := m.NewStream(), m.NewStream()
+		for p := int64(0); p < pages; p++ {
+			if privateStreams {
+				sa.Touch(p*4096, 1)
+				sb.Touch((pages+p)*4096, 1)
+			} else {
+				m.Touch(p*4096, 1)
+				m.Touch((pages+p)*4096, 1)
+			}
+		}
+		return m.Stats()
+	}
+	shared := interleave(false)
+	streamed := interleave(true)
+
+	if streamed.PagesRead != 2*pages || shared.PagesRead != 2*pages {
+		t.Fatalf("pages read = %d/%d want %d each", streamed.PagesRead, shared.PagesRead, 2*pages)
+	}
+	// Shared stream: every access alternates halves, so sequentiality
+	// never survives and every page is its own request.
+	if shared.MajorFaults != 2*pages {
+		t.Errorf("shared-stream faults = %d want %d (window always reset)", shared.MajorFaults, 2*pages)
+	}
+	// Private streams: each scanner ramps its window, so the request
+	// count (== major faults) collapses.
+	if streamed.MajorFaults*4 >= shared.MajorFaults {
+		t.Errorf("streamed faults = %d, want <1/4 of shared %d", streamed.MajorFaults, shared.MajorFaults)
+	}
+	if streamed.ReadAheadHits == 0 {
+		t.Error("streamed scan recorded no read-ahead hits")
+	}
+	if streamed.DiskSeconds >= shared.DiskSeconds {
+		t.Errorf("streamed disk time %v not below shared %v", streamed.DiskSeconds, shared.DiskSeconds)
+	}
+}
+
+// TestStreamsConcurrentConservation: concurrent scanners on private
+// streams keep the books balanced (every touch is a fault or a hit;
+// residency bounded) and race-free.
+func TestStreamsConcurrentConservation(t *testing.T) {
+	const (
+		workers = 8
+		pages   = 64 // per worker
+	)
+	// Cache holds everything: with no evictions, read-ahead can never
+	// cause a re-read, so every page must be fetched exactly once no
+	// matter how the 8 streams interleave.
+	m, err := NewMemory(workers*pages*4096, Config{
+		PageSize:   4096,
+		CacheBytes: 2 * workers * pages * 4096,
+		Disk:       DiskModel{BandwidthBytes: 1e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := m.NewStream()
+			base := int64(w) * pages * 4096
+			for p := int64(0); p < pages; p++ {
+				s.Touch(base+p*4096, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Stats()
+	if got := s.MajorFaults + s.MinorFaults; got != workers*pages {
+		t.Errorf("touches accounted = %d want %d", got, workers*pages)
+	}
+	if s.PagesRead != workers*pages {
+		t.Errorf("pages read = %d want %d (each page exactly once)", s.PagesRead, workers*pages)
+	}
+	if m.ResidentPages() > m.CachePages() {
+		t.Errorf("resident %d exceeds capacity %d", m.ResidentPages(), m.CachePages())
+	}
+}
+
+func TestTimelineWorkerTracks(t *testing.T) {
+	var tl Timeline
+	tl.AddWorkerCPU(0, 3)
+	tl.AddWorkerCPU(1, 5)
+	tl.AddWorkerCPU(3, 2) // track 2 registered implicitly at 0
+	tl.AddDisk(4)
+	if got := tl.Tracks(); got != 4 {
+		t.Errorf("tracks = %d want 4", got)
+	}
+	if got := tl.CPUSeconds(); got != 10 {
+		t.Errorf("cpu seconds = %v want 10 (sum of tracks)", got)
+	}
+	// Elapsed is the slowest single resource: track 1 at 5s > disk 4s.
+	if got := tl.Elapsed(); got != 5 {
+		t.Errorf("elapsed = %v want 5 (slowest worker track)", got)
+	}
+	cpu, disk := tl.Utilization()
+	if math.Abs(cpu-10.0/(5*4)) > 1e-12 {
+		t.Errorf("cpu util = %v want %v (averaged over 4 tracks)", cpu, 10.0/(5*4))
+	}
+	if math.Abs(disk-0.8) > 1e-12 {
+		t.Errorf("disk util = %v want 0.8", disk)
+	}
+
+	// Disk-bound phase: disk sets the pace.
+	tl.AddDisk(6)
+	if got := tl.Elapsed(); got != 10 {
+		t.Errorf("elapsed = %v want 10 (disk-bound)", got)
+	}
+
+	// Sequential composition merges tracks index-wise.
+	var other Timeline
+	other.AddWorkerCPU(1, 7)
+	tl.Add(other)
+	if got := tl.Elapsed(); got != 12 {
+		t.Errorf("merged elapsed = %v want 12 (track 1 = 12s)", got)
+	}
+	tl.Reset()
+	if tl.Elapsed() != 0 || tl.Tracks() != 1 {
+		t.Error("reset failed")
+	}
+}

@@ -7,18 +7,45 @@ package vm
 // observes directly ("disk I/O was 100% utilized while CPU was only
 // utilized at around 13%": elapsed ≈ disk, CPU/elapsed ≈ 0.13).
 //
+// Compute is accounted on worker tracks that model cores running in
+// parallel: AddCPU adds to the serial track 0, AddWorkerCPU(w, t) to
+// track w. Within a phase all tracks and the disk overlap, so elapsed
+// is max(slowest worker track, disk busy) — the multi-core extension
+// of the single-core max(cpu, disk) model, which the single-track
+// case reduces to exactly.
+//
 // A Timeline is the simulated counterpart of wall-clock measurement:
 // compute layers add CPU seconds, the paged store adds disk seconds,
-// and Elapsed/Utilization read out the result.
+// and Elapsed/Utilization read out the result. It is not safe for
+// concurrent use; parallel scanners accumulate per-worker totals and
+// stamp them when the phase ends.
 type Timeline struct {
-	cpu  float64
-	disk float64
+	tracks []float64 // per-worker CPU seconds; track 0 is the serial track
+	disk   float64
 }
 
-// AddCPU accounts t simulated seconds of computation.
+// AddCPU accounts t simulated seconds of computation on the serial
+// track (track 0).
 func (tl *Timeline) AddCPU(t float64) {
 	if t > 0 {
-		tl.cpu += t
+		tl.AddWorkerCPU(0, t)
+	}
+}
+
+// AddWorkerCPU accounts t simulated seconds of computation on worker
+// track w (negative w is treated as 0; non-positive t adds nothing).
+// Registering a track widens the timeline even at t = 0, which keeps
+// Utilization's per-core denominator honest when a worker ends a
+// phase having done no work.
+func (tl *Timeline) AddWorkerCPU(w int, t float64) {
+	if w < 0 {
+		w = 0
+	}
+	for len(tl.tracks) <= w {
+		tl.tracks = append(tl.tracks, 0)
+	}
+	if t > 0 {
+		tl.tracks[w] += t
 	}
 }
 
@@ -29,37 +56,62 @@ func (tl *Timeline) AddDisk(t float64) {
 	}
 }
 
-// CPUSeconds returns accumulated compute time.
-func (tl *Timeline) CPUSeconds() float64 { return tl.cpu }
+// CPUSeconds returns accumulated compute time summed over all worker
+// tracks — total CPU work, not elapsed time.
+func (tl *Timeline) CPUSeconds() float64 {
+	var sum float64
+	for _, t := range tl.tracks {
+		sum += t
+	}
+	return sum
+}
+
+// Tracks returns the number of worker tracks the timeline has seen
+// (at least 1: an empty timeline still models one core).
+func (tl *Timeline) Tracks() int {
+	if len(tl.tracks) < 2 {
+		return 1
+	}
+	return len(tl.tracks)
+}
 
 // DiskSeconds returns accumulated device busy time.
 func (tl *Timeline) DiskSeconds() float64 { return tl.disk }
 
-// Elapsed returns the modelled wall-clock duration of the phase:
-// CPU and disk activity fully overlap, so the slower resource sets
-// the pace.
+// Elapsed returns the modelled wall-clock duration of the phase: all
+// worker tracks and the disk overlap fully, so the slowest single
+// resource — the most loaded core, or the device — sets the pace.
 func (tl *Timeline) Elapsed() float64 {
-	if tl.cpu > tl.disk {
-		return tl.cpu
+	e := tl.disk
+	for _, t := range tl.tracks {
+		if t > e {
+			e = t
+		}
 	}
-	return tl.disk
+	return e
 }
 
 // Utilization returns (cpuUtil, diskUtil) as fractions of elapsed
-// time. Both are zero for an empty timeline.
+// time. cpuUtil is averaged over the worker tracks — the fraction of
+// the modelled cores kept busy, matching how the paper reports "CPU
+// utilized at around 13%" of an 8-thread machine. Both are zero for
+// an empty timeline.
 func (tl *Timeline) Utilization() (cpuUtil, diskUtil float64) {
 	e := tl.Elapsed()
 	if e == 0 {
 		return 0, 0
 	}
-	return tl.cpu / e, tl.disk / e
+	return tl.CPUSeconds() / (e * float64(tl.Tracks())), tl.disk / e
 }
 
 // Reset zeroes the timeline.
-func (tl *Timeline) Reset() { tl.cpu, tl.disk = 0, 0 }
+func (tl *Timeline) Reset() { tl.tracks, tl.disk = nil, 0 }
 
-// Add merges another timeline's totals (sequential composition).
+// Add merges another timeline's totals (sequential composition):
+// worker tracks merge index-wise, disk time accumulates.
 func (tl *Timeline) Add(other Timeline) {
-	tl.cpu += other.cpu
+	for w, t := range other.tracks {
+		tl.AddWorkerCPU(w, t)
+	}
 	tl.disk += other.disk
 }
