@@ -82,10 +82,58 @@ func TestCLIGenerateInspectTrain(t *testing.T) {
 		t.Errorf("model file missing: %v", err)
 	}
 
+	// Saved models are inspectable.
+	out = runCLI(t, "m3inspect", "model", "-data", model)
+	for _, want := range []string{"kind: logistic", "784 features"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("model output missing %q:\n%s", want, out)
+		}
+	}
+
 	// Both backends work from the CLI.
 	out = runCLI(t, "m3train", "-data", ds, "-algo", "kmeans", "-k", "4", "-backend", "heap")
 	if !strings.Contains(out, "mapped=false") || !strings.Contains(out, "kmeans:") {
 		t.Errorf("heap kmeans output: %s", out)
+	}
+}
+
+func TestCLIPipelineTrainInspect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "digits.m3")
+	runCLI(t, "infimnist-gen", "-out", ds, "-images", "120", "-seed", "2")
+
+	// -scale and -pca assemble a Pipeline around the estimator; the
+	// stage summary reports where each intermediate materialized.
+	model := filepath.Join(dir, "pipe.model")
+	out := runCLI(t, "m3train", "-data", ds, "-algo", "logreg", "-iters", "8",
+		"-scale", "standard", "-pca", "8", "-save", model)
+	for _, want := range []string{
+		"pipeline: 2 preprocessing stages",
+		"standard scaler over 784 features",
+		"pca 784 -> 8 components",
+		"train accuracy",
+		"model saved",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pipeline train output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The saved KindPipeline envelope prints per-stage summaries.
+	out = runCLI(t, "m3inspect", "model", "-data", model)
+	for _, want := range []string{
+		"kind: pipeline",
+		"pipeline: 3 stages",
+		"stage 0: standard scaler: 784 features",
+		"stage 1: pca: 8 components over 784 features",
+		"stage 2: logistic: 8 features",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pipeline model output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,4 +1,5 @@
-// Command m3inspect examines and converts M3 dataset files.
+// Command m3inspect examines and converts M3 dataset files and
+// inspects saved models.
 //
 // Usage:
 //
@@ -7,6 +8,7 @@
 //	m3inspect head   -data digits.m3 [-n 5]       # first rows as CSV
 //	m3inspect export -data digits.m3 -format csv|libsvm [-out file]
 //	m3inspect import -in data.csv|data.svm -data out.m3 [-format csv|libsvm] [-labels]
+//	m3inspect model  -data lr.model               # saved-model envelope (pipeline stages)
 package main
 
 import (
@@ -16,6 +18,13 @@ import (
 	"strings"
 
 	"m3/internal/dataset"
+	"m3/internal/ml/bayes"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/linreg"
+	"m3/internal/ml/logreg"
+	"m3/internal/ml/modelio"
+	"m3/internal/ml/pca"
+	"m3/internal/ml/preprocess"
 	"m3/internal/mmap"
 )
 
@@ -46,6 +55,8 @@ func main() {
 		err = runExport(*data, *format, *out)
 	case "import":
 		err = runImport(*in, *data, *format, *labels)
+	case "model":
+		err = runModel(*data)
 	default:
 		usage()
 		os.Exit(2)
@@ -57,7 +68,61 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: m3inspect <info|verify|head|export|import> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: m3inspect <info|verify|head|export|import|model> [flags]")
+}
+
+// runModel prints a saved model's envelope: its kind and a
+// per-payload summary, with one indented line per stage for pipeline
+// envelopes.
+func runModel(path string) error {
+	if path == "" {
+		return fmt.Errorf("-data is required")
+	}
+	v, kind, err := modelio.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kind: %s\n", kind)
+	describeModel(v, "  ")
+	return nil
+}
+
+// describeModel renders v's summary line at the current cursor —
+// callers print any prefix ("stage N: ") first. Pipelines follow with
+// one line per stage at indent, nested pipelines two spaces deeper.
+func describeModel(v any, indent string) {
+	switch m := v.(type) {
+	case *logreg.Model:
+		fmt.Printf("logistic: %d features, intercept %.6g\n", len(m.Weights), m.Intercept)
+	case *logreg.SoftmaxModel:
+		fmt.Printf("softmax: %d classes x %d features\n", m.Classes, m.Features)
+	case *linreg.Model:
+		fmt.Printf("linear: %d features, intercept %.6g\n", len(m.Weights), m.Intercept)
+	case *kmeans.Result:
+		k, d := m.Centroids.Dims()
+		fmt.Printf("kmeans: %d centroids x %d features\n", k, d)
+	case *bayes.Model:
+		fmt.Printf("bayes: %d classes x %d features\n", m.Classes, m.Features)
+	case *pca.Result:
+		k, d := m.Components.Dims()
+		explained := 0.0
+		for _, r := range m.ExplainedRatio() {
+			explained += r
+		}
+		fmt.Printf("pca: %d components over %d features (%.1f%% variance)\n", k, d, 100*explained)
+	case *preprocess.StandardScaler:
+		fmt.Printf("standard scaler: %d features\n", len(m.Mean))
+	case *preprocess.MinMaxScaler:
+		fmt.Printf("min-max scaler: %d features\n", len(m.Min))
+	case *modelio.Pipeline:
+		fmt.Printf("pipeline: %d stages\n", len(m.Stages))
+		for i, s := range m.Stages {
+			fmt.Printf("%sstage %d: ", indent, i)
+			describeModel(s, indent+"  ")
+		}
+	default:
+		fmt.Printf("%T\n", v)
+	}
 }
 
 func open(path string) (*dataset.Dataset, error) {

@@ -2,13 +2,17 @@
 // storage backend selectable on the command line — the Table 1
 // "minimal change" exposed as a flag. It drives the estimator surface:
 // every algorithm goes through the same Engine.Fit call, with a
-// cancellable context wired to SIGINT.
+// cancellable context wired to SIGINT. Preprocessing flags assemble a
+// Pipeline around the chosen algorithm, so a scaled (and optionally
+// PCA-reduced) fit stays one Engine.Fit call with the intermediates
+// materialized through the engine.
 //
 // Usage:
 //
 //	m3train -data digits.m3 -algo logreg  [-backend mmap|heap|auto] [-iters 10]
 //	m3train -data digits.m3 -algo softmax [-classes 10]
 //	m3train -data digits.m3 -algo kmeans  [-k 5]
+//	m3train -data digits.m3 -algo logreg -scale standard -pca 32   # pipeline fit
 package main
 
 import (
@@ -21,7 +25,6 @@ import (
 
 	"m3"
 	"m3/internal/iostats"
-	"m3/internal/mat"
 	"m3/internal/ml/eval"
 )
 
@@ -34,6 +37,8 @@ func main() {
 	classes := flag.Int("classes", 10, "softmax class count")
 	workers := flag.Int("workers", 0, "chunked-execution worker pool (0 = NumCPU, 1 = sequential)")
 	positive := flag.Float64("positive", 0, "label treated as the positive class for logreg")
+	scale := flag.String("scale", "", "prepend a scaling stage: standard or minmax")
+	pcaK := flag.Int("pca", 0, "prepend a PCA stage projecting to this many components (0 = off)")
 	verbose := flag.Bool("verbose", false, "log one line per iteration")
 	save := flag.String("save", "", "save the trained model to this path")
 	flag.Parse()
@@ -45,13 +50,13 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *data, *algo, *backend, *iters, *k, *classes, *workers, *positive, *verbose, *save); err != nil {
+	if err := run(ctx, *data, *algo, *backend, *scale, *iters, *k, *classes, *workers, *pcaK, *positive, *verbose, *save); err != nil {
 		fmt.Fprintf(os.Stderr, "m3train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, data, algo, backend string, iters, k, classes, workers int, positive float64, verbose bool, save string) error {
+func run(ctx context.Context, data, algo, backend, scale string, iters, k, classes, workers, pcaK int, positive float64, verbose bool, save string) error {
 	var mode m3.Mode
 	switch backend {
 	case "mmap":
@@ -97,33 +102,63 @@ func run(ctx context.Context, data, algo, backend string, iters, k, classes, wor
 		return fmt.Errorf("unknown algorithm %q", algo)
 	}
 
+	// Preprocessing flags assemble a Pipeline around the estimator.
+	var stages []m3.Transformer
+	switch scale {
+	case "":
+	case "standard":
+		stages = append(stages, m3.StandardScaler{Options: m3.PreprocessOptions{FitOptions: fitOpts}})
+	case "minmax":
+		stages = append(stages, m3.MinMaxScaler{Options: m3.PreprocessOptions{FitOptions: fitOpts}})
+	default:
+		return fmt.Errorf("unknown scale %q (want standard or minmax)", scale)
+	}
+	if pcaK > 0 {
+		stages = append(stages, m3.PrincipalComponents{
+			Options: m3.PCAOptions{FitOptions: fitOpts, Components: pcaK},
+		})
+	}
+	if len(stages) > 0 {
+		est = m3.Pipeline{Stages: stages, Estimator: est}
+	}
+
 	trainStart := time.Now()
 	model, err := eng.Fit(ctx, est, tbl)
 	if err != nil {
 		return err
 	}
 
-	// Per-algorithm reporting off the rich fitted types.
-	switch m := model.(type) {
-	case *m3.FittedLogistic:
-		y := make([]float64, len(tbl.Labels))
-		for i, v := range tbl.Labels {
-			if v == positive {
-				y[i] = 1
-			}
+	// For pipelines, report each fitted stage and switch the rich
+	// reporting to the final model; accuracy always goes through the
+	// full chain (model.PredictMatrix routes rows stage by stage).
+	rich := model
+	if fp, ok := model.(*m3.FittedPipeline); ok {
+		printPipeline(fp)
+		rich = fp.FinalModel()
+	}
+	var preds []float64
+	if algo != "kmeans" {
+		if preds, err = model.PredictMatrix(tbl.X); err != nil {
+			return err
 		}
+	}
+
+	switch m := rich.(type) {
+	case *m3.FittedLogistic:
 		fmt.Printf("logreg: %d iterations, %d data passes, loss %.6f, train accuracy %.4f\n",
 			m.Result.Iterations, m.Result.Evaluations, m.Result.Value,
-			m.Accuracy(tbl.X, y))
+			accuracy(preds, tbl.Labels, func(v float64) float64 {
+				if v == positive {
+					return 1
+				}
+				return 0
+			}))
 
 	case *m3.FittedSoftmax:
-		y := make([]int, len(tbl.Labels))
-		for i, v := range tbl.Labels {
-			y[i] = int(v)
-		}
 		fmt.Printf("softmax: %d iterations, loss %.6f, train accuracy %.4f\n",
-			m.Result.Iterations, m.Result.Value, m.Accuracy(tbl.X, y))
-		printConfusion(tbl.X, y, m, classes)
+			m.Result.Iterations, m.Result.Value,
+			accuracy(preds, tbl.Labels, func(v float64) float64 { return float64(int(v)) }))
+		printConfusion(preds, tbl.Labels, classes)
 
 	case *m3.FittedKMeans:
 		fmt.Printf("kmeans: %d iterations, %d scans, inertia %.2f\n",
@@ -148,21 +183,60 @@ func run(ctx context.Context, data, algo, backend string, iters, k, classes, wor
 	return nil
 }
 
-// printConfusion renders per-class precision/recall for a trained
-// softmax model.
-func printConfusion(x *mat.Dense, y []int, model *m3.FittedSoftmax, classes int) {
+// printPipeline summarizes the fitted chain: one line per stage with
+// its shape and whether its intermediate was mmap-backed.
+func printPipeline(fp *m3.FittedPipeline) {
+	stages := fp.Stages()
+	mapped := fp.IntermediateMapped()
+	fmt.Printf("pipeline: %d preprocessing stages\n", len(stages))
+	for i, st := range stages {
+		where := "heap"
+		if i < len(mapped) && mapped[i] {
+			where = "mmap"
+		}
+		fmt.Printf("  stage %d: %s (intermediate on %s)\n", i, stageSummary(st), where)
+	}
+}
+
+// stageSummary names a fitted transformer stage.
+func stageSummary(st m3.TransformerModel) string {
+	switch s := st.(type) {
+	case *m3.FittedStandardScaler:
+		return fmt.Sprintf("standard scaler over %d features", s.NumFeatures())
+	case *m3.FittedMinMaxScaler:
+		return fmt.Sprintf("min-max scaler over %d features", s.NumFeatures())
+	case *m3.FittedPCA:
+		return fmt.Sprintf("pca %d -> %d components", s.NumFeatures(), s.Components.Rows())
+	}
+	return fmt.Sprintf("%T", st)
+}
+
+// accuracy compares chain predictions against labels mapped to the
+// model's output convention.
+func accuracy(preds, labels []float64, want func(float64) float64) float64 {
+	if len(preds) == 0 || len(preds) != len(labels) {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == want(labels[i]) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}
+
+// printConfusion renders per-class precision/recall from chain
+// predictions.
+func printConfusion(preds, labels []float64, classes int) {
 	cm, err := eval.NewConfusionMatrix(classes)
 	if err != nil {
 		return
 	}
-	ok := true
-	x.ForEachRow(func(i int, row []float64) {
-		if err := cm.Add(y[i], model.SoftmaxModel.Predict(row)); err != nil {
-			ok = false
+	for i, p := range preds {
+		if err := cm.Add(int(labels[i]), int(p)); err != nil {
+			return
 		}
-	})
-	if !ok {
-		return
 	}
 	fmt.Printf("macro F1: %.4f\n", cm.MacroF1())
 	for c := 0; c < classes; c++ {

@@ -463,7 +463,10 @@ func (e PrincipalComponents) Fit(ctx context.Context, ds *Dataset) (Model, error
 }
 
 // FittedPCA is a fitted decomposition; the embedded PCAResult exposes
-// the full Transform/Reconstruct surface.
+// Eigenvalues, ExplainedRatio and Reconstruct. Note the dataset-level
+// Transform (TransformerModel) shadows PCAResult's row-level method —
+// use TransformRow, or PCAResult.Transform directly, to project a
+// single row.
 type FittedPCA struct {
 	*PCAResult
 	workers int
@@ -471,10 +474,10 @@ type FittedPCA struct {
 
 // Predict returns the projection of row onto the leading principal
 // component (the scalar summary of the uniform Model interface; use
-// Transform for all coordinates).
+// TransformRow for all coordinates).
 func (f *FittedPCA) Predict(row []float64) float64 {
 	coords := make([]float64, f.Components.Rows())
-	f.Transform(row, coords)
+	f.PCAResult.Transform(row, coords)
 	return coords[0]
 }
 

@@ -5,6 +5,7 @@ package m3
 // downstream user would.
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -37,6 +38,7 @@ func TestIntegrationGenerateTrainEvaluate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	binary := func(labels []float64) []float64 {
 		y := make([]float64, len(labels))
 		for i, v := range labels {
@@ -46,42 +48,49 @@ func TestIntegrationGenerateTrainEvaluate(t *testing.T) {
 		}
 		return y
 	}
-	yTrain := binary(trainTbl.Labels)
 	yTest := binary(testTbl.Labels)
 
 	// L-BFGS logistic regression.
-	lr, err := TrainLogistic(trainTbl.X, yTrain, LogisticOptions{MaxIterations: 20})
+	lrModel, err := eng.Fit(ctx, LogisticRegression{
+		Binarize: true, Positive: 0,
+		Options: LogisticOptions{MaxIterations: 20},
+	}, trainTbl)
 	if err != nil {
 		t.Fatal(err)
 	}
+	lr := lrModel.(*FittedLogistic)
 	if acc := lr.Accuracy(testTbl.X, yTest); acc < 0.95 {
 		t.Errorf("logreg test accuracy = %v", acc)
 	}
 
-	// Parallel logistic regression reaches the same quality.
-	lrp, err := TrainLogisticParallel(trainTbl.X, yTrain, LogisticOptions{MaxIterations: 20}, 4)
+	// Explicit 4-worker pool reaches the same quality.
+	lrpModel, err := eng.Fit(ctx, LogisticRegression{
+		Binarize: true, Positive: 0,
+		Options: LogisticOptions{FitOptions: FitOptions{Workers: 4}, MaxIterations: 20},
+	}, trainTbl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := lrp.Accuracy(testTbl.X, yTest); acc < 0.95 {
+	if acc := lrpModel.(*FittedLogistic).Accuracy(testTbl.X, yTest); acc < 0.95 {
 		t.Errorf("parallel logreg test accuracy = %v", acc)
 	}
 
 	// SGD.
-	sgdModel, err := TrainSGD(trainTbl.X, yTrain, SGDOptions{Epochs: 3})
+	sgdModel, err := eng.Fit(ctx, SGDClassifier{
+		Binarize: true, Positive: 0,
+		Options: SGDOptions{Epochs: 3},
+	}, trainTbl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := sgdModel.Accuracy(testTbl.X, yTest); acc < 0.9 {
+	if acc := sgdModel.(*FittedLogistic).Accuracy(testTbl.X, yTest); acc < 0.9 {
 		t.Errorf("sgd test accuracy = %v", acc)
 	}
 
 	// Softmax multiclass.
-	yMulti := make([]int, len(trainTbl.Labels))
-	for i, v := range trainTbl.Labels {
-		yMulti[i] = int(v)
-	}
-	sm, err := TrainSoftmax(trainTbl.X, yMulti, 10, LogisticOptions{MaxIterations: 25})
+	smModel, err := eng.Fit(ctx, SoftmaxRegression{
+		Classes: 10, Options: LogisticOptions{MaxIterations: 25},
+	}, trainTbl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,15 +98,18 @@ func TestIntegrationGenerateTrainEvaluate(t *testing.T) {
 	for i, v := range testTbl.Labels {
 		yMultiTest[i] = int(v)
 	}
-	if acc := sm.Accuracy(testTbl.X, yMultiTest); acc < 0.75 {
+	if acc := smModel.(*FittedSoftmax).Accuracy(testTbl.X, yMultiTest); acc < 0.75 {
 		t.Errorf("softmax test accuracy = %v", acc)
 	}
 
 	// K-means over the same mapped matrix.
-	km, err := KMeans(trainTbl.X, KMeansOptions{K: 10, MaxIterations: 10, Seed: 5})
+	kmModel, err := eng.Fit(ctx, KMeansClustering{
+		Options: KMeansOptions{K: 10, MaxIterations: 10, Seed: 5},
+	}, trainTbl)
 	if err != nil {
 		t.Fatal(err)
 	}
+	km := kmModel.(*FittedKMeans)
 	if km.Inertia <= 0 || len(km.Assignments) != 400 {
 		t.Errorf("kmeans result: inertia %v, %d assignments", km.Inertia, len(km.Assignments))
 	}
@@ -128,10 +140,11 @@ func TestIntegrationLinearRegressionOnMappedScratch(t *testing.T) {
 		x.Set(i, 2, c)
 		y[i] = 2*a - b + 0.5*c + 4
 	}
-	lm, err := TrainLinear(x, y, LinearOptions{})
+	lmModel, err := Fit(context.Background(), LinearRegression{}, x, y)
 	if err != nil {
 		t.Fatal(err)
 	}
+	lm := lmModel.(*FittedLinear)
 	want := []float64{2, -1, 0.5}
 	for i, wv := range want {
 		if math.Abs(lm.Weights[i]-wv) > 1e-3 {
@@ -141,10 +154,11 @@ func TestIntegrationLinearRegressionOnMappedScratch(t *testing.T) {
 	if math.Abs(lm.Intercept-4) > 1e-3 {
 		t.Errorf("intercept = %v", lm.Intercept)
 	}
-	ex, err := TrainLinearExact(x, y, LinearOptions{})
+	exModel, err := Fit(context.Background(), LinearRegression{Exact: true}, x, y)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ex := exModel.(*FittedLinear)
 	for i := range ex.Weights {
 		if math.Abs(ex.Weights[i]-lm.Weights[i]) > 1e-4 {
 			t.Errorf("exact vs lbfgs weight %d: %v vs %v", i, ex.Weights[i], lm.Weights[i])
@@ -242,12 +256,16 @@ func TestIntegrationSaveLoadModel(t *testing.T) {
 			y[i] = 1
 		}
 	}
-	model, err := TrainLogistic(tbl.X, y, LogisticOptions{MaxIterations: 10})
+	fitted, err := eng.Fit(context.Background(), LogisticRegression{
+		Binarize: true, Positive: 0,
+		Options: LogisticOptions{MaxIterations: 10},
+	}, tbl)
 	if err != nil {
 		t.Fatal(err)
 	}
+	model := fitted.(*FittedLogistic)
 	modelPath := filepath.Join(dir, "lr.model")
-	if err := SaveModel(modelPath, model); err != nil {
+	if err := model.Save(modelPath); err != nil {
 		t.Fatal(err)
 	}
 	loaded, kind, err := LoadModel(modelPath)
@@ -260,6 +278,25 @@ func TestIntegrationSaveLoadModel(t *testing.T) {
 	lm := loaded.(*LogisticModel)
 	if lm.Accuracy(tbl.X, y) != model.Accuracy(tbl.X, y) {
 		t.Error("loaded model disagrees with original")
+	}
+
+	// m3.Load returns the same model behind the fitted wrapper.
+	wrapped, err := Load(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := wrapped.PredictMatrix(tbl.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := model.PredictMatrix(tbl.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wp {
+		if wp[i] != mp[i] {
+			t.Fatalf("Load-ed model prediction %d differs", i)
+		}
 	}
 }
 
@@ -278,13 +315,10 @@ func TestIntegrationResidencyGrowsWithTraining(t *testing.T) {
 		t.Fatal(err)
 	}
 	before, berr := iostats.ReadProc()
-	y := make([]float64, len(tbl.Labels))
-	for i, v := range tbl.Labels {
-		if v == 0 {
-			y[i] = 1
-		}
-	}
-	if _, err := TrainLogistic(tbl.X, y, LogisticOptions{MaxIterations: 5}); err != nil {
+	if _, err := eng.Fit(context.Background(), LogisticRegression{
+		Binarize: true, Positive: 0,
+		Options: LogisticOptions{MaxIterations: 5},
+	}, tbl); err != nil {
 		t.Fatal(err)
 	}
 	st := tbl.X.Store().Stats()

@@ -98,6 +98,25 @@ var ErrClosed = errors.New("core: engine is closed")
 // engine (Config.Workers, with <= 0 meaning runtime.NumCPU()).
 func (e *Engine) Workers() int { return exec.Workers(e.cfg.Workers) }
 
+// forget removes a resource from the Close list — used by scratch
+// matrices released early, so a long-lived engine running many
+// pipeline fits does not accumulate dead closers. A no-op when the
+// resource is not tracked (heap scratches) or the engine is closed
+// (Close owns the list then).
+func (e *Engine) forget(c closer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	for i, o := range e.open {
+		if o == c {
+			e.open = append(e.open[:i], e.open[i+1:]...)
+			return
+		}
+	}
+}
+
 // track registers a resource for Close. If the engine was closed
 // between resource creation and registration, the resource is closed
 // here — under the same lock that Close holds, so exactly one of
@@ -224,12 +243,26 @@ func (e *Engine) Alloc(rows, cols int) (*mat.Dense, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("core: non-positive dimensions %dx%d", rows, cols)
 	}
+	d, sc, err := e.allocMapped(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.trackAlloc(sc, sc.path); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// allocMapped creates the temp-file-backed matrix Alloc and
+// AllocScratch share: closed-check before the backing file exists (a
+// closed engine must never leave scratch files behind), unique temp
+// path, mapping, and teardown of a half-built allocation. The caller
+// registers its own closer around the returned scratch via trackAlloc.
+func (e *Engine) allocMapped(rows, cols int) (*mat.Dense, *scratch, error) {
 	e.mu.Lock()
 	if e.closed {
-		// Refuse before creating the backing file: a closed engine
-		// must never leave scratch files behind.
 		e.mu.Unlock()
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	e.nalloc++
 	path := filepath.Join(e.cfg.TempDir, fmt.Sprintf("m3-alloc-%d-%d.bin", os.Getpid(), e.nalloc))
@@ -237,26 +270,120 @@ func (e *Engine) Alloc(rows, cols int) (*mat.Dense, error) {
 
 	ms, err := store.CreateMapped(path, int64(rows)*int64(cols))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d, err := mat.NewDenseStore(ms, rows, cols)
 	if err != nil {
 		ms.Close()
 		os.Remove(path)
-		return nil, err
+		return nil, nil, err
 	}
 	d.SetWorkersHint(e.cfg.Workers)
-	if err := e.track(&scratch{Mapped: ms, path: path}); err != nil {
-		// track released the scratch (unmapping and removing the
-		// file) under the engine lock if it lost the race with
-		// Close; the fallback remove below only covers removal
-		// failures surfaced through the joined error.
+	return d, &scratch{Mapped: ms, path: path}, nil
+}
+
+// trackAlloc registers an allocation's closer for Engine.Close. If
+// registration lost the race with Close, track already released the
+// resource (unmapping and removing the file) under the engine lock;
+// the fallback remove only covers removal failures surfaced through
+// the joined error.
+func (e *Engine) trackAlloc(c closer, path string) error {
+	err := e.track(c)
+	if err != nil {
 		if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
 			err = errors.Join(err, rmErr)
 		}
+	}
+	return err
+}
+
+// ScratchMatrix is an engine-allocated intermediate matrix — the
+// materialization target of a transformer stage. Unlike Alloc, the
+// backend is chosen by the engine's mode: heap when the matrix fits
+// the memory budget (or the engine is InMemory), a file-backed
+// mapping in the temp dir when it would exceed it (or the engine is
+// MemoryMapped) — so a preprocess→train pipeline stays out-of-core at
+// every stage exactly when its inputs do. Release frees the backing
+// early (pipelines release each intermediate as soon as the next
+// stage has consumed it); an unreleased scratch is freed by
+// Engine.Close like every other resource.
+type ScratchMatrix struct {
+	// X is the writable rows×cols matrix.
+	X *mat.Dense
+	// Mapped reports whether the backing is a temp-file mapping.
+	Mapped bool
+
+	eng      *Engine
+	mu       sync.Mutex
+	released bool
+	res      closer // backing mapping + temp file; nil for heap
+}
+
+// Close frees the backing store and removes the temp file (mapped
+// scratches). Idempotent, so the engine's Close after an early
+// Release is a no-op. It does not untrack the scratch; use Release.
+func (s *ScratchMatrix) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.released {
+		return nil
+	}
+	s.released = true
+	if s.res == nil {
+		return nil
+	}
+	return s.res.Close()
+}
+
+// Release frees the backing store and untracks the scratch from its
+// engine, so releasing intermediates eagerly keeps the engine's
+// resource list — and the temp dir — bounded. Idempotent.
+func (s *ScratchMatrix) Release() error {
+	err := s.Close()
+	if s.eng != nil {
+		s.eng.forget(s)
+	}
+	return err
+}
+
+// AllocScratch allocates a rows×cols intermediate matrix through the
+// engine's backend policy: InMemory engines (and Auto engines when
+// the matrix fits MemoryBudget) return a heap matrix with nothing to
+// clean up; MemoryMapped engines (and Auto above the budget) return a
+// temp-file mapping exactly like Alloc. Transformer stages
+// materialize through this call, which is what keeps a pipeline's
+// intermediates out-of-core when they outgrow RAM.
+func (e *Engine) AllocScratch(rows, cols int) (*ScratchMatrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("core: non-positive dimensions %dx%d", rows, cols)
+	}
+	mode := e.cfg.Mode
+	if mode == Auto {
+		if int64(rows)*int64(cols)*8 > e.cfg.MemoryBudget {
+			mode = MemoryMapped
+		} else {
+			mode = InMemory
+		}
+	}
+
+	if mode == InMemory {
+		if err := e.checkOpen(); err != nil {
+			return nil, err
+		}
+		d := mat.NewDense(rows, cols)
+		d.SetWorkersHint(e.cfg.Workers)
+		return &ScratchMatrix{X: d, eng: e}, nil
+	}
+
+	d, sc, err := e.allocMapped(rows, cols)
+	if err != nil {
 		return nil, err
 	}
-	return d, nil
+	sm := &ScratchMatrix{X: d, Mapped: true, eng: e, res: sc}
+	if err := e.trackAlloc(sm, sc.path); err != nil {
+		return nil, err
+	}
+	return sm, nil
 }
 
 // scratch couples a mapped store with its backing file for cleanup.

@@ -38,6 +38,11 @@ type Dataset struct {
 	Path string
 	// Engine is the owning engine (nil for engine-less datasets).
 	Engine *Engine
+
+	// scratch is the engine allocation backing a transformed dataset
+	// (nil for opened tables and caller-built datasets); Release frees
+	// it early.
+	scratch *ScratchMatrix
 }
 
 // BinaryLabels returns a 0/1 view of the labels: entries equal to

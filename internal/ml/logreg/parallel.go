@@ -116,7 +116,9 @@ func (o *ParallelObjective) Eval(params, grad []float64) float64 {
 }
 
 // sigmoidLoss returns (P(y=1|z), per-example log-loss) with the
-// numerically stable split on the sign of z.
+// numerically stable split on the sign of z. Train is block-parallel
+// through this objective; parallelism is configured with
+// Options.Workers (or the engine), not a separate entry point.
 func sigmoidLoss(z, y float64) (prob, loss float64) {
 	if z >= 0 {
 		ez := math.Exp(-z)
@@ -136,14 +138,4 @@ func sigmoidLoss(z, y float64) (prob, loss float64) {
 		loss = math.Log1p(ez)
 	}
 	return prob, loss
-}
-
-// TrainParallel fits binary logistic regression using the block-
-// parallel objective.
-//
-// Deprecated: Train is block-parallel itself; set Options.Workers (or
-// rely on the engine's configuration) instead of the extra argument.
-func TrainParallel(x *mat.Dense, y []float64, opts Options, workers int) (*Model, error) {
-	opts.FitOptions.Workers = workers
-	return Train(context.Background(), x, y, opts)
 }

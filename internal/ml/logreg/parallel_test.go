@@ -1,6 +1,7 @@
 package logreg
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -88,7 +89,9 @@ func TestParallelObjectiveDeterministic(t *testing.T) {
 
 func TestTrainParallelLearns(t *testing.T) {
 	xh, y := twoBlobs(300)
-	m, err := TrainParallel(xh, y, Options{MaxIterations: 30}, 4)
+	opts := Options{MaxIterations: 30}
+	opts.FitOptions.Workers = 4
+	m, err := Train(context.Background(), xh, y, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package modelio
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"m3/internal/ml/linreg"
 	"m3/internal/ml/logreg"
 	"m3/internal/ml/pca"
+	"m3/internal/ml/preprocess"
 )
 
 // Kind tags a persisted model type.
@@ -23,13 +25,38 @@ type Kind string
 
 // Supported model kinds.
 const (
-	KindLogistic Kind = "logistic"
-	KindSoftmax  Kind = "softmax"
-	KindLinear   Kind = "linear"
-	KindKMeans   Kind = "kmeans"
-	KindBayes    Kind = "bayes"
-	KindPCA      Kind = "pca"
+	KindLogistic       Kind = "logistic"
+	KindSoftmax        Kind = "softmax"
+	KindLinear         Kind = "linear"
+	KindKMeans         Kind = "kmeans"
+	KindBayes          Kind = "bayes"
+	KindPCA            Kind = "pca"
+	KindStandardScaler Kind = "standard-scaler"
+	KindMinMaxScaler   Kind = "minmax-scaler"
+	KindPipeline       Kind = "pipeline"
 )
+
+// Kinds lists every Kind Save can produce — the round-trip test
+// surface.
+func Kinds() []Kind {
+	return []Kind{
+		KindLogistic, KindSoftmax, KindLinear, KindKMeans, KindBayes,
+		KindPCA, KindStandardScaler, KindMinMaxScaler, KindPipeline,
+	}
+}
+
+// Pipeline is the neutral persisted form of a fitted estimator
+// pipeline: the inner stage values in order — fitted transformers
+// first, the final model last. Each stage is framed as a nested
+// envelope on disk, so a pipeline file is a sequence of ordinary
+// model files inside one KindPipeline frame and future stage kinds
+// need no pipeline-side changes. The public root package converts
+// between this and its FittedPipeline.
+type Pipeline struct {
+	// Stages holds values accepted by Save; the last entry is the
+	// final model, everything before it a transformer.
+	Stages []any
+}
 
 // version of the envelope format.
 const version = 1
@@ -81,6 +108,21 @@ type pcaPayload struct {
 	TotalVariance float64
 }
 
+type standardScalerPayload struct {
+	Mean []float64
+	Std  []float64
+}
+
+type minMaxScalerPayload struct {
+	Min   []float64
+	Range []float64
+}
+
+type pipelinePayload struct {
+	// Stages are nested envelopes, one complete Save frame per stage.
+	Stages [][]byte
+}
+
 func init() {
 	gob.Register(logisticPayload{})
 	gob.Register(softmaxPayload{})
@@ -88,24 +130,56 @@ func init() {
 	gob.Register(kmeansPayload{})
 	gob.Register(bayesPayload{})
 	gob.Register(pcaPayload{})
+	gob.Register(standardScalerPayload{})
+	gob.Register(minMaxScalerPayload{})
+	gob.Register(pipelinePayload{})
 }
 
-// Save writes a model to w. Supported types: *logreg.Model,
+// KindOf reports the Kind Save would stamp on model, or an error for
+// types without a serial form.
+func KindOf(model any) (Kind, error) {
+	switch model.(type) {
+	case *logreg.Model:
+		return KindLogistic, nil
+	case *logreg.SoftmaxModel:
+		return KindSoftmax, nil
+	case *linreg.Model:
+		return KindLinear, nil
+	case *kmeans.Result:
+		return KindKMeans, nil
+	case *bayes.Model:
+		return KindBayes, nil
+	case *pca.Result:
+		return KindPCA, nil
+	case *preprocess.StandardScaler:
+		return KindStandardScaler, nil
+	case *preprocess.MinMaxScaler:
+		return KindMinMaxScaler, nil
+	case *Pipeline:
+		return KindPipeline, nil
+	}
+	return "", fmt.Errorf("modelio: unsupported model type %T", model)
+}
+
+// Save writes a model to w. The envelope kind comes from KindOf —
+// the single source of the type→Kind mapping. Supported types: *logreg.Model,
 // *logreg.SoftmaxModel, *linreg.Model, *kmeans.Result, *bayes.Model,
-// *pca.Result.
+// *pca.Result, *preprocess.StandardScaler, *preprocess.MinMaxScaler
+// and *Pipeline (whose stages are framed as nested envelopes).
 func Save(w io.Writer, model any) error {
-	env := envelope{Version: version}
+	kind, err := KindOf(model)
+	if err != nil {
+		return err
+	}
+	env := envelope{Version: version, Kind: kind}
 	switch m := model.(type) {
 	case *logreg.Model:
-		env.Kind = KindLogistic
 		env.Payload = logisticPayload{Weights: m.Weights, Intercept: m.Intercept}
 	case *logreg.SoftmaxModel:
-		env.Kind = KindSoftmax
 		env.Payload = softmaxPayload{
 			Weights: m.Weights, Bias: m.Bias, Classes: m.Classes, Features: m.Features,
 		}
 	case *linreg.Model:
-		env.Kind = KindLinear
 		env.Payload = linearPayload{Weights: m.Weights, Intercept: m.Intercept}
 	case *kmeans.Result:
 		k, d := m.Centroids.Dims()
@@ -113,10 +187,8 @@ func Save(w io.Writer, model any) error {
 		for c := 0; c < k; c++ {
 			flat = append(flat, m.Centroids.RawRow(c)...)
 		}
-		env.Kind = KindKMeans
 		env.Payload = kmeansPayload{Centroids: flat, K: k, D: d}
 	case *bayes.Model:
-		env.Kind = KindBayes
 		env.Payload = bayesPayload{
 			Classes: m.Classes, Features: m.Features,
 			Mean: m.Mean, Var: m.Var, LogPrior: m.LogPrior,
@@ -127,13 +199,27 @@ func Save(w io.Writer, model any) error {
 		for c := 0; c < k; c++ {
 			flat = append(flat, m.Components.RawRow(c)...)
 		}
-		env.Kind = KindPCA
 		env.Payload = pcaPayload{
 			Components: flat, K: k, D: d,
 			Eigenvalues: m.Eigenvalues, Mean: m.Mean, TotalVariance: m.TotalVariance,
 		}
-	default:
-		return fmt.Errorf("modelio: unsupported model type %T", model)
+	case *preprocess.StandardScaler:
+		env.Payload = standardScalerPayload{Mean: m.Mean, Std: m.Std}
+	case *preprocess.MinMaxScaler:
+		env.Payload = minMaxScalerPayload{Min: m.Min, Range: m.Range}
+	case *Pipeline:
+		if len(m.Stages) == 0 {
+			return fmt.Errorf("modelio: empty pipeline")
+		}
+		stages := make([][]byte, len(m.Stages))
+		for i, stage := range m.Stages {
+			var buf bytes.Buffer
+			if err := Save(&buf, stage); err != nil {
+				return fmt.Errorf("modelio: pipeline stage %d: %w", i, err)
+			}
+			stages[i] = buf.Bytes()
+		}
+		env.Payload = pipelinePayload{Stages: stages}
 	}
 	return gob.NewEncoder(w).Encode(env)
 }
@@ -176,6 +262,29 @@ func Load(r io.Reader) (any, Kind, error) {
 			Components:  mat.NewDenseFrom(p.Components, p.K, p.D),
 			Eigenvalues: p.Eigenvalues, Mean: p.Mean, TotalVariance: p.TotalVariance,
 		}, env.Kind, nil
+	case standardScalerPayload:
+		if len(p.Mean) == 0 || len(p.Mean) != len(p.Std) {
+			return nil, "", fmt.Errorf("modelio: corrupt standard-scaler payload (%d means, %d stds)", len(p.Mean), len(p.Std))
+		}
+		return &preprocess.StandardScaler{Mean: p.Mean, Std: p.Std}, env.Kind, nil
+	case minMaxScalerPayload:
+		if len(p.Min) == 0 || len(p.Min) != len(p.Range) {
+			return nil, "", fmt.Errorf("modelio: corrupt minmax-scaler payload (%d mins, %d ranges)", len(p.Min), len(p.Range))
+		}
+		return &preprocess.MinMaxScaler{Min: p.Min, Range: p.Range}, env.Kind, nil
+	case pipelinePayload:
+		if len(p.Stages) == 0 {
+			return nil, "", fmt.Errorf("modelio: empty pipeline payload")
+		}
+		out := &Pipeline{Stages: make([]any, len(p.Stages))}
+		for i, raw := range p.Stages {
+			stage, _, err := Load(bytes.NewReader(raw))
+			if err != nil {
+				return nil, "", fmt.Errorf("modelio: pipeline stage %d: %w", i, err)
+			}
+			out.Stages[i] = stage
+		}
+		return out, env.Kind, nil
 	}
 	return nil, "", fmt.Errorf("modelio: unknown payload %T", env.Payload)
 }

@@ -14,6 +14,7 @@ import (
 	"m3/internal/ml/linreg"
 	"m3/internal/ml/logreg"
 	"m3/internal/ml/pca"
+	"m3/internal/ml/preprocess"
 )
 
 func digitData(t *testing.T, n int) (*mat.Dense, []float64, []int) {
@@ -218,5 +219,122 @@ func TestPCARoundTrip(t *testing.T) {
 	}
 	if _, _, err := Load(&buf); err == nil {
 		t.Error("Load accepted a pca payload with 3 components for a 2x2 shape")
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	std := &preprocess.StandardScaler{Mean: []float64{1, 2, 3}, Std: []float64{0.5, 1, 2}}
+	mm := &preprocess.MinMaxScaler{Min: []float64{-1, 0}, Range: []float64{2, 4}}
+
+	for _, tc := range []struct {
+		name  string
+		model any
+		kind  Kind
+	}{
+		{"standard", std, KindStandardScaler},
+		{"minmax", mm, KindMinMaxScaler},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if k, err := KindOf(tc.model); err != nil || k != tc.kind {
+				t.Fatalf("KindOf = %v (err %v), want %v", k, err, tc.kind)
+			}
+			path := filepath.Join(t.TempDir(), "s.model")
+			if err := SaveFile(path, tc.model); err != nil {
+				t.Fatal(err)
+			}
+			got, kind, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kind != tc.kind {
+				t.Errorf("kind = %v", kind)
+			}
+			switch s := got.(type) {
+			case *preprocess.StandardScaler:
+				for i := range std.Mean {
+					if s.Mean[i] != std.Mean[i] || s.Std[i] != std.Std[i] {
+						t.Fatalf("feature %d changed after round trip", i)
+					}
+				}
+			case *preprocess.MinMaxScaler:
+				for i := range mm.Min {
+					if s.Min[i] != mm.Min[i] || s.Range[i] != mm.Range[i] {
+						t.Fatalf("feature %d changed after round trip", i)
+					}
+				}
+			default:
+				t.Fatalf("unexpected type %T", got)
+			}
+		})
+	}
+
+	// Corrupt scaler payloads (mismatched vector lengths) are rejected.
+	var buf bytes.Buffer
+	env := envelope{Version: version, Kind: KindStandardScaler, Payload: standardScalerPayload{
+		Mean: []float64{1, 2}, Std: []float64{1},
+	}}
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(&buf); err == nil {
+		t.Error("Load accepted a standard-scaler payload with 2 means and 1 std")
+	}
+}
+
+func TestPipelineEnvelopeRoundTrip(t *testing.T) {
+	// A pipeline whose stages cover a scaler, a decomposition and a
+	// final model — each framed as a nested envelope.
+	std := &preprocess.StandardScaler{Mean: []float64{0, 1}, Std: []float64{1, 2}}
+	pc := &pca.Result{
+		Components:  mat.NewDenseFrom([]float64{1, 0}, 1, 2),
+		Eigenvalues: []float64{2}, Mean: []float64{0, 0}, TotalVariance: 3,
+	}
+	lm := &logreg.Model{Weights: []float64{0.5}, Intercept: -1}
+	p := &Pipeline{Stages: []any{std, pc, lm}}
+
+	path := filepath.Join(t.TempDir(), "p.model")
+	if err := SaveFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, kind, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindPipeline {
+		t.Errorf("kind = %v", kind)
+	}
+	lp := got.(*Pipeline)
+	if len(lp.Stages) != 3 {
+		t.Fatalf("%d stages after round trip", len(lp.Stages))
+	}
+	if s, ok := lp.Stages[0].(*preprocess.StandardScaler); !ok || s.Mean[1] != 1 {
+		t.Errorf("stage 0 = %T", lp.Stages[0])
+	}
+	if s, ok := lp.Stages[1].(*pca.Result); !ok || s.TotalVariance != 3 {
+		t.Errorf("stage 1 = %T", lp.Stages[1])
+	}
+	if s, ok := lp.Stages[2].(*logreg.Model); !ok || s.Intercept != -1 {
+		t.Errorf("stage 2 = %T", lp.Stages[2])
+	}
+
+	// Nested pipelines (a pipeline stage that is itself a pipeline)
+	// round-trip too.
+	nested := &Pipeline{Stages: []any{std, p}}
+	path2 := filepath.Join(t.TempDir(), "nested.model")
+	if err := SaveFile(path2, nested); err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := LoadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, ok := got2.(*Pipeline).Stages[1].(*Pipeline)
+	if !ok || len(inner.Stages) != 3 {
+		t.Fatalf("nested stage = %T", got2.(*Pipeline).Stages[1])
+	}
+
+	// Empty pipelines have no serial form.
+	if err := SaveFile(filepath.Join(t.TempDir(), "e.model"), &Pipeline{}); err == nil {
+		t.Error("Save accepted an empty pipeline")
 	}
 }

@@ -77,11 +77,17 @@ func (r *Result) ExplainedRatio() []float64 {
 // Transform projects row onto the components, writing K coordinates
 // into dst.
 func (r *Result) Transform(row []float64, dst []float64) {
+	r.TransformInto(row, dst, make([]float64, r.Components.Cols()))
+}
+
+// TransformInto is Transform with caller-provided centering scratch
+// (length D), so hot loops — the blocked transform pass, batch
+// prediction — project rows without a per-row allocation.
+func (r *Result) TransformInto(row, dst, centered []float64) {
 	k, d := r.Components.Dims()
-	if len(row) != d || len(dst) != k {
-		panic(fmt.Sprintf("pca: shapes row=%d dst=%d model=(%d,%d)", len(row), len(dst), k, d))
+	if len(row) != d || len(dst) != k || len(centered) != d {
+		panic(fmt.Sprintf("pca: shapes row=%d dst=%d scratch=%d model=(%d,%d)", len(row), len(dst), len(centered), k, d))
 	}
-	centered := make([]float64, d)
 	blas.AddScaled(centered, row, -1, r.Mean)
 	for c := 0; c < k; c++ {
 		dst[c] = blas.Dot(centered, r.Components.RawRow(c))

@@ -34,8 +34,27 @@
 //
 //	model, err := m3.Fit(ctx, est, x, labels)
 //
-// The v1 free functions (TrainLogistic, KMeans, ...) remain as thin
-// deprecated wrappers over the same trainers.
+// # Transformers and pipelines
+//
+// Preprocessing shares the surface: StandardScaler, MinMaxScaler and
+// PrincipalComponents are Transformers whose fitted stages
+// materialize transformed datasets through the engine (heap below the
+// memory budget, mmap-backed temp files above), and Pipeline chains
+// transformers into a final estimator while remaining an Estimator
+// itself:
+//
+//	pipe := m3.Pipeline{
+//	    Stages:    []m3.Transformer{m3.StandardScaler{}},
+//	    Estimator: m3.LogisticRegression{Binarize: true},
+//	}
+//	model, err := eng.Fit(ctx, pipe, tbl) // scale → train, out-of-core throughout
+//
+// Fitted models round-trip: Model.Save writes a self-describing
+// envelope (nested per stage for pipelines) and m3.Load reconstructs
+// the fitted model from it.
+//
+// The v1 free-function surface (TrainLogistic, KMeans, ...) was
+// removed in v3; every workload goes through Engine.Fit / m3.Fit.
 //
 // See the examples/ directory for runnable end-to-end programs and
 // cmd/m3bench for the harness that regenerates the paper's figures.
@@ -153,7 +172,7 @@ func GenerateInfimnist(path string, n int64, seed uint64) error {
 // InfimnistFeatures is the per-image feature count (28×28 = 784).
 const InfimnistFeatures = infimnist.Features
 
-// --- v1 training surface (deprecated thin wrappers) ------------------
+// --- Algorithm option and inner-model types ---------------------------
 
 // LogisticOptions configures binary logistic regression training.
 type LogisticOptions = logreg.Options
@@ -161,25 +180,8 @@ type LogisticOptions = logreg.Options
 // LogisticModel is a trained binary classifier.
 type LogisticModel = logreg.Model
 
-// TrainLogistic fits binary logistic regression with L-BFGS; labels
-// must be 0 or 1. The matrix may be heap- or mmap-backed.
-//
-// Deprecated: use Engine.Fit (or Fit) with LogisticRegression, which
-// adds cancellation and engine-threaded parallelism.
-func TrainLogistic(x *Matrix, y []float64, opts LogisticOptions) (*LogisticModel, error) {
-	return logreg.Train(context.Background(), x, y, opts)
-}
-
 // SoftmaxModel is a trained multiclass classifier.
 type SoftmaxModel = logreg.SoftmaxModel
-
-// TrainSoftmax fits K-class softmax regression with L-BFGS; labels
-// must be in [0, classes).
-//
-// Deprecated: use Engine.Fit (or Fit) with SoftmaxRegression.
-func TrainSoftmax(x *Matrix, y []int, classes int, opts LogisticOptions) (*SoftmaxModel, error) {
-	return logreg.TrainSoftmax(context.Background(), x, y, classes, opts)
-}
 
 // KMeansOptions configures clustering.
 type KMeansOptions = kmeans.Options
@@ -187,62 +189,16 @@ type KMeansOptions = kmeans.Options
 // KMeansResult is a completed clustering.
 type KMeansResult = kmeans.Result
 
-// KMeans clusters the rows of x with Lloyd's algorithm (k-means++
-// initialization by default).
-//
-// Deprecated: use Engine.Fit (or Fit) with KMeansClustering.
-func KMeans(x *Matrix, opts KMeansOptions) (*KMeansResult, error) {
-	return kmeans.Run(context.Background(), x, opts)
-}
-
 // MiniBatchKMeansOptions configures the mini-batch variant.
 type MiniBatchKMeansOptions = kmeans.MiniBatchOptions
 
-// MiniBatchKMeans clusters with Sculley-style mini-batch updates —
-// each step touches only a batch of rows, the I/O-frugal choice for
-// out-of-core data.
-//
-// Deprecated: use Engine.Fit (or Fit) with MiniBatchClustering.
-func MiniBatchKMeans(x *Matrix, opts MiniBatchKMeansOptions) (*KMeansResult, error) {
-	return kmeans.MiniBatch(context.Background(), x, opts)
-}
-
 // Neighbor is one k-nearest-neighbor search result.
 type Neighbor = knn.Neighbor
-
-// NearestNeighbors answers a batch of queries with one blocked
-// parallel scan of the (possibly mapped) reference matrix.
-//
-// Deprecated: use Engine.Fit (or Fit) with KNNClassifier, or
-// SearchNeighbors for the raw neighbor lists with context and
-// worker control.
-func NearestNeighbors(refs, queries *Matrix, k int) ([][]Neighbor, error) {
-	return knn.Search(context.Background(), refs, queries, k, knn.Options{})
-}
 
 // SearchNeighbors answers a batch of queries with one blocked parallel
 // scan of the reference matrix; ctx cancels within one block.
 func SearchNeighbors(ctx context.Context, refs, queries *Matrix, k int, opts KNNOptions) ([][]Neighbor, error) {
 	return knn.Search(ctx, refs, queries, k, opts)
-}
-
-// KNNClassify predicts labels by majority vote among the k nearest
-// labelled reference rows.
-//
-// Deprecated: use Engine.Fit (or Fit) with KNNClassifier.
-func KNNClassify(refs *Matrix, labels []int, queries *Matrix, k int) ([]int, error) {
-	return knn.Classify(context.Background(), refs, labels, queries, k, knn.Options{})
-}
-
-// TrainLogisticParallel fits binary logistic regression on a
-// worker-pool of the given size.
-//
-// Deprecated: TrainLogistic (and LogisticRegression) are
-// block-parallel themselves; set FitOptions.Workers — or configure
-// Config.Workers on the engine — instead of passing a pool size here.
-func TrainLogisticParallel(x *Matrix, y []float64, opts LogisticOptions, workers int) (*LogisticModel, error) {
-	opts.FitOptions.Workers = workers
-	return logreg.Train(context.Background(), x, y, opts)
 }
 
 // LinearOptions configures linear (ridge) regression.
@@ -251,31 +207,8 @@ type LinearOptions = linreg.Options
 // LinearModel is a fitted linear regressor.
 type LinearModel = linreg.Model
 
-// TrainLinear fits ridge linear regression with streaming L-BFGS.
-//
-// Deprecated: use Engine.Fit (or Fit) with LinearRegression.
-func TrainLinear(x *Matrix, y []float64, opts LinearOptions) (*LinearModel, error) {
-	return linreg.Train(context.Background(), x, y, opts)
-}
-
-// TrainLinearExact solves the ridge normal equations directly (one
-// data scan + O(d³) solve); suitable when the feature count is small.
-//
-// Deprecated: use Engine.Fit (or Fit) with LinearRegression{Exact: true}.
-func TrainLinearExact(x *Matrix, y []float64, opts LinearOptions) (*LinearModel, error) {
-	return linreg.TrainExact(context.Background(), x, y, opts)
-}
-
 // SGDOptions configures stochastic gradient descent training.
 type SGDOptions = sgd.Options
-
-// TrainSGD fits binary logistic regression with (mini-batch) SGD —
-// the online-learning path of the paper's §4.
-//
-// Deprecated: use Engine.Fit (or Fit) with SGDClassifier.
-func TrainSGD(x *Matrix, y []float64, opts SGDOptions) (*LogisticModel, error) {
-	return sgd.Train(context.Background(), x, y, opts)
-}
 
 // OnlineLearner is a streaming logistic-regression learner: one
 // Update per arriving example, no dataset required.
@@ -289,37 +222,24 @@ func NewOnlineLearner(dim int, learningRate, lambda float64) (*OnlineLearner, er
 // BayesModel is a fitted Gaussian naive Bayes classifier.
 type BayesModel = bayes.Model
 
-// TrainBayes fits Gaussian naive Bayes in a single data scan; labels
-// must be integers in [0, classes).
-//
-// Deprecated: use Engine.Fit (or Fit) with NaiveBayes.
-func TrainBayes(x *Matrix, y []int, classes int) (*BayesModel, error) {
-	return bayes.Train(context.Background(), x, y, classes, bayes.Options{})
-}
-
 // PCAOptions configures principal component analysis.
 type PCAOptions = pca.Options
 
 // PCAResult is a fitted decomposition.
 type PCAResult = pca.Result
 
-// PCA extracts the leading principal components in two data scans
-// (mean + covariance) regardless of the component count.
-//
-// Deprecated: use Engine.Fit (or Fit) with PrincipalComponents.
-func PCA(x *Matrix, opts PCAOptions) (*PCAResult, error) {
-	return pca.Fit(context.Background(), x, opts)
-}
-
-// SaveModel persists a trained model (logistic, softmax, linear,
-// k-means, naive Bayes or PCA) to path in a self-describing format.
-// Fitted models from Engine.Fit also expose this as Model.Save.
+// SaveModel persists a trained inner model (logistic, softmax,
+// linear, k-means, naive Bayes, PCA, a fitted scaler or a
+// modelio-form pipeline) to path in a self-describing format. Fitted
+// models from Engine.Fit expose this as Model.Save; the round-trip
+// counterpart is Load.
 func SaveModel(path string, model any) error {
 	return modelio.SaveFile(path, model)
 }
 
-// LoadModel reads a model saved by SaveModel. The first return value
-// is one of the model pointer types; the ModelKind tags which.
+// LoadModel reads a model saved by SaveModel, returning the raw inner
+// value (one of the model pointer types; the ModelKind tags which).
+// Use Load to get the fitted Model wrapper instead.
 func LoadModel(path string) (any, ModelKind, error) {
 	return modelio.LoadFile(path)
 }

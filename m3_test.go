@@ -1,6 +1,7 @@
 package m3
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -17,22 +18,17 @@ func TestTable1MinimalChange(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	train := func(x *Matrix, y []float64) *LogisticModel {
+	est := LogisticRegression{
+		Binarize: true, Positive: 0,
+		Options: LogisticOptions{MaxIterations: 20},
+	}
+	train := func(eng *Engine, tbl *Table) *LogisticModel {
 		t.Helper()
-		m, err := TrainLogistic(x, y, LogisticOptions{MaxIterations: 20})
+		m, err := eng.Fit(context.Background(), est, tbl)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return m
-	}
-	binary := func(labels []float64) []float64 {
-		y := make([]float64, len(labels))
-		for i, v := range labels {
-			if v == 0 {
-				y[i] = 1
-			}
-		}
-		return y
+		return m.(*FittedLogistic).LogisticModel
 	}
 
 	// "Original": in-memory load.
@@ -42,7 +38,7 @@ func TestTable1MinimalChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	heapModel := train(heapTbl.X, binary(heapTbl.Labels))
+	heapModel := train(heapEng, heapTbl)
 
 	// "M3": the one-line change — open memory-mapped instead.
 	mapEng := New(Config{Mode: MemoryMapped})
@@ -54,7 +50,7 @@ func TestTable1MinimalChange(t *testing.T) {
 	if !mapTbl.Mapped {
 		t.Fatal("dataset not mapped")
 	}
-	mapModel := train(mapTbl.X, binary(mapTbl.Labels))
+	mapModel := train(mapEng, mapTbl)
 
 	// Identical data + identical algorithm ⇒ identical model.
 	if heapModel.Intercept != mapModel.Intercept {
@@ -96,10 +92,11 @@ func TestWrapMatrixAndKMeans(t *testing.T) {
 		5, 5, 5.1, 5.2, 4.9, 5, // cluster B
 	}
 	x := WrapMatrix(data, 6, 2)
-	res, err := KMeans(x, KMeansOptions{K: 2, Seed: 1})
+	model, err := Fit(context.Background(), KMeansClustering{Options: KMeansOptions{K: 2, Seed: 1}}, x, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := model.(*FittedKMeans).KMeansResult
 	if res.Assignments[0] == res.Assignments[3] {
 		t.Error("clusters not separated")
 	}
@@ -123,11 +120,13 @@ func TestTrainSoftmaxPublic(t *testing.T) {
 	for i, v := range tbl.Labels {
 		y[i] = int(v)
 	}
-	model, err := TrainSoftmax(tbl.X, y, 10, LogisticOptions{MaxIterations: 15})
+	model, err := eng.Fit(context.Background(), SoftmaxRegression{
+		Classes: 10, Options: LogisticOptions{MaxIterations: 15},
+	}, tbl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := model.Accuracy(tbl.X, y); acc < 0.8 {
+	if acc := model.(*FittedSoftmax).Accuracy(tbl.X, y); acc < 0.8 {
 		t.Errorf("softmax accuracy over mapped data = %v", acc)
 	}
 }

@@ -1,0 +1,297 @@
+package m3
+
+// Pipeline: composition as the unit of the public API. A pipeline is
+// an ordered chain of transformers ending in an estimator, and is
+// itself an Estimator — so the algorithm-agnostic entry point fits a
+// whole preprocess→train workflow unchanged:
+//
+//	pipe := m3.Pipeline{
+//	    Stages:    []m3.Transformer{m3.StandardScaler{}, m3.PrincipalComponents{Options: m3.PCAOptions{Components: 16}}},
+//	    Estimator: m3.LogisticRegression{Binarize: true},
+//	}
+//	model, err := eng.Fit(ctx, pipe, tbl) // scale → PCA → logreg, end to end
+//
+// Every intermediate matrix is materialized through the Engine
+// (Engine.AllocScratch): heap when it fits the memory budget,
+// mmap-backed temp files above it — so an out-of-core dataset stays
+// out-of-core through every stage, and each stage's fitting and
+// transform scans run blocked and parallel with ctx cancellation.
+// Intermediates are released as soon as the next stage has consumed
+// them (a failed or cancelled fit leaves no temp file behind).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"m3/internal/exec"
+	"m3/internal/fit"
+	"m3/internal/ml/modelio"
+	"m3/internal/ml/preprocess"
+)
+
+// Pipeline chains preprocessing transformers and a final estimator
+// into one Estimator. Stages run in order; each stage is fitted on
+// the previous stage's output and its transformed dataset is
+// Engine-materialized before the next stage sees it.
+//
+// The final estimator must not retain the training matrix beyond Fit:
+// the last intermediate is released when Fit returns. KNNClassifier —
+// whose fitted model is the training matrix — is therefore rejected.
+type Pipeline struct {
+	// Stages are the preprocessing transformers, applied in order.
+	Stages []Transformer
+	// Estimator is the final training stage (required).
+	Estimator Estimator
+}
+
+// Fit implements Estimator: it fits and applies every transformer
+// stage, then fits the final estimator on the fully transformed
+// dataset, returning a *FittedPipeline. ctx cancels within one data
+// block of whichever scan is running; on any error every intermediate
+// allocated so far is released.
+func (p Pipeline) Fit(ctx context.Context, ds *Dataset) (Model, error) {
+	if p.Estimator == nil {
+		return nil, errors.New("m3: pipeline has no final estimator")
+	}
+	switch p.Estimator.(type) {
+	case KNNClassifier, *KNNClassifier:
+		// FittedKNN retains the training matrix, but the pipeline's
+		// last intermediate is released when Fit returns — the model
+		// would read freed (possibly unmapped) memory.
+		return nil, errors.New("m3: KNNClassifier cannot terminate a pipeline (it retains the training matrix, which pipelines release); transform the dataset explicitly and keep it open instead")
+	}
+	for i, st := range p.Stages {
+		if st == nil {
+			return nil, fmt.Errorf("m3: pipeline stage %d is nil", i)
+		}
+	}
+	if err := fit.Canceled(ctx); err != nil {
+		return nil, err
+	}
+
+	cur := ds
+	releaseCur := func() error {
+		if cur == ds {
+			return nil
+		}
+		return cur.Release()
+	}
+	stages := make([]TransformerModel, 0, len(p.Stages))
+	mapped := make([]bool, 0, len(p.Stages))
+	for i, st := range p.Stages {
+		tm, err := st.FitTransform(ctx, cur)
+		if err != nil {
+			return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), releaseCur())
+		}
+		next, err := tm.Transform(ctx, cur)
+		if err != nil {
+			return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), releaseCur())
+		}
+		// The previous intermediate has been consumed; free its
+		// backing (and temp file) before the next stage allocates.
+		if err := releaseCur(); err != nil {
+			return nil, errors.Join(err, next.Release())
+		}
+		cur = next
+		stages = append(stages, tm)
+		mapped = append(mapped, next.Mapped)
+	}
+
+	final, ferr := p.Estimator.Fit(ctx, cur)
+	if err := errors.Join(ferr, releaseCur()); err != nil {
+		return nil, err
+	}
+	return &FittedPipeline{stages: stages, final: final, mapped: mapped}, nil
+}
+
+// FittedPipeline is a fitted chain: every prediction routes the row
+// through each stage's TransformRow before the final model.
+type FittedPipeline struct {
+	stages []TransformerModel
+	final  Model
+	mapped []bool
+}
+
+// Stages returns the fitted transformer stages in application order.
+func (f *FittedPipeline) Stages() []TransformerModel { return f.stages }
+
+// FinalModel returns the fitted final estimator (a concrete Fitted*
+// type exposing the rich inner model).
+func (f *FittedPipeline) FinalModel() Model { return f.final }
+
+// IntermediateMapped reports, per stage, whether the materialized
+// intermediate dataset was mmap-backed (true above the engine's
+// memory budget) during Fit. Nil for pipelines reconstructed by Load.
+func (f *FittedPipeline) IntermediateMapped() []bool { return f.mapped }
+
+// inputCols reports the feature width the first stage expects, when
+// known.
+func (f *FittedPipeline) inputCols() (int, bool) {
+	if len(f.stages) == 0 {
+		return 0, false
+	}
+	if nf, ok := f.stages[0].(interface{ NumFeatures() int }); ok {
+		return nf.NumFeatures(), true
+	}
+	return 0, false
+}
+
+// Predict routes one row through every stage's TransformRow and the
+// final model's Predict.
+func (f *FittedPipeline) Predict(row []float64) float64 {
+	for _, s := range f.stages {
+		row = s.TransformRow(row)
+	}
+	return f.final.Predict(row)
+}
+
+// PredictMatrix routes every row of x through the stage chain and the
+// final model in one blocked parallel scan. Each block instantiates
+// its own chain of buffer-reusing stage transforms, so batch
+// prediction allocates per block, not per row — the same economy as
+// the fit-time transform pass.
+func (f *FittedPipeline) PredictMatrix(x *Matrix) ([]float64, error) {
+	if len(f.stages) == 0 {
+		return f.final.PredictMatrix(x)
+	}
+	if x == nil {
+		return nil, errors.New("m3: nil matrix")
+	}
+	if want, ok := f.inputCols(); ok && x.Cols() != want {
+		return nil, fmt.Errorf("m3: matrix has %d features, pipeline wants %d", x.Cols(), want)
+	}
+	out := make([]float64, x.Rows())
+	_, _, err := exec.ReduceRows(x.Scan(0),
+		func() []func([]float64) []float64 {
+			chain := make([]func([]float64) []float64, len(f.stages))
+			for i, s := range f.stages {
+				chain[i] = stageFunc(s)
+			}
+			return chain
+		},
+		func(chain []func([]float64) []float64, i int, row []float64) {
+			for _, fn := range chain {
+				row = fn(row)
+			}
+			out[i] = f.final.Predict(row)
+		},
+		func(dst, src []func([]float64) []float64) {})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Save persists the whole chain as one KindPipeline envelope with one
+// nested envelope per stage; Load reconstructs it.
+func (f *FittedPipeline) Save(path string) error {
+	p, err := f.inner()
+	if err != nil {
+		return err
+	}
+	return modelio.SaveFile(path, p)
+}
+
+// inner converts the fitted chain to modelio's neutral pipeline form.
+func (f *FittedPipeline) inner() (*modelio.Pipeline, error) {
+	vals := make([]any, 0, len(f.stages)+1)
+	for i, s := range f.stages {
+		v, err := innerModel(s)
+		if err != nil {
+			return nil, fmt.Errorf("m3: pipeline stage %d: %w", i, err)
+		}
+		vals = append(vals, v)
+	}
+	v, err := innerModel(f.final)
+	if err != nil {
+		return nil, err
+	}
+	return &modelio.Pipeline{Stages: append(vals, v)}, nil
+}
+
+// innerModel unwraps a fitted model to the inner value modelio
+// persists.
+func innerModel(m any) (any, error) {
+	switch v := m.(type) {
+	case *FittedLogistic:
+		return v.LogisticModel, nil
+	case *FittedSoftmax:
+		return v.SoftmaxModel, nil
+	case *FittedLinear:
+		return v.LinearModel, nil
+	case *FittedKMeans:
+		return v.KMeansResult, nil
+	case *FittedBayes:
+		return v.BayesModel, nil
+	case *FittedPCA:
+		return v.PCAResult, nil
+	case *FittedStandardScaler:
+		return v.StandardScaler, nil
+	case *FittedMinMaxScaler:
+		return v.MinMaxScaler, nil
+	case *FittedPipeline:
+		return v.inner()
+	}
+	return nil, fmt.Errorf("m3: %T has no serial form", m)
+}
+
+// Load reads any model saved through Model.Save (or SaveModel) and
+// reconstructs the fitted model — the round-trip counterpart of Save
+// that the v1/v2 surface never had. Every modelio kind is supported,
+// including whole pipelines (each nested stage envelope is rebuilt
+// into its fitted transformer, transformers into TransformerModel
+// stages and the last envelope into the final model). Loaded models
+// predict with default parallelism (engine hints on the matrices they
+// are applied to, then NumCPU).
+func Load(path string) (Model, error) {
+	v, _, err := modelio.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wrapLoaded(v)
+}
+
+// wrapLoaded rebuilds the fitted wrapper for a modelio inner value.
+func wrapLoaded(v any) (Model, error) {
+	switch m := v.(type) {
+	case *LogisticModel:
+		return &FittedLogistic{LogisticModel: m}, nil
+	case *SoftmaxModel:
+		return &FittedSoftmax{SoftmaxModel: m}, nil
+	case *LinearModel:
+		return &FittedLinear{LinearModel: m}, nil
+	case *KMeansResult:
+		return &FittedKMeans{KMeansResult: m}, nil
+	case *BayesModel:
+		return &FittedBayes{BayesModel: m}, nil
+	case *PCAResult:
+		return &FittedPCA{PCAResult: m}, nil
+	case *preprocess.StandardScaler:
+		return &FittedStandardScaler{StandardScaler: m}, nil
+	case *preprocess.MinMaxScaler:
+		return &FittedMinMaxScaler{MinMaxScaler: m}, nil
+	case *modelio.Pipeline:
+		if len(m.Stages) == 0 {
+			return nil, errors.New("m3: empty pipeline envelope")
+		}
+		stages := make([]TransformerModel, 0, len(m.Stages)-1)
+		for i, s := range m.Stages[:len(m.Stages)-1] {
+			w, err := wrapLoaded(s)
+			if err != nil {
+				return nil, fmt.Errorf("m3: pipeline stage %d: %w", i, err)
+			}
+			tm, ok := w.(TransformerModel)
+			if !ok {
+				return nil, fmt.Errorf("m3: pipeline stage %d (%T) is not a transformer", i, w)
+			}
+			stages = append(stages, tm)
+		}
+		final, err := wrapLoaded(m.Stages[len(m.Stages)-1])
+		if err != nil {
+			return nil, err
+		}
+		return &FittedPipeline{stages: stages, final: final}, nil
+	}
+	return nil, fmt.Errorf("m3: no fitted form for %T", v)
+}

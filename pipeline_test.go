@@ -1,0 +1,471 @@
+package m3
+
+// Pipeline API v3 tests: cross-backend parity for chained
+// preprocess→train fits, Engine-mediated materialization of the
+// intermediates (mode-aware heap/mmap), cancellation mid-transform
+// with no scratch-file leak, and Load round-trips for every modelio
+// kind including nested pipelines.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"m3/internal/ml/modelio"
+)
+
+// scalePCALogreg is the canonical end-to-end chain of the issue:
+// standardize → project to k components → binary logistic regression.
+func scalePCALogreg(k int) Pipeline {
+	return Pipeline{
+		Stages: []Transformer{
+			StandardScaler{},
+			PrincipalComponents{Options: PCAOptions{Components: k, Seed: 1}},
+		},
+		Estimator: LogisticRegression{
+			Binarize: true, Positive: 0,
+			Options: LogisticOptions{MaxIterations: 8},
+		},
+	}
+}
+
+// tempFiles lists engine scratch files (m3-alloc-*) in dir.
+func tempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "m3-alloc-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestPipelineBackendParity: the acceptance test of the pipeline
+// redesign — the same scale→PCA→logreg chain fitted through Engine.Fit
+// on heap, mmap and Auto engines yields bit-identical predictions and
+// bit-identical saved envelopes.
+func TestPipelineBackendParity(t *testing.T) {
+	path := digitsFile(t, 200)
+	backends := []struct {
+		name string
+		mode Mode
+	}{
+		{"heap", InMemory},
+		{"mmap", MemoryMapped},
+		{"auto", Auto},
+	}
+	var refPreds []float64
+	var refSaved []byte
+	for _, b := range backends {
+		tmp := t.TempDir()
+		eng := New(Config{Mode: b.mode, TempDir: tmp})
+		tbl, err := eng.Open(path)
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		model, err := eng.Fit(context.Background(), scalePCALogreg(5), tbl)
+		if err != nil {
+			eng.Close()
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		fp := model.(*FittedPipeline)
+		if got := len(fp.Stages()); got != 2 {
+			t.Fatalf("%s: %d fitted stages, want 2", b.name, got)
+		}
+		// Intermediates are released as soon as they are consumed: no
+		// scratch file survives the fit even on the mmap backend.
+		if files := tempFiles(t, tmp); len(files) != 0 {
+			t.Errorf("%s: scratch files leaked after fit: %v", b.name, files)
+		}
+		preds, err := model.PredictMatrix(tbl.X)
+		if err != nil {
+			eng.Close()
+			t.Fatalf("%s: PredictMatrix: %v", b.name, err)
+		}
+		mp := filepath.Join(t.TempDir(), b.name+".pipeline")
+		if err := model.Save(mp); err != nil {
+			eng.Close()
+			t.Fatalf("%s: Save: %v", b.name, err)
+		}
+		saved, err := os.ReadFile(mp)
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		eng.Close()
+
+		if refPreds == nil {
+			refPreds, refSaved = preds, saved
+			continue
+		}
+		for i := range preds {
+			if preds[i] != refPreds[i] {
+				t.Fatalf("%s: prediction %d = %v, %s = %v — backends disagree",
+					b.name, i, preds[i], backends[0].name, refPreds[i])
+			}
+		}
+		if string(saved) != string(refSaved) {
+			t.Errorf("%s: serialized pipeline differs from %s", b.name, backends[0].name)
+		}
+	}
+}
+
+// TestTransformMaterializationMode: transformed datasets are
+// Engine-allocated, and the backend follows the engine's mode — heap
+// below the memory budget, a temp-file mapping above it.
+func TestTransformMaterializationMode(t *testing.T) {
+	path := digitsFile(t, 200) // 200×784×8 ≈ 1.25 MB
+	ctx := context.Background()
+
+	run := func(cfg Config) (*Dataset, *Engine, func()) {
+		t.Helper()
+		eng := New(cfg)
+		tbl, err := eng.Open(path)
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		ds := eng.Dataset(tbl)
+		tm, err := StandardScaler{}.FitTransform(ctx, ds)
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		out, err := tm.Transform(ctx, ds)
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		return out, eng, func() { eng.Close() }
+	}
+
+	// Auto engine with a budget far below the transformed size: the
+	// intermediate must be mmap-backed scratch in the temp dir.
+	tmp := t.TempDir()
+	out, _, done := run(Config{Mode: Auto, MemoryBudget: 4096, TempDir: tmp})
+	if !out.Mapped {
+		t.Error("intermediate above the budget not mmap-backed")
+	}
+	if files := tempFiles(t, tmp); len(files) != 1 {
+		t.Errorf("want 1 scratch file backing the intermediate, found %v", files)
+	}
+	if err := out.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if files := tempFiles(t, tmp); len(files) != 0 {
+		t.Errorf("Release left scratch files: %v", files)
+	}
+	if err := out.Release(); err != nil {
+		t.Fatalf("second Release: %v", err)
+	}
+	done()
+
+	// Default budget (1 GiB): the same transform lands on the heap.
+	tmp2 := t.TempDir()
+	out2, _, done2 := run(Config{Mode: Auto, TempDir: tmp2})
+	defer done2()
+	if out2.Mapped {
+		t.Error("intermediate below the budget unexpectedly mapped")
+	}
+	if files := tempFiles(t, tmp2); len(files) != 0 {
+		t.Errorf("heap intermediate created scratch files: %v", files)
+	}
+}
+
+// TestPipelineOutOfCoreIntermediates: fitted through an Auto engine
+// whose budget is below every intermediate, the pipeline reports
+// mmap-backed materialization for each stage.
+func TestPipelineOutOfCoreIntermediates(t *testing.T) {
+	path := digitsFile(t, 200)
+	tmp := t.TempDir()
+	// 200×784 scale output ≈ 1.25 MB and 200×5 PCA output = 8000 B
+	// both exceed a 4 KiB budget.
+	eng := New(Config{Mode: Auto, MemoryBudget: 4096, TempDir: tmp})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := eng.Fit(context.Background(), scalePCALogreg(5), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := model.(*FittedPipeline)
+	mapped := fp.IntermediateMapped()
+	if len(mapped) != 2 || !mapped[0] || !mapped[1] {
+		t.Errorf("IntermediateMapped = %v, want [true true]", mapped)
+	}
+	if files := tempFiles(t, tmp); len(files) != 0 {
+		t.Errorf("scratch files leaked after out-of-core fit: %v", files)
+	}
+}
+
+// countCancelCtx cancels itself after a fixed number of Err checks —
+// a deterministic way to abort a scan mid-pass, since the execution
+// layer polls Err at block granularity.
+type countCancelCtx struct {
+	context.Context
+	after int64
+	n     atomic.Int64
+}
+
+func (c *countCancelCtx) Err() error {
+	if c.n.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestTransformCancelMidPass: cancelling during a transform pass
+// aborts within one block with context.Canceled and releases the
+// engine scratch — no temp file survives while the engine stays open.
+func TestTransformCancelMidPass(t *testing.T) {
+	path := digitsFile(t, 200) // 5 blocks at the default block size
+	tmp := t.TempDir()
+	eng := New(Config{Mode: MemoryMapped, TempDir: tmp})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := eng.Dataset(tbl)
+	tm, err := StandardScaler{}.FitTransform(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &countCancelCtx{Context: context.Background(), after: 2}
+	out, err := tm.Transform(ctx, ds)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Error("got a dataset from a cancelled transform")
+	}
+	if files := tempFiles(t, tmp); len(files) != 0 {
+		t.Errorf("cancelled transform leaked scratch files: %v", files)
+	}
+}
+
+// TestPipelineCancellation: a pre-cancelled context stops the
+// pipeline before any work, and a context cancelled mid-fit aborts in
+// whichever stage is running — in both cases with context.Canceled
+// and no scratch-file leak while the engine remains open.
+func TestPipelineCancellation(t *testing.T) {
+	path := digitsFile(t, 200)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		tmp := t.TempDir()
+		eng := New(Config{Mode: MemoryMapped, TempDir: tmp})
+		defer eng.Close()
+		tbl, err := eng.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		model, err := eng.Fit(ctx, scalePCALogreg(3), tbl)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if model != nil {
+			t.Error("got a model from a cancelled fit")
+		}
+		if files := tempFiles(t, tmp); len(files) != 0 {
+			t.Errorf("pre-cancelled fit leaked scratch files: %v", files)
+		}
+	})
+
+	// Sweep the cancellation point across the whole fit: whichever
+	// stage (scaler fit, scaler transform, PCA scans, final training)
+	// the Err budget lands in must abort cleanly and release scratch.
+	for _, after := range []int64{4, 8, 16, 64} {
+		t.Run("mid-fit", func(t *testing.T) {
+			tmp := t.TempDir()
+			eng := New(Config{Mode: MemoryMapped, TempDir: tmp})
+			defer eng.Close()
+			tbl, err := eng.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := &countCancelCtx{Context: context.Background(), after: after}
+			model, err := eng.Fit(ctx, scalePCALogreg(3), tbl)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("after=%d: err = %v, want context.Canceled", after, err)
+			}
+			if model != nil {
+				t.Errorf("after=%d: got a model from a cancelled fit", after)
+			}
+			if files := tempFiles(t, tmp); len(files) != 0 {
+				t.Errorf("after=%d: cancelled fit leaked scratch files: %v", after, files)
+			}
+		})
+	}
+}
+
+// TestLoadRoundTripEveryKind: m3.Load reconstructs a working fitted
+// model from the saved envelope of every modelio kind, including a
+// pipeline with nested stage envelopes, and the reloaded model's
+// predictions match the original bit for bit.
+func TestLoadRoundTripEveryKind(t *testing.T) {
+	path := digitsFile(t, 150)
+	eng := New(Config{Mode: MemoryMapped})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fitT := func(tr Transformer) Model {
+		t.Helper()
+		tm, err := tr.FitTransform(ctx, eng.Dataset(tbl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm.(Model)
+	}
+	fitE := func(est Estimator) Model {
+		t.Helper()
+		m, err := eng.Fit(ctx, est, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	cases := []struct {
+		kind  modelio.Kind
+		model Model
+	}{
+		{modelio.KindLogistic, fitE(LogisticRegression{Binarize: true, Options: LogisticOptions{MaxIterations: 5}})},
+		{modelio.KindSoftmax, fitE(SoftmaxRegression{Classes: 10, Options: LogisticOptions{MaxIterations: 3}})},
+		{modelio.KindLinear, fitE(LinearRegression{Options: LinearOptions{MaxIterations: 4}})},
+		{modelio.KindKMeans, fitE(KMeansClustering{Options: KMeansOptions{K: 3, MaxIterations: 4, Seed: 2}})},
+		{modelio.KindBayes, fitE(NaiveBayes{Classes: 10})},
+		{modelio.KindPCA, fitE(PrincipalComponents{Options: PCAOptions{Components: 3, Seed: 1}})},
+		{modelio.KindStandardScaler, fitT(StandardScaler{})},
+		{modelio.KindMinMaxScaler, fitT(MinMaxScaler{})},
+		{modelio.KindPipeline, fitE(scalePCALogreg(4))},
+	}
+	covered := map[modelio.Kind]bool{}
+	for _, tc := range cases {
+		covered[tc.kind] = true
+		t.Run(string(tc.kind), func(t *testing.T) {
+			mp := filepath.Join(t.TempDir(), "m.model")
+			if err := tc.model.Save(mp); err != nil {
+				t.Fatal(err)
+			}
+			if _, kind, err := LoadModel(mp); err != nil || kind != tc.kind {
+				t.Fatalf("LoadModel kind = %v (err %v), want %v", kind, err, tc.kind)
+			}
+			loaded, err := Load(mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tc.model.PredictMatrix(tbl.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.PredictMatrix(tbl.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("prediction %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+			// Saved bytes are stable through the round trip.
+			mp2 := filepath.Join(t.TempDir(), "m2.model")
+			if err := loaded.Save(mp2); err != nil {
+				t.Fatal(err)
+			}
+			a, _ := os.ReadFile(mp)
+			b, _ := os.ReadFile(mp2)
+			if string(a) != string(b) {
+				t.Error("re-saved bytes differ from the original envelope")
+			}
+		})
+	}
+	for _, k := range modelio.Kinds() {
+		if !covered[k] {
+			t.Errorf("kind %v has no round-trip case", k)
+		}
+	}
+}
+
+// TestPipelineStandalone: pipelines also run engine-less through
+// m3.Fit on bare heap matrices, and agree with the engine-bound fit.
+func TestPipelineStandalone(t *testing.T) {
+	path := digitsFile(t, 120)
+	eng := New(Config{Mode: InMemory})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := scalePCALogreg(4)
+	viaEngine, err := eng.Fit(context.Background(), pipe, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := Fit(context.Background(), pipe, tbl.X, tbl.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := viaEngine.PredictMatrix(tbl.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := standalone.PredictMatrix(tbl.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs between engine and standalone", i)
+		}
+	}
+}
+
+// TestPipelineValidation covers the construction error paths.
+func TestPipelineValidation(t *testing.T) {
+	path := digitsFile(t, 60)
+	eng := New(Config{})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.Fit(ctx, Pipeline{Stages: []Transformer{StandardScaler{}}}, tbl); err == nil {
+		t.Error("accepted pipeline without a final estimator")
+	}
+	if _, err := eng.Fit(ctx, Pipeline{
+		Stages:    []Transformer{nil},
+		Estimator: NaiveBayes{Classes: 10},
+	}, tbl); err == nil {
+		t.Error("accepted nil stage")
+	}
+	// KNN retains the training matrix, which pipelines release — both
+	// the value and pointer estimator forms must be rejected.
+	for _, est := range []Estimator{KNNClassifier{K: 3, Classes: 10}, &KNNClassifier{K: 3, Classes: 10}} {
+		if _, err := eng.Fit(ctx, Pipeline{
+			Stages:    []Transformer{StandardScaler{}},
+			Estimator: est,
+		}, tbl); err == nil {
+			t.Errorf("accepted %T as a pipeline's final estimator", est)
+		}
+	}
+	// Width mismatch at predict time is reported, not a panic.
+	model, err := eng.Fit(ctx, scalePCALogreg(3), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.PredictMatrix(NewMatrix(2, 3)); err == nil {
+		t.Error("accepted a predict matrix with the wrong width")
+	}
+}
