@@ -1,0 +1,181 @@
+package main
+
+// The fusion experiment: the same K-stage pipeline fitted fused
+// (Pipeline.Fit — virtual intermediate views, at most one cache
+// materialization) and eager (materialize every stage, the pre-fusion
+// behavior), in-RAM and out-of-core. Unlike the simulated paper
+// experiments this one measures real wall-clock, heap and engine
+// scratch traffic on this machine.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"m3"
+	"m3/internal/bench"
+)
+
+// fusionPipeline builds a measured chain ending in final.
+func fusionPipeline(stages []m3.Transformer, final m3.Estimator) m3.Pipeline {
+	return m3.Pipeline{Stages: stages, Estimator: final}
+}
+
+// eagerFit replicates the pre-fusion Pipeline.Fit: every stage
+// materialized through the engine, released once consumed, final fit
+// on the last intermediate. It returns the stage count materialized.
+func eagerFit(ctx context.Context, eng *m3.Engine, tbl *m3.Table, pipe m3.Pipeline) (int, error) {
+	cur := eng.Dataset(tbl)
+	owned := false
+	materialized := 0
+	for _, st := range pipe.Stages {
+		tm, err := st.FitTransform(ctx, cur)
+		if err != nil {
+			return materialized, err
+		}
+		next, err := tm.(m3.TransformerModel).Transform(ctx, cur)
+		if err != nil {
+			return materialized, err
+		}
+		if owned {
+			if err := cur.Release(); err != nil {
+				return materialized, err
+			}
+		}
+		cur, owned = next, true
+		materialized++
+	}
+	_, err := pipe.Estimator.Fit(ctx, cur)
+	if owned {
+		if rerr := cur.Release(); err == nil {
+			err = rerr
+		}
+	}
+	return materialized, err
+}
+
+// measureFusion runs one (mode, pipeline, variant) fit and returns
+// the measured point.
+func measureFusion(eng *m3.Engine, tbl *m3.Table, pipe m3.Pipeline, mode, name, variant string, size int64) (bench.FusionPoint, error) {
+	ctx := context.Background()
+	var ms0, ms1 runtime.MemStats
+	st0 := eng.Stats()
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	materialized := 0
+	switch variant {
+	case "fused":
+		model, err := pipe.Fit(ctx, eng.Dataset(tbl))
+		if err != nil {
+			return bench.FusionPoint{}, err
+		}
+		materialized = model.(*m3.FittedPipeline).Materializations()
+	case "eager":
+		var err error
+		if materialized, err = eagerFit(ctx, eng, tbl, pipe); err != nil {
+			return bench.FusionPoint{}, err
+		}
+	}
+
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	st1 := eng.Stats()
+	return bench.FusionPoint{
+		Mode: mode, Pipeline: name, Variant: variant, SizeBytes: size,
+		WallSeconds:      wall,
+		HeapAllocBytes:   int64(ms1.TotalAlloc - ms0.TotalAlloc),
+		ScratchAllocs:    st1.Allocs - st0.Allocs,
+		ScratchBytes:     st1.Bytes - st0.Bytes,
+		Materializations: materialized,
+	}, nil
+}
+
+// runFusion measures the fused-vs-eager pipeline comparison for a
+// multi-epoch final (logreg: fused keeps exactly one cache) and a
+// streaming final (naive Bayes: fused materializes nothing), in-RAM
+// and out-of-core.
+func runFusion(rows int64, rec *recorder) error {
+	header("Fusion — fused pipeline fit vs eager per-stage materialization")
+	dir, err := os.MkdirTemp("", "m3bench-fusion")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "digits.m3")
+	if err := m3.GenerateInfimnist(path, rows, 7); err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+
+	modes := []struct {
+		name string
+		cfg  m3.Config
+	}{
+		// In-RAM: everything fits the default budget; eager's cost is
+		// the extra passes and heap traffic.
+		{"in-ram", m3.Config{Mode: m3.InMemory, TempDir: dir}},
+		// Out-of-core: a budget far below every intermediate — eager
+		// writes each one to an mmap temp file, fused writes at most
+		// the training cache.
+		{"out-of-core", m3.Config{Mode: m3.Auto, MemoryBudget: 1 << 16, TempDir: dir}},
+	}
+	scalers := []m3.Transformer{m3.StandardScaler{}, m3.MinMaxScaler{}}
+	withPCA := append(append([]m3.Transformer(nil), scalers...),
+		m3.PrincipalComponents{Options: m3.PCAOptions{Components: 16, Seed: 1}})
+	pipelines := []struct {
+		name   string
+		stages []m3.Transformer
+		final  m3.Estimator
+	}{
+		// Bandwidth-bound: cheap kernels, streaming final — the pure
+		// fusion case (0 materializations, every pass at scan speed).
+		{"scale→minmax→bayes", scalers, m3.NaiveBayes{Classes: 10}},
+		// Compute-heavy stage + multi-epoch final: fused keeps exactly
+		// one materialization (the logreg training cache).
+		{"scale→minmax→pca16→logreg", withPCA, m3.LogisticRegression{
+			Binarize: true, Positive: 0,
+			Options: m3.LogisticOptions{MaxIterations: 10},
+		}},
+	}
+
+	var points []bench.FusionPoint
+	for _, mode := range modes {
+		eng := m3.New(mode.cfg)
+		tbl, err := eng.Open(path)
+		if err != nil {
+			eng.Close()
+			return err
+		}
+		for _, pl := range pipelines {
+			for _, variant := range []string{"eager", "fused"} {
+				p, err := measureFusion(eng, tbl, fusionPipeline(pl.stages, pl.final), mode.name, pl.name, variant, size)
+				if err != nil {
+					eng.Close()
+					return fmt.Errorf("fusion %s/%s/%s: %w", mode.name, pl.name, variant, err)
+				}
+				points = append(points, p)
+				rec.add(Record{
+					Experiment: "fusion", Algorithm: pl.name,
+					Mode: mode.name + "-" + variant, Workers: runtime.NumCPU(),
+					SizeBytes: size, WallSeconds: p.WallSeconds,
+					HeapAllocBytes: p.HeapAllocBytes,
+					ScratchAllocs:  p.ScratchAllocs, ScratchBytes: p.ScratchBytes,
+					Materializations: p.Materializations,
+				})
+			}
+		}
+		if err := eng.Close(); err != nil {
+			return err
+		}
+	}
+	return bench.RenderFusion(os.Stdout, points)
+}

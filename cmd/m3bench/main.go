@@ -11,6 +11,7 @@
 //	m3bench -exp locality  # §4 recorded traces + miss-ratio curves
 //	m3bench -exp parallel  # real hardware: blocked scan, workers 1..N
 //	m3bench -exp multicore # simulated: parallel faulting, workers × size
+//	m3bench -exp fusion    # real hardware: fused vs eager pipeline fit
 //	m3bench -exp all       # everything
 //
 // -experiment is accepted as an alias of -exp.
@@ -57,6 +58,12 @@ type Record struct {
 	// counters (real-hardware experiments only).
 	FaultsValid bool `json:"faults_valid,omitempty"`
 	Passes      int  `json:"passes,omitempty"`
+	// Fusion-experiment fields: Go heap allocated during the fit,
+	// engine scratch traffic, and pipeline intermediate count.
+	HeapAllocBytes   int64 `json:"heap_alloc_bytes,omitempty"`
+	ScratchAllocs    int64 `json:"scratch_allocs,omitempty"`
+	ScratchBytes     int64 `json:"scratch_bytes,omitempty"`
+	Materializations int   `json:"materializations,omitempty"`
 }
 
 // recorder accumulates records for -json output.
@@ -86,7 +93,7 @@ func (r *recorder) write(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, multicore, all")
+	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, multicore, fusion, all")
 	flag.StringVar(exp, "experiment", *exp, "alias of -exp")
 	rows := flag.Int("rows", 512, "actual (scaled-down) row count the math runs on")
 	seed := flag.Uint64("seed", 3, "workload seed")
@@ -113,8 +120,9 @@ func main() {
 		"locality":  func() error { return runLocality(w, rec) },
 		"parallel":  func() error { return runParallel(rec) },
 		"multicore": func() error { return runMultiCore(machine, w, *passes, rec) },
+		"fusion":    func() error { return runFusion(int64(*rows), rec) },
 	}
-	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel", "multicore"}
+	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel", "multicore", "fusion"}
 
 	if *exp == "all" {
 		for _, name := range order {

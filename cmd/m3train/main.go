@@ -184,17 +184,26 @@ func run(ctx context.Context, data, algo, backend, scale string, iters, k, class
 }
 
 // printPipeline summarizes the fitted chain: one line per stage with
-// its shape and whether its intermediate was mmap-backed.
+// its shape and whether it ran fused, plus the materialization count.
 func printPipeline(fp *m3.FittedPipeline) {
 	stages := fp.Stages()
-	mapped := fp.IntermediateMapped()
+	fused := fp.StageFused()
 	fmt.Printf("pipeline: %d preprocessing stages\n", len(stages))
 	for i, st := range stages {
+		how := "materialized"
+		if i < len(fused) && fused[i] {
+			how = "fused"
+		}
+		fmt.Printf("  stage %d: %s (%s)\n", i, stageSummary(st), how)
+	}
+	if n := fp.Materializations(); n > 0 {
 		where := "heap"
-		if i < len(mapped) && mapped[i] {
+		if fp.CacheMapped() {
 			where = "mmap"
 		}
-		fmt.Printf("  stage %d: %s (intermediate on %s)\n", i, stageSummary(st), where)
+		fmt.Printf("  intermediates materialized: %d (last on %s)\n", n, where)
+	} else {
+		fmt.Printf("  intermediates materialized: 0 (fully streamed)\n")
 	}
 }
 

@@ -189,6 +189,12 @@ type LinearRegression struct {
 	Options LinearOptions
 }
 
+// streamingFit reports whether training is a bounded number of
+// forward scans: the exact normal-equations path is one Gram scan, so
+// pipelines train it straight off a fused view; L-BFGS re-scans every
+// iteration and gets a materialized cache instead.
+func (e LinearRegression) streamingFit() bool { return e.Exact }
+
 // Fit implements Estimator; dataset labels are the regression targets.
 func (e LinearRegression) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 	opts := e.Options
@@ -406,6 +412,10 @@ type NaiveBayes struct {
 	Options BayesOptions
 }
 
+// streamingFit reports that training is a single counting scan, so
+// pipelines train naive Bayes straight off a fused view.
+func (NaiveBayes) streamingFit() bool { return true }
+
 // Fit implements Estimator.
 func (e NaiveBayes) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 	y, err := ds.IntLabels(e.Classes)
@@ -450,6 +460,10 @@ type PrincipalComponents struct {
 	// Options tunes the decomposition (Components is required).
 	Options PCAOptions
 }
+
+// streamingFit reports that training is two forward scans (mean +
+// covariance), so pipelines train PCA straight off a fused view.
+func (PrincipalComponents) streamingFit() bool { return true }
 
 // Fit implements Estimator; labels are ignored.
 func (e PrincipalComponents) Fit(ctx context.Context, ds *Dataset) (Model, error) {

@@ -63,13 +63,19 @@ func main() {
 		log.Fatal(err)
 	}
 	fp := model.(*m3.FittedPipeline)
-	for i, mapped := range fp.IntermediateMapped() {
-		where := "heap"
-		if mapped {
-			where = "mmap scratch"
+	for i, fused := range fp.StageFused() {
+		how := "materialized"
+		if fused {
+			how = "fused (no intermediate)"
 		}
-		fmt.Printf("stage %d intermediate materialized on %s\n", i, where)
+		fmt.Printf("stage %d ran %s\n", i, how)
 	}
+	where := "heap"
+	if fp.CacheMapped() {
+		where = "mmap scratch"
+	}
+	fmt.Printf("intermediate materializations: %d (training cache on %s)\n",
+		fp.Materializations(), where)
 
 	preds, err := model.PredictMatrix(tbl.X)
 	if err != nil {

@@ -1,0 +1,249 @@
+package m3
+
+// Fusion parity suite: fused pipelines must be bit-identical to the
+// eager (materialize-every-stage) path — same fitted stage bytes,
+// same final model bytes, same predictions — across heap/mmap/Auto
+// backends and worker counts; streaming finals must fit with zero
+// materializations; and cancellation mid-scan through a fused chain
+// must surface Canceled without leaking scratch files.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// savedBytes round-trips a model through Save and returns the
+// envelope bytes.
+func savedBytes(t *testing.T, m interface{ Save(string) error }) []byte {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "model.bin")
+	if err := m.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// eagerScalePCALogreg fits the scale→PCA→logreg chain the
+// pre-fusion way: materializing every intermediate through the
+// engine. It returns the fitted stages, the final model, and per-row
+// reference predictions computed through TransformRow.
+func eagerScalePCALogreg(t *testing.T, eng *Engine, tbl *Table, k int) ([]TransformerModel, Model, []float64) {
+	t.Helper()
+	ctx := context.Background()
+	ds := eng.Dataset(tbl)
+	tm1, err := StandardScaler{}.FitTransform(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := tm1.Transform(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm2, err := PrincipalComponents{Options: PCAOptions{Components: k, Seed: 1}}.FitTransform(ctx, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := tm2.Transform(ctx, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := LogisticRegression{
+		Binarize: true, Positive: 0,
+		Options: LogisticOptions{MaxIterations: 8},
+	}.Fit(ctx, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]float64, tbl.X.Rows())
+	tbl.X.ForEachRow(func(i int, row []float64) {
+		preds[i] = final.Predict(tm2.TransformRow(tm1.TransformRow(row)))
+	})
+	return []TransformerModel{tm1, tm2}, final, preds
+}
+
+// TestFusedPipelineParityEager: the tentpole acceptance test — the
+// fused Pipeline.Fit produces bit-identical fitted stages, final
+// model and predictions to the eager materialize-every-stage chain,
+// on every backend and for several worker counts, while performing
+// exactly one materialization (the logreg training cache).
+func TestFusedPipelineParityEager(t *testing.T) {
+	path := digitsFile(t, 200)
+	backends := []struct {
+		name string
+		cfg  Config
+	}{
+		{"heap", Config{Mode: InMemory}},
+		{"mmap", Config{Mode: MemoryMapped}},
+		{"auto-tiny-budget", Config{Mode: Auto, MemoryBudget: 4096}},
+	}
+	for _, b := range backends {
+		for _, workers := range []int{1, 3} {
+			t.Run(b.name, func(t *testing.T) {
+				cfg := b.cfg
+				cfg.Workers = workers
+				cfg.TempDir = t.TempDir()
+				eng := New(cfg)
+				defer eng.Close()
+				tbl, err := eng.Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refStages, refFinal, refPreds := eagerScalePCALogreg(t, eng, tbl, 4)
+				allocsBefore := eng.Stats().Allocs
+
+				model, err := eng.Fit(context.Background(), scalePCALogreg(4), tbl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fp := model.(*FittedPipeline)
+				if got := fp.Materializations(); got != 1 {
+					t.Errorf("Materializations = %d, want 1", got)
+				}
+				if got := eng.Stats().Allocs - allocsBefore; got != 1 {
+					t.Errorf("fused fit made %d scratch allocs, want 1", got)
+				}
+				for i, st := range fp.Stages() {
+					if string(savedBytes(t, st)) != string(savedBytes(t, refStages[i])) {
+						t.Errorf("stage %d: fused and eager fitted bytes differ", i)
+					}
+				}
+				if string(savedBytes(t, fp.FinalModel())) != string(savedBytes(t, refFinal)) {
+					t.Error("final model: fused and eager fitted bytes differ")
+				}
+				preds, err := fp.PredictMatrix(tbl.X)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range preds {
+					if preds[i] != refPreds[i] {
+						t.Fatalf("prediction %d: fused %v != eager %v", i, preds[i], refPreds[i])
+					}
+				}
+				if files := tempFiles(t, cfg.TempDir); len(files) != 0 {
+					t.Errorf("scratch files leaked: %v", files)
+				}
+			})
+		}
+	}
+}
+
+// TestFusedPipelineStreamingFinals: bounded-pass final estimators
+// (naive Bayes, exact linear regression, PCA) train straight off the
+// fused view — the whole K-stage fit performs zero materializations
+// and zero engine scratch allocations.
+func TestFusedPipelineStreamingFinals(t *testing.T) {
+	path := digitsFile(t, 150)
+	finals := []struct {
+		name string
+		est  Estimator
+	}{
+		{"bayes", NaiveBayes{Classes: 10}},
+		{"linreg-exact", LinearRegression{Exact: true}},
+		{"pca", PrincipalComponents{Options: PCAOptions{Components: 3, Seed: 2}}},
+	}
+	for _, f := range finals {
+		t.Run(f.name, func(t *testing.T) {
+			tmp := t.TempDir()
+			eng := New(Config{Mode: MemoryMapped, TempDir: tmp})
+			defer eng.Close()
+			tbl, err := eng.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe := Pipeline{
+				Stages:    []Transformer{StandardScaler{}, MinMaxScaler{}},
+				Estimator: f.est,
+			}
+			model, err := eng.Fit(context.Background(), pipe, tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := model.(*FittedPipeline)
+			if got := fp.Materializations(); got != 0 {
+				t.Errorf("Materializations = %d, want 0 (streaming final)", got)
+			}
+			if st := eng.Stats(); st.Allocs != 0 {
+				t.Errorf("streaming fit made %d scratch allocs, want 0", st.Allocs)
+			}
+			if fused := fp.StageFused(); len(fused) != 2 || !fused[0] || !fused[1] {
+				t.Errorf("StageFused = %v, want [true true]", fused)
+			}
+			if files := tempFiles(t, tmp); len(files) != 0 {
+				t.Errorf("scratch files leaked: %v", files)
+			}
+
+			// The fused fit must match fitting the same final on an
+			// explicitly transformed dataset, bit for bit.
+			ctx := context.Background()
+			ds := eng.Dataset(tbl)
+			tm1, err := (StandardScaler{}).FitTransform(ctx, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d1, err := tm1.Transform(ctx, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tm2, err := (MinMaxScaler{}).FitTransform(ctx, d1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := tm2.Transform(ctx, d1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := f.est.Fit(ctx, d2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(savedBytes(t, fp.FinalModel())) != string(savedBytes(t, ref)) {
+				t.Error("fused and eager final model bytes differ")
+			}
+			if err := errors.Join(d1.Release(), d2.Release()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFusedPipelineCancelMidScan: cancelling while the fused chain is
+// streaming — during fitting scans or the single cache
+// materialization — surfaces context.Canceled and leaks no scratch
+// file, on an Auto engine whose budget forces the cache to mmap.
+func TestFusedPipelineCancelMidScan(t *testing.T) {
+	path := digitsFile(t, 200)
+	for _, after := range []int64{3, 6, 12, 48} {
+		tmp := t.TempDir()
+		eng := New(Config{Mode: Auto, MemoryBudget: 4096, TempDir: tmp})
+		tbl, err := eng.Open(path)
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		ctx := &countCancelCtx{Context: context.Background(), after: after}
+		model, err := eng.Fit(ctx, scalePCALogreg(3), tbl)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: err = %v, want context.Canceled", after, err)
+		}
+		if model != nil {
+			t.Errorf("after=%d: got a model from a cancelled fused fit", after)
+		}
+		if files := tempFiles(t, tmp); len(files) != 0 {
+			t.Errorf("after=%d: cancelled fused fit leaked scratch files: %v", after, files)
+		}
+		eng.Close()
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+// Fusion experiment shapes: the runner lives in cmd/m3bench (it
+// drives the public pipeline API, which this package cannot import —
+// the root package's tests import bench), while the record layout and
+// rendering live here with the other experiments.
+
+import (
+	"fmt"
+	"io"
+)
+
+// FusionPoint is one measured pipeline fit: a (mode, variant) cell of
+// the fused-vs-eager comparison.
+type FusionPoint struct {
+	// Mode is the storage regime: "in-ram" or "out-of-core".
+	Mode string
+	// Pipeline names the chain and final estimator, e.g.
+	// "scale→minmax→pca→logreg".
+	Pipeline string
+	// Variant is "fused" (Pipeline.Fit) or "eager" (materialize every
+	// stage — the pre-fusion behavior).
+	Variant string
+	// SizeBytes is the source dataset size.
+	SizeBytes int64
+	// WallSeconds is the wall-clock fit time.
+	WallSeconds float64
+	// HeapAllocBytes is the Go heap allocated during the fit
+	// (runtime TotalAlloc delta).
+	HeapAllocBytes int64
+	// ScratchAllocs and ScratchBytes count engine intermediate
+	// materializations (core.ScratchStats delta).
+	ScratchAllocs int64
+	ScratchBytes  int64
+	// Materializations is the pipeline-reported intermediate count.
+	Materializations int
+}
+
+// RenderFusion prints the fused-vs-eager table, one block per
+// (mode, pipeline) group, with speedup and scratch-reduction summary
+// lines per group.
+func RenderFusion(w io.Writer, points []FusionPoint) error {
+	type key struct{ mode, pipeline string }
+	groups := make(map[key][]FusionPoint)
+	var order []key
+	for _, p := range points {
+		k := key{p.Mode, p.Pipeline}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	for _, k := range order {
+		g := groups[k]
+		if _, err := fmt.Fprintf(w, "%s, %s (%.1f MB source):\n", k.mode, k.pipeline, float64(g[0].SizeBytes)/1e6); err != nil {
+			return err
+		}
+		var fused, eager *FusionPoint
+		for i := range g {
+			p := &g[i]
+			if _, err := fmt.Fprintf(w, "  %-6s %9.3fs  heap %8.1f MB  scratch %d allocs / %8.1f MB  materializations %d\n",
+				p.Variant, p.WallSeconds, float64(p.HeapAllocBytes)/1e6,
+				p.ScratchAllocs, float64(p.ScratchBytes)/1e6, p.Materializations); err != nil {
+				return err
+			}
+			switch p.Variant {
+			case "fused":
+				fused = p
+			case "eager":
+				eager = p
+			}
+		}
+		if fused != nil && eager != nil && fused.WallSeconds > 0 {
+			reduction := "all"
+			if eager.ScratchBytes > 0 {
+				reduction = fmt.Sprintf("%.0f%%", 100*(1-float64(fused.ScratchBytes)/float64(eager.ScratchBytes)))
+			}
+			if _, err := fmt.Fprintf(w, "  → fused: %.2fx wall, %s less scratch, %d vs %d materializations\n",
+				eager.WallSeconds/fused.WallSeconds, reduction,
+				fused.Materializations, eager.Materializations); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -82,6 +82,41 @@ type Engine struct {
 	closed bool
 	open   []closer
 	nalloc int
+	stats  ScratchStats
+}
+
+// ScratchStats counts the engine's intermediate materializations —
+// the traffic operator fusion exists to eliminate. Allocs and Bytes
+// cover every AllocScratch call (heap or mapped); MappedBytes is the
+// subset written through temp-file mappings, i.e. scratch disk
+// traffic. Counters are cumulative for the engine's lifetime.
+type ScratchStats struct {
+	// Allocs is the number of AllocScratch calls that succeeded.
+	Allocs int64
+	// Bytes is the total size of those allocations.
+	Bytes int64
+	// MappedBytes is the portion of Bytes backed by temp-file
+	// mappings (out-of-core scratch).
+	MappedBytes int64
+}
+
+// Stats returns a snapshot of the engine's scratch counters.
+func (e *Engine) Stats() ScratchStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// countScratch records a successful scratch materialization.
+func (e *Engine) countScratch(rows, cols int, mapped bool) {
+	n := int64(rows) * int64(cols) * 8
+	e.mu.Lock()
+	e.stats.Allocs++
+	e.stats.Bytes += n
+	if mapped {
+		e.stats.MappedBytes += n
+	}
+	e.mu.Unlock()
 }
 
 type closer interface{ Close() error }
@@ -372,6 +407,7 @@ func (e *Engine) AllocScratch(rows, cols int) (*ScratchMatrix, error) {
 		}
 		d := mat.NewDense(rows, cols)
 		d.SetWorkersHint(e.cfg.Workers)
+		e.countScratch(rows, cols, false)
 		return &ScratchMatrix{X: d, eng: e}, nil
 	}
 
@@ -383,6 +419,7 @@ func (e *Engine) AllocScratch(rows, cols int) (*ScratchMatrix, error) {
 	if err := e.trackAlloc(sm, sc.path); err != nil {
 		return nil, err
 	}
+	e.countScratch(rows, cols, true)
 	return sm, nil
 }
 

@@ -139,11 +139,12 @@ func TestTransformDatasetEngineless(t *testing.T) {
 		}
 	}
 	ds := &Dataset{X: x, Labels: labels}
-	out, err := TransformDataset(context.Background(), ds, d, 2, func() func(dst, src []float64) {
-		return func(dst, src []float64) {
+	out, err := TransformDataset(context.Background(), ds, d, 2, func() RowKernel {
+		return func(dst, src []float64) []float64 {
 			for j := range dst {
 				dst[j] = 2 * src[j]
 			}
+			return dst
 		}
 	})
 	if err != nil {
@@ -167,5 +168,35 @@ func TestTransformDatasetEngineless(t *testing.T) {
 	}
 	if err := (&Dataset{X: x}).Release(); err != nil {
 		t.Errorf("Release on a plain dataset: %v", err)
+	}
+}
+
+// TestTransformDatasetPreCancelled: a pre-cancelled context stops
+// TransformDataset before AllocScratch — regression for the bug where
+// the scratch (and its mmap temp file) was created first and then had
+// to be deleted. The engine's alloc counter is the authoritative
+// witness that no allocation ever happened.
+func TestTransformDatasetPreCancelled(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{Mode: MemoryMapped, TempDir: dir})
+	defer e.Close()
+	x := mat.NewDense(20, 3)
+	ds := &Dataset{X: x, Engine: e}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := TransformDataset(ctx, ds, 3, 1, func() RowKernel {
+		return func(dst, src []float64) []float64 { copy(dst, src); return dst }
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Error("got a dataset from a pre-cancelled transform")
+	}
+	if st := e.Stats(); st.Allocs != 0 {
+		t.Errorf("pre-cancelled transform allocated scratch (%d allocs)", st.Allocs)
+	}
+	if files := scratchFiles(t, dir); len(files) != 0 {
+		t.Errorf("pre-cancelled transform left files: %v", files)
 	}
 }

@@ -17,6 +17,11 @@ import (
 	"m3/internal/mat"
 )
 
+// RowKernel is the per-worker fused transform kernel shared with the
+// execution layer: it writes the transformed row into dst and returns
+// the row the consumer sees (see exec.RowKernel).
+type RowKernel = exec.RowKernel
+
 // TransformerModel is a fitted preprocessing stage. Transform
 // materializes a whole dataset through the owning engine (see
 // TransformDataset); TransformRow maps a single feature row — the
@@ -45,6 +50,25 @@ type Transformer interface {
 	FitTransform(ctx context.Context, ds *Dataset) (TransformerModel, error)
 }
 
+// BlockTransformer is the operator-fusion contract: a fitted stage
+// that exposes its per-worker block kernel, so scans can apply the
+// stage between the block read and the consumer callback instead of
+// materializing a transformed matrix. Pipelines fuse every
+// BlockTransformer stage (FusedDataset); stages lacking it fall back
+// to the materializing Transform path.
+type BlockTransformer interface {
+	TransformerModel
+	// InCols is the source row width the kernel consumes.
+	InCols() int
+	// OutCols is the transformed row width the kernel produces.
+	OutCols() int
+	// BlockKernel returns a fresh kernel for one scan worker. The
+	// kernel writes each transformed row into dst (OutCols wide,
+	// reused across calls) and must not write through src; any
+	// reusable scratch belongs to the returned closure.
+	BlockKernel() RowKernel
+}
+
 // Release frees the engine scratch backing a transformed dataset —
 // the matrix (and its temp file, when mapped) become invalid. A no-op
 // for datasets that did not come from TransformDataset. Idempotent.
@@ -63,21 +87,29 @@ func (ds *Dataset) Release() error {
 // budget, mmap-backed above — out-of-core pipelines never force an
 // intermediate onto the heap), and the pass runs blocked on the
 // shared execution layer with ctx cancellation at block granularity.
-// newFn is called once per block to instantiate the row function —
+// newFn is called once per block to instantiate the row kernel —
 // giving each a private home for reusable scratch (a centering
-// buffer, say) with no cross-worker sharing; the function receives
-// the destination row (outCols wide, reused within the block) and the
-// source row. Each output row is written by exactly one worker, so
-// the result is identical to a sequential pass. workers <= 0 inherits
+// buffer, say) with no cross-worker sharing; the kernel receives the
+// destination row (outCols wide, reused within the block) and the
+// source row, and returns the row to store (dst, or src for identity
+// kernels). Each output row is written by exactly one worker, so the
+// result is identical to a sequential pass. workers <= 0 inherits
 // the dataset's engine setting. Labels carry through unchanged. On
 // error — including cancellation — the scratch is released before
 // returning, so an aborted pipeline leaves no temp file behind.
-func TransformDataset(ctx context.Context, ds *Dataset, outCols, workers int, newFn func() func(dst, src []float64)) (*Dataset, error) {
+func TransformDataset(ctx context.Context, ds *Dataset, outCols, workers int, newFn func() RowKernel) (*Dataset, error) {
 	if ds == nil || ds.X == nil {
 		return nil, errors.New("core: nil dataset")
 	}
 	if outCols < 1 {
 		return nil, fmt.Errorf("core: non-positive output width %d", outCols)
+	}
+	// Check ctx before allocating: a pre-cancelled context must not
+	// create (and then have to delete) an mmap-backed temp file.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	rows := ds.X.Rows()
 	var out *ScratchMatrix
@@ -95,13 +127,12 @@ func TransformDataset(ctx context.Context, ds *Dataset, outCols, workers int, ne
 
 	type blockState struct {
 		buf []float64
-		fn  func(dst, src []float64)
+		fn  RowKernel
 	}
 	_, _, err := exec.ReduceRows(ds.X.ScanCtx(ctx, workers),
 		func() *blockState { return &blockState{buf: make([]float64, outCols), fn: newFn()} },
 		func(st *blockState, i int, row []float64) {
-			st.fn(st.buf, row)
-			out.X.SetRow(i, st.buf)
+			out.X.SetRow(i, st.fn(st.buf, row))
 		},
 		func(dst, src *blockState) {})
 	if err != nil {

@@ -226,9 +226,30 @@ func mapReduceWorker[T any](ctx context.Context, blocks []Block, workers int, al
 	return out, ctxErr(ctx)
 }
 
+// RowKernel is one link of a fused transform chain: it maps a source
+// row into dst (sized to the transformed width) and returns the row
+// the consumer sees — dst after writing it, or src unchanged for
+// identity links. Kernels are created per worker through an
+// alloc-style factory, so a kernel may own reusable scratch (a
+// centering buffer, say) without synchronization; it must never
+// write through src, which may alias a read-only mapping.
+type RowKernel func(dst, src []float64) []float64
+
 // RowScan describes a blocked scan over the rows of a row-major,
 // store-backed matrix. Zero-valued knobs pick defaults: Workers <= 0
 // means runtime.NumCPU(), BlockBytes <= 0 means DefaultBlockBytes.
+//
+// A scan with Transform set is a fused pipeline: workers read source
+// rows (SrcCols wide, at Off/Stride in the store) and push each
+// through a per-worker kernel chain before the consumer callback, so
+// ReduceRows/ReduceRowBlocks/ForEachRow consumers observe virtual
+// transformed rows of width Cols with no intermediate materialization
+// beyond one per-worker row buffer. The row partition is computed
+// from the transformed geometry (Rows × Cols), exactly the partition
+// a scan of the materialized output matrix would use — and per-block
+// partials still merge in ascending block order — so a fused
+// reduction is bit-identical to transforming first and scanning the
+// result.
 type RowScan struct {
 	// Ctx, when non-nil, cancels the scan at block granularity: no new
 	// block starts after cancellation and the scan returns Ctx.Err().
@@ -250,6 +271,16 @@ type RowScan struct {
 	BlockBytes int
 	// NoPrefetch disables WillNeed advice for upcoming blocks.
 	NoPrefetch bool
+	// Transform, when non-nil, is the per-worker factory for the fused
+	// row-kernel chain applied between the block read and the consumer
+	// callback. Each pool worker instantiates the chain exactly once
+	// (not per block), so kernel-owned scratch is reused across the
+	// worker's whole scan. With Transform set, Cols is the transformed
+	// (consumer-visible) row width and SrcCols the source width.
+	Transform func() RowKernel
+	// SrcCols is the width of the source rows read from the store when
+	// Transform is set (<= 0 defaults to Cols, an in-place chain).
+	SrcCols int
 	// OnBlock, when non-nil, is invoked by the processing worker after
 	// each block completes (Touch accounting and the block computation
 	// both done) with the pool-worker index, the block and the block's
@@ -261,9 +292,22 @@ type RowScan struct {
 }
 
 // Blocks returns the scan's row partition (page-budgeted, row-
-// boundary blocks). Worker count does not influence it.
+// boundary blocks). Worker count does not influence it. For fused
+// scans the partition is computed from the transformed width (Cols),
+// matching the partition of the materialized output matrix so fused
+// reductions associate identically.
 func (s RowScan) Blocks() []Block {
 	return Partition(s.Rows, s.Cols*8, s.BlockBytes)
+}
+
+// srcCols resolves the width of the rows actually read from the
+// store: the transformed width unless a fused chain narrows or widens
+// it via SrcCols.
+func (s RowScan) srcCols() int {
+	if s.Transform != nil && s.SrcCols > 0 {
+		return s.SrcCols
+	}
+	return s.Cols
 }
 
 // EffectiveWorkers resolves the pool size this scan will actually
@@ -306,6 +350,13 @@ type blockState[T any] struct {
 // stride, sized for direct use with the row-block kernels in
 // internal/blas (Gemv, SumRows, ...).
 //
+// On a fused scan (s.Transform non-nil) fn instead receives each
+// transformed row as a single-row block ([i, i+1), stride s.Cols):
+// transformed rows live in a per-worker buffer and are not contiguous
+// across rows, and per-row delivery in ascending order keeps every
+// accumulation associating exactly as it would over the materialized
+// transform output.
+//
 // When s.Ctx is cancelled the scan stops within one block and returns
 // s.Ctx.Err(); the partial state must then be discarded.
 func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi int, block []float64, stride int), merge func(dst, src T)) (T, float64, error) {
@@ -314,6 +365,20 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 	adviser, _ := s.Store.(store.RangeAdviser)
 	prefetch := adviser != nil && !s.NoPrefetch
 	workers := s.effectiveWorkers(len(blocks))
+	srcCols := s.srcCols()
+
+	// Fused chains are instantiated once per pool worker (worker w
+	// runs on exactly one goroutine at a time, so kerns[w]/rowbuf[w]
+	// need no locking) and rows are handed to fn one at a time as
+	// single-row blocks. Consumers accumulate per-row in ascending
+	// order either way, so the fused reduction is bit-identical to
+	// scanning the materialized transform output.
+	var kerns []RowKernel
+	var rowbuf [][]float64
+	if s.Transform != nil {
+		kerns = make([]RowKernel, workers)
+		rowbuf = make([][]float64, workers)
+	}
 
 	// Stream-capable stores give every pool worker a private stream,
 	// so concurrent block scans keep their own sequential-detection
@@ -346,14 +411,29 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 						end = s.Rows
 					}
 					start := s.Off + nb*s.Stride
-					n := (end-nb-1)*s.Stride + s.Cols
+					n := (end-nb-1)*s.Stride + srcCols
 					_ = adviser.AdviseRange(mmap.WillNeed, start, n)
 				}
 			}
 			start := s.Off + b.Lo*s.Stride
-			n := (b.Len()-1)*s.Stride + s.Cols
+			n := (b.Len()-1)*s.Stride + srcCols
 			st.stall = touch(w, start, n)
-			fn(st.user, b.Lo, b.Hi, data[start:start+n], s.Stride)
+			if s.Transform == nil {
+				fn(st.user, b.Lo, b.Hi, data[start:start+n], s.Stride)
+			} else {
+				k := kerns[w]
+				if k == nil {
+					k = s.Transform()
+					kerns[w] = k
+					rowbuf[w] = make([]float64, s.Cols)
+				}
+				buf := rowbuf[w]
+				for i := b.Lo; i < b.Hi; i++ {
+					rs := s.Off + i*s.Stride
+					row := k(buf, data[rs:rs+srcCols])
+					fn(st.user, i, i+1, row, s.Cols)
+				}
+			}
 			if s.OnBlock != nil {
 				s.OnBlock(w, b, st.stall)
 			}

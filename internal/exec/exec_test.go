@@ -414,3 +414,160 @@ func TestReduceRowsCancellation(t *testing.T) {
 		t.Errorf("visited %d rows under a pre-cancelled context", visited)
 	}
 }
+
+// fusedTestKernel is a width-changing transform for the fusion tests:
+// dOut = dIn-1, dst[j] = 2*src[j] + src[j+1]. Width change exercises
+// the SrcCols read geometry against the Cols partition geometry.
+func fusedTestKernel(dOut int) exec.RowKernel {
+	return func(dst, src []float64) []float64 {
+		for j := 0; j < dOut; j++ {
+			dst[j] = 2*src[j] + src[j+1]
+		}
+		return dst
+	}
+}
+
+// TestFusedScanParityAcrossWorkers: a fused scan must be bit-identical
+// to materializing the transform and scanning the result — for every
+// worker count. The consumer's per-block partials only merge equally
+// if the fused partition follows the transformed width, so this pins
+// the partition geometry too.
+func TestFusedScanParityAcrossWorkers(t *testing.T) {
+	const rows, dIn = 3000, 9
+	const dOut = dIn - 1
+	x := mat.NewDense(rows, dIn)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < dIn; j++ {
+			x.Set(i, j, 1/float64(i*dIn+j+1))
+		}
+	}
+	// Reference: materialize, then reduce over the concrete matrix.
+	m := mat.NewDense(rows, dOut)
+	k := fusedTestKernel(dOut)
+	buf := make([]float64, dOut)
+	for i := 0; i < rows; i++ {
+		row, _ := x.Row(i)
+		m.SetRow(i, k(buf, row))
+	}
+	reduce := func(s exec.RowScan) []float64 {
+		sum, _, err := exec.ReduceRows(s,
+			func() []float64 { return make([]float64, dOut) },
+			func(acc []float64, i int, row []float64) {
+				if len(row) != dOut {
+					t.Fatalf("row %d has width %d, want %d", i, len(row), dOut)
+				}
+				for j, v := range row {
+					acc[j] += v * float64(i%17+1)
+				}
+			},
+			func(dst, src []float64) {
+				for j := range dst {
+					dst[j] += src[j]
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU()} {
+		// Fused scan built by hand over the source geometry.
+		s := x.Scan(workers)
+		s.SrcCols = s.Cols
+		s.Cols = dOut
+		s.Transform = func() exec.RowKernel { return fusedTestKernel(dOut) }
+		// Small blocks so worker interleaving is real.
+		s.BlockBytes = 4096
+		ref := m.Scan(workers)
+		ref.BlockBytes = 4096
+		if got, want := reduce(s), reduce(ref); !equalSlices(got, want) {
+			t.Errorf("workers=%d: fused reduce %v != materialized %v", workers, got, want)
+		}
+	}
+}
+
+func equalSlices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFusedScanBlockDelivery: fused scans deliver single-row blocks
+// with the transformed stride to block consumers, in ascending order
+// within each partition block.
+func TestFusedScanBlockDelivery(t *testing.T) {
+	const rows, dIn = 257, 5
+	const dOut = dIn - 1
+	x := mat.NewDense(rows, dIn)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < dIn; j++ {
+			x.Set(i, j, float64(i*dIn+j))
+		}
+	}
+	s := x.Scan(1)
+	s.SrcCols = s.Cols
+	s.Cols = dOut
+	s.Transform = func() exec.RowKernel { return fusedTestKernel(dOut) }
+	last := -1
+	_, _, err := exec.ReduceRowBlocks(s,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, lo, hi int, block []float64, stride int) {
+			if hi != lo+1 {
+				t.Fatalf("fused block [%d,%d), want single row", lo, hi)
+			}
+			if stride != dOut || len(block) < dOut {
+				t.Fatalf("fused block stride %d len %d, want %d", stride, len(block), dOut)
+			}
+			if lo != last+1 {
+				t.Fatalf("rows out of order: %d after %d", lo, last)
+			}
+			last = lo
+			want := 2*float64(lo*dIn) + float64(lo*dIn+1)
+			if block[0] != want {
+				t.Fatalf("row %d transformed to %v, want %v", lo, block[0], want)
+			}
+		},
+		func(_, _ struct{}) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != rows-1 {
+		t.Errorf("visited up to row %d, want %d", last, rows-1)
+	}
+}
+
+// TestFusedScanCancellation: cancellation mid-scan stops a fused chain
+// within one block and surfaces ctx.Err(); a pre-cancelled context
+// never invokes the kernel.
+func TestFusedScanCancellation(t *testing.T) {
+	const rows, dIn = 4096, 8
+	x := mat.NewDense(rows, dIn)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	kernelRuns := 0
+	s := x.ScanCtx(ctx, 4)
+	s.SrcCols = s.Cols
+	s.Cols = dIn - 1
+	s.Transform = func() exec.RowKernel {
+		return func(dst, src []float64) []float64 {
+			kernelRuns++
+			return dst
+		}
+	}
+	_, _, err := exec.ReduceRows(s,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, row []float64) {},
+		func(_, _ struct{}) {})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if kernelRuns != 0 {
+		t.Errorf("kernel ran %d times under a pre-cancelled context", kernelRuns)
+	}
+}

@@ -31,6 +31,90 @@ type Dense struct {
 	// matrices they open so trainers inherit the engine configuration
 	// automatically. 0 means "no preference" (NumCPU at the exec layer).
 	workersHint int
+	// fused, when non-nil, marks this matrix as a virtual transformed
+	// view (NewFused): rows/cols describe the transformed geometry
+	// while reads go to the source store through a row-kernel chain.
+	fused *fusedView
+}
+
+// fusedView carries the source geometry and kernel factory of a
+// virtual transformed matrix.
+type fusedView struct {
+	srcCols, srcStride, srcOff int
+	newKernel                  func() exec.RowKernel
+}
+
+// NewFused returns a read-only virtual view over src: it reports
+// src's row count and outCols columns, and every scan reads source
+// rows and pushes them through a kernel chain on the fly — operator
+// fusion, so a transformed matrix is consumed at disk bandwidth with
+// no materialized intermediate. newKernel is an alloc-style factory
+// invoked once per scan worker (or once per sequential scan); the
+// kernel writes each transformed row into its dst argument (outCols
+// wide) and must not write through the source row.
+//
+// Blocked scans (Scan/ScanCtx and everything built on them:
+// ForEachRowParallel, exec.ReduceRows/ReduceRowBlocks/ForEachRow) and
+// the sequential row reads (ForEachRow, Row, At, MulVec, MulTransVec,
+// Clone, Equal) all see transformed data; blocked reductions over a
+// fused view are bit-identical to the same reduction over the
+// materialized transform output. Fusing over an already-fused src
+// composes the chains. Writes and raw-aliasing accessors (Set,
+// SetRow, RawRow, RowWindow, Fill, Contiguous) are invalid on fused
+// views; materialize first.
+func NewFused(src *Dense, outCols int, newKernel func() exec.RowKernel) *Dense {
+	checkDims(src.rows, outCols)
+	if newKernel == nil {
+		panic("mat: NewFused with nil kernel factory")
+	}
+	fv := &fusedView{
+		srcCols:   src.cols,
+		srcStride: src.stride,
+		srcOff:    src.off,
+		newKernel: newKernel,
+	}
+	if inner := src.fused; inner != nil {
+		// Fusing over a fused view: compose the chains so the new view
+		// still reads the original store exactly once per row.
+		fv.srcCols = inner.srcCols
+		fv.srcStride = inner.srcStride
+		fv.srcOff = inner.srcOff
+		innerCols := src.cols
+		fv.newKernel = func() exec.RowKernel {
+			ik := inner.newKernel()
+			ibuf := make([]float64, innerCols)
+			ok := newKernel()
+			return func(dst, row []float64) []float64 {
+				return ok(dst, ik(ibuf, row))
+			}
+		}
+	}
+	return &Dense{
+		s: src.s, data: src.data,
+		rows: src.rows, cols: outCols, stride: outCols,
+		workersHint: src.workersHint,
+		fused:       fv,
+	}
+}
+
+// IsFused reports whether the matrix is a virtual transformed view.
+func (d *Dense) IsFused() bool { return d.fused != nil }
+
+// fusedRow applies a fresh kernel chain to source row i — the slow
+// (allocating) random-access path of a fused view; scans use
+// per-worker kernels instead.
+func (d *Dense) fusedRow(i int) (row []float64, stall float64) {
+	fv := d.fused
+	start := fv.srcOff + i*fv.srcStride
+	stall = d.s.Touch(start, fv.srcCols)
+	return fv.newKernel()(make([]float64, d.cols), d.data[start:start+fv.srcCols]), stall
+}
+
+// noFused panics when op is unsupported on a virtual transformed view.
+func (d *Dense) noFused(op string) {
+	if d.fused != nil {
+		panic("mat: " + op + " on a fused view; materialize the transform first")
+	}
 }
 
 // NewDense allocates a rows×cols heap-backed matrix.
@@ -82,14 +166,20 @@ func (d *Dense) Store() store.Store { return d.s }
 // SizeBytes returns the matrix payload size in bytes.
 func (d *Dense) SizeBytes() int64 { return int64(d.rows) * int64(d.cols) * 8 }
 
-// At returns element (i, j). No paging accounting (fast path).
+// At returns element (i, j). No paging accounting (fast path); on a
+// fused view the whole source row is transformed per call (slow path).
 func (d *Dense) At(i, j int) float64 {
 	d.check(i, j)
+	if d.fused != nil {
+		row, _ := d.fusedRow(i)
+		return row[j]
+	}
 	return d.data[d.off+i*d.stride+j]
 }
 
 // Set stores v at element (i, j). No paging accounting (fast path).
 func (d *Dense) Set(i, j int, v float64) {
+	d.noFused("Set")
 	d.check(i, j)
 	d.data[d.off+i*d.stride+j] = v
 }
@@ -107,6 +197,9 @@ func (d *Dense) Row(i int) (row []float64, stall float64) {
 	if i < 0 || i >= d.rows {
 		panic(fmt.Sprintf("mat: row %d out of %d", i, d.rows))
 	}
+	if d.fused != nil {
+		return d.fusedRow(i)
+	}
 	start := d.off + i*d.stride
 	stall = d.s.Touch(start, d.cols)
 	return d.data[start : start+d.cols], stall
@@ -115,6 +208,7 @@ func (d *Dense) Row(i int) (row []float64, stall float64) {
 // RawRow returns row i without touching the paging accounting. Use it
 // only for matrices known to be resident (e.g. model parameters).
 func (d *Dense) RawRow(i int) []float64 {
+	d.noFused("RawRow")
 	if i < 0 || i >= d.rows {
 		panic(fmt.Sprintf("mat: row %d out of %d", i, d.rows))
 	}
@@ -124,6 +218,7 @@ func (d *Dense) RawRow(i int) []float64 {
 
 // SetRow copies src into row i, accounting a write.
 func (d *Dense) SetRow(i int, src []float64) (stall float64) {
+	d.noFused("SetRow")
 	if len(src) != d.cols {
 		panic(fmt.Sprintf("mat: SetRow of %d values into %d columns", len(src), d.cols))
 	}
@@ -137,7 +232,7 @@ func (d *Dense) SetRow(i int, src []float64) (stall float64) {
 // slice when rows are stored back to back (stride == cols); ok is
 // false for strided views, whose rows are not adjacent in memory.
 func (d *Dense) Contiguous() (data []float64, ok bool) {
-	if d.stride != d.cols {
+	if d.fused != nil || d.stride != d.cols {
 		return nil, false
 	}
 	return d.data[d.off : d.off+d.rows*d.cols], true
@@ -146,6 +241,7 @@ func (d *Dense) Contiguous() (data []float64, ok bool) {
 // RowWindow returns a view of rows [i0, i1) sharing the same backing
 // store; no data is copied.
 func (d *Dense) RowWindow(i0, i1 int) *Dense {
+	d.noFused("RowWindow")
 	if i0 < 0 || i1 > d.rows || i0 >= i1 {
 		panic(fmt.Sprintf("mat: window [%d,%d) out of %d rows", i0, i1, d.rows))
 	}
@@ -178,6 +274,18 @@ func (d *Dense) WorkersHint() int { return d.workersHint }
 // sequential scan at the heart of each training iteration. It returns
 // the total simulated stall.
 func (d *Dense) ForEachRow(fn func(i int, row []float64)) (stall float64) {
+	if fv := d.fused; fv != nil {
+		// One kernel chain and one row buffer serve the whole
+		// sequential scan.
+		kern := fv.newKernel()
+		buf := make([]float64, d.cols)
+		for i := 0; i < d.rows; i++ {
+			start := fv.srcOff + i*fv.srcStride
+			stall += d.s.Touch(start, fv.srcCols)
+			fn(i, kern(buf, d.data[start:start+fv.srcCols]))
+		}
+		return stall
+	}
 	for i := 0; i < d.rows; i++ {
 		start := d.off + i*d.stride
 		stall += d.s.Touch(start, d.cols)
@@ -195,6 +303,21 @@ func (d *Dense) ForEachRow(fn func(i int, row []float64)) (stall float64) {
 func (d *Dense) Scan(workers int) exec.RowScan {
 	if workers <= 0 {
 		workers = d.workersHint
+	}
+	if fv := d.fused; fv != nil {
+		// Fused view: the scan reads source rows and applies the
+		// per-worker kernel chain; the partition follows the
+		// transformed geometry (see exec.RowScan).
+		return exec.RowScan{
+			Store:     d.s,
+			Off:       fv.srcOff,
+			Rows:      d.rows,
+			Cols:      d.cols,
+			Stride:    fv.srcStride,
+			Workers:   workers,
+			Transform: fv.newKernel,
+			SrcCols:   fv.srcCols,
+		}
 	}
 	return exec.RowScan{
 		Store:   d.s,
@@ -272,6 +395,7 @@ func (d *Dense) MulTransVec(y, x []float64) (stall float64) {
 // page region, so out-of-core column traversals thrash where row
 // scans stream — the layout lesson behind M3's "store in scan order".
 func (d *Dense) ColTo(j int, dst []float64) (stall float64) {
+	d.noFused("ColTo")
 	if j < 0 || j >= d.cols {
 		panic(fmt.Sprintf("mat: column %d out of %d", j, d.cols))
 	}
@@ -288,6 +412,7 @@ func (d *Dense) ColTo(j int, dst []float64) (stall float64) {
 
 // Fill sets every element to v, accounting writes row by row.
 func (d *Dense) Fill(v float64) (stall float64) {
+	d.noFused("Fill")
 	for i := 0; i < d.rows; i++ {
 		start := d.off + i*d.stride
 		stall += d.s.TouchWrite(start, d.cols)
@@ -299,6 +424,7 @@ func (d *Dense) Fill(v float64) (stall float64) {
 // CopyFrom copies src (same shape) into d, accounting reads on src
 // and writes on d.
 func (d *Dense) CopyFrom(src *Dense) (stall float64) {
+	d.noFused("CopyFrom")
 	if src.rows != d.rows || src.cols != d.cols {
 		panic(fmt.Sprintf("mat: CopyFrom %dx%d into %dx%d", src.rows, src.cols, d.rows, d.cols))
 	}
@@ -310,9 +436,14 @@ func (d *Dense) CopyFrom(src *Dense) (stall float64) {
 	return stall
 }
 
-// Clone returns a heap-backed deep copy.
+// Clone returns a heap-backed deep copy; cloning a fused view
+// materializes the transform.
 func (d *Dense) Clone() *Dense {
 	out := NewDense(d.rows, d.cols)
+	if d.fused != nil {
+		d.ForEachRow(func(i int, row []float64) { out.SetRow(i, row) })
+		return out
+	}
 	out.CopyFrom(d)
 	return out
 }
@@ -322,6 +453,18 @@ func (d *Dense) Clone() *Dense {
 func (d *Dense) Equal(other *Dense) bool {
 	if d.rows != other.rows || d.cols != other.cols {
 		return false
+	}
+	if d.fused != nil || other.fused != nil {
+		for i := 0; i < d.rows; i++ {
+			a, _ := d.Row(i)
+			b, _ := other.Row(i)
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
 	}
 	for i := 0; i < d.rows; i++ {
 		a := d.RawRow(i)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"m3/internal/exec"
 	"m3/internal/store"
 	"m3/internal/vm"
 )
@@ -421,4 +422,118 @@ func abs(v int64) int64 {
 		return -v
 	}
 	return v
+}
+
+// fusedPanics asserts op panics (fused views reject writes and
+// raw-aliasing accessors).
+func fusedPanics(t *testing.T, name string, op func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s on a fused view did not panic", name)
+		}
+	}()
+	op()
+}
+
+// TestNewFusedView: the virtual transformed view agrees with the
+// materialized transform on every read path (At, Row, ForEachRow,
+// Clone, Equal), composes when fused over a fused view, and rejects
+// writes.
+func TestNewFusedView(t *testing.T) {
+	const rows, dIn, dOut = 37, 5, 4
+	src := NewDense(rows, dIn)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < dIn; j++ {
+			src.Set(i, j, float64(i)+float64(j)/8)
+		}
+	}
+	kernel := func() exec.RowKernel {
+		return func(dst, row []float64) []float64 {
+			for j := 0; j < dOut; j++ {
+				dst[j] = row[j] - row[j+1]
+			}
+			return dst
+		}
+	}
+	f := NewFused(src, dOut, kernel)
+	if !f.IsFused() || src.IsFused() {
+		t.Fatal("IsFused: view false or source true")
+	}
+	if r, c := f.Dims(); r != rows || c != dOut {
+		t.Fatalf("fused dims %dx%d, want %dx%d", r, c, rows, dOut)
+	}
+
+	// Materialized reference.
+	want := NewDense(rows, dOut)
+	k := kernel()
+	buf := make([]float64, dOut)
+	for i := 0; i < rows; i++ {
+		row, _ := src.Row(i)
+		want.SetRow(i, k(buf, row))
+	}
+
+	for i := 0; i < rows; i++ {
+		for j := 0; j < dOut; j++ {
+			if got := f.At(i, j); got != want.At(i, j) {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, got, want.At(i, j))
+			}
+		}
+	}
+	row3, _ := f.Row(3)
+	wrow3, _ := want.Row(3)
+	for j := range row3 {
+		if row3[j] != wrow3[j] {
+			t.Fatalf("Row(3)[%d] = %v, want %v", j, row3[j], wrow3[j])
+		}
+	}
+	next := 0
+	f.ForEachRow(func(i int, row []float64) {
+		if i != next {
+			t.Fatalf("ForEachRow out of order: %d, want %d", i, next)
+		}
+		next++
+		wr, _ := want.Row(i)
+		for j := range row {
+			if row[j] != wr[j] {
+				t.Fatalf("ForEachRow(%d)[%d] = %v, want %v", i, j, row[j], wr[j])
+			}
+		}
+	})
+	if next != rows {
+		t.Fatalf("ForEachRow visited %d rows, want %d", next, rows)
+	}
+
+	clone := f.Clone()
+	if clone.IsFused() {
+		t.Error("Clone of a fused view is still fused")
+	}
+	if !clone.Equal(want) || !f.Equal(want) || !f.Equal(clone) {
+		t.Error("fused view, clone and materialized reference disagree")
+	}
+
+	// Nested fusion composes: a second stage over the fused view.
+	f2 := NewFused(f, dOut-1, func() exec.RowKernel {
+		return func(dst, row []float64) []float64 {
+			for j := 0; j < dOut-1; j++ {
+				dst[j] = 10 * row[j+1]
+			}
+			return dst
+		}
+	})
+	for i := 0; i < rows; i++ {
+		for j := 0; j < dOut-1; j++ {
+			if got, wantv := f2.At(i, j), 10*want.At(i, j+1); got != wantv {
+				t.Fatalf("nested At(%d,%d) = %v, want %v", i, j, got, wantv)
+			}
+		}
+	}
+
+	fusedPanics(t, "Set", func() { f.Set(0, 0, 1) })
+	fusedPanics(t, "SetRow", func() { f.SetRow(0, make([]float64, dOut)) })
+	fusedPanics(t, "RawRow", func() { f.RawRow(0) })
+	fusedPanics(t, "Fill", func() { f.Fill(1) })
+	if _, ok := f.Contiguous(); ok {
+		t.Error("fused view claims contiguous data")
+	}
 }

@@ -148,20 +148,26 @@ func Fit(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 	if minBytes := d * d * 8; minBytes > exec.DefaultBlockBytes {
 		covScan.BlockBytes = minBytes
 	}
-	cov, _, err := exec.ReduceRowBlocks(covScan,
-		func() []float64 { return make([]float64, d*d) },
-		func(part []float64, lo, hi int, block []float64, stride int) {
-			centered := make([]float64, d)
+	// The centering buffer lives in the reduce state, not the block
+	// closure: fused scans deliver single-row blocks, so a per-call
+	// allocation here would be a per-row allocation.
+	type covState struct{ part, centered []float64 }
+	covst, _, err := exec.ReduceRowBlocks(covScan,
+		func() *covState {
+			return &covState{part: make([]float64, d*d), centered: make([]float64, d)}
+		},
+		func(st *covState, lo, hi int, block []float64, stride int) {
 			for i := lo; i < hi; i++ {
 				row := block[(i-lo)*stride : (i-lo)*stride+d]
-				blas.AddScaled(centered, row, -1, mean)
-				blas.Syr(d, 1, centered, part, d)
+				blas.AddScaled(st.centered, row, -1, mean)
+				blas.Syr(d, 1, st.centered, st.part, d)
 			}
 		},
-		func(dst, src []float64) { blas.Axpy(1, src, dst) })
+		func(dst, src *covState) { blas.Axpy(1, src.part, dst.part) })
 	if err != nil {
 		return nil, err
 	}
+	cov := covst.part
 	inv := 1 / float64(n-1)
 	var total float64
 	for a := 0; a < d; a++ {

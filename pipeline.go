@@ -11,33 +11,45 @@ package m3
 //	}
 //	model, err := eng.Fit(ctx, pipe, tbl) // scale → PCA → logreg, end to end
 //
-// Every intermediate matrix is materialized through the Engine
-// (Engine.AllocScratch): heap when it fits the memory budget,
-// mmap-backed temp files above it — so an out-of-core dataset stays
-// out-of-core through every stage, and each stage's fitting and
-// transform scans run blocked and parallel with ctx cancellation.
-// Intermediates are released as soon as the next stage has consumed
-// them (a failed or cancelled fit leaves no temp file behind).
+// Pipelines are fused: stages whose fitted form exposes a block
+// kernel (BlockTransformer — every stage in this package) are never
+// materialized. Each stage's statistics are fitted directly on a
+// virtual fused view of all prior stages (core.FusedDataset), whose
+// scans apply the chain between the block read and the consumer — so
+// the fitting passes touch only the source data, at disk bandwidth.
+// The final estimator is then classified: bounded-pass trainers
+// (NaiveBayes, exact LinearRegression, PrincipalComponents) train
+// straight off the fused view, while multi-epoch trainers (L-BFGS,
+// SGD, k-means) get the final transformed matrix materialized exactly
+// once as a cache — through Engine.AllocScratch (heap when it fits
+// the memory budget, mmap-backed temp file above it), built by one
+// fused pass. A K-stage pipeline therefore performs at most one
+// intermediate materialization instead of K. Third-party stages
+// without a block kernel fall back to the materializing Transform
+// path; a failed or cancelled fit still leaves no temp file behind.
 
 import (
 	"context"
 	"errors"
 	"fmt"
 
+	"m3/internal/core"
 	"m3/internal/exec"
 	"m3/internal/fit"
+	"m3/internal/mat"
 	"m3/internal/ml/modelio"
 	"m3/internal/ml/preprocess"
 )
 
 // Pipeline chains preprocessing transformers and a final estimator
-// into one Estimator. Stages run in order; each stage is fitted on
-// the previous stage's output and its transformed dataset is
-// Engine-materialized before the next stage sees it.
+// into one Estimator. Stages run in order; each stage is fitted on a
+// fused view of the previous stages' output (materialized only for
+// stages without a block kernel — see the package comment).
 //
 // The final estimator must not retain the training matrix beyond Fit:
-// the last intermediate is released when Fit returns. KNNClassifier —
-// whose fitted model is the training matrix — is therefore rejected.
+// the training cache (when one is materialized) is released when Fit
+// returns, and fused views borrow the caller's dataset. KNNClassifier
+// — whose fitted model is the training matrix — is therefore rejected.
 type Pipeline struct {
 	// Stages are the preprocessing transformers, applied in order.
 	Stages []Transformer
@@ -45,11 +57,27 @@ type Pipeline struct {
 	Estimator Estimator
 }
 
-// Fit implements Estimator: it fits and applies every transformer
-// stage, then fits the final estimator on the fully transformed
-// dataset, returning a *FittedPipeline. ctx cancels within one data
-// block of whichever scan is running; on any error every intermediate
-// allocated so far is released.
+// streamingFitter is implemented by estimators whose Fit consumes the
+// dataset in a bounded number of forward scans — pipelines train them
+// straight off the fused view; everything else trains on a cache
+// materialized by one fused pass.
+type streamingFitter interface{ streamingFit() bool }
+
+// isStreamingFit resolves the marker for value and pointer estimators.
+func isStreamingFit(e Estimator) bool {
+	if s, ok := e.(streamingFitter); ok {
+		return s.streamingFit()
+	}
+	return false
+}
+
+// Fit implements Estimator: it fits every transformer stage on the
+// fused view of its predecessors, then fits the final estimator —
+// directly on the fused view for bounded-pass trainers, or on a
+// once-materialized cache for multi-epoch trainers — returning a
+// *FittedPipeline. ctx cancels within one data block of whichever
+// scan is running; on any error every intermediate allocated so far
+// is released.
 func (p Pipeline) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 	if p.Estimator == nil {
 		return nil, errors.New("m3: pipeline has no final estimator")
@@ -57,7 +85,7 @@ func (p Pipeline) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 	switch p.Estimator.(type) {
 	case KNNClassifier, *KNNClassifier:
 		// FittedKNN retains the training matrix, but the pipeline's
-		// last intermediate is released when Fit returns — the model
+		// training cache is released when Fit returns — the model
 		// would read freed (possibly unmapped) memory.
 		return nil, errors.New("m3: KNNClassifier cannot terminate a pipeline (it retains the training matrix, which pipelines release); transform the dataset explicitly and keep it open instead")
 	}
@@ -70,47 +98,98 @@ func (p Pipeline) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 		return nil, err
 	}
 
+	// cur is the dataset the next stage fits on: ds, a fused view
+	// over ds (or over owned), or a materialized fallback. owned is
+	// the one materialized intermediate we hold, if any.
 	cur := ds
-	releaseCur := func() error {
-		if cur == ds {
+	var owned *Dataset
+	release := func() error {
+		d := owned
+		owned = nil
+		if d == nil {
 			return nil
 		}
-		return cur.Release()
+		return d.Release()
 	}
 	stages := make([]TransformerModel, 0, len(p.Stages))
-	mapped := make([]bool, 0, len(p.Stages))
+	fused := make([]bool, 0, len(p.Stages))
+	materializations := 0
+	cacheMapped := false
 	for i, st := range p.Stages {
 		tm, err := st.FitTransform(ctx, cur)
 		if err != nil {
-			return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), releaseCur())
+			return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), release())
 		}
+		if bt, ok := tm.(BlockTransformer); ok {
+			// Fuse: extend the virtual view — no materialization, no
+			// extra pass. Nested views compose down to one chain, so
+			// the source is still read once per row.
+			next, err := core.FusedDataset(cur, []core.BlockTransformer{bt})
+			if err != nil {
+				return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), release())
+			}
+			cur = next
+			stages = append(stages, tm)
+			fused = append(fused, true)
+			continue
+		}
+		// Fallback for third-party stages without a block kernel:
+		// materialize through the engine. The pass runs on the fused
+		// view, so any pending chain is applied in the same scan.
 		next, err := tm.Transform(ctx, cur)
 		if err != nil {
-			return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), releaseCur())
+			return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), release())
 		}
-		// The previous intermediate has been consumed; free its
-		// backing (and temp file) before the next stage allocates.
-		if err := releaseCur(); err != nil {
+		// The previous intermediate (if any) has been consumed; free
+		// its backing (and temp file) before continuing.
+		if err := release(); err != nil {
 			return nil, errors.Join(err, next.Release())
 		}
-		cur = next
+		cur, owned = next, next
+		materializations++
+		cacheMapped = next.Mapped
 		stages = append(stages, tm)
-		mapped = append(mapped, next.Mapped)
+		fused = append(fused, false)
+	}
+
+	// Classify the final estimator: bounded-pass trainers stream off
+	// the fused view; multi-epoch trainers get the transformed matrix
+	// materialized exactly once, by a single fused pass.
+	if cur.X.IsFused() && !isStreamingFit(p.Estimator) {
+		cache, err := core.Materialize(ctx, cur, 0)
+		if err != nil {
+			return nil, errors.Join(fmt.Errorf("m3: pipeline cache: %w", err), release())
+		}
+		if err := release(); err != nil {
+			return nil, errors.Join(err, cache.Release())
+		}
+		cur, owned = cache, cache
+		materializations++
+		cacheMapped = cache.Mapped
 	}
 
 	final, ferr := p.Estimator.Fit(ctx, cur)
-	if err := errors.Join(ferr, releaseCur()); err != nil {
+	if err := errors.Join(ferr, release()); err != nil {
 		return nil, err
 	}
-	return &FittedPipeline{stages: stages, final: final, mapped: mapped}, nil
+	return &FittedPipeline{
+		stages:           stages,
+		final:            final,
+		fused:            fused,
+		materializations: materializations,
+		cacheMapped:      cacheMapped,
+	}, nil
 }
 
 // FittedPipeline is a fitted chain: every prediction routes the row
-// through each stage's TransformRow before the final model.
+// through each stage's kernel before the final model.
 type FittedPipeline struct {
 	stages []TransformerModel
 	final  Model
-	mapped []bool
+
+	fused            []bool
+	materializations int
+	cacheMapped      bool
 }
 
 // Stages returns the fitted transformer stages in application order.
@@ -120,10 +199,23 @@ func (f *FittedPipeline) Stages() []TransformerModel { return f.stages }
 // type exposing the rich inner model).
 func (f *FittedPipeline) FinalModel() Model { return f.final }
 
-// IntermediateMapped reports, per stage, whether the materialized
-// intermediate dataset was mmap-backed (true above the engine's
-// memory budget) during Fit. Nil for pipelines reconstructed by Load.
-func (f *FittedPipeline) IntermediateMapped() []bool { return f.mapped }
+// StageFused reports, per stage, whether Fit ran the stage fused
+// (virtual view, no intermediate materialization) — true for every
+// stage implementing BlockTransformer. Nil for pipelines
+// reconstructed by Load.
+func (f *FittedPipeline) StageFused() []bool { return f.fused }
+
+// Materializations returns how many intermediate matrices Fit
+// materialized through the engine: 0 when every stage fused and the
+// final estimator streamed, 1 when a multi-epoch final estimator
+// needed the transformed cache, more only when third-party stages
+// lacked a block kernel. Zero for pipelines reconstructed by Load.
+func (f *FittedPipeline) Materializations() int { return f.materializations }
+
+// CacheMapped reports whether the last materialized intermediate (the
+// training cache, normally) was mmap-backed — true when it exceeded
+// the engine's memory budget. False when nothing was materialized.
+func (f *FittedPipeline) CacheMapped() bool { return f.cacheMapped }
 
 // inputCols reports the feature width the first stage expects, when
 // known.
@@ -146,11 +238,26 @@ func (f *FittedPipeline) Predict(row []float64) float64 {
 	return f.final.Predict(row)
 }
 
+// blockChain returns the stage chain as BlockTransformers, or nil if
+// any stage lacks a block kernel.
+func (f *FittedPipeline) blockChain() []core.BlockTransformer {
+	chain := make([]core.BlockTransformer, len(f.stages))
+	for i, s := range f.stages {
+		bt, ok := s.(core.BlockTransformer)
+		if !ok {
+			return nil
+		}
+		chain[i] = bt
+	}
+	return chain
+}
+
 // PredictMatrix routes every row of x through the stage chain and the
-// final model in one blocked parallel scan. Each block instantiates
-// its own chain of buffer-reusing stage transforms, so batch
-// prediction allocates per block, not per row — the same economy as
-// the fit-time transform pass.
+// final model in one blocked parallel scan. When every stage exposes
+// its block kernel (always, for stages from this package), prediction
+// runs on a fused view of x through the same kernel contract as fit:
+// one kernel chain per worker, zero per-row allocation. Third-party
+// stages fall back to a per-worker closure chain.
 func (f *FittedPipeline) PredictMatrix(x *Matrix) ([]float64, error) {
 	if len(f.stages) == 0 {
 		return f.final.PredictMatrix(x)
@@ -160,6 +267,17 @@ func (f *FittedPipeline) PredictMatrix(x *Matrix) ([]float64, error) {
 	}
 	if want, ok := f.inputCols(); ok && x.Cols() != want {
 		return nil, fmt.Errorf("m3: matrix has %d features, pipeline wants %d", x.Cols(), want)
+	}
+	if chain := f.blockChain(); chain != nil {
+		in := x.Cols()
+		for i, bt := range chain {
+			if bt.InCols() != in {
+				return nil, fmt.Errorf("m3: pipeline stage %d expects %d features, previous stage yields %d", i, bt.InCols(), in)
+			}
+			in = bt.OutCols()
+		}
+		fx := mat.NewFused(x, in, core.FuseKernels(chain))
+		return f.final.PredictMatrix(fx)
 	}
 	out := make([]float64, x.Rows())
 	_, _, err := exec.ReduceRows(x.Scan(0),

@@ -176,13 +176,13 @@ func TestTransformMaterializationMode(t *testing.T) {
 }
 
 // TestPipelineOutOfCoreIntermediates: fitted through an Auto engine
-// whose budget is below every intermediate, the pipeline reports
-// mmap-backed materialization for each stage.
+// whose budget is below every intermediate, the pipeline fuses both
+// stages (no per-stage materialization) and materializes exactly one
+// mmap-backed training cache for the multi-epoch final estimator.
 func TestPipelineOutOfCoreIntermediates(t *testing.T) {
 	path := digitsFile(t, 200)
 	tmp := t.TempDir()
-	// 200×784 scale output ≈ 1.25 MB and 200×5 PCA output = 8000 B
-	// both exceed a 4 KiB budget.
+	// The 200×5 training cache = 8000 B exceeds a 4 KiB budget.
 	eng := New(Config{Mode: Auto, MemoryBudget: 4096, TempDir: tmp})
 	defer eng.Close()
 	tbl, err := eng.Open(path)
@@ -194,9 +194,18 @@ func TestPipelineOutOfCoreIntermediates(t *testing.T) {
 		t.Fatal(err)
 	}
 	fp := model.(*FittedPipeline)
-	mapped := fp.IntermediateMapped()
-	if len(mapped) != 2 || !mapped[0] || !mapped[1] {
-		t.Errorf("IntermediateMapped = %v, want [true true]", mapped)
+	fused := fp.StageFused()
+	if len(fused) != 2 || !fused[0] || !fused[1] {
+		t.Errorf("StageFused = %v, want [true true]", fused)
+	}
+	if got := fp.Materializations(); got != 1 {
+		t.Errorf("Materializations = %d, want 1 (logreg training cache)", got)
+	}
+	if !fp.CacheMapped() {
+		t.Error("training cache above the budget not mmap-backed")
+	}
+	if st := eng.Stats(); st.Allocs != 1 {
+		t.Errorf("engine scratch allocs = %d, want 1", st.Allocs)
 	}
 	if files := tempFiles(t, tmp); len(files) != 0 {
 		t.Errorf("scratch files leaked after out-of-core fit: %v", files)

@@ -39,9 +39,15 @@ type TransformerModel = core.TransformerModel
 // PreprocessOptions configures a scaler's fitting scan.
 type PreprocessOptions = preprocess.Options
 
+// BlockTransformer is the operator-fusion contract: a fitted stage
+// exposing its per-worker block kernel, so pipeline scans apply the
+// stage on the fly instead of materializing an intermediate matrix.
+// Every fitted transformer in this package implements it.
+type BlockTransformer = core.BlockTransformer
+
 // transformDataset validates the input width and runs the shared
 // Engine-mediated materialization pass (core.TransformDataset).
-func transformDataset(ctx context.Context, ds *Dataset, wantCols, outCols, workers int, newFn func() func(dst, src []float64)) (*Dataset, error) {
+func transformDataset(ctx context.Context, ds *Dataset, wantCols, outCols, workers int, newFn func() core.RowKernel) (*Dataset, error) {
 	if ds == nil || ds.X == nil {
 		return nil, errors.New("m3: nil dataset")
 	}
@@ -51,22 +57,16 @@ func transformDataset(ctx context.Context, ds *Dataset, wantCols, outCols, worke
 	return core.TransformDataset(ctx, ds, outCols, workers, newFn)
 }
 
-// rowTransformFuncer is the allocation-free fast path of TransformRow:
-// rowTransformFunc returns a single-goroutine transform function
-// owning reusable buffers (the returned slice is overwritten by the
-// next call). The fitted transformers in this package implement it;
-// FittedPipeline.PredictMatrix instantiates one chain per block so
-// batch prediction allocates per block, not per row — mirroring the
-// fit-time transform pass.
-type rowTransformFuncer interface {
-	rowTransformFunc() func(src []float64) []float64
-}
-
-// stageFunc resolves a stage's per-goroutine row transform, falling
-// back to the allocating TransformRow for third-party stages.
+// stageFunc resolves a stage's per-goroutine row transform: a
+// buffer-reusing closure over the stage's block kernel when the stage
+// implements BlockTransformer (the returned slice is overwritten by
+// the next call), falling back to the allocating TransformRow for
+// third-party stages.
 func stageFunc(s TransformerModel) func(src []float64) []float64 {
-	if rt, ok := s.(rowTransformFuncer); ok {
-		return rt.rowTransformFunc()
+	if bt, ok := s.(BlockTransformer); ok {
+		k := bt.BlockKernel()
+		buf := make([]float64, bt.OutCols())
+		return func(src []float64) []float64 { return k(buf, src) }
 	}
 	return s.TransformRow
 }
@@ -107,12 +107,7 @@ func (f *FittedStandardScaler) NumFeatures() int { return len(f.Mean) }
 // dataset (heap below the memory budget, mmap-backed above).
 func (f *FittedStandardScaler) Transform(ctx context.Context, ds *Dataset) (*Dataset, error) {
 	d := f.NumFeatures()
-	return transformDataset(ctx, ds, d, d, f.workers, func() func(dst, src []float64) {
-		return func(dst, src []float64) {
-			copy(dst, src)
-			f.StandardScaler.TransformRow(dst)
-		}
-	})
+	return transformDataset(ctx, ds, d, d, f.workers, f.BlockKernel)
 }
 
 // TransformRow standardizes one row into a fresh slice.
@@ -122,13 +117,19 @@ func (f *FittedStandardScaler) TransformRow(row []float64) []float64 {
 	return out
 }
 
-// rowTransformFunc implements the buffer-reusing prediction path.
-func (f *FittedStandardScaler) rowTransformFunc() func(src []float64) []float64 {
-	buf := make([]float64, f.NumFeatures())
-	return func(src []float64) []float64 {
-		copy(buf, src)
-		f.StandardScaler.TransformRow(buf)
-		return buf
+// InCols implements BlockTransformer.
+func (f *FittedStandardScaler) InCols() int { return f.NumFeatures() }
+
+// OutCols implements BlockTransformer.
+func (f *FittedStandardScaler) OutCols() int { return f.NumFeatures() }
+
+// BlockKernel implements BlockTransformer: per-worker standardization
+// with no allocation beyond the caller's destination row.
+func (f *FittedStandardScaler) BlockKernel() core.RowKernel {
+	return func(dst, src []float64) []float64 {
+		copy(dst, src)
+		f.StandardScaler.TransformRow(dst)
+		return dst
 	}
 }
 
@@ -184,12 +185,7 @@ func (f *FittedMinMaxScaler) NumFeatures() int { return len(f.Min) }
 // dataset (heap below the memory budget, mmap-backed above).
 func (f *FittedMinMaxScaler) Transform(ctx context.Context, ds *Dataset) (*Dataset, error) {
 	d := f.NumFeatures()
-	return transformDataset(ctx, ds, d, d, f.workers, func() func(dst, src []float64) {
-		return func(dst, src []float64) {
-			copy(dst, src)
-			f.MinMaxScaler.TransformRow(dst)
-		}
-	})
+	return transformDataset(ctx, ds, d, d, f.workers, f.BlockKernel)
 }
 
 // TransformRow rescales one row into a fresh slice.
@@ -199,13 +195,19 @@ func (f *FittedMinMaxScaler) TransformRow(row []float64) []float64 {
 	return out
 }
 
-// rowTransformFunc implements the buffer-reusing prediction path.
-func (f *FittedMinMaxScaler) rowTransformFunc() func(src []float64) []float64 {
-	buf := make([]float64, f.NumFeatures())
-	return func(src []float64) []float64 {
-		copy(buf, src)
-		f.MinMaxScaler.TransformRow(buf)
-		return buf
+// InCols implements BlockTransformer.
+func (f *FittedMinMaxScaler) InCols() int { return f.NumFeatures() }
+
+// OutCols implements BlockTransformer.
+func (f *FittedMinMaxScaler) OutCols() int { return f.NumFeatures() }
+
+// BlockKernel implements BlockTransformer: per-worker rescaling with
+// no allocation beyond the caller's destination row.
+func (f *FittedMinMaxScaler) BlockKernel() core.RowKernel {
+	return func(dst, src []float64) []float64 {
+		copy(dst, src)
+		f.MinMaxScaler.TransformRow(dst)
+		return dst
 	}
 }
 
@@ -242,16 +244,11 @@ func (f *FittedPCA) NumFeatures() int { return f.Components.Cols() }
 
 // Transform projects every row of ds onto the K principal components,
 // materializing the N×K coordinate matrix through the Engine (heap
-// below the memory budget, mmap-backed above). Each block's pass
+// below the memory budget, mmap-backed above). Each worker's kernel
 // reuses one centering buffer — no per-row allocation.
 func (f *FittedPCA) Transform(ctx context.Context, ds *Dataset) (*Dataset, error) {
 	k, d := f.Components.Dims()
-	return transformDataset(ctx, ds, d, k, f.workers, func() func(dst, src []float64) {
-		centered := make([]float64, d)
-		return func(dst, src []float64) {
-			f.PCAResult.TransformInto(src, dst, centered)
-		}
-	})
+	return transformDataset(ctx, ds, d, k, f.workers, f.BlockKernel)
 }
 
 // TransformRow projects one row onto the components, returning the K
@@ -262,13 +259,18 @@ func (f *FittedPCA) TransformRow(row []float64) []float64 {
 	return out
 }
 
-// rowTransformFunc implements the buffer-reusing prediction path.
-func (f *FittedPCA) rowTransformFunc() func(src []float64) []float64 {
-	k, d := f.Components.Dims()
-	buf := make([]float64, k)
-	centered := make([]float64, d)
-	return func(src []float64) []float64 {
-		f.PCAResult.TransformInto(src, buf, centered)
-		return buf
+// InCols implements BlockTransformer (the source width D).
+func (f *FittedPCA) InCols() int { return f.Components.Cols() }
+
+// OutCols implements BlockTransformer (the component count K).
+func (f *FittedPCA) OutCols() int { return f.Components.Rows() }
+
+// BlockKernel implements BlockTransformer: per-worker projection with
+// one private centering buffer — no per-row allocation.
+func (f *FittedPCA) BlockKernel() core.RowKernel {
+	centered := make([]float64, f.Components.Cols())
+	return func(dst, src []float64) []float64 {
+		f.PCAResult.TransformInto(src, dst, centered)
+		return dst
 	}
 }
