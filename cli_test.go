@@ -4,12 +4,18 @@ package m3
 // and drive it the way a user would.
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 var (
@@ -162,6 +168,137 @@ func TestCLIBenchSingleExperiment(t *testing.T) {
 	out := runCLI(t, "m3bench", "-exp", "iobound", "-rows", "64")
 	if !strings.Contains(out, "I/O bound: true") {
 		t.Errorf("m3bench iobound output: %s", out)
+	}
+}
+
+func TestCLIServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "digits.m3")
+	runCLI(t, "infimnist-gen", "-out", ds, "-images", "120", "-seed", "2")
+	model := filepath.Join(dir, "pipe.model")
+	runCLI(t, "m3train", "-data", ds, "-algo", "logreg", "-iters", "8",
+		"-scale", "standard", "-pca", "8", "-save", model)
+
+	// Start the daemon on an ephemeral port and read the resolved
+	// address off its log.
+	bin := filepath.Join(buildCLIs(t), "m3serve")
+	srv := exec.Command(bin, "-listen", "127.0.0.1:0",
+		"-model", "digits="+model, "-knn", "nn="+ds+":3:10", "-batch", "8", "-deadline", "2ms")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	var addr string
+	logs := make(chan string, 1)
+	go func() {
+		var lines []string
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			lines = append(lines, line)
+			if _, rest, ok := strings.Cut(line, "listening on "); ok && addr == "" {
+				addr = strings.Fields(rest)[0]
+				logs <- addr
+			}
+		}
+		logs <- strings.Join(lines, "\n")
+	}()
+	select {
+	case <-logs:
+	case <-time.After(30 * time.Second):
+		t.Fatal("m3serve never logged its listen address")
+	}
+	base := "http://" + addr
+
+	var health struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health.Status != "ok" || health.Models != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Predict against both the saved pipeline and the mmap-backed k-NN.
+	row := make([]float64, 784)
+	body, _ := json.Marshal(map[string][][]float64{"rows": {row, row}})
+	for _, name := range []string{"digits", "nn"} {
+		resp, err := http.Post(base+"/models/"+name+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Model       string    `json:"model"`
+			Predictions []float64 `json:"predictions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil || out.Model != name || len(out.Predictions) != 2 {
+			t.Fatalf("%s predict: status %d err %v out %+v", name, resp.StatusCode, err, out)
+		}
+	}
+
+	// /metrics reports both models, including the k-NN store counters.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Models map[string]struct {
+			Requests int64            `json:"requests"`
+			Store    map[string]int64 `json:"store"`
+		} `json:"models"`
+	}
+	json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if m := metrics.Models["digits"]; m.Requests != 1 {
+		t.Errorf("digits metrics = %+v", m)
+	}
+	if m := metrics.Models["nn"]; m.Requests != 1 || m.Store["bytes_touched"] == 0 {
+		t.Errorf("nn metrics = %+v", m)
+	}
+
+	// SIGTERM drains and exits cleanly.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("m3serve exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("m3serve did not exit after SIGTERM")
+	}
+	if rest := <-logs; !strings.Contains(rest, "drained") {
+		t.Errorf("shutdown log missing \"drained\":\n%s", rest)
+	}
+}
+
+func TestCLIBenchServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runCLI(t, "m3bench", "-exp", "serve", "-rows", "128", "-duration", "100ms")
+	for _, want := range []string{"knn (in-ram)", "knn-ooc (out-of-core)", "micro", "single", "micro-batching"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("m3bench serve output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@
 //	m3bench -exp parallel  # real hardware: blocked scan, workers 1..N
 //	m3bench -exp multicore # simulated: parallel faulting, workers × size
 //	m3bench -exp fusion    # real hardware: fused vs eager pipeline fit
+//	m3bench -exp serve     # real hardware: micro-batched vs single-request serving
 //	m3bench -exp all       # everything
 //
 // -experiment is accepted as an alias of -exp.
@@ -64,6 +65,16 @@ type Record struct {
 	ScratchAllocs    int64 `json:"scratch_allocs,omitempty"`
 	ScratchBytes     int64 `json:"scratch_bytes,omitempty"`
 	Materializations int   `json:"materializations,omitempty"`
+	// Serve-experiment fields: load-harness throughput and latency
+	// quantiles per (model, batching, workers) cell.
+	Batching      string  `json:"batching,omitempty"`
+	Requests      int64   `json:"requests,omitempty"`
+	Errors        int64   `json:"errors,omitempty"`
+	QPS           float64 `json:"qps,omitempty"`
+	P50Ms         float64 `json:"p50_ms,omitempty"`
+	P90Ms         float64 `json:"p90_ms,omitempty"`
+	P99Ms         float64 `json:"p99_ms,omitempty"`
+	MeanBatchRows float64 `json:"mean_batch_rows,omitempty"`
 }
 
 // recorder accumulates records for -json output.
@@ -93,12 +104,13 @@ func (r *recorder) write(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, multicore, fusion, all")
+	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, multicore, fusion, serve, all")
 	flag.StringVar(exp, "experiment", *exp, "alias of -exp")
 	rows := flag.Int("rows", 512, "actual (scaled-down) row count the math runs on")
 	seed := flag.Uint64("seed", 3, "workload seed")
 	size := flag.Float64("size", 190e9, "nominal dataset bytes for single-size experiments")
 	passes := flag.Int("passes", 10, "steady-state passes per multicore point")
+	duration := flag.Duration("duration", 2*time.Second, "load duration per serve-experiment cell")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
@@ -121,8 +133,9 @@ func main() {
 		"parallel":  func() error { return runParallel(rec) },
 		"multicore": func() error { return runMultiCore(machine, w, *passes, rec) },
 		"fusion":    func() error { return runFusion(int64(*rows), rec) },
+		"serve":     func() error { return runServe(int64(*rows), *duration, rec) },
 	}
-	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel", "multicore", "fusion"}
+	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel", "multicore", "fusion", "serve"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -98,10 +98,12 @@ func main() {
 	if err := model.Save(mp); err != nil {
 		log.Fatal(err)
 	}
-	loaded, err := m3.Load(mp)
+	loaded, info, err := m3.Load(mp)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("reloaded %s model: %d input cols, %d classes, stages %v\n",
+		info.Kind, info.InputCols, info.Classes, info.Stages)
 	re, err := loaded.PredictMatrix(tbl.X)
 	if err != nil {
 		log.Fatal(err)

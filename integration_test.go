@@ -280,10 +280,14 @@ func TestIntegrationSaveLoadModel(t *testing.T) {
 		t.Error("loaded model disagrees with original")
 	}
 
-	// m3.Load returns the same model behind the fitted wrapper.
-	wrapped, err := Load(modelPath)
+	// m3.Load returns the same model behind the fitted wrapper, plus
+	// the header metadata.
+	wrapped, info, err := Load(modelPath)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if info.Kind != "logistic" || info.InputCols != tbl.X.Cols() || info.Classes != 2 {
+		t.Errorf("Load info = %+v", info)
 	}
 	wp, err := wrapped.PredictMatrix(tbl.X)
 	if err != nil {

@@ -1,0 +1,237 @@
+package bench
+
+// Serving experiment shapes: the load client and rendering live here;
+// the runner (model training, in-process servers) lives in
+// cmd/m3bench, which can import the public m3 and serve packages —
+// this package cannot (the root package's tests import bench).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServeOptions drives one load-harness measurement against a running
+// prediction endpoint.
+type ServeOptions struct {
+	// URL is the full predict endpoint, e.g.
+	// http://127.0.0.1:8080/models/digits/predict.
+	URL string
+	// Queries is the request pool; each query is one feature row and
+	// each request carries exactly one query.
+	Queries [][]float64
+	// Workers is the number of concurrent closed-loop clients.
+	Workers int
+	// Duration is how long the load runs.
+	Duration time.Duration
+	// Seed makes each worker's query sequence deterministic.
+	Seed uint64
+	// TargetQPS throttles each worker to TargetQPS/Workers requests
+	// per second; 0 means unthrottled (closed-loop).
+	TargetQPS float64
+}
+
+// ServeResult is one measured load run.
+type ServeResult struct {
+	Requests        int64
+	Errors          int64
+	DurationSeconds float64
+	QPS             float64
+	P50Ms           float64
+	P90Ms           float64
+	P99Ms           float64
+}
+
+// ServePoint is one cell of the serving sweep: a (model, regime,
+// batching, workers) measurement plus the server-side mean batch size
+// observed during the run.
+type ServePoint struct {
+	// Model is the served model name ("pipeline", "knn", ...).
+	Model string
+	// Regime is the storage regime of the model's backing data:
+	// "in-ram" or "out-of-core".
+	Regime string
+	// Batching is "micro" (size/deadline micro-batching) or "single"
+	// (one request per PredictMatrix call — the baseline).
+	Batching string
+	// Workers is the concurrent client count.
+	Workers int
+	// Result is the client-side measurement.
+	Result ServeResult
+	// MeanBatchRows is the server-side mean rows per flushed batch
+	// during this run (1.0 for the single baseline).
+	MeanBatchRows float64
+}
+
+// ServeLoad runs Workers closed-loop clients against URL for Duration,
+// each posting one pool query per request, and reports throughput and
+// latency quantiles. The query sequence is deterministic per
+// (Seed, worker).
+func ServeLoad(opts ServeOptions) (ServeResult, error) {
+	if len(opts.Queries) == 0 {
+		return ServeResult{}, fmt.Errorf("bench: ServeLoad needs a non-empty query pool")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	// Pre-marshal one body per pool entry so workers measure serving,
+	// not client-side JSON encoding.
+	bodies := make([][]byte, len(opts.Queries))
+	for i, q := range opts.Queries {
+		b, err := json.Marshal(map[string][][]float64{"rows": {q}})
+		if err != nil {
+			return ServeResult{}, err
+		}
+		bodies[i] = b
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opts.Workers * 2,
+		MaxIdleConnsPerHost: opts.Workers * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	var requests, errs atomic.Int64
+	latencies := make([][]float64, opts.Workers)
+	deadline := time.Now().Add(opts.Duration)
+	var pace time.Duration
+	if opts.TargetQPS > 0 {
+		pace = time.Duration(float64(opts.Workers) * float64(time.Second) / opts.TargetQPS)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(opts.Seed) + int64(w)))
+			var lats []float64
+			next := time.Now()
+			for time.Now().Before(deadline) {
+				if pace > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(pace)
+				}
+				body := bodies[rng.Intn(len(bodies))]
+				t0 := time.Now()
+				resp, err := client.Post(opts.URL, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				lats = append(lats, float64(time.Since(t0))/float64(time.Millisecond))
+				requests.Add(1)
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	res := ServeResult{
+		Requests:        requests.Load(),
+		Errors:          errs.Load(),
+		DurationSeconds: elapsed,
+		P50Ms:           percentile(all, 0.50),
+		P90Ms:           percentile(all, 0.90),
+		P99Ms:           percentile(all, 0.99),
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Requests) / elapsed
+	}
+	return res, nil
+}
+
+// percentile returns the q-quantile of sorted samples by linear
+// interpolation (duplicated from internal/serve, which this package
+// cannot import).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// RenderServe prints the serving sweep, one block per (model, regime)
+// group, with a micro-vs-single throughput summary per worker count.
+func RenderServe(w io.Writer, points []ServePoint) error {
+	type key struct{ model, regime string }
+	groups := make(map[key][]ServePoint)
+	var order []key
+	for _, p := range points {
+		k := key{p.Model, p.Regime}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	for _, k := range order {
+		g := groups[k]
+		if _, err := fmt.Fprintf(w, "%s (%s):\n", k.model, k.regime); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %-8s %8s %9s %10s %9s %9s %9s %10s %6s\n",
+			"batching", "workers", "requests", "qps", "p50 ms", "p90 ms", "p99 ms", "mean batch", "errs"); err != nil {
+			return err
+		}
+		micro := map[int]ServePoint{}
+		single := map[int]ServePoint{}
+		var workerOrder []int
+		for _, p := range g {
+			if _, err := fmt.Fprintf(w, "  %-8s %8d %9d %10.0f %9.2f %9.2f %9.2f %10.1f %6d\n",
+				p.Batching, p.Workers, p.Result.Requests, p.Result.QPS,
+				p.Result.P50Ms, p.Result.P90Ms, p.Result.P99Ms, p.MeanBatchRows, p.Result.Errors); err != nil {
+				return err
+			}
+			switch p.Batching {
+			case "micro":
+				if _, seen := micro[p.Workers]; !seen {
+					workerOrder = append(workerOrder, p.Workers)
+				}
+				micro[p.Workers] = p
+			case "single":
+				single[p.Workers] = p
+			}
+		}
+		for _, workers := range workerOrder {
+			m, okM := micro[workers]
+			s, okS := single[workers]
+			if okM && okS && s.Result.QPS > 0 {
+				if _, err := fmt.Fprintf(w, "  → %d workers: micro-batching %.2fx throughput (%.0f vs %.0f qps)\n",
+					workers, m.Result.QPS/s.Result.QPS, m.Result.QPS, s.Result.QPS); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

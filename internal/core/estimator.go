@@ -85,6 +85,15 @@ func (ds *Dataset) IntLabels(classes int) ([]int, error) {
 // the cluster, transformers the leading coordinate — so models stay
 // interchangeable behind the interface; richer accessors live on the
 // concrete fitted types.
+//
+// Concurrency contract: once fitted, a Model's state is read-only,
+// and Predict and PredictMatrix must be safe for concurrent use from
+// many goroutines on the one model value — each call works on
+// caller-provided input and per-call outputs/scratch (per-worker
+// kernels for fused pipelines, per-scan search state for k-NN, atomic
+// store Touch counters underneath). The serving layer relies on this:
+// it issues overlapping PredictMatrix batches against a single model
+// snapshot without locking.
 type Model interface {
 	// Predict scores a single feature row.
 	Predict(row []float64) float64

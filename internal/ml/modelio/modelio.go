@@ -1,7 +1,9 @@
 // Package modelio persists trained models. The format is a small
-// gob-encoded envelope with a kind tag and format version, so files
-// are self-describing and future kinds can be added without breaking
-// old readers.
+// gob stream of two frames: a header carrying the format version,
+// kind tag and shape metadata, then the payload proper. Files are
+// self-describing — Describe reads the header alone, so a server or
+// inspector can learn a model's kind and input width without paying
+// to decode (or validate) the payload.
 package modelio
 
 import (
@@ -58,13 +60,41 @@ type Pipeline struct {
 	Stages []any
 }
 
-// version of the envelope format.
-const version = 1
+// version of the envelope format. Version 2 split the single
+// envelope value into a header frame (version, kind, shape metadata)
+// followed by a payload frame, so headers decode without payloads.
+const version = 2
 
-// envelope is the on-disk frame.
-type envelope struct {
+// Meta is the shape metadata stamped into every file header at save
+// time. It is derived from the model, never trusted over the payload:
+// loading re-validates payload dimensions as before.
+type Meta struct {
+	// InputCols is the feature width Predict/Transform expects.
+	InputCols int
+	// OutputCols is the transformed width for transformer kinds
+	// (scalers, PCA, pipelines ending in a transformer); 0 for pure
+	// predictors.
+	OutputCols int
+	// Classes counts distinct prediction values — classes for
+	// classifiers, clusters for k-means, 0 for regression and
+	// transformers.
+	Classes int
+	// Stages lists the stage kinds of a pipeline in order, nil
+	// otherwise.
+	Stages []Kind
+}
+
+// header is the first gob frame of a model file.
+type header struct {
 	Version int
 	Kind    Kind
+	Meta    Meta
+}
+
+// payloadFrame is the second gob frame. The interface indirection is
+// what lets gob round-trip the concrete payload structs registered in
+// init.
+type payloadFrame struct {
 	Payload any
 }
 
@@ -161,8 +191,57 @@ func KindOf(model any) (Kind, error) {
 	return "", fmt.Errorf("modelio: unsupported model type %T", model)
 }
 
-// Save writes a model to w. The envelope kind comes from KindOf —
-// the single source of the type→Kind mapping. Supported types: *logreg.Model,
+// MetaOf computes the shape metadata Save would stamp on model.
+func MetaOf(model any) (Meta, error) {
+	switch m := model.(type) {
+	case *logreg.Model:
+		return Meta{InputCols: len(m.Weights), Classes: 2}, nil
+	case *logreg.SoftmaxModel:
+		return Meta{InputCols: m.Features, Classes: m.Classes}, nil
+	case *linreg.Model:
+		return Meta{InputCols: len(m.Weights)}, nil
+	case *kmeans.Result:
+		k, d := m.Centroids.Dims()
+		return Meta{InputCols: d, Classes: k}, nil
+	case *bayes.Model:
+		return Meta{InputCols: m.Features, Classes: m.Classes}, nil
+	case *pca.Result:
+		k, d := m.Components.Dims()
+		return Meta{InputCols: d, OutputCols: k}, nil
+	case *preprocess.StandardScaler:
+		return Meta{InputCols: len(m.Mean), OutputCols: len(m.Mean)}, nil
+	case *preprocess.MinMaxScaler:
+		return Meta{InputCols: len(m.Min), OutputCols: len(m.Min)}, nil
+	case *Pipeline:
+		if len(m.Stages) == 0 {
+			return Meta{}, fmt.Errorf("modelio: empty pipeline")
+		}
+		meta := Meta{Stages: make([]Kind, len(m.Stages))}
+		for i, stage := range m.Stages {
+			sm, err := MetaOf(stage)
+			if err != nil {
+				return Meta{}, fmt.Errorf("modelio: pipeline stage %d: %w", i, err)
+			}
+			kind, err := KindOf(stage)
+			if err != nil {
+				return Meta{}, fmt.Errorf("modelio: pipeline stage %d: %w", i, err)
+			}
+			meta.Stages[i] = kind
+			if i == 0 {
+				meta.InputCols = sm.InputCols
+			}
+			if i == len(m.Stages)-1 {
+				meta.OutputCols = sm.OutputCols
+				meta.Classes = sm.Classes
+			}
+		}
+		return meta, nil
+	}
+	return Meta{}, fmt.Errorf("modelio: unsupported model type %T", model)
+}
+
+// Save writes a model to w. The header kind comes from KindOf — the
+// single source of the type→Kind mapping. Supported types: *logreg.Model,
 // *logreg.SoftmaxModel, *linreg.Model, *kmeans.Result, *bayes.Model,
 // *pca.Result, *preprocess.StandardScaler, *preprocess.MinMaxScaler
 // and *Pipeline (whose stages are framed as nested envelopes).
@@ -171,25 +250,29 @@ func Save(w io.Writer, model any) error {
 	if err != nil {
 		return err
 	}
-	env := envelope{Version: version, Kind: kind}
+	meta, err := MetaOf(model)
+	if err != nil {
+		return err
+	}
+	var payload any
 	switch m := model.(type) {
 	case *logreg.Model:
-		env.Payload = logisticPayload{Weights: m.Weights, Intercept: m.Intercept}
+		payload = logisticPayload{Weights: m.Weights, Intercept: m.Intercept}
 	case *logreg.SoftmaxModel:
-		env.Payload = softmaxPayload{
+		payload = softmaxPayload{
 			Weights: m.Weights, Bias: m.Bias, Classes: m.Classes, Features: m.Features,
 		}
 	case *linreg.Model:
-		env.Payload = linearPayload{Weights: m.Weights, Intercept: m.Intercept}
+		payload = linearPayload{Weights: m.Weights, Intercept: m.Intercept}
 	case *kmeans.Result:
 		k, d := m.Centroids.Dims()
 		flat := make([]float64, 0, k*d)
 		for c := 0; c < k; c++ {
 			flat = append(flat, m.Centroids.RawRow(c)...)
 		}
-		env.Payload = kmeansPayload{Centroids: flat, K: k, D: d}
+		payload = kmeansPayload{Centroids: flat, K: k, D: d}
 	case *bayes.Model:
-		env.Payload = bayesPayload{
+		payload = bayesPayload{
 			Classes: m.Classes, Features: m.Features,
 			Mean: m.Mean, Var: m.Var, LogPrior: m.LogPrior,
 		}
@@ -199,18 +282,15 @@ func Save(w io.Writer, model any) error {
 		for c := 0; c < k; c++ {
 			flat = append(flat, m.Components.RawRow(c)...)
 		}
-		env.Payload = pcaPayload{
+		payload = pcaPayload{
 			Components: flat, K: k, D: d,
 			Eigenvalues: m.Eigenvalues, Mean: m.Mean, TotalVariance: m.TotalVariance,
 		}
 	case *preprocess.StandardScaler:
-		env.Payload = standardScalerPayload{Mean: m.Mean, Std: m.Std}
+		payload = standardScalerPayload{Mean: m.Mean, Std: m.Std}
 	case *preprocess.MinMaxScaler:
-		env.Payload = minMaxScalerPayload{Min: m.Min, Range: m.Range}
+		payload = minMaxScalerPayload{Min: m.Min, Range: m.Range}
 	case *Pipeline:
-		if len(m.Stages) == 0 {
-			return fmt.Errorf("modelio: empty pipeline")
-		}
 		stages := make([][]byte, len(m.Stages))
 		for i, stage := range m.Stages {
 			var buf bytes.Buffer
@@ -219,74 +299,122 @@ func Save(w io.Writer, model any) error {
 			}
 			stages[i] = buf.Bytes()
 		}
-		env.Payload = pipelinePayload{Stages: stages}
+		payload = pipelinePayload{Stages: stages}
 	}
-	return gob.NewEncoder(w).Encode(env)
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Version: version, Kind: kind, Meta: meta}); err != nil {
+		return fmt.Errorf("modelio: encoding header: %w", err)
+	}
+	return enc.Encode(payloadFrame{Payload: payload})
+}
+
+// Describe reads a model file header without decoding the payload:
+// the kind and shape metadata come back after parsing only the first
+// gob frame, so describing a huge model (or a deep pipeline) costs a
+// few hundred bytes of reads no matter the payload size.
+func Describe(r io.Reader) (Kind, Meta, error) {
+	var h header
+	if err := gob.NewDecoder(r).Decode(&h); err != nil {
+		return "", Meta{}, fmt.Errorf("modelio: decoding header: %w", err)
+	}
+	if h.Version != version {
+		return "", Meta{}, fmt.Errorf("modelio: unsupported version %d (want %d)", h.Version, version)
+	}
+	return h.Kind, h.Meta, nil
+}
+
+// DescribeFile reads the header of the model file at path.
+func DescribeFile(path string) (Kind, Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", Meta{}, err
+	}
+	defer f.Close()
+	return Describe(f)
 }
 
 // Load reads a model envelope. The returned value is one of the
-// pointer types accepted by Save; use LoadedKind or a type switch.
+// pointer types accepted by Save; use KindOf or a type switch.
 func Load(r io.Reader) (any, Kind, error) {
-	var env envelope
-	if err := gob.NewDecoder(r).Decode(&env); err != nil {
-		return nil, "", fmt.Errorf("modelio: decoding: %w", err)
+	v, kind, _, err := LoadMeta(r)
+	return v, kind, err
+}
+
+// LoadMeta reads a model envelope plus the header metadata.
+func LoadMeta(r io.Reader) (any, Kind, Meta, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, "", Meta{}, fmt.Errorf("modelio: decoding header: %w", err)
 	}
-	if env.Version != version {
-		return nil, "", fmt.Errorf("modelio: unsupported version %d", env.Version)
+	if h.Version != version {
+		return nil, "", Meta{}, fmt.Errorf("modelio: unsupported version %d (want %d)", h.Version, version)
 	}
-	switch p := env.Payload.(type) {
+	var frame payloadFrame
+	if err := dec.Decode(&frame); err != nil {
+		return nil, "", Meta{}, fmt.Errorf("modelio: decoding payload: %w", err)
+	}
+	v, err := decodePayload(h.Kind, frame.Payload)
+	if err != nil {
+		return nil, "", Meta{}, err
+	}
+	return v, h.Kind, h.Meta, nil
+}
+
+func decodePayload(kind Kind, payload any) (any, error) {
+	switch p := payload.(type) {
 	case logisticPayload:
-		return &logreg.Model{Weights: p.Weights, Intercept: p.Intercept}, env.Kind, nil
+		return &logreg.Model{Weights: p.Weights, Intercept: p.Intercept}, nil
 	case softmaxPayload:
 		return &logreg.SoftmaxModel{
 			Weights: p.Weights, Bias: p.Bias, Classes: p.Classes, Features: p.Features,
-		}, env.Kind, nil
+		}, nil
 	case linearPayload:
-		return &linreg.Model{Weights: p.Weights, Intercept: p.Intercept}, env.Kind, nil
+		return &linreg.Model{Weights: p.Weights, Intercept: p.Intercept}, nil
 	case kmeansPayload:
 		if p.K <= 0 || p.D <= 0 || len(p.Centroids) != p.K*p.D {
-			return nil, "", fmt.Errorf("modelio: corrupt k-means payload (%d values for %dx%d)", len(p.Centroids), p.K, p.D)
+			return nil, fmt.Errorf("modelio: corrupt k-means payload (%d values for %dx%d)", len(p.Centroids), p.K, p.D)
 		}
 		c := mat.NewDenseFrom(p.Centroids, p.K, p.D)
-		return &kmeans.Result{Centroids: c}, env.Kind, nil
+		return &kmeans.Result{Centroids: c}, nil
 	case bayesPayload:
 		return &bayes.Model{
 			Classes: p.Classes, Features: p.Features,
 			Mean: p.Mean, Var: p.Var, LogPrior: p.LogPrior,
-		}, env.Kind, nil
+		}, nil
 	case pcaPayload:
 		if p.K <= 0 || p.D <= 0 || len(p.Components) != p.K*p.D {
-			return nil, "", fmt.Errorf("modelio: corrupt pca payload (%d values for %dx%d)", len(p.Components), p.K, p.D)
+			return nil, fmt.Errorf("modelio: corrupt pca payload (%d values for %dx%d)", len(p.Components), p.K, p.D)
 		}
 		return &pca.Result{
 			Components:  mat.NewDenseFrom(p.Components, p.K, p.D),
 			Eigenvalues: p.Eigenvalues, Mean: p.Mean, TotalVariance: p.TotalVariance,
-		}, env.Kind, nil
+		}, nil
 	case standardScalerPayload:
 		if len(p.Mean) == 0 || len(p.Mean) != len(p.Std) {
-			return nil, "", fmt.Errorf("modelio: corrupt standard-scaler payload (%d means, %d stds)", len(p.Mean), len(p.Std))
+			return nil, fmt.Errorf("modelio: corrupt standard-scaler payload (%d means, %d stds)", len(p.Mean), len(p.Std))
 		}
-		return &preprocess.StandardScaler{Mean: p.Mean, Std: p.Std}, env.Kind, nil
+		return &preprocess.StandardScaler{Mean: p.Mean, Std: p.Std}, nil
 	case minMaxScalerPayload:
 		if len(p.Min) == 0 || len(p.Min) != len(p.Range) {
-			return nil, "", fmt.Errorf("modelio: corrupt minmax-scaler payload (%d mins, %d ranges)", len(p.Min), len(p.Range))
+			return nil, fmt.Errorf("modelio: corrupt minmax-scaler payload (%d mins, %d ranges)", len(p.Min), len(p.Range))
 		}
-		return &preprocess.MinMaxScaler{Min: p.Min, Range: p.Range}, env.Kind, nil
+		return &preprocess.MinMaxScaler{Min: p.Min, Range: p.Range}, nil
 	case pipelinePayload:
 		if len(p.Stages) == 0 {
-			return nil, "", fmt.Errorf("modelio: empty pipeline payload")
+			return nil, fmt.Errorf("modelio: empty pipeline payload")
 		}
 		out := &Pipeline{Stages: make([]any, len(p.Stages))}
 		for i, raw := range p.Stages {
 			stage, _, err := Load(bytes.NewReader(raw))
 			if err != nil {
-				return nil, "", fmt.Errorf("modelio: pipeline stage %d: %w", i, err)
+				return nil, fmt.Errorf("modelio: pipeline stage %d: %w", i, err)
 			}
 			out.Stages[i] = stage
 		}
-		return out, env.Kind, nil
+		return out, nil
 	}
-	return nil, "", fmt.Errorf("modelio: unknown payload %T", env.Payload)
+	return nil, fmt.Errorf("modelio: kind %q: unknown payload %T", kind, payload)
 }
 
 // SaveFile writes a model to path.
@@ -310,4 +438,14 @@ func LoadFile(path string) (any, Kind, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadFileMeta reads a model from path along with its header metadata.
+func LoadFileMeta(path string) (any, Kind, Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", Meta{}, err
+	}
+	defer f.Close()
+	return LoadMeta(f)
 }

@@ -208,13 +208,16 @@ func TestPCARoundTrip(t *testing.T) {
 	}
 
 	// Corrupt payload shape (component count disagreeing with K×D) is
-	// rejected by Load. Encode the raw envelope directly so the writer
+	// rejected by Load. Encode the raw frames directly so the writer
 	// path cannot fix it up.
 	var buf bytes.Buffer
-	env := envelope{Version: version, Kind: KindPCA, Payload: pcaPayload{
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(header{Version: version, Kind: KindPCA, Meta: Meta{InputCols: 2, OutputCols: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(payloadFrame{Payload: pcaPayload{
 		Components: []float64{1, 2, 3}, K: 2, D: 2,
-	}}
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+	}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := Load(&buf); err == nil {
@@ -270,10 +273,13 @@ func TestScalerRoundTrip(t *testing.T) {
 
 	// Corrupt scaler payloads (mismatched vector lengths) are rejected.
 	var buf bytes.Buffer
-	env := envelope{Version: version, Kind: KindStandardScaler, Payload: standardScalerPayload{
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(header{Version: version, Kind: KindStandardScaler, Meta: Meta{InputCols: 2, OutputCols: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(payloadFrame{Payload: standardScalerPayload{
 		Mean: []float64{1, 2}, Std: []float64{1},
-	}}
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+	}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := Load(&buf); err == nil {
@@ -336,5 +342,111 @@ func TestPipelineEnvelopeRoundTrip(t *testing.T) {
 	// Empty pipelines have no serial form.
 	if err := SaveFile(filepath.Join(t.TempDir(), "e.model"), &Pipeline{}); err == nil {
 		t.Error("Save accepted an empty pipeline")
+	}
+}
+
+func TestDescribeReadsHeaderOnly(t *testing.T) {
+	std := &preprocess.StandardScaler{Mean: []float64{0, 1, 2}, Std: []float64{1, 2, 3}}
+	pc := &pca.Result{
+		Components:  mat.NewDenseFrom([]float64{1, 0, 0, 0, 1, 0}, 2, 3),
+		Eigenvalues: []float64{2, 1}, Mean: []float64{0, 0, 0}, TotalVariance: 3,
+	}
+	sm := &logreg.SoftmaxModel{
+		Weights: make([]float64, 2*4), Bias: make([]float64, 4), Classes: 4, Features: 2,
+	}
+	p := &Pipeline{Stages: []any{std, pc, sm}}
+
+	for _, tc := range []struct {
+		name  string
+		model any
+		kind  Kind
+		want  Meta
+	}{
+		{"logistic", &logreg.Model{Weights: []float64{1, 2, 3}}, KindLogistic,
+			Meta{InputCols: 3, Classes: 2}},
+		{"softmax", sm, KindSoftmax, Meta{InputCols: 2, Classes: 4}},
+		{"linear", &linreg.Model{Weights: []float64{1, 2}}, KindLinear,
+			Meta{InputCols: 2}},
+		{"kmeans", &kmeans.Result{Centroids: mat.NewDenseFrom(make([]float64, 15), 5, 3)},
+			KindKMeans, Meta{InputCols: 3, Classes: 5}},
+		{"bayes", &bayes.Model{Classes: 10, Features: 7,
+			Mean: make([]float64, 70), Var: make([]float64, 70), LogPrior: make([]float64, 10)},
+			KindBayes, Meta{InputCols: 7, Classes: 10}},
+		{"pca", pc, KindPCA, Meta{InputCols: 3, OutputCols: 2}},
+		{"standard-scaler", std, KindStandardScaler, Meta{InputCols: 3, OutputCols: 3}},
+		{"pipeline", p, KindPipeline, Meta{
+			InputCols: 3, Classes: 4,
+			Stages: []Kind{KindStandardScaler, KindPCA, KindSoftmax},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "m.model")
+			if err := SaveFile(path, tc.model); err != nil {
+				t.Fatal(err)
+			}
+			kind, meta, err := DescribeFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kind != tc.kind {
+				t.Errorf("kind = %v, want %v", kind, tc.kind)
+			}
+			if meta.InputCols != tc.want.InputCols || meta.OutputCols != tc.want.OutputCols ||
+				meta.Classes != tc.want.Classes {
+				t.Errorf("meta = %+v, want %+v", meta, tc.want)
+			}
+			if len(meta.Stages) != len(tc.want.Stages) {
+				t.Fatalf("stages = %v, want %v", meta.Stages, tc.want.Stages)
+			}
+			for i := range meta.Stages {
+				if meta.Stages[i] != tc.want.Stages[i] {
+					t.Errorf("stage %d = %v, want %v", i, meta.Stages[i], tc.want.Stages[i])
+				}
+			}
+			// LoadMeta surfaces the same header next to the payload.
+			_, lk, lm, err := LoadFileMeta(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lk != kind || lm.InputCols != meta.InputCols || lm.Classes != meta.Classes {
+				t.Errorf("LoadFileMeta header %v/%+v disagrees with Describe %v/%+v", lk, lm, kind, meta)
+			}
+		})
+	}
+}
+
+func TestDescribeStopsBeforePayload(t *testing.T) {
+	// Describe must not read past the header frame: serve a file whose
+	// payload frame is truncated and check the header still decodes.
+	big := &logreg.Model{Weights: make([]float64, 1<<16)}
+	var buf bytes.Buffer
+	if err := Save(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Len()
+	truncated := bytes.NewReader(buf.Bytes()[:256])
+	kind, meta, err := Describe(truncated)
+	if err != nil {
+		t.Fatalf("Describe on truncated payload: %v (file is %d bytes)", err, full)
+	}
+	if kind != KindLogistic || meta.InputCols != 1<<16 {
+		t.Errorf("kind %v meta %+v", kind, meta)
+	}
+	// The same truncated bytes cannot Load.
+	if _, _, err := Load(bytes.NewReader(buf.Bytes()[:256])); err == nil {
+		t.Error("Load succeeded on a truncated payload frame")
+	}
+}
+
+func TestDescribeRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(header{Version: version + 1, Kind: KindLinear}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Describe(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Describe accepted a future format version")
+	}
+	if _, _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Load accepted a future format version")
 	}
 }

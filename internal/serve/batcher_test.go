@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"m3"
+	"m3/internal/mat"
+)
+
+// constModel is a fake m3.Model: every prediction is val, calls and
+// rows are counted, and an optional gate blocks PredictMatrix so
+// tests can hold a batch in flight.
+type constModel struct {
+	val   float64
+	calls atomic.Int64
+	rows  atomic.Int64
+	gate  chan struct{}
+	fail  error
+}
+
+func (m *constModel) Predict(row []float64) float64 { return m.val }
+
+func (m *constModel) PredictMatrix(x *mat.Dense) ([]float64, error) {
+	m.calls.Add(1)
+	m.rows.Add(int64(x.Rows()))
+	if m.gate != nil {
+		<-m.gate
+	}
+	if m.fail != nil {
+		return nil, m.fail
+	}
+	out := make([]float64, x.Rows())
+	for i := range out {
+		out[i] = m.val
+	}
+	return out, nil
+}
+
+func (m *constModel) Save(string) error { return errors.New("constModel: no serial form") }
+
+var _ m3.Model = (*constModel)(nil)
+
+// newEntry registers a fake model and returns its entry.
+func newEntry(t *testing.T, reg *Registry, name string, model m3.Model, cols int) *Entry {
+	t.Helper()
+	return reg.Set(name, NewSnapshot(model, m3.ModelInfo{Kind: "fake", InputCols: cols}, "", nil))
+}
+
+// newReq builds an n-row request for e.
+func newReq(e *Entry, n, cols int) *batchRequest {
+	return &batchRequest{
+		entry: e,
+		rows:  make([]float64, n*cols),
+		n:     n,
+		cols:  cols,
+		out:   make(chan result, 1),
+	}
+}
+
+// mustReply reads a request's single reply with a timeout.
+func mustReply(t *testing.T, req *batchRequest) result {
+	t.Helper()
+	select {
+	case res := <-req.out:
+		return res
+	case <-time.After(10 * time.Second):
+		t.Fatal("no reply within 10s")
+		return result{}
+	}
+}
+
+func TestBatcherFlushOnSize(t *testing.T) {
+	reg := NewRegistry()
+	model := &constModel{val: 7}
+	e := newEntry(t, reg, "m", model, 3)
+	// Deadline far away: only the size threshold can flush.
+	b := NewBatcher(4, time.Hour)
+	defer b.Drain()
+
+	reqs := make([]*batchRequest, 4)
+	for i := range reqs {
+		reqs[i] = newReq(e, 1, 3)
+		if err := b.Submit(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, req := range reqs {
+		res := mustReply(t, req)
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if len(res.preds) != 1 || res.preds[0] != 7 {
+			t.Fatalf("preds = %v", res.preds)
+		}
+	}
+	if c, r := model.calls.Load(), model.rows.Load(); c != 1 || r != 4 {
+		t.Errorf("model saw %d calls / %d rows, want one 4-row batch", c, r)
+	}
+}
+
+func TestBatcherFlushOnDeadline(t *testing.T) {
+	reg := NewRegistry()
+	model := &constModel{val: 1}
+	e := newEntry(t, reg, "m", model, 2)
+	const delay = 30 * time.Millisecond
+	// Size threshold unreachable: only the deadline can flush.
+	b := NewBatcher(1<<20, delay)
+	defer b.Drain()
+
+	start := time.Now()
+	r1, r2 := newReq(e, 1, 2), newReq(e, 2, 2)
+	if err := b.Submit(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(r2); err != nil {
+		t.Fatal(err)
+	}
+	mustReply(t, r1)
+	mustReply(t, r2)
+	elapsed := time.Since(start)
+	if elapsed < delay-time.Millisecond {
+		t.Errorf("flushed after %s, before the %s deadline", elapsed, delay)
+	}
+	if c, r := model.calls.Load(), model.rows.Load(); c != 1 || r != 3 {
+		t.Errorf("model saw %d calls / %d rows, want one 3-row batch", c, r)
+	}
+}
+
+func TestBatcherSingleRequestLatencyBound(t *testing.T) {
+	reg := NewRegistry()
+	e := newEntry(t, reg, "m", &constModel{val: 2}, 1)
+	const delay = 25 * time.Millisecond
+	b := NewBatcher(1<<20, delay)
+	defer b.Drain()
+
+	start := time.Now()
+	req := newReq(e, 1, 1)
+	if err := b.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+	mustReply(t, req)
+	elapsed := time.Since(start)
+	if elapsed < delay-time.Millisecond {
+		t.Errorf("lone request answered after %s, before the deadline", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("lone request waited %s — deadline flush did not fire", elapsed)
+	}
+}
+
+func TestBatcherGreedyFlushWithZeroDelay(t *testing.T) {
+	reg := NewRegistry()
+	e := newEntry(t, reg, "m", &constModel{val: 3}, 1)
+	// delay 0: a lone request must not wait for the size threshold.
+	b := NewBatcher(1<<20, 0)
+	defer b.Drain()
+
+	req := newReq(e, 1, 1)
+	start := time.Now()
+	if err := b.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+	mustReply(t, req)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("greedy dispatch took %s", elapsed)
+	}
+}
+
+func TestBatcherSplitsMixedModelTargets(t *testing.T) {
+	reg := NewRegistry()
+	ma, mb := &constModel{val: 1}, &constModel{val: 2}
+	ea := newEntry(t, reg, "a", ma, 2)
+	eb := newEntry(t, reg, "b", mb, 2)
+	b := NewBatcher(4, time.Hour)
+	defer b.Drain()
+
+	// Interleave targets within one flush.
+	reqs := []*batchRequest{newReq(ea, 1, 2), newReq(eb, 1, 2), newReq(ea, 1, 2), newReq(eb, 1, 2)}
+	for _, r := range reqs {
+		if err := b.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range reqs {
+		res := mustReply(t, r)
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		want := float64(1 + i%2)
+		if res.preds[0] != want {
+			t.Errorf("request %d got %v, want %v", i, res.preds[0], want)
+		}
+	}
+	// One flush, two per-model PredictMatrix calls of 2 rows each.
+	if c, r := ma.calls.Load(), ma.rows.Load(); c != 1 || r != 2 {
+		t.Errorf("model a saw %d calls / %d rows", c, r)
+	}
+	if c, r := mb.calls.Load(), mb.rows.Load(); c != 1 || r != 2 {
+		t.Errorf("model b saw %d calls / %d rows", c, r)
+	}
+}
+
+func TestBatcherRejectsMismatchedWidth(t *testing.T) {
+	reg := NewRegistry()
+	model := &constModel{val: 1}
+	e := newEntry(t, reg, "m", model, 3)
+	b := NewBatcher(2, time.Hour)
+	defer b.Drain()
+
+	good, bad := newReq(e, 1, 3), newReq(e, 1, 2)
+	if err := b.Submit(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(bad); err != nil {
+		t.Fatal(err)
+	}
+	if res := mustReply(t, good); res.err != nil || res.preds[0] != 1 {
+		t.Errorf("good request: %+v", res)
+	}
+	if res := mustReply(t, bad); res.err == nil {
+		t.Error("2-wide request against a 3-wide model was answered")
+	}
+	if r := model.rows.Load(); r != 1 {
+		t.Errorf("model saw %d rows, want only the valid one", r)
+	}
+}
+
+func TestBatcherPredictErrorFansOut(t *testing.T) {
+	reg := NewRegistry()
+	boom := errors.New("boom")
+	e := newEntry(t, reg, "m", &constModel{fail: boom}, 1)
+	b := NewBatcher(2, time.Hour)
+	defer b.Drain()
+
+	r1, r2 := newReq(e, 1, 1), newReq(e, 1, 1)
+	if err := b.Submit(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(r2); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*batchRequest{r1, r2} {
+		if res := mustReply(t, r); !errors.Is(res.err, boom) {
+			t.Errorf("err = %v, want boom", res.err)
+		}
+	}
+	if s := e.Metrics().Snapshot(); s.Errors != 2 {
+		t.Errorf("errors = %d, want 2", s.Errors)
+	}
+}
+
+// TestBatcherDrainNoRequestLostOrAnsweredTwice hammers Submit from
+// many goroutines while Drain lands mid-stream: every accepted
+// request gets exactly one reply, every rejected one gets ErrDraining,
+// and nothing is dropped.
+func TestBatcherDrainNoRequestLostOrAnsweredTwice(t *testing.T) {
+	reg := NewRegistry()
+	model := &constModel{val: 5}
+	e := newEntry(t, reg, "m", model, 1)
+	b := NewBatcher(8, 200*time.Microsecond)
+
+	const workers = 8
+	var accepted, answered, rejected atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := newReq(e, 1, 1)
+				if err := b.Submit(req); err != nil {
+					if !errors.Is(err, ErrDraining) {
+						t.Errorf("unexpected submit error: %v", err)
+					}
+					rejected.Add(1)
+					// Rejected requests must never be answered.
+					select {
+					case res := <-req.out:
+						t.Errorf("rejected request got a reply: %+v", res)
+					default:
+					}
+					return
+				}
+				accepted.Add(1)
+				res := mustReply(t, req)
+				if res.err != nil {
+					t.Errorf("accepted request failed: %v", res.err)
+				}
+				answered.Add(1)
+				// Exactly one reply: the channel must now be empty.
+				select {
+				case res := <-req.out:
+					t.Errorf("request answered twice: %+v", res)
+				default:
+				}
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	b.Drain()
+	close(stop)
+	wg.Wait()
+
+	if accepted.Load() != answered.Load() {
+		t.Errorf("accepted %d requests but answered %d", accepted.Load(), answered.Load())
+	}
+	if accepted.Load() == 0 {
+		t.Error("no requests accepted — hammer never ran")
+	}
+	// Submits after Drain returned must be rejected.
+	if err := b.Submit(newReq(e, 1, 1)); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain submit: %v", err)
+	}
+	if model.rows.Load() != accepted.Load() {
+		t.Errorf("model saw %d rows, want %d", model.rows.Load(), accepted.Load())
+	}
+}

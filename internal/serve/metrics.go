@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencySamples bounds per-model latency memory: quantiles come from
+// a ring of the most recent samples, so a long-lived server reports
+// current behavior, not its all-time history.
+const latencySamples = 8192
+
+// batchBuckets covers batch sizes 1 … 2^15 rows and above.
+const batchBuckets = 16
+
+// Metrics collects one served model's counters. All methods are safe
+// for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	requests int64
+	rows     int64
+	errors   int64
+	batches  int64
+	swaps    int64
+	// batchHist[i] counts flushed batches of 2^(i-1) < rows ≤ 2^i
+	// (bucket 0: single-row batches).
+	batchHist [batchBuckets]int64
+	latMs     [latencySamples]float64
+	latN      int // total samples ever observed
+}
+
+// NewMetrics returns zeroed counters.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// request counts an accepted prediction request of n rows.
+func (m *Metrics) request(n int) {
+	m.mu.Lock()
+	m.requests++
+	m.rows += int64(n)
+	m.mu.Unlock()
+}
+
+// requestErrors counts n failed requests (validation, draining,
+// prediction failure).
+func (m *Metrics) requestErrors(n int) {
+	m.mu.Lock()
+	m.errors += int64(n)
+	m.mu.Unlock()
+}
+
+// swapped counts a hot-swap of the model snapshot.
+func (m *Metrics) swapped() {
+	m.mu.Lock()
+	m.swaps++
+	m.mu.Unlock()
+}
+
+// observeBatch records one flushed batch of reqs requests totalling
+// rows matrix rows; err is the PredictMatrix outcome.
+func (m *Metrics) observeBatch(reqs, rows int, err error) {
+	bucket := 0
+	if rows > 1 {
+		bucket = bits.Len64(uint64(rows - 1))
+		if bucket >= batchBuckets {
+			bucket = batchBuckets - 1
+		}
+	}
+	m.mu.Lock()
+	m.batches++
+	m.batchHist[bucket]++
+	if err != nil {
+		m.errors += int64(reqs)
+	}
+	m.mu.Unlock()
+}
+
+// observeLatency records one request's end-to-end service time.
+func (m *Metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	m.latMs[m.latN%latencySamples] = ms
+	m.latN++
+	m.mu.Unlock()
+}
+
+// LatencyQuantiles are the standard serving percentiles in
+// milliseconds.
+type LatencyQuantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// MetricsSnapshot is the JSON form of a model's counters.
+type MetricsSnapshot struct {
+	Requests      int64            `json:"requests"`
+	Rows          int64            `json:"rows"`
+	Errors        int64            `json:"errors"`
+	Batches       int64            `json:"batches"`
+	Swaps         int64            `json:"swaps"`
+	MeanBatchRows float64          `json:"mean_batch_rows"`
+	BatchRowsHist map[string]int64 `json:"batch_rows_hist,omitempty"`
+	LatencyMs     LatencyQuantiles `json:"latency_ms"`
+}
+
+// Snapshot returns a point-in-time copy for /metrics.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	s := MetricsSnapshot{
+		Requests: m.requests,
+		Rows:     m.rows,
+		Errors:   m.errors,
+		Batches:  m.batches,
+		Swaps:    m.swaps,
+	}
+	if m.batches > 0 {
+		s.MeanBatchRows = float64(m.rows) / float64(m.batches)
+	}
+	hist := map[string]int64{}
+	for i, c := range m.batchHist {
+		if c > 0 {
+			hist["le_"+strconv.Itoa(1<<i)] = c
+		}
+	}
+	if len(hist) > 0 {
+		s.BatchRowsHist = hist
+	}
+	n := m.latN
+	if n > latencySamples {
+		n = latencySamples
+	}
+	samples := append([]float64(nil), m.latMs[:n]...)
+	m.mu.Unlock()
+
+	if len(samples) > 0 {
+		sort.Float64s(samples)
+		s.LatencyMs = LatencyQuantiles{
+			P50: Percentile(samples, 0.50),
+			P90: Percentile(samples, 0.90),
+			P99: Percentile(samples, 0.99),
+		}
+	}
+	return s
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of sorted samples by
+// linear interpolation between closest ranks.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{nil, 0.5, 0},
+		{[]float64{7}, 0.99, 7},
+		{[]float64{1, 2, 3, 4}, 0, 1},
+		{[]float64{1, 2, 3, 4}, 1, 4},
+		{[]float64{1, 2, 3, 4}, 0.5, 2.5},
+		{[]float64{1, 2, 3, 4, 5}, 0.5, 3},
+		{[]float64{0, 10}, 0.9, 9},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.sorted, c.q); got != c.want {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.request(3)
+	m.request(5)
+	m.requestErrors(1)
+	m.swapped()
+	m.observeBatch(2, 8, nil)
+	m.observeLatency(2 * time.Millisecond)
+	m.observeLatency(4 * time.Millisecond)
+
+	s := m.Snapshot()
+	if s.Requests != 2 || s.Rows != 8 || s.Errors != 1 || s.Batches != 1 || s.Swaps != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.MeanBatchRows != 8 {
+		t.Errorf("mean batch rows = %v, want 8", s.MeanBatchRows)
+	}
+	// 8 rows lands in the le_8 bucket (2^2 < 8 ≤ 2^3).
+	if s.BatchRowsHist["le_8"] != 1 || len(s.BatchRowsHist) != 1 {
+		t.Errorf("batch hist = %v", s.BatchRowsHist)
+	}
+	if s.LatencyMs.P50 < 2 || s.LatencyMs.P50 > 4 || s.LatencyMs.P99 < s.LatencyMs.P50 {
+		t.Errorf("latency = %+v", s.LatencyMs)
+	}
+}
+
+func TestMetricsBatchHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	for _, rows := range []int{1, 2, 3, 4, 100000} {
+		m.observeBatch(1, rows, nil)
+	}
+	s := m.Snapshot()
+	want := map[string]int64{
+		"le_1":     1, // rows=1
+		"le_2":     1, // rows=2
+		"le_4":     2, // rows=3, 4
+		"le_32768": 1, // rows=100000 clamps into the top bucket
+	}
+	if len(s.BatchRowsHist) != len(want) {
+		t.Fatalf("hist = %v, want %v", s.BatchRowsHist, want)
+	}
+	for k, v := range want {
+		if s.BatchRowsHist[k] != v {
+			t.Errorf("hist[%s] = %d, want %d", k, s.BatchRowsHist[k], v)
+		}
+	}
+}
+
+func TestMetricsBatchErrorCountsAllRequests(t *testing.T) {
+	m := NewMetrics()
+	m.observeBatch(3, 7, errors.New("boom"))
+	if s := m.Snapshot(); s.Errors != 3 {
+		t.Errorf("errors = %d, want 3 (one per request in the failed batch)", s.Errors)
+	}
+}
+
+func TestMetricsLatencyRingWraps(t *testing.T) {
+	m := NewMetrics()
+	// Overfill the ring: early huge samples must be evicted.
+	for i := 0; i < latencySamples; i++ {
+		m.observeLatency(time.Hour)
+	}
+	for i := 0; i < latencySamples; i++ {
+		m.observeLatency(time.Millisecond)
+	}
+	s := m.Snapshot()
+	if s.LatencyMs.P99 > 2 {
+		t.Errorf("p99 = %v ms — ring kept evicted samples", s.LatencyMs.P99)
+	}
+}

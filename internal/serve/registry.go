@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"m3"
+)
+
+// ErrModelClosed is returned for requests against an entry whose
+// registry has shut down.
+var ErrModelClosed = errors.New("serve: model closed")
+
+// Snapshot is one immutable generation of a served model: the fitted
+// model, its header metadata, and an optional closer for resources
+// the model pins (an engine whose mmap backs a k-NN reference table,
+// say). Snapshots are reference-counted: the registry holds one
+// reference for the current generation, every in-flight batch holds
+// one while predicting, and the closer runs only when the last
+// reference drops — so a hot-swap never unmaps a file while a batch
+// is still reading it.
+type Snapshot struct {
+	Model m3.Model
+	Info  m3.ModelInfo
+	// Path is the saved-model file this snapshot was loaded from;
+	// empty for programmatically registered models.
+	Path string
+	// Stats optionally reports storage counters for the model's
+	// backing data (bytes touched, resident bytes, engine scratch)
+	// for /metrics.
+	Stats func() map[string]int64
+
+	closer   func() error
+	refs     atomic.Int64
+	retired  chan struct{}
+	closeErr error
+}
+
+// NewSnapshot wraps a model for registration. closer (may be nil)
+// runs exactly once, after the registry has replaced or dropped the
+// snapshot and the last in-flight batch has released it.
+func NewSnapshot(model m3.Model, info m3.ModelInfo, path string, closer func() error) *Snapshot {
+	s := &Snapshot{Model: model, Info: info, Path: path, closer: closer, retired: make(chan struct{})}
+	s.refs.Store(1)
+	return s
+}
+
+// acquire takes a reference, failing if the snapshot already retired.
+func (s *Snapshot) acquire() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops a reference; the last one out runs the closer.
+func (s *Snapshot) Release() {
+	if s.refs.Add(-1) == 0 {
+		if s.closer != nil {
+			s.closeErr = s.closer()
+		}
+		close(s.retired)
+	}
+}
+
+// Retired is closed once the snapshot's last reference is gone and
+// its closer has run.
+func (s *Snapshot) Retired() <-chan struct{} { return s.retired }
+
+// CloseErr reports the closer's error; valid after Retired is closed.
+func (s *Snapshot) CloseErr() error { return s.closeErr }
+
+// Entry is a served model name. The current snapshot hangs off an
+// atomic pointer, so a swap is one pointer flip: requests that
+// already acquired the old snapshot finish on it, later requests see
+// the new one, and nothing blocks.
+type Entry struct {
+	name    string
+	cur     atomic.Pointer[Snapshot]
+	metrics *Metrics
+}
+
+// Name returns the registered model name.
+func (e *Entry) Name() string { return e.name }
+
+// Metrics returns the entry's counters (never nil).
+func (e *Entry) Metrics() *Metrics { return e.metrics }
+
+// Info returns the current snapshot's model metadata.
+func (e *Entry) Info() (m3.ModelInfo, error) {
+	p := e.cur.Load()
+	if p == nil {
+		return m3.ModelInfo{}, ErrModelClosed
+	}
+	return p.Info, nil
+}
+
+// Path returns the current snapshot's source file ("" when none).
+func (e *Entry) Path() string {
+	if p := e.cur.Load(); p != nil {
+		return p.Path
+	}
+	return ""
+}
+
+// Acquire returns the current snapshot with a reference held; the
+// caller must Release it. A snapshot that retires between the load
+// and the acquire just means a swap won the race — retry on the
+// replacement.
+func (e *Entry) Acquire() (*Snapshot, error) {
+	for {
+		p := e.cur.Load()
+		if p == nil {
+			return nil, ErrModelClosed
+		}
+		if p.acquire() {
+			return p, nil
+		}
+	}
+}
+
+// stats returns the current snapshot's storage counters, if any.
+func (e *Entry) stats() map[string]int64 {
+	if p := e.cur.Load(); p != nil && p.Stats != nil {
+		return p.Stats()
+	}
+	return nil
+}
+
+// Registry maps model names to entries. Set (and the /swap endpoint
+// and SIGHUP reload built on it) replaces a name's snapshot with a
+// single atomic pointer flip and releases the registry's reference on
+// the old generation — zero requests dropped, old resources closed
+// only after the last in-flight batch finishes.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*Entry{}}
+}
+
+// Set registers snap under name, creating the entry or hot-swapping
+// the previous snapshot out.
+func (r *Registry) Set(name string, snap *Snapshot) *Entry {
+	r.mu.Lock()
+	e := r.entries[name]
+	if e == nil {
+		e = &Entry{name: name, metrics: NewMetrics()}
+		r.entries[name] = e
+		r.order = append(r.order, name)
+	}
+	old := e.cur.Swap(snap)
+	r.mu.Unlock()
+	if old != nil {
+		e.metrics.swapped()
+		old.Release()
+	}
+	return e
+}
+
+// LoadFile loads the saved model at path (any modelio kind, including
+// whole pipelines) and registers it under name — the swap entry
+// point: an existing name flips to the new file atomically.
+func (r *Registry) LoadFile(name, path string) (*Entry, error) {
+	model, info, err := m3.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading %s from %s: %w", name, path, err)
+	}
+	return r.Set(name, NewSnapshot(model, info, path, nil)), nil
+}
+
+// Get looks a model name up.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Entries lists entries in registration order.
+func (r *Registry) Entries() []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Entry, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.entries[name])
+	}
+	return out
+}
+
+// ReloadAll re-loads every file-backed entry from its current path —
+// the SIGHUP handler: retrain, save over the file, signal.
+func (r *Registry) ReloadAll() error {
+	var errs []error
+	for _, e := range r.Entries() {
+		path := e.Path()
+		if path == "" {
+			continue
+		}
+		if _, err := r.LoadFile(e.Name(), path); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close retires every entry: the registry reference is released, and
+// each snapshot's closer runs as soon as its in-flight batches drain.
+// Requests arriving after Close fail with ErrModelClosed.
+func (r *Registry) Close() {
+	for _, e := range r.Entries() {
+		if old := e.cur.Swap(nil); old != nil {
+			old.Release()
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"m3"
+	"m3/internal/ml/linreg"
+)
+
+// saveConstLinear writes a linear model predicting val for any input
+// of the given width and returns its path.
+func saveConstLinear(t *testing.T, dir, name string, cols int, val float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := m3.SaveModel(path, &linreg.Model{Weights: make([]float64, cols), Intercept: val}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// waitRetired asserts the snapshot retires promptly.
+func waitRetired(t *testing.T, s *Snapshot) {
+	t.Helper()
+	select {
+	case <-s.Retired():
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot not retired within 5s")
+	}
+}
+
+func TestSnapshotCloserRunsOnlyAfterLastRelease(t *testing.T) {
+	var closes atomic.Int64
+	old := NewSnapshot(&constModel{val: 1}, m3.ModelInfo{}, "", func() error {
+		closes.Add(1)
+		return nil
+	})
+	reg := NewRegistry()
+	e := reg.Set("m", old)
+
+	// An in-flight batch holds a reference.
+	held, err := e.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held != old {
+		t.Fatal("acquired a different snapshot")
+	}
+
+	// Swap: registry drops its reference, but the batch still holds one.
+	reg.Set("m", NewSnapshot(&constModel{val: 2}, m3.ModelInfo{}, "", nil))
+	select {
+	case <-old.Retired():
+		t.Fatal("snapshot retired while a batch still held it")
+	default:
+	}
+	if closes.Load() != 0 {
+		t.Fatal("closer ran while a batch still held the snapshot")
+	}
+
+	// New acquisitions must see the new generation.
+	cur, err := e.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur == old {
+		t.Fatal("Acquire returned the swapped-out snapshot")
+	}
+	cur.Release()
+
+	held.Release()
+	waitRetired(t, old)
+	if closes.Load() != 1 {
+		t.Fatalf("closer ran %d times, want 1", closes.Load())
+	}
+	if old.CloseErr() != nil {
+		t.Fatal(old.CloseErr())
+	}
+}
+
+func TestSnapshotCloseErr(t *testing.T) {
+	boom := errors.New("close boom")
+	s := NewSnapshot(&constModel{}, m3.ModelInfo{}, "", func() error { return boom })
+	s.Release()
+	waitRetired(t, s)
+	if !errors.Is(s.CloseErr(), boom) {
+		t.Fatalf("CloseErr = %v", s.CloseErr())
+	}
+}
+
+func TestRegistryCloseRetiresEntries(t *testing.T) {
+	var closes atomic.Int64
+	reg := NewRegistry()
+	snap := NewSnapshot(&constModel{val: 1}, m3.ModelInfo{}, "", func() error {
+		closes.Add(1)
+		return nil
+	})
+	e := reg.Set("m", snap)
+	reg.Close()
+	waitRetired(t, snap)
+	if closes.Load() != 1 {
+		t.Fatalf("closer ran %d times, want 1", closes.Load())
+	}
+	if _, err := e.Acquire(); !errors.Is(err, ErrModelClosed) {
+		t.Fatalf("Acquire after Close = %v, want ErrModelClosed", err)
+	}
+	if _, err := e.Info(); !errors.Is(err, ErrModelClosed) {
+		t.Fatalf("Info after Close = %v, want ErrModelClosed", err)
+	}
+}
+
+func TestRegistryLoadFileAndReloadAll(t *testing.T) {
+	dir := t.TempDir()
+	path := saveConstLinear(t, dir, "m.model", 2, 100)
+	reg := NewRegistry()
+	e, err := reg.LoadFile("lin", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := e.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "linear" || info.InputCols != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if e.Path() != path {
+		t.Fatalf("path = %q", e.Path())
+	}
+
+	predict := func() float64 {
+		snap, err := e.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snap.Release()
+		return snap.Model.Predict([]float64{3, 4})
+	}
+	if got := predict(); got != 100 {
+		t.Fatalf("predict = %v, want 100", got)
+	}
+
+	// Overwrite the file and SIGHUP-style reload: same path, new model.
+	saveConstLinear(t, dir, "m.model", 2, 200)
+	if err := reg.ReloadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := predict(); got != 200 {
+		t.Fatalf("predict after reload = %v, want 200", got)
+	}
+	if s := e.Metrics().Snapshot(); s.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", s.Swaps)
+	}
+
+	// A bad file keeps the old generation serving and reports the error.
+	badDir := t.TempDir()
+	bad := filepath.Join(badDir, "bad.model")
+	if _, err := reg.LoadFile("bad", bad); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	if _, ok := reg.Get("bad"); ok {
+		t.Fatal("failed load registered an entry")
+	}
+}
+
+func TestRegistryEntriesOrder(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"c", "a", "b"} {
+		reg.Set(name, NewSnapshot(&constModel{}, m3.ModelInfo{}, "", nil))
+	}
+	// Re-setting an existing name must not duplicate it.
+	reg.Set("a", NewSnapshot(&constModel{}, m3.ModelInfo{}, "", nil))
+	var got []string
+	for _, e := range reg.Entries() {
+		got = append(got, e.Name())
+	}
+	want := []string{"c", "a", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("entries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entries = %v, want %v", got, want)
+		}
+	}
+}

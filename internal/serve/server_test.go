@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"m3"
+	"m3/internal/mat"
+)
+
+// digitsFixture is a served scale→PCA→logreg pipeline over generated
+// digits, plus everything a test needs to check parity against it.
+type digitsFixture struct {
+	ts      *httptest.Server
+	srv     *Server
+	reg     *Registry
+	model   m3.Model  // the same saved pipeline, loaded directly
+	queries []float64 // qn×cols sample rows from the dataset
+	qn      int
+	cols    int
+	dir     string
+}
+
+func newDigitsFixture(t *testing.T) *digitsFixture {
+	t.Helper()
+	dir := t.TempDir()
+	dsPath := filepath.Join(dir, "digits.m3")
+	if err := m3.GenerateInfimnist(dsPath, 240, 11); err != nil {
+		t.Fatal(err)
+	}
+	eng := m3.New(m3.Config{Mode: m3.InMemory})
+	defer eng.Close()
+	tbl, err := eng.Open(dsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := m3.Pipeline{
+		Stages: []m3.Transformer{
+			m3.StandardScaler{},
+			m3.PrincipalComponents{Options: m3.PCAOptions{Components: 4, Seed: 1}},
+		},
+		Estimator: m3.LogisticRegression{
+			Binarize: true, Positive: 0,
+			Options: m3.LogisticOptions{MaxIterations: 8},
+		},
+	}
+	fitted, err := eng.Fit(context.Background(), pipe, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "pipe.model")
+	if err := fitted.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := m3.Load(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const qn = 8
+	cols := tbl.X.Cols()
+	queries := make([]float64, 0, qn*cols)
+	for i := 0; i < qn; i++ {
+		queries = append(queries, tbl.X.RawRow(i)...)
+	}
+
+	reg := NewRegistry()
+	if _, err := reg.LoadFile("digits", modelPath); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, Config{BatchSize: 32, BatchDelay: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain()
+		reg.Close()
+	})
+	return &digitsFixture{ts: ts, srv: srv, reg: reg, model: loaded, queries: queries, qn: qn, cols: cols, dir: dir}
+}
+
+// rowsJSON renders the fixture queries as a predict body.
+func (f *digitsFixture) rowsJSON(t *testing.T) []byte {
+	t.Helper()
+	rows := make([][]float64, f.qn)
+	for i := range rows {
+		rows[i] = f.queries[i*f.cols : (i+1)*f.cols]
+	}
+	body, err := json.Marshal(map[string][][]float64{"rows": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// post sends a JSON body and decodes the JSON reply into out.
+func post(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s reply: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// get fetches a URL and decodes the JSON reply into out.
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s reply: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerPredictParity: predictions served over HTTP through the
+// micro-batcher are bit-identical to calling the loaded pipeline's
+// PredictMatrix directly.
+func TestServerPredictParity(t *testing.T) {
+	f := newDigitsFixture(t)
+	want, err := f.model.PredictMatrix(mat.NewDenseFrom(append([]float64(nil), f.queries...), f.qn, f.cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out predictResponse
+	if code := post(t, f.ts.URL+"/models/digits/predict", f.rowsJSON(t), &out); code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	if out.Model != "digits" || len(out.Predictions) != f.qn {
+		t.Fatalf("reply = %+v", out)
+	}
+	for i := range want {
+		if out.Predictions[i] != want[i] {
+			t.Fatalf("prediction %d: served %v, direct %v", i, out.Predictions[i], want[i])
+		}
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	f := newDigitsFixture(t)
+	base := f.ts.URL + "/models/digits/predict"
+
+	if code := post(t, f.ts.URL+"/models/nope/predict", f.rowsJSON(t), nil); code != http.StatusNotFound {
+		t.Errorf("unknown model: status %d, want 404", code)
+	}
+	if code := post(t, base, []byte(`{"rows": [[1, 2, 3]]}`), nil); code != http.StatusBadRequest {
+		t.Errorf("wrong width: status %d, want 400", code)
+	}
+	if code := post(t, base, []byte(`{"rows": []}`), nil); code != http.StatusBadRequest {
+		t.Errorf("empty rows: status %d, want 400", code)
+	}
+	if code := post(t, base, []byte(`{"rows": [[`), nil); code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", code)
+	}
+
+	// Ragged rows: row 0 sets the width, so make row 0 valid.
+	rows := make([][]float64, 2)
+	rows[0] = make([]float64, f.cols)
+	rows[1] = make([]float64, f.cols-1)
+	body, _ := json.Marshal(map[string][][]float64{"rows": rows})
+	if code := post(t, base, body, nil); code != http.StatusBadRequest {
+		t.Errorf("ragged rows: status %d, want 400", code)
+	}
+}
+
+func TestServerModelsAndMetrics(t *testing.T) {
+	f := newDigitsFixture(t)
+	if code := post(t, f.ts.URL+"/models/digits/predict", f.rowsJSON(t), nil); code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+
+	var models struct {
+		Models []modelInfoJSON `json:"models"`
+	}
+	if code := get(t, f.ts.URL+"/models", &models); code != http.StatusOK {
+		t.Fatalf("/models status %d", code)
+	}
+	if len(models.Models) != 1 {
+		t.Fatalf("models = %+v", models)
+	}
+	m := models.Models[0]
+	if m.Name != "digits" || m.Kind != "pipeline" || m.InputCols != f.cols || len(m.Stages) != 3 {
+		t.Errorf("model summary = %+v", m)
+	}
+
+	var one struct {
+		Model   modelInfoJSON   `json:"model"`
+		Metrics MetricsSnapshot `json:"metrics"`
+	}
+	if code := get(t, f.ts.URL+"/models/digits", &one); code != http.StatusOK {
+		t.Fatalf("/models/digits status %d", code)
+	}
+	if one.Metrics.Requests != 1 || one.Metrics.Rows != int64(f.qn) {
+		t.Errorf("metrics = %+v", one.Metrics)
+	}
+	if code := get(t, f.ts.URL+"/models/nope", nil); code != http.StatusNotFound {
+		t.Errorf("/models/nope status %d, want 404", code)
+	}
+
+	var metrics struct {
+		UptimeSeconds float64                 `json:"uptime_seconds"`
+		Draining      bool                    `json:"draining"`
+		Models        map[string]modelMetrics `json:"models"`
+	}
+	if code := get(t, f.ts.URL+"/metrics", &metrics); code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	dm, ok := metrics.Models["digits"]
+	if !ok || dm.Requests != 1 || dm.Batches < 1 || dm.Errors != 0 {
+		t.Errorf("/metrics digits = %+v", dm)
+	}
+	if dm.LatencyMs.P50 <= 0 || dm.LatencyMs.P99 < dm.LatencyMs.P50 {
+		t.Errorf("latency quantiles = %+v", dm.LatencyMs)
+	}
+	if metrics.Draining {
+		t.Error("/metrics reports draining on a live server")
+	}
+
+	var health struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}
+	if code := get(t, f.ts.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" || health.Models != 1 {
+		t.Errorf("/healthz = %d %+v", code, health)
+	}
+}
+
+func TestServerSwapEndpoint(t *testing.T) {
+	f := newDigitsFixture(t)
+	genA := saveConstLinear(t, f.dir, "gen-a.model", 3, 100)
+	genB := saveConstLinear(t, f.dir, "gen-b.model", 3, 200)
+
+	// Swap can also register a brand-new name.
+	body, _ := json.Marshal(map[string]string{"path": genA})
+	var swapped modelInfoJSON
+	if code := post(t, f.ts.URL+"/models/lin/swap", body, &swapped); code != http.StatusOK {
+		t.Fatalf("swap status %d", code)
+	}
+	if swapped.Kind != "linear" || swapped.Path != genA || swapped.Swaps != 0 {
+		t.Errorf("swap reply = %+v", swapped)
+	}
+
+	predictBody := []byte(`{"rows": [[1, 2, 3]]}`)
+	var out predictResponse
+	if code := post(t, f.ts.URL+"/models/lin/predict", predictBody, &out); code != http.StatusOK || out.Predictions[0] != 100 {
+		t.Fatalf("pre-swap predict = %d %+v", code, out)
+	}
+
+	body, _ = json.Marshal(map[string]string{"path": genB})
+	if code := post(t, f.ts.URL+"/models/lin/swap", body, &swapped); code != http.StatusOK {
+		t.Fatalf("swap status %d", code)
+	}
+	if swapped.Swaps != 1 {
+		t.Errorf("swaps = %d, want 1", swapped.Swaps)
+	}
+	if code := post(t, f.ts.URL+"/models/lin/predict", predictBody, &out); code != http.StatusOK || out.Predictions[0] != 200 {
+		t.Fatalf("post-swap predict = %d %+v", code, out)
+	}
+
+	// A bad path must fail the swap and keep the current generation.
+	body, _ = json.Marshal(map[string]string{"path": filepath.Join(f.dir, "missing.model")})
+	if code := post(t, f.ts.URL+"/models/lin/swap", body, nil); code != http.StatusBadRequest {
+		t.Errorf("swap to missing file: status %d, want 400", code)
+	}
+	if code := post(t, f.ts.URL+"/models/lin/swap", []byte(`{}`), nil); code != http.StatusBadRequest {
+		t.Errorf("swap without path: status %d, want 400", code)
+	}
+	if code := post(t, f.ts.URL+"/models/lin/predict", predictBody, &out); code != http.StatusOK || out.Predictions[0] != 200 {
+		t.Fatalf("predict after failed swap = %d %+v", code, out)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	f := newDigitsFixture(t)
+	f.srv.Drain()
+
+	if code := get(t, f.ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while draining: status %d, want 503", code)
+	}
+	if code := post(t, f.ts.URL+"/models/digits/predict", f.rowsJSON(t), nil); code != http.StatusServiceUnavailable {
+		t.Errorf("predict while draining: status %d, want 503", code)
+	}
+	var metrics struct {
+		Draining bool `json:"draining"`
+	}
+	if code := get(t, f.ts.URL+"/metrics", &metrics); code != http.StatusOK || !metrics.Draining {
+		t.Errorf("/metrics while draining = %d %+v", code, metrics)
+	}
+}

@@ -247,5 +247,46 @@ func LoadModel(path string) (any, ModelKind, error) {
 // ModelKind tags a persisted model type.
 type ModelKind = modelio.Kind
 
+// ModelInfo describes a saved model: its kind plus the shape metadata
+// stamped into the file header at save time. A serving layer uses it
+// to validate request width and render model listings without
+// touching concrete model types.
+type ModelInfo struct {
+	// Kind tags the persisted model type ("logistic", "pipeline", …).
+	Kind ModelKind
+	// InputCols is the feature width Predict expects.
+	InputCols int
+	// OutputCols is the transformed width for transformer kinds; 0
+	// for pure predictors.
+	OutputCols int
+	// Classes counts distinct prediction values — classes for
+	// classifiers, clusters for k-means, 0 for regression and
+	// transformers.
+	Classes int
+	// Stages lists a pipeline's stage kinds in order, nil otherwise.
+	Stages []ModelKind
+}
+
+func modelInfo(kind modelio.Kind, meta modelio.Meta) ModelInfo {
+	return ModelInfo{
+		Kind:       kind,
+		InputCols:  meta.InputCols,
+		OutputCols: meta.OutputCols,
+		Classes:    meta.Classes,
+		Stages:     meta.Stages,
+	}
+}
+
+// Describe reads a saved model's kind and shape metadata from the
+// file header alone — the payload (which for a big pipeline or PCA
+// basis dominates the file) is never decoded.
+func Describe(path string) (ModelInfo, error) {
+	kind, meta, err := modelio.DescribeFile(path)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return modelInfo(kind, meta), nil
+}
+
 // IterInfo is passed to optimizer and FitOptions callbacks.
 type IterInfo = optimize.IterInfo

@@ -362,12 +362,22 @@ func innerModel(m any) (any, error) {
 // stages and the last envelope into the final model). Loaded models
 // predict with default parallelism (engine hints on the matrices they
 // are applied to, then NumCPU).
-func Load(path string) (Model, error) {
-	v, _, err := modelio.LoadFile(path)
+//
+// The returned ModelInfo carries the file-header metadata (kind,
+// expected input width, class count, pipeline stage kinds) — what a
+// serving layer needs to validate requests without poking at concrete
+// model types. Describe returns the same ModelInfo without loading
+// the payload.
+func Load(path string) (Model, ModelInfo, error) {
+	v, kind, meta, err := modelio.LoadFileMeta(path)
 	if err != nil {
-		return nil, err
+		return nil, ModelInfo{}, err
 	}
-	return wrapLoaded(v)
+	m, err := wrapLoaded(v)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	return m, modelInfo(kind, meta), nil
 }
 
 // wrapLoaded rebuilds the fitted wrapper for a modelio inner value.

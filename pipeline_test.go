@@ -370,9 +370,18 @@ func TestLoadRoundTripEveryKind(t *testing.T) {
 			if _, kind, err := LoadModel(mp); err != nil || kind != tc.kind {
 				t.Fatalf("LoadModel kind = %v (err %v), want %v", kind, err, tc.kind)
 			}
-			loaded, err := Load(mp)
+			loaded, info, err := Load(mp)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if info.Kind != tc.kind {
+				t.Errorf("Load info kind = %v, want %v", info.Kind, tc.kind)
+			}
+			if info.InputCols != tbl.X.Cols() {
+				t.Errorf("Load info input cols = %d, want %d", info.InputCols, tbl.X.Cols())
+			}
+			if dinfo, err := Describe(mp); err != nil || dinfo.Kind != info.Kind || dinfo.InputCols != info.InputCols {
+				t.Errorf("Describe = %+v (err %v), disagrees with Load info %+v", dinfo, err, info)
 			}
 			want, err := tc.model.PredictMatrix(tbl.X)
 			if err != nil {

@@ -1,0 +1,83 @@
+package m3
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"m3/internal/mat"
+)
+
+// TestConcurrentPredictMatrix pins the core.Model concurrency
+// contract: PredictMatrix on one fitted model from many goroutines —
+// fused pipelines and k-NN (whose reference matrix stays mmap-backed
+// and pages on demand) included — is race-free and bit-identical to
+// a sequential call. CI runs this under -race; the serving layer's
+// micro-batcher depends on it to issue overlapping batches against a
+// single model snapshot without locking.
+func TestConcurrentPredictMatrix(t *testing.T) {
+	path := digitsFile(t, 160)
+	eng := New(Config{Mode: MemoryMapped})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		est  Estimator
+	}{
+		{"logreg", LogisticRegression{Binarize: true, Options: LogisticOptions{MaxIterations: 5}}},
+		{"bayes", NaiveBayes{Classes: 10}},
+		{"kmeans", KMeansClustering{Options: KMeansOptions{K: 4, MaxIterations: 4, Seed: 2}}},
+		{"pca", PrincipalComponents{Options: PCAOptions{Components: 3, Seed: 1}}},
+		{"knn", KNNClassifier{K: 3, Classes: 10}},
+		{"pipeline", scalePCALogreg(4)},
+	}
+
+	// Queries live on the heap like a decoded serving batch would.
+	const qn = 24
+	cols := tbl.X.Cols()
+	flat := make([]float64, 0, qn*cols)
+	for i := 0; i < qn; i++ {
+		flat = append(flat, tbl.X.RawRow(i)...)
+	}
+	queries := mat.NewDenseFrom(flat, qn, cols)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model, err := eng.Fit(ctx, tc.est, tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := model.PredictMatrix(queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines, rounds = 16, 6
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						got, err := model.PredictMatrix(queries)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Errorf("concurrent prediction %d = %v, want %v", i, got[i], want[i])
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
