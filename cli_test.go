@@ -7,6 +7,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -171,6 +172,77 @@ func TestCLIBenchSingleExperiment(t *testing.T) {
 	}
 }
 
+// TestCLITrainTraceAndProfile: an out-of-core m3train -trace run
+// writes valid Chrome trace-event JSON with per-worker block spans
+// riding under the fit span, and -profile writes a non-empty CPU
+// profile.
+func TestCLITrainTraceAndProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "digits.m3")
+	runCLI(t, "infimnist-gen", "-out", ds, "-images", "120", "-seed", "2")
+
+	tracePath := filepath.Join(dir, "trace.json")
+	profPath := filepath.Join(dir, "cpu.pprof")
+	out := runCLI(t, "m3train", "-data", ds, "-algo", "logreg", "-iters", "8",
+		"-scale", "standard", "-trace", tracePath, "-profile", profPath)
+	if !strings.Contains(out, "mapped=true") {
+		t.Errorf("train output: %s", out)
+	}
+	if !strings.Contains(out, "trace written to "+tracePath) {
+		t.Errorf("train output missing trace confirmation:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", trace.DisplayTimeUnit)
+	}
+	var fitSpans, scanSpans, workerBlocks int
+	for _, e := range trace.TraceEvents {
+		switch {
+		case e.Cat == "fit" && e.Ph == "X":
+			fitSpans++
+		case e.Cat == "scan" && e.Ph == "X":
+			scanSpans++
+		case e.Cat == "block" && e.Ph == "X" && e.Tid >= 1:
+			workerBlocks++
+		}
+	}
+	if fitSpans != 1 {
+		t.Errorf("fit spans = %d, want 1", fitSpans)
+	}
+	if scanSpans == 0 {
+		t.Error("no scan spans in trace")
+	}
+	if workerBlocks == 0 {
+		t.Error("no per-worker block events (tid >= 1) in trace")
+	}
+
+	if fi, err := os.Stat(profPath); err != nil {
+		t.Errorf("cpu profile missing: %v", err)
+	} else if fi.Size() == 0 {
+		t.Error("cpu profile is empty")
+	}
+}
+
 func TestCLIServeEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -251,8 +323,9 @@ func TestCLIServeEndToEnd(t *testing.T) {
 		}
 	}
 
-	// /metrics reports both models, including the k-NN store counters.
-	resp, err = http.Get(base + "/metrics")
+	// /metrics?format=json reports both models, including the k-NN
+	// store counters.
+	resp, err = http.Get(base + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,6 +342,39 @@ func TestCLIServeEndToEnd(t *testing.T) {
 	}
 	if m := metrics.Models["nn"]; m.Requests != 1 || m.Store["bytes_touched"] == 0 {
 		t.Errorf("nn metrics = %+v", m)
+	}
+
+	// Plain /metrics is Prometheus text exposition with the serve
+	// counters and the mmap store gauges.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text exposition", ct)
+	}
+	prom := string(promBody)
+	for _, want := range []string{
+		"# TYPE m3_serve_requests_total counter",
+		`m3_serve_requests_total{model="digits"} 1`,
+		"# TYPE m3_serve_batch_rows histogram",
+		`m3_store_bytes_touched{model="nn"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("Prometheus /metrics missing %q", want)
+		}
+	}
+
+	// The profiling endpoints ride on the daemon's mux.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d, want 200", resp.StatusCode)
 	}
 
 	// SIGTERM drains and exits cleanly.

@@ -17,6 +17,7 @@ import (
 
 	"m3"
 	"m3/internal/bench"
+	"m3/internal/obs"
 )
 
 // fusionPipeline builds a measured chain ending in final.
@@ -157,6 +158,7 @@ func runFusion(rows int64, rec *recorder) error {
 		}
 		for _, pl := range pipelines {
 			for _, variant := range []string{"eager", "fused"} {
+				snapBefore := obs.Default().Snapshot()
 				p, err := measureFusion(eng, tbl, fusionPipeline(pl.stages, pl.final), mode.name, pl.name, variant, size)
 				if err != nil {
 					eng.Close()
@@ -170,6 +172,7 @@ func runFusion(rows int64, rec *recorder) error {
 					HeapAllocBytes: p.HeapAllocBytes,
 					ScratchAllocs:  p.ScratchAllocs, ScratchBytes: p.ScratchBytes,
 					Materializations: p.Materializations,
+					Counters:         snapDelta(snapBefore),
 				})
 			}
 		}

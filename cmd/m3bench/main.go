@@ -35,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 	"m3/internal/infimnist"
 	"m3/internal/iostats"
 	"m3/internal/mat"
+	"m3/internal/obs"
 	"m3/internal/store"
 )
 
@@ -75,6 +77,27 @@ type Record struct {
 	P90Ms         float64 `json:"p90_ms,omitempty"`
 	P99Ms         float64 `json:"p99_ms,omitempty"`
 	MeanBatchRows float64 `json:"mean_batch_rows,omitempty"`
+	// Counters is the movement of the process-wide obs registry
+	// (m3_process_* CPU/IO, m3_fit_* optimizer progress) across the
+	// measured region, so records carry utilization alongside
+	// wall-clock — the §3.1 "where did the time go" answer in the
+	// BENCH_*.json artifact itself.
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// snapDelta returns the non-zero counter movement since before, or
+// nil when nothing moved, keeping records compact.
+func snapDelta(before obs.Snapshot) map[string]float64 {
+	d := obs.Default().Snapshot().Sub(before)
+	for k, v := range d {
+		if v == 0 {
+			delete(d, k)
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
 }
 
 // recorder accumulates records for -json output.
@@ -103,7 +126,11 @@ func (r *recorder) write(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-func main() {
+func main() { os.Exit(benchMain()) }
+
+// benchMain is main behind an exit code so the -trace / -profile
+// defers flush even when an experiment fails partway.
+func benchMain() int {
 	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, multicore, fusion, serve, all")
 	flag.StringVar(exp, "experiment", *exp, "alias of -exp")
 	rows := flag.Int("rows", 512, "actual (scaled-down) row count the math runs on")
@@ -112,7 +139,39 @@ func main() {
 	passes := flag.Int("passes", 10, "steady-state passes per multicore point")
 	duration := flag.Duration("duration", 2*time.Second, "load duration per serve-experiment cell")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this path")
+	profileOut := flag.String("profile", "", "write a CPU profile of the run to this path")
 	flag.Parse()
+
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "m3bench: profile: %v\n", err)
+			} else {
+				fmt.Printf("cpu profile written to %s\n", *profileOut)
+			}
+		}()
+	}
+	if *traceOut != "" {
+		obs.StartTrace()
+		defer func() {
+			tr := obs.StopTrace()
+			if err := writeTrace(tr, *traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "m3bench: trace: %v\n", err)
+			} else {
+				fmt.Printf("trace written to %s (%d events)\n", *traceOut, len(tr.Events()))
+			}
+		}()
+	}
 
 	w := bench.Workload{NominalBytes: int64(*size), ActualRows: *rows, Seed: *seed}
 	machine := bench.PaperPC()
@@ -143,23 +202,24 @@ func main() {
 				// Flush what completed so earlier experiments'
 				// records survive a late failure.
 				finish(rec, *jsonOut)
-				fail(err)
+				return fail(err)
 			}
 		}
 		finish(rec, *jsonOut)
-		return
+		return 0
 	}
 	run, ok := runners[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "m3bench: unknown experiment %q\n", *exp)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if err := run(); err != nil {
 		finish(rec, *jsonOut)
-		fail(err)
+		return fail(err)
 	}
 	finish(rec, *jsonOut)
+	return 0
 }
 
 func finish(rec *recorder, path string) {
@@ -167,14 +227,28 @@ func finish(rec *recorder, path string) {
 		return
 	}
 	if err := rec.write(path); err != nil {
-		fail(err)
+		fmt.Fprintf(os.Stderr, "m3bench: %v\n", err)
+		return
 	}
 	fmt.Printf("\nwrote %d records to %s\n", len(rec.records), path)
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "m3bench: %v\n", err)
-	os.Exit(1)
+	return 1
+}
+
+// writeTrace dumps a stopped trace as Chrome trace-event JSON.
+func writeTrace(tr *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 func header(title string) {
@@ -411,6 +485,7 @@ func runParallel(rec *recorder) error {
 		return fmt.Sprintf("%d", faults)
 	}
 
+	snapBefore := obs.Default().Snapshot()
 	seqWall, seqFaults, seqOK := measure(0)
 	fmt.Printf("%-12s %12s %14s %8s\n", "variant", "workers", "wall/scan", "faults")
 	fmt.Printf("%-12s %12d %12.3fms %8s\n", "sequential", 1, seqWall*1e3, faultCol(seqFaults, seqOK))
@@ -418,14 +493,17 @@ func runParallel(rec *recorder) error {
 		Experiment: "parallel", Algorithm: "scan", Mode: "mmap-seq",
 		Workers: 1, SizeBytes: rows * cols * 8, WallSeconds: seqWall,
 		MajorFaults: seqFaults, FaultsValid: seqOK,
+		Counters: snapDelta(snapBefore),
 	})
 	for _, workers := range workerSweep() {
+		snapBefore = obs.Default().Snapshot()
 		wall, faults, ok := measure(workers)
 		fmt.Printf("%-12s %12d %12.3fms %8s  (%.2fx)\n", "blocked", workers, wall*1e3, faultCol(faults, ok), seqWall/wall)
 		rec.add(Record{
 			Experiment: "parallel", Algorithm: "scan", Mode: "mmap-blocked",
 			Workers: workers, SizeBytes: rows * cols * 8, WallSeconds: wall,
 			MajorFaults: faults, FaultsValid: ok,
+			Counters: snapDelta(snapBefore),
 		})
 	}
 	return nil

@@ -15,6 +15,7 @@ import (
 
 	"m3"
 	"m3/internal/bench"
+	"m3/internal/obs"
 	"m3/internal/serve"
 )
 
@@ -139,6 +140,7 @@ func runServe(rows int64, duration time.Duration, rec *recorder) error {
 		}
 		for _, workers := range serveWorkerCounts {
 			for _, srv := range servers {
+				snapBefore := obs.Default().Snapshot()
 				before := entry.Metrics().Snapshot()
 				res, err := bench.ServeLoad(bench.ServeOptions{
 					URL:      srv.url + "/models/" + model.name + "/predict",
@@ -166,6 +168,7 @@ func runServe(rows int64, duration time.Duration, rec *recorder) error {
 					Errors: res.Errors, QPS: res.QPS,
 					P50Ms: res.P50Ms, P90Ms: res.P90Ms, P99Ms: res.P99Ms,
 					MeanBatchRows: meanBatch,
+					Counters:      snapDelta(snapBefore),
 				})
 			}
 		}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"m3"
+	"m3/internal/obs"
 	"m3/internal/serve"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "engine workers for k-NN scans (0 = NumCPU)")
 		knnMode      = flag.String("knn-mode", "mmap", "k-NN reference table backing: mmap|heap")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+		traceOut     = flag.String("trace", "", "write a Chrome trace-event JSON of request/batch spans to this path on shutdown")
 	)
 	var models []modelFlag
 	flag.Func("model", "serve a saved model file as name=path (repeatable)", func(v string) error {
@@ -101,6 +103,9 @@ func main() {
 		}
 	}
 
+	if *traceOut != "" {
+		obs.StartTrace()
+	}
 	srv := serve.NewServer(reg, serve.Config{BatchSize: *batch, BatchDelay: *deadline})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -144,6 +149,22 @@ func main() {
 	}
 	srv.Drain()
 	reg.Close()
+	if *traceOut != "" {
+		tr := obs.StopTrace()
+		if f, err := os.Create(*traceOut); err != nil {
+			log.Printf("trace: %v", err)
+		} else {
+			werr := tr.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				log.Printf("trace: %v", werr)
+			} else {
+				log.Printf("trace written to %s (%d events)", *traceOut, len(tr.Events()))
+			}
+		}
+	}
 	log.Printf("drained")
 }
 
@@ -176,6 +197,7 @@ func registerKNN(reg *serve.Registry, kf knnFlag, mode m3.Mode, workers int) err
 			"bytes_touched":        st.BytesTouched,
 			"resident_bytes":       st.ResidentBytes,
 			"scratch_allocs":       es.Allocs,
+			"scratch_releases":     es.Releases,
 			"scratch_bytes":        es.Bytes,
 			"scratch_mapped_bytes": es.MappedBytes,
 		}

@@ -13,6 +13,7 @@
 //	m3train -data digits.m3 -algo softmax [-classes 10]
 //	m3train -data digits.m3 -algo kmeans  [-k 5]
 //	m3train -data digits.m3 -algo logreg -scale standard -pca 32   # pipeline fit
+//	m3train -data digits.m3 -algo logreg -trace run.json           # Perfetto trace
 package main
 
 import (
@@ -21,44 +22,60 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"time"
 
 	"m3"
-	"m3/internal/iostats"
 	"m3/internal/ml/eval"
+	"m3/internal/obs"
 )
 
+// options carries every run knob (the flag surface outgrew positional
+// parameters).
+type options struct {
+	data, algo, backend, scale string
+	iters, k, classes          int
+	workers, pcaK              int
+	positive                   float64
+	verbose                    bool
+	save                       string
+	trace, profile             string
+}
+
 func main() {
-	data := flag.String("data", "", "dataset path (.m3 file)")
-	algo := flag.String("algo", "logreg", "algorithm: logreg, softmax or kmeans")
-	backend := flag.String("backend", "mmap", "storage backend: mmap, heap or auto")
-	iters := flag.Int("iters", 10, "iterations (L-BFGS or Lloyd)")
-	k := flag.Int("k", 5, "k-means cluster count")
-	classes := flag.Int("classes", 10, "softmax class count")
-	workers := flag.Int("workers", 0, "chunked-execution worker pool (0 = NumCPU, 1 = sequential)")
-	positive := flag.Float64("positive", 0, "label treated as the positive class for logreg")
-	scale := flag.String("scale", "", "prepend a scaling stage: standard or minmax")
-	pcaK := flag.Int("pca", 0, "prepend a PCA stage projecting to this many components (0 = off)")
-	verbose := flag.Bool("verbose", false, "log one line per iteration")
-	save := flag.String("save", "", "save the trained model to this path")
+	var o options
+	flag.StringVar(&o.data, "data", "", "dataset path (.m3 file)")
+	flag.StringVar(&o.algo, "algo", "logreg", "algorithm: logreg, softmax or kmeans")
+	flag.StringVar(&o.backend, "backend", "mmap", "storage backend: mmap, heap or auto")
+	flag.IntVar(&o.iters, "iters", 10, "iterations (L-BFGS or Lloyd)")
+	flag.IntVar(&o.k, "k", 5, "k-means cluster count")
+	flag.IntVar(&o.classes, "classes", 10, "softmax class count")
+	flag.IntVar(&o.workers, "workers", 0, "chunked-execution worker pool (0 = NumCPU, 1 = sequential)")
+	flag.Float64Var(&o.positive, "positive", 0, "label treated as the positive class for logreg")
+	flag.StringVar(&o.scale, "scale", "", "prepend a scaling stage: standard or minmax")
+	flag.IntVar(&o.pcaK, "pca", 0, "prepend a PCA stage projecting to this many components (0 = off)")
+	flag.BoolVar(&o.verbose, "verbose", false, "log one line per iteration")
+	flag.StringVar(&o.save, "save", "", "save the trained model to this path")
+	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace-event JSON of the run to this path (open in Perfetto)")
+	flag.StringVar(&o.profile, "profile", "", "write a CPU pprof profile of the run to this path")
 	flag.Parse()
 
-	if *data == "" {
+	if o.data == "" {
 		fmt.Fprintln(os.Stderr, "m3train: -data is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *data, *algo, *backend, *scale, *iters, *k, *classes, *workers, *pcaK, *positive, *verbose, *save); err != nil {
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintf(os.Stderr, "m3train: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, data, algo, backend, scale string, iters, k, classes, workers, pcaK int, positive float64, verbose bool, save string) error {
+func run(ctx context.Context, o options) error {
 	var mode m3.Mode
-	switch backend {
+	switch o.backend {
 	case "mmap":
 		mode = m3.MemoryMapped
 	case "heap":
@@ -66,56 +83,96 @@ func run(ctx context.Context, data, algo, backend, scale string, iters, k, class
 	case "auto":
 		mode = m3.Auto
 	default:
-		return fmt.Errorf("unknown backend %q", backend)
+		return fmt.Errorf("unknown backend %q", o.backend)
 	}
 
-	eng := m3.New(m3.Config{Mode: mode, Workers: workers})
+	if o.profile != "" {
+		f, err := os.Create(o.profile)
+		if err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err == nil {
+				fmt.Printf("cpu profile written to %s\n", o.profile)
+			}
+		}()
+	}
+	if o.trace != "" {
+		tr := obs.StartTrace()
+		// Written via defer so an interrupted (SIGINT-cancelled) fit
+		// still leaves a usable trace of what ran.
+		defer func() {
+			obs.StopTrace()
+			f, err := os.Create(o.trace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "m3train: trace: %v\n", err)
+				return
+			}
+			werr := tr.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "m3train: trace: %v\n", werr)
+				return
+			}
+			fmt.Printf("trace written to %s (%d events)\n", o.trace, len(tr.Events()))
+		}()
+	}
+
+	eng := m3.New(m3.Config{Mode: mode, Workers: o.workers})
 	defer eng.Close()
 
-	before, procErr := iostats.ReadProc()
+	before, procErr := obs.ReadProc()
+	disksBefore, _ := obs.ReadDisks()
 	start := time.Now()
-	tbl, err := eng.Open(data)
+	tbl, err := eng.Open(o.data)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("opened %s: %dx%d, mapped=%v (%.3fs)\n",
-		data, tbl.X.Rows(), tbl.X.Cols(), tbl.Mapped, time.Since(start).Seconds())
+		o.data, tbl.X.Rows(), tbl.X.Cols(), tbl.Mapped, time.Since(start).Seconds())
 
-	fitOpts := m3.FitOptions{Verbose: verbose}
+	fitOpts := m3.FitOptions{Verbose: o.verbose}
 	var est m3.Estimator
-	switch algo {
+	switch o.algo {
 	case "logreg":
 		est = m3.LogisticRegression{
-			Binarize: true, Positive: positive,
-			Options: m3.LogisticOptions{FitOptions: fitOpts, MaxIterations: iters, GradTol: 1e-12},
+			Binarize: true, Positive: o.positive,
+			Options: m3.LogisticOptions{FitOptions: fitOpts, MaxIterations: o.iters, GradTol: 1e-12},
 		}
 	case "softmax":
 		est = m3.SoftmaxRegression{
-			Classes: classes,
-			Options: m3.LogisticOptions{FitOptions: fitOpts, MaxIterations: iters},
+			Classes: o.classes,
+			Options: m3.LogisticOptions{FitOptions: fitOpts, MaxIterations: o.iters},
 		}
 	case "kmeans":
 		est = m3.KMeansClustering{
-			Options: m3.KMeansOptions{FitOptions: fitOpts, K: k, MaxIterations: iters, RunAllIterations: true},
+			Options: m3.KMeansOptions{FitOptions: fitOpts, K: o.k, MaxIterations: o.iters, RunAllIterations: true},
 		}
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown algorithm %q", o.algo)
 	}
 
 	// Preprocessing flags assemble a Pipeline around the estimator.
 	var stages []m3.Transformer
-	switch scale {
+	switch o.scale {
 	case "":
 	case "standard":
 		stages = append(stages, m3.StandardScaler{Options: m3.PreprocessOptions{FitOptions: fitOpts}})
 	case "minmax":
 		stages = append(stages, m3.MinMaxScaler{Options: m3.PreprocessOptions{FitOptions: fitOpts}})
 	default:
-		return fmt.Errorf("unknown scale %q (want standard or minmax)", scale)
+		return fmt.Errorf("unknown scale %q (want standard or minmax)", o.scale)
 	}
-	if pcaK > 0 {
+	if o.pcaK > 0 {
 		stages = append(stages, m3.PrincipalComponents{
-			Options: m3.PCAOptions{FitOptions: fitOpts, Components: pcaK},
+			Options: m3.PCAOptions{FitOptions: fitOpts, Components: o.pcaK},
 		})
 	}
 	if len(stages) > 0 {
@@ -137,7 +194,7 @@ func run(ctx context.Context, data, algo, backend, scale string, iters, k, class
 		rich = fp.FinalModel()
 	}
 	var preds []float64
-	if algo != "kmeans" {
+	if o.algo != "kmeans" {
 		if preds, err = model.PredictMatrix(tbl.X); err != nil {
 			return err
 		}
@@ -148,7 +205,7 @@ func run(ctx context.Context, data, algo, backend, scale string, iters, k, class
 		fmt.Printf("logreg: %d iterations, %d data passes, loss %.6f, train accuracy %.4f\n",
 			m.Result.Iterations, m.Result.Evaluations, m.Result.Value,
 			accuracy(preds, tbl.Labels, func(v float64) float64 {
-				if v == positive {
+				if v == o.positive {
 					return 1
 				}
 				return 0
@@ -158,7 +215,7 @@ func run(ctx context.Context, data, algo, backend, scale string, iters, k, class
 		fmt.Printf("softmax: %d iterations, loss %.6f, train accuracy %.4f\n",
 			m.Result.Iterations, m.Result.Value,
 			accuracy(preds, tbl.Labels, func(v float64) float64 { return float64(int(v)) }))
-		printConfusion(preds, tbl.Labels, classes)
+		printConfusion(preds, tbl.Labels, o.classes)
 
 	case *m3.FittedKMeans:
 		fmt.Printf("kmeans: %d iterations, %d scans, inertia %.2f\n",
@@ -166,18 +223,38 @@ func run(ctx context.Context, data, algo, backend, scale string, iters, k, class
 	}
 	fmt.Printf("training time: %v\n", time.Since(trainStart).Round(time.Millisecond))
 
-	if save != "" {
-		if err := model.Save(save); err != nil {
+	if o.save != "" {
+		if err := model.Save(o.save); err != nil {
 			return fmt.Errorf("saving model: %w", err)
 		}
-		fmt.Printf("model saved to %s\n", save)
+		fmt.Printf("model saved to %s\n", o.save)
 	}
 
+	// Resource report — the paper's §3.1 observation on this run: CPU
+	// seconds from /proc/self/stat, disk busy time from the busiest
+	// device in /proc/diskstats. On an out-of-core run over cold data
+	// this reproduces the disk-dominated profile (disk ~100% utilized,
+	// CPU low); a warm page cache shows up as low disk utilization.
 	if procErr == nil {
-		if after, err := iostats.ReadProc(); err == nil {
+		if after, err := obs.ReadProc(); err == nil {
 			d := after.Sub(before)
 			fmt.Printf("resources: user %.2fs, sys %.2fs, major faults %d, read %.1f MB\n",
 				d.UserSeconds, d.SystemSeconds, d.MajorFaults, float64(d.ReadBytes)/1e6)
+			util := obs.Utilization{
+				ElapsedSeconds: time.Since(start).Seconds(),
+				CPUSeconds:     d.UserSeconds + d.SystemSeconds,
+			}
+			device := ""
+			if disksAfter, err := obs.ReadDisks(); err == nil {
+				busiest := disksAfter.Sub(disksBefore).Busiest()
+				util.DiskSeconds = busiest.BusySeconds
+				device = busiest.Device
+			}
+			if device != "" {
+				fmt.Printf("utilization: %v (disk %s), I/O bound: %v\n", util, device, util.IOBound())
+			} else {
+				fmt.Printf("utilization: %v, I/O bound: %v\n", util, util.IOBound())
+			}
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"m3/internal/dataset"
 	"m3/internal/exec"
@@ -83,6 +84,10 @@ type Engine struct {
 	open   []closer
 	nalloc int
 	stats  ScratchStats
+
+	// releases is atomic (not under mu): ScratchMatrix.Close runs
+	// inside Engine.Close's resource loop, which holds mu.
+	releases atomic.Int64
 }
 
 // ScratchStats counts the engine's intermediate materializations —
@@ -98,13 +103,19 @@ type ScratchStats struct {
 	// MappedBytes is the portion of Bytes backed by temp-file
 	// mappings (out-of-core scratch).
 	MappedBytes int64
+	// Releases is the number of scratch matrices whose backing has
+	// been freed (Close or Release, including the engine's own Close).
+	// Allocs - Releases is the engine's live scratch count.
+	Releases int64
 }
 
 // Stats returns a snapshot of the engine's scratch counters.
 func (e *Engine) Stats() ScratchStats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	s := e.stats
+	e.mu.Unlock()
+	s.Releases = e.releases.Load()
+	return s
 }
 
 // countScratch records a successful scratch materialization.
@@ -364,6 +375,9 @@ func (s *ScratchMatrix) Close() error {
 		return nil
 	}
 	s.released = true
+	if s.eng != nil {
+		s.eng.releases.Add(1)
+	}
 	if s.res == nil {
 		return nil
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"m3/internal/mat"
+	"m3/internal/obs"
 )
 
 // Dataset is what an Estimator trains on: a feature matrix, its
@@ -141,6 +142,12 @@ func (e *Engine) Fit(ctx context.Context, est Estimator, t *Table) (Model, error
 	}
 	if t == nil || t.X == nil {
 		return nil, errors.New("core: nil table")
+	}
+	if obs.Enabled() {
+		sp := obs.StartSpan("fit", fmt.Sprintf("fit %T", est)).
+			SetArg("rows", t.X.Rows()).SetArg("cols", t.X.Cols()).
+			SetArg("mapped", t.Mapped)
+		defer sp.End()
 	}
 	return est.Fit(ctx, e.Dataset(t))
 }

@@ -39,8 +39,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"m3/internal/mmap"
+	"m3/internal/obs"
 	"m3/internal/store"
 )
 
@@ -289,6 +291,18 @@ type RowScan struct {
 	// without locking; different workers do run concurrently. The
 	// multicore bench uses this to account per-worker CPU tracks.
 	OnBlock func(worker int, b Block, stall float64)
+	// Name labels the scan in obs traces: the scan span and its
+	// per-worker block events carry it. Empty means "scan". It is the
+	// tracing generalization of OnBlock — when a process tracer is
+	// installed (obs.StartTrace) every scan reports per-worker block
+	// timings without the caller wiring a callback.
+	Name string
+}
+
+// Named returns a copy of the scan labeled name for obs traces.
+func (s RowScan) Named(name string) RowScan {
+	s.Name = name
+	return s
 }
 
 // Blocks returns the scan's row partition (page-budgeted, row-
@@ -367,6 +381,23 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 	workers := s.effectiveWorkers(len(blocks))
 	srcCols := s.srcCols()
 
+	// Tracing: loaded once per scan, so the disabled cost is one atomic
+	// load here plus one nil check per block. With a tracer installed,
+	// the scan itself is a control-track span and every block becomes a
+	// complete event on its pool worker's track — the real-run mirror
+	// of vm.Timeline's per-worker CPU tracks.
+	tr := obs.Current()
+	spanName := s.Name
+	if spanName == "" {
+		spanName = "scan"
+	}
+	var scanSpan *obs.Span
+	if tr != nil {
+		scanSpan = tr.Start("scan", spanName).
+			SetArg("rows", s.Rows).SetArg("cols", s.Cols).
+			SetArg("workers", workers).SetArg("blocks", len(blocks))
+	}
+
 	// Fused chains are instantiated once per pool worker (worker w
 	// runs on exactly one goroutine at a time, so kerns[w]/rowbuf[w]
 	// need no locking) and rows are handed to fn one at a time as
@@ -398,6 +429,10 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 	root, err := mapReduceWorker(s.Ctx, blocks, workers,
 		func() *blockState[T] { return &blockState[T]{user: alloc()} },
 		func(st *blockState[T], w int, b Block) {
+			var t0 time.Duration
+			if tr != nil {
+				t0 = tr.Now()
+			}
 			if prefetch {
 				// Advise the block this worker will likely claim
 				// next: with W workers, blocks b..b+W-1 are already
@@ -437,11 +472,23 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 			if s.OnBlock != nil {
 				s.OnBlock(w, b, st.stall)
 			}
+			if tr != nil {
+				tr.WorkerEvent(w, spanName, t0, map[string]any{
+					"lo": b.Lo, "hi": b.Hi, "stall_s": st.stall,
+				})
+			}
 		},
 		func(dst, src *blockState[T]) {
 			merge(dst.user, src.user)
 			dst.stall += src.stall
 		})
+	if scanSpan != nil {
+		scanSpan.SetArg("stall_s", root.stall)
+		if err != nil {
+			scanSpan.SetArg("err", err.Error())
+		}
+		scanSpan.End()
+	}
 	return root.user, root.stall, err
 }
 

@@ -1,0 +1,148 @@
+package exec_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"m3/internal/exec"
+	"m3/internal/mat"
+	"m3/internal/obs"
+)
+
+// TestScanEmitsTraceEvents: with a tracer installed, a blocked scan
+// records one named span on the control track plus one block event per
+// block on the worker tracks, and every opened span closes.
+func TestScanEmitsTraceEvents(t *testing.T) {
+	const rows, cols = 4096, 32
+	_, _, x := newTestPaged(t, rows, cols)
+	scan := x.Scan(4).Named("testscan")
+	blocks := len(scan.Blocks())
+	workers := scan.EffectiveWorkers()
+
+	tr := obs.StartTrace()
+	defer obs.StopTrace()
+	_, _, err := exec.ReduceRows(scan,
+		func() *float64 { return new(float64) },
+		func(s *float64, i int, row []float64) { *s += row[0] },
+		func(dst, src *float64) { *dst += *src })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open := tr.OpenSpans(); open != 0 {
+		t.Errorf("OpenSpans after scan = %d, want 0", open)
+	}
+
+	var scanSpans, blockEvents int
+	coveredRows := 0
+	for _, e := range tr.Events() {
+		switch {
+		case e.Cat == "scan" && e.Name == "testscan":
+			scanSpans++
+			if e.Tid != obs.ControlTid {
+				t.Errorf("scan span on tid %d, want control %d", e.Tid, obs.ControlTid)
+			}
+			if e.Args["rows"] != rows || e.Args["blocks"] != blocks {
+				t.Errorf("scan args = %v, want rows %d blocks %d", e.Args, rows, blocks)
+			}
+		case e.Cat == "block" && e.Name == "testscan":
+			blockEvents++
+			w := int(e.Tid) - 1
+			if w < 0 || w >= workers {
+				t.Errorf("block event on tid %d, want worker tracks [1, %d]", e.Tid, workers)
+			}
+			lo, hi := e.Args["lo"].(int), e.Args["hi"].(int)
+			coveredRows += hi - lo
+		}
+	}
+	if scanSpans != 1 {
+		t.Errorf("scan spans = %d, want 1", scanSpans)
+	}
+	if blockEvents != blocks {
+		t.Errorf("block events = %d, want %d", blockEvents, blocks)
+	}
+	if coveredRows != rows {
+		t.Errorf("block events cover %d rows, want %d", coveredRows, rows)
+	}
+}
+
+// TestScanTraceDefaultName: an unnamed scan still traces, under the
+// generic "scan" label.
+func TestScanTraceDefaultName(t *testing.T) {
+	x := mat.NewDense(64, 8)
+	tr := obs.StartTrace()
+	defer obs.StopTrace()
+	if _, err := exec.ForEachRow(x.Scan(2), func(i int, row []float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range tr.Events() {
+		if e.Cat == "scan" && e.Name == "scan" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unnamed scan produced no 'scan' span")
+	}
+}
+
+// TestScanTraceClosedOnCancellation: a cancelled scan must still close
+// its span (recording the error) — no dangling open spans.
+func TestScanTraceClosedOnCancellation(t *testing.T) {
+	x := mat.NewDense(4096, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := obs.StartTrace()
+	defer obs.StopTrace()
+	_, _, err := exec.ReduceRows(x.ScanCtx(ctx, 4).Named("cancelled"),
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, row []float64) {},
+		func(_, _ struct{}) {})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if open := tr.OpenSpans(); open != 0 {
+		t.Errorf("OpenSpans after cancelled scan = %d, want 0", open)
+	}
+	for _, e := range tr.Events() {
+		if e.Cat == "scan" && e.Name == "cancelled" {
+			if e.Args["err"] == nil {
+				t.Errorf("cancelled scan span has no err arg: %v", e.Args)
+			}
+			return
+		}
+	}
+	t.Error("cancelled scan recorded no span")
+}
+
+// TestDisabledTracerOverhead is the CI overhead guard: the disabled
+// tracing path is one atomic pointer load, so its per-check cost must
+// stay in the low nanoseconds. The bound is ~100x a bare atomic load —
+// far above timer noise, far below anything that would indicate a
+// mutex, map lookup, or allocation sneaking onto the disabled path.
+func TestDisabledTracerOverhead(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("tracer installed at test start")
+	}
+	const ops = 1 << 21
+	best := time.Duration(1<<63 - 1)
+	for trial := 0; trial < 5; trial++ {
+		live := 0
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if obs.Current() != nil {
+				live++
+			}
+		}
+		if el := time.Since(start); el < best {
+			best = el
+		}
+		if live != 0 {
+			t.Fatalf("tracer appeared mid-measurement")
+		}
+	}
+	perOp := best / ops
+	if perOp > 150*time.Nanosecond {
+		t.Errorf("disabled tracer check costs %v per op, want <= 150ns", perOp)
+	}
+}

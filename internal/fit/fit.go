@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"m3/internal/obs"
 	"m3/internal/optimize"
 )
 
@@ -51,17 +52,22 @@ func (o FitOptions) ResolveWorkers(datasetWorkers int) int {
 	return datasetWorkers
 }
 
-// Hook returns the iteration callback a trainer should invoke: the
-// user callback, wrapped with verbose logging when requested. It
-// returns nil when neither is configured, so trainers can skip the
-// call entirely.
+// Hook returns the iteration callback a trainer should invoke: a
+// wrapper that records per-iteration optimizer progress into the obs
+// Default registry (m3_fit_iterations_total / m3_fit_last_value,
+// labeled by algo), runs verbose logging when requested, and
+// delegates to the user callback. Always non-nil — the obs recording
+// is how the unified metrics registry sees fit progress — and
+// observation-only beyond the user callback's early-stop decision, so
+// trainer results are unchanged.
 func (o FitOptions) Hook(algo string) func(optimize.IterInfo) bool {
-	if !o.Verbose {
-		return o.Callback
-	}
+	progress := obs.FitProgress(algo)
 	return func(info optimize.IterInfo) bool {
-		fmt.Fprintf(os.Stderr, "%s: iter %d f=%.6g |g|=%.3g step=%.3g evals=%d\n",
-			algo, info.Iter, info.Value, info.GradNorm, info.Step, info.Evaluations)
+		progress(info.Value)
+		if o.Verbose {
+			fmt.Fprintf(os.Stderr, "%s: iter %d f=%.6g |g|=%.3g step=%.3g evals=%d\n",
+				algo, info.Iter, info.Value, info.GradNorm, info.Step, info.Evaluations)
+		}
 		if o.Callback != nil {
 			return o.Callback(info)
 		}

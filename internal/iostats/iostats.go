@@ -1,56 +1,29 @@
 // Package iostats reproduces the paper's resource-utilization
 // observation (§3.1: out-of-core M3 is I/O bound — "disk I/O was 100%
-// utilized while CPU was only utilized at around 13%"). It converts
-// simulated timelines into utilization reports and, on Linux, reads
-// best-effort real counters from /proc for runs over real mmap.
+// utilized while CPU was only utilized at around 13%") for simulated
+// timelines. The underlying types and the real /proc collection now
+// live in internal/obs (shared with tracing and the metrics
+// registry); this package keeps the simulator-facing surface so vm
+// users don't need to know about obs.
 package iostats
 
 import (
-	"fmt"
-	"os"
-	"strconv"
-	"strings"
-
+	"m3/internal/obs"
 	"m3/internal/vm"
 )
 
 // Utilization summarizes how busy each resource was during a phase.
-type Utilization struct {
-	// ElapsedSeconds is the wall-clock (or simulated) duration.
-	ElapsedSeconds float64
-	// CPUSeconds is the compute busy time.
-	CPUSeconds float64
-	// DiskSeconds is the storage busy time.
-	DiskSeconds float64
-}
+// It is obs.Utilization; see that type for the accessors.
+type Utilization = obs.Utilization
 
-// CPUPercent returns CPU busy time as a percentage of elapsed.
-func (u Utilization) CPUPercent() float64 {
-	if u.ElapsedSeconds == 0 {
-		return 0
-	}
-	return 100 * u.CPUSeconds / u.ElapsedSeconds
-}
+// ProcSnapshot captures real process counters from /proc (Linux).
+// It is obs.ProcSnapshot.
+type ProcSnapshot = obs.ProcSnapshot
 
-// DiskPercent returns disk busy time as a percentage of elapsed.
-func (u Utilization) DiskPercent() float64 {
-	if u.ElapsedSeconds == 0 {
-		return 0
-	}
-	return 100 * u.DiskSeconds / u.ElapsedSeconds
-}
-
-// IOBound reports whether the phase was I/O bound: the disk near
-// saturation and clearly busier than the CPU.
-func (u Utilization) IOBound() bool {
-	return u.DiskPercent() > 90 && u.DiskPercent() > u.CPUPercent()
-}
-
-// String renders the report in the paper's terms.
-func (u Utilization) String() string {
-	return fmt.Sprintf("elapsed %.1fs, disk %.0f%% utilized, CPU %.0f%%",
-		u.ElapsedSeconds, u.DiskPercent(), u.CPUPercent())
-}
+// ReadProc takes a best-effort snapshot of the current process.
+// Fields that cannot be read are left zero; the error is non-nil only
+// when nothing could be read at all.
+func ReadProc() (ProcSnapshot, error) { return obs.ReadProc() }
 
 // FromTimeline converts a simulated timeline into a utilization
 // report.
@@ -60,93 +33,4 @@ func FromTimeline(tl *vm.Timeline) Utilization {
 		CPUSeconds:     tl.CPUSeconds(),
 		DiskSeconds:    tl.DiskSeconds(),
 	}
-}
-
-// ProcSnapshot captures real process counters from /proc (Linux).
-type ProcSnapshot struct {
-	// UserSeconds and SystemSeconds are cumulative CPU times.
-	UserSeconds   float64
-	SystemSeconds float64
-	// ReadBytes is cumulative storage-layer read traffic
-	// (/proc/self/io read_bytes); zero when unavailable.
-	ReadBytes int64
-	// MajorFaults is the cumulative major page-fault count.
-	MajorFaults int64
-}
-
-// Sub returns the delta between two snapshots (s - earlier).
-func (s ProcSnapshot) Sub(earlier ProcSnapshot) ProcSnapshot {
-	return ProcSnapshot{
-		UserSeconds:   s.UserSeconds - earlier.UserSeconds,
-		SystemSeconds: s.SystemSeconds - earlier.SystemSeconds,
-		ReadBytes:     s.ReadBytes - earlier.ReadBytes,
-		MajorFaults:   s.MajorFaults - earlier.MajorFaults,
-	}
-}
-
-// ReadProc takes a best-effort snapshot of the current process.
-// Fields that cannot be read are left zero; the error is non-nil only
-// when nothing could be read at all.
-func ReadProc() (ProcSnapshot, error) {
-	var snap ProcSnapshot
-	statErr := readStat(&snap)
-	ioErr := readIO(&snap)
-	if statErr != nil && ioErr != nil {
-		return snap, fmt.Errorf("iostats: stat: %v; io: %v", statErr, ioErr)
-	}
-	return snap, nil
-}
-
-// readStat parses /proc/self/stat for utime, stime and majflt.
-func readStat(snap *ProcSnapshot) error {
-	b, err := os.ReadFile("/proc/self/stat")
-	if err != nil {
-		return err
-	}
-	// Field 2 (comm) may contain spaces; it is parenthesized, so cut
-	// at the last ')'.
-	s := string(b)
-	idx := strings.LastIndexByte(s, ')')
-	if idx < 0 || idx+2 > len(s) {
-		return fmt.Errorf("iostats: malformed stat")
-	}
-	fields := strings.Fields(s[idx+2:])
-	// After comm/state, fields (1-based from "state"): majflt is the
-	// 10th overall (index 9 in the full layout) → index 9-3=... use
-	// the documented positions: state is field 3 overall, so
-	// fields[0] is field 3. utime = field 14 → fields[11];
-	// stime = field 15 → fields[12]; majflt = field 12 → fields[9].
-	if len(fields) < 13 {
-		return fmt.Errorf("iostats: short stat (%d fields)", len(fields))
-	}
-	hz := float64(100) // USER_HZ is 100 on all supported platforms
-	if v, err := strconv.ParseInt(fields[9], 10, 64); err == nil {
-		snap.MajorFaults = v
-	}
-	if v, err := strconv.ParseFloat(fields[11], 64); err == nil {
-		snap.UserSeconds = v / hz
-	}
-	if v, err := strconv.ParseFloat(fields[12], 64); err == nil {
-		snap.SystemSeconds = v / hz
-	}
-	return nil
-}
-
-// readIO parses /proc/self/io for read_bytes.
-func readIO(snap *ProcSnapshot) error {
-	b, err := os.ReadFile("/proc/self/io")
-	if err != nil {
-		return err
-	}
-	for _, line := range strings.Split(string(b), "\n") {
-		if rest, ok := strings.CutPrefix(line, "read_bytes: "); ok {
-			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
-			if err != nil {
-				return err
-			}
-			snap.ReadBytes = v
-			return nil
-		}
-	}
-	return fmt.Errorf("iostats: read_bytes not found")
 }

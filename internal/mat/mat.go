@@ -357,7 +357,7 @@ func (d *Dense) MulVecParallel(y, x []float64, workers int) (stall float64) {
 	if len(x) != d.cols || len(y) != d.rows {
 		panic(fmt.Sprintf("mat: MulVecParallel shapes y[%d] = A(%dx%d)·x[%d]", len(y), d.rows, d.cols, len(x)))
 	}
-	_, stall, _ = exec.ReduceRowBlocks(d.Scan(workers),
+	_, stall, _ = exec.ReduceRowBlocks(d.Scan(workers).Named("mulvec"),
 		func() struct{} { return struct{}{} },
 		func(_ struct{}, lo, hi int, block []float64, stride int) {
 			blas.Gemv(hi-lo, d.cols, 1, block, stride, x, 0, y[lo:hi])

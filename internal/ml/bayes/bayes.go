@@ -80,7 +80,7 @@ func Train(ctx context.Context, x *mat.Dense, y []int, classes int, opts Options
 	// accumulates per-class count, sum and sum-of-squares partials,
 	// merged in block order so the model is identical for any worker
 	// count.
-	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers),
+	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers).Named("bayes moments"),
 		func() *countPartial {
 			return &countPartial{
 				counts: make([]float64, classes),

@@ -158,7 +158,7 @@ func Run(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 		// layer. Each block accumulates its own sums/counts/inertia;
 		// partials merge in block order, so the result is identical
 		// for any worker count. Assignments[i] is per-row disjoint.
-		acc, stall, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers),
+		acc, stall, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers).Named("kmeans assign"),
 			func() *assignPartial {
 				return &assignPartial{sums: make([]float64, o.K*d), counts: make([]int, o.K)}
 			},
@@ -259,7 +259,7 @@ func initPlusPlus(ctx context.Context, x *mat.Dense, centroids *mat.Dense, r *rn
 	}
 	for c := 1; c < k; c++ {
 		prev := centroids.RawRow(c - 1)
-		total, scanStall, err := exec.ReduceRows(x.ScanCtx(ctx, workers),
+		total, scanStall, err := exec.ReduceRows(x.ScanCtx(ctx, workers).Named("kmeans++ seed"),
 			func() *float64 { return new(float64) },
 			func(mass *float64, i int, row []float64) {
 				if d2 := blas.SqDist(row, prev); d2 < dist[i] {

@@ -135,7 +135,7 @@ func MiniBatch(ctx context.Context, x *mat.Dense, opts MiniBatchOptions) (*Resul
 	if !ok {
 		return nil, fmt.Errorf("kmeans: internal: centroid matrix not contiguous")
 	}
-	inertia, stall, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers),
+	inertia, stall, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers).Named("kmeans inertia"),
 		func() *float64 { return new(float64) },
 		func(sum *float64, i int, row []float64) {
 			bestC, best := blas.NearestRow(row, o.K, d, centroids, d)

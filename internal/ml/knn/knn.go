@@ -64,7 +64,7 @@ func Search(ctx context.Context, refs, queries *mat.Dense, k int, opts Options) 
 	}
 	// Per-block bounded max-heaps per query; merged in block order, so
 	// the kept set is the one a single sequential scan would keep.
-	acc, _, err := exec.ReduceRowBlocks(refs.ScanCtx(ctx, opts.Workers),
+	acc, _, err := exec.ReduceRowBlocks(refs.ScanCtx(ctx, opts.Workers).Named("knn neighbors"),
 		func() *heapSet {
 			hs := &heapSet{heaps: make([]nheap, qn)}
 			return hs

@@ -145,7 +145,7 @@ func (o *Objective) Eval(params, grad []float64) float64 {
 	if o.intercept {
 		b = params[d]
 	}
-	total, _, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.Workers),
+	total, _, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.Workers).Named("linreg grad"),
 		func() *lsqPartial { return &lsqPartial{gw: make([]float64, d)} },
 		func(p *lsqPartial, i int, row []float64) {
 			r := blas.Dot(row, w) + b - o.y[i]
@@ -217,7 +217,7 @@ func TrainExact(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*
 	}
 	// Each partial carries a p×p gram block; size blocks to hold at
 	// least ~p rows so the O(p²) zero+merge amortizes to O(p) per row.
-	gramScan := x.ScanCtx(ctx, o.Workers)
+	gramScan := x.ScanCtx(ctx, o.Workers).Named("linreg gram")
 	if minBytes := p * p * 8; minBytes > exec.DefaultBlockBytes {
 		gramScan.BlockBytes = minBytes
 	}

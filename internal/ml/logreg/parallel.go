@@ -86,7 +86,7 @@ func (o *ParallelObjective) Eval(params, grad []float64) float64 {
 		b = params[d]
 	}
 
-	total, stall, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.workers),
+	total, stall, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.workers).Named("logreg grad"),
 		func() *partial { return &partial{grad: make([]float64, d+1)} },
 		func(p *partial, i int, row []float64) {
 			z := blas.Dot(row, w) + b

@@ -81,7 +81,7 @@ func (o *SoftmaxObjective) Eval(params, grad []float64) float64 {
 		bias = params[k*d : k*d+k]
 	}
 
-	total, stall, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.Workers),
+	total, stall, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.Workers).Named("softmax grad"),
 		func() *softmaxPartial {
 			return &softmaxPartial{grad: make([]float64, o.Dim()), scores: make([]float64, k)}
 		},

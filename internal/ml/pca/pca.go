@@ -128,7 +128,7 @@ func Fit(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 
 	// Pass 1: mean — blocked column sums (blas.SumRows per block) on
 	// the shared execution layer, merged in block order.
-	mean, _, err := exec.ReduceRowBlocks(x.ScanCtx(ctx, o.Workers),
+	mean, _, err := exec.ReduceRowBlocks(x.ScanCtx(ctx, o.Workers).Named("pca mean"),
 		func() []float64 { return make([]float64, d) },
 		func(sum []float64, lo, hi int, block []float64, stride int) {
 			blas.SumRows(hi-lo, d, block, stride, sum)
@@ -144,7 +144,7 @@ func Fit(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 	// block order, then mirrored. Each partial is a d×d matrix, so
 	// blocks are sized to hold at least ~d rows: zeroing + merging the
 	// O(d²) partial then amortizes to O(d) per row.
-	covScan := x.ScanCtx(ctx, o.Workers)
+	covScan := x.ScanCtx(ctx, o.Workers).Named("pca cov")
 	if minBytes := d * d * 8; minBytes > exec.DefaultBlockBytes {
 		covScan.BlockBytes = minBytes
 	}

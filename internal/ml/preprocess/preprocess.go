@@ -74,7 +74,7 @@ func FitStandard(ctx context.Context, x *mat.Dense, opts Options) (*StandardScal
 	if n < 2 {
 		return nil, fmt.Errorf("preprocess: need >= 2 rows, got %d", n)
 	}
-	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, opts.Workers),
+	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, opts.Workers).Named("scaler moments"),
 		func() *moments {
 			return &moments{mean: make([]float64, d), m2: make([]float64, d)}
 		},
@@ -148,7 +148,7 @@ func FitMinMax(ctx context.Context, x *mat.Dense, opts Options) (*MinMaxScaler, 
 	if n < 1 {
 		return nil, fmt.Errorf("preprocess: empty matrix")
 	}
-	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, opts.Workers),
+	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, opts.Workers).Named("minmax extrema"),
 		func() *extrema {
 			e := &extrema{lo: make([]float64, d), hi: make([]float64, d)}
 			for j := 0; j < d; j++ {

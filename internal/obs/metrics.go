@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType tags a metric for Prometheus exposition.
+type MetricType string
+
+const (
+	TypeCounter MetricType = "counter"
+	TypeGauge   MetricType = "gauge"
+)
+
+// Metric is one gathered sample: a name, optional ordered labels, and
+// a value. Histograms are expressed as counter series with the
+// conventional _bucket{le=...}/_sum/_count names by their collectors.
+type Metric struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Labels [][2]string // ordered key/value pairs
+	Value  float64
+}
+
+// Key returns the exposition identity of the sample:
+// name{k1="v1",k2="v2"} (just the name when unlabeled). Snapshot maps
+// are keyed by it.
+func (m Metric) Key() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	var b strings.Builder
+	b.WriteString(m.Name)
+	b.WriteByte('{')
+	for i, kv := range m.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// escapeLabel already produced the exposition escaping; %q here
+		// would escape the escapes.
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Collector emits zero or more metrics when the registry gathers.
+// Collectors are pull-based: they read live counters at gather time,
+// so registering one is free until someone asks.
+type Collector func(emit func(Metric))
+
+// Registry aggregates metrics from independent subsystems behind one
+// Gather/Snapshot/exposition surface.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector. Safe for concurrent use.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// Include makes every metric of other part of r's gather, so a
+// subsystem registry (a serve.Server's) can fold in the process-wide
+// Default registry without owning its collectors.
+func (r *Registry) Include(other *Registry) {
+	r.Register(func(emit func(Metric)) {
+		for _, m := range other.Gather() {
+			emit(m)
+		}
+	})
+}
+
+// Gather runs every collector and returns the samples grouped by
+// family name (stable: a collector's emission order is preserved
+// within a name, so histogram buckets stay in increasing le order)
+// with exact-duplicate keys dropped (first wins).
+func (r *Registry) Gather() []Metric {
+	r.mu.Lock()
+	cs := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	var out []Metric
+	for _, c := range cs {
+		c(func(m Metric) { out = append(out, m) })
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return familyOf(out[i].Name) < familyOf(out[j].Name)
+	})
+	dedup := out[:0]
+	seen := make(map[string]bool, len(out))
+	for _, m := range out {
+		k := m.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		dedup = append(dedup, m)
+	}
+	return dedup
+}
+
+// Snapshot is a point-in-time reading: exposition key -> value.
+type Snapshot map[string]float64
+
+// Snapshot gathers the registry into a flat map.
+func (r *Registry) Snapshot() Snapshot {
+	s := make(Snapshot)
+	for _, m := range r.Gather() {
+		s[m.Key()] = m.Value
+	}
+	return s
+}
+
+// Sub returns s minus earlier, key by key; keys absent from earlier
+// are treated as zero. Meaningful for counters (the delta over an
+// interval); for gauges the difference is the net change.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	d := make(Snapshot, len(s))
+	for k, v := range s {
+		d[k] = v - earlier[k]
+	}
+	return d
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE pair per metric family,
+// then its samples. Values are rendered with %g; NaN/±Inf use the
+// Prometheus spellings.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFamily string
+	for _, m := range r.Gather() {
+		family := familyOf(m.Name)
+		if family != lastFamily {
+			lastFamily = family
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, m.Help); err != nil {
+					return err
+				}
+			}
+			typ := m.Type
+			if typ == "" {
+				typ = TypeGauge
+			}
+			ft := string(typ)
+			if isHistogramSuffix(m.Name) {
+				ft = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, ft); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", m.Key(), formatValue(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// familyOf strips the conventional histogram sample suffixes so
+// name_bucket/_sum/_count group under one # TYPE name histogram.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func isHistogramSuffix(name string) bool { return familyOf(name) != name }
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Counter is a monotonically increasing float64, safe for concurrent
+// use (CAS on the raw bits — no mutex on the increment path).
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d float64) {
+	for {
+		old := c.bits.Load()
+		v := math.Float64frombits(old) + d
+		if c.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a settable float64, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct {
+	name, help, label string
+
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterVec declares a counter family with a single label
+// dimension.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{name: name, help: help, label: label, m: make(map[string]*Counter)}
+}
+
+// With returns the counter for the given label value, creating it on
+// first use. Hot loops should capture the result once.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.m[value]
+	if c == nil {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+// Collect emits one sample per label value; register it on a Registry.
+func (v *CounterVec) Collect(emit func(Metric)) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	samples := make([]Metric, 0, len(keys))
+	for _, k := range keys {
+		samples = append(samples, Metric{
+			Name: v.name, Help: v.help, Type: TypeCounter,
+			Labels: [][2]string{{v.label, k}}, Value: v.m[k].Value(),
+		})
+	}
+	v.mu.Unlock()
+	for _, m := range samples {
+		emit(m)
+	}
+}
+
+// GaugeVec is a family of gauges keyed by one label value.
+type GaugeVec struct {
+	name, help, label string
+
+	mu sync.Mutex
+	m  map[string]*Gauge
+}
+
+// NewGaugeVec declares a gauge family with a single label dimension.
+func NewGaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{name: name, help: help, label: label, m: make(map[string]*Gauge)}
+}
+
+// With returns the gauge for the given label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.m[value]
+	if g == nil {
+		g = &Gauge{}
+		v.m[value] = g
+	}
+	return g
+}
+
+// Collect emits one sample per label value; register it on a Registry.
+func (v *GaugeVec) Collect(emit func(Metric)) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	samples := make([]Metric, 0, len(keys))
+	for _, k := range keys {
+		samples = append(samples, Metric{
+			Name: v.name, Help: v.help, Type: TypeGauge,
+			Labels: [][2]string{{v.label, k}}, Value: v.m[k].Value(),
+		})
+	}
+	v.mu.Unlock()
+	for _, m := range samples {
+		emit(m)
+	}
+}
+
+// Process-wide default registry: optimizer fit progress (fed by
+// fit.FitOptions.Hook via FitProgress) and /proc process counters.
+var (
+	defaultRegistry = NewRegistry()
+
+	fitIterations = NewCounterVec("m3_fit_iterations_total",
+		"Optimizer iterations completed, by algorithm.", "algo")
+	fitLastValue = NewGaugeVec("m3_fit_last_value",
+		"Objective value at the most recent optimizer iteration, by algorithm.", "algo")
+)
+
+func init() {
+	defaultRegistry.Register(fitIterations.Collect)
+	defaultRegistry.Register(fitLastValue.Collect)
+	defaultRegistry.Register(ProcCollector())
+}
+
+// Default returns the process-wide registry. Subsystem registries
+// fold it in with Include.
+func Default() *Registry { return defaultRegistry }
+
+// FitProgress returns a recorder for one fit's per-iteration
+// progress: each call counts one iteration and records the objective
+// value in the Default registry. The label lookup happens once here,
+// not per iteration.
+func FitProgress(algo string) func(value float64) {
+	c := fitIterations.With(algo)
+	g := fitLastValue.With(algo)
+	return func(value float64) {
+		c.Inc()
+		g.Set(value)
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %v, want 8000 (lost updates)", got)
+	}
+	c.Add(0.5)
+	if got := c.Value(); got != 8000.5 {
+		t.Errorf("counter after fractional Add = %v, want 8000.5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.25)
+	if got := g.Value(); got != 3.25 {
+		t.Errorf("gauge = %v, want 3.25", got)
+	}
+}
+
+func TestVecCollectSorted(t *testing.T) {
+	v := NewCounterVec("m3_test_total", "help", "algo")
+	v.With("kmeans").Inc()
+	v.With("bayes").Add(2)
+	var got []Metric
+	v.Collect(func(m Metric) { got = append(got, m) })
+	if len(got) != 2 {
+		t.Fatalf("got %d samples, want 2", len(got))
+	}
+	if got[0].Labels[0][1] != "bayes" || got[1].Labels[0][1] != "kmeans" {
+		t.Errorf("label order = %s, %s, want bayes, kmeans", got[0].Labels[0][1], got[1].Labels[0][1])
+	}
+	if got[0].Value != 2 || got[1].Value != 1 {
+		t.Errorf("values = %v, %v, want 2, 1", got[0].Value, got[1].Value)
+	}
+}
+
+func TestMetricKeyEscaping(t *testing.T) {
+	m := Metric{Name: "m3_x", Labels: [][2]string{{"path", `a\b"c` + "\n"}}}
+	want := `m3_x{path="a\\b\"c\n"}`
+	if got := m.Key(); got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	if got := (Metric{Name: "m3_y"}).Key(); got != "m3_y" {
+		t.Errorf("unlabeled Key = %q, want m3_y", got)
+	}
+}
+
+// Histogram buckets must come out of Gather in the collector's
+// emission order: a sort on the full sample key would place le="+Inf"
+// first ('+' < digits) and "1024" before "128", which Prometheus
+// clients reject.
+func TestGatherPreservesBucketOrder(t *testing.T) {
+	r := NewRegistry()
+	les := []string{"1", "128", "1024", "+Inf"}
+	r.Register(func(emit func(Metric)) {
+		// Interleave another family to force regrouping.
+		emit(Metric{Name: "m3_zzz_total", Type: TypeCounter, Value: 1})
+		for _, le := range les {
+			emit(Metric{Name: "m3_lat_bucket", Type: TypeCounter,
+				Labels: [][2]string{{"le", le}}, Value: 1})
+		}
+		emit(Metric{Name: "m3_lat_sum", Type: TypeCounter, Value: 5})
+		emit(Metric{Name: "m3_lat_count", Type: TypeCounter, Value: 4})
+	})
+	var gotLes []string
+	for _, m := range r.Gather() {
+		if m.Name == "m3_lat_bucket" {
+			gotLes = append(gotLes, m.Labels[0][1])
+		}
+	}
+	if strings.Join(gotLes, ",") != strings.Join(les, ",") {
+		t.Errorf("bucket order = %v, want %v", gotLes, les)
+	}
+	// The family groups together and before m3_zzz despite emission order.
+	fams := []string{}
+	for _, m := range r.Gather() {
+		if f := familyOf(m.Name); len(fams) == 0 || fams[len(fams)-1] != f {
+			fams = append(fams, f)
+		}
+	}
+	if strings.Join(fams, ",") != "m3_lat,m3_zzz_total" {
+		t.Errorf("family grouping = %v, want [m3_lat m3_zzz_total]", fams)
+	}
+}
+
+func TestGatherDedupFirstWins(t *testing.T) {
+	r := NewRegistry()
+	r.Register(func(emit func(Metric)) {
+		emit(Metric{Name: "m3_dup", Value: 1})
+	})
+	r.Register(func(emit func(Metric)) {
+		emit(Metric{Name: "m3_dup", Value: 2})
+	})
+	got := r.Gather()
+	if len(got) != 1 || got[0].Value != 1 {
+		t.Errorf("Gather = %+v, want single m3_dup with value 1", got)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.Register(func(emit func(Metric)) {
+		emit(Metric{Name: "m3_s_total", Type: TypeCounter, Value: c.Value()})
+	})
+	before := r.Snapshot()
+	c.Add(7)
+	d := r.Snapshot().Sub(before)
+	if d["m3_s_total"] != 7 {
+		t.Errorf("delta = %v, want m3_s_total: 7", d)
+	}
+	// Keys absent from earlier count from zero.
+	d2 := Snapshot{"new": 3}.Sub(Snapshot{})
+	if d2["new"] != 3 {
+		t.Errorf("Sub with missing key = %v, want 3", d2["new"])
+	}
+}
+
+func TestInclude(t *testing.T) {
+	inner := NewRegistry()
+	inner.Register(func(emit func(Metric)) {
+		emit(Metric{Name: "m3_inner", Value: 42})
+	})
+	outer := NewRegistry()
+	outer.Include(inner)
+	if got := outer.Snapshot()["m3_inner"]; got != 42 {
+		t.Errorf("included metric = %v, want 42", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Register(func(emit func(Metric)) {
+		emit(Metric{Name: "m3_reqs_total", Help: "Requests.", Type: TypeCounter,
+			Labels: [][2]string{{"model", "digits"}}, Value: 3})
+		emit(Metric{Name: "m3_lat_bucket", Help: "Latency.", Type: TypeCounter,
+			Labels: [][2]string{{"le", "+Inf"}}, Value: 3})
+		emit(Metric{Name: "m3_nan", Value: math.NaN()})
+		emit(Metric{Name: "m3_inf", Value: math.Inf(1)})
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP m3_reqs_total Requests.\n",
+		"# TYPE m3_reqs_total counter\n",
+		`m3_reqs_total{model="digits"} 3` + "\n",
+		"# TYPE m3_lat histogram\n",
+		`m3_lat_bucket{le="+Inf"} 3` + "\n",
+		"m3_nan NaN\n",
+		"m3_inf +Inf\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Untyped metrics default to gauge.
+	if !strings.Contains(out, "# TYPE m3_nan gauge\n") {
+		t.Errorf("untyped metric not defaulted to gauge:\n%s", out)
+	}
+}
+
+func TestFitProgressFeedsDefault(t *testing.T) {
+	progress := FitProgress("testalgo")
+	progress(0.75)
+	progress(0.5)
+	s := Default().Snapshot()
+	if got := s[`m3_fit_iterations_total{algo="testalgo"}`]; got != 2 {
+		t.Errorf("iterations = %v, want 2", got)
+	}
+	if got := s[`m3_fit_last_value{algo="testalgo"}`]; got != 0.5 {
+		t.Errorf("last value = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one Chrome trace-event (the JSON Array / trace-event
+// format consumed by Perfetto and chrome://tracing). Ts and Dur are
+// microseconds since the trace epoch.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePid is the single synthetic process id all events share.
+const tracePid = 1
+
+// Tid layout: the control track carries fit / stage / scan spans
+// (emitted from the caller's goroutine); pool worker w's block events
+// land on tid 1+w, mirroring vm.Timeline's per-worker CPU tracks.
+const (
+	// ControlTid is the track for fit/stage/scan spans.
+	ControlTid int64 = 0
+)
+
+// WorkerTid returns the track for pool worker w's block events.
+func WorkerTid(worker int) int64 { return int64(worker) + 1 }
+
+// Trace collects events for one tracing session. All methods are safe
+// for concurrent use; event append takes one short mutex.
+type Trace struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	events []Event
+
+	begun atomic.Int64 // spans + async events opened
+	ended atomic.Int64 // spans + async events closed
+	ids   atomic.Int64 // async id allocator
+}
+
+// NewTrace returns a trace whose clock starts now. It is not
+// installed as the process tracer; use StartTrace for that.
+func NewTrace() *Trace { return &Trace{epoch: time.Now()} }
+
+// current is the process-wide tracer. The disabled path is exactly
+// one atomic pointer load (see Current / Enabled) — cheap enough for
+// per-block hot paths.
+var current atomic.Pointer[Trace]
+
+// StartTrace installs a fresh trace as the process tracer and returns
+// it. Instrumented code (exec scans, Engine.Fit, serve batches) emits
+// into it until StopTrace.
+func StartTrace() *Trace {
+	t := NewTrace()
+	current.Store(t)
+	return t
+}
+
+// StopTrace uninstalls the process tracer and returns it (nil if none
+// was installed). The returned trace can still be written with
+// WriteJSON.
+func StopTrace() *Trace { return current.Swap(nil) }
+
+// Current returns the installed process tracer, or nil when tracing
+// is disabled. Callers on hot paths should load it once per
+// operation, not per event.
+func Current() *Trace { return current.Load() }
+
+// Enabled reports whether a process tracer is installed.
+func Enabled() bool { return current.Load() != nil }
+
+// Now returns the time since the trace epoch. Use it to timestamp the
+// start of work whose completion will be reported via WorkerEvent.
+func (t *Trace) Now() time.Duration { return time.Since(t.epoch) }
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func (t *Trace) append(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Span is an open duration on the control track. A nil *Span is valid
+// and inert, so call sites read naturally when tracing is disabled:
+//
+//	sp := obs.StartSpan("fit", name) // nil when disabled
+//	defer sp.End()
+//
+// Spans are owned by one goroutine; End is idempotent.
+type Span struct {
+	t     *Trace
+	name  string
+	cat   string
+	start time.Duration
+	args  map[string]any
+	ended bool
+}
+
+// StartSpan opens a span on the process tracer's control track, or
+// returns nil when tracing is disabled.
+func StartSpan(cat, name string) *Span {
+	t := current.Load()
+	if t == nil {
+		return nil
+	}
+	return t.Start(cat, name)
+}
+
+// Start opens a span on t's control track.
+func (t *Trace) Start(cat, name string) *Span {
+	t.begun.Add(1)
+	return &Span{t: t, name: name, cat: cat, start: t.Now()}
+}
+
+// SetArg attaches a key/value shown in the trace viewer's args pane.
+// Nil-safe; returns s for chaining.
+func (s *Span) SetArg(key string, v any) *Span {
+	if s == nil {
+		return s
+	}
+	if s.args == nil {
+		s.args = make(map[string]any)
+	}
+	s.args[key] = v
+	return s
+}
+
+// End closes the span and records it as one complete ("X") event.
+// Nil-safe and idempotent: a span closed on an error path and again
+// by a deferred End is recorded exactly once.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	end := s.t.Now()
+	s.t.ended.Add(1)
+	s.t.append(Event{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		Ts: us(s.start), Dur: us(end - s.start),
+		Pid: tracePid, Tid: ControlTid, Args: s.args,
+	})
+}
+
+// WorkerEvent records a completed slice of work on worker w's track
+// as one complete event spanning [start, now). start must come from
+// t.Now() on the same trace.
+func (t *Trace) WorkerEvent(worker int, name string, start time.Duration, args map[string]any) {
+	end := t.Now()
+	t.append(Event{
+		Name: name, Cat: "block", Ph: "X",
+		Ts: us(start), Dur: us(end - start),
+		Pid: tracePid, Tid: WorkerTid(worker), Args: args,
+	})
+}
+
+// NextID allocates an id for an async begin/end pair.
+func (t *Trace) NextID() int64 { return t.ids.Add(1) }
+
+// AsyncBegin opens an async ("b") event. Async events tie together
+// work that migrates across goroutines — a serve request and the
+// batch that carries it — and are matched by (cat, id).
+func (t *Trace) AsyncBegin(cat, name string, id int64, args map[string]any) {
+	t.begun.Add(1)
+	t.append(Event{
+		Name: name, Cat: cat, Ph: "b",
+		Ts: us(t.Now()), Pid: tracePid, Tid: ControlTid,
+		ID: fmt.Sprintf("0x%x", id), Args: args,
+	})
+}
+
+// AsyncEnd closes the async event opened with the same (cat, id).
+func (t *Trace) AsyncEnd(cat, name string, id int64, args map[string]any) {
+	t.ended.Add(1)
+	t.append(Event{
+		Name: name, Cat: cat, Ph: "e",
+		Ts: us(t.Now()), Pid: tracePid, Tid: ControlTid,
+		ID: fmt.Sprintf("0x%x", id), Args: args,
+	})
+}
+
+// Counts returns the number of spans/async events begun and ended.
+func (t *Trace) Counts() (begun, ended int64) {
+	return t.begun.Load(), t.ended.Load()
+}
+
+// OpenSpans returns begun minus ended: zero once every span opened on
+// this trace has been closed (the invariant cancellation tests pin).
+func (t *Trace) OpenSpans() int64 { return t.begun.Load() - t.ended.Load() }
+
+// Events returns a copy of the events recorded so far.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSON writes the trace in Chrome trace-event JSON ("JSON
+// Object" flavor: {"traceEvents": [...]}) with process/thread-name
+// metadata so Perfetto labels the control and worker tracks.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	events := t.Events()
+
+	tids := map[int64]bool{ControlTid: true}
+	for _, e := range events {
+		tids[e.Tid] = true
+	}
+	order := make([]int64, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	meta := []Event{{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "m3"},
+	}}
+	for _, tid := range order {
+		name := "control"
+		if tid != ControlTid {
+			name = fmt.Sprintf("worker %d", tid-1)
+		}
+		meta = append(meta, Event{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	out := struct {
+		TraceEvents     []Event `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+	}{append(meta, events...), "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

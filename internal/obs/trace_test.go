@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// When no tracer is installed the whole span surface must be inert:
+// StartSpan returns nil and every method on a nil span is a no-op.
+func TestNilSpanIsInert(t *testing.T) {
+	if Current() != nil {
+		t.Fatal("tracer installed at test start")
+	}
+	sp := StartSpan("fit", "nothing")
+	if sp != nil {
+		t.Fatalf("StartSpan with tracing disabled = %v, want nil", sp)
+	}
+	sp.SetArg("k", 1) // must not panic
+	sp.End()          // must not panic
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Start("fit", "fit logreg").SetArg("rows", 128)
+	if got := tr.OpenSpans(); got != 1 {
+		t.Fatalf("OpenSpans after Start = %d, want 1", got)
+	}
+	sp.End()
+	if got := tr.OpenSpans(); got != 0 {
+		t.Fatalf("OpenSpans after End = %d, want 0", got)
+	}
+	// End is idempotent: the error path closing a span a deferred End
+	// will close again must record exactly one event.
+	sp.End()
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d events after double End, want 1", len(events))
+	}
+	e := events[0]
+	if e.Name != "fit logreg" || e.Cat != "fit" || e.Ph != "X" {
+		t.Errorf("event = %+v, want name 'fit logreg' cat fit ph X", e)
+	}
+	if e.Tid != ControlTid {
+		t.Errorf("span tid = %d, want control track %d", e.Tid, ControlTid)
+	}
+	if e.Args["rows"] != 128 {
+		t.Errorf("args = %v, want rows:128", e.Args)
+	}
+	if begun, ended := tr.Counts(); begun != 1 || ended != 1 {
+		t.Errorf("Counts = (%d, %d), want (1, 1)", begun, ended)
+	}
+}
+
+func TestWorkerEventTracks(t *testing.T) {
+	if WorkerTid(0) == ControlTid {
+		t.Fatal("worker 0 must not share the control track")
+	}
+	tr := NewTrace()
+	t0 := tr.Now()
+	time.Sleep(time.Millisecond)
+	tr.WorkerEvent(3, "scan", t0, map[string]any{"lo": 0, "hi": 64})
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Tid != WorkerTid(3) {
+		t.Errorf("tid = %d, want %d", e.Tid, WorkerTid(3))
+	}
+	if e.Cat != "block" || e.Ph != "X" {
+		t.Errorf("event = %+v, want cat block ph X", e)
+	}
+	if e.Dur <= 0 {
+		t.Errorf("dur = %v, want > 0", e.Dur)
+	}
+}
+
+func TestAsyncPairing(t *testing.T) {
+	tr := NewTrace()
+	id := tr.NextID()
+	tr.AsyncBegin("serve", "request", id, map[string]any{"rows": 4})
+	if got := tr.OpenSpans(); got != 1 {
+		t.Fatalf("OpenSpans after AsyncBegin = %d, want 1", got)
+	}
+	tr.AsyncEnd("serve", "request", id, nil)
+	if got := tr.OpenSpans(); got != 0 {
+		t.Fatalf("OpenSpans after AsyncEnd = %d, want 0", got)
+	}
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	b, e := events[0], events[1]
+	if b.Ph != "b" || e.Ph != "e" {
+		t.Errorf("phases = %q, %q, want b, e", b.Ph, e.Ph)
+	}
+	if b.ID == "" || b.ID != e.ID || b.Cat != e.Cat {
+		t.Errorf("pairing keys differ: begin (%s, %s) vs end (%s, %s)", b.Cat, b.ID, e.Cat, e.ID)
+	}
+	if id2 := tr.NextID(); id2 == id {
+		t.Errorf("NextID repeated %d", id)
+	}
+}
+
+func TestStartStopTrace(t *testing.T) {
+	if Enabled() {
+		t.Fatal("tracer installed at test start")
+	}
+	tr := StartTrace()
+	defer StopTrace()
+	if Current() != tr || !Enabled() {
+		t.Fatal("StartTrace did not install the tracer")
+	}
+	if sp := StartSpan("fit", "x"); sp == nil {
+		t.Fatal("StartSpan with tracing enabled = nil")
+	} else {
+		sp.End()
+	}
+	if got := StopTrace(); got != tr {
+		t.Fatalf("StopTrace = %p, want %p", got, tr)
+	}
+	if Enabled() {
+		t.Fatal("tracer still installed after StopTrace")
+	}
+	if StopTrace() != nil {
+		t.Fatal("second StopTrace should return nil")
+	}
+}
+
+// WriteJSON must produce the Chrome trace-event "JSON Object" flavor
+// with process/thread-name metadata, so the file opens directly in
+// Perfetto.
+func TestWriteJSON(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Start("fit", "fit")
+	t0 := tr.Now()
+	tr.WorkerEvent(0, "scan", t0, nil)
+	tr.WorkerEvent(2, "scan", t0, nil)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", out.DisplayTimeUnit)
+	}
+	names := map[int64]string{} // thread_name tid -> label
+	var haveProcess bool
+	for _, e := range out.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			haveProcess = true
+		case e.Ph == "M" && e.Name == "thread_name":
+			names[e.Tid] = e.Args["name"].(string)
+		}
+	}
+	if !haveProcess {
+		t.Error("missing process_name metadata")
+	}
+	if names[0] != "control" {
+		t.Errorf("tid 0 labeled %q, want control", names[0])
+	}
+	if names[1] != "worker 0" {
+		t.Errorf("tid 1 labeled %q, want 'worker 0'", names[1])
+	}
+	if names[3] != "worker 2" {
+		t.Errorf("tid 3 labeled %q, want 'worker 2'", names[3])
+	}
+	// 3 real events + metadata.
+	if got := len(out.TraceEvents); got < 3+4 {
+		t.Errorf("got %d events, want at least 7 (3 real + process + 3 threads)", got)
+	}
+}

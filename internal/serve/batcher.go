@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"m3/internal/mat"
+	"m3/internal/obs"
 )
 
 // ErrDraining is returned for requests submitted after shutdown
@@ -29,6 +30,10 @@ type batchRequest struct {
 	cols  int
 	out   chan result
 	enq   time.Time
+	// obsID is the request's async-span id when tracing is enabled
+	// (zero otherwise); batch spans list the ids of the requests they
+	// carried, linking the two levels in the trace viewer.
+	obsID int64
 }
 
 // Batcher accumulates prediction requests and flushes them as single
@@ -189,6 +194,24 @@ func (b *Batcher) dispatch(batch []*batchRequest) {
 // mid-batch never blends two model generations into one flush, and
 // the old generation's resources stay alive until Release.
 func dispatchGroup(e *Entry, reqs []*batchRequest) {
+	if tr := obs.Current(); tr != nil {
+		rows := 0
+		ids := make([]int64, 0, len(reqs))
+		for _, r := range reqs {
+			rows += r.n
+			if r.obsID != 0 {
+				ids = append(ids, r.obsID)
+			}
+		}
+		args := map[string]any{"requests": len(reqs), "rows": rows}
+		if len(ids) > 0 {
+			args["req_ids"] = ids
+		}
+		name := "batch " + e.Name()
+		id := tr.NextID()
+		tr.AsyncBegin("serve", name, id, args)
+		defer tr.AsyncEnd("serve", name, id, nil)
+	}
 	snap, err := e.Acquire()
 	if err != nil {
 		for _, r := range reqs {

@@ -7,11 +7,19 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"m3/internal/obs"
 )
 
 // latencySamples bounds per-model latency memory: quantiles come from
 // a ring of the most recent samples, so a long-lived server reports
-// current behavior, not its all-time history.
+// current behavior, not its all-time history. This is a sampling
+// window, not a sketch: reported quantiles describe the last 8192
+// requests exactly, but tail quantiles of the *all-time* distribution
+// are biased toward recent behavior — in particular P99 rests on the
+// ~82 slowest samples in the window, so a rare slow mode that last
+// occurred more than 8192 requests ago has aged out of the report
+// entirely.
 const latencySamples = 8192
 
 // batchBuckets covers batch sizes 1 … 2^15 rows and above.
@@ -29,6 +37,10 @@ type Metrics struct {
 	// batchHist[i] counts flushed batches of 2^(i-1) < rows ≤ 2^i
 	// (bucket 0: single-row batches).
 	batchHist [batchBuckets]int64
+	// batchRows sums rows over flushed batches — the histogram's _sum
+	// in Prometheus terms (rows counts accepted request rows, which
+	// includes rows still pending in the batcher).
+	batchRows int64
 	latMs     [latencySamples]float64
 	latN      int // total samples ever observed
 }
@@ -72,6 +84,7 @@ func (m *Metrics) observeBatch(reqs, rows int, err error) {
 	m.mu.Lock()
 	m.batches++
 	m.batchHist[bucket]++
+	m.batchRows += int64(rows)
 	if err != nil {
 		m.errors += int64(reqs)
 	}
@@ -88,7 +101,11 @@ func (m *Metrics) observeLatency(d time.Duration) {
 }
 
 // LatencyQuantiles are the standard serving percentiles in
-// milliseconds.
+// milliseconds, computed over the ring of the most recent
+// latencySamples observations (see that constant for the bias this
+// implies on tail quantiles). Edge cases are pinned: with no samples
+// yet all three quantiles are exactly 0; with a single sample all
+// three equal that sample.
 type LatencyQuantiles struct {
 	P50 float64 `json:"p50"`
 	P90 float64 `json:"p90"`
@@ -147,8 +164,69 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	return s
 }
 
+// Collect emits the model's counters as obs metrics, labeled
+// model=name: request/row/error/batch/swap counters, the batch-size
+// histogram in Prometheus histogram form (cumulative
+// m3_serve_batch_rows_bucket{le=...} with _sum/_count), and the
+// latency quantiles from the sampling ring (m3_serve_latency_ms
+// {quantile=...}; see latencySamples for the window bias).
+func (m *Metrics) Collect(model string, emit func(obs.Metric)) {
+	m.mu.Lock()
+	requests, rows, errs := m.requests, m.rows, m.errors
+	batches, swaps, batchRows := m.batches, m.swaps, m.batchRows
+	hist := m.batchHist
+	n := m.latN
+	if n > latencySamples {
+		n = latencySamples
+	}
+	samples := append([]float64(nil), m.latMs[:n]...)
+	m.mu.Unlock()
+
+	lbl := [][2]string{{"model", model}}
+	counter := func(name, help string, v float64) {
+		emit(obs.Metric{Name: name, Help: help, Type: obs.TypeCounter, Labels: lbl, Value: v})
+	}
+	counter("m3_serve_requests_total", "Prediction requests accepted.", float64(requests))
+	counter("m3_serve_request_rows_total", "Rows across accepted prediction requests.", float64(rows))
+	counter("m3_serve_errors_total", "Failed requests (validation, draining, prediction failure).", float64(errs))
+	counter("m3_serve_batches_total", "Batches flushed by the micro-batcher.", float64(batches))
+	counter("m3_serve_swaps_total", "Model hot-swaps.", float64(swaps))
+
+	// The top histogram bucket is clamped (it also counts batches past
+	// 2^(batchBuckets-1) rows), so only +Inf represents it honestly.
+	const histName = "m3_serve_batch_rows"
+	const histHelp = "Rows per flushed batch."
+	cum := 0.0
+	for i := 0; i < batchBuckets-1; i++ {
+		cum += float64(hist[i])
+		emit(obs.Metric{Name: histName + "_bucket", Help: histHelp, Type: obs.TypeCounter,
+			Labels: [][2]string{{"model", model}, {"le", strconv.Itoa(1 << i)}}, Value: cum})
+	}
+	emit(obs.Metric{Name: histName + "_bucket", Help: histHelp, Type: obs.TypeCounter,
+		Labels: [][2]string{{"model", model}, {"le", "+Inf"}}, Value: float64(batches)})
+	emit(obs.Metric{Name: histName + "_sum", Help: histHelp, Type: obs.TypeCounter,
+		Labels: lbl, Value: float64(batchRows)})
+	emit(obs.Metric{Name: histName + "_count", Help: histHelp, Type: obs.TypeCounter,
+		Labels: lbl, Value: float64(batches)})
+
+	sort.Float64s(samples)
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
+		emit(obs.Metric{Name: "m3_serve_latency_ms",
+			Help:   "Request latency quantiles over the last " + strconv.Itoa(latencySamples) + " samples.",
+			Type:   obs.TypeGauge,
+			Labels: [][2]string{{"model", model}, {"quantile", q.label}},
+			Value:  Percentile(samples, q.q)})
+	}
+}
+
 // Percentile returns the q-quantile (0 ≤ q ≤ 1) of sorted samples by
-// linear interpolation between closest ranks.
+// linear interpolation between closest ranks. Edge cases are pinned:
+// an empty slice yields 0 (a server that has answered nothing reports
+// zero latency rather than NaN), and a single sample is every
+// quantile of itself.
 func Percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0

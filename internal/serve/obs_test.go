@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"m3/internal/obs"
+)
+
+// TestLatencyQuantileEdges pins the documented edge behavior of the
+// sampling ring: no samples → all quantiles exactly 0; one sample →
+// every quantile equals it.
+func TestLatencyQuantileEdges(t *testing.T) {
+	m := NewMetrics()
+	s := m.Snapshot()
+	if s.LatencyMs != (LatencyQuantiles{}) {
+		t.Errorf("empty ring quantiles = %+v, want all zero", s.LatencyMs)
+	}
+
+	m.observeLatency(3 * time.Millisecond)
+	s = m.Snapshot()
+	want := LatencyQuantiles{P50: 3, P90: 3, P99: 3}
+	if s.LatencyMs != want {
+		t.Errorf("single-sample quantiles = %+v, want %+v", s.LatencyMs, want)
+	}
+}
+
+// TestLatencyRingWraps: past latencySamples observations the ring
+// keeps only the most recent window, so quantiles track current
+// behavior — old slow modes age out (the documented P99 bias).
+func TestLatencyRingWraps(t *testing.T) {
+	m := NewMetrics()
+	// A slow era, fully displaced by a fast era.
+	for i := 0; i < latencySamples; i++ {
+		m.observeLatency(100 * time.Millisecond)
+	}
+	for i := 0; i < latencySamples; i++ {
+		m.observeLatency(time.Millisecond)
+	}
+	s := m.Snapshot()
+	if s.LatencyMs.P99 != 1 {
+		t.Errorf("P99 after full wrap = %v, want 1 (slow era aged out)", s.LatencyMs.P99)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if got := Percentile(sorted, 0.5); got != 2.5 {
+		t.Errorf("median of 1..4 = %v, want 2.5", got)
+	}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := Percentile(sorted, 1); got != 4 {
+		t.Errorf("q1 = %v, want 4", got)
+	}
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single = %v, want 7", got)
+	}
+}
+
+// TestMetricsCollectHistogram: the obs exposition of the batch
+// histogram must be cumulative, in increasing le order, with +Inf
+// equal to _count (the top clamped bucket is represented only there).
+func TestMetricsCollectHistogram(t *testing.T) {
+	m := NewMetrics()
+	m.observeBatch(1, 1, nil)   // bucket le=1
+	m.observeBatch(2, 3, nil)   // bucket le=4
+	m.observeBatch(4, 100, nil) // bucket le=128
+
+	var buckets []obs.Metric
+	var sum, count float64
+	m.Collect("digits", func(mt obs.Metric) {
+		switch mt.Name {
+		case "m3_serve_batch_rows_bucket":
+			buckets = append(buckets, mt)
+		case "m3_serve_batch_rows_sum":
+			sum = mt.Value
+		case "m3_serve_batch_rows_count":
+			count = mt.Value
+		}
+	})
+	if len(buckets) != batchBuckets {
+		t.Fatalf("got %d buckets, want %d (finite le values + one +Inf)", len(buckets), batchBuckets)
+	}
+	last := buckets[len(buckets)-1]
+	if last.Labels[1][1] != "+Inf" || last.Value != 3 {
+		t.Errorf("top bucket = %+v, want le=+Inf value 3", last)
+	}
+	if sum != 104 || count != 3 {
+		t.Errorf("sum/count = %v/%v, want 104/3", sum, count)
+	}
+	// Cumulative and monotone: each finite bucket counts batches at or
+	// below its le.
+	prev := 0.0
+	for _, b := range buckets[:len(buckets)-1] {
+		if b.Value < prev {
+			t.Errorf("bucket %v not cumulative: %v < %v", b.Labels, b.Value, prev)
+		}
+		prev = b.Value
+		le, err := strconv.Atoi(b.Labels[1][1])
+		if err != nil {
+			t.Fatalf("finite bucket has le %q", b.Labels[1][1])
+		}
+		wantCum := 0.0
+		for _, rows := range []int{1, 3, 100} {
+			if rows <= le {
+				wantCum++
+			}
+		}
+		if b.Value != wantCum {
+			t.Errorf("bucket le=%d = %v, want %v", le, b.Value, wantCum)
+		}
+	}
+}
+
+// TestServerPrometheusMetrics: the default /metrics is Prometheus
+// text exposition carrying the serve counters, batch histogram, store
+// gauges and process counters; JSON stays available by negotiation.
+func TestServerPrometheusMetrics(t *testing.T) {
+	f := newDigitsFixture(t)
+	if code := post(t, f.ts.URL+"/models/digits/predict", f.rowsJSON(t), nil); code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE m3_serve_requests_total counter",
+		`m3_serve_requests_total{model="digits"} 1`,
+		"# TYPE m3_serve_batch_rows histogram",
+		`m3_serve_batch_rows_bucket{model="digits",le="+Inf"}`,
+		`m3_serve_latency_ms{model="digits",quantile="0.99"}`,
+		"m3_serve_uptime_seconds",
+		"m3_serve_draining 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Buckets appear in increasing le order (Prometheus clients reject
+	// +Inf-first orderings).
+	infAt := strings.Index(text, `le="+Inf"`)
+	oneAt := strings.Index(text, `le="1"`)
+	if oneAt < 0 || infAt < oneAt {
+		t.Errorf("bucket order wrong: le=1 at %d, le=+Inf at %d", oneAt, infAt)
+	}
+
+	// Content negotiation keeps the legacy JSON shape reachable.
+	req, _ := http.NewRequest("GET", f.ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Accept: application/json got Content-Type %q", ct)
+	}
+}
+
+// TestServerPprofRoutes: the profiling endpoints ride on the same mux.
+func TestServerPprofRoutes(t *testing.T) {
+	f := newDigitsFixture(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(f.ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeSpansLinkRequestsToBatches: with tracing enabled, each
+// predict request opens an async span and the batch that carries it
+// opens another listing the request ids — and all of them close.
+func TestServeSpansLinkRequestsToBatches(t *testing.T) {
+	f := newDigitsFixture(t)
+	tr := obs.StartTrace()
+	defer obs.StopTrace()
+
+	if code := post(t, f.ts.URL+"/models/digits/predict", f.rowsJSON(t), nil); code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+
+	if open := tr.OpenSpans(); open != 0 {
+		t.Errorf("OpenSpans after request = %d, want 0", open)
+	}
+	var reqBegin, reqEnd, batchBegin, batchEnd int
+	var reqIDs []string
+	var linked []int64
+	for _, e := range tr.Events() {
+		switch {
+		case e.Name == "request digits" && e.Ph == "b":
+			reqBegin++
+			reqIDs = append(reqIDs, e.ID)
+		case e.Name == "request digits" && e.Ph == "e":
+			reqEnd++
+		case e.Name == "batch digits" && e.Ph == "b":
+			batchBegin++
+			if ids, ok := e.Args["req_ids"].([]int64); ok {
+				linked = append(linked, ids...)
+			}
+		case e.Name == "batch digits" && e.Ph == "e":
+			batchEnd++
+		}
+	}
+	if reqBegin != 1 || reqEnd != 1 {
+		t.Errorf("request spans = %d begin / %d end, want 1/1", reqBegin, reqEnd)
+	}
+	if batchBegin < 1 || batchBegin != batchEnd {
+		t.Errorf("batch spans = %d begin / %d end, want matched >= 1", batchBegin, batchEnd)
+	}
+	if len(linked) == 0 {
+		t.Error("batch span lists no req_ids")
+	}
+	if len(reqIDs) == 1 && reqIDs[0] == "" {
+		t.Error("request async span has empty id")
+	}
+}

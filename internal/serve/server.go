@@ -14,7 +14,10 @@
 //     PredictMatrix calls (micro-batching), splitting mixed-model
 //     flushes into per-model groups.
 //   - Metrics: per-model request/error counts, batch-size histogram
-//     and p50/p90/p99 latency at GET /metrics.
+//     and p50/p90/p99 latency at GET /metrics — Prometheus text by
+//     default (through a per-server obs.Registry that also folds in
+//     the process-wide obs counters), the legacy JSON document with
+//     ?format=json or Accept: application/json.
 //
 // Routes:
 //
@@ -22,19 +25,28 @@
 //	POST /models/{name}/swap     {"path": "..."}        → load + atomic flip
 //	GET  /models                 registered models and their metadata
 //	GET  /models/{name}          one model's metadata + metrics
-//	GET  /metrics                per-model counters + storage stats
+//	GET  /metrics                Prometheus text (JSON via ?format=json)
 //	GET  /healthz                200 while serving, 503 once draining
+//	GET  /debug/pprof/...        net/http/pprof profiling endpoints
+//
+// When a process tracer is installed (obs.StartTrace, m3serve
+// -trace), every prediction request and every flushed batch become
+// linked async spans in the Chrome trace-event export.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	nhpprof "net/http/pprof"
+	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"m3"
+	"m3/internal/obs"
 )
 
 // maxBodyBytes bounds a predict/swap request body (64 MiB — a
@@ -58,6 +70,7 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
+	obsReg   *obs.Registry
 }
 
 // NewServer builds a server over reg. The caller owns reg's lifetime;
@@ -69,6 +82,13 @@ func NewServer(reg *Registry, cfg Config) *Server {
 		batcher: NewBatcher(cfg.BatchSize, cfg.BatchDelay),
 		start:   time.Now(),
 	}
+	// The server owns its own obs registry (per-model counters, store
+	// stats, uptime) and folds in the process-wide Default registry
+	// (fit progress, /proc counters) at gather time — so two servers
+	// in one process never double-register collectors.
+	s.obsReg = obs.NewRegistry()
+	s.obsReg.Register(s.collectObs)
+	s.obsReg.Include(obs.Default())
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /models/{name}/predict", s.handlePredict)
 	mux.HandleFunc("POST /models/{name}/swap", s.handleSwap)
@@ -76,12 +96,22 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("GET /models/{name}", s.handleModel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/pprof/", nhpprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", nhpprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", nhpprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", nhpprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", nhpprof.Trace)
 	s.mux = mux
 	return s
 }
 
 // Handler returns the route multiplexer.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// ObsRegistry returns the server's metrics registry — what GET
+// /metrics exposes in Prometheus text. Useful for embedding the
+// server's counters into another report (m3bench serve records).
+func (s *Server) ObsRegistry() *obs.Registry { return s.obsReg }
 
 // Drain begins graceful shutdown: health flips to 503 (so load
 // balancers stop routing here), new predictions are refused, and the
@@ -168,6 +198,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		entry.metrics.requestErrors(1)
 		writeErr(w, herr.status, herr)
 		return
+	}
+	if tr := obs.Current(); tr != nil {
+		req.obsID = tr.NextID()
+		tr.AsyncBegin("serve", "request "+name, req.obsID, map[string]any{"rows": req.n})
+		defer tr.AsyncEnd("serve", "request "+name, req.obsID, nil)
 	}
 	start := time.Now()
 	entry.metrics.request(req.n)
@@ -274,19 +309,58 @@ type modelMetrics struct {
 	Store map[string]int64 `json:"store,omitempty"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	models := map[string]modelMetrics{}
+// collectObs emits the server-level gauges plus every model's
+// counters and store stats into the server's obs registry.
+func (s *Server) collectObs(emit func(obs.Metric)) {
+	emit(obs.Metric{Name: "m3_serve_uptime_seconds",
+		Help: "Seconds since the server started.", Type: obs.TypeGauge,
+		Value: time.Since(s.start).Seconds()})
+	drain := 0.0
+	if s.draining.Load() {
+		drain = 1
+	}
+	emit(obs.Metric{Name: "m3_serve_draining",
+		Help: "1 while the server is draining, 0 otherwise.", Type: obs.TypeGauge,
+		Value: drain})
 	for _, e := range s.reg.Entries() {
-		models[e.Name()] = modelMetrics{
-			MetricsSnapshot: e.Metrics().Snapshot(),
-			Store:           e.stats(),
+		e.Metrics().Collect(e.Name(), emit)
+		stats := e.stats()
+		keys := make([]string, 0, len(stats))
+		for k := range stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			emit(obs.Metric{Name: "m3_store_" + k,
+				Help: "Model store counter " + k + ".", Type: obs.TypeGauge,
+				Labels: [][2]string{{"model", e.Name()}}, Value: float64(stats[k])})
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"draining":       s.draining.Load(),
-		"models":         models,
-	})
+}
+
+// handleMetrics serves Prometheus text exposition by default; the
+// original JSON document remains available with ?format=json or
+// Accept: application/json for existing scrapers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		models := map[string]modelMetrics{}
+		for _, e := range s.reg.Entries() {
+			models[e.Name()] = modelMetrics{
+				MetricsSnapshot: e.Metrics().Snapshot(),
+				Store:           e.stats(),
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"draining":       s.draining.Load(),
+			"models":         models,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obsReg.WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

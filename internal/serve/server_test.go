@@ -220,7 +220,7 @@ func TestServerModelsAndMetrics(t *testing.T) {
 		Draining      bool                    `json:"draining"`
 		Models        map[string]modelMetrics `json:"models"`
 	}
-	if code := get(t, f.ts.URL+"/metrics", &metrics); code != http.StatusOK {
+	if code := get(t, f.ts.URL+"/metrics?format=json", &metrics); code != http.StatusOK {
 		t.Fatalf("/metrics status %d", code)
 	}
 	dm, ok := metrics.Models["digits"]
@@ -301,7 +301,7 @@ func TestServerDrain(t *testing.T) {
 	var metrics struct {
 		Draining bool `json:"draining"`
 	}
-	if code := get(t, f.ts.URL+"/metrics", &metrics); code != http.StatusOK || !metrics.Draining {
+	if code := get(t, f.ts.URL+"/metrics?format=json", &metrics); code != http.StatusOK || !metrics.Draining {
 		t.Errorf("/metrics while draining = %d %+v", code, metrics)
 	}
 }

@@ -1,0 +1,101 @@
+package m3
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"m3/internal/obs"
+)
+
+// TestFitTraceSpans: a successful traced fit records the full span
+// hierarchy — the engine fit span, per-stage pipeline spans, named
+// scan spans, and per-worker block events — and closes every one.
+func TestFitTraceSpans(t *testing.T) {
+	path := digitsFile(t, 200)
+	eng := New(Config{Mode: MemoryMapped})
+	defer eng.Close()
+	tbl, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.StartTrace()
+	defer obs.StopTrace()
+	if _, err := eng.Fit(context.Background(), scalePCALogreg(3), tbl); err != nil {
+		t.Fatal(err)
+	}
+	if open := tr.OpenSpans(); open != 0 {
+		t.Fatalf("OpenSpans after successful fit = %d, want 0", open)
+	}
+	cats := map[string]int{}
+	workerEvents := 0
+	for _, e := range tr.Events() {
+		cats[e.Cat]++
+		if e.Cat == "block" && e.Tid >= 1 {
+			workerEvents++
+		}
+	}
+	if cats["fit"] != 1 {
+		t.Errorf("fit spans = %d, want 1", cats["fit"])
+	}
+	// scaler stage + PCA stage + final fit ≥ 3 pipeline spans.
+	if cats["pipeline"] < 3 {
+		t.Errorf("pipeline spans = %d, want >= 3", cats["pipeline"])
+	}
+	if cats["scan"] < 3 {
+		t.Errorf("scan spans = %d, want >= 3 (scaler, pca, logreg)", cats["scan"])
+	}
+	if workerEvents == 0 {
+		t.Error("no per-worker block events on tid >= 1")
+	}
+}
+
+// TestSpansCloseUnderCancellation sweeps the cancellation point
+// across the whole pipeline fit (scaler fit/transform, PCA passes,
+// final training): wherever the abort lands, every opened span must
+// close exactly once — no dangling "b"/unclosed durations in the
+// trace. Runs under -race in CI alongside the serve span tests.
+func TestSpansCloseUnderCancellation(t *testing.T) {
+	path := digitsFile(t, 200)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		eng := New(Config{Mode: MemoryMapped})
+		defer eng.Close()
+		tbl, err := eng.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		tr := obs.StartTrace()
+		defer obs.StopTrace()
+		if _, err := eng.Fit(ctx, scalePCALogreg(3), tbl); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if open := tr.OpenSpans(); open != 0 {
+			t.Errorf("OpenSpans = %d, want 0", open)
+		}
+	})
+
+	for _, after := range []int64{2, 4, 8, 16, 64} {
+		t.Run("mid-fit", func(t *testing.T) {
+			eng := New(Config{Mode: MemoryMapped})
+			defer eng.Close()
+			tbl, err := eng.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := &countCancelCtx{Context: context.Background(), after: after}
+			tr := obs.StartTrace()
+			if _, err := eng.Fit(ctx, scalePCALogreg(3), tbl); !errors.Is(err, context.Canceled) {
+				obs.StopTrace()
+				t.Fatalf("after=%d: err = %v, want context.Canceled", after, err)
+			}
+			obs.StopTrace()
+			if begun, ended := tr.Counts(); begun != ended {
+				t.Errorf("after=%d: %d spans begun, %d ended — %d left open",
+					after, begun, ended, begun-ended)
+			}
+		})
+	}
+}

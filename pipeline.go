@@ -39,6 +39,7 @@ import (
 	"m3/internal/mat"
 	"m3/internal/ml/modelio"
 	"m3/internal/ml/preprocess"
+	"m3/internal/obs"
 )
 
 // Pipeline chains preprocessing transformers and a final estimator
@@ -116,7 +117,13 @@ func (p Pipeline) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 	materializations := 0
 	cacheMapped := false
 	for i, st := range p.Stages {
-		tm, err := st.FitTransform(ctx, cur)
+		tm, err := func() (TransformerModel, error) {
+			// The span closes on every exit (including cancellation mid
+			// scan) via defer; End is idempotent and nil-safe.
+			sp := obs.StartSpan("pipeline", fmt.Sprintf("stage %d fit %T", i, st))
+			defer sp.End()
+			return st.FitTransform(ctx, cur)
+		}()
 		if err != nil {
 			return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), release())
 		}
@@ -136,7 +143,11 @@ func (p Pipeline) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 		// Fallback for third-party stages without a block kernel:
 		// materialize through the engine. The pass runs on the fused
 		// view, so any pending chain is applied in the same scan.
-		next, err := tm.Transform(ctx, cur)
+		next, err := func() (*Dataset, error) {
+			sp := obs.StartSpan("pipeline", fmt.Sprintf("stage %d materialize", i))
+			defer sp.End()
+			return tm.Transform(ctx, cur)
+		}()
 		if err != nil {
 			return nil, errors.Join(fmt.Errorf("m3: pipeline stage %d: %w", i, err), release())
 		}
@@ -156,7 +167,11 @@ func (p Pipeline) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 	// the fused view; multi-epoch trainers get the transformed matrix
 	// materialized exactly once, by a single fused pass.
 	if cur.X.IsFused() && !isStreamingFit(p.Estimator) {
-		cache, err := core.Materialize(ctx, cur, 0)
+		cache, err := func() (*Dataset, error) {
+			sp := obs.StartSpan("pipeline", "materialize cache")
+			defer sp.End()
+			return core.Materialize(ctx, cur, 0)
+		}()
 		if err != nil {
 			return nil, errors.Join(fmt.Errorf("m3: pipeline cache: %w", err), release())
 		}
@@ -168,7 +183,11 @@ func (p Pipeline) Fit(ctx context.Context, ds *Dataset) (Model, error) {
 		cacheMapped = cache.Mapped
 	}
 
-	final, ferr := p.Estimator.Fit(ctx, cur)
+	final, ferr := func() (Model, error) {
+		sp := obs.StartSpan("pipeline", fmt.Sprintf("final fit %T", p.Estimator))
+		defer sp.End()
+		return p.Estimator.Fit(ctx, cur)
+	}()
 	if err := errors.Join(ferr, release()); err != nil {
 		return nil, err
 	}
@@ -280,7 +299,7 @@ func (f *FittedPipeline) PredictMatrix(x *Matrix) ([]float64, error) {
 		return f.final.PredictMatrix(fx)
 	}
 	out := make([]float64, x.Rows())
-	_, _, err := exec.ReduceRows(x.Scan(0),
+	_, _, err := exec.ReduceRows(x.Scan(0).Named("pipeline predict"),
 		func() []func([]float64) []float64 {
 			chain := make([]func([]float64) []float64, len(f.stages))
 			for i, s := range f.stages {
