@@ -205,6 +205,7 @@ func run(ctx context.Context, o options) error {
 		fmt.Printf("logreg: %d iterations, %d data passes, loss %.6f, train accuracy %.4f\n",
 			m.Result.Iterations, m.Result.Evaluations, m.Result.Value,
 			accuracy(preds, tbl.Labels, func(v float64) float64 {
+				//m3vet:allow floateq -- class labels are exact ids, never computed
 				if v == o.positive {
 					return 1
 				}
@@ -305,6 +306,7 @@ func accuracy(preds, labels []float64, want func(float64) float64) float64 {
 	}
 	correct := 0
 	for i, p := range preds {
+		//m3vet:allow floateq -- predictions and labels are exact class ids
 		if p == want(labels[i]) {
 			correct++
 		}

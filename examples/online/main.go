@@ -39,6 +39,7 @@ func main() {
 			if label == 0 {
 				want = 1
 			}
+			//m3vet:allow floateq -- predictions and labels are exact 0/1 ids
 			if learner.Predict(row) == want {
 				correct++
 			}

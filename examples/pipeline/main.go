@@ -87,6 +87,7 @@ func main() {
 		if tbl.Labels[i] == 0 {
 			want = 1
 		}
+		//m3vet:allow floateq -- predictions and labels are exact 0/1 ids
 		if p == want {
 			correct++
 		}
@@ -110,6 +111,7 @@ func main() {
 	}
 	same := true
 	for i := range preds {
+		//m3vet:allow floateq -- bit-parity determinism check: exact by design
 		if re[i] != preds[i] {
 			same = false
 			break

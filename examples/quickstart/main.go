@@ -73,8 +73,10 @@ func main() {
 	viaM3 := train(m3.MemoryMapped, "M3:")
 
 	// Identical data + identical algorithm ⇒ identical model.
+	//m3vet:allow floateq -- bit-parity demo: exact equality is the point
 	same := original.Intercept == viaM3.Intercept
 	for i := range original.Weights {
+		//m3vet:allow floateq -- bit-parity demo: exact equality is the point
 		same = same && original.Weights[i] == viaM3.Weights[i]
 	}
 	fmt.Printf("\nmodels bit-identical across backends: %v\n", same)

@@ -56,6 +56,7 @@ func (ds *Dataset) BinaryLabels(positive float64) []float64 {
 	}
 	out := make([]float64, len(ds.Labels))
 	for i, v := range ds.Labels {
+		//m3vet:allow floateq -- class labels are exact ids, never computed
 		if v == positive {
 			out[i] = 1
 		}
@@ -72,6 +73,7 @@ func (ds *Dataset) IntLabels(classes int) ([]int, error) {
 	out := make([]int, len(ds.Labels))
 	for i, v := range ds.Labels {
 		n := int(v)
+		//m3vet:allow floateq -- integrality check: exact comparison is the test
 		if float64(n) != v || n < 0 || n >= classes {
 			return nil, fmt.Errorf("core: label[%d] = %v not an integer in [0,%d)", i, v, classes)
 		}

@@ -459,6 +459,7 @@ func (d *Dense) Equal(other *Dense) bool {
 			a, _ := d.Row(i)
 			b, _ := other.Row(i)
 			for j := range a {
+				//m3vet:allow floateq -- Equal is the exact bit-parity comparison API
 				if a[j] != b[j] {
 					return false
 				}
@@ -470,6 +471,7 @@ func (d *Dense) Equal(other *Dense) bool {
 		a := d.RawRow(i)
 		b := other.RawRow(i)
 		for j := range a {
+			//m3vet:allow floateq -- Equal is the exact bit-parity comparison API
 			if a[j] != b[j] {
 				return false
 			}

@@ -94,6 +94,7 @@ func CrossValidate(x *mat.Dense, y []float64, k int, seed uint64,
 		correct := 0
 		for _, r := range sp.Test {
 			row, _ := x.Row(r)
+			//m3vet:allow floateq -- predictions and labels are exact class ids
 			if predict(row) == y[r] {
 				correct++
 			}

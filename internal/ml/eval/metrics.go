@@ -159,6 +159,7 @@ func AUC(scores, labels []float64) (float64, error) {
 	ranks := make([]float64, len(scores))
 	for i := 0; i < len(idx); {
 		j := i
+		//m3vet:allow floateq -- tied scores must group exactly to share an average rank
 		for j+1 < len(idx) && scores[idx[j+1]] == scores[idx[i]] {
 			j++
 		}

@@ -103,6 +103,7 @@ func Search(ctx context.Context, refs, queries *mat.Dense, k int, opts Options) 
 	for qi := range acc.heaps {
 		res := []Neighbor(acc.heaps[qi])
 		sort.Slice(res, func(a, b int) bool {
+			//m3vet:allow floateq -- deterministic ordering needs exact distance ties
 			if res[a].SqDist != res[b].SqDist {
 				return res[a].SqDist < res[b].SqDist
 			}

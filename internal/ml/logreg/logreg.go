@@ -214,6 +214,7 @@ func (m *Model) Accuracy(x *mat.Dense, y []float64) float64 {
 	}
 	correct := 0
 	x.ForEachRow(func(i int, row []float64) {
+		//m3vet:allow floateq -- predictions and labels are exact class ids
 		if m.Predict(row) == y[i] {
 			correct++
 		}

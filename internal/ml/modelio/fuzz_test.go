@@ -1,0 +1,30 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+
+	"m3/internal/ml/preprocess"
+)
+
+// FuzzDescribe feeds arbitrary bytes to the model-header reader.
+// Describe decodes a gob frame from untrusted file content, so it
+// must reject truncated, corrupted, and adversarially-typed input
+// with an error — never a panic — and a valid header must round-trip.
+func FuzzDescribe(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Save(&valid, &preprocess.StandardScaler{Mean: []float64{0, 1}, Std: []float64{1, 2}}); err != nil {
+		f.Fatalf("seed save: %v", err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, _, err := Describe(bytes.NewReader(data))
+		if err == nil && kind == "" {
+			t.Fatalf("Describe accepted %d bytes but returned an empty kind", len(data))
+		}
+	})
+}

@@ -320,7 +320,23 @@ func Describe(r io.Reader) (Kind, Meta, error) {
 	if h.Version != version {
 		return "", Meta{}, fmt.Errorf("modelio: unsupported version %d (want %d)", h.Version, version)
 	}
+	// A well-formed gob stream can still carry an arbitrary header
+	// (fuzzing found version-matching garbage), so the kind must be
+	// one Save actually writes before the header is trusted.
+	if !knownKind(h.Kind) {
+		return "", Meta{}, fmt.Errorf("modelio: unknown model kind %q", h.Kind)
+	}
 	return h.Kind, h.Meta, nil
+}
+
+// knownKind reports whether k is a Kind Save can produce.
+func knownKind(k Kind) bool {
+	for _, known := range Kinds() {
+		if k == known {
+			return true
+		}
+	}
+	return false
 }
 
 // DescribeFile reads the header of the model file at path.

@@ -212,6 +212,12 @@ func Fit(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 		}
 		var lambda float64
 		for iter := 0; iter < o.MaxIterations; iter++ {
+			// Power iteration is the long pole for wide inputs
+			// (MaxIterations × O(d²) per component), so cancellation
+			// must be polled here, not just once per component.
+			if err := fit.Canceled(ctx); err != nil {
+				return nil, err
+			}
 			blas.Gemv(d, d, 1, cov, d, v, 0, av)
 			orthogonalize(av, res.Components, c)
 			nrm := blas.Nrm2(av)

@@ -205,6 +205,7 @@ func (s *MinMaxScaler) TransformRow(row []float64) {
 func BinaryLabels(labels []float64, positive float64) []float64 {
 	out := make([]float64, len(labels))
 	for i, v := range labels {
+		//m3vet:allow floateq -- class labels are exact ids, never computed
 		if v == positive {
 			out[i] = 1
 		}
@@ -218,6 +219,7 @@ func IntLabels(labels []float64, classes int) ([]int, error) {
 	out := make([]int, len(labels))
 	for i, v := range labels {
 		n := int(v)
+		//m3vet:allow floateq -- integrality check: exact comparison is the test
 		if float64(n) != v || n < 0 || n >= classes {
 			return nil, fmt.Errorf("preprocess: label[%d] = %v not an integer in [0,%d)", i, v, classes)
 		}

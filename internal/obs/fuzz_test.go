@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProcStat feeds arbitrary /proc/<pid>/stat lines to the
+// parser. The parser must never panic: malformed field counts,
+// comm fields with embedded spaces and parens, and non-numeric
+// clock-tick fields all have to come back as errors or zero values.
+func FuzzParseProcStat(f *testing.F) {
+	f.Add("1234 (m3train) S 1 1234 1234 0 -1 4194560 2491 0 0 0 13 5 0 0 20 0 9 0 172844 11468800 1282")
+	f.Add("1 (a b) R 0 0")
+	f.Add("(no pid")
+	f.Add("9 ((deep (parens))) Z " + strings.Repeat("7 ", 50))
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		snap, err := ParseProcStat(line)
+		if err == nil && (snap.UserSeconds < 0 || snap.SystemSeconds < 0) {
+			t.Fatalf("negative cpu seconds %v/%v from %q", snap.UserSeconds, snap.SystemSeconds, line)
+		}
+	})
+}
+
+// FuzzParseDiskstats feeds arbitrary /proc/diskstats content to the
+// parser. Lines with too few fields, overflowing counters, or
+// non-numeric columns must not panic.
+func FuzzParseDiskstats(f *testing.F) {
+	f.Add("   8       0 sda 9412 2863 771022 3764 7052 5024 138061 4230 0 6812 8926\n" +
+		"   8       1 sda1 300 0 2404 52 1 0 8 0 0 60 52\n")
+	f.Add("253 0 dm-0 1 2 3\n")
+	f.Add("x y z\n\n\n")
+	f.Add("8 0 sda " + strings.Repeat("18446744073709551615 ", 11) + "\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, content string) {
+		_, _ = ParseDiskstats(content)
+	})
+}

@@ -183,6 +183,7 @@ func (d DiskSnapshot) Busiest() DiskStat {
 	var best DiskStat
 	for _, s := range d {
 		if s.BusySeconds > best.BusySeconds ||
+			//m3vet:allow floateq -- tie-break for a stable device choice: exact ties only
 			(s.BusySeconds == best.BusySeconds && (best.Device == "" || s.Device < best.Device)) {
 			best = s
 		}

@@ -172,6 +172,7 @@ func LBFGS(ctx context.Context, obj Objective, x0 []float64, params LBFGSParams)
 		copy(xPrev, x)
 		copy(gradPrev, grad)
 		blas.Axpy(step, dir, x)
+		//m3vet:allow floateq -- cache-hit check: the values match only by assignment
 		if lf.lastAlpha == step {
 			// The line search's final evaluation was at the accepted
 			// step, so its gradient is the gradient at x — reuse it

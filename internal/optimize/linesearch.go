@@ -77,6 +77,7 @@ func wolfeSearch(lf *lineFunc, phi0, dphi0, alpha0 float64, p wolfeParams) (alph
 func zoom(lf *lineFunc, lo, hi, phiLo, phi0, dphi0 float64, p wolfeParams) (alpha, phi float64, ok bool) {
 	for i := 0; i < p.maxIters; i++ {
 		alpha = 0.5 * (lo + hi) // bisection: robust and derivative-free
+		//m3vet:allow floateq -- bisection fixed point: exact equality is the termination test
 		if alpha == lo || alpha == hi {
 			break
 		}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The //m3vet:allow escape hatch. A comment of the form
+//
+//	//m3vet:allow floateq -- labels are exact class ids
+//	//m3vet:allow ctxpoll,maporder
+//
+// suppresses the named analyzers' diagnostics on the comment's own
+// line and on the line immediately below it, so it works both as a
+// trailing comment on the offending line and as a full-line comment
+// above it. Everything after " -- " is a free-form justification; the
+// convention (enforced by review, not the tool) is that every allow
+// carries one.
+
+const allowPrefix = "m3vet:allow"
+
+// parseAllow extracts the analyzer names from one comment's text, or
+// nil if the comment is not an allow directive.
+func parseAllow(text string) []string {
+	rest, ok := strings.CutPrefix(strings.TrimPrefix(text, "//"), allowPrefix)
+	if !ok {
+		return nil
+	}
+	rest = strings.TrimSpace(rest)
+	if reason := strings.Index(rest, "--"); reason >= 0 {
+		rest = strings.TrimSpace(rest[:reason])
+	}
+	if rest == "" {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// allowedLines maps "file:line" to the set of analyzer names allowed
+// there for every directive in files.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	allowed := make(map[string]map[string]bool)
+	grant := func(pos token.Position, name string) {
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			key := posKey(pos.Filename, line)
+			if allowed[key] == nil {
+				allowed[key] = make(map[string]bool)
+			}
+			allowed[key][name] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, n := range names {
+					grant(pos, n)
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+func posKey(filename string, line int) string {
+	return filename + ":" + strconv.Itoa(line)
+}
+
+// Filter drops diagnostics suppressed by //m3vet:allow directives in
+// files.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	allowed := allowedLines(fset, files)
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if names := allowed[posKey(pos.Filename, pos.Line)]; names != nil && names[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

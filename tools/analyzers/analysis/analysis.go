@@ -1,0 +1,76 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis surface that m3's repo-specific
+// vet passes are written against. The build environment for this repo
+// is fully offline (the main module is deliberately zero-dependency),
+// so instead of vendoring x/tools the tools module carries just the
+// slice of the framework the m3vet analyzers need: an Analyzer is a
+// named Run function over a type-checked package, diagnostics carry a
+// position and a message, and a driver (cmd/m3vet, or the analysistest
+// harness) owns loading, filtering and reporting.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //m3vet:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant, shown by
+	// m3vet -list.
+	Doc string
+	// Run checks one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes a on one package and returns its findings, already
+// filtered through the //m3vet:allow directives in the package's
+// files and sorted by position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+	}
+	diags := Filter(fset, files, pass.diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

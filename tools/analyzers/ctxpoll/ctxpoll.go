@@ -1,0 +1,275 @@
+// Package ctxpoll reports long-running iteration loops that never
+// poll their context.
+//
+// m3's training entry points all take a context.Context and promise
+// prompt cancellation (ROADMAP: "ctx plumbed through every fit
+// loop"). The execution layer polls at block granularity on the
+// caller's behalf, but solver-style inner loops — power iterations,
+// epochs, refinement passes — run between those polls and can stall
+// cancellation for unbounded time if they never check ctx themselves.
+//
+// Two patterns are reported:
+//
+//  1. A for-loop whose condition mentions an iteration-ish name
+//     (iter, epoch, pass, round — case-insensitive substring match)
+//     while a context.Context parameter is in scope, and whose body
+//     never references that context. This is the pca.go power-
+//     iteration bug class: bounded in theory, unbounded in practice
+//     (MaxIterations is user-supplied).
+//
+//  2. A condition-less for-loop with no exit at all: no break
+//     targeting the loop, no return, no goto anywhere in the body.
+//     CAS retry loops, channel pumps, and drain loops all carry an
+//     exit and are not reported.
+//
+// Additionally, inside function literals passed as kernels to the
+// exec package's reduce entry points (MapReduce, ReduceRows,
+// ReduceRowBlocks, ForEachRow), pattern 1 is reported even when no
+// context is in scope: the scheduler only polls between kernel
+// calls, so an iteration loop inside a kernel is a cancellation
+// hole either way.
+//
+// Plain bounded loops (for i := 0; i < len(xs); i++) and range
+// loops are data-bounded and never reported. Suppress a deliberate
+// case with //m3vet:allow ctxpoll -- <reason>.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"m3/tools/analyzers/analysis"
+)
+
+// Analyzer flags unbounded iteration loops that never poll ctx.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "report iteration loops that can outrun cancellation because they never poll a context",
+	Run:  run,
+}
+
+const execPath = "m3/internal/exec"
+
+// reduceEntryPoints are the exec functions whose kernel callbacks run
+// between the scheduler's own cancellation polls.
+var reduceEntryPoints = map[string]bool{
+	"MapReduce":       true,
+	"ReduceRows":      true,
+	"ReduceRowBlocks": true,
+	"ForEachRow":      true,
+}
+
+var iterWords = []string{"iter", "epoch", "pass", "round"}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.walk(fd.Body, ctxParams(pass, fd.Type), false)
+		}
+	}
+	return nil
+}
+
+// walker carries the set of context.Context parameters in scope
+// (accumulated across enclosing functions and closures) and whether
+// the walk is inside an exec kernel literal.
+type walker struct {
+	pass *analysis.Pass
+}
+
+func (w *walker) walk(n ast.Node, ctxs []types.Object, kernel bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		w.walk(n.Body, addCtxParams(w.pass, ctxs, n.Type), kernel)
+		return
+	case *ast.CallExpr:
+		kern := isReduceEntry(w.pass, n)
+		w.walk(n.Fun, ctxs, kernel)
+		for _, arg := range n.Args {
+			if fl, ok := arg.(*ast.FuncLit); ok && kern {
+				w.walk(fl.Body, addCtxParams(w.pass, ctxs, fl.Type), true)
+			} else {
+				w.walk(arg, ctxs, kernel)
+			}
+		}
+		return
+	case *ast.ForStmt:
+		w.checkFor(n, ctxs, kernel)
+	}
+	// Visit each direct child; recursion stays in w.walk so the
+	// ctx/kernel state threads through.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		if c != nil {
+			w.walk(c, ctxs, kernel)
+		}
+		return false
+	})
+}
+
+func (w *walker) checkFor(fs *ast.ForStmt, ctxs []types.Object, kernel bool) {
+	if fs.Cond == nil {
+		if !hasExit(fs.Body, false) && !refsAny(w.pass, fs, ctxs) {
+			w.pass.Reportf(fs.For, "infinite loop has no break, return, or goto and never polls a context; poll ctx each pass so it can be cancelled, or //m3vet:allow ctxpoll with a reason")
+		}
+		return
+	}
+	if !iterNamed(fs.Cond) {
+		return
+	}
+	if len(ctxs) > 0 {
+		if !refsAny(w.pass, fs, ctxs) {
+			name := ctxs[0].Name()
+			w.pass.Reportf(fs.For, "iteration loop never polls %s; check %s.Err() once per pass so long fits stay cancellable, or //m3vet:allow ctxpoll with a reason", name, name)
+		}
+		return
+	}
+	if kernel {
+		w.pass.Reportf(fs.For, "iteration loop inside an exec kernel cannot be cancelled: the scheduler only polls between kernel calls, so capture a context and poll it here, or //m3vet:allow ctxpoll with a reason")
+	}
+}
+
+// iterNamed reports whether the loop condition mentions an
+// iteration-ish identifier (iter, epoch, pass, round).
+func iterNamed(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lower := strings.ToLower(id.Name)
+		for _, word := range iterWords {
+			if strings.Contains(lower, word) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasExit reports whether the loop body can leave the loop: a return,
+// a goto, a labeled break, or an unlabeled break not captured by a
+// nested for/switch/select. Function literals are opaque — a return
+// inside one does not exit the loop.
+func hasExit(n ast.Node, nestedBreak bool) bool {
+	switch s := n.(type) {
+	case *ast.FuncLit:
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			return true
+		case token.BREAK:
+			return s.Label != nil || !nestedBreak
+		}
+		return false
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		nestedBreak = true
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		if c != nil && !found && hasExit(c, nestedBreak) {
+			found = true
+		}
+		return false
+	})
+	return found
+}
+
+// refsAny reports whether any identifier under n resolves to one of
+// the given objects.
+func refsAny(pass *analysis.Pass, n ast.Node, objs []types.Object) bool {
+	if len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := pass.TypesInfo.Uses[id]
+		for _, o := range objs {
+			if use == o {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ctxParams returns the context.Context parameters declared by ft.
+func ctxParams(pass *analysis.Pass, ft *ast.FuncType) []types.Object {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isCtxType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// addCtxParams extends the in-scope set with ft's context parameters,
+// copying so sibling branches don't alias.
+func addCtxParams(pass *analysis.Pass, ctxs []types.Object, ft *ast.FuncType) []types.Object {
+	more := ctxParams(pass, ft)
+	if len(more) == 0 {
+		return ctxs
+	}
+	out := make([]types.Object, 0, len(ctxs)+len(more))
+	out = append(out, ctxs...)
+	return append(out, more...)
+}
+
+func isCtxType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isReduceEntry(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn, ok := usedObj(pass, ast.Unparen(call.Fun)).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != execPath {
+		return false
+	}
+	return reduceEntryPoints[fn.Name()]
+}
+
+func usedObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}

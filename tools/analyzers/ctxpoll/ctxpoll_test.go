@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"m3/tools/analyzers/analysistest"
+	"m3/tools/analyzers/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpoll.Analyzer)
+}

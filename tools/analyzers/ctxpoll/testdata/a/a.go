@@ -1,0 +1,210 @@
+// Package a exercises the ctxpoll analyzer: iteration-named loops
+// must poll an in-scope context, condition-less loops must have an
+// exit, and exec kernels must not hide unbounded inner loops.
+package a
+
+import (
+	"context"
+
+	"m3/internal/exec"
+)
+
+func work()                    {}
+func swap(v *int32) bool       { return true }
+func done() bool               { return true }
+func alloc() []float64         { return nil }
+func merge(dst, src []float64) {}
+
+// powerIterate mirrors the pca.go power-iteration bug: bounded by a
+// user-supplied MaxIterations, never polls ctx.
+func powerIterate(ctx context.Context, maxIter int) {
+	for iter := 0; iter < maxIter; iter++ { // want `ctxpoll: iteration loop never polls ctx`
+		work()
+	}
+}
+
+// epochNoPoll matches on the bound's name, not the index variable.
+func epochNoPoll(ctx context.Context, epochs int) {
+	for e := 0; e < epochs; e++ { // want `ctxpoll: iteration loop never polls ctx`
+		work()
+	}
+}
+
+// fieldBound matches an iteration-ish selector in the condition.
+type opts struct{ MaxIterations int }
+
+func fieldBound(ctx context.Context, o opts) {
+	for i := 0; i < o.MaxIterations; i++ { // want `ctxpoll: iteration loop never polls ctx`
+		work()
+	}
+}
+
+// polled is the fixed form: ctx checked once per pass.
+func polled(ctx context.Context, maxIter int) error {
+	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+	return nil
+}
+
+// dataBounded loops over data, not iterations: never reported.
+func dataBounded(ctx context.Context, xs []float64) {
+	for i := 0; i < len(xs); i++ {
+		work()
+	}
+	for range xs {
+		work()
+	}
+}
+
+// rangeOverEpochs is data-bounded even though the name matches;
+// range loops are out of scope by design.
+func rangeOverEpochs(ctx context.Context, epochs []int) {
+	for _, ep := range epochs {
+		_ = ep
+	}
+}
+
+// closureCapture polls the outer ctx from inside a closure: the
+// captured reference counts.
+func closureCapture(ctx context.Context, rounds int) {
+	run := func() {
+		for r := 0; r < rounds; r++ {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}
+	run()
+}
+
+// closureNoPoll is the same shape without the poll: the outer ctx is
+// still in scope inside the literal.
+func closureNoPoll(ctx context.Context, rounds int) {
+	run := func() {
+		for r := 0; r < rounds; r++ { // want `ctxpoll: iteration loop never polls ctx`
+			work()
+		}
+	}
+	run()
+}
+
+// noCtxInScope has nothing to poll and is not an exec kernel: the
+// caller owns cancellation.
+func noCtxInScope(maxIter int) {
+	for iter := 0; iter < maxIter; iter++ {
+		work()
+	}
+}
+
+// spin has no exit at all.
+func spin(ctx context.Context) {
+	for { // want `ctxpoll: infinite loop has no break, return, or goto`
+		work()
+	}
+}
+
+// spinNoCtx is reported even without a context in scope: a loop with
+// no exit is wrong regardless.
+func spinNoCtx() {
+	for { // want `ctxpoll: infinite loop has no break, return, or goto`
+		work()
+	}
+}
+
+// casLoop is the classic compare-and-swap retry: the return is its
+// exit.
+func casLoop(v *int32) {
+	for {
+		if swap(v) {
+			return
+		}
+	}
+}
+
+// drain exits via break.
+func drain() {
+	for {
+		if done() {
+			break
+		}
+		work()
+	}
+}
+
+// selectSpin's break only leaves the select, not the loop.
+func selectSpin(ch chan int) {
+	for { // want `ctxpoll: infinite loop has no break, return, or goto`
+		select {
+		case <-ch:
+			break
+		}
+	}
+}
+
+// labeledBreak exits the loop from inside the select.
+func labeledBreak(ch chan int) {
+pump:
+	for {
+		select {
+		case v := <-ch:
+			if v == 0 {
+				break pump
+			}
+		}
+	}
+}
+
+// closureReturnIsNotAnExit: the return leaves the literal, never the
+// loop.
+func closureReturnIsNotAnExit(fns chan func()) {
+	for { // want `ctxpoll: infinite loop has no break, return, or goto`
+		f := func() { return }
+		f()
+	}
+}
+
+// kernelInnerLoop hides an iteration loop inside a ReduceRows kernel
+// with no context in scope: the scheduler cannot interrupt it.
+func kernelInnerLoop(s exec.RowScan, innerIters int) []float64 {
+	return exec.ReduceRows(s, alloc, func(state []float64, i int, row []float64) {
+		for it := 0; it < innerIters; it++ { // want `ctxpoll: iteration loop inside an exec kernel`
+			work()
+		}
+	}, merge)
+}
+
+// kernelRowLoop is data-bounded: fine.
+func kernelRowLoop(s exec.RowScan) []float64 {
+	return exec.ReduceRows(s, alloc, func(state []float64, i int, row []float64) {
+		for j := 0; j < len(row); j++ {
+			state[0] += row[j]
+		}
+	}, merge)
+}
+
+// kernelWithCtxPoll captures and polls ctx: fine even inside the
+// kernel.
+func kernelWithCtxPoll(ctx context.Context, s exec.RowScan, innerIters int) []float64 {
+	return exec.ReduceRows(s, alloc, func(state []float64, i int, row []float64) {
+		for it := 0; it < innerIters; it++ {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}, merge)
+}
+
+// allowed demonstrates the escape hatch for a loop that is bounded
+// tightly in practice.
+func allowed(ctx context.Context, maxPasses int) {
+	//m3vet:allow ctxpoll -- refinement is bounded at 3 passes in practice; cancellation is checked by the caller per round
+	for pass := 0; pass < maxPasses; pass++ {
+		work()
+	}
+}

@@ -1,0 +1,97 @@
+// Package floateq reports == and != comparisons between
+// floating-point operands in production code.
+//
+// The invariant: m3's determinism story is that identical inputs give
+// bit-identical outputs for any worker count — which the parity test
+// suites pin by comparing floats exactly, deliberately. Outside those
+// suites an equality between two computed floats is almost always a
+// latent bug (a tolerance check miswritten, a sentinel that stops
+// matching after one rounding change). Production code therefore
+// never compares computed floats with ==/!=; deliberate exact
+// comparisons carry a `//m3vet:allow floateq -- reason` directive.
+//
+// Two comparison shapes are exempt by design:
+//
+//   - Comparisons against a compile-time constant (v == 0, y != 1,
+//     alpha == DefaultStep). These test sparsity fast paths, option
+//     defaults, and binary-label encodings whose values were assigned
+//     exactly; IEEE equality against such a constant is well-defined
+//     and pervasive in the BLAS kernels.
+//   - x != x (and x == x) where both operands are textually the same
+//     expression: the portable NaN check used in the hot loops that
+//     cannot afford math.IsNaN's abi boundary.
+//
+// Test files are out of scope by construction: the loader only feeds
+// analyzers non-test sources.
+package floateq
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"m3/tools/analyzers/analysis"
+)
+
+// Analyzer reports float ==/!= in non-test code.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "reports ==/!= between computed floating-point operands in non-test " +
+		"code; constant comparisons and the x != x NaN idiom are exempt, and " +
+		"deliberate exact comparisons (label matching, bit-parity) take a " +
+		"//m3vet:allow floateq directive with a justification",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			if isConst(pass, be.X) || isConst(pass, be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x: the NaN check
+			}
+			pass.Reportf(be.OpPos,
+				"%s compares computed floating-point values for exact equality; use a tolerance, or //m3vet:allow floateq with a reason if exactness is the point",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isConst reports whether e is a compile-time constant expression.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// sameExpr reports whether two expressions are textually identical —
+// enough to recognize the x != x NaN idiom without a printer.
+func sameExpr(a, b ast.Expr) bool {
+	var fa, fb strings.Builder
+	if printer.Fprint(&fa, token.NewFileSet(), a) != nil ||
+		printer.Fprint(&fb, token.NewFileSet(), b) != nil {
+		return false
+	}
+	return fa.String() == fb.String()
+}
+
+// isFloat reports whether t's core type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

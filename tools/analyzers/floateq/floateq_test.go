@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"m3/tools/analyzers/analysistest"
+	"m3/tools/analyzers/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer)
+}

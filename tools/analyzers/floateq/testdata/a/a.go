@@ -1,0 +1,123 @@
+// Package a holds floateq golden cases. Regression cases at the
+// bottom mirror in-tree violations the analyzer caught when it was
+// introduced, so the fixes cannot silently regress.
+package a
+
+type temps []float64
+
+const defaultStep = 0.5
+
+func comparisons(a, b float64, f32, g32 float32, xs []float64, t temps) bool {
+	if a == b { // want `floateq: == compares computed floating-point values`
+		return true
+	}
+	if f32 == g32 { // want `floateq: == compares computed floating-point values`
+		return true
+	}
+	if xs[0] == a { // want `floateq: == compares computed floating-point values`
+		return true
+	}
+	// Named types with a float core type count too.
+	if t[0] == a { // want `floateq: == compares computed floating-point values`
+		return true
+	}
+	return false
+}
+
+func fine(a, b float64, n, m int, s string) bool {
+	// Ordered comparisons and non-float equality are fine.
+	if a < b || a >= b {
+		return true
+	}
+	if n == m || s == "x" {
+		return true
+	}
+	// Tolerance-style comparison, the recommended fix.
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// constComparisons are exempt: sparsity fast paths, option defaults,
+// and binary-label encodings compare against values that were
+// assigned exactly.
+func constComparisons(alpha, beta, y float64, step float64) bool {
+	if alpha == 0 { // BLAS skip-zero fast path
+		return true
+	}
+	if beta != 1 { // scale-needed check
+		return true
+	}
+	if y != 0 && y != 1 { // binary label validation
+		return true
+	}
+	if step == defaultStep { // named constant
+		return true
+	}
+	return 2.5 == alpha // constant on either side
+}
+
+// nanChecks use the portable x != x idiom, which is exempt.
+func nanChecks(loss float64, grad []float64, i int) bool {
+	if loss != loss {
+		return true
+	}
+	return grad[i] != grad[i]
+}
+
+// nearlyNaNCheck compares two different elements, which is not the
+// NaN idiom.
+func nearlyNaNCheck(grad []float64, i, j int) bool {
+	return grad[i] != grad[j] // want `floateq: != compares computed floating-point values`
+}
+
+func allowed(v, positive float64) bool {
+	// The escape hatch: exactness is the point here.
+	if v == positive { //m3vet:allow floateq -- labels are exact class ids
+		return true
+	}
+	//m3vet:allow floateq -- bit-parity check, exact by design
+	return v != positive
+}
+
+// Regression: internal/core Dataset.BinaryLabels compares raw labels
+// against the positive class with ==; that one is deliberate (labels
+// are exact ids) and carries an allow directive in-tree. The same
+// comparison without the directive must be reported.
+func binaryLabels(labels []float64, positive float64) []float64 {
+	out := make([]float64, len(labels))
+	for i, v := range labels {
+		if v == positive { // want `floateq: == compares computed floating-point values`
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Regression: internal/optimize's line search compared the found step
+// against the moving bracket ends (alpha == lo || alpha == hi); both
+// operands are computed, so the in-tree site carries an allow
+// directive and the bare form must be reported.
+func bracketHit(alpha, lo, hi float64) bool {
+	if alpha == lo || alpha == hi { // want `floateq: == compares computed floating-point values` `floateq: == compares computed floating-point values`
+		return true
+	}
+	return false
+}
+
+// Regression: internal/core Dataset.IntLabels validates integrality
+// with float64(n) != v — a computed-vs-computed comparison that is
+// deliberate in-tree (allow directive) but must be reported bare.
+func intLabels(labels []float64) []int {
+	out := make([]int, len(labels))
+	for i, v := range labels {
+		n := int(v)
+		if float64(n) != v { // want `floateq: != compares computed floating-point values`
+			return nil
+		}
+		out[i] = n
+	}
+	return out
+}

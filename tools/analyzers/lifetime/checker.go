@@ -1,0 +1,497 @@
+package lifetime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"m3/tools/analyzers/analysis"
+)
+
+// st is the handle's state along one path. Branch merges keep the
+// most dangerous surviving state, so the ordering matters: an open
+// handle on any fall-through path keeps the whole merge open.
+type st int
+
+const (
+	stInactive st = iota // before the open statement runs
+	stClosed             // closed (or known nil) on this path
+	stDeferred           // a defer guarantees the close at exit
+	stOpen               // open with no close scheduled
+)
+
+func merge(a, b st) st {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// checker walks one function body for one tracked open. escaped and
+// leaked are global across paths: any escape silences the handle
+// entirely (lenient), any unguarded return-while-open marks a leak.
+type checker struct {
+	pass    *analysis.Pass
+	spec    *Spec
+	open    *tracked
+	escaped bool
+	leaked  bool
+}
+
+// block walks stmts sequentially. It returns the state at the end and
+// whether the block terminated (returned or panicked) rather than
+// falling through.
+func (c *checker) block(stmts []ast.Stmt, state st) (st, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		state, terminated = c.stmt(s, state)
+		if terminated {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+func (c *checker) stmt(s ast.Stmt, state st) (st, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s == c.open.assign {
+			// The open itself. Arguments to the open call cannot use
+			// the (not yet live) handle, so no use scan is needed.
+			return stOpen, false
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && identObj(c.pass, id) == c.open.handle {
+				// Reassigned: the old value is unreachable, so an
+				// open handle leaks here; whatever the variable holds
+				// now is not the handle we track.
+				if state == stOpen {
+					c.leaked = true
+				}
+				return stClosed, false
+			}
+		}
+		for i, rhs := range s.Rhs {
+			// "_ = h" silences an unused variable; it moves nothing.
+			if len(s.Lhs) == len(s.Rhs) {
+				if lid, ok := s.Lhs[i].(*ast.Ident); ok && lid.Name == "_" {
+					if rid, ok := ast.Unparen(rhs).(*ast.Ident); ok && identObj(c.pass, rid) == c.open.handle {
+						continue
+					}
+				}
+			}
+			state = c.apply(state, c.scanExpr(rhs))
+		}
+		return state, false
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return state, true
+			}
+		}
+		return c.apply(state, c.scanExpr(s.X)), false
+
+	case *ast.DeferStmt:
+		return c.deferStmt(s, state), false
+
+	case *ast.GoStmt:
+		if c.refs(s.Call) {
+			c.escaped = true
+		}
+		return state, false
+
+	case *ast.ReturnStmt:
+		// scanExpr sorts the result expressions out: "return h" is an
+		// escape to the caller, "return errors.Join(err, h.Release())"
+		// is a close, "return h.Predict(x), nil" is a neutral use.
+		for _, r := range s.Results {
+			state = c.apply(state, c.scanExpr(r))
+		}
+		if state == stOpen && !c.escaped {
+			c.leaked = true
+		}
+		return state, true
+
+	case *ast.IfStmt:
+		return c.ifStmt(s, state)
+
+	case *ast.BlockStmt:
+		return c.block(s.List, state)
+
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, state)
+
+	case *ast.ForStmt:
+		state = c.walkParts(state, s.Init, s.Cond)
+		if s.Post != nil {
+			state, _ = c.stmt(s.Post, state)
+		}
+		out, _ := c.block(s.Body.List, state)
+		// The body may run zero times: keep the more dangerous of
+		// entry and exit states.
+		return merge(state, out), false
+
+	case *ast.RangeStmt:
+		state = c.apply(state, c.scanExpr(s.X))
+		out, _ := c.block(s.Body.List, state)
+		return merge(state, out), false
+
+	case *ast.SwitchStmt:
+		state = c.walkParts(state, s.Init, s.Tag, nil)
+		return c.clauses(s.Body, state, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			state, _ = c.stmt(s.Init, state)
+		}
+		return c.clauses(s.Body, state, true)
+
+	case *ast.SelectStmt:
+		// A select without a default blocks until some case runs, so
+		// no default clause is needed for the clauses to cover every
+		// path.
+		return c.clauses(s.Body, state, false)
+
+	case *ast.SendStmt:
+		if c.refs(s.Value) {
+			c.escaped = true
+		}
+		return state, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						state = c.apply(state, c.scanExpr(v))
+					}
+				}
+			}
+		}
+		return state, false
+
+	default:
+		// IncDec, Branch, Empty, ...: nothing a handle flows through,
+		// but scan defensively for stray uses.
+		if c.refs(s) {
+			c.escaped = true
+		}
+		return state, false
+	}
+}
+
+// clauses merges the bodies of a switch/select. When needDefault is
+// true (switch), the whole statement only terminates if every clause
+// terminates AND a default clause exists — otherwise execution can
+// fall through with the entry state.
+func (c *checker) clauses(body *ast.BlockStmt, state st, needDefault bool) (st, bool) {
+	out := stInactive
+	allTerminated := len(body.List) > 0
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		clIn := state
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				clIn = c.apply(clIn, c.scanExpr(e))
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				clIn, _ = c.stmt(cl.Comm, clIn)
+			}
+			stmts = cl.Body
+		}
+		clOut, term := c.block(stmts, clIn)
+		if !term {
+			allTerminated = false
+			out = merge(out, clOut)
+		}
+	}
+	if allTerminated && (hasDefault || !needDefault) {
+		return stClosed, true
+	}
+	if needDefault && !hasDefault {
+		out = merge(out, state) // no clause may match
+	}
+	if out == stInactive {
+		out = state
+	}
+	return out, false
+}
+
+func (c *checker) ifStmt(s *ast.IfStmt, state st) (st, bool) {
+	if s.Init != nil {
+		state, _ = c.stmt(s.Init, state)
+	}
+
+	thenIn, elseIn := state, state
+	if obj, eqNil, ok := nilCheck(c.pass, s.Cond); ok {
+		switch obj {
+		case c.open.handle:
+			// if h == nil → then-path h is nil; if h != nil →
+			// else-path h is nil. "nil" counts as closed.
+			if eqNil {
+				thenIn = minState(thenIn)
+			} else {
+				elseIn = minState(elseIn)
+			}
+		case c.open.errObj:
+			// err from the open assignment: err != nil means the
+			// open failed and the handle is invalid on that path.
+			if c.open.errObj != nil {
+				if eqNil {
+					elseIn = minState(elseIn)
+				} else {
+					thenIn = minState(thenIn)
+				}
+			}
+		default:
+			state = c.apply(state, c.scanExpr(s.Cond))
+			thenIn, elseIn = state, state
+		}
+	} else {
+		state = c.apply(state, c.scanExpr(s.Cond))
+		thenIn, elseIn = state, state
+	}
+
+	thenOut, thenTerm := c.block(s.Body.List, thenIn)
+	elseOut, elseTerm := elseIn, false
+	if s.Else != nil {
+		elseOut, elseTerm = c.stmt(s.Else, elseIn)
+	}
+
+	switch {
+	case thenTerm && elseTerm:
+		return stClosed, true
+	case thenTerm:
+		return elseOut, false
+	case elseTerm:
+		return thenOut, false
+	default:
+		return merge(thenOut, elseOut), false
+	}
+}
+
+// minState maps any live state to closed: used for paths where the
+// handle is known nil or invalid.
+func minState(s st) st {
+	if s == stInactive {
+		return stInactive
+	}
+	return stClosed
+}
+
+func (c *checker) deferStmt(s *ast.DeferStmt, state st) st {
+	call := s.Call
+	// defer h.End() / defer h.Release()
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && c.spec.CloseMethods[sel.Sel.Name] {
+		if id, ok := sel.X.(*ast.Ident); ok && identObj(c.pass, id) == c.open.handle {
+			if state == stOpen {
+				return stDeferred
+			}
+			return state
+		}
+	}
+	// defer func() { ... h.End() ... }()
+	if lit, ok := call.Fun.(*ast.FuncLit); ok && c.refs(lit) {
+		if c.closesIn(lit.Body) {
+			if state == stOpen {
+				return stDeferred
+			}
+			return state
+		}
+		c.escaped = true
+		return state
+	}
+	// defer cleanup(h): ownership handed to the cleanup.
+	if c.refs(call) {
+		c.escaped = true
+	}
+	return state
+}
+
+// closesIn reports whether any statement under n calls a close method
+// directly on the handle.
+func (c *checker) closesIn(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && c.spec.CloseMethods[sel.Sel.Name] {
+			if id, ok := sel.X.(*ast.Ident); ok && identObj(c.pass, id) == c.open.handle {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// use is the effect of an expression on the tracked handle.
+type use int
+
+const (
+	useNone use = iota
+	useNeutral
+	useCloses
+	useEscapes
+)
+
+func (c *checker) apply(state st, u use) st {
+	switch u {
+	case useCloses:
+		if state == stOpen {
+			return stClosed
+		}
+	case useEscapes:
+		c.escaped = true
+	}
+	return state
+}
+
+// scanExpr classifies how e uses the handle. A close-method call on
+// the handle closes it; other method calls and field reads are
+// neutral; any other appearance (argument, composite literal, closure
+// capture, address-of) is an escape.
+func (c *checker) scanExpr(e ast.Expr) use {
+	if e == nil {
+		return useNone
+	}
+	out := useNone
+	var visit func(n ast.Node)
+	bump := func(u use) {
+		if u > out {
+			out = u
+		}
+	}
+	children := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			if m != nil {
+				visit(m)
+			}
+			return false
+		})
+	}
+	visit = func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := c.chainReceiver(sel.X).(*ast.Ident); ok && identObj(c.pass, id) == c.open.handle {
+					if c.spec.CloseMethods[sel.Sel.Name] {
+						bump(useCloses)
+					} else {
+						bump(useNeutral) // receiver method call: neutral
+					}
+					for _, a := range n.Args {
+						visit(a)
+					}
+					return
+				}
+			}
+			children(n)
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok && identObj(c.pass, id) == c.open.handle {
+				bump(useNeutral) // field read outside a call
+				return
+			}
+			children(n)
+		case *ast.FuncLit:
+			if c.refs(n) {
+				bump(useEscapes)
+			}
+		case *ast.Ident:
+			if identObj(c.pass, n) == c.open.handle {
+				bump(useEscapes)
+			}
+		default:
+			children(n)
+		}
+	}
+	visit(e)
+	return out
+}
+
+// refs reports whether any identifier under n resolves to the handle.
+func (c *checker) refs(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && identObj(c.pass, id) == c.open.handle {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// walkParts scans loop/switch header expressions and the optional
+// init statement for handle uses.
+func (c *checker) walkParts(state st, init ast.Stmt, exprs ...ast.Expr) st {
+	if init != nil {
+		state, _ = c.stmt(init, state)
+	}
+	for _, e := range exprs {
+		if e != nil {
+			state = c.apply(state, c.scanExpr(e))
+		}
+	}
+	return state
+}
+
+// chainReceiver unwraps fluent chain calls (sp.SetArg(...).End()) to
+// the expression the chain started from.
+func (c *checker) chainReceiver(e ast.Expr) ast.Expr {
+	for {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return e
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !c.spec.ChainMethods[sel.Sel.Name] {
+			return e
+		}
+		e = sel.X
+	}
+}
+
+// nilCheck matches "x == nil" / "x != nil" and returns x's object.
+func nilCheck(pass *analysis.Pass, e ast.Expr) (obj types.Object, eqNil, ok bool) {
+	be, isBin := ast.Unparen(e).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(y) {
+		// keep x
+	} else if isNilIdent(x) {
+		x = y
+	} else {
+		return nil, false, false
+	}
+	id, isIdent := x.(*ast.Ident)
+	if !isIdent {
+		return nil, false, false
+	}
+	o := identObj(pass, id)
+	if o == nil {
+		return nil, false, false
+	}
+	return o, be.Op == token.EQL, true
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,251 @@
+// Package lifetime is the shared flow walker behind the spanend and
+// pairedrelease analyzers: it checks that a handle returned by an
+// "open" call (a span start, a scratch allocation, a snapshot
+// acquire) is closed on every path through the function that opened
+// it.
+//
+// The walk is block-structured, not a full CFG, and deliberately
+// lenient: whenever the handle's ownership plausibly moves somewhere
+// else, analysis of that handle stops without a report. Ownership
+// moves when the handle is passed as a call argument, returned,
+// placed in a composite literal, captured by a (non-deferred)
+// closure, assigned to another variable or field, or has its address
+// taken. Receiver method calls on the handle are neutral.
+//
+// Closing is recognized three ways: a direct close-method call
+// (sp.End(), m.Release()), a defer of that call, or a deferred
+// closure whose body makes that call. The idiom
+// "defer obs.StartSpan(...).End()" is recognized and never tracked.
+//
+// Nil handling mirrors how the codebase writes guarded opens:
+//
+//	if h != nil { ... }   // else-path treats h as already closed
+//	if h == nil { ... }   // then-path treats h as already closed
+//	if err != nil { ... } // err from the open's own assignment:
+//	                      // then-path treats the handle as invalid
+//
+// so patterns like exec's conditionally-started scan span (open under
+// "if tr != nil", ended under "if scanSpan != nil") check out clean.
+//
+// Diagnostics are reported at the open call, one per handle, so the
+// //m3vet:allow directive goes on the line that opens the handle.
+package lifetime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"m3/tools/analyzers/analysis"
+)
+
+// Spec describes one analyzer's open/close pairing.
+type Spec struct {
+	Opens        []OpenSpec
+	CloseMethods map[string]bool // method names on the handle that close it
+	ChainMethods map[string]bool // fluent methods returning the same handle (SetArg)
+}
+
+// OpenSpec matches one open entry point by package path, optional
+// receiver type, and name.
+type OpenSpec struct {
+	PkgPath string
+	Recv    string // named receiver type ("" for a package-level function)
+	Name    string
+	Noun    string // "span", "scratch matrix", ...
+	Verb    string // "ended", "released", ...
+	Fix     string // suggested fix, e.g. "defer sp.End()"
+}
+
+// Run walks every function in the pass and checks each tracked open.
+func Run(pass *analysis.Pass, spec *Spec) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				analyzeFunc(pass, spec, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// analyzeFunc finds the opens whose innermost enclosing function is
+// body, checks each, then recurses into nested function literals.
+func analyzeFunc(pass *analysis.Pass, spec *Spec, body *ast.BlockStmt) {
+	for _, open := range collectOpens(pass, spec, body) {
+		if open.discarded {
+			os := open.spec
+			pass.Reportf(open.call.Pos(), "%s is opened and discarded, so it is never %s; assign it and %s, or //m3vet:allow %s with a reason",
+				os.Noun, os.Verb, os.Fix, pass.Analyzer.Name)
+			continue
+		}
+		c := &checker{pass: pass, spec: spec, open: open}
+		st, terminated := c.block(body.List, stInactive)
+		if !terminated && st == stOpen {
+			c.leaked = true
+		}
+		if c.leaked && !c.escaped {
+			os := open.spec
+			pass.Reportf(open.call.Pos(), "%s is not %s on every path through this function; %s, or //m3vet:allow %s with a reason",
+				os.Noun, os.Verb, os.Fix, pass.Analyzer.Name)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			analyzeFunc(pass, spec, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// tracked is one open site: the assignment that received the handle
+// (nil when discarded), the base open call, and the objects involved.
+type tracked struct {
+	spec      *OpenSpec
+	assign    *ast.AssignStmt
+	call      *ast.CallExpr
+	handle    types.Object
+	errObj    types.Object // second result of the open assignment, if any
+	discarded bool
+}
+
+// collectOpens scans body — without descending into nested function
+// literals — for open calls worth tracking or reporting.
+func collectOpens(pass *analysis.Pass, spec *Spec, body *ast.BlockStmt) []*tracked {
+	var opens []*tracked
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // belongs to the nested function's analysis
+		case *ast.DeferStmt:
+			// defer obs.StartSpan(...).End() — open and close in one
+			// statement; skip the whole subtree.
+			if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok && spec.CloseMethods[sel.Sel.Name] {
+				if inner, ok := sel.X.(*ast.CallExpr); ok && unwrapOpen(pass, spec, inner) != nil {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			os, base := matchOpenChain(pass, spec, call)
+			if os == nil {
+				return true
+			}
+			t := &tracked{spec: os, assign: n, call: base}
+			if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				t.handle = identObj(pass, id)
+			}
+			if t.handle == nil {
+				// Discarded via _ or stored into a field/index: a
+				// blank assign is a definite leak; a field store is
+				// an ownership transfer we leave alone.
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					t.discarded = true
+					opens = append(opens, t)
+				}
+				return false
+			}
+			if len(n.Lhs) > 1 {
+				if id, ok := n.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+					t.errObj = identObj(pass, id)
+				}
+			}
+			opens = append(opens, t)
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if os, base := matchOpenChain(pass, spec, call); os != nil {
+					opens = append(opens, &tracked{spec: os, call: base, discarded: true})
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return opens
+}
+
+// matchOpenChain unwraps fluent chain methods (sp.SetArg(...)) and
+// matches the base call against the spec's open entry points.
+func matchOpenChain(pass *analysis.Pass, spec *Spec, call *ast.CallExpr) (*OpenSpec, *ast.CallExpr) {
+	for {
+		if os := matchOpen(pass, spec, call); os != nil {
+			return os, call
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !spec.ChainMethods[sel.Sel.Name] {
+			return nil, nil
+		}
+		inner, ok := sel.X.(*ast.CallExpr)
+		if !ok {
+			return nil, nil
+		}
+		call = inner
+	}
+}
+
+func unwrapOpen(pass *analysis.Pass, spec *Spec, call *ast.CallExpr) *OpenSpec {
+	os, _ := matchOpenChain(pass, spec, call)
+	return os
+}
+
+func matchOpen(pass *analysis.Pass, spec *Spec, call *ast.CallExpr) *OpenSpec {
+	fn, ok := calleeObj(pass, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := range spec.Opens {
+		os := &spec.Opens[i]
+		if fn.Pkg().Path() != os.PkgPath || fn.Name() != os.Name {
+			continue
+		}
+		recv := sig.Recv()
+		if os.Recv == "" {
+			if recv == nil {
+				return os
+			}
+			continue
+		}
+		if recv != nil && namedName(recv.Type()) == os.Recv {
+			return os
+		}
+	}
+	return nil
+}
+
+func namedName(t types.Type) string {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}

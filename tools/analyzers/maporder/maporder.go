@@ -1,0 +1,166 @@
+// Package maporder reports `range` statements over Go maps in code
+// that must be deterministic.
+//
+// The invariant: m3's ordered-reduce contract promises that a fit is
+// bit-identical for any worker count (and, for the planned sharded
+// engine, any shard count). Go randomizes map iteration order, so a
+// map range anywhere on a path that touches merged state silently
+// breaks the contract — partial sums associate differently run to
+// run. Reduce/merge code therefore iterates sorted keys (or avoids
+// maps entirely). The analyzer enforces this in the execution layer
+// (m3/internal/exec), the engine (m3/internal/core), every trainer
+// (m3/internal/ml/...), and — in any other package — every function
+// reachable within its package from a callback passed to the exec
+// layer's ordered-reduce entry points (MapReduce, ReduceRows,
+// ReduceRowBlocks, ForEachRow).
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"m3/tools/analyzers/analysis"
+)
+
+// Analyzer reports map ranges in determinism-critical code.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "reports range-over-map in internal/exec, internal/core, internal/ml " +
+		"and in functions reachable from ordered-reduce callbacks; map iteration " +
+		"order is randomized and would break the bit-identical reduce contract",
+	Run: run,
+}
+
+// execPath is the import path of the execution layer whose
+// ordered-reduce entry points make their callbacks determinism-
+// critical.
+const execPath = "m3/internal/exec"
+
+// reduceEntryPoints are the exec functions whose function-typed
+// arguments (alloc/process/fn/merge) feed the ordered reduce.
+var reduceEntryPoints = map[string]bool{
+	"MapReduce":       true,
+	"ReduceRows":      true,
+	"ReduceRowBlocks": true,
+	"ForEachRow":      true,
+}
+
+// wholePackage reports whether every function of the package at path
+// is in scope.
+func wholePackage(path string) bool {
+	return path == execPath ||
+		path == "m3/internal/core" ||
+		path == "m3/internal/ml" ||
+		strings.HasPrefix(path, "m3/internal/ml/")
+}
+
+func run(pass *analysis.Pass) error {
+	if wholePackage(pass.Pkg.Path()) {
+		for _, f := range pass.Files {
+			checkMapRanges(pass, f)
+		}
+		return nil
+	}
+
+	// Elsewhere: functions reachable intra-package from ordered-reduce
+	// callbacks. Roots are the function-typed arguments of calls to
+	// the exec entry points; reachability follows same-package calls
+	// to a fixpoint.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	inScope := make(map[ast.Node]bool)
+	var enqueue func(n ast.Node)
+	enqueue = func(n ast.Node) {
+		if n == nil || inScope[n] {
+			return
+		}
+		inScope[n] = true
+		// Same-package calls made from in-scope code pull their
+		// definitions in.
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fd := decls[calleeObj(pass, call)]; fd != nil {
+				enqueue(fd)
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObj(pass, call)
+			if callee == nil || callee.Pkg() == nil ||
+				callee.Pkg().Path() != execPath || !reduceEntryPoints[callee.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch a := arg.(type) {
+				case *ast.FuncLit:
+					enqueue(a)
+				case *ast.Ident, *ast.SelectorExpr:
+					if fd := decls[usedObj(pass, a)]; fd != nil {
+						enqueue(fd)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for n := range inScope {
+		checkMapRanges(pass, n)
+	}
+	return nil
+}
+
+// checkMapRanges reports every range over a map value under n.
+func checkMapRanges(pass *analysis.Pass, n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		rs, ok := m.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			pass.Reportf(rs.For,
+				"range over map in deterministic reduce/merge code: iteration order is randomized; iterate sorted keys instead")
+		}
+		return true
+	})
+}
+
+// calleeObj resolves the object a call's callee refers to (nil for
+// indirect calls through function values of unknown origin).
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	return usedObj(pass, ast.Unparen(call.Fun))
+}
+
+// usedObj resolves the object an identifier or selector refers to.
+func usedObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[v]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[v.Sel]
+	}
+	return nil
+}

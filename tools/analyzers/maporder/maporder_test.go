@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"m3/tools/analyzers/analysistest"
+	"m3/tools/analyzers/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer)
+}

@@ -1,0 +1,3 @@
+module m3
+
+go 1.22

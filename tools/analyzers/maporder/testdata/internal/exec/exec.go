@@ -1,0 +1,34 @@
+// Package exec stubs the execution layer's ordered-reduce entry
+// points for the maporder golden suite: same import path and function
+// names as the real m3/internal/exec, minimal signatures.
+package exec
+
+// Block is a half-open item range.
+type Block struct{ Lo, Hi int }
+
+// RowScan mirrors the real scan descriptor's shape.
+type RowScan struct{ Rows, Cols, Workers int }
+
+// MapReduce mimics the generic ordered map/reduce entry point.
+func MapReduce(blocks []Block, alloc func() []float64, process func(state []float64, b Block), merge func(dst, src []float64)) []float64 {
+	out := alloc()
+	for _, b := range blocks {
+		s := alloc()
+		process(s, b)
+		merge(out, s)
+	}
+	return out
+}
+
+// ReduceRows mimics the per-row reduce entry point.
+func ReduceRows(s RowScan, alloc func() []float64, fn func(state []float64, i int, row []float64), merge func(dst, src []float64)) []float64 {
+	return nil
+}
+
+// ReduceRowBlocks mimics the per-block reduce entry point.
+func ReduceRowBlocks(s RowScan, alloc func() []float64, fn func(state []float64, lo, hi int, block []float64, stride int), merge func(dst, src []float64)) []float64 {
+	return nil
+}
+
+// ForEachRow mimics the stateless row visitor.
+func ForEachRow(s RowScan, fn func(i int, row []float64)) {}

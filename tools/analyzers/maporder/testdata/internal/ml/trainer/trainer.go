@@ -1,0 +1,56 @@
+// Package trainer is inside m3/internal/ml/, so every function is in
+// maporder scope.
+package trainer
+
+import "sort"
+
+func mergeCounts(dst, src map[int]float64) {
+	for k, v := range src { // want `maporder: range over map`
+		dst[k] += v
+	}
+}
+
+// mergeCountsSorted shows the recommended idiom: the key-collection
+// range is order-insensitive (it only fills a slice that is sorted
+// before use) and carries the directive saying so; the merge itself
+// walks the sorted slice.
+func mergeCountsSorted(dst, src map[int]float64) {
+	keys := make([]int, 0, len(src))
+	//m3vet:allow maporder -- collecting keys to sort; order-insensitive
+	for k := range src {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys { // sorted slice: fine
+		dst[k] += src[k]
+	}
+}
+
+type hist map[string]int
+
+func namedMapType(h hist) int {
+	n := 0
+	for range h { // want `maporder: range over map`
+		n++
+	}
+	return n
+}
+
+func fineIterations(xs []float64, ch chan int, s string) {
+	for i := range xs {
+		_ = i
+	}
+	for v := range ch {
+		_ = v
+	}
+	for _, r := range s {
+		_ = r
+	}
+}
+
+func allowedRange(m map[int]int) {
+	//m3vet:allow maporder -- key order irrelevant: values are summed commutatively into ints
+	for _, v := range m {
+		_ = v
+	}
+}

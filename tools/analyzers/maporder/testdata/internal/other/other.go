@@ -1,0 +1,43 @@
+// Package other is outside the always-checked packages: only
+// functions reachable from ordered-reduce callbacks are in scope.
+package other
+
+import "m3/internal/exec"
+
+// mergeHelper is reachable from the merge callback below.
+func mergeHelper(dst []float64, extra map[int]float64) {
+	for k, v := range extra { // want `maporder: range over map`
+		dst[k] += v
+	}
+}
+
+// namedMerge is passed to MapReduce by name.
+func namedMerge(dst, src []float64) {
+	seen := map[int]float64{}
+	for k := range seen { // want `maporder: range over map`
+		_ = k
+	}
+	mergeHelper(dst, seen)
+}
+
+func reduce(blocks []exec.Block) []float64 {
+	extras := map[int]float64{}
+	return exec.MapReduce(blocks,
+		func() []float64 { return make([]float64, 4) },
+		func(state []float64, b exec.Block) {
+			for k, v := range extras { // want `maporder: range over map`
+				state[k] += v
+			}
+		},
+		namedMerge)
+}
+
+// unrelated is never reached from a reduce callback: map ranges here
+// are outside the deterministic contract and not reported.
+func unrelated(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+// Package pairedrelease checks that pooled resources go back to
+// their pools.
+//
+// Two acquire/release pairs in m3 are refcount- or pool-backed and
+// leak capacity (not just memory) when the release half is skipped:
+//
+//   - (*core.Engine).AllocScratch → (*ScratchMatrix).Release/Close:
+//     an unreleased scratch matrix permanently shrinks the engine's
+//     scratch pool.
+//   - (*serve.Entry).Acquire → (*Snapshot).Release: an unreleased
+//     snapshot pins a model version in memory across hot-swaps.
+//
+// The walker in package lifetime does the path analysis, including
+// the "if err != nil { return }" guard on the acquire's own error,
+// which leaves the handle invalid on the error path.
+package pairedrelease
+
+import (
+	"m3/tools/analyzers/analysis"
+	"m3/tools/analyzers/lifetime"
+)
+
+// Analyzer flags acquired pool resources that are not released on
+// every path.
+var Analyzer = &analysis.Analyzer{
+	Name: "pairedrelease",
+	Doc:  "report scratch matrices and model snapshots that are acquired but not released on every path",
+	Run:  run,
+}
+
+var spec = &lifetime.Spec{
+	Opens: []lifetime.OpenSpec{
+		{
+			PkgPath: "m3/internal/core",
+			Recv:    "Engine",
+			Name:    "AllocScratch",
+			Noun:    "scratch matrix",
+			Verb:    "released",
+			Fix:     "defer m.Release() (or Close) once the error is checked",
+		},
+		{
+			PkgPath: "m3/internal/serve",
+			Recv:    "Entry",
+			Name:    "Acquire",
+			Noun:    "model snapshot",
+			Verb:    "released",
+			Fix:     "defer snap.Release() once the error is checked",
+		},
+	},
+	CloseMethods: map[string]bool{"Release": true, "Close": true},
+	ChainMethods: map[string]bool{},
+}
+
+func run(pass *analysis.Pass) error {
+	return lifetime.Run(pass, spec)
+}

@@ -1,0 +1,12 @@
+package pairedrelease_test
+
+import (
+	"testing"
+
+	"m3/tools/analyzers/analysistest"
+	"m3/tools/analyzers/pairedrelease"
+)
+
+func TestPairedRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", pairedrelease.Analyzer)
+}

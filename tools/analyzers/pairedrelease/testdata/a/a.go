@@ -1,0 +1,135 @@
+// Package a exercises the pairedrelease analyzer: pooled scratch
+// matrices and refcounted model snapshots must be released on every
+// path.
+package a
+
+import (
+	"errors"
+
+	"m3/internal/core"
+	"m3/internal/serve"
+)
+
+func use(m *core.ScratchMatrix) float64 { return 0 }
+
+// dispatch mirrors batcher.go's dispatchGroup: acquire, bail on
+// error, defer the release. Clean.
+func dispatch(e *serve.Entry, xs []float64) (float64, error) {
+	snap, err := e.Acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer snap.Release()
+	return snap.Predict(xs), nil
+}
+
+// forgottenRelease pins the snapshot forever.
+func forgottenRelease(e *serve.Entry, xs []float64) (float64, error) {
+	snap, err := e.Acquire() // want `pairedrelease: model snapshot is not released on every path`
+	if err != nil {
+		return 0, err
+	}
+	return snap.Predict(xs), nil
+}
+
+// leakOnSuccess releases nothing after the error check even though
+// the error path itself is fine.
+func leakOnSuccess(eng *core.Engine) error {
+	m, err := eng.AllocScratch(4, 4) // want `pairedrelease: scratch matrix is not released on every path`
+	if err != nil {
+		return err
+	}
+	_ = m.Data()
+	return nil
+}
+
+// passedToHelper hands the matrix to another function, which may
+// release it: ownership transfers are left alone.
+func passedToHelper(eng *core.Engine) error {
+	m, err := eng.AllocScratch(4, 4)
+	if err != nil {
+		return err
+	}
+	use(m)
+	return nil
+}
+
+// deferRelease is the canonical fix.
+func deferRelease(eng *core.Engine) error {
+	m, err := eng.AllocScratch(4, 4)
+	if err != nil {
+		return err
+	}
+	defer m.Release()
+	use(m)
+	return nil
+}
+
+// closeInstead releases through the io.Closer spelling.
+func closeInstead(eng *core.Engine) error {
+	m, err := eng.AllocScratch(4, 4)
+	if err != nil {
+		return err
+	}
+	use(m)
+	return m.Close()
+}
+
+// joinedRelease mirrors transformer.go: the release rides the return
+// expression, which counts as the caller-visible use of the handle.
+func joinedRelease(eng *core.Engine) error {
+	m, err := eng.AllocScratch(4, 4)
+	if err != nil {
+		return err
+	}
+	use(m)
+	return errors.Join(err, m.Release())
+}
+
+// leakBeforeEarlyReturn releases at the end but not on the early
+// return.
+func leakBeforeEarlyReturn(eng *core.Engine, skip bool) error {
+	m, err := eng.AllocScratch(4, 4) // want `pairedrelease: scratch matrix is not released on every path`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	_ = m.Data()
+	return m.Release()
+}
+
+// storedInField transfers ownership to the struct; the walker leaves
+// it alone.
+type holder struct{ m *core.ScratchMatrix }
+
+func (h *holder) adopt(eng *core.Engine) error {
+	var err error
+	h.m, err = eng.AllocScratch(4, 4)
+	return err
+}
+
+// handedToCleanup transfers ownership to a captured closure.
+func handedToCleanup(eng *core.Engine) (func(), error) {
+	m, err := eng.AllocScratch(4, 4)
+	if err != nil {
+		return nil, err
+	}
+	return func() { m.Release() }, nil
+}
+
+// discarded drops the snapshot on the floor without binding it.
+func discarded(e *serve.Entry) {
+	e.Acquire() // want `pairedrelease: model snapshot is opened and discarded`
+}
+
+// allowed keeps a snapshot pinned on purpose.
+func allowed(e *serve.Entry) (*serve.Snapshot, error) {
+	snap, err := e.Acquire() //m3vet:allow pairedrelease -- pinned for the life of the process by design
+	if err != nil {
+		return nil, err
+	}
+	_ = snap
+	return nil, nil
+}

@@ -1,0 +1,29 @@
+// Package core stubs the engine's scratch-pool surface for the
+// pairedrelease golden suite.
+package core
+
+import "errors"
+
+// Engine is a stub of the compute engine.
+type Engine struct{}
+
+// ScratchMatrix is a pooled allocation; Release or Close must run on
+// every path.
+type ScratchMatrix struct{ Rows, Cols int }
+
+// AllocScratch takes a matrix from the pool.
+func (e *Engine) AllocScratch(rows, cols int) (*ScratchMatrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, errors.New("bad shape")
+	}
+	return &ScratchMatrix{Rows: rows, Cols: cols}, nil
+}
+
+// Release returns the matrix to the pool.
+func (s *ScratchMatrix) Release() error { return nil }
+
+// Close is the io.Closer spelling of Release.
+func (s *ScratchMatrix) Close() error { return nil }
+
+// Data mimics a neutral accessor.
+func (s *ScratchMatrix) Data() []float64 { return nil }

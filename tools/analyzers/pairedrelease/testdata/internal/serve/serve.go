@@ -1,0 +1,23 @@
+// Package serve stubs the model registry surface for the
+// pairedrelease golden suite.
+package serve
+
+import "errors"
+
+// ErrModelClosed mirrors the real sentinel.
+var ErrModelClosed = errors.New("model closed")
+
+// Entry is a registered model slot.
+type Entry struct{}
+
+// Snapshot is a refcounted model version.
+type Snapshot struct{}
+
+// Acquire pins the current version; Release must run on every path.
+func (e *Entry) Acquire() (*Snapshot, error) { return &Snapshot{}, nil }
+
+// Release unpins the version.
+func (s *Snapshot) Release() {}
+
+// Predict mimics a neutral use of the snapshot.
+func (s *Snapshot) Predict(x []float64) float64 { return 0 }

@@ -1,0 +1,48 @@
+// Package spanend checks that every trace span is ended.
+//
+// obs.StartSpan and (*obs.Trace).Start hand back a *Span that must be
+// End()ed on every path: a span that is never ended keeps its trace's
+// ring slot open and skews duration histograms silently, because End
+// is what stamps the duration and publishes the record. The walker in
+// package lifetime does the path analysis; this package only supplies
+// the open/close vocabulary (SetArg chains count as the same span,
+// "defer obs.StartSpan(...).End()" is the canonical idiom).
+package spanend
+
+import (
+	"m3/tools/analyzers/analysis"
+	"m3/tools/analyzers/lifetime"
+)
+
+// Analyzer flags spans that are not ended on every path.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "report trace spans that are started but not ended on every path",
+	Run:  run,
+}
+
+var spec = &lifetime.Spec{
+	Opens: []lifetime.OpenSpec{
+		{
+			PkgPath: "m3/internal/obs",
+			Name:    "StartSpan",
+			Noun:    "span",
+			Verb:    "ended",
+			Fix:     "defer sp.End() right after the start",
+		},
+		{
+			PkgPath: "m3/internal/obs",
+			Recv:    "Trace",
+			Name:    "Start",
+			Noun:    "span",
+			Verb:    "ended",
+			Fix:     "defer sp.End() right after the start",
+		},
+	},
+	CloseMethods: map[string]bool{"End": true},
+	ChainMethods: map[string]bool{"SetArg": true},
+}
+
+func run(pass *analysis.Pass) error {
+	return lifetime.Run(pass, spec)
+}

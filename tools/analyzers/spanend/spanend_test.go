@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"m3/tools/analyzers/analysistest"
+	"m3/tools/analyzers/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer)
+}

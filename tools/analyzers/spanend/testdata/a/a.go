@@ -1,0 +1,187 @@
+// Package a exercises the spanend analyzer: every started span must
+// be ended on every path, with ownership transfers left alone.
+package a
+
+import "m3/internal/obs"
+
+func work() {}
+
+func register(sp *obs.Span) {}
+
+// neverEnded is the plain leak.
+func neverEnded() {
+	sp := obs.StartSpan("a", "never") // want `spanend: span is not ended on every path`
+	_ = sp
+	work()
+}
+
+// deferEnd is the canonical fix.
+func deferEnd() {
+	sp := obs.StartSpan("a", "defer")
+	defer sp.End()
+	work()
+}
+
+// oneLiner opens and defers the close in a single statement.
+func oneLiner() {
+	defer obs.StartSpan("a", "oneliner").End()
+	work()
+}
+
+// chainedOpen tracks through the SetArg chain to the start call.
+func chainedOpen(rows int) {
+	sp := obs.StartSpan("a", "chain").SetArg("rows", rows)
+	defer sp.End()
+	work()
+}
+
+// chainedLeak leaks even though SetArg touches the span later.
+func chainedLeak(rows int) {
+	sp := obs.StartSpan("a", "chainleak") // want `spanend: span is not ended on every path`
+	sp.SetArg("rows", rows)
+	work()
+}
+
+// earlyReturn ends the span on the fall-through path only.
+func earlyReturn(skip bool) {
+	sp := obs.StartSpan("a", "early") // want `spanend: span is not ended on every path`
+	if skip {
+		return
+	}
+	work()
+	sp.End()
+}
+
+// bothPaths ends the span explicitly on each return path.
+func bothPaths(skip bool) {
+	sp := obs.StartSpan("a", "both")
+	if skip {
+		sp.End()
+		return
+	}
+	work()
+	sp.End()
+}
+
+// chainClose ends through a fluent chain.
+func chainClose(n int) {
+	sp := obs.StartSpan("a", "chainclose")
+	work()
+	sp.SetArg("n", n).End()
+}
+
+// discarded never even binds the span.
+func discarded() {
+	obs.StartSpan("a", "discarded") // want `spanend: span is opened and discarded`
+	work()
+}
+
+// blankAssign is the same leak spelled with an underscore.
+func blankAssign() {
+	_ = obs.StartSpan("a", "blank") // want `spanend: span is opened and discarded`
+	work()
+}
+
+// conditionalScanSpan mirrors exec.go's guarded span: opened under a
+// trace-nil guard, ended under a span-nil guard. Clean.
+func conditionalScanSpan(tr *obs.Trace, rows int) {
+	var scanSpan *obs.Span
+	if tr != nil {
+		scanSpan = tr.Start("exec", "scan").SetArg("rows", rows)
+	}
+	work()
+	if scanSpan != nil {
+		scanSpan.End()
+	}
+}
+
+// guardedDefer mirrors estimator.go: open and defer both live inside
+// the enabled-guard, so the defer covers every path the span exists
+// on. Clean.
+func guardedDefer(rows int) {
+	if obs.Enabled() {
+		sp := obs.StartSpan("core", "fit").SetArg("rows", rows)
+		defer sp.End()
+	}
+	work()
+}
+
+// conditionalDeferOnly defers the end on one branch but the span is
+// open on both: the no-defer path leaks.
+func conditionalDeferOnly(verbose bool) {
+	sp := obs.StartSpan("a", "conddefer") // want `spanend: span is not ended on every path`
+	if verbose {
+		defer sp.End()
+	}
+	work()
+}
+
+// handedOff transfers ownership to register; not this function's
+// leak.
+func handedOff() {
+	sp := obs.StartSpan("a", "handoff")
+	register(sp)
+}
+
+// returned transfers ownership to the caller.
+func returned() *obs.Span {
+	sp := obs.StartSpan("a", "returned")
+	return sp
+}
+
+// deferredClosure closes via a deferred closure.
+func deferredClosure() {
+	sp := obs.StartSpan("a", "closure")
+	defer func() {
+		sp.End()
+	}()
+	work()
+}
+
+// capturedClosure hands the span to a stored closure: ownership is
+// ambiguous, so the walker stays quiet.
+func capturedClosure() func() {
+	sp := obs.StartSpan("a", "captured")
+	return func() { sp.End() }
+}
+
+// insideLiteral checks that function literals are analyzed as their
+// own functions.
+func insideLiteral() func() {
+	return func() {
+		sp := obs.StartSpan("a", "inlit") // want `spanend: span is not ended on every path`
+		_ = sp
+		work()
+	}
+}
+
+// switchFallThrough only ends the span when a case matches; with no
+// default the span can fall through still open.
+func switchFallThrough(v int) {
+	sp := obs.StartSpan("a", "switch") // want `spanend: span is not ended on every path`
+	switch v {
+	case 1:
+		sp.End()
+	}
+	work()
+}
+
+// switchAllPaths covers every case including default. Clean.
+func switchAllPaths(v int) {
+	sp := obs.StartSpan("a", "switchall")
+	switch v {
+	case 1:
+		sp.End()
+	default:
+		sp.End()
+	}
+	work()
+}
+
+// allowed uses the escape hatch: the span is ended by the pool that
+// adopts it.
+func allowed() {
+	sp := obs.StartSpan("a", "allowed") //m3vet:allow spanend -- adopted by the flush goroutine, which ends it
+	_ = sp
+	work()
+}

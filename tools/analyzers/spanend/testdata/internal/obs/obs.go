@@ -1,0 +1,28 @@
+// Package obs stubs the tracing surface for the spanend golden
+// suite: same import path, type names, and signatures as the real
+// m3/internal/obs, no behavior.
+package obs
+
+// Trace is a stub trace handle.
+type Trace struct{}
+
+// Span is a stub span; End must be called on every path.
+type Span struct{}
+
+// Enabled mimics the tracing on/off switch.
+func Enabled() bool { return false }
+
+// Default mimics the process-wide trace accessor.
+func Default() *Trace { return nil }
+
+// StartSpan opens a span on the default trace.
+func StartSpan(cat, name string) *Span { return &Span{} }
+
+// Start opens a span on a specific trace.
+func (t *Trace) Start(cat, name string) *Span { return &Span{} }
+
+// SetArg attaches an argument and returns the same span for chaining.
+func (s *Span) SetArg(key string, v any) *Span { return s }
+
+// End closes the span. Nil-safe and idempotent, like the real one.
+func (s *Span) End() {}

@@ -1,0 +1,3 @@
+module m3/tools
+
+go 1.22
