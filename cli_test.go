@@ -377,22 +377,23 @@ func TestCLIServeEndToEnd(t *testing.T) {
 		t.Errorf("/debug/pprof/cmdline status %d, want 200", resp.StatusCode)
 	}
 
-	// SIGTERM drains and exits cleanly.
+	// SIGTERM drains and exits cleanly. Read stderr to EOF *before*
+	// calling Wait: Wait closes the pipe, and racing it against the
+	// scanner goroutine can drop the final "drained" line.
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- srv.Wait() }()
+	var rest string
 	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("m3serve exit: %v", err)
-		}
+	case rest = <-logs:
 	case <-time.After(30 * time.Second):
-		t.Fatal("m3serve did not exit after SIGTERM")
+		t.Fatal("m3serve stderr never closed after SIGTERM")
 	}
-	if rest := <-logs; !strings.Contains(rest, "drained") {
+	if !strings.Contains(rest, "drained") {
 		t.Errorf("shutdown log missing \"drained\":\n%s", rest)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("m3serve exit: %v", err)
 	}
 }
 

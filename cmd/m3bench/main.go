@@ -13,6 +13,7 @@
 //	m3bench -exp multicore # simulated: parallel faulting, workers × size
 //	m3bench -exp fusion    # real hardware: fused vs eager pipeline fit
 //	m3bench -exp serve     # real hardware: micro-batched vs single-request serving
+//	m3bench -exp dist      # real localhost worker cluster + simulated scale-out
 //	m3bench -exp all       # everything
 //
 // -experiment is accepted as an alias of -exp.
@@ -77,6 +78,13 @@ type Record struct {
 	P90Ms         float64 `json:"p90_ms,omitempty"`
 	P99Ms         float64 `json:"p99_ms,omitempty"`
 	MeanBatchRows float64 `json:"mean_batch_rows,omitempty"`
+	// Dist-experiment fields: shard count, per-round aggregate
+	// traffic, and speedup vs the 1-shard fit at the same size.
+	Shards               int     `json:"shards,omitempty"`
+	Rounds               int64   `json:"rounds,omitempty"`
+	BytesPerRound        int64   `json:"bytes_per_round,omitempty"`
+	StragglerWaitSeconds float64 `json:"straggler_wait_seconds,omitempty"`
+	Speedup              float64 `json:"speedup,omitempty"`
 	// Counters is the movement of the process-wide obs registry
 	// (m3_process_* CPU/IO, m3_fit_* optimizer progress) across the
 	// measured region, so records carry utilization alongside
@@ -131,7 +139,7 @@ func main() { os.Exit(benchMain()) }
 // benchMain is main behind an exit code so the -trace / -profile
 // defers flush even when an experiment fails partway.
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, multicore, fusion, serve, all")
+	exp := flag.String("exp", "all", "experiment: fig1a, fig1b, iobound, access, predict, disks, energy, locality, parallel, multicore, fusion, serve, dist, all")
 	flag.StringVar(exp, "experiment", *exp, "alias of -exp")
 	rows := flag.Int("rows", 512, "actual (scaled-down) row count the math runs on")
 	seed := flag.Uint64("seed", 3, "workload seed")
@@ -193,8 +201,9 @@ func benchMain() int {
 		"multicore": func() error { return runMultiCore(machine, w, *passes, rec) },
 		"fusion":    func() error { return runFusion(int64(*rows), rec) },
 		"serve":     func() error { return runServe(int64(*rows), *duration, rec) },
+		"dist":      func() error { return runDist(machine, w, int64(*rows), rec) },
 	}
-	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel", "multicore", "fusion", "serve"}
+	order := []string{"fig1a", "fig1b", "iobound", "access", "predict", "disks", "energy", "locality", "parallel", "multicore", "fusion", "serve", "dist"}
 
 	if *exp == "all" {
 		for _, name := range order {

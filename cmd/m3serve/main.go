@@ -46,6 +46,7 @@ func main() {
 		listen       = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
 		batch        = flag.Int("batch", 64, "micro-batch flush threshold in rows")
 		deadline     = flag.Duration("deadline", time.Millisecond, "micro-batch flush deadline (0 = flush when dispatcher is free)")
+		queue        = flag.Int("queue", 4096, "max rows waiting in the batch queue before requests get 429 (0 = unbounded)")
 		workers      = flag.Int("workers", 0, "engine workers for k-NN scans (0 = NumCPU)")
 		knnMode      = flag.String("knn-mode", "mmap", "k-NN reference table backing: mmap|heap")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
@@ -106,7 +107,7 @@ func main() {
 	if *traceOut != "" {
 		obs.StartTrace()
 	}
-	srv := serve.NewServer(reg, serve.Config{BatchSize: *batch, BatchDelay: *deadline})
+	srv := serve.NewServer(reg, serve.Config{BatchSize: *batch, BatchDelay: *deadline, QueueRows: *queue})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("m3serve: %v", err)

@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"m3"
@@ -40,6 +41,7 @@ type options struct {
 	verbose                    bool
 	save                       string
 	trace, profile             string
+	dist                       string
 }
 
 func main() {
@@ -58,6 +60,7 @@ func main() {
 	flag.StringVar(&o.save, "save", "", "save the trained model to this path")
 	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace-event JSON of the run to this path (open in Perfetto)")
 	flag.StringVar(&o.profile, "profile", "", "write a CPU pprof profile of the run to this path")
+	flag.StringVar(&o.dist, "dist", "", "train on a cluster: comma-separated m3worker addresses (shard order follows address order)")
 	flag.Parse()
 
 	if o.data == "" {
@@ -180,8 +183,26 @@ func run(ctx context.Context, o options) error {
 	}
 
 	trainStart := time.Now()
-	model, err := eng.Fit(ctx, est, tbl)
-	if err != nil {
+	var model m3.Model
+	if o.dist != "" {
+		// Coordinator mode: the fit is sharded across m3worker
+		// processes; every worker must see o.data at the same path.
+		// The result is bit-identical to the local eng.Fit below.
+		cl, derr := m3.DialCluster(ctx, strings.Split(o.dist, ","), m3.ClusterOptions{})
+		if derr != nil {
+			return derr
+		}
+		defer cl.Close()
+		model, err = cl.Fit(ctx, est, o.data)
+		if err != nil {
+			return err
+		}
+		st := cl.Stats()
+		fmt.Printf("dist: %d workers, %d shards, %d rounds, sent %.1f KB, received %.1f KB, straggler wait %v\n",
+			cl.Workers(), cl.Shards(), st.Rounds,
+			float64(st.BytesSent)/1e3, float64(st.BytesReceived)/1e3,
+			st.StragglerWait.Round(time.Millisecond))
+	} else if model, err = eng.Fit(ctx, est, tbl); err != nil {
 		return err
 	}
 

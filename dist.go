@@ -1,0 +1,176 @@
+package m3
+
+// Distributed training: a Cluster is a handle to a set of m3worker
+// processes, each owning one contiguous, merge-group-aligned row
+// shard of a dataset file. Cluster.Fit drives the same estimator
+// surface as Engine.Fit over the network and returns bit-identical
+// models: shard boundaries sit on the canonical merge-group grid and
+// the coordinator refolds the workers' per-group partials in global
+// row order, replaying a local grouped fold operation for operation
+// (see internal/dist).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"m3/internal/dist"
+)
+
+// ClusterStats reports a coordinator's accumulated traffic: broadcast
+// rounds, wire bytes in each direction and total straggler wait (the
+// per-round gap between the fastest and slowest shard).
+type ClusterStats = dist.Stats
+
+// ClusterOptions tunes dialing and per-call deadlines.
+type ClusterOptions = dist.Options
+
+// Cluster is a connection to a row-sharded training cluster. It is
+// not safe for concurrent Fit calls.
+type Cluster struct {
+	c *dist.Coordinator
+}
+
+// DialCluster connects to worker processes (started with m3worker) at
+// the given addresses. Shard order follows address order, so the same
+// address list always reproduces the same fold order — and therefore
+// the same model bits.
+func DialCluster(ctx context.Context, addrs []string, opts ClusterOptions) (*Cluster, error) {
+	c, err := dist.DialWorkers(ctx, addrs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c}, nil
+}
+
+// Close closes every worker connection; workers tear down their shard
+// engines when the connection drops.
+func (cl *Cluster) Close() error { return cl.c.Close() }
+
+// Workers returns the number of dialed workers.
+func (cl *Cluster) Workers() int { return cl.c.Workers() }
+
+// Shards returns the number of workers actually holding a shard of
+// the last opened dataset (small datasets may use fewer than dialed).
+func (cl *Cluster) Shards() int { return cl.c.Shards() }
+
+// Stats returns cumulative traffic counters.
+func (cl *Cluster) Stats() ClusterStats { return cl.c.Stats() }
+
+// Fit trains est on the dataset file at dataPath, sharded across the
+// cluster's workers. Every worker must be able to open dataPath (a
+// shared filesystem, or a copy of the file at the same path). The
+// returned model is bit-identical — same predictions, same saved
+// bytes — to eng.Fit on the whole file.
+func (cl *Cluster) Fit(ctx context.Context, est Estimator, dataPath string) (Model, error) {
+	spec, err := clusterSpec(est)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := cl.c.Fit(ctx, dataPath, spec)
+	if err != nil {
+		return nil, err
+	}
+	return wrapLoaded(inner)
+}
+
+// clusterSpec maps a root estimator onto the wire spec the
+// coordinator understands. Option defaults are NOT resolved here —
+// the coordinator applies the same withDefaults the local trainers
+// do, so a zero-valued Options means the same thing on both paths.
+func clusterSpec(est Estimator) (dist.Spec, error) {
+	switch e := est.(type) {
+	case LogisticRegression:
+		return dist.Spec{
+			Algo: "logistic", Binarize: e.Binarize, Positive: e.Positive,
+			Lambda: e.Options.Lambda, NoIntercept: e.Options.NoIntercept,
+			MaxIterations: e.Options.MaxIterations, GradTol: e.Options.GradTol,
+		}, nil
+	case SoftmaxRegression:
+		return dist.Spec{
+			Algo: "softmax", Classes: e.Classes,
+			Lambda: e.Options.Lambda, NoIntercept: e.Options.NoIntercept,
+			MaxIterations: e.Options.MaxIterations, GradTol: e.Options.GradTol,
+		}, nil
+	case LinearRegression:
+		algo := "linear"
+		if e.Exact {
+			algo = "linear-exact"
+		}
+		return dist.Spec{
+			Algo:   algo,
+			Lambda: e.Options.Lambda, NoIntercept: e.Options.NoIntercept,
+			MaxIterations: e.Options.MaxIterations, GradTol: e.Options.GradTol,
+		}, nil
+	case NaiveBayes:
+		return dist.Spec{
+			Algo: "bayes", Classes: e.Classes,
+			VarSmoothing: e.Options.VarSmoothing,
+		}, nil
+	case KMeansClustering:
+		spec := dist.Spec{
+			Algo: "kmeans", K: e.Options.K,
+			MaxIterations: e.Options.MaxIterations, Tol: e.Options.Tol,
+			Seed: e.Options.Seed, RandomInit: e.Options.RandomInit,
+			RunAllIterations: e.Options.RunAllIterations,
+		}
+		if init := e.Options.InitCentroids; init != nil {
+			k, d := init.Dims()
+			flat := make([]float64, 0, k*d)
+			for i := 0; i < k; i++ {
+				flat = append(flat, init.RawRow(i)...)
+			}
+			spec.InitCentroids = flat
+		}
+		return spec, nil
+	case PrincipalComponents:
+		return dist.Spec{
+			Algo: "pca", Components: e.Options.Components,
+			MaxIterations: e.Options.MaxIterations, Tol: e.Options.Tol,
+			Seed: e.Options.Seed,
+		}, nil
+	case SGDClassifier:
+		// Passed through so the coordinator's rejection (with its
+		// explanation) is the single source of truth.
+		return dist.Spec{Algo: "sgd"}, nil
+	case Pipeline:
+		if e.Estimator == nil {
+			return dist.Spec{}, errors.New("m3: pipeline has no estimator")
+		}
+		spec := dist.Spec{Algo: "pipeline"}
+		for i, st := range e.Stages {
+			ss, err := clusterStageSpec(st)
+			if err != nil {
+				return dist.Spec{}, fmt.Errorf("m3: pipeline stage %d: %w", i, err)
+			}
+			spec.Stages = append(spec.Stages, ss)
+		}
+		final, err := clusterSpec(e.Estimator)
+		if err != nil {
+			return dist.Spec{}, err
+		}
+		if final.Algo == "pipeline" {
+			return dist.Spec{}, errors.New("m3: nested pipelines cannot be trained on a cluster")
+		}
+		spec.Final = &final
+		return spec, nil
+	}
+	return dist.Spec{}, fmt.Errorf("m3: %T cannot be trained on a cluster", est)
+}
+
+// clusterStageSpec maps a pipeline transformer stage.
+func clusterStageSpec(tr Transformer) (dist.Spec, error) {
+	switch s := tr.(type) {
+	case StandardScaler:
+		return dist.Spec{Algo: "standard-scaler"}, nil
+	case MinMaxScaler:
+		return dist.Spec{Algo: "minmax-scaler"}, nil
+	case PrincipalComponents:
+		return dist.Spec{
+			Algo: "pca", Components: s.Options.Components,
+			MaxIterations: s.Options.MaxIterations, Tol: s.Options.Tol,
+			Seed: s.Options.Seed,
+		}, nil
+	}
+	return dist.Spec{}, fmt.Errorf("m3: %T is not a distributable transformer", tr)
+}

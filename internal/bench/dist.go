@@ -1,0 +1,111 @@
+package bench
+
+// The dist experiment's simulated half: K M3 machines (each the
+// paper's PC) holding contiguous size/K row shards of one dataset,
+// driven by the coordinator protocol internal/dist implements for
+// real. Because the distributed fit is bit-identical to local (the
+// ordered per-group refold), the iterate sequence — and therefore the
+// pass count — is exactly the local one; sharding changes only where
+// the scan bytes live. Each round ships the model state down and one
+// per-group partial aggregate up per shard, so wire traffic scales
+// with the feature count and the merge-group cap, never with the
+// dataset — the "ship the aggregate, not the data" rule this
+// simulation quantifies.
+
+import (
+	"fmt"
+
+	"m3/internal/infimnist"
+)
+
+// DistNetModel is the coordinator-worker link.
+type DistNetModel struct {
+	// BytesPerSec is the coordinator's NIC bandwidth; gathers
+	// serialize on the coordinator side of the star.
+	BytesPerSec float64
+	// RoundTripSeconds is the per-round latency floor (dial is
+	// amortized; this is one request/response pair).
+	RoundTripSeconds float64
+}
+
+// DefaultDistNet is 1 Gb/s with a 1 ms round trip — the same link the
+// Spark simulator charges for treeAggregate.
+func DefaultDistNet() DistNetModel {
+	return DistNetModel{BytesPerSec: 125e6, RoundTripSeconds: 1e-3}
+}
+
+// distMaxGroups mirrors exec's merge-group cap: a shard's partial is
+// at most 64 per-group states regardless of how many rows it holds.
+const distMaxGroups = 64
+
+// DistScalePoint is one (shards, size) cell of the sweep.
+type DistScalePoint struct {
+	Shards    int
+	SizeBytes int64
+	// Seconds is the simulated wall clock of the whole fit: the
+	// per-shard scan timeline (all shards advance in parallel) plus
+	// the per-round network cost.
+	Seconds    float64
+	NetSeconds float64
+	// BytesPerRound is the total wire traffic of one broadcast round
+	// across every shard, both directions.
+	BytesPerRound int64
+	Rounds        int
+	// Speedup is Seconds of the 1-shard fit at this size divided by
+	// this point's Seconds (1.0 for the 1-shard row itself).
+	Speedup float64
+}
+
+// DistScale simulates the row-sharded logistic-regression fit across
+// shard counts and dataset sizes. shardCounts must include 1 (the
+// speedup baseline). The real L-BFGS math runs once per cell on the
+// scaled-down matrix; per-shard paging is accounted at size/shards
+// nominal bytes, so the RAM knee moves exactly the way aggregate
+// cluster memory moves it.
+func DistScale(machine Machine, w Workload, shardCounts []int, sizes []int64, net DistNetModel) ([]DistScalePoint, error) {
+	if net.BytesPerSec <= 0 {
+		return nil, fmt.Errorf("bench: dist net bandwidth must be positive")
+	}
+	feat := w.Features
+	if feat <= 0 {
+		feat = infimnist.Features
+	}
+	var out []DistScalePoint
+	for _, size := range sizes {
+		base := -1.0
+		first := len(out)
+		for _, k := range shardCounts {
+			if k < 1 {
+				return nil, fmt.Errorf("bench: dist shard count %d", k)
+			}
+			wl := w
+			wl.NominalBytes = size / int64(k)
+			rep, err := RunLogRegM3(machine, wl)
+			if err != nil {
+				return nil, fmt.Errorf("bench: dist %d shards at %d bytes: %w", k, size, err)
+			}
+			// One round = state down to every shard plus one partial
+			// (≤ 64 per-group gradient states) back from each.
+			down := int64(k) * int64(feat+1) * 8
+			up := int64(k) * distMaxGroups * int64(feat+2) * 8
+			perRound := down + up
+			netSec := float64(rep.Passes) * (net.RoundTripSeconds + float64(perRound)/net.BytesPerSec)
+			secs := rep.Seconds + netSec
+			if k == 1 {
+				base = secs
+			}
+			out = append(out, DistScalePoint{
+				Shards: k, SizeBytes: size,
+				Seconds: secs, NetSeconds: netSec,
+				BytesPerRound: perRound, Rounds: rep.Passes,
+			})
+		}
+		if base < 0 {
+			return nil, fmt.Errorf("bench: dist shard counts %v lack the 1-shard baseline", shardCounts)
+		}
+		for i := first; i < len(out); i++ {
+			out[i].Speedup = base / out[i].Seconds
+		}
+	}
+	return out, nil
+}

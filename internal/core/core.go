@@ -82,13 +82,16 @@ type Engine struct {
 	mu     sync.Mutex
 	closed bool
 	open   []closer
-	nalloc int
 	stats  ScratchStats
 
 	// releases is atomic (not under mu): ScratchMatrix.Close runs
 	// inside Engine.Close's resource loop, which holds mu.
 	releases atomic.Int64
 }
+
+// allocSeq numbers mapped temp files across every engine in the
+// process (see allocMapped).
+var allocSeq atomic.Int64
 
 // ScratchStats counts the engine's intermediate materializations —
 // the traffic operator fusion exists to eliminate. Allocs and Bytes
@@ -310,8 +313,11 @@ func (e *Engine) allocMapped(rows, cols int) (*mat.Dense, *scratch, error) {
 		e.mu.Unlock()
 		return nil, nil, ErrClosed
 	}
-	e.nalloc++
-	path := filepath.Join(e.cfg.TempDir, fmt.Sprintf("m3-alloc-%d-%d.bin", os.Getpid(), e.nalloc))
+	// The sequence is process-global, not per-engine: engines sharing
+	// a temp dir (e.g. several in-process dist workers) must never
+	// reuse a live allocation's path — CreateMapped truncates, which
+	// would shear pages out from under the other engine's mapping.
+	path := filepath.Join(e.cfg.TempDir, fmt.Sprintf("m3-alloc-%d-%d.bin", os.Getpid(), allocSeq.Add(1)))
 	e.mu.Unlock()
 
 	ms, err := store.CreateMapped(path, int64(rows)*int64(cols))

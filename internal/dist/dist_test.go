@@ -1,0 +1,515 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/dataset"
+	"m3/internal/exec"
+	"m3/internal/mat"
+	"m3/internal/ml/bayes"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/linreg"
+	"m3/internal/ml/logreg"
+	"m3/internal/ml/modelio"
+	"m3/internal/ml/pca"
+	"m3/internal/ml/preprocess"
+)
+
+// writeTestData writes a deterministic labelled dataset file and
+// returns its path.
+func writeTestData(t *testing.T, n, d, classes int) string {
+	t.Helper()
+	path := t.TempDir() + "/data.m3"
+	w, err := dataset.Create(path, int64(n), int64(d), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s>>11) / float64(1<<53)
+	}
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = next()*4 - 2
+		}
+		label := float64(i % classes)
+		if err := w.WriteRow(row, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// openLocal loads the dataset onto the heap for the reference fits.
+func openLocal(t *testing.T, path string) (*mat.Dense, []float64) {
+	t.Helper()
+	eng := core.New(core.Config{Mode: core.InMemory, Workers: 2})
+	t.Cleanup(func() { eng.Close() })
+	tab, err := eng.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.X, tab.Labels
+}
+
+// startCluster launches k in-process workers on ephemeral ports and
+// returns a coordinator dialed to all of them.
+func startCluster(t *testing.T, k int, cfg WorkerConfig) *Coordinator {
+	t.Helper()
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		w := NewWorker(cfg)
+		go w.Serve(ln)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			w.Shutdown(ctx)
+		})
+	}
+	c, err := DialWorkers(context.Background(), addrs, Options{CallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// eqFloats asserts bit-exact equality of two float slices.
+func eqFloats(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %v (%#x), want %v (%#x)", name, i,
+				got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestPlanShardsAlignment(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{1, 1}, {255, 4}, {256, 4}, {1000, 3}, {1100, 3}, {1 << 16, 7}, {300, 64},
+	} {
+		shards, err := PlanShards(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("PlanShards(%d, %d): %v", tc.n, tc.k, err)
+		}
+		gr := exec.GroupRows(tc.n)
+		if len(shards) > tc.k {
+			t.Fatalf("PlanShards(%d, %d): %d shards", tc.n, tc.k, len(shards))
+		}
+		prev := 0
+		for i, s := range shards {
+			if s.Lo != prev {
+				t.Fatalf("shard %d starts at %d, want %d", i, s.Lo, prev)
+			}
+			if s.Lo%gr != 0 {
+				t.Fatalf("shard %d start %d not group-aligned (gr=%d)", i, s.Lo, gr)
+			}
+			if s.Rows() <= 0 {
+				t.Fatalf("shard %d empty: %+v", i, s)
+			}
+			prev = s.Hi
+		}
+		if prev != tc.n {
+			t.Fatalf("shards cover [0, %d), want [0, %d)", prev, tc.n)
+		}
+	}
+	if _, err := PlanShards(0, 2); err == nil {
+		t.Fatal("PlanShards(0, 2) should fail")
+	}
+}
+
+func TestLogisticParity(t *testing.T) {
+	path := writeTestData(t, 1100, 6, 10)
+	x, labels := openLocal(t, path)
+	y := preprocess.BinaryLabels(labels, 3)
+	want, err := logreg.Train(context.Background(), x, y, logreg.Options{MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []core.Mode{core.InMemory, core.MemoryMapped} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := startCluster(t, 3, WorkerConfig{Mode: mode, Workers: 3})
+			got, err := c.Fit(context.Background(), path, Spec{
+				Algo: "logistic", Binarize: true, Positive: 3, MaxIterations: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := got.(*logreg.Model)
+			eqFloats(t, "weights", m.Weights, want.Weights)
+			if math.Float64bits(m.Intercept) != math.Float64bits(want.Intercept) {
+				t.Fatalf("intercept %v, want %v", m.Intercept, want.Intercept)
+			}
+			if c.Shards() != 3 {
+				t.Fatalf("active shards = %d, want 3", c.Shards())
+			}
+			if st := c.Stats(); st.Rounds == 0 || st.BytesSent == 0 || st.BytesReceived == 0 {
+				t.Fatalf("stats not accounted: %+v", st)
+			}
+		})
+	}
+}
+
+func TestSoftmaxParity(t *testing.T) {
+	path := writeTestData(t, 1100, 5, 4)
+	x, labels := openLocal(t, path)
+	y, err := preprocess.IntLabels(labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := logreg.TrainSoftmax(context.Background(), x, y, 4, logreg.Options{MaxIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCluster(t, 3, WorkerConfig{Mode: core.InMemory, Workers: 2})
+	got, err := c.Fit(context.Background(), path, Spec{Algo: "softmax", Classes: 4, MaxIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(*logreg.SoftmaxModel)
+	eqFloats(t, "weights", m.Weights, want.Weights)
+	eqFloats(t, "bias", m.Bias, want.Bias)
+}
+
+func TestLinearParity(t *testing.T) {
+	path := writeTestData(t, 1100, 4, 7)
+	x, labels := openLocal(t, path)
+	c := startCluster(t, 3, WorkerConfig{Mode: core.InMemory, Workers: 2})
+
+	t.Run("lbfgs", func(t *testing.T) {
+		want, err := linreg.Train(context.Background(), x, labels, linreg.Options{MaxIterations: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Fit(context.Background(), path, Spec{Algo: "linear", MaxIterations: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := got.(*linreg.Model)
+		eqFloats(t, "weights", m.Weights, want.Weights)
+		if math.Float64bits(m.Intercept) != math.Float64bits(want.Intercept) {
+			t.Fatalf("intercept %v, want %v", m.Intercept, want.Intercept)
+		}
+	})
+	t.Run("exact", func(t *testing.T) {
+		want, err := linreg.TrainExact(context.Background(), x, labels, linreg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Fit(context.Background(), path, Spec{Algo: "linear-exact"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := got.(*linreg.Model)
+		eqFloats(t, "weights", m.Weights, want.Weights)
+		if math.Float64bits(m.Intercept) != math.Float64bits(want.Intercept) {
+			t.Fatalf("intercept %v, want %v", m.Intercept, want.Intercept)
+		}
+	})
+}
+
+func TestBayesParity(t *testing.T) {
+	path := writeTestData(t, 1100, 6, 5)
+	x, labels := openLocal(t, path)
+	y, err := preprocess.IntLabels(labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bayes.Train(context.Background(), x, y, 5, bayes.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCluster(t, 4, WorkerConfig{Mode: core.MemoryMapped, Workers: 2})
+	got, err := c.Fit(context.Background(), path, Spec{Algo: "bayes", Classes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(*bayes.Model)
+	eqFloats(t, "priors", m.LogPrior, want.LogPrior)
+	eqFloats(t, "means", m.Mean, want.Mean)
+	eqFloats(t, "variances", m.Var, want.Var)
+}
+
+func TestPCAParity(t *testing.T) {
+	path := writeTestData(t, 1100, 6, 3)
+	x, _ := openLocal(t, path)
+	want, err := pca.Fit(context.Background(), x, pca.Options{Components: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCluster(t, 3, WorkerConfig{Mode: core.InMemory, Workers: 2})
+	got, err := c.Fit(context.Background(), path, Spec{Algo: "pca", Components: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.(*pca.Result)
+	eqFloats(t, "mean", r.Mean, want.Mean)
+	eqFloats(t, "eigenvalues", r.Eigenvalues, want.Eigenvalues)
+	for i := 0; i < 3; i++ {
+		eqFloats(t, fmt.Sprintf("component %d", i), r.Components.RawRow(i), want.Components.RawRow(i))
+	}
+}
+
+func TestKMeansParity(t *testing.T) {
+	path := writeTestData(t, 1100, 5, 3)
+	x, _ := openLocal(t, path)
+	for _, tc := range []struct {
+		name string
+		opts kmeans.Options
+		spec Spec
+	}{
+		{
+			name: "kmeanspp",
+			opts: kmeans.Options{K: 4, MaxIterations: 10, Seed: 7},
+			spec: Spec{Algo: "kmeans", K: 4, MaxIterations: 10, Seed: 7},
+		},
+		{
+			name: "random-init",
+			opts: kmeans.Options{K: 3, MaxIterations: 10, Seed: 3, RandomInit: true},
+			spec: Spec{Algo: "kmeans", K: 3, MaxIterations: 10, Seed: 3, RandomInit: true},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := kmeans.Run(context.Background(), x, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := startCluster(t, 3, WorkerConfig{Mode: core.MemoryMapped, Workers: 2})
+			got, err := c.Fit(context.Background(), path, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := got.(*kmeans.Result)
+			if math.Float64bits(r.Inertia) != math.Float64bits(want.Inertia) {
+				t.Fatalf("inertia %v, want %v", r.Inertia, want.Inertia)
+			}
+			if r.Iterations != want.Iterations || r.Converged != want.Converged {
+				t.Fatalf("iters/converged = %d/%v, want %d/%v", r.Iterations, r.Converged, want.Iterations, want.Converged)
+			}
+			k, _ := r.Centroids.Dims()
+			for i := 0; i < k; i++ {
+				eqFloats(t, fmt.Sprintf("centroid %d", i), r.Centroids.RawRow(i), want.Centroids.RawRow(i))
+			}
+			if len(r.Assignments) != len(want.Assignments) {
+				t.Fatalf("%d assignments, want %d", len(r.Assignments), len(want.Assignments))
+			}
+			for i := range r.Assignments {
+				if r.Assignments[i] != want.Assignments[i] {
+					t.Fatalf("assignment[%d] = %d, want %d", i, r.Assignments[i], want.Assignments[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScalerPipelineParity checks the streaming pipeline path: a
+// standard scaler fitted distributively, pushed as a fused stage, and
+// a naive Bayes final trained off the fused shard views — against the
+// identical local fused composition.
+func TestScalerPipelineParity(t *testing.T) {
+	path := writeTestData(t, 1100, 6, 4)
+	x, labels := openLocal(t, path)
+	y, err := preprocess.IntLabels(labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler, err := preprocess.FitStandard(context.Background(), x, preprocess.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := mat.NewFused(x, x.Cols(), core.FuseKernels([]core.BlockTransformer{scalerStage{s: scaler}}))
+	want, err := bayes.Train(context.Background(), fused, y, 4, bayes.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := startCluster(t, 3, WorkerConfig{Mode: core.InMemory, Workers: 2})
+	got, err := c.Fit(context.Background(), path, Spec{
+		Algo:   "pipeline",
+		Stages: []Spec{{Algo: "standard-scaler"}},
+		Final:  &Spec{Algo: "bayes", Classes: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := got.(*modelio.Pipeline)
+	if len(p.Stages) != 2 {
+		t.Fatalf("%d pipeline stages, want 2", len(p.Stages))
+	}
+	sc := p.Stages[0].(*preprocess.StandardScaler)
+	eqFloats(t, "scaler mean", sc.Mean, scaler.Mean)
+	eqFloats(t, "scaler std", sc.Std, scaler.Std)
+	final := p.Stages[1].(*bayes.Model)
+	eqFloats(t, "priors", final.LogPrior, want.LogPrior)
+	eqFloats(t, "means", final.Mean, want.Mean)
+	eqFloats(t, "variances", final.Var, want.Var)
+}
+
+// TestMaterializedPipelineParity checks the multi-epoch pipeline path:
+// the coordinator must order a shard-local materialize before a
+// logistic final so every optimizer pass reads a cached shard instead
+// of re-running the fused transform — and the result must still match
+// the local pipeline, which materializes the same way.
+func TestMaterializedPipelineParity(t *testing.T) {
+	path := writeTestData(t, 1100, 6, 10)
+	x, labels := openLocal(t, path)
+	y := preprocess.BinaryLabels(labels, 2)
+	scaler, err := preprocess.FitStandard(context.Background(), x, preprocess.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := mat.NewFused(x, x.Cols(), core.FuseKernels([]core.BlockTransformer{scalerStage{s: scaler}}))
+	want, err := logreg.Train(context.Background(), fused, y, logreg.Options{MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := startCluster(t, 3, WorkerConfig{Mode: core.MemoryMapped, Workers: 2})
+	got, err := c.Fit(context.Background(), path, Spec{
+		Algo:   "pipeline",
+		Stages: []Spec{{Algo: "standard-scaler"}},
+		Final:  &Spec{Algo: "logistic", Binarize: true, Positive: 2, MaxIterations: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := got.(*modelio.Pipeline)
+	m := p.Stages[len(p.Stages)-1].(*logreg.Model)
+	eqFloats(t, "weights", m.Weights, want.Weights)
+	if math.Float64bits(m.Intercept) != math.Float64bits(want.Intercept) {
+		t.Fatalf("intercept %v, want %v", m.Intercept, want.Intercept)
+	}
+}
+
+// TestWorkerDiesMidFit kills one worker's connections mid-optimization
+// and checks the coordinator surfaces a clean, attributed error
+// instead of hanging.
+func TestWorkerDiesMidFit(t *testing.T) {
+	path := writeTestData(t, 1100, 6, 10)
+	addrs := make([]string, 3)
+	workers := make([]*Worker, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		workers[i] = NewWorker(WorkerConfig{Mode: core.InMemory, Workers: 2})
+		go workers[i].Serve(ln)
+	}
+	defer func() {
+		for _, w := range workers {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			w.Shutdown(ctx)
+			cancel()
+		}
+	}()
+	c, err := DialWorkers(context.Background(), addrs, Options{CallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Kill worker 1 once the fit is demonstrably mid-optimization.
+	go func() {
+		for c.Stats().Rounds < 3 {
+			time.Sleep(time.Millisecond)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // force: close live connections instead of draining
+		workers[1].Shutdown(ctx)
+	}()
+	_, err = c.Fit(context.Background(), path, Spec{
+		Algo: "logistic", Binarize: true, Positive: 3, MaxIterations: 100000, GradTol: 1e-300,
+	})
+	if err == nil {
+		t.Fatal("fit succeeded despite a dead worker")
+	}
+	if !strings.Contains(err.Error(), addrs[1]) {
+		t.Fatalf("error does not name the dead worker %s: %v", addrs[1], err)
+	}
+}
+
+// TestCancelMidFit cancels the coordinator's context mid-round and
+// checks the fit unwinds promptly with ctx.Err().
+func TestCancelMidFit(t *testing.T) {
+	path := writeTestData(t, 1100, 6, 10)
+	c := startCluster(t, 3, WorkerConfig{Mode: core.InMemory, Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel once the fit is demonstrably mid-optimization.
+		for c.Stats().Rounds < 3 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Fit(ctx, path, Spec{
+		Algo: "logistic", Binarize: true, Positive: 3, MaxIterations: 100000, GradTol: 1e-300,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("cancellation took %v", took)
+	}
+}
+
+// TestSGDRejected checks the sequential trainer is refused with a
+// useful message.
+func TestSGDRejected(t *testing.T) {
+	path := writeTestData(t, 600, 4, 2)
+	c := startCluster(t, 2, WorkerConfig{Mode: core.InMemory, Workers: 1})
+	_, err := c.Fit(context.Background(), path, Spec{Algo: "sgd"})
+	if err == nil || !strings.Contains(err.Error(), "sequential") {
+		t.Fatalf("err = %v, want sequential-trainer rejection", err)
+	}
+}
+
+// TestMoreWorkersThanGroups: a tiny dataset must use fewer shards
+// than workers, not fail.
+func TestMoreWorkersThanGroups(t *testing.T) {
+	path := writeTestData(t, 300, 4, 2) // 2 groups of 256
+	x, labels := openLocal(t, path)
+	y := preprocess.BinaryLabels(labels, 1)
+	want, err := logreg.Train(context.Background(), x, y, logreg.Options{MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCluster(t, 4, WorkerConfig{Mode: core.InMemory, Workers: 1})
+	got, err := c.Fit(context.Background(), path, Spec{
+		Algo: "logistic", Binarize: true, Positive: 1, MaxIterations: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 2 {
+		t.Fatalf("shards = %d, want 2", c.Shards())
+	}
+	eqFloats(t, "weights", got.(*logreg.Model).Weights, want.Weights)
+}

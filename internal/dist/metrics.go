@@ -1,0 +1,36 @@
+package dist
+
+import "m3/internal/obs"
+
+// Cluster-level metrics, registered on the obs default registry so
+// /metrics on any process embedding a coordinator or worker exports
+// them alongside the engine's fit metrics.
+var (
+	// roundsTotal counts coordinator broadcast rounds by op.
+	roundsTotal = obs.NewCounterVec("m3_dist_rounds_total",
+		"Coordinator broadcast rounds, by op.", "op")
+	// bytesSentTotal / bytesRecvTotal count wire bytes from the
+	// coordinator's side, by op — the shipped-state cost of each
+	// distributed pass.
+	bytesSentTotal = obs.NewCounterVec("m3_dist_bytes_sent_total",
+		"Bytes sent by the coordinator, by op.", "op")
+	bytesRecvTotal = obs.NewCounterVec("m3_dist_bytes_received_total",
+		"Bytes received by the coordinator, by op.", "op")
+	// stragglerWaitSeconds accumulates, per round, how long the
+	// fastest worker waited for the slowest — the synchronization tax
+	// of the bulk-synchronous design.
+	stragglerWaitSeconds = obs.NewCounterVec("m3_dist_straggler_wait_seconds_total",
+		"Per-round wait of the fastest worker on the slowest, by op.", "op")
+	// workerOpsTotal counts ops served by this process's workers.
+	workerOpsTotal = obs.NewCounterVec("m3_dist_worker_ops_total",
+		"Ops served by workers in this process, by op.", "op")
+)
+
+func init() {
+	r := obs.Default()
+	r.Register(roundsTotal.Collect)
+	r.Register(bytesSentTotal.Collect)
+	r.Register(bytesRecvTotal.Collect)
+	r.Register(stragglerWaitSeconds.Collect)
+	r.Register(workerOpsTotal.Collect)
+}

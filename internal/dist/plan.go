@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"fmt"
+
+	"m3/internal/exec"
+	"m3/internal/perfmodel"
+)
+
+// Range is one worker's contiguous row shard [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Rows returns the shard's row count.
+func (r Range) Rows() int { return r.Hi - r.Lo }
+
+// PlanShards splits n rows into at most k contiguous shards whose
+// boundaries all sit on the canonical merge-group grid
+// (exec.GroupRows(n)). Group alignment is the bit-identity contract:
+// every merge group is computed wholly by one worker, so the
+// coordinator's refold replays the local grouped fold operation for
+// operation. When n has fewer groups than k, fewer (non-empty) shards
+// are returned; callers drive only the returned shards.
+func PlanShards(n, k int) ([]Range, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: cannot shard %d rows", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dist: cannot plan %d shards", k)
+	}
+	gr := exec.GroupRows(n)
+	groups := (n + gr - 1) / gr
+	if k > groups {
+		k = groups
+	}
+	shards := make([]Range, 0, k)
+	base, rem := groups/k, groups%k
+	start := 0
+	for i := 0; i < k; i++ {
+		count := base
+		if i < rem {
+			count++
+		}
+		end := start + count
+		lo, hi := start*gr, end*gr
+		if hi > n {
+			hi = n
+		}
+		shards = append(shards, Range{Lo: lo, Hi: hi})
+		start = end
+	}
+	return shards, nil
+}
+
+// RecommendShards picks a shard count for a dataset of sizeBytes
+// using a fitted two-segment scan-cost model (internal/perfmodel) and
+// a per-node memory budget: enough shards that every shard drops into
+// the model's in-RAM regime (below the knee), clamped to [1, max].
+// With no knee — the model never left RAM — one shard suffices and
+// the network tax is pure overhead.
+func RecommendShards(sizeBytes int64, m *perfmodel.Model, nodeBudget int64, max int) int {
+	if max < 1 {
+		max = 1
+	}
+	target := nodeBudget
+	if m != nil && m.KneeBytes > 0 && (target <= 0 || int64(m.KneeBytes) < target) {
+		target = int64(m.KneeBytes)
+	}
+	if target <= 0 || sizeBytes <= target {
+		return 1
+	}
+	k := int((sizeBytes + target - 1) / target)
+	if k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,404 @@
+// Package dist implements M3's row-sharded training cluster: K
+// workers each own one contiguous, merge-group-aligned row range of a
+// dataset file and an engine to scan it; a coordinator broadcasts
+// per-iteration state (optimizer parameters, centroids, fitted stage
+// statistics) and refolds the per-group partials the workers ship.
+//
+// Because shard boundaries sit on the canonical merge-group grid
+// (exec.GroupRows of the global row count) and every worker scan
+// overrides its group height to that global value, the coordinator's
+// refold performs exactly the floating-point operations a local
+// single-machine fit performs, in exactly the same order. A K-shard
+// fit is therefore bit-identical to a 1-worker local fit — same
+// predictions, same saved model bytes — for every shardable
+// estimator.
+//
+// The transport is deliberately small: length-prefixed gob frames
+// over TCP, one connection per worker, strictly serial
+// request/response per connection, per-call deadlines, and
+// retry-with-backoff on transient dial errors. No third-party
+// dependencies.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"time"
+
+	"m3/internal/exec"
+	"m3/internal/ml/bayes"
+	"m3/internal/ml/kmeans"
+	"m3/internal/ml/linreg"
+	"m3/internal/ml/logreg"
+	"m3/internal/ml/pca"
+	"m3/internal/ml/preprocess"
+)
+
+// maxFrameBytes bounds a single wire frame; anything larger is a
+// protocol error, not a legitimate payload.
+const maxFrameBytes = 1 << 30
+
+// request is the coordinator→worker envelope. Body is the
+// gob-encoded op payload, nested so the frame layer never needs to
+// know the payload's Go type and byte accounting is exact.
+type request struct {
+	Seq  uint64
+	Op   string
+	Body []byte
+}
+
+// response is the worker→coordinator envelope. A non-empty Err
+// carries the worker-side error; Body is then empty.
+type response struct {
+	Seq  uint64
+	Err  string
+	Body []byte
+}
+
+// encodeBody gobs an op payload into envelope bytes.
+func encodeBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("dist: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBody ungobs envelope bytes into an op payload.
+func decodeBody(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("dist: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// writeFrame writes one length-prefixed gob frame.
+func writeFrame(w io.Writer, v any) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return 0, fmt.Errorf("dist: encode frame: %w", err)
+	}
+	if buf.Len() > maxFrameBytes {
+		return 0, fmt.Errorf("dist: frame of %d bytes exceeds limit", buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf.Bytes())
+	return 4 + n, err
+}
+
+// readFrame reads one length-prefixed gob frame into v, returning the
+// bytes consumed.
+func readFrame(r io.Reader, v any) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return 4, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 4, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return 4 + int(n), fmt.Errorf("dist: decode frame: %w", err)
+	}
+	return 4 + int(n), nil
+}
+
+// dialRetry dials addr, retrying transient failures (refused
+// connections, timeouts — a worker still binding its listener) with
+// exponential backoff.
+func dialRetry(ctx context.Context, addr string, timeout time.Duration, retries int) (net.Conn, error) {
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, errors.Join(ctx.Err(), lastErr)
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		d := net.Dialer{Timeout: timeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if !transientDialError(err) {
+			break
+		}
+	}
+	return nil, fmt.Errorf("dist: dial %s: %w", addr, lastErr)
+}
+
+// transientDialError reports whether a dial failure is worth
+// retrying: the worker may simply not be listening yet.
+func transientDialError(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// --- Op payloads ------------------------------------------------------
+//
+// Every type below crosses the wire via gob. Fields are value types
+// or slices of them; partial types imported from the ml packages
+// export exactly their aggregate fields (scratch buffers are
+// unexported and stay worker-side).
+
+// statReq asks a worker to report a dataset file's shape without
+// holding it open.
+type statReq struct{ Path string }
+
+type statResp struct {
+	Rows, Cols int
+	HasLabels  bool
+}
+
+// openReq assigns the worker its shard: rows [Lo, Hi) of Path, with
+// every scan folding at the coordinator's global group height.
+type openReq struct {
+	Path      string
+	Lo, Hi    int
+	GroupRows int
+}
+
+type openResp struct {
+	Rows, Cols int
+	HasLabels  bool
+}
+
+// resetReq clears per-fit state (transform chain, caches, label
+// views, k-means scratch) while keeping the shard open.
+type resetReq struct{}
+
+type resetResp struct{}
+
+// stageReq appends one fitted transformer stage to the worker's fused
+// view. Exactly one of the stage groups is populated, per Kind.
+type stageReq struct {
+	// Kind is "standard", "minmax" or "pca".
+	Kind string
+	// Mean/Std parameterize a standard scaler.
+	Mean, Std []float64
+	// Min/Range parameterize a min-max scaler.
+	Min, Range []float64
+	// Components (K×D row-major), PCAMean, K and D parameterize a
+	// PCA projection.
+	Components []float64
+	PCAMean    []float64
+	K, D       int
+}
+
+type stageResp struct{ OutCols int }
+
+// materializeReq streams the worker's fused view once into engine
+// scratch, so multi-epoch finals re-scan the transformed shard
+// instead of re-running the chain every iteration — the distributed
+// mirror of the pipeline's single cache materialization.
+type materializeReq struct{}
+
+type materializeResp struct{ Stall float64 }
+
+// gradReq is one binary-logistic objective evaluation at Params.
+type gradReq struct {
+	Params    []float64
+	Intercept bool
+	Binarize  bool
+	Positive  float64
+}
+
+type gradResp struct {
+	Groups []exec.GroupPartial[*logreg.GradPartial]
+	Stall  float64
+}
+
+// softmaxReq is one multiclass objective evaluation at Params.
+type softmaxReq struct {
+	Params    []float64
+	Classes   int
+	Intercept bool
+}
+
+type softmaxResp struct {
+	Groups []exec.GroupPartial[*logreg.SoftmaxPartial]
+	Stall  float64
+}
+
+// lsqReq is one least-squares objective evaluation at Params.
+type lsqReq struct {
+	Params    []float64
+	Intercept bool
+}
+
+type lsqResp struct {
+	Groups []exec.GroupPartial[*linreg.LsqPartial]
+	Stall  float64
+}
+
+// gramReq is the exact path's single normal-equations scan.
+type gramReq struct{ NoIntercept bool }
+
+type gramResp struct {
+	Groups []exec.GroupPartial[*linreg.GramPartial]
+	Stall  float64
+}
+
+// bayesReq is the naive-Bayes counting scan.
+type bayesReq struct{ Classes int }
+
+type bayesResp struct {
+	Groups []exec.GroupPartial[*bayes.CountPartial]
+	Stall  float64
+}
+
+// momentsReq is the standard-scaler Welford scan.
+type momentsReq struct{}
+
+type momentsResp struct {
+	Groups []exec.GroupPartial[*preprocess.Moments]
+	Stall  float64
+}
+
+// extremaReq is the min-max scan.
+type extremaReq struct{}
+
+type extremaResp struct {
+	Groups []exec.GroupPartial[*preprocess.Extrema]
+	Stall  float64
+}
+
+// pcaMeanReq is the PCA column-sum pass.
+type pcaMeanReq struct{}
+
+type pcaMeanResp struct {
+	Groups []exec.GroupPartial[[]float64]
+	Stall  float64
+}
+
+// pcaCovReq is the PCA scatter pass at the global mean.
+type pcaCovReq struct{ Mean []float64 }
+
+type pcaCovResp struct {
+	Groups []exec.GroupPartial[*pca.CovPartial]
+	Stall  float64
+}
+
+// assignReq is one Lloyd assignment pass at Centroids (K×D
+// row-major).
+type assignReq struct {
+	Centroids []float64
+	K         int
+}
+
+type assignResp struct {
+	Groups []exec.GroupPartial[*kmeans.AssignPartial]
+	Stall  float64
+}
+
+// seedReq is one k-means++ distance-update pass against the
+// previously chosen centroid.
+type seedReq struct{ Prev []float64 }
+
+// massGroup is one merge group's k-means++ probability mass. The
+// local fold's state is *float64; shipping the scalar by value keeps
+// gob from eliding all-zero groups (it omits zero fields, which would
+// turn a zero-mass group into a nil pointer on decode).
+type massGroup struct {
+	Lo, Hi int
+	Mass   float64
+}
+
+type seedResp struct {
+	Groups []massGroup
+	Stall  float64
+}
+
+// sampleReq resumes the sequential k-means++ prefix-sum walk on this
+// shard with the running accumulator from the shards before it.
+type sampleReq struct {
+	Acc    float64
+	Target float64
+}
+
+type sampleResp struct {
+	Found bool
+	// Idx is shard-local; the coordinator adds the shard offset.
+	Idx int
+	Acc float64
+}
+
+// rowReq fetches one transformed row (shard-local index) — centroid
+// initialization and empty-cluster repair.
+type rowReq struct{ I int }
+
+type rowResp struct {
+	Row   []float64
+	Stall float64
+}
+
+// gatherReq collects the shard's final k-means assignments.
+type gatherReq struct{}
+
+type gatherResp struct{ Assignments []int }
+
+// Spec describes one fit the coordinator drives. It is a flat,
+// gob-friendly mirror of the public estimator configuration (function
+// fields like iteration callbacks cannot cross the wire). One Spec
+// describes either a single estimator or a pipeline (Stages +
+// Final).
+type Spec struct {
+	// Algo selects the program: "logistic", "softmax", "linear",
+	// "linear-exact", "bayes", "kmeans", "pca", "standard-scaler",
+	// "minmax-scaler" or "pipeline".
+	Algo string
+
+	// Logistic: derive 0/1 labels by comparing to Positive.
+	Binarize bool
+	Positive float64
+
+	// Softmax / bayes class count.
+	Classes int
+
+	// Shared optimizer surface (logistic, softmax, linear).
+	Lambda        float64
+	NoIntercept   bool
+	MaxIterations int
+	GradTol       float64
+
+	// Bayes.
+	VarSmoothing float64
+
+	// K-means.
+	K                int
+	Tol              float64
+	Seed             uint64
+	RandomInit       bool
+	RunAllIterations bool
+	// InitCentroids is K×D row-major when non-nil.
+	InitCentroids []float64
+
+	// PCA.
+	Components int
+
+	// Pipeline: transformer stages then the final estimator.
+	Stages []Spec
+	Final  *Spec
+}

@@ -11,6 +11,18 @@
 // results are bit-identical run to run regardless of how many workers
 // execute the map. Parallelism changes wall time, not answers.
 //
+// Row scans additionally fix a canonical *grouped* merge association:
+// rows are cut into merge groups of GroupRows(n) rows (a function of
+// the row count alone), blocks never straddle a group boundary, each
+// group folds its blocks into a zero-valued group state, and the root
+// folds the group states in ascending row order. The two-level shape
+// is what makes the reduction shippable: a distributed worker holding
+// a group-aligned row shard computes exactly the group states the
+// local scan would (ReduceRowGroups), and a coordinator that refolds
+// them in global row order performs literally the same sequence of
+// floating-point merges as a single-process fit — K-shard results are
+// bit-identical to local ones, not merely close.
+//
 // The layer integrates with the storage stack rather than sitting on
 // top of it:
 //
@@ -106,6 +118,31 @@ func Partition(n, itemBytes, targetBlockBytes int) []Block {
 		blocks = append(blocks, Block{Lo: lo, Hi: hi})
 	}
 	return blocks
+}
+
+// Merge-group geometry. Groups bound the number of partial states a
+// distributed round ships (and a coordinator buffers) at MaxRowGroups,
+// while MinGroupRows keeps groups page-scale so the per-group fold
+// overhead stays negligible next to the block kernels.
+const (
+	// MinGroupRows is the smallest canonical merge-group height.
+	MinGroupRows = 256
+	// MaxRowGroups bounds how many merge groups a scan produces.
+	MaxRowGroups = 64
+)
+
+// GroupRows returns the canonical merge-group height for a scan of n
+// rows: the smallest power of two >= MinGroupRows whose group count
+// stays within MaxRowGroups. It depends only on n — never on worker
+// count, block size or shard layout — so every participant in a
+// distributed fit derives the same group boundaries from the global
+// row count alone.
+func GroupRows(n int) int {
+	g := MinGroupRows
+	for n > g*MaxRowGroups {
+		g <<= 1
+	}
+	return g
 }
 
 // ctxErr reports the cancellation state of an optional context (nil
@@ -283,6 +320,13 @@ type RowScan struct {
 	// SrcCols is the width of the source rows read from the store when
 	// Transform is set (<= 0 defaults to Cols, an in-place chain).
 	SrcCols int
+	// GroupRows overrides the canonical merge-group height (<= 0
+	// derives GroupRows(Rows)). A distributed worker scanning a
+	// group-aligned shard of a larger matrix sets this to the
+	// coordinator's GroupRows(globalRows): the shard then partitions
+	// and groups exactly as those rows do inside the global scan, so
+	// its group partials are interchangeable with local ones.
+	GroupRows int
 	// OnBlock, when non-nil, is invoked by the processing worker after
 	// each block completes (Touch accounting and the block computation
 	// both done) with the pool-worker index, the block and the block's
@@ -310,8 +354,37 @@ func (s RowScan) Named(name string) RowScan {
 // scans the partition is computed from the transformed width (Cols),
 // matching the partition of the materialized output matrix so fused
 // reductions associate identically.
+//
+// Blocks never straddle a merge-group boundary: each group of
+// groupRows() rows is partitioned independently, so the block pattern
+// restarts at every group boundary. That is what makes a shard-local
+// partition equal the global partition restricted to the shard when
+// the shard starts on a group boundary.
 func (s RowScan) Blocks() []Block {
-	return Partition(s.Rows, s.Cols*8, s.BlockBytes)
+	gr := s.groupRows()
+	if s.Rows <= gr {
+		return Partition(s.Rows, s.Cols*8, s.BlockBytes)
+	}
+	blocks := make([]Block, 0, 2*MaxRowGroups)
+	for glo := 0; glo < s.Rows; glo += gr {
+		ghi := glo + gr
+		if ghi > s.Rows {
+			ghi = s.Rows
+		}
+		for _, b := range Partition(ghi-glo, s.Cols*8, s.BlockBytes) {
+			blocks = append(blocks, Block{Lo: glo + b.Lo, Hi: glo + b.Hi})
+		}
+	}
+	return blocks
+}
+
+// groupRows resolves the merge-group height: the explicit override
+// for shard scans, the canonical derivation otherwise.
+func (s RowScan) groupRows() int {
+	if s.GroupRows > 0 {
+		return s.GroupRows
+	}
+	return GroupRows(s.Rows)
 }
 
 // srcCols resolves the width of the rows actually read from the
@@ -347,22 +420,35 @@ func (s RowScan) effectiveWorkers(nblocks int) int {
 	return w
 }
 
-// blockState pairs a user partial with its accounted stall so both
-// reduce in block order.
+// blockState pairs a user partial with its accounted stall and its
+// block's first row so all three reduce in block order.
 type blockState[T any] struct {
 	user  T
+	lo    int
 	stall float64
 }
 
+// GroupPartial is one canonical merge group's folded state: the rows
+// [Lo, Hi) it covers and the zero-rooted fold of its blocks' partials.
+// Refolding a scan's GroupPartials in ascending Lo order with the same
+// merge function reproduces the ReduceRowBlocks root bit for bit —
+// the seam the distributed layer ships across the network.
+type GroupPartial[T any] struct {
+	Lo, Hi int
+	State  T
+}
+
 // ReduceRowBlocks applies fn to whole row blocks and merges per-block
-// partial states in ascending block order, returning the root state
-// and the total simulated stall. Each block declares its access with
-// one bulk Store.Touch and, on prefetch-capable stores, first advises
-// WillNeed for the following block so the kernel overlaps its faults
-// with this block's compute. fn receives the row range [lo, hi), the
-// backing slice of those rows (starting at row lo) and the row
-// stride, sized for direct use with the row-block kernels in
-// internal/blas (Gemv, SumRows, ...).
+// partial states in canonical grouped order — blocks fold into their
+// merge group's state, groups fold into the root, both in ascending
+// row order — returning the root state and the total simulated
+// stall. Each block declares its access with one bulk Store.Touch
+// and, on prefetch-capable stores, first advises WillNeed for the
+// following block so the kernel overlaps its faults with this block's
+// compute. fn receives the row range [lo, hi), the backing slice of
+// those rows (starting at row lo) and the row stride, sized for
+// direct use with the row-block kernels in internal/blas (Gemv,
+// SumRows, ...).
 //
 // On a fused scan (s.Transform non-nil) fn instead receives each
 // transformed row as a single-row block ([i, i+1), stride s.Cols):
@@ -374,6 +460,38 @@ type blockState[T any] struct {
 // When s.Ctx is cancelled the scan stops within one block and returns
 // s.Ctx.Err(); the partial state must then be discarded.
 func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi int, block []float64, stride int), merge func(dst, src T)) (T, float64, error) {
+	root := alloc()
+	stall, err := reduceRowScan(s, alloc, fn, merge,
+		func(_, _ int, group T) { merge(root, group) })
+	return root, stall, err
+}
+
+// ReduceRowGroups is ReduceRowBlocks stopped one fold short: it
+// returns the per-group partial states, in ascending row order,
+// instead of folding them into a root. A distributed worker calls
+// this on its shard scan (with RowScan.GroupRows set to the global
+// group height) and ships the partials; the coordinator refolds all
+// shards' groups in global row order and obtains the exact bits a
+// local ReduceRowBlocks would have produced. On error the partials
+// are withheld (nil) — an interrupted scan has incomplete groups.
+func ReduceRowGroups[T any](s RowScan, alloc func() T, fn func(state T, lo, hi int, block []float64, stride int), merge func(dst, src T)) ([]GroupPartial[T], float64, error) {
+	groups := make([]GroupPartial[T], 0, MaxRowGroups)
+	stall, err := reduceRowScan(s, alloc, fn, merge,
+		func(lo, hi int, group T) {
+			groups = append(groups, GroupPartial[T]{Lo: lo, Hi: hi, State: group})
+		})
+	if err != nil {
+		return nil, stall, err
+	}
+	return groups, stall, nil
+}
+
+// reduceRowScan runs the blocked scan shared by ReduceRowBlocks and
+// ReduceRowGroups: per-block partials fold into zero-rooted group
+// states in ascending block order, and each completed group is handed
+// to emit (ascending, from the single reducing goroutine). emit is
+// not called for groups left incomplete by cancellation.
+func reduceRowScan[T any](s RowScan, alloc func() T, fn func(state T, lo, hi int, block []float64, stride int), merge func(dst, src T), emit func(lo, hi int, group T)) (float64, error) {
 	blocks := s.Blocks()
 	data := s.Store.Data()
 	adviser, _ := s.Store.(store.RangeAdviser)
@@ -426,9 +544,30 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 		touch = func(w int, start, n int) float64 { return streams[w].Touch(start, n) }
 	}
 
+	// Grouped fold bookkeeping. The merge callback below runs on a
+	// single goroutine in ascending block order (mapReduceWorker's
+	// contract), so plain captured state suffices: when a block from a
+	// new group arrives, the finished group is emitted and a fresh
+	// zero-valued group state begins.
+	gr := s.groupRows()
+	var group T
+	groupIdx := -1
+	flush := func() {
+		if groupIdx < 0 {
+			return
+		}
+		lo := groupIdx * gr
+		hi := lo + gr
+		if hi > s.Rows {
+			hi = s.Rows
+		}
+		emit(lo, hi, group)
+	}
+
 	root, err := mapReduceWorker(s.Ctx, blocks, workers,
 		func() *blockState[T] { return &blockState[T]{user: alloc()} },
 		func(st *blockState[T], w int, b Block) {
+			st.lo = b.Lo
 			var t0 time.Duration
 			if tr != nil {
 				t0 = tr.Now()
@@ -479,9 +618,17 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 			}
 		},
 		func(dst, src *blockState[T]) {
-			merge(dst.user, src.user)
 			dst.stall += src.stall
+			if g := src.lo / gr; g != groupIdx {
+				flush()
+				group = alloc()
+				groupIdx = g
+			}
+			merge(group, src.user)
 		})
+	if err == nil {
+		flush()
+	}
 	if scanSpan != nil {
 		scanSpan.SetArg("stall_s", root.stall)
 		if err != nil {
@@ -489,7 +636,7 @@ func ReduceRowBlocks[T any](s RowScan, alloc func() T, fn func(state T, lo, hi i
 		}
 		scanSpan.End()
 	}
-	return root.user, root.stall, err
+	return root.stall, err
 }
 
 // ReduceRows applies fn to every row of the scan and merges per-block

@@ -69,6 +69,75 @@ func Train(ctx context.Context, x *mat.Dense, y []int, classes int, opts Options
 		}
 	}
 
+	// Single blocked scan on the shared execution layer: each block
+	// accumulates per-class count, sum and sum-of-squares partials,
+	// merged in block order so the model is identical for any worker
+	// count.
+	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers).Named("bayes moments"),
+		func() *CountPartial { return NewCountPartial(classes, d) },
+		func(p *CountPartial, i int, row []float64) { p.Add(y[i], row) },
+		MergeCounts)
+	if err != nil {
+		return nil, err
+	}
+	return ModelFromCounts(acc, n, classes, d, o.VarSmoothing)
+}
+
+// CountPartial is one merge group's (or block's) share of the class
+// statistics — the shardable aggregate of a naive-Bayes fit. Fields
+// are exported for gob.
+type CountPartial struct {
+	Counts, Sum, SumSq []float64
+}
+
+// NewCountPartial returns a zero partial for classes×d statistics.
+func NewCountPartial(classes, d int) *CountPartial {
+	return &CountPartial{
+		Counts: make([]float64, classes),
+		Sum:    make([]float64, classes*d),
+		SumSq:  make([]float64, classes*d),
+	}
+}
+
+// Add accumulates one row of class c.
+func (p *CountPartial) Add(c int, row []float64) {
+	p.Counts[c]++
+	base := c * len(row)
+	for j, v := range row {
+		p.Sum[base+j] += v
+		p.SumSq[base+j] += v * v
+	}
+}
+
+// MergeCounts folds src into dst with the local scan's exact merge
+// operations.
+func MergeCounts(dst, src *CountPartial) {
+	blas.Axpy(1, src.Counts, dst.Counts)
+	blas.Axpy(1, src.Sum, dst.Sum)
+	blas.Axpy(1, src.SumSq, dst.SumSq)
+}
+
+// CountGroups computes the per-merge-group class-statistic partials —
+// the worker half of a distributed fit. groupRows must be the
+// coordinator's global group height.
+func CountGroups(ctx context.Context, x *mat.Dense, y []int, classes int, workers, groupRows int) ([]exec.GroupPartial[*CountPartial], float64, error) {
+	d := x.Cols()
+	scan := x.ScanCtx(ctx, workers).Named("bayes moments")
+	scan.GroupRows = groupRows
+	return exec.ReduceRowGroups(scan,
+		func() *CountPartial { return NewCountPartial(classes, d) },
+		func(p *CountPartial, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				p.Add(y[i], block[(i-lo)*stride:(i-lo)*stride+d])
+			}
+		},
+		MergeCounts)
+}
+
+// ModelFromCounts closes the fit over the folded statistics — mean,
+// biased variance with smoothing, log priors — the arithmetic shared
+// by the local and distributed paths. n is the global row count.
+func ModelFromCounts(acc *CountPartial, n, classes, d int, varSmoothing float64) (*Model, error) {
 	m := &Model{
 		Classes:  classes,
 		Features: d,
@@ -76,37 +145,7 @@ func Train(ctx context.Context, x *mat.Dense, y []int, classes int, opts Options
 		Var:      make([]float64, classes*d),
 		LogPrior: make([]float64, classes),
 	}
-	// Single blocked scan on the shared execution layer: each block
-	// accumulates per-class count, sum and sum-of-squares partials,
-	// merged in block order so the model is identical for any worker
-	// count.
-	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers).Named("bayes moments"),
-		func() *countPartial {
-			return &countPartial{
-				counts: make([]float64, classes),
-				sum:    make([]float64, classes*d),
-				sumSq:  make([]float64, classes*d),
-			}
-		},
-		func(p *countPartial, i int, row []float64) {
-			c := y[i]
-			p.counts[c]++
-			base := c * d
-			for j, v := range row {
-				p.sum[base+j] += v
-				p.sumSq[base+j] += v * v
-			}
-		},
-		func(dst, src *countPartial) {
-			blas.Axpy(1, src.counts, dst.counts)
-			blas.Axpy(1, src.sum, dst.sum)
-			blas.Axpy(1, src.sumSq, dst.sumSq)
-		})
-	if err != nil {
-		return nil, err
-	}
-	counts, sum, sumSq := acc.counts, acc.sum, acc.sumSq
-
+	counts, sum, sumSq := acc.Counts, acc.Sum, acc.SumSq
 	var maxVar float64
 	for c := 0; c < classes; c++ {
 		if counts[c] == 0 {
@@ -127,16 +166,17 @@ func Train(ctx context.Context, x *mat.Dense, y []int, classes int, opts Options
 			}
 		}
 	}
-	eps := o.VarSmoothing * math.Max(maxVar, 1e-12)
+	eps := varSmoothing * math.Max(maxVar, 1e-12)
 	for i := range m.Var {
 		m.Var[i] += eps
 	}
 	return m, nil
 }
 
-// countPartial is one block's share of the class statistics.
-type countPartial struct {
-	counts, sum, sumSq []float64
+// DefaultVarSmoothing resolves the smoothing knob the way Train does,
+// so distributed callers share the default.
+func DefaultVarSmoothing(v float64) float64 {
+	return Options{VarSmoothing: v}.withDefaults().VarSmoothing
 }
 
 // LogScores writes per-class joint log-likelihoods into dst

@@ -4,6 +4,14 @@
 // the (possibly memory-mapped) data matrix once: the assignment pass
 // is a pure sequential scan, which is why k-means pages as well as
 // logistic regression under M3.
+//
+// The algorithm is written against a DataPlane — the four data-touching
+// operations a fit needs (assignment pass, seeding pass, prefix
+// sampling, row fetch). Run wires the plane to a local matrix; a
+// distributed coordinator implements the same interface over sharded
+// workers, and because every plane operation reproduces the local
+// floating-point operation order exactly, both planes produce
+// bit-identical results.
 package kmeans
 
 import (
@@ -82,12 +90,213 @@ type Result struct {
 	Scans int
 }
 
-// assignPartial is one block's share of a Lloyd assignment pass.
-type assignPartial struct {
-	sums    []float64
-	counts  []int
-	inertia float64
-	changed int
+// AssignPartial is one merge group's (or block's) share of a Lloyd
+// assignment pass — the shardable aggregate a distributed assignment
+// ships. Fields are exported for gob.
+type AssignPartial struct {
+	Sums    []float64
+	Counts  []int
+	Inertia float64
+	Changed int
+}
+
+// NewAssignPartial returns a zero partial for k clusters over d
+// features.
+func NewAssignPartial(k, d int) *AssignPartial {
+	return &AssignPartial{Sums: make([]float64, k*d), Counts: make([]int, k)}
+}
+
+// MergeAssign folds src into dst with the local pass's exact merge
+// operations, exported so a coordinator refolds shipped partials with
+// the same floating-point operation sequence.
+func MergeAssign(dst, src *AssignPartial) {
+	dst.Inertia += src.Inertia
+	dst.Changed += src.Changed
+	blas.Axpy(1, src.Sums, dst.Sums)
+	for c, n := range src.Counts {
+		dst.Counts[c] += n
+	}
+}
+
+// assignKernel returns the per-row accumulation of one Lloyd
+// assignment pass. assignments is indexed by the scan's row index
+// (shard-local on a worker) and is updated in place.
+func assignKernel(assignments []int, centroids []float64, k, d int) func(p *AssignPartial, i int, row []float64) {
+	return func(p *AssignPartial, i int, row []float64) {
+		bestC, best := blas.NearestRow(row, k, d, centroids, d)
+		if assignments[i] != bestC {
+			p.Changed++
+			assignments[i] = bestC
+		}
+		p.Inertia += best
+		blas.Axpy(1, row, p.Sums[bestC*d:(bestC+1)*d])
+		p.Counts[bestC]++
+	}
+}
+
+// AssignGroups runs one assignment pass and returns the per-merge-group
+// partials — the worker half of a distributed Lloyd iteration.
+// assignments must have x.Rows() entries (shard-local); groupRows must
+// be the coordinator's global group height.
+func AssignGroups(ctx context.Context, x *mat.Dense, assignments []int, centroids []float64, k, workers, groupRows int) ([]exec.GroupPartial[*AssignPartial], float64, error) {
+	d := x.Cols()
+	scan := x.ScanCtx(ctx, workers).Named("kmeans assign")
+	scan.GroupRows = groupRows
+	kern := assignKernel(assignments, centroids, k, d)
+	return exec.ReduceRowGroups(scan,
+		func() *AssignPartial { return NewAssignPartial(k, d) },
+		func(p *AssignPartial, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				kern(p, i, block[(i-lo)*stride:(i-lo)*stride+d])
+			}
+		},
+		MergeAssign)
+}
+
+// seedKernel returns the per-row accumulation of one k-means++ seeding
+// pass: tighten dist[i] against the newest centroid and accumulate the
+// total mass.
+func seedKernel(dist, prev []float64) func(mass *float64, i int, row []float64) {
+	return func(mass *float64, i int, row []float64) {
+		if d2 := blas.SqDist(row, prev); d2 < dist[i] {
+			dist[i] = d2
+		}
+		*mass += dist[i]
+	}
+}
+
+// SeedGroups runs one k-means++ seeding pass against the newest
+// centroid prev, updating dist in place, and returns the per-group
+// mass partials — the worker half of a distributed seeding round.
+func SeedGroups(ctx context.Context, x *mat.Dense, dist, prev []float64, workers, groupRows int) ([]exec.GroupPartial[*float64], float64, error) {
+	d := x.Cols()
+	scan := x.ScanCtx(ctx, workers).Named("kmeans++ seed")
+	scan.GroupRows = groupRows
+	kern := seedKernel(dist, prev)
+	return exec.ReduceRowGroups(scan,
+		func() *float64 { return new(float64) },
+		func(mass *float64, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				kern(mass, i, block[(i-lo)*stride:(i-lo)*stride+d])
+			}
+		},
+		func(dst, src *float64) { *dst += *src })
+}
+
+// SamplePrefix walks dist in order, accumulating into acc, and returns
+// the first index where the running sum reaches target. Shards chain
+// the call — each passes the previous shard's final acc — so the
+// distributed walk performs the identical sequential additions the
+// local one does.
+func SamplePrefix(dist []float64, acc, target float64) (chosen int, newAcc float64, found bool) {
+	for i, d2 := range dist {
+		acc += d2
+		if acc >= target {
+			return i, acc, true
+		}
+	}
+	return 0, acc, false
+}
+
+// DataPlane is the data-touching surface of a k-means fit: everything
+// RunPlane needs from the row set, local or distributed. A plane is
+// per-fit — it owns the fit's assignment vector and seeding distances.
+//
+// Implementations must reproduce the local floating-point operation
+// order exactly (grouped block reduction for the passes, sequential
+// prefix walk for sampling) so that every plane yields bit-identical
+// results.
+type DataPlane interface {
+	// Dims returns the global row and feature counts.
+	Dims() (n, d int)
+	// AssignPass runs one Lloyd assignment pass against the flat K×D
+	// centroid block, updating the plane's assignments, and returns
+	// the fully folded partial plus accumulated stall seconds.
+	AssignPass(ctx context.Context, centroids []float64, k int) (*AssignPartial, float64, error)
+	// SeedPass tightens the plane's k-means++ distances against the
+	// newest centroid and returns the total mass plus stall seconds.
+	SeedPass(ctx context.Context, prev []float64) (mass, stall float64, err error)
+	// SamplePrefix returns the first global row index where the
+	// running sum over the seeding distances reaches target (the last
+	// row when the mass falls short, mirroring the local fallback).
+	SamplePrefix(ctx context.Context, target float64) (int, error)
+	// FetchRow copies global row i into dst and returns stall seconds.
+	FetchRow(ctx context.Context, i int, dst []float64) (float64, error)
+	// GatherAssignments returns the per-row cluster assignments in
+	// global row order.
+	GatherAssignments(ctx context.Context) ([]int, error)
+}
+
+// LocalPlane is the single-machine DataPlane over a matrix.
+type LocalPlane struct {
+	x           *mat.Dense
+	workers     int
+	assignments []int
+	dist        []float64
+}
+
+// NewLocalPlane wraps x for a fit. workers <= 0 defers to the engine
+// hint and then NumCPU.
+func NewLocalPlane(x *mat.Dense, workers int) *LocalPlane {
+	return &LocalPlane{x: x, workers: workers, assignments: make([]int, x.Rows())}
+}
+
+// Dims implements DataPlane.
+func (p *LocalPlane) Dims() (int, int) { return p.x.Dims() }
+
+// AssignPass implements DataPlane with one blocked scan on the shared
+// execution layer: each block accumulates its own sums/counts/inertia,
+// partials merge in block order within canonical row groups, so the
+// result is identical for any worker count. assignments[i] writes are
+// per-row disjoint.
+func (p *LocalPlane) AssignPass(ctx context.Context, centroids []float64, k int) (*AssignPartial, float64, error) {
+	d := p.x.Cols()
+	kern := assignKernel(p.assignments, centroids, k, d)
+	return exec.ReduceRows(p.x.ScanCtx(ctx, p.workers).Named("kmeans assign"),
+		func() *AssignPartial { return NewAssignPartial(k, d) },
+		func(ap *AssignPartial, i int, row []float64) { kern(ap, i, row) },
+		MergeAssign)
+}
+
+// SeedPass implements DataPlane (dist[i] updates are per-row disjoint,
+// the mass total reduces in block order).
+func (p *LocalPlane) SeedPass(ctx context.Context, prev []float64) (float64, float64, error) {
+	if p.dist == nil {
+		p.dist = make([]float64, p.x.Rows())
+		for i := range p.dist {
+			p.dist[i] = math.Inf(1)
+		}
+	}
+	kern := seedKernel(p.dist, prev)
+	mass, stall, err := exec.ReduceRows(p.x.ScanCtx(ctx, p.workers).Named("kmeans++ seed"),
+		func() *float64 { return new(float64) },
+		func(mass *float64, i int, row []float64) { kern(mass, i, row) },
+		func(dst, src *float64) { *dst += *src })
+	if err != nil {
+		return 0, 0, err
+	}
+	return *mass, stall, nil
+}
+
+// SamplePrefix implements DataPlane.
+func (p *LocalPlane) SamplePrefix(_ context.Context, target float64) (int, error) {
+	chosen, _, found := SamplePrefix(p.dist, 0, target)
+	if !found {
+		chosen = p.x.Rows() - 1
+	}
+	return chosen, nil
+}
+
+// FetchRow implements DataPlane.
+func (p *LocalPlane) FetchRow(_ context.Context, i int, dst []float64) (float64, error) {
+	row, stall := p.x.Row(i)
+	copy(dst, row)
+	return stall, nil
+}
+
+// GatherAssignments implements DataPlane.
+func (p *LocalPlane) GatherAssignments(context.Context) ([]int, error) {
+	return p.assignments, nil
 }
 
 type rng struct{ s uint64 }
@@ -111,10 +320,23 @@ func Run(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return RunPlane(ctx, NewLocalPlane(x, o.Workers), opts)
+}
+
+// RunPlane clusters the plane's rows into K groups — the full Lloyd
+// driver (init, iterate, converge) over any DataPlane. Run wires it to
+// a local matrix; the distributed coordinator wires it to sharded
+// workers, and both produce bit-identical results because the plane
+// contract fixes the floating-point operation order.
+func RunPlane(ctx context.Context, plane DataPlane, opts Options) (*Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := fit.Canceled(ctx); err != nil {
 		return nil, err
 	}
-	n, d := x.Dims()
+	n, d := plane.Dims()
 	if o.K > n {
 		return nil, fmt.Errorf("kmeans: K = %d exceeds %d rows", o.K, n)
 	}
@@ -123,9 +345,16 @@ func Run(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 		r.s = 1
 	}
 
-	res := &Result{
-		Centroids:   mat.NewDense(o.K, d),
-		Assignments: make([]int, n),
+	res := &Result{Centroids: mat.NewDense(o.K, d)}
+	rowBuf := make([]float64, d)
+	fetch := func(i, c int) error {
+		stall, err := plane.FetchRow(ctx, i, rowBuf)
+		if err != nil {
+			return err
+		}
+		res.Stall += stall
+		res.Stall += res.Centroids.SetRow(c, rowBuf)
+		return nil
 	}
 	switch {
 	case o.InitCentroids != nil:
@@ -135,15 +364,42 @@ func Run(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 		}
 		res.Centroids.CopyFrom(o.InitCentroids)
 	case o.RandomInit:
-		res.Stall += initRandom(x, res.Centroids, r)
+		// K distinct random rows as centroids.
+		seen := make(map[int]bool, o.K)
+		for c := 0; c < o.K; c++ {
+			i := r.intn(n)
+			for seen[i] {
+				i = r.intn(n)
+			}
+			seen[i] = true
+			if err := fetch(i, c); err != nil {
+				return nil, err
+			}
+		}
 		res.Scans++ // counted as one pass worth of row touches
 	default:
-		stall, scans, err := initPlusPlus(ctx, x, res.Centroids, r, o.Workers)
-		if err != nil {
+		// k-means++ (Arthur & Vassilvitskii 2007): each next centroid
+		// is sampled with probability proportional to the squared
+		// distance from the nearest chosen centroid. Costs one data
+		// scan per centroid.
+		if err := fetch(r.intn(n), 0); err != nil {
 			return nil, err
 		}
-		res.Stall += stall
-		res.Scans += scans
+		for c := 1; c < o.K; c++ {
+			mass, stall, err := plane.SeedPass(ctx, res.Centroids.RawRow(c-1))
+			if err != nil {
+				return nil, err
+			}
+			res.Stall += stall
+			res.Scans++
+			chosen, err := plane.SamplePrefix(ctx, r.uniform()*mass)
+			if err != nil {
+				return nil, err
+			}
+			if err := fetch(chosen, c); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	newCentroid := make([]float64, d)
@@ -152,75 +408,60 @@ func Run(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("kmeans: internal: centroid matrix not contiguous")
 	}
 	callback := o.Hook("kmeans")
-
-	for iter := 1; iter <= o.MaxIterations; iter++ {
-		// Assignment pass: one blocked scan on the shared execution
-		// layer. Each block accumulates its own sums/counts/inertia;
-		// partials merge in block order, so the result is identical
-		// for any worker count. Assignments[i] is per-row disjoint.
-		acc, stall, err := exec.ReduceRows(x.ScanCtx(ctx, o.Workers).Named("kmeans assign"),
-			func() *assignPartial {
-				return &assignPartial{sums: make([]float64, o.K*d), counts: make([]int, o.K)}
-			},
-			func(p *assignPartial, i int, row []float64) {
-				bestC, best := blas.NearestRow(row, o.K, d, centroids, d)
-				if res.Assignments[i] != bestC {
-					p.changed++
-					res.Assignments[i] = bestC
-				}
-				p.inertia += best
-				blas.Axpy(1, row, p.sums[bestC*d:(bestC+1)*d])
-				p.counts[bestC]++
-			},
-			func(dst, src *assignPartial) {
-				dst.inertia += src.inertia
-				dst.changed += src.changed
-				blas.Axpy(1, src.sums, dst.sums)
-				for c, n := range src.counts {
-					dst.counts[c] += n
-				}
-			})
+	finish := func() (*Result, error) {
+		a, err := plane.GatherAssignments(ctx)
 		if err != nil {
 			return nil, err
 		}
-		sums, counts, changed, inertia := acc.sums, acc.counts, acc.changed, acc.inertia
+		res.Assignments = a
+		return res, nil
+	}
+
+	for iter := 1; iter <= o.MaxIterations; iter++ {
+		acc, stall, err := plane.AssignPass(ctx, centroids, o.K)
+		if err != nil {
+			return nil, err
+		}
 		res.Stall += stall
 		res.Scans++
-		res.Inertia = inertia
+		res.Inertia = acc.Inertia
 		res.Iterations = iter
 
 		// Update pass: centroids are tiny, no data scan needed.
 		move := 0.0
 		for c := 0; c < o.K; c++ {
-			if counts[c] == 0 {
+			if acc.Counts[c] == 0 {
 				// Empty-cluster repair: respawn at a random row.
-				row, s := x.Row(r.intn(n))
-				res.Stall += s
-				copy(newCentroid, row)
+				stall, err := plane.FetchRow(ctx, r.intn(n), newCentroid)
+				if err != nil {
+					return nil, err
+				}
+				res.Stall += stall
 			} else {
-				copy(newCentroid, sums[c*d:(c+1)*d])
-				blas.Scal(1/float64(counts[c]), newCentroid)
+				copy(newCentroid, acc.Sums[c*d:(c+1)*d])
+				blas.Scal(1/float64(acc.Counts[c]), newCentroid)
 			}
 			move += blas.SqDist(newCentroid, res.Centroids.RawRow(c))
 			res.Centroids.SetRow(c, newCentroid)
 		}
 
-		if callback != nil && !callback(optimize.IterInfo{Iter: iter, Value: inertia}) {
-			return res, nil
+		if callback != nil && !callback(optimize.IterInfo{Iter: iter, Value: acc.Inertia}) {
+			return finish()
 		}
-		if changed == 0 && move < o.Tol {
+		if acc.Changed == 0 && move < o.Tol {
 			res.Converged = true
 			if !o.RunAllIterations {
-				return res, nil
+				return finish()
 			}
 		}
 		// First iteration always counts as changed (assignments
 		// start at zero); don't let that block convergence later.
 	}
-	return res, nil
+	return finish()
 }
 
-// initRandom picks K distinct random rows as centroids.
+// initRandom picks K distinct random rows as centroids (used by the
+// mini-batch variant, which runs on a local matrix only).
 func initRandom(x *mat.Dense, centroids *mat.Dense, r *rng) (stall float64) {
 	n, _ := x.Dims()
 	k, _ := centroids.Dims()
@@ -236,59 +477,6 @@ func initRandom(x *mat.Dense, centroids *mat.Dense, r *rng) (stall float64) {
 		stall += centroids.SetRow(c, row)
 	}
 	return stall
-}
-
-// initPlusPlus implements k-means++ (Arthur & Vassilvitskii 2007):
-// each next centroid is sampled with probability proportional to the
-// squared distance from the nearest chosen centroid. Costs one data
-// scan per centroid; each scan runs blocked on the shared execution
-// layer (dist[i] updates are per-row disjoint, the mass total reduces
-// in block order), so the sampled centroids are identical for every
-// worker count and the scans are cancellable.
-func initPlusPlus(ctx context.Context, x *mat.Dense, centroids *mat.Dense, r *rng, workers int) (stall float64, scans int, err error) {
-	n, _ := x.Dims()
-	k, _ := centroids.Dims()
-
-	row, s := x.Row(r.intn(n))
-	stall += s
-	stall += centroids.SetRow(0, row)
-
-	dist := make([]float64, n) // squared distance to nearest centroid
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	for c := 1; c < k; c++ {
-		prev := centroids.RawRow(c - 1)
-		total, scanStall, err := exec.ReduceRows(x.ScanCtx(ctx, workers).Named("kmeans++ seed"),
-			func() *float64 { return new(float64) },
-			func(mass *float64, i int, row []float64) {
-				if d2 := blas.SqDist(row, prev); d2 < dist[i] {
-					dist[i] = d2
-				}
-				*mass += dist[i]
-			},
-			func(dst, src *float64) { *dst += *src })
-		if err != nil {
-			return stall, scans, err
-		}
-		stall += scanStall
-		scans++
-		// Sample proportional to dist.
-		target := r.uniform() * *total
-		chosen := n - 1
-		var acc float64
-		for i, d2 := range dist {
-			acc += d2
-			if acc >= target {
-				chosen = i
-				break
-			}
-		}
-		row, s := x.Row(chosen)
-		stall += s
-		stall += centroids.SetRow(c, row)
-	}
-	return stall, scans, nil
 }
 
 // Predict returns the nearest-centroid assignment for a single row.

@@ -45,6 +45,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ResolveOptions applies the defaults Train and TrainExact would —
+// exported so the distributed coordinator closes the normal equations
+// (and builds its remote objective) with the same ridge penalty a
+// local fit uses.
+func ResolveOptions(opts Options) Options { return opts.withDefaults() }
+
 // Model is a fitted linear regressor.
 type Model struct {
 	// Weights holds one coefficient per feature.
@@ -130,10 +136,75 @@ func (o *Objective) Dim() int {
 	return d
 }
 
-// lsqPartial is one block's share of the least-squares loss.
-type lsqPartial struct {
-	sse, gb float64
-	gw      []float64
+// LsqPartial is one merge group's (or block's) share of the
+// least-squares loss and gradient — the shardable aggregate a
+// distributed evaluation ships. Fields are exported for gob.
+type LsqPartial struct {
+	SSE, GB float64
+	GW      []float64
+}
+
+// NewLsqPartial returns a zero partial for d features.
+func NewLsqPartial(d int) *LsqPartial { return &LsqPartial{GW: make([]float64, d)} }
+
+// MergeLsq folds src into dst with the local objective's exact merge
+// operations.
+func MergeLsq(dst, src *LsqPartial) {
+	dst.SSE += src.SSE
+	dst.GB += src.GB
+	blas.Axpy(1, src.GW, dst.GW)
+}
+
+// lsqKernel returns the per-row accumulation at parameters (w, b).
+func lsqKernel(y, w []float64, b float64) func(p *LsqPartial, i int, row []float64) {
+	return func(p *LsqPartial, i int, row []float64) {
+		r := blas.Dot(row, w) + b - y[i]
+		p.SSE += r * r
+		blas.Axpy(r, row, p.GW)
+		p.GB += r
+	}
+}
+
+// LsqGroups computes the per-merge-group partials of the ridge
+// least-squares objective at params — the worker half of a
+// distributed evaluation. groupRows must be the coordinator's global
+// group height.
+func LsqGroups(ctx context.Context, x *mat.Dense, y []float64, params []float64, intercept bool, workers, groupRows int) ([]exec.GroupPartial[*LsqPartial], float64, error) {
+	d := x.Cols()
+	w := params[:d]
+	var b float64
+	if intercept {
+		b = params[d]
+	}
+	scan := x.ScanCtx(ctx, workers).Named("linreg grad")
+	scan.GroupRows = groupRows
+	kern := lsqKernel(y, w, b)
+	return exec.ReduceRowGroups(scan,
+		func() *LsqPartial { return NewLsqPartial(d) },
+		func(p *LsqPartial, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				kern(p, i, block[(i-lo)*stride:(i-lo)*stride+d])
+			}
+		},
+		MergeLsq)
+}
+
+// FinishLsq turns the folded total into the mean regularized loss and
+// gradient — post-reduce arithmetic shared by the local and
+// distributed objectives.
+func FinishLsq(total *LsqPartial, n, d int, lambda float64, intercept bool, params, grad []float64) float64 {
+	w := params[:d]
+	blas.Fill(grad, 0)
+	gw := grad[:d]
+	nf := float64(n)
+	blas.AddScaled(gw, gw, 1/nf, total.GW)
+	if intercept {
+		grad[d] = total.GB / nf
+	}
+	loss := 0.5 * total.SSE / nf
+	loss += 0.5 * lambda * blas.Dot(w, w)
+	blas.Axpy(lambda, w, gw)
+	return loss
 }
 
 // Eval computes ½·mean((w·x+b−y)²) + ½λ‖w‖² and its gradient in one
@@ -145,31 +216,44 @@ func (o *Objective) Eval(params, grad []float64) float64 {
 	if o.intercept {
 		b = params[d]
 	}
+	kern := lsqKernel(o.y, w, b)
 	total, _, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.Workers).Named("linreg grad"),
-		func() *lsqPartial { return &lsqPartial{gw: make([]float64, d)} },
-		func(p *lsqPartial, i int, row []float64) {
-			r := blas.Dot(row, w) + b - o.y[i]
-			p.sse += r * r
-			blas.Axpy(r, row, p.gw)
-			p.gb += r
-		},
-		func(dst, src *lsqPartial) {
-			dst.sse += src.sse
-			dst.gb += src.gb
-			blas.Axpy(1, src.gw, dst.gw)
-		})
+		func() *LsqPartial { return NewLsqPartial(d) },
+		func(p *LsqPartial, i int, row []float64) { kern(p, i, row) },
+		MergeLsq)
 	o.Scans++
-	blas.Fill(grad, 0)
-	gw := grad[:d]
-	n := float64(o.x.Rows())
-	blas.AddScaled(gw, gw, 1/n, total.gw)
-	if o.intercept {
-		grad[d] = total.gb / n
+	return FinishLsq(total, o.x.Rows(), d, o.lambda, o.intercept, params, grad)
+}
+
+// RemoteObjective is the distributed least-squares objective: local
+// Dim/finish, remote reduction (see logreg.RemoteObjective).
+type RemoteObjective struct {
+	N, D      int
+	Lambda    float64
+	Intercept bool
+	Reduce    func(params []float64) (*LsqPartial, error)
+	Err       error
+}
+
+// Dim implements optimize.Objective.
+func (o *RemoteObjective) Dim() int {
+	if o.Intercept {
+		return o.D + 1
 	}
-	loss := 0.5 * total.sse / n
-	loss += 0.5 * o.lambda * blas.Dot(w, w)
-	blas.Axpy(o.lambda, w, gw)
-	return loss
+	return o.D
+}
+
+// Eval implements optimize.Objective via the remote reduction.
+func (o *RemoteObjective) Eval(params, grad []float64) float64 {
+	if o.Err != nil {
+		return math.NaN()
+	}
+	total, err := o.Reduce(params)
+	if err != nil {
+		o.Err = err
+		return math.NaN()
+	}
+	return FinishLsq(total, o.N, o.D, o.Lambda, o.Intercept, params, grad)
 }
 
 // Train fits the model with blocked L-BFGS scans. ctx cancels the fit
@@ -185,6 +269,14 @@ func Train(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*Model
 	}
 	obj.Workers = o.Workers
 	obj.Ctx = ctx
+	return TrainWith(ctx, obj, x.Cols(), opts)
+}
+
+// TrainWith runs the L-BFGS driver over any objective with linreg's
+// parameterization — shared by the local and distributed paths so
+// both build identical Models.
+func TrainWith(ctx context.Context, obj optimize.Objective, d int, opts Options) (*Model, error) {
+	o := opts.withDefaults()
 	res, err := optimize.LBFGS(ctx, obj, make([]float64, obj.Dim()), optimize.LBFGSParams{
 		MaxIterations: o.MaxIterations,
 		GradTol:       o.GradTol,
@@ -193,9 +285,9 @@ func Train(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*Model
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Weights: res.X[:x.Cols()]}
+	m := &Model{Weights: res.X[:d]}
 	if !o.NoIntercept {
-		m.Intercept = res.X[x.Cols()]
+		m.Intercept = res.X[d]
 	}
 	return m, nil
 }
@@ -211,64 +303,122 @@ func TrainExact(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*
 		return nil, fmt.Errorf("linreg: %d rows but %d targets", x.Rows(), len(y))
 	}
 	d := x.Cols()
-	p := d
-	if !o.NoIntercept {
-		p++
-	}
-	// Each partial carries a p×p gram block; size blocks to hold at
-	// least ~p rows so the O(p²) zero+merge amortizes to O(p) per row.
-	gramScan := x.ScanCtx(ctx, o.Workers).Named("linreg gram")
-	if minBytes := p * p * 8; minBytes > exec.DefaultBlockBytes {
-		gramScan.BlockBytes = minBytes
-	}
-	total, _, err := exec.ReduceRows(gramScan,
-		func() *gramPartial {
-			return &gramPartial{gram: make([]float64, p*p), rhs: make([]float64, p)}
-		},
-		func(g *gramPartial, i int, row []float64) {
-			for a := 0; a < d; a++ {
-				va := row[a]
-				if va == 0 {
-					continue
-				}
-				blas.Axpy(va, row, g.gram[a*p:a*p+d])
-				if !o.NoIntercept {
-					g.gram[a*p+d] += va
-				}
-				g.rhs[a] += va * y[i]
-			}
-			if !o.NoIntercept {
-				blas.Axpy(1, row, g.gram[d*p:d*p+d])
-				g.gram[d*p+d]++
-				g.rhs[d] += y[i]
-			}
-		},
-		func(dst, src *gramPartial) {
-			blas.Axpy(1, src.gram, dst.gram)
-			blas.Axpy(1, src.rhs, dst.rhs)
-		})
+	total, _, err := exec.ReduceRows(gramScan(x.ScanCtx(ctx, o.Workers), d, o.NoIntercept, 0),
+		func() *GramPartial { return NewGramPartial(d, o.NoIntercept) },
+		gramRowKernel(y, d, o.NoIntercept),
+		MergeGram)
 	if err != nil {
 		return nil, err
 	}
-	gram, rhs := total.gram, total.rhs
+	return ModelFromGram(total, x.Rows(), d, o.Lambda, o.NoIntercept)
+}
+
+// GramPartial is one merge group's (or block's) share of the ridge
+// normal equations: a p×p Gram block and the Xᵀy right-hand side —
+// the shardable aggregate of the exact path. Fields are exported for
+// gob.
+type GramPartial struct {
+	Gram, RHS []float64
+}
+
+// NewGramPartial returns a zero partial for d features (p = d+1 with
+// an intercept column).
+func NewGramPartial(d int, noIntercept bool) *GramPartial {
+	p := d
+	if !noIntercept {
+		p++
+	}
+	return &GramPartial{Gram: make([]float64, p*p), RHS: make([]float64, p)}
+}
+
+// MergeGram folds src into dst with the exact merge the local scan
+// uses.
+func MergeGram(dst, src *GramPartial) {
+	blas.Axpy(1, src.Gram, dst.Gram)
+	blas.Axpy(1, src.RHS, dst.RHS)
+}
+
+// gramScan labels and block-sizes a Gram scan: each partial carries a
+// p×p block, so blocks hold at least ~p rows and the O(p²) zero+merge
+// amortizes to O(p) per row.
+func gramScan(scan exec.RowScan, d int, noIntercept bool, groupRows int) exec.RowScan {
+	p := d
+	if !noIntercept {
+		p++
+	}
+	scan = scan.Named("linreg gram")
+	scan.GroupRows = groupRows
+	if minBytes := p * p * 8; minBytes > exec.DefaultBlockBytes {
+		scan.BlockBytes = minBytes
+	}
+	return scan
+}
+
+// gramRowKernel returns the per-row normal-equation accumulation.
+func gramRowKernel(y []float64, d int, noIntercept bool) func(g *GramPartial, i int, row []float64) {
+	p := d
+	if !noIntercept {
+		p++
+	}
+	return func(g *GramPartial, i int, row []float64) {
+		for a := 0; a < d; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			blas.Axpy(va, row, g.Gram[a*p:a*p+d])
+			if !noIntercept {
+				g.Gram[a*p+d] += va
+			}
+			g.RHS[a] += va * y[i]
+		}
+		if !noIntercept {
+			blas.Axpy(1, row, g.Gram[d*p:d*p+d])
+			g.Gram[d*p+d]++
+			g.RHS[d] += y[i]
+		}
+	}
+}
+
+// GramGroups computes the per-merge-group normal-equation partials —
+// the worker half of a distributed exact fit. groupRows must be the
+// coordinator's global group height.
+func GramGroups(ctx context.Context, x *mat.Dense, y []float64, noIntercept bool, workers, groupRows int) ([]exec.GroupPartial[*GramPartial], float64, error) {
+	d := x.Cols()
+	kern := gramRowKernel(y, d, noIntercept)
+	return exec.ReduceRowGroups(gramScan(x.ScanCtx(ctx, workers), d, noIntercept, groupRows),
+		func() *GramPartial { return NewGramPartial(d, noIntercept) },
+		func(g *GramPartial, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				kern(g, i, block[(i-lo)*stride:(i-lo)*stride+d])
+			}
+		},
+		MergeGram)
+}
+
+// ModelFromGram applies the ridge and solves the folded normal
+// equations by Cholesky — the closing arithmetic shared by the local
+// and distributed exact paths. n is the global row count (the ridge
+// is scaled by it).
+func ModelFromGram(total *GramPartial, n, d int, lambda float64, noIntercept bool) (*Model, error) {
+	p := d
+	if !noIntercept {
+		p++
+	}
+	gram, rhs := total.Gram, total.RHS
 	// Ridge on weights only.
 	for a := 0; a < d; a++ {
-		gram[a*p+a] += o.Lambda * float64(x.Rows())
+		gram[a*p+a] += lambda * float64(n)
 	}
 	w, err := choleskySolve(gram, rhs, p)
 	if err != nil {
 		return nil, err
 	}
 	m := &Model{Weights: w[:d]}
-	if !o.NoIntercept {
+	if !noIntercept {
 		m.Intercept = w[d]
 	}
 	return m, nil
-}
-
-// gramPartial is one block's share of the normal equations.
-type gramPartial struct {
-	gram, rhs []float64
 }
 
 // choleskySolve solves Ax=b for symmetric positive-definite A (n×n,

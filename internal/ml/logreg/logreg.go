@@ -46,6 +46,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ResolveOptions applies the defaults Train would — exported so the
+// distributed coordinator builds its remote objective with the same
+// lambda and optimizer bounds a local fit uses.
+func ResolveOptions(opts Options) Options { return opts.withDefaults() }
+
 // Model is a trained binary logistic regression classifier.
 type Model struct {
 	// Weights has one coefficient per feature.
@@ -168,6 +173,16 @@ func Train(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*Model
 		return nil, err
 	}
 	obj.Ctx = ctx
+	return TrainWith(ctx, obj, x.Cols(), opts)
+}
+
+// TrainWith runs the L-BFGS driver over any objective using logreg's
+// parameterization ([w₀..w_{d-1}, b] with an intercept) — the half of
+// Train shared with the distributed path, so a coordinator driving a
+// RemoteObjective builds a Model through the exact optimizer steps a
+// local fit takes.
+func TrainWith(ctx context.Context, obj optimize.Objective, d int, opts Options) (*Model, error) {
+	o := opts.withDefaults()
 	x0 := make([]float64, obj.Dim())
 	res, err := optimize.LBFGS(ctx, obj, x0, optimize.LBFGSParams{
 		MaxIterations: o.MaxIterations,
@@ -177,9 +192,9 @@ func Train(ctx context.Context, x *mat.Dense, y []float64, opts Options) (*Model
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Weights: res.X[:x.Cols()], Result: res}
+	m := &Model{Weights: res.X[:d], Result: res}
 	if !o.NoIntercept {
-		m.Intercept = res.X[x.Cols()]
+		m.Intercept = res.X[d]
 	}
 	return m, nil
 }

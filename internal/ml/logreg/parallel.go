@@ -41,10 +41,77 @@ type ParallelObjective struct {
 	Scans int
 }
 
-// partial is one block's contribution to the loss and gradient.
-type partial struct {
-	loss float64
-	grad []float64 // d weights then bias
+// GradPartial is one merge group's (or block's) contribution to the
+// binary logistic loss and gradient — the shardable aggregate a
+// distributed evaluation ships. Fields are exported for gob.
+type GradPartial struct {
+	Loss float64
+	Grad []float64 // d weights then bias
+}
+
+// NewGradPartial returns a zero partial for d features.
+func NewGradPartial(d int) *GradPartial { return &GradPartial{Grad: make([]float64, d+1)} }
+
+// MergeGrad folds src into dst — the exact merge the local objective
+// uses, exported so a coordinator refolds shipped partials with the
+// same floating-point operations.
+func MergeGrad(dst, src *GradPartial) {
+	dst.Loss += src.Loss
+	blas.Axpy(1, src.Grad, dst.Grad)
+}
+
+// gradKernel returns the per-row accumulation at parameters (w, b).
+func gradKernel(y []float64, w []float64, b float64, d int) func(p *GradPartial, i int, row []float64) {
+	return func(p *GradPartial, i int, row []float64) {
+		z := blas.Dot(row, w) + b
+		prob, l := sigmoidLoss(z, y[i])
+		p.Loss += l
+		diff := prob - y[i]
+		blas.Axpy(diff, row, p.Grad[:d])
+		p.Grad[d] += diff
+	}
+}
+
+// GradGroups computes the per-merge-group loss/gradient partials of
+// the binary logistic objective at params — the worker half of a
+// distributed evaluation. groupRows must be the coordinator's global
+// group height (exec.GroupRows of the global row count) so the shard
+// partials align with the canonical grouped fold.
+func GradGroups(ctx context.Context, x *mat.Dense, y []float64, params []float64, intercept bool, workers, groupRows int) ([]exec.GroupPartial[*GradPartial], float64, error) {
+	d := x.Cols()
+	w := params[:d]
+	var b float64
+	if intercept {
+		b = params[d]
+	}
+	scan := x.ScanCtx(ctx, workers).Named("logreg grad")
+	scan.GroupRows = groupRows
+	kern := gradKernel(y, w, b, d)
+	return exec.ReduceRowGroups(scan,
+		func() *GradPartial { return NewGradPartial(d) },
+		func(p *GradPartial, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				kern(p, i, block[(i-lo)*stride:(i-lo)*stride+d])
+			}
+		},
+		MergeGrad)
+}
+
+// FinishGrad turns the folded total partial into the mean regularized
+// loss and gradient — the post-reduce arithmetic shared verbatim by
+// the local and distributed objectives.
+func FinishGrad(total *GradPartial, n, d int, lambda float64, intercept bool, params, grad []float64) float64 {
+	w := params[:d]
+	blas.Fill(grad, 0)
+	nf := float64(n)
+	loss := total.Loss / nf
+	blas.AddScaled(grad[:d], grad[:d], 1/nf, total.Grad[:d])
+	if intercept {
+		grad[d] = total.Grad[d] / nf
+	}
+	loss += 0.5 * lambda * blas.Dot(w, w)
+	blas.Axpy(lambda, w, grad[:d])
+	return loss
 }
 
 // NewParallelObjective builds a block-parallel objective. workers <= 0
@@ -86,33 +153,51 @@ func (o *ParallelObjective) Eval(params, grad []float64) float64 {
 		b = params[d]
 	}
 
+	kern := gradKernel(o.y, w, b, d)
 	total, stall, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.workers).Named("logreg grad"),
-		func() *partial { return &partial{grad: make([]float64, d+1)} },
-		func(p *partial, i int, row []float64) {
-			z := blas.Dot(row, w) + b
-			prob, l := sigmoidLoss(z, o.y[i])
-			p.loss += l
-			diff := prob - o.y[i]
-			blas.Axpy(diff, row, p.grad[:d])
-			p.grad[d] += diff
-		},
-		func(dst, src *partial) {
-			dst.loss += src.loss
-			blas.Axpy(1, src.grad, dst.grad)
-		})
+		func() *GradPartial { return NewGradPartial(d) },
+		func(p *GradPartial, i int, row []float64) { kern(p, i, row) },
+		MergeGrad)
 	o.Stall += stall
 	o.Scans++
+	return FinishGrad(total, o.x.Rows(), d, o.lambda, o.intercept, params, grad)
+}
 
-	blas.Fill(grad, 0)
-	n := float64(o.x.Rows())
-	loss := total.loss / n
-	blas.AddScaled(grad[:d], grad[:d], 1/n, total.grad[:d])
-	if o.intercept {
-		grad[d] = total.grad[d] / n
+// RemoteObjective is the distributed half of the objective: Dim and
+// the FinishGrad arithmetic are local, while the data reduction is
+// delegated to Reduce — a coordinator's broadcast-params,
+// gather-group-partials, refold-in-row-order round. Because Reduce
+// returns the same folded GradPartial bits the local scan produces,
+// L-BFGS over a RemoteObjective retraces the local optimization
+// exactly. A Reduce error is recorded in Err and surfaces as a NaN
+// loss, which stops the optimizer; drivers must check Err first.
+type RemoteObjective struct {
+	N, D      int
+	Lambda    float64
+	Intercept bool
+	Reduce    func(params []float64) (*GradPartial, error)
+	Err       error
+}
+
+// Dim implements optimize.Objective.
+func (o *RemoteObjective) Dim() int {
+	if o.Intercept {
+		return o.D + 1
 	}
-	loss += 0.5 * o.lambda * blas.Dot(w, w)
-	blas.Axpy(o.lambda, w, grad[:d])
-	return loss
+	return o.D
+}
+
+// Eval implements optimize.Objective via the remote reduction.
+func (o *RemoteObjective) Eval(params, grad []float64) float64 {
+	if o.Err != nil {
+		return math.NaN()
+	}
+	total, err := o.Reduce(params)
+	if err != nil {
+		o.Err = err
+		return math.NaN()
+	}
+	return FinishGrad(total, o.N, o.D, o.Lambda, o.Intercept, params, grad)
 }
 
 // sigmoidLoss returns (P(y=1|z), per-example log-loss) with the

@@ -62,12 +62,148 @@ func (o *SoftmaxObjective) Dim() int {
 	return d
 }
 
-// softmaxPartial is one block's share of the cross-entropy loss; the
-// scores scratch is per block so workers never share it.
-type softmaxPartial struct {
-	loss   float64
-	grad   []float64
+// SoftmaxPartial is one merge group's (or block's) share of the
+// cross-entropy loss and gradient — the shardable aggregate a
+// distributed evaluation ships. The scores scratch is per state and
+// unexported, so gob ships only the aggregate fields.
+type SoftmaxPartial struct {
+	Loss   float64
+	Grad   []float64
 	scores []float64
+}
+
+// NewSoftmaxPartial returns a zero partial for a dim-parameter,
+// k-class objective.
+func NewSoftmaxPartial(dim, k int) *SoftmaxPartial {
+	return &SoftmaxPartial{Grad: make([]float64, dim), scores: make([]float64, k)}
+}
+
+// MergeSoftmax folds src into dst with the local objective's exact
+// merge operations.
+func MergeSoftmax(dst, src *SoftmaxPartial) {
+	dst.Loss += src.Loss
+	blas.Axpy(1, src.Grad, dst.Grad)
+}
+
+// softmaxKernel returns the per-row accumulation at the given
+// parameter block (wAll row-major K×D, bias nil without intercept).
+func softmaxKernel(y []int, wAll, bias []float64, d, k int) func(p *SoftmaxPartial, i int, row []float64) {
+	return func(p *SoftmaxPartial, i int, row []float64) {
+		gw := p.Grad[:k*d]
+		// scores_c = w_c · row + b_c
+		maxScore := math.Inf(-1)
+		for c := 0; c < k; c++ {
+			s := blas.Dot(wAll[c*d:(c+1)*d], row)
+			if bias != nil {
+				s += bias[c]
+			}
+			p.scores[c] = s
+			if s > maxScore {
+				maxScore = s
+			}
+		}
+		// log-sum-exp with max shift
+		var sum float64
+		for c := 0; c < k; c++ {
+			p.scores[c] = math.Exp(p.scores[c] - maxScore)
+			sum += p.scores[c]
+		}
+		logSum := math.Log(sum) + maxScore
+		yi := y[i]
+		// loss_i = logSum - score_{yi}; recover shifted score.
+		p.Loss += logSum - (math.Log(p.scores[yi]) + maxScore)
+		inv := 1 / sum
+		for c := 0; c < k; c++ {
+			prob := p.scores[c] * inv
+			diff := prob
+			if c == yi {
+				diff -= 1
+			}
+			if diff != 0 {
+				blas.Axpy(diff, row, gw[c*d:(c+1)*d])
+				if bias != nil {
+					p.Grad[k*d+c] += diff
+				}
+			}
+		}
+	}
+}
+
+// SoftmaxGroups computes the per-merge-group partials of the softmax
+// objective at params — the worker half of a distributed evaluation.
+// groupRows must be the coordinator's global group height.
+func SoftmaxGroups(ctx context.Context, x *mat.Dense, y []int, classes int, params []float64, intercept bool, workers, groupRows int) ([]exec.GroupPartial[*SoftmaxPartial], float64, error) {
+	d := x.Cols()
+	k := classes
+	wAll := params[:k*d]
+	var bias []float64
+	dim := k * d
+	if intercept {
+		bias = params[k*d : k*d+k]
+		dim += k
+	}
+	scan := x.ScanCtx(ctx, workers).Named("softmax grad")
+	scan.GroupRows = groupRows
+	kern := softmaxKernel(y, wAll, bias, d, k)
+	return exec.ReduceRowGroups(scan,
+		func() *SoftmaxPartial { return NewSoftmaxPartial(dim, k) },
+		func(p *SoftmaxPartial, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				kern(p, i, block[(i-lo)*stride:(i-lo)*stride+d])
+			}
+		},
+		MergeSoftmax)
+}
+
+// FinishSoftmax turns the folded total into the mean regularized loss
+// and gradient — post-reduce arithmetic shared by the local and
+// distributed objectives.
+func FinishSoftmax(total *SoftmaxPartial, n, d, k int, lambda float64, intercept bool, params, grad []float64) float64 {
+	wAll := params[:k*d]
+	blas.Fill(grad, 0)
+	gw := grad[:k*d]
+	nf := float64(n)
+	loss := total.Loss / nf
+	blas.AddScaled(gw, gw, 1/nf, total.Grad[:k*d])
+	if intercept {
+		gb := grad[k*d : k*d+k]
+		blas.AddScaled(gb, gb, 1/nf, total.Grad[k*d:k*d+k])
+	}
+	loss += 0.5 * lambda * blas.Dot(wAll, wAll)
+	blas.Axpy(lambda, wAll, gw)
+	return loss
+}
+
+// RemoteSoftmaxObjective mirrors RemoteObjective for the multiclass
+// loss: local Dim/finish, remote reduction.
+type RemoteSoftmaxObjective struct {
+	N, D, Classes int
+	Lambda        float64
+	Intercept     bool
+	Reduce        func(params []float64) (*SoftmaxPartial, error)
+	Err           error
+}
+
+// Dim implements optimize.Objective.
+func (o *RemoteSoftmaxObjective) Dim() int {
+	dim := o.Classes * o.D
+	if o.Intercept {
+		dim += o.Classes
+	}
+	return dim
+}
+
+// Eval implements optimize.Objective via the remote reduction.
+func (o *RemoteSoftmaxObjective) Eval(params, grad []float64) float64 {
+	if o.Err != nil {
+		return math.NaN()
+	}
+	total, err := o.Reduce(params)
+	if err != nil {
+		o.Err = err
+		return math.NaN()
+	}
+	return FinishSoftmax(total, o.N, o.D, o.Classes, o.Lambda, o.Intercept, params, grad)
 }
 
 // Eval computes mean cross-entropy plus L2 penalty in one blocked
@@ -81,68 +217,14 @@ func (o *SoftmaxObjective) Eval(params, grad []float64) float64 {
 		bias = params[k*d : k*d+k]
 	}
 
+	kern := softmaxKernel(o.y, wAll, bias, d, k)
 	total, stall, _ := exec.ReduceRows(o.x.ScanCtx(o.Ctx, o.Workers).Named("softmax grad"),
-		func() *softmaxPartial {
-			return &softmaxPartial{grad: make([]float64, o.Dim()), scores: make([]float64, k)}
-		},
-		func(p *softmaxPartial, i int, row []float64) {
-			gw := p.grad[:k*d]
-			// scores_c = w_c · row + b_c
-			maxScore := math.Inf(-1)
-			for c := 0; c < k; c++ {
-				s := blas.Dot(wAll[c*d:(c+1)*d], row)
-				if o.intercept {
-					s += bias[c]
-				}
-				p.scores[c] = s
-				if s > maxScore {
-					maxScore = s
-				}
-			}
-			// log-sum-exp with max shift
-			var sum float64
-			for c := 0; c < k; c++ {
-				p.scores[c] = math.Exp(p.scores[c] - maxScore)
-				sum += p.scores[c]
-			}
-			logSum := math.Log(sum) + maxScore
-			yi := o.y[i]
-			// loss_i = logSum - score_{yi}; recover shifted score.
-			p.loss += logSum - (math.Log(p.scores[yi]) + maxScore)
-			inv := 1 / sum
-			for c := 0; c < k; c++ {
-				prob := p.scores[c] * inv
-				diff := prob
-				if c == yi {
-					diff -= 1
-				}
-				if diff != 0 {
-					blas.Axpy(diff, row, gw[c*d:(c+1)*d])
-					if o.intercept {
-						p.grad[k*d+c] += diff
-					}
-				}
-			}
-		},
-		func(dst, src *softmaxPartial) {
-			dst.loss += src.loss
-			blas.Axpy(1, src.grad, dst.grad)
-		})
+		func() *SoftmaxPartial { return NewSoftmaxPartial(o.Dim(), k) },
+		func(p *SoftmaxPartial, i int, row []float64) { kern(p, i, row) },
+		MergeSoftmax)
 	o.Stall += stall
 	o.Scans++
-
-	blas.Fill(grad, 0)
-	gw := grad[:k*d]
-	n := float64(o.x.Rows())
-	loss := total.loss / n
-	blas.AddScaled(gw, gw, 1/n, total.grad[:k*d])
-	if o.intercept {
-		gb := grad[k*d : k*d+k]
-		blas.AddScaled(gb, gb, 1/n, total.grad[k*d:k*d+k])
-	}
-	loss += 0.5 * o.lambda * blas.Dot(wAll, wAll)
-	blas.Axpy(o.lambda, wAll, gw)
-	return loss
+	return FinishSoftmax(total, o.x.Rows(), d, k, o.lambda, o.intercept, params, grad)
 }
 
 // SoftmaxModel is a trained multiclass classifier.
@@ -173,6 +255,14 @@ func TrainSoftmax(ctx context.Context, x *mat.Dense, y []int, classes int, opts 
 	}
 	obj.Workers = o.Workers
 	obj.Ctx = ctx
+	return TrainSoftmaxWith(ctx, obj, x.Cols(), classes, opts)
+}
+
+// TrainSoftmaxWith runs the softmax L-BFGS driver over any objective
+// with the package's parameterization — shared by the local and
+// distributed paths so both build identical SoftmaxModels.
+func TrainSoftmaxWith(ctx context.Context, obj optimize.Objective, d, classes int, opts Options) (*SoftmaxModel, error) {
+	o := opts.withDefaults()
 	x0 := make([]float64, obj.Dim())
 	res, err := optimize.LBFGS(ctx, obj, x0, optimize.LBFGSParams{
 		MaxIterations: o.MaxIterations,
@@ -182,7 +272,6 @@ func TrainSoftmax(ctx context.Context, x *mat.Dense, y []int, classes int, opts 
 	if err != nil {
 		return nil, err
 	}
-	d := x.Cols()
 	m := &SoftmaxModel{
 		Weights: res.X[:classes*d], Classes: classes, Features: d, Result: res,
 	}

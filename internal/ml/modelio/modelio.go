@@ -163,6 +163,32 @@ func init() {
 	gob.Register(standardScalerPayload{})
 	gob.Register(minMaxScalerPayload{})
 	gob.Register(pipelinePayload{})
+	pinTypeIDs()
+}
+
+// pinTypeIDs encodes one value of every envelope type to io.Discard.
+// gob allocates wire type IDs from a process-global counter at first
+// encode, and a stream's type-definition frames carry those IDs — so
+// two processes write byte-different files for the same model if
+// either gob-encoded anything else first (the distributed coordinator
+// does: its wire protocol is gob too). Claiming the IDs here, before
+// main can run any encoder, makes Save's bytes a function of the model
+// alone, which the shard-count bit-identity contract depends on.
+func pinTypeIDs() {
+	enc := gob.NewEncoder(io.Discard)
+	warm := []any{
+		logisticPayload{}, softmaxPayload{}, linearPayload{},
+		kmeansPayload{}, bayesPayload{}, pcaPayload{},
+		standardScalerPayload{}, minMaxScalerPayload{}, pipelinePayload{},
+	}
+	if err := enc.Encode(header{}); err != nil {
+		panic("modelio: pinning envelope type IDs: " + err.Error())
+	}
+	for _, p := range warm {
+		if err := enc.Encode(payloadFrame{Payload: p}); err != nil {
+			panic("modelio: pinning envelope type IDs: " + err.Error())
+		}
+	}
 }
 
 // KindOf reports the Kind Save would stamp on model, or an error for

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"io"
+	"os"
+	"os/exec"
 	"path/filepath"
 	"testing"
 
@@ -448,5 +451,59 @@ func TestDescribeRejectsWrongVersion(t *testing.T) {
 	}
 	if _, _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Error("Load accepted a future format version")
+	}
+}
+
+// TestSaveBytesProcessIndependent pins the cross-process determinism
+// of Save: gob allocates wire type IDs from a process-global counter,
+// so without init's pinTypeIDs a process that gob-encoded anything
+// else first (the distributed coordinator's wire protocol, say) would
+// write byte-different files for the same model. The test re-execs
+// itself as a helper that deliberately pollutes the gob ID space
+// before saving, then compares the helper's bytes against an
+// in-process save.
+func TestSaveBytesProcessIndependent(t *testing.T) {
+	model := &logreg.Model{Weights: []float64{0.5, -1.25, 3.0625}, Intercept: 0.75}
+	if path := os.Getenv("MODELIO_SAVE_HELPER"); path != "" {
+		// Simulate a coordinator: burn global type IDs on wire-ish
+		// shapes before the model is ever saved.
+		type wireFrame struct {
+			Seq     int
+			Payload []byte
+			Tags    map[string]int
+		}
+		type wirePartial struct {
+			Group int
+			State []float64
+		}
+		enc := gob.NewEncoder(io.Discard)
+		if err := enc.Encode(wireFrame{Seq: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode([]wirePartial{{Group: 2}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveFile(path, model); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	var local bytes.Buffer
+	if err := Save(&local, model); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "helper.model")
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestSaveBytesProcessIndependent$", "-test.count=1")
+	cmd.Env = append(os.Environ(), "MODELIO_SAVE_HELPER="+path)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("helper process: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), got) {
+		t.Fatalf("saved bytes depend on process gob history: in-process %d bytes, helper %d bytes", local.Len(), len(got))
 	}
 }

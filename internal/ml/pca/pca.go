@@ -130,10 +130,8 @@ func Fit(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 	// the shared execution layer, merged in block order.
 	mean, _, err := exec.ReduceRowBlocks(x.ScanCtx(ctx, o.Workers).Named("pca mean"),
 		func() []float64 { return make([]float64, d) },
-		func(sum []float64, lo, hi int, block []float64, stride int) {
-			blas.SumRows(hi-lo, d, block, stride, sum)
-		},
-		func(dst, src []float64) { blas.Axpy(1, src, dst) })
+		meanBlockKernel(d),
+		MergeSum)
 	if err != nil {
 		return nil, err
 	}
@@ -141,33 +139,101 @@ func Fit(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 
 	// Pass 2: covariance — per-block symmetric rank-1 accumulation
 	// (blas.Syr on the upper triangle), partial triangles merged in
-	// block order, then mirrored. Each partial is a d×d matrix, so
-	// blocks are sized to hold at least ~d rows: zeroing + merging the
-	// O(d²) partial then amortizes to O(d) per row.
-	covScan := x.ScanCtx(ctx, o.Workers).Named("pca cov")
-	if minBytes := d * d * 8; minBytes > exec.DefaultBlockBytes {
-		covScan.BlockBytes = minBytes
-	}
-	// The centering buffer lives in the reduce state, not the block
-	// closure: fused scans deliver single-row blocks, so a per-call
-	// allocation here would be a per-row allocation.
-	type covState struct{ part, centered []float64 }
-	covst, _, err := exec.ReduceRowBlocks(covScan,
-		func() *covState {
-			return &covState{part: make([]float64, d*d), centered: make([]float64, d)}
-		},
-		func(st *covState, lo, hi int, block []float64, stride int) {
-			for i := lo; i < hi; i++ {
-				row := block[(i-lo)*stride : (i-lo)*stride+d]
-				blas.AddScaled(st.centered, row, -1, mean)
-				blas.Syr(d, 1, st.centered, st.part, d)
-			}
-		},
-		func(dst, src *covState) { blas.Axpy(1, src.part, dst.part) })
+	// block order, then mirrored.
+	covst, _, err := exec.ReduceRowBlocks(covScan(x.ScanCtx(ctx, o.Workers), d, 0),
+		func() *CovPartial { return NewCovPartial(d) },
+		covBlockKernel(mean, d),
+		MergeCov)
 	if err != nil {
 		return nil, err
 	}
-	cov := covst.part
+	return FinishFromCov(ctx, covst.Part, mean, n, o)
+}
+
+// meanBlockKernel returns the per-block column-sum accumulation.
+func meanBlockKernel(d int) func(sum []float64, lo, hi int, block []float64, stride int) {
+	return func(sum []float64, lo, hi int, block []float64, stride int) {
+		blas.SumRows(hi-lo, d, block, stride, sum)
+	}
+}
+
+// MergeSum folds a column-sum partial into dst — the mean pass's
+// merge, exported for distributed refolds.
+func MergeSum(dst, src []float64) { blas.Axpy(1, src, dst) }
+
+// MeanGroups computes per-merge-group column-sum partials — the
+// worker half of a distributed mean pass. groupRows must be the
+// coordinator's global group height. Divide the refolded total by the
+// global row count to obtain the mean.
+func MeanGroups(ctx context.Context, x *mat.Dense, workers, groupRows int) ([]exec.GroupPartial[[]float64], float64, error) {
+	d := x.Cols()
+	scan := x.ScanCtx(ctx, workers).Named("pca mean")
+	scan.GroupRows = groupRows
+	return exec.ReduceRowGroups(scan,
+		func() []float64 { return make([]float64, d) },
+		meanBlockKernel(d),
+		MergeSum)
+}
+
+// CovPartial is one merge group's (or block's) share of the centered
+// scatter matrix (upper triangle). The centering buffer is per-state
+// scratch and unexported, so gob ships only the aggregate.
+type CovPartial struct {
+	Part     []float64
+	centered []float64
+}
+
+// NewCovPartial returns a zero partial for d features.
+func NewCovPartial(d int) *CovPartial {
+	return &CovPartial{Part: make([]float64, d*d), centered: make([]float64, d)}
+}
+
+// MergeCov folds src into dst with the local scan's exact merge.
+func MergeCov(dst, src *CovPartial) { blas.Axpy(1, src.Part, dst.Part) }
+
+// covScan labels and block-sizes a covariance scan: each partial is a
+// d×d matrix, so blocks are sized to hold at least ~d rows and the
+// O(d²) zero+merge amortizes to O(d) per row.
+func covScan(scan exec.RowScan, d, groupRows int) exec.RowScan {
+	scan = scan.Named("pca cov")
+	scan.GroupRows = groupRows
+	if minBytes := d * d * 8; minBytes > exec.DefaultBlockBytes {
+		scan.BlockBytes = minBytes
+	}
+	return scan
+}
+
+// covBlockKernel returns the per-block scatter accumulation at the
+// given mean. The centering buffer lives in the reduce state, not the
+// block closure: fused scans deliver single-row blocks, so a per-call
+// allocation here would be a per-row allocation.
+func covBlockKernel(mean []float64, d int) func(st *CovPartial, lo, hi int, block []float64, stride int) {
+	return func(st *CovPartial, lo, hi int, block []float64, stride int) {
+		for i := lo; i < hi; i++ {
+			row := block[(i-lo)*stride : (i-lo)*stride+d]
+			blas.AddScaled(st.centered, row, -1, mean)
+			blas.Syr(d, 1, st.centered, st.Part, d)
+		}
+	}
+}
+
+// CovGroups computes per-merge-group scatter partials at the given
+// mean — the worker half of a distributed covariance pass. groupRows
+// must be the coordinator's global group height.
+func CovGroups(ctx context.Context, x *mat.Dense, mean []float64, workers, groupRows int) ([]exec.GroupPartial[*CovPartial], float64, error) {
+	d := x.Cols()
+	return exec.ReduceRowGroups(covScan(x.ScanCtx(ctx, workers), d, groupRows),
+		func() *CovPartial { return NewCovPartial(d) },
+		covBlockKernel(mean, d),
+		MergeCov)
+}
+
+// FinishFromCov normalizes the folded scatter into the covariance and
+// runs the orthogonal power iteration — everything after the data
+// passes, shared by the local and distributed paths. cov is consumed
+// (normalized in place); opts must already carry defaults.
+func FinishFromCov(ctx context.Context, cov, mean []float64, n int, o Options) (*Result, error) {
+	d := len(mean)
 	inv := 1 / float64(n-1)
 	var total float64
 	for a := 0; a < d; a++ {
@@ -242,6 +308,10 @@ func Fit(ctx context.Context, x *mat.Dense, opts Options) (*Result, error) {
 	}
 	return res, nil
 }
+
+// ResolveOptions applies the defaults Fit would — exported so the
+// distributed path validates and defaults identically.
+func ResolveOptions(opts Options) (Options, error) { return opts.withDefaults() }
 
 // orthogonalize removes the projections of v onto the first k rows of
 // basis (Gram–Schmidt step).

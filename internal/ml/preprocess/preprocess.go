@@ -35,34 +35,82 @@ type StandardScaler struct {
 	Std  []float64
 }
 
-// moments is one block's share of the per-feature running statistics
-// (Welford within the block, Chan-style combine across blocks).
-type moments struct {
-	count float64
-	mean  []float64
-	m2    []float64
+// Moments is one merge group's (or block's) share of the per-feature
+// running statistics (Welford within the block, Chan-style combine
+// across blocks) — the shardable aggregate of a standard-scaler fit.
+// Fields are exported for gob.
+type Moments struct {
+	Count float64
+	Mean  []float64
+	M2    []float64
 }
 
-// mergeMoments folds src into dst with the parallel-variance combine
+// NewMoments returns a zero moments state for d features.
+func NewMoments(d int) *Moments {
+	return &Moments{Mean: make([]float64, d), M2: make([]float64, d)}
+}
+
+// Add accumulates one row (Welford update).
+func (m *Moments) Add(row []float64) {
+	m.Count++
+	for j, v := range row {
+		delta := v - m.Mean[j]
+		m.Mean[j] += delta / m.Count
+		m.M2[j] += delta * (v - m.Mean[j])
+	}
+}
+
+// MergeMoments folds src into dst with the parallel-variance combine
 // (Chan, Golub & LeVeque): exact for counts, associative enough that
 // the fixed block-order reduction is deterministic.
-func mergeMoments(dst, src *moments) {
-	if src.count == 0 {
+func MergeMoments(dst, src *Moments) {
+	if src.Count == 0 {
 		return
 	}
-	if dst.count == 0 {
-		dst.count = src.count
-		copy(dst.mean, src.mean)
-		copy(dst.m2, src.m2)
+	if dst.Count == 0 {
+		dst.Count = src.Count
+		copy(dst.Mean, src.Mean)
+		copy(dst.M2, src.M2)
 		return
 	}
-	n := dst.count + src.count
-	for j := range dst.mean {
-		delta := src.mean[j] - dst.mean[j]
-		dst.mean[j] += delta * src.count / n
-		dst.m2[j] += src.m2[j] + delta*delta*dst.count*src.count/n
+	n := dst.Count + src.Count
+	for j := range dst.Mean {
+		delta := src.Mean[j] - dst.Mean[j]
+		dst.Mean[j] += delta * src.Count / n
+		dst.M2[j] += src.M2[j] + delta*delta*dst.Count*src.Count/n
 	}
-	dst.count = n
+	dst.Count = n
+}
+
+// MomentGroups computes the per-merge-group moment partials — the
+// worker half of a distributed scaler fit. groupRows must be the
+// coordinator's global group height.
+func MomentGroups(ctx context.Context, x *mat.Dense, workers, groupRows int) ([]exec.GroupPartial[*Moments], float64, error) {
+	d := x.Cols()
+	scan := x.ScanCtx(ctx, workers).Named("scaler moments")
+	scan.GroupRows = groupRows
+	return exec.ReduceRowGroups(scan,
+		func() *Moments { return NewMoments(d) },
+		func(m *Moments, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				m.Add(block[(i-lo)*stride : (i-lo)*stride+d])
+			}
+		},
+		MergeMoments)
+}
+
+// StandardFromMoments closes a standard-scaler fit over the folded
+// moments — the arithmetic shared by the local and distributed paths.
+func StandardFromMoments(acc *Moments) *StandardScaler {
+	d := len(acc.Mean)
+	std := make([]float64, d)
+	for j := range std {
+		std[j] = math.Sqrt(acc.M2[j] / acc.Count)
+		if std[j] < 1e-12 {
+			std[j] = 1 // constant feature: leave centered at zero
+		}
+	}
+	return &StandardScaler{Mean: acc.Mean, Std: std}
 }
 
 // FitStandard computes per-feature mean and standard deviation in one
@@ -75,29 +123,13 @@ func FitStandard(ctx context.Context, x *mat.Dense, opts Options) (*StandardScal
 		return nil, fmt.Errorf("preprocess: need >= 2 rows, got %d", n)
 	}
 	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, opts.Workers).Named("scaler moments"),
-		func() *moments {
-			return &moments{mean: make([]float64, d), m2: make([]float64, d)}
-		},
-		func(m *moments, i int, row []float64) {
-			m.count++
-			for j, v := range row {
-				delta := v - m.mean[j]
-				m.mean[j] += delta / m.count
-				m.m2[j] += delta * (v - m.mean[j])
-			}
-		},
-		mergeMoments)
+		func() *Moments { return NewMoments(d) },
+		func(m *Moments, i int, row []float64) { m.Add(row) },
+		MergeMoments)
 	if err != nil {
 		return nil, err
 	}
-	std := make([]float64, d)
-	for j := range std {
-		std[j] = math.Sqrt(acc.m2[j] / acc.count)
-		if std[j] < 1e-12 {
-			std[j] = 1 // constant feature: leave centered at zero
-		}
-	}
-	return &StandardScaler{Mean: acc.mean, Std: std}, nil
+	return StandardFromMoments(acc), nil
 }
 
 // TransformRow standardizes one row in place.
@@ -134,9 +166,76 @@ type MinMaxScaler struct {
 	Range []float64
 }
 
-// extrema is one block's per-feature minima and maxima.
-type extrema struct {
-	lo, hi []float64
+// Extrema is one merge group's (or block's) per-feature minima and
+// maxima — the shardable aggregate of a min-max fit. Fields are
+// exported for gob.
+type Extrema struct {
+	Lo, Hi []float64
+}
+
+// NewExtrema returns an identity extrema state for d features.
+func NewExtrema(d int) *Extrema {
+	e := &Extrema{Lo: make([]float64, d), Hi: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		e.Lo[j] = math.Inf(1)
+		e.Hi[j] = math.Inf(-1)
+	}
+	return e
+}
+
+// Add accumulates one row.
+func (e *Extrema) Add(row []float64) {
+	for j, v := range row {
+		if v < e.Lo[j] {
+			e.Lo[j] = v
+		}
+		if v > e.Hi[j] {
+			e.Hi[j] = v
+		}
+	}
+}
+
+// MergeExtrema folds src into dst (min/max are exactly associative).
+func MergeExtrema(dst, src *Extrema) {
+	for j := range dst.Lo {
+		if src.Lo[j] < dst.Lo[j] {
+			dst.Lo[j] = src.Lo[j]
+		}
+		if src.Hi[j] > dst.Hi[j] {
+			dst.Hi[j] = src.Hi[j]
+		}
+	}
+}
+
+// ExtremaGroups computes the per-merge-group extrema partials — the
+// worker half of a distributed min-max fit. groupRows must be the
+// coordinator's global group height.
+func ExtremaGroups(ctx context.Context, x *mat.Dense, workers, groupRows int) ([]exec.GroupPartial[*Extrema], float64, error) {
+	d := x.Cols()
+	scan := x.ScanCtx(ctx, workers).Named("minmax extrema")
+	scan.GroupRows = groupRows
+	return exec.ReduceRowGroups(scan,
+		func() *Extrema { return NewExtrema(d) },
+		func(e *Extrema, lo, hi int, block []float64, stride int) {
+			for i := lo; i < hi; i++ {
+				e.Add(block[(i-lo)*stride : (i-lo)*stride+d])
+			}
+		},
+		MergeExtrema)
+}
+
+// MinMaxFromExtrema closes a min-max fit over the folded extrema —
+// the arithmetic shared by the local and distributed paths.
+func MinMaxFromExtrema(acc *Extrema) *MinMaxScaler {
+	d := len(acc.Lo)
+	rng := make([]float64, d)
+	for j := range rng {
+		rng[j] = acc.Hi[j] - acc.Lo[j]
+		if rng[j] < 1e-12 {
+			rng[j] = 1
+		}
+	}
+	return &MinMaxScaler{Min: acc.Lo, Range: rng}
 }
 
 // FitMinMax computes per-feature minima and ranges in one blocked scan
@@ -149,45 +248,13 @@ func FitMinMax(ctx context.Context, x *mat.Dense, opts Options) (*MinMaxScaler, 
 		return nil, fmt.Errorf("preprocess: empty matrix")
 	}
 	acc, _, err := exec.ReduceRows(x.ScanCtx(ctx, opts.Workers).Named("minmax extrema"),
-		func() *extrema {
-			e := &extrema{lo: make([]float64, d), hi: make([]float64, d)}
-			for j := 0; j < d; j++ {
-				e.lo[j] = math.Inf(1)
-				e.hi[j] = math.Inf(-1)
-			}
-			return e
-		},
-		func(e *extrema, i int, row []float64) {
-			for j, v := range row {
-				if v < e.lo[j] {
-					e.lo[j] = v
-				}
-				if v > e.hi[j] {
-					e.hi[j] = v
-				}
-			}
-		},
-		func(dst, src *extrema) {
-			for j := range dst.lo {
-				if src.lo[j] < dst.lo[j] {
-					dst.lo[j] = src.lo[j]
-				}
-				if src.hi[j] > dst.hi[j] {
-					dst.hi[j] = src.hi[j]
-				}
-			}
-		})
+		func() *Extrema { return NewExtrema(d) },
+		func(e *Extrema, i int, row []float64) { e.Add(row) },
+		MergeExtrema)
 	if err != nil {
 		return nil, err
 	}
-	rng := make([]float64, d)
-	for j := range rng {
-		rng[j] = acc.hi[j] - acc.lo[j]
-		if rng[j] < 1e-12 {
-			rng[j] = 1
-		}
-	}
-	return &MinMaxScaler{Min: acc.lo, Range: rng}, nil
+	return MinMaxFromExtrema(acc), nil
 }
 
 // TransformRow rescales one row in place.

@@ -14,6 +14,11 @@ import (
 // began.
 var ErrDraining = errors.New("serve: server is draining")
 
+// ErrQueueFull is returned when admitting a request would push the
+// queue past its row cap — the server sheds load (HTTP 429) instead
+// of letting latency grow without bound.
+var ErrQueueFull = errors.New("serve: request queue is full")
+
 // result is one request's reply.
 type result struct {
 	preds []float64
@@ -51,8 +56,9 @@ type batchRequest struct {
 // Requests for different models in one flush are split into per-model
 // PredictMatrix calls, each answered by exactly one model snapshot.
 type Batcher struct {
-	size  int
-	delay time.Duration
+	size    int
+	delay   time.Duration
+	maxRows int
 
 	mu     sync.Mutex
 	q      []*batchRequest
@@ -65,28 +71,39 @@ type Batcher struct {
 
 // NewBatcher starts a batcher flushing at size pending rows or after
 // delay, whichever comes first. size < 1 means 1 (no batching);
-// delay 0 flushes as soon as the dispatcher is free.
-func NewBatcher(size int, delay time.Duration) *Batcher {
+// delay 0 flushes as soon as the dispatcher is free. maxRows bounds
+// the queue: a Submit that would push pending rows past it returns
+// ErrQueueFull (admission control); maxRows <= 0 leaves the queue
+// unbounded.
+func NewBatcher(size int, delay time.Duration, maxRows int) *Batcher {
 	if size < 1 {
 		size = 1
 	}
 	b := &Batcher{
-		size:   size,
-		delay:  delay,
-		notify: make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		size:    size,
+		delay:   delay,
+		maxRows: maxRows,
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
 	}
 	go b.run()
 	return b
 }
 
 // Submit enqueues a request. On nil error the request's out channel
-// receives exactly one result; after Drain has begun, ErrDraining.
+// receives exactly one result; after Drain has begun, ErrDraining;
+// when admitting the request would exceed the row cap, ErrQueueFull.
+// A single request larger than the whole cap is still admitted into
+// an empty queue — rejecting it forever would deadlock the client.
 func (b *Batcher) Submit(req *batchRequest) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return ErrDraining
+	}
+	if b.maxRows > 0 && b.qrows > 0 && b.qrows+req.n > b.maxRows {
+		b.mu.Unlock()
+		return ErrQueueFull
 	}
 	req.enq = time.Now()
 	b.q = append(b.q, req)
@@ -97,6 +114,14 @@ func (b *Batcher) Submit(req *batchRequest) error {
 	default:
 	}
 	return nil
+}
+
+// QueueRows reports the rows currently waiting in the queue — the
+// admission-control gauge exported at /metrics.
+func (b *Batcher) QueueRows() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.qrows
 }
 
 // Drain stops intake and blocks until every already-submitted request

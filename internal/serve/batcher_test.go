@@ -61,6 +61,18 @@ func newReq(e *Entry, n, cols int) *batchRequest {
 	}
 }
 
+// waitFor polls cond until it holds or 10s pass.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not met within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // mustReply reads a request's single reply with a timeout.
 func mustReply(t *testing.T, req *batchRequest) result {
 	t.Helper()
@@ -78,7 +90,7 @@ func TestBatcherFlushOnSize(t *testing.T) {
 	model := &constModel{val: 7}
 	e := newEntry(t, reg, "m", model, 3)
 	// Deadline far away: only the size threshold can flush.
-	b := NewBatcher(4, time.Hour)
+	b := NewBatcher(4, time.Hour, 0)
 	defer b.Drain()
 
 	reqs := make([]*batchRequest, 4)
@@ -108,7 +120,7 @@ func TestBatcherFlushOnDeadline(t *testing.T) {
 	e := newEntry(t, reg, "m", model, 2)
 	const delay = 30 * time.Millisecond
 	// Size threshold unreachable: only the deadline can flush.
-	b := NewBatcher(1<<20, delay)
+	b := NewBatcher(1<<20, delay, 0)
 	defer b.Drain()
 
 	start := time.Now()
@@ -134,7 +146,7 @@ func TestBatcherSingleRequestLatencyBound(t *testing.T) {
 	reg := NewRegistry()
 	e := newEntry(t, reg, "m", &constModel{val: 2}, 1)
 	const delay = 25 * time.Millisecond
-	b := NewBatcher(1<<20, delay)
+	b := NewBatcher(1<<20, delay, 0)
 	defer b.Drain()
 
 	start := time.Now()
@@ -156,7 +168,7 @@ func TestBatcherGreedyFlushWithZeroDelay(t *testing.T) {
 	reg := NewRegistry()
 	e := newEntry(t, reg, "m", &constModel{val: 3}, 1)
 	// delay 0: a lone request must not wait for the size threshold.
-	b := NewBatcher(1<<20, 0)
+	b := NewBatcher(1<<20, 0, 0)
 	defer b.Drain()
 
 	req := newReq(e, 1, 1)
@@ -175,7 +187,7 @@ func TestBatcherSplitsMixedModelTargets(t *testing.T) {
 	ma, mb := &constModel{val: 1}, &constModel{val: 2}
 	ea := newEntry(t, reg, "a", ma, 2)
 	eb := newEntry(t, reg, "b", mb, 2)
-	b := NewBatcher(4, time.Hour)
+	b := NewBatcher(4, time.Hour, 0)
 	defer b.Drain()
 
 	// Interleave targets within one flush.
@@ -208,7 +220,7 @@ func TestBatcherRejectsMismatchedWidth(t *testing.T) {
 	reg := NewRegistry()
 	model := &constModel{val: 1}
 	e := newEntry(t, reg, "m", model, 3)
-	b := NewBatcher(2, time.Hour)
+	b := NewBatcher(2, time.Hour, 0)
 	defer b.Drain()
 
 	good, bad := newReq(e, 1, 3), newReq(e, 1, 2)
@@ -233,7 +245,7 @@ func TestBatcherPredictErrorFansOut(t *testing.T) {
 	reg := NewRegistry()
 	boom := errors.New("boom")
 	e := newEntry(t, reg, "m", &constModel{fail: boom}, 1)
-	b := NewBatcher(2, time.Hour)
+	b := NewBatcher(2, time.Hour, 0)
 	defer b.Drain()
 
 	r1, r2 := newReq(e, 1, 1), newReq(e, 1, 1)
@@ -253,6 +265,79 @@ func TestBatcherPredictErrorFansOut(t *testing.T) {
 	}
 }
 
+// TestBatcherQueueFull saturates a capped queue while the dispatcher
+// is stuck in a slow model: submits up to the cap are admitted, the
+// one past it is shed with ErrQueueFull, and every admitted request
+// is still answered once the model unblocks.
+func TestBatcherQueueFull(t *testing.T) {
+	reg := NewRegistry()
+	gate := make(chan struct{})
+	model := &constModel{val: 1, gate: gate}
+	e := newEntry(t, reg, "m", model, 1)
+	b := NewBatcher(1, 0, 3)
+	defer b.Drain()
+
+	// The dispatcher takes the first request immediately and blocks in
+	// PredictMatrix, leaving the queue empty behind it.
+	inflight := newReq(e, 1, 1)
+	if err := b.Submit(inflight); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return model.calls.Load() == 1 })
+
+	// Fill the queue to its 3-row cap.
+	queued := []*batchRequest{newReq(e, 2, 1), newReq(e, 1, 1)}
+	for _, r := range queued {
+		if err := b.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.QueueRows(); got != 3 {
+		t.Fatalf("QueueRows = %d, want 3", got)
+	}
+
+	// One more row must be shed, not queued, and a shed request must
+	// never receive a reply.
+	over := newReq(e, 1, 1)
+	if err := b.Submit(over); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit over cap: %v, want ErrQueueFull", err)
+	}
+	select {
+	case res := <-over.out:
+		t.Fatalf("shed request got a reply: %+v", res)
+	default:
+	}
+
+	close(gate)
+	for _, r := range append([]*batchRequest{inflight}, queued...) {
+		if res := mustReply(t, r); res.err != nil {
+			t.Fatal(res.err)
+		}
+	}
+	if got := b.QueueRows(); got != 0 {
+		t.Errorf("QueueRows after drain-down = %d, want 0", got)
+	}
+}
+
+// TestBatcherOversizedRequestAdmitted: a single request larger than
+// the whole cap still enters an empty queue — rejecting it forever
+// would strand the client, and bounding the largest request is the
+// HTTP body limit's job, not the queue's.
+func TestBatcherOversizedRequestAdmitted(t *testing.T) {
+	reg := NewRegistry()
+	e := newEntry(t, reg, "m", &constModel{val: 2}, 1)
+	b := NewBatcher(1, 0, 2)
+	defer b.Drain()
+
+	req := newReq(e, 5, 1)
+	if err := b.Submit(req); err != nil {
+		t.Fatalf("oversized request into empty queue: %v", err)
+	}
+	if res := mustReply(t, req); res.err != nil || len(res.preds) != 5 {
+		t.Fatalf("oversized request reply: %+v", res)
+	}
+}
+
 // TestBatcherDrainNoRequestLostOrAnsweredTwice hammers Submit from
 // many goroutines while Drain lands mid-stream: every accepted
 // request gets exactly one reply, every rejected one gets ErrDraining,
@@ -261,7 +346,7 @@ func TestBatcherDrainNoRequestLostOrAnsweredTwice(t *testing.T) {
 	reg := NewRegistry()
 	model := &constModel{val: 5}
 	e := newEntry(t, reg, "m", model, 1)
-	b := NewBatcher(8, 200*time.Microsecond)
+	b := NewBatcher(8, 200*time.Microsecond, 0)
 
 	const workers = 8
 	var accepted, answered, rejected atomic.Int64

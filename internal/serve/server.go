@@ -61,6 +61,10 @@ type Config struct {
 	// BatchDelay flushes a smaller batch once its oldest request has
 	// waited this long; 0 flushes as soon as the dispatcher is free.
 	BatchDelay time.Duration
+	// QueueRows caps the rows waiting in the batcher queue; a request
+	// that would exceed it is refused with HTTP 429 instead of queued
+	// (admission control). 0 leaves the queue unbounded.
+	QueueRows int
 }
 
 // Server ties the registry, batcher and metrics to HTTP routes.
@@ -79,7 +83,7 @@ type Server struct {
 func NewServer(reg *Registry, cfg Config) *Server {
 	s := &Server{
 		reg:     reg,
-		batcher: NewBatcher(cfg.BatchSize, cfg.BatchDelay),
+		batcher: NewBatcher(cfg.BatchSize, cfg.BatchDelay, cfg.QueueRows),
 		start:   time.Now(),
 	}
 	// The server owns its own obs registry (per-model counters, store
@@ -208,7 +212,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	entry.metrics.request(req.n)
 	if err := s.batcher.Submit(req); err != nil {
 		entry.metrics.requestErrors(1)
-		writeErr(w, http.StatusServiceUnavailable, err)
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, ErrQueueFull) {
+			// Shed load, don't signal outage: 429 tells clients to back
+			// off and retry, while draining stays a 503.
+			status = http.StatusTooManyRequests
+		}
+		writeErr(w, status, err)
 		return
 	}
 	res := <-req.out
@@ -322,6 +332,9 @@ func (s *Server) collectObs(emit func(obs.Metric)) {
 	emit(obs.Metric{Name: "m3_serve_draining",
 		Help: "1 while the server is draining, 0 otherwise.", Type: obs.TypeGauge,
 		Value: drain})
+	emit(obs.Metric{Name: "m3_serve_queue_rows",
+		Help: "Rows currently waiting in the batcher queue.", Type: obs.TypeGauge,
+		Value: float64(s.batcher.QueueRows())})
 	for _, e := range s.reg.Entries() {
 		e.Metrics().Collect(e.Name(), emit)
 		stats := e.stats()

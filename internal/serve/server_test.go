@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -303,5 +305,85 @@ func TestServerDrain(t *testing.T) {
 	}
 	if code := get(t, f.ts.URL+"/metrics?format=json", &metrics); code != http.StatusOK || !metrics.Draining {
 		t.Errorf("/metrics while draining = %d %+v", code, metrics)
+	}
+}
+
+// TestServerQueueFull429 drives the admission-control path end to
+// end: with the dispatcher stuck in a slow model and the queue at its
+// row cap, the next predict gets 429 Too Many Requests (not 503 —
+// the server is healthy, just saturated), the queue-depth gauge shows
+// the backlog at /metrics, and every admitted request still completes
+// once the model unblocks.
+func TestServerQueueFull429(t *testing.T) {
+	reg := NewRegistry()
+	gate := make(chan struct{})
+	model := &constModel{val: 4, gate: gate}
+	newEntry(t, reg, "m", model, 2)
+	srv := NewServer(reg, Config{BatchSize: 1, QueueRows: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain()
+		reg.Close()
+	})
+
+	url := ts.URL + "/models/m/predict"
+	body := []byte(`{"rows": [[1, 2]]}`)
+	statuses := make(chan int, 3)
+	fire := func() {
+		go func() {
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				statuses <- 0
+				return
+			}
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+
+	// One request in flight (blocked inside PredictMatrix), then two
+	// more filling the 2-row queue behind it.
+	fire()
+	waitFor(t, func() bool { return model.calls.Load() == 1 })
+	fire()
+	waitFor(t, func() bool { return srv.batcher.QueueRows() == 1 })
+	fire()
+	waitFor(t, func() bool { return srv.batcher.QueueRows() == 2 })
+
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if code := post(t, url, body, &errBody); code != http.StatusTooManyRequests {
+		t.Fatalf("predict over cap: status %d (%s), want 429", code, errBody.Error)
+	}
+	if !strings.Contains(errBody.Error, "queue is full") {
+		t.Errorf("429 body = %q, want a queue-full explanation", errBody.Error)
+	}
+
+	// The backlog is visible on the Prometheus endpoint.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "m3_serve_queue_rows 2") {
+		t.Errorf("/metrics missing queue gauge; got:\n%s", text)
+	}
+
+	close(gate)
+	for i := 0; i < 3; i++ {
+		select {
+		case code := <-statuses:
+			if code != http.StatusOK {
+				t.Errorf("admitted request %d finished with status %d", i, code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("admitted request never completed")
+		}
 	}
 }

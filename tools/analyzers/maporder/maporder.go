@@ -9,9 +9,12 @@
 // run. Reduce/merge code therefore iterates sorted keys (or avoids
 // maps entirely). The analyzer enforces this in the execution layer
 // (m3/internal/exec), the engine (m3/internal/core), every trainer
-// (m3/internal/ml/...), and — in any other package — every function
-// reachable within its package from a callback passed to the exec
-// layer's ordered-reduce entry points (MapReduce, ReduceRows,
+// (m3/internal/ml/...), the distributed coordinator and worker
+// (m3/internal/dist — its refold replays the local grouped merge over
+// the wire, so a map range there breaks shard-count bit-identity the
+// same way), and — in any other package — every function reachable
+// within its package from a callback passed to the exec layer's
+// ordered-reduce entry points (MapReduce, ReduceRows,
 // ReduceRowBlocks, ForEachRow).
 package maporder
 
@@ -26,9 +29,10 @@ import (
 // Analyzer reports map ranges in determinism-critical code.
 var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
-	Doc: "reports range-over-map in internal/exec, internal/core, internal/ml " +
-		"and in functions reachable from ordered-reduce callbacks; map iteration " +
-		"order is randomized and would break the bit-identical reduce contract",
+	Doc: "reports range-over-map in internal/exec, internal/core, internal/ml, " +
+		"internal/dist and in functions reachable from ordered-reduce callbacks; " +
+		"map iteration order is randomized and would break the bit-identical " +
+		"reduce contract",
 	Run: run,
 }
 
@@ -51,6 +55,7 @@ var reduceEntryPoints = map[string]bool{
 func wholePackage(path string) bool {
 	return path == execPath ||
 		path == "m3/internal/core" ||
+		path == "m3/internal/dist" ||
 		path == "m3/internal/ml" ||
 		strings.HasPrefix(path, "m3/internal/ml/")
 }

@@ -1,0 +1,72 @@
+// Package dist is inside m3/internal/dist, so every function is in
+// maporder scope: the coordinator's refold replays the local grouped
+// merge over the wire, and a map range anywhere in it would make the
+// model depend on Go's randomized iteration order — breaking the
+// shard-count bit-identity contract.
+package dist
+
+import "sort"
+
+// GroupPartial mirrors the wire shape of one merge group's state.
+type GroupPartial struct {
+	Group int
+	State []float64
+}
+
+// refold merges worker partials in worker-then-group order — slice
+// ranges only, the contract the analyzer protects.
+func refold(workers [][]GroupPartial) []float64 {
+	var out []float64
+	for _, groups := range workers {
+		for _, g := range groups {
+			for i, v := range g.State {
+				if i >= len(out) {
+					out = append(out, v)
+					continue
+				}
+				out[i] += v
+			}
+		}
+	}
+	return out
+}
+
+// mergeByGroup indexes partials by group id and then ranges the map —
+// exactly the bug class the scope extension exists to catch.
+func mergeByGroup(groups []GroupPartial) map[int][]float64 {
+	byGroup := map[int][]float64{}
+	for _, g := range groups {
+		byGroup[g.Group] = append(byGroup[g.Group], g.State...)
+	}
+	merged := map[int][]float64{}
+	for id, states := range byGroup { // want `maporder: range over map`
+		merged[id] = states
+	}
+	return merged
+}
+
+// mergeByGroupSorted is the compliant version: collect keys (with the
+// allow directive — the collection itself is order-insensitive), sort,
+// then walk the sorted slice.
+func mergeByGroupSorted(byGroup map[int][]float64) [][]float64 {
+	ids := make([]int, 0, len(byGroup))
+	//m3vet:allow maporder -- collecting keys to sort; order-insensitive
+	for id := range byGroup {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([][]float64, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, byGroup[id])
+	}
+	return out
+}
+
+// closeConns models the worker's shutdown sweep over its connection
+// set: teardown order is irrelevant, so the directive applies.
+func closeConns(conns map[int]func()) {
+	//m3vet:allow maporder -- shutdown sweep; close order is irrelevant
+	for _, closeFn := range conns {
+		closeFn()
+	}
+}
